@@ -1,0 +1,140 @@
+// E3 — the Sec. II-B worked example (and Appendix A): the measurement
+// pattern {M4^Z -> n, M2^X -> m, Lambda3^m(X)} on the square graph state
+// creates a Bell pair on qubits 1 and 3.
+//
+// We enumerate all four outcome branches on the statevector runner,
+// verify each branch is maximally entangled, identify the residual
+// n-dependent byproduct the paper leaves in the diagram (searching over
+// Pauli corrections), and cross-check correlators on the stabilizer
+// runner.
+
+#include <cmath>
+#include <iostream>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/mbqc/clifford_runner.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/sim/pauli.h"
+
+namespace mbq {
+namespace {
+
+/// |det| of the 2x2 amplitude matrix: 1/2 for maximally entangled states.
+real entanglement_det(const std::vector<cplx>& s) {
+  return std::abs(s[0] * s[3] - s[1] * s[2]);
+}
+
+mbqc::Pattern bell_pattern() {
+  // Paper qubits 1,2,3,4 -> wires 0,1,2,3; square 0-1-2-3-0.
+  mbqc::Pattern p;
+  for (int v = 0; v < 4; ++v) p.add_prep(v);
+  p.add_entangle(0, 1);
+  p.add_entangle(1, 2);
+  p.add_entangle(2, 3);
+  p.add_entangle(3, 0);
+  p.add_measure(3, MeasBasis::Z, 0.0);                     // M4^Z -> n
+  const signal_t m = p.add_measure(1, MeasBasis::X, 0.0);  // M2^X -> m
+  p.add_correct_x(2, SignalExpr(m));                       // Lambda3^m(X)
+  p.set_outputs({0, 2});
+  return p;
+}
+
+Matrix pauli_of(int k) {
+  switch (k) {
+    case 1: return gates::x();
+    case 2: return gates::y();
+    case 3: return gates::z();
+    default: return gates::id2();
+  }
+}
+
+const char* pauli_name(int k) {
+  static const char* names[] = {"I", "X", "Y", "Z"};
+  return names[k];
+}
+
+}  // namespace
+}  // namespace mbq
+
+int main() {
+  using namespace mbq;
+  const mbqc::Pattern p = bell_pattern();
+  std::cout << "# E3 — square-graph Bell example (Sec. II-B, Appendix A)\n\n"
+            << "Pattern:\n```\n"
+            << p.str() << "```\n";
+
+  const auto branches = mbqc::run_all_branches(p);
+  // Find the Pauli P0 ⊗ P2 aligning each branch with branch (0,0).
+  const auto& ref = branches[0].output_state;
+  Table t({"branch (n,m)", "|amp matrix det|", "aligning Pauli (q1,q3)",
+           "fidelity after correction"});
+  for (std::size_t b = 0; b < branches.size(); ++b) {
+    const int n = branches[b].outcomes[0];
+    const int m = branches[b].outcomes[1];
+    real best_fid = 0.0;
+    std::string best_pauli = "?";
+    for (int p0 = 0; p0 < 4; ++p0) {
+      for (int p2 = 0; p2 < 4; ++p2) {
+        const Matrix u = gates::embed2(pauli_of(p2).kron(pauli_of(p0)), 0, 1,
+                                       2);  // q0 low bit
+        const auto corrected = u * branches[b].output_state;
+        const real fid = fidelity(corrected, ref);
+        if (fid > best_fid + 1e-12) {
+          best_fid = fid;
+          best_pauli = std::string(pauli_name(p0)) + "⊗" + pauli_name(p2);
+        }
+      }
+    }
+    t.row()
+        .add("(" + std::to_string(n) + "," + std::to_string(m) + ")")
+        .add(entanglement_det(branches[b].output_state), 6)
+        .add(best_pauli)
+        .add(best_fid, 9);
+  }
+  t.print(std::cout, "statevector runner, all branches");
+  std::cout
+      << "All four branches are maximally entangled (|det| = 1/2) and in "
+         "fact\nIDENTICAL (aligning Pauli = I⊗I): the residual n-pi "
+         "byproduct of the\npaper's final diagram is Z^n ⊗ Z^n on the output "
+         "pair, which stabilizes\nthe Bell state and therefore acts "
+         "trivially — the pattern is fully\ndeterministic with only the "
+         "Lambda3^m(X) correction.\n\n";
+
+  // Stabilizer cross-check: enumerate the nontrivial correlators of the
+  // output pair; a maximally entangled stabilizer pair has exactly three.
+  Rng rng(5);
+  Table t2({"run", "n", "m", "stabilizing correlators of (q1, q3)"});
+  for (int run = 0; run < 4; ++run) {
+    auto r = mbqc::run_clifford(p, rng);
+    const int qa = r.output_qubits[0];
+    const int qb = r.output_qubits[1];
+    const int width = r.tableau.num_qubits();
+    std::string found;
+    int count = 0;
+    for (int pa = 0; pa < 4; ++pa) {
+      for (int pb = 0; pb < 4; ++pb) {
+        if (pa == 0 && pb == 0) continue;
+        std::uint64_t xm = 0, zm = 0;
+        if (pa == 1 || pa == 2) xm |= 1ULL << qa;
+        if (pa == 2 || pa == 3) zm |= 1ULL << qa;
+        if (pb == 1 || pb == 2) xm |= 1ULL << qb;
+        if (pb == 2 || pb == 3) zm |= 1ULL << qb;
+        const int e = r.tableau.expectation(PauliString(xm, zm, width));
+        if (e != 0) {
+          if (count) found += ", ";
+          found += std::string(e > 0 ? "+" : "-") + pauli_name(pa) +
+                   pauli_name(pb);
+          ++count;
+        }
+      }
+    }
+    t2.row().add(run).add(r.outcomes[0]).add(r.outcomes[1]).add(found);
+  }
+  t2.print(std::cout, "stabilizer runner: full correlator enumeration");
+  std::cout << "Exactly three nontrivial two-qubit stabilizers in every run: "
+               "the output\npair is a maximally entangled stabilizer (Bell-"
+               "type) state on the tableau\nbackend as well.\n";
+  return 0;
+}

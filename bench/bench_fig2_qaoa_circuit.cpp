@@ -1,0 +1,106 @@
+// E2 — Fig. 2: the QAOA circuit compiled to basic gates.
+//
+// Rebuilds the figure's 3-qubit example and reports, across instance
+// families, the gate counts of the compiled circuit together with a
+// verification column: the circuit unitary must equal
+// exp(-i beta B) exp(-i gamma C) (up to global phase) layer by layer.
+
+#include <iostream>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/graph/generators.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq {
+namespace {
+
+/// Dense exp(-i gamma C) exp(-i beta B) ... oracle for small n.
+Matrix qaoa_oracle(const qaoa::CostHamiltonian& c, const qaoa::Angles& a) {
+  const int n = c.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix u(dim, dim);
+  // Start from H^{\otimes n}.
+  Matrix h = Matrix::identity(1);
+  for (int q = 0; q < n; ++q) h = gates::h().kron(h);
+  u = h;
+  const auto table = c.cost_table();
+  for (int k = 0; k < a.p(); ++k) {
+    Matrix phase(dim, dim);
+    for (std::size_t x = 0; x < dim; ++x)
+      phase(x, x) = std::exp(-kI * a.gamma[k] * table[x]);
+    Matrix mix = Matrix::identity(dim);
+    for (int q = 0; q < n; ++q)
+      mix = gates::embed1(gates::exp_x(2 * a.beta[k]), q, n) * mix;
+    u = mix * phase * u;
+  }
+  return u;
+}
+
+}  // namespace
+}  // namespace mbq
+
+int main() {
+  using namespace mbq;
+  Rng rng(7);
+
+  std::cout << "# E2 / Fig. 2 — QAOA circuit construction\n\n";
+
+  // The figure's instance: 3 qubits, one layer shown with H, RZ, RX.
+  {
+    Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    const auto c = qaoa::CostHamiltonian::maxcut(g);
+    const qaoa::Angles a({0.4}, {0.7});
+    const Circuit circ = qaoa::qaoa_circuit(c, a);
+    std::cout << "Fig. 2 instance (path graph on 3 qubits, p = 1):\n\n```\n"
+              << circ.str() << "```\n\n";
+  }
+
+  Table t({"graph", "|V|", "|E|", "p", "total gates",
+           "entangling (compiled)", "2p|E| (paper)", "unitary == oracle"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"path P4", path_graph(4)});
+  cases.push_back({"cycle C5", cycle_graph(5)});
+  cases.push_back({"complete K4", complete_graph(4)});
+  cases.push_back({"star S5", star_graph(5)});
+  cases.push_back({"Petersen", petersen_graph()});
+
+  for (auto& cs : cases) {
+    const auto c = qaoa::CostHamiltonian::maxcut(cs.g);
+    for (int p : {1, 2}) {
+      const qaoa::Angles a = qaoa::Angles::random(p, rng);
+      const Circuit circ = qaoa::qaoa_circuit(c, a);
+      bool ok = true;
+      if (cs.g.num_vertices() <= 5) {
+        ok = Matrix::approx_equal_up_to_phase(circ.unitary(),
+                                              qaoa_oracle(c, a), 1e-8);
+      } else {
+        // Verify on the state level for larger instances.
+        Statevector sv(cs.g.num_vertices());
+        circ.apply_to(sv);
+        const Statevector fast = qaoa::qaoa_state(c, a);
+        ok = std::abs(sv.fidelity_with(fast) - 1.0) < 1e-9;
+      }
+      t.row()
+          .add(cs.name)
+          .add(cs.g.num_vertices())
+          .add(cs.g.num_edges())
+          .add(p)
+          .add(static_cast<std::int64_t>(circ.size()))
+          .add(static_cast<std::int64_t>(circ.entangling_count_compiled()))
+          .add(static_cast<std::int64_t>(2 * p * cs.g.num_edges()))
+          .add(ok);
+    }
+  }
+  t.print(std::cout, "gate counts and verification");
+  std::cout << "The compiled entangling count equals the paper's 2p|E| "
+               "baseline for standard\nphase-gadget compilation.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E17 — noise sensitivity vs resource counts.
+//
+// The paper motivates tailored patterns by resource overhead: generic
+// circuit->pattern translation needs far more entanglers, and each
+// entangler is a noise opportunity.  This bench injects depolarizing
+// noise after every E command and measures the average output fidelity
+// of tailored vs generic patterns for the SAME QAOA instance — the
+// resource gap becomes a fidelity gap.
+
+#include <iostream>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/from_circuit.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq {
+namespace {
+
+real mean_fidelity(const mbqc::Pattern& p, const std::vector<cplx>& ideal,
+                   real noise, int trials, Rng& rng) {
+  mbqc::RunOptions opt;
+  opt.entangler_noise = noise;
+  real acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto r = mbqc::run(p, rng, opt);
+    acc += fidelity(r.output_state, ideal);
+  }
+  return acc / trials;
+}
+
+}  // namespace
+}  // namespace mbq
+
+int main() {
+  using namespace mbq;
+  Rng rng(13);
+
+  std::cout << "# E17 — depolarizing noise after every entangler: tailored "
+               "vs generic patterns\n\n";
+
+  const Graph g = cycle_graph(4);
+  const auto cost = qaoa::CostHamiltonian::maxcut(g);
+  const qaoa::Angles a = qaoa::Angles::random(1, rng);
+  const auto ideal = qaoa::qaoa_state(cost, a).amplitudes();
+
+  const auto tailored = core::compile_qaoa(cost, a);
+  // The generic translation starts from |+...+> already, so drop the
+  // H-preparation layer from the circuit before translating.
+  Circuit layers(g.num_vertices());
+  const Circuit full = qaoa::qaoa_circuit(cost, a);
+  for (const Gate& gate : full.gates())
+    if (gate.kind != GateKind::H) layers.append(gate);
+  const auto generic = mbqc::pattern_from_circuit(layers, true);
+
+  std::cout << "instance: MaxCut C4, p = 1; tailored pattern: "
+            << tailored.pattern.num_entangling() << " CZ, generic: "
+            << generic.num_entangling() << " CZ\n\n";
+
+  Table t({"noise / entangler", "tailored mean fidelity",
+           "generic mean fidelity", "advantage"});
+  const int trials = 120;
+  for (real noise : {0.0, 0.002, 0.005, 0.01, 0.02, 0.05}) {
+    Rng r1(100), r2(100);
+    const real ft =
+        mean_fidelity(tailored.pattern, ideal, noise, trials, r1);
+    const real fg = mean_fidelity(generic, ideal, noise, trials, r2);
+    t.row()
+        .add(noise, 4)
+        .add(ft, 5)
+        .add(fg, 5)
+        .add(ft - fg, 5);
+  }
+  t.print(std::cout);
+  std::cout << "With equal per-entangler noise, the tailored construction's "
+               "smaller\nN_E translates directly into higher output fidelity "
+               "— the quantitative\nform of the paper's argument against "
+               "generic translations.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E9 — qubit reuse (Sec. III-A, citing DeCross et al. [51]).
+//
+// The conservative count N_Q assumes no reuse; scheduling measurements
+// early and preparations late shrinks the LIVE register to about
+// |V| + O(1).  The table compares the pattern width, the naive peak of
+// the standard (resource-state-first) ordering, and the reuse schedule's
+// peak, plus the runner's observed peak during execution.
+
+#include <iostream>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/mbqc/scheduler.h"
+#include "mbq/mbqc/standardize.h"
+#include "mbq/qaoa/qaoa.h"
+
+int main() {
+  using namespace mbq;
+  Rng rng(19);
+
+  std::cout << "# E9 — qubit-reuse scheduling (Sec. III-A / ref [51])\n\n";
+
+  Table t({"instance", "p", "total wires (|V|+N_Q)", "standard-form peak",
+           "reuse-schedule peak", "runner observed peak", "reduction"});
+
+  struct Case {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"path P6", path_graph(6)});
+  cases.push_back({"cycle C6", cycle_graph(6)});
+  cases.push_back({"Petersen", petersen_graph()});
+  cases.push_back({"3-regular n=8", random_regular_graph(8, 3, rng)});
+  cases.push_back({"complete K5", complete_graph(5)});
+
+  for (const auto& cs : cases) {
+    const auto cost = qaoa::CostHamiltonian::maxcut(cs.g);
+    for (int p : {1, 2, 4}) {
+      const qaoa::Angles a = qaoa::Angles::random(p, rng);
+      const auto cp = core::compile_qaoa(cost, a);
+      const auto standard = mbqc::standardize(cp.pattern);
+      const auto sched = mbqc::schedule_for_reuse(cp.pattern);
+      // Observed peak while actually executing the scheduled pattern.
+      int observed = 0;
+      if (cs.g.num_vertices() <= 10) {
+        Rng run_rng(3);
+        observed = mbqc::run(sched.pattern, run_rng).peak_live;
+      } else {
+        observed = sched.peak_live;
+      }
+      const real reduction =
+          1.0 - static_cast<real>(sched.peak_live) /
+                    static_cast<real>(standard.num_wires());
+      t.row()
+          .add(cs.name)
+          .add(p)
+          .add(cp.pattern.num_wires())
+          .add(mbqc::peak_live_of(standard))
+          .add(sched.peak_live)
+          .add(observed)
+          .add(format_real(100.0 * reduction, 3) + "%");
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Reuse keeps the live register near |V|+2 regardless of p, "
+               "while the\nno-reuse width grows linearly in p — \"the number "
+               "of qubits required can\nbe significantly reduced ... by "
+               "reusing qubits after measurement\".\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E13 — HPC scaling microbenchmarks (Google Benchmark): statevector gate
+// kernels, fast QAOA layers, pattern execution, and the stabilizer
+// backend, as functions of problem size.
+
+#include <benchmark/benchmark.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/clifford_runner.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/qaoa/qaoa.h"
+#include "mbq/stab/tableau.h"
+
+namespace {
+
+using namespace mbq;
+
+void BM_Statevector1QGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Statevector sv = Statevector::all_plus(n);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_h(q);
+    q = (q + 1) % n;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_Statevector1QGate)->DenseRange(10, 22, 4);
+
+void BM_StatevectorCz(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Statevector sv = Statevector::all_plus(n);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_cz(q, (q + 1) % n);
+    q = (q + 1) % n;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_StatevectorCz)->DenseRange(10, 22, 4);
+
+void BM_QaoaLayerFastPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Graph g = random_regular_graph(n, 3, rng);
+  const auto cost = qaoa::CostHamiltonian::maxcut(g);
+  const auto table = cost.cost_table();
+  Statevector sv = Statevector::all_plus(n);
+  for (auto _ : state) {
+    sv.apply_phase_of_cost(0.4, table);
+    sv.apply_mixer_layer(0.3);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_QaoaLayerFastPath)->DenseRange(10, 18, 4);
+
+void BM_PatternCompile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const Graph g = random_regular_graph(n, 3, rng);
+  const auto cost = qaoa::CostHamiltonian::maxcut(g);
+  const qaoa::Angles a = qaoa::Angles::random(4, rng);
+  for (auto _ : state) {
+    auto cp = core::compile_qaoa(cost, a);
+    benchmark::DoNotOptimize(cp.pattern.num_wires());
+  }
+}
+BENCHMARK(BM_PatternCompile)->DenseRange(8, 60, 26);
+
+void BM_PatternRunStatevector(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Graph g = cycle_graph(n);
+  const auto cost = qaoa::CostHamiltonian::maxcut(g);
+  const qaoa::Angles a = qaoa::Angles::random(2, rng);
+  const auto cp = core::compile_qaoa(cost, a);
+  Rng run_rng(4);
+  for (auto _ : state) {
+    auto r = mbqc::run(cp.pattern, run_rng);
+    benchmark::DoNotOptimize(r.output_state.data());
+  }
+}
+BENCHMARK(BM_PatternRunStatevector)->DenseRange(6, 14, 4);
+
+void BM_PatternRunClifford(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = cycle_graph(n);
+  const auto cost = qaoa::CostHamiltonian::maxcut(g);
+  const qaoa::Angles a({kPi / 2}, {kPi / 4});
+  const auto cp = core::compile_qaoa(cost, a);
+  Rng rng(5);
+  for (auto _ : state) {
+    auto r = mbqc::run_clifford(cp.pattern, rng);
+    benchmark::DoNotOptimize(r.outcomes.data());
+  }
+}
+BENCHMARK(BM_PatternRunClifford)->DenseRange(16, 60, 22);
+
+void BM_GraphStateTableau(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = cycle_graph(n);
+  for (auto _ : state) {
+    Tableau t = Tableau::graph_state(g);
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_GraphStateTableau)->DenseRange(128, 1024, 448);
+
+}  // namespace
+
+BENCHMARK_MAIN();

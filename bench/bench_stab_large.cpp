@@ -1,0 +1,90 @@
+// E14 — resource states and Clifford-point patterns at scale.
+//
+// Graph states are stabilizer states, so preparation and Pauli-basis
+// pattern execution run on the tableau simulator far beyond statevector
+// reach.  This bench prepares MBQC-QAOA resource states with hundreds of
+// qubits and executes full adaptive patterns at Clifford parameter
+// points, checking output-register correlators against the statevector
+// result computed on the small problem register.
+
+#include <iostream>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/common/timer.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/clifford_runner.h"
+#include "mbq/qaoa/qaoa.h"
+#include "mbq/sim/pauli.h"
+#include "mbq/stab/tableau.h"
+
+int main() {
+  using namespace mbq;
+  Rng rng(31);
+
+  std::cout << "# E14 — stabilizer backend: graph states and Clifford "
+               "patterns at scale\n\n";
+
+  // 1. Resource-state preparation timing.
+  Table t({"graph state", "qubits", "edges", "prep ms"});
+  for (int n : {100, 400, 900}) {
+    const Graph ring = cycle_graph(n);
+    Timer timer;
+    Tableau tab = Tableau::graph_state(ring);
+    t.row().add("ring C_n").add(n).add(ring.num_edges()).add(
+        timer.milliseconds(), 3);
+  }
+  {
+    const Graph grid = grid_graph(20, 20);
+    Timer timer;
+    Tableau tab = Tableau::graph_state(grid);
+    t.row()
+        .add("cluster 20x20")
+        .add(grid.num_vertices())
+        .add(grid.num_edges())
+        .add(timer.milliseconds(), 3);
+  }
+  t.print(std::cout, "resource-state preparation (tableau)");
+
+  // 2. Full adaptive MBQC-QAOA at Clifford points, large instances.
+  Table t2({"instance", "p", "pattern qubits", "run ms",
+            "edge <ZZ> matches statevector"});
+  for (int n : {12, 20, 40}) {
+    const Graph g = cycle_graph(n);
+    const auto cost = qaoa::CostHamiltonian::maxcut(g);
+    // gamma = pi/2, beta = pi/4 are Clifford for MaxCut gadgets.
+    const qaoa::Angles a({kPi / 2}, {kPi / 4});
+    for (int p : {1, 2}) {
+      qaoa::Angles ap(std::vector<real>(p, kPi / 2),
+                      std::vector<real>(p, kPi / 4));
+      const auto cp = core::compile_qaoa(cost, ap);
+      Timer timer;
+      const auto r = mbqc::run_clifford(cp.pattern, rng);
+      const real ms = timer.milliseconds();
+      bool match = true;
+      if (n <= 20) {
+        const Statevector ref = qaoa::qaoa_state(cost, ap);
+        for (const Edge& e : g.edges()) {
+          const real expect = std::real(
+              PauliString(0, (1ULL << e.u) | (1ULL << e.v), n)
+                  .expectation(ref));
+          const int got = r.tableau.expectation_zs(
+              {r.output_qubits[e.u], r.output_qubits[e.v]});
+          if (std::abs(expect - got) > 1e-9) match = false;
+        }
+      }
+      t2.row()
+          .add("ring C" + std::to_string(n))
+          .add(p)
+          .add(cp.pattern.num_wires())
+          .add(ms, 3)
+          .add(n <= 20 ? (match ? "yes" : "NO") : "n/a (too wide for sv)");
+    }
+  }
+  t2.print(std::cout, "adaptive Clifford MBQC-QAOA runs");
+  std::cout << "Patterns with hundreds of physical qubits execute in "
+               "milliseconds on the\ntableau; where the statevector "
+               "reference exists the correlators agree\nexactly.\n";
+  return 0;
+}

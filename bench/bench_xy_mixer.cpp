@@ -1,0 +1,80 @@
+// E12 — XY mixers (Sec. V): e^{i beta (XX+YY)} compiled to MBQC via
+// basis-changed ZZ gadgets, verified against the dense oracle, plus the
+// one-hot (graph-coloring) subspace-preservation property.
+
+#include <bit>
+#include <iostream>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/core/compiler.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/qaoa/mixers.h"
+
+int main() {
+  using namespace mbq;
+  std::cout << "# E12 — XY mixers in MBQC (Sec. V)\n\n";
+
+  // Gate-level check: circuit vs dense oracle.
+  Table t({"beta", "circuit == oracle (up to phase)",
+           "MBQC fidelity (4 runs, worst)", "pattern qubits", "pattern CZ"});
+  Rng rng(3);
+  for (real beta : {-1.1, -0.3, 0.45, 1.7}) {
+    const Circuit c = qaoa::xy_mixer_pair(2, 0, 1, beta);
+    const Matrix xx = gates::x().kron(gates::x());
+    const Matrix yy = gates::y().kron(gates::y());
+    const Matrix i4 = Matrix::identity(4);
+    const cplx cb = std::cos(beta), isb = kI * std::sin(beta);
+    const Matrix oracle = (i4 * cb + xx * isb) * (i4 * cb + yy * isb);
+    const bool circuit_ok =
+        Matrix::approx_equal_up_to_phase(c.unitary(), oracle, 1e-9);
+
+    // MBQC: compile the circuit acting on |++>.
+    const auto cp = core::compile_circuit_tailored(c);
+    Statevector sv = Statevector::all_plus(2);
+    c.apply_to(sv);
+    real worst = 1.0;
+    Rng run_rng(7);
+    for (int i = 0; i < 4; ++i) {
+      const auto r = mbqc::run(cp.pattern, run_rng);
+      worst = std::min(worst, fidelity(r.output_state, sv.amplitudes()));
+    }
+    t.row()
+        .add(beta, 3)
+        .add(circuit_ok)
+        .add(worst, 12)
+        .add(cp.pattern.num_wires())
+        .add(cp.pattern.num_entangling());
+  }
+  t.print(std::cout, "XY pair mixer verification");
+
+  // One-hot subspace preservation through the MBQC pipeline: a 4-qubit
+  // one-hot register evolved by a ring-XY mixer layer.
+  {
+    const int n = 4;
+    Circuit prep(n);
+    // |1000> from |++++>: H everywhere then X on qubit 0.
+    for (int q = 0; q < n; ++q) prep.h(q);
+    prep.x(0);
+    prep.append(qaoa::xy_mixer_ring(n, {0, 1, 2, 3}, 0.8));
+    const auto cp = core::compile_circuit_tailored(prep);
+    Rng run_rng(9);
+    const auto r = mbqc::run(cp.pattern, run_rng);
+    real w1 = 0.0;
+    real moved = 0.0;
+    for (std::uint64_t x = 0; x < r.output_state.size(); ++x) {
+      const real pr = std::norm(r.output_state[x]);
+      if (std::popcount(x) == 1) w1 += pr;
+      if (std::popcount(x) == 1 && x != 1) moved += pr;
+    }
+    Table t2({"weight-1 mass", "mass moved off the start vertex",
+              "pattern qubits"});
+    t2.row().add(w1, 9).add(moved, 4).add(cp.pattern.num_wires());
+    t2.print(std::cout, "one-hot (coloring) subspace preservation, MBQC run");
+  }
+  std::cout << "The XY gadgets preserve Hamming weight exactly (one-hot mass "
+               "1) while\nmoving amplitude between feasible states — the "
+               "coloring-mixer property\nthe paper points to in Sec. V.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Graph coloring with XY mixers (Sec. V): one-hot encoding, where the
+// ring-XY mixer preserves the "exactly one color per vertex" subspace,
+// so penalty terms for the encoding constraint are unnecessary.
+//
+// Problem: max-k-colorable subgraph on a small graph with k = 2 colors:
+// maximize the number of properly-colored edges.  Qubit (v, c) = vertex
+// v has color c; cost counts edges whose endpoints hold different
+// colors; the mixer rotates within each vertex's one-hot block.
+
+#include <bit>
+#include <iostream>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/rng.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/opt/nelder_mead.h"
+#include "mbq/qaoa/mixers.h"
+
+int main() {
+  using namespace mbq;
+  const int k = 2;
+  const Graph g = cycle_graph(3);  // odd cycle: not 2-colorable; best = 2
+  const int n = g.num_vertices() * k;
+  auto qubit = [&](int v, int c) { return v * k + c; };
+
+  std::cout << "max-2-colorable subgraph on C3 (odd cycle; at most 2 of 3 "
+               "edges properly colored)\n\n";
+
+  // Cost: for each edge (u,v) and color c, penalize same-color endpoints:
+  // proper(u,v) = 1 - sum_c x_{u,c} x_{v,c} on the one-hot subspace.
+  qaoa::CostHamiltonian cost(n, 0.0);
+  std::vector<std::pair<Edge, real>> quad;
+  std::vector<real> linear(n, 0.0);
+  for (const Edge& e : g.edges())
+    for (int c = 0; c < k; ++c)
+      quad.push_back({{qubit(e.u, c), qubit(e.v, c)}, -1.0});
+  cost = qaoa::CostHamiltonian::qubo(
+      n, linear, quad, static_cast<real>(g.num_edges()));
+
+  // Circuit: prepare each vertex in color 0 (one-hot: |10> per block,
+  // reached from the pattern's |+>^n via H then X on the color-0 qubit),
+  // then alternate phase layers with ring-XY mixers per vertex block.
+  auto build = [&](const qaoa::Angles& a) {
+    Circuit circ(n);
+    for (int q = 0; q < n; ++q) circ.h(q);
+    for (int v = 0; v < g.num_vertices(); ++v) circ.x(qubit(v, 0));
+    for (int layer = 0; layer < a.p(); ++layer) {
+      for (const auto& t : cost.terms())
+        circ.phase_gadget(t.support, 2.0 * a.gamma[layer] * t.coeff);
+      for (int v = 0; v < g.num_vertices(); ++v)
+        circ.append(qaoa::xy_mixer_ring(n, {qubit(v, 0), qubit(v, 1)},
+                                        a.beta[layer]));
+    }
+    return circ;
+  };
+
+  // Classical outer loop: coarse grid over shared (gamma, beta).
+  const auto table = cost.cost_table();
+  qaoa::Angles best_angles({0.5, 0.5}, {0.5, 0.5});
+  real best_exp = -1e300;
+  for (int i = 0; i < 9; ++i) {
+    for (int j = 0; j < 9; ++j) {
+      const real gamma = -kPi + kTwoPi * (i + 0.5) / 9;
+      const real beta = -kPi / 2 + kPi * (j + 0.5) / 9;
+      const qaoa::Angles a({gamma, gamma}, {beta, beta});
+      Statevector sv = Statevector::all_plus(n);
+      build(a).apply_to(sv);
+      const real e = sv.expectation_diagonal(table);
+      if (e > best_exp) {
+        best_exp = e;
+        best_angles = a;
+      }
+    }
+  }
+  // Refine with Nelder-Mead over all four angles.
+  auto objective = [&](const std::vector<real>& v) {
+    Statevector sv = Statevector::all_plus(n);
+    build(qaoa::Angles::from_flat(v)).apply_to(sv);
+    return sv.expectation_diagonal(table);
+  };
+  opt::NelderMeadOptions nm;
+  nm.max_evaluations = 400;
+  nm.restarts = 3;
+  Rng nm_rng(5);
+  const auto refined =
+      opt::nelder_mead(objective, best_angles.flat(), nm, nm_rng);
+  best_angles = qaoa::Angles::from_flat(refined.x);
+  std::cout << "optimized <properly colored> = " << refined.value
+            << " (grid seed " << best_exp << ")\n";
+
+  // Compile to MBQC and run.
+  const auto cp = core::compile_circuit_tailored(build(best_angles));
+  std::cout << "MBQC pattern: " << cp.pattern.num_wires() << " qubits, "
+            << cp.pattern.num_measurements() << " measurements\n";
+
+  Rng rng(11);
+  const auto r = mbqc::run(cp.pattern, rng);
+
+  // Check the one-hot subspace and extract the best coloring.
+  real onehot_mass = 0.0;
+  real best_prob = 0.0;
+  std::uint64_t best_x = 0;
+  auto is_onehot = [&](std::uint64_t x) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      int count = 0;
+      for (int c = 0; c < k; ++c) count += get_bit(x, qubit(v, c));
+      if (count != 1) return false;
+    }
+    return true;
+  };
+  for (std::uint64_t x = 0; x < r.output_state.size(); ++x) {
+    const real prob = std::norm(r.output_state[x]);
+    if (is_onehot(x)) onehot_mass += prob;
+    if (prob > best_prob) {
+      best_prob = prob;
+      best_x = x;
+    }
+  }
+  std::cout << "one-hot subspace mass after MBQC run: " << onehot_mass
+            << " (exactly 1: encoding constraints preserved by the XY "
+               "mixer)\n";
+  std::cout << "most likely outcome: " << bitstring(best_x, n)
+            << "  -> properly colored edges: " << cost.evaluate(best_x)
+            << " of " << g.num_edges() << " (optimum 2)\n";
+  return 0;
+}

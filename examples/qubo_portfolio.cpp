@@ -1,0 +1,82 @@
+// A small portfolio-selection QUBO solved measurement-based — the
+// general-QUBO case of the paper (Eq. 12), with genuine linear AND
+// quadratic terms:
+//
+//   maximize  sum_i r_i x_i  -  q * sum_{i<j} C_ij x_i x_j
+//             - lambda (sum_i x_i - B)^2
+//
+// (expected return, pairwise risk, and a soft budget of B assets).
+
+#include <bit>
+#include <iostream>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/core/protocol.h"
+#include "mbq/opt/exact.h"
+#include "mbq/opt/nelder_mead.h"
+#include "mbq/qaoa/qaoa.h"
+
+int main() {
+  using namespace mbq;
+  const int n = 6;       // assets
+  const int budget = 3;  // target count
+  Rng rng(99);
+
+  // Synthetic market data.
+  std::vector<real> ret(n);
+  for (auto& r : ret) r = rng.uniform(0.5, 1.5);
+  std::vector<std::pair<Edge, real>> risk;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      risk.push_back({{i, j}, rng.uniform(0.0, 0.6)});
+
+  // QUBO assembly: returns - q*risk - lambda*(sum x - B)^2.
+  const real q = 0.7, lambda = 0.8;
+  std::vector<real> linear = ret;
+  std::vector<std::pair<Edge, real>> quad;
+  for (auto& [e, c] : risk) quad.push_back({e, -q * c});
+  // (sum x - B)^2 = sum x_i + 2 sum_{i<j} x_i x_j - 2B sum x_i + B^2.
+  for (int i = 0; i < n; ++i) linear[i] -= lambda * (1.0 - 2.0 * budget);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) quad.push_back({{i, j}, -2.0 * lambda});
+  const auto cost = qaoa::CostHamiltonian::qubo(
+      n, linear, quad, -lambda * budget * budget);
+
+  std::cout << "Portfolio QUBO: " << n << " assets, budget " << budget
+            << ", " << cost.terms().size() << " Ising terms ("
+            << cost.num_terms_of_order(1) << " linear, "
+            << cost.num_terms_of_order(2) << " quadratic)\n\n";
+
+  const auto exact = opt::brute_force_maximum(cost);
+  std::cout << "exact optimum: value " << exact.value << ", portfolio "
+            << bitstring(exact.x, n) << "\n";
+
+  // MBQC-QAOA with the paper's Eq. 10 linear-term gadgets.
+  const core::MbqcQaoaSolver solver(cost, core::CorrectionMode::Quantum,
+                                    core::LinearTermStyle::Gadget);
+  Rng obj_rng(3);
+  auto objective = [&](const std::vector<real>& v) {
+    return solver.expectation(qaoa::Angles::from_flat(v), obj_rng);
+  };
+  opt::NelderMeadOptions nm;
+  nm.max_evaluations = 500;
+  nm.restarts = 2;
+  Rng nm_rng(4);
+  const auto res =
+      opt::nelder_mead(objective, qaoa::Angles::linear_ramp(2).flat(), nm,
+                       nm_rng);
+  std::cout << "optimized p=2 MBQC <C> = " << res.value << "\n";
+
+  Rng shot_rng(5);
+  const auto best = solver.best_of(qaoa::Angles::from_flat(res.x), 128,
+                                   shot_rng);
+  std::cout << "best of 128 shots: value " << best.cost << ", portfolio "
+            << bitstring(best.x, n) << " ("
+            << std::popcount(best.x) << " assets)\n";
+  std::cout << "\n(The compiled pattern spends one extra ancilla and CZ per "
+               "asset per layer\non the linear terms — exactly the Sec. "
+               "III-A accounting for general QUBOs.)\n";
+  return 0;
+}

@@ -1,0 +1,281 @@
+#include "mbq/circuit/circuit.h"
+
+#include <bit>
+#include <sstream>
+#include <unordered_set>
+
+#include "mbq/common/error.h"
+#include "mbq/linalg/unitaries.h"
+
+namespace mbq {
+
+std::string gate_kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::H: return "H";
+    case GateKind::X: return "X";
+    case GateKind::Y: return "Y";
+    case GateKind::Z: return "Z";
+    case GateKind::S: return "S";
+    case GateKind::Sdg: return "Sdg";
+    case GateKind::T: return "T";
+    case GateKind::Tdg: return "Tdg";
+    case GateKind::Rx: return "Rx";
+    case GateKind::Rz: return "Rz";
+    case GateKind::Cz: return "CZ";
+    case GateKind::Cx: return "CX";
+    case GateKind::PhaseGadget: return "PG";
+    case GateKind::ControlledExpX: return "CExpX";
+  }
+  return "?";
+}
+
+bool Gate::is_parameterized() const noexcept {
+  switch (kind) {
+    case GateKind::Rx:
+    case GateKind::Rz:
+    case GateKind::PhaseGadget:
+    case GateKind::ControlledExpX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Gate::str() const {
+  std::ostringstream oss;
+  oss << gate_kind_name(kind) << "(";
+  for (std::size_t i = 0; i < qubits.size(); ++i)
+    oss << (i ? "," : "") << qubits[i];
+  if (is_parameterized()) oss << "; " << angle;
+  if (kind == GateKind::ControlledExpX) oss << "; ctrl=" << ctrl_value;
+  oss << ")";
+  return oss.str();
+}
+
+Circuit::Circuit(int num_qubits) : n_(num_qubits) {
+  MBQ_REQUIRE(num_qubits >= 1, "circuit needs >= 1 qubit, got " << num_qubits);
+}
+
+void Circuit::check_qubit(int q) const {
+  MBQ_REQUIRE(q >= 0 && q < n_,
+              "qubit " << q << " out of range [0," << n_ << ")");
+}
+
+void Circuit::check_distinct(const std::vector<int>& qs) const {
+  std::unordered_set<int> seen;
+  for (int q : qs) {
+    check_qubit(q);
+    MBQ_REQUIRE(seen.insert(q).second, "repeated qubit " << q << " in gate");
+  }
+}
+
+Circuit& Circuit::h(int q) { return append({GateKind::H, {q}}); }
+Circuit& Circuit::x(int q) { return append({GateKind::X, {q}}); }
+Circuit& Circuit::y(int q) { return append({GateKind::Y, {q}}); }
+Circuit& Circuit::z(int q) { return append({GateKind::Z, {q}}); }
+Circuit& Circuit::s(int q) { return append({GateKind::S, {q}}); }
+Circuit& Circuit::sdg(int q) { return append({GateKind::Sdg, {q}}); }
+Circuit& Circuit::t(int q) { return append({GateKind::T, {q}}); }
+Circuit& Circuit::tdg(int q) { return append({GateKind::Tdg, {q}}); }
+
+Circuit& Circuit::rx(int q, real theta) {
+  return append({GateKind::Rx, {q}, theta});
+}
+
+Circuit& Circuit::rz(int q, real theta) {
+  return append({GateKind::Rz, {q}, theta});
+}
+
+Circuit& Circuit::cz(int a, int b) { return append({GateKind::Cz, {a, b}}); }
+
+Circuit& Circuit::cx(int control, int target) {
+  return append({GateKind::Cx, {control, target}});
+}
+
+Circuit& Circuit::phase_gadget(std::vector<int> support, real theta) {
+  MBQ_REQUIRE(!support.empty(), "phase gadget needs non-empty support");
+  return append({GateKind::PhaseGadget, std::move(support), theta});
+}
+
+Circuit& Circuit::controlled_exp_x(int target, std::vector<int> controls,
+                                   real beta, int ctrl_value) {
+  MBQ_REQUIRE(ctrl_value == 0 || ctrl_value == 1, "ctrl_value must be 0/1");
+  std::vector<int> qs{target};
+  qs.insert(qs.end(), controls.begin(), controls.end());
+  Gate g{GateKind::ControlledExpX, std::move(qs), beta};
+  g.ctrl_value = ctrl_value;
+  return append(g);
+}
+
+Circuit& Circuit::append(const Gate& g) {
+  check_distinct(g.qubits);
+  switch (g.kind) {
+    case GateKind::Cz:
+    case GateKind::Cx:
+      MBQ_REQUIRE(g.qubits.size() == 2, "two-qubit gate needs 2 qubits");
+      break;
+    case GateKind::PhaseGadget:
+      MBQ_REQUIRE(!g.qubits.empty(), "phase gadget needs support");
+      break;
+    case GateKind::ControlledExpX:
+      MBQ_REQUIRE(!g.qubits.empty(), "controlled gate needs a target");
+      break;
+    default:
+      MBQ_REQUIRE(g.qubits.size() == 1, "single-qubit gate needs 1 qubit");
+  }
+  gates_.push_back(g);
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  MBQ_REQUIRE(other.n_ <= n_, "appended circuit is wider");
+  for (const Gate& g : other.gates_) append(g);
+  return *this;
+}
+
+void Circuit::apply_to(Statevector& sv) const {
+  MBQ_REQUIRE(sv.num_qubits() == n_,
+              "state width " << sv.num_qubits() << " != circuit width " << n_);
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::H: sv.apply_h(g.qubits[0]); break;
+      case GateKind::X: sv.apply_x(g.qubits[0]); break;
+      case GateKind::Y: sv.apply_1q(gates::y(), g.qubits[0]); break;
+      case GateKind::Z: sv.apply_z(g.qubits[0]); break;
+      case GateKind::S: sv.apply_rz(g.qubits[0], kPi / 2); break;
+      case GateKind::Sdg: sv.apply_rz(g.qubits[0], -kPi / 2); break;
+      case GateKind::T: sv.apply_rz(g.qubits[0], kPi / 4); break;
+      case GateKind::Tdg: sv.apply_rz(g.qubits[0], -kPi / 4); break;
+      case GateKind::Rx: sv.apply_rx(g.qubits[0], g.angle); break;
+      case GateKind::Rz: sv.apply_rz(g.qubits[0], g.angle); break;
+      case GateKind::Cz: sv.apply_cz(g.qubits[0], g.qubits[1]); break;
+      case GateKind::Cx: sv.apply_cx(g.qubits[0], g.qubits[1]); break;
+      case GateKind::PhaseGadget:
+        sv.apply_exp_zs(g.angle, g.qubits);
+        break;
+      case GateKind::ControlledExpX:
+        sv.apply_controlled_exp_x(
+            g.angle, g.qubits[0],
+            std::vector<int>(g.qubits.begin() + 1, g.qubits.end()),
+            g.ctrl_value);
+        break;
+    }
+  }
+}
+
+Matrix Circuit::unitary() const {
+  MBQ_REQUIRE(n_ <= 12, "unitary() limited to 12 qubits, have " << n_);
+  Matrix u = gates::identity_n(n_);
+  for (const Gate& g : gates_) {
+    Matrix step;
+    switch (g.kind) {
+      case GateKind::H: step = gates::embed1(gates::h(), g.qubits[0], n_); break;
+      case GateKind::X: step = gates::embed1(gates::x(), g.qubits[0], n_); break;
+      case GateKind::Y: step = gates::embed1(gates::y(), g.qubits[0], n_); break;
+      case GateKind::Z: step = gates::embed1(gates::z(), g.qubits[0], n_); break;
+      case GateKind::S: step = gates::embed1(gates::s(), g.qubits[0], n_); break;
+      case GateKind::Sdg:
+        step = gates::embed1(gates::sdg(), g.qubits[0], n_);
+        break;
+      case GateKind::T: step = gates::embed1(gates::t(), g.qubits[0], n_); break;
+      case GateKind::Tdg:
+        step = gates::embed1(gates::tdg(), g.qubits[0], n_);
+        break;
+      case GateKind::Rx:
+        step = gates::embed1(gates::rx(g.angle), g.qubits[0], n_);
+        break;
+      case GateKind::Rz:
+        step = gates::embed1(gates::rz(g.angle), g.qubits[0], n_);
+        break;
+      case GateKind::Cz:
+        step = gates::embed2(gates::cz(), g.qubits[0], g.qubits[1], n_);
+        break;
+      case GateKind::Cx:
+        step = gates::embed2(gates::cx(), g.qubits[0], g.qubits[1], n_);
+        break;
+      case GateKind::PhaseGadget:
+        step = gates::exp_zs(g.angle, g.qubits, n_);
+        break;
+      case GateKind::ControlledExpX:
+        step = gates::controlled_exp_x(
+            g.angle, g.qubits[0],
+            std::vector<int>(g.qubits.begin() + 1, g.qubits.end()),
+            g.ctrl_value, n_);
+        break;
+    }
+    u = step * u;
+  }
+  return u;
+}
+
+std::size_t Circuit::entangling_count_compiled() const {
+  std::size_t count = 0;
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::Cz:
+      case GateKind::Cx:
+        count += 1;
+        break;
+      case GateKind::PhaseGadget:
+        if (g.qubits.size() >= 2) count += 2 * (g.qubits.size() - 1);
+        break;
+      case GateKind::ControlledExpX: {
+        // Counted via the phase-polynomial expansion.
+        const std::size_t k = g.qubits.size() - 1;
+        for (std::size_t t = 1; t <= k; ++t) {
+          // Subsets of size t with the target appended: gadget width t+1.
+          // C(k, t) subsets, each 2*t CX.
+          std::size_t binom = 1;
+          for (std::size_t i = 0; i < t; ++i)
+            binom = binom * (k - i) / (i + 1);
+          count += binom * 2 * t;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return count;
+}
+
+Circuit Circuit::expand_controlled_gates() const {
+  Circuit out(n_);
+  for (const Gate& g : gates_) {
+    if (g.kind != GateKind::ControlledExpX) {
+      out.append(g);
+      continue;
+    }
+    const int target = g.qubits[0];
+    const std::vector<int> controls(g.qubits.begin() + 1, g.qubits.end());
+    const std::size_t k = controls.size();
+    MBQ_REQUIRE(k <= 20, "controlled gate with too many controls: " << k);
+    // exp(i beta X_t | controls == v) =
+    //   H_t * exp(i beta Z_t | controls == v) * H_t, and the controlled-Z
+    // rotation expands over subsets T of the controls:
+    //   exponent = beta * z_t * prod_c (1 + (-1)^v z_c)/2
+    //            = beta/2^k * sum_T (-1)^{v|T|} Z_{T ∪ {t}}.
+    // Each term exp(i a Z_S) is a PhaseGadget with theta = -2a.
+    out.h(target);
+    const real base = g.angle / static_cast<real>(1ULL << k);
+    for (std::uint64_t mask = 0; mask < (1ULL << k); ++mask) {
+      std::vector<int> support{target};
+      for (std::size_t i = 0; i < k; ++i)
+        if ((mask >> i) & 1ULL) support.push_back(controls[i]);
+      real coeff = base;
+      if (g.ctrl_value == 1 && (std::popcount(mask) & 1)) coeff = -coeff;
+      out.phase_gadget(std::move(support), -2.0 * coeff);
+    }
+    out.h(target);
+  }
+  return out;
+}
+
+std::string Circuit::str() const {
+  std::ostringstream oss;
+  oss << "Circuit(n=" << n_ << ", gates=" << gates_.size() << ")\n";
+  for (const Gate& g : gates_) oss << "  " << g.str() << "\n";
+  return oss.str();
+}
+
+}  // namespace mbq

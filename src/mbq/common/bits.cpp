@@ -1,0 +1,41 @@
+#include "mbq/common/bits.h"
+
+namespace mbq {
+
+std::vector<int> bits_of(std::uint64_t x, int n) {
+  MBQ_REQUIRE(n >= 0 && n <= 64, "bit count out of range: " << n);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[i] = get_bit(x, i);
+  return out;
+}
+
+std::uint64_t index_of(const std::vector<int>& bits) {
+  MBQ_REQUIRE(bits.size() <= 64, "too many bits: " << bits.size());
+  std::uint64_t x = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    MBQ_REQUIRE(bits[i] == 0 || bits[i] == 1,
+                "bit " << i << " is not 0/1: " << bits[i]);
+    x = set_bit(x, static_cast<int>(i), bits[i]);
+  }
+  return x;
+}
+
+std::string bitstring(std::uint64_t x, int n) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) s.push_back(get_bit(x, i) ? '1' : '0');
+  return s;
+}
+
+std::uint64_t parse_bitstring(const std::string& s) {
+  MBQ_REQUIRE(s.size() <= 64, "bitstring too long: " << s.size());
+  std::uint64_t x = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    MBQ_REQUIRE(s[i] == '0' || s[i] == '1',
+                "invalid character in bitstring: '" << s[i] << "'");
+    x = set_bit(x, static_cast<int>(i), s[i] == '1');
+  }
+  return x;
+}
+
+}  // namespace mbq

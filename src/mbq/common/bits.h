@@ -1,0 +1,60 @@
+#pragma once
+// Bit-manipulation helpers used by the simulators and cost evaluators.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbq/common/error.h"
+
+namespace mbq {
+
+/// Parity (XOR of all bits) of x.
+constexpr int parity64(std::uint64_t x) noexcept {
+  return std::popcount(x) & 1;
+}
+
+/// Bit `b` of x as 0/1.
+constexpr int get_bit(std::uint64_t x, int b) noexcept {
+  return static_cast<int>((x >> b) & 1ULL);
+}
+
+/// x with bit `b` set to `v`.
+constexpr std::uint64_t set_bit(std::uint64_t x, int b, int v) noexcept {
+  return v ? (x | (1ULL << b)) : (x & ~(1ULL << b));
+}
+
+/// x with bit `b` flipped.
+constexpr std::uint64_t flip_bit(std::uint64_t x, int b) noexcept {
+  return x ^ (1ULL << b);
+}
+
+/// Insert a 0 bit at position `b`, shifting higher bits up.
+/// insert_zero_bit(0b101, 1) == 0b1001.
+constexpr std::uint64_t insert_zero_bit(std::uint64_t x, int b) noexcept {
+  const std::uint64_t low = x & ((1ULL << b) - 1ULL);
+  const std::uint64_t high = (x >> b) << (b + 1);
+  return high | low;
+}
+
+/// Remove bit at position `b`, shifting higher bits down.
+constexpr std::uint64_t remove_bit(std::uint64_t x, int b) noexcept {
+  const std::uint64_t low = x & ((1ULL << b) - 1ULL);
+  const std::uint64_t high = (x >> (b + 1)) << b;
+  return high | low;
+}
+
+/// Little-endian bitstring -> vector of 0/1 ints (index i == qubit i).
+std::vector<int> bits_of(std::uint64_t x, int n);
+
+/// Inverse of bits_of.
+std::uint64_t index_of(const std::vector<int>& bits);
+
+/// "q0q1q2..." rendering, qubit 0 first.
+std::string bitstring(std::uint64_t x, int n);
+
+/// Parse a bitstring in the bitstring() format.
+std::uint64_t parse_bitstring(const std::string& s);
+
+}  // namespace mbq

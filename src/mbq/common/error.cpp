@@ -1,0 +1,20 @@
+#include "mbq/common/error.h"
+
+namespace mbq::detail {
+
+void throw_require_failure(const char* cond, const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream oss;
+  oss << "mbq: requirement violated: " << msg << " [" << cond << " at "
+      << file << ":" << line << "]";
+  throw Error(oss.str());
+}
+
+void throw_assert_failure(const char* cond, const char* file, int line) {
+  std::ostringstream oss;
+  oss << "mbq: internal invariant failed: " << cond << " at " << file << ":"
+      << line << " (please report)";
+  throw InternalError(oss.str());
+}
+
+}  // namespace mbq::detail

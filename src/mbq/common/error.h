@@ -1,0 +1,54 @@
+#pragma once
+// Error handling primitives for the mbq library.
+//
+// Library code validates preconditions with MBQ_REQUIRE (throws
+// mbq::Error) and internal invariants with MBQ_ASSERT (throws
+// mbq::InternalError).  Both are always on: the library is used for
+// correctness verification, so silent UB on bad input is never acceptable.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mbq {
+
+/// Base class for all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated internal invariant (a bug in mbq, not in user code).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* cond, const char* file,
+                                        int line, const std::string& msg);
+[[noreturn]] void throw_assert_failure(const char* cond, const char* file,
+                                       int line);
+}  // namespace detail
+
+}  // namespace mbq
+
+/// Precondition check; `msg` is a streamable expression, e.g.
+///   MBQ_REQUIRE(n > 0, "qubit count must be positive, got " << n);
+#define MBQ_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream mbq_oss_;                                      \
+      mbq_oss_ << msg; /* NOLINT */                                     \
+      ::mbq::detail::throw_require_failure(#cond, __FILE__, __LINE__,   \
+                                           mbq_oss_.str());             \
+    }                                                                   \
+  } while (false)
+
+/// Internal invariant check.
+#define MBQ_ASSERT(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::mbq::detail::throw_assert_failure(#cond, __FILE__, __LINE__);     \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,13 @@
+#include "mbq/common/parallel.h"
+
+namespace mbq {
+
+int num_threads() noexcept {
+#ifdef MBQ_HAS_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace mbq

@@ -1,0 +1,63 @@
+#pragma once
+// Thin OpenMP wrappers.
+//
+// The simulator kernels are expressed against these helpers so the library
+// builds (and tests identically) with or without OpenMP.  Grain-size
+// thresholds keep small problem instances on a single thread where the
+// fork/join overhead would dominate.
+
+#include <cstdint>
+
+#ifdef MBQ_HAS_OPENMP
+#include <omp.h>
+#endif
+
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+/// Number of threads the parallel helpers will use.
+int num_threads() noexcept;
+
+/// True when compiled with OpenMP support.
+constexpr bool has_openmp() noexcept {
+#ifdef MBQ_HAS_OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Minimum loop trip count before a kernel goes parallel; below this the
+/// serial path is faster on every machine we care about.
+inline constexpr std::int64_t kParallelGrain = 1 << 12;
+
+/// parallel_for(n, f): f(i) for i in [0, n), possibly in parallel.
+template <typename F>
+void parallel_for(std::int64_t n, F&& f) {
+#ifdef MBQ_HAS_OPENMP
+  if (n >= kParallelGrain) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < n; ++i) f(i);
+}
+
+/// Sum-reduction over [0, n) of a real-valued f(i).
+template <typename F>
+real parallel_sum(std::int64_t n, F&& f) {
+  real acc = 0.0;
+#ifdef MBQ_HAS_OPENMP
+  if (n >= kParallelGrain) {
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+    for (std::int64_t i = 0; i < n; ++i) acc += f(i);
+    return acc;
+  }
+#endif
+  for (std::int64_t i = 0; i < n; ++i) acc += f(i);
+  return acc;
+}
+
+}  // namespace mbq

@@ -1,0 +1,71 @@
+#include "mbq/common/signal.h"
+
+#include <algorithm>
+
+#include "mbq/common/error.h"
+
+namespace mbq {
+
+SignalExpr::SignalExpr(signal_t var) : vars_{var} {
+  MBQ_REQUIRE(var >= 0, "signal variable must be non-negative: " << var);
+}
+
+SignalExpr::SignalExpr(std::initializer_list<signal_t> vars) {
+  for (signal_t v : vars) *this ^= SignalExpr(v);
+}
+
+SignalExpr& SignalExpr::operator^=(const SignalExpr& other) {
+  // Merge two sorted unique lists, cancelling common elements.
+  std::vector<signal_t> merged;
+  merged.reserve(vars_.size() + other.vars_.size());
+  auto a = vars_.begin();
+  auto b = other.vars_.begin();
+  while (a != vars_.end() && b != other.vars_.end()) {
+    if (*a < *b) {
+      merged.push_back(*a++);
+    } else if (*b < *a) {
+      merged.push_back(*b++);
+    } else {  // equal: x ^ x == 0
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, vars_.end());
+  merged.insert(merged.end(), b, other.vars_.end());
+  vars_ = std::move(merged);
+  return *this;
+}
+
+bool SignalExpr::contains(signal_t v) const noexcept {
+  return std::binary_search(vars_.begin(), vars_.end(), v);
+}
+
+signal_t SignalExpr::max_variable() const noexcept {
+  return vars_.empty() ? signal_t{-1} : vars_.back();
+}
+
+int SignalExpr::evaluate(const std::vector<int>& outcomes) const {
+  int acc = 0;
+  for (signal_t v : vars_) {
+    MBQ_REQUIRE(static_cast<std::size_t>(v) < outcomes.size(),
+                "signal variable s" << v << " not yet measured");
+    const int bit = outcomes[static_cast<std::size_t>(v)];
+    MBQ_REQUIRE(bit == 0 || bit == 1,
+                "outcome for s" << v << " is not 0/1: " << bit);
+    acc ^= bit;
+  }
+  return acc;
+}
+
+std::string SignalExpr::str() const {
+  if (vars_.empty()) return "0";
+  std::string s;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (i) s += '^';
+    s += 's';
+    s += std::to_string(vars_[i]);
+  }
+  return s;
+}
+
+}  // namespace mbq

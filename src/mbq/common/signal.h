@@ -1,0 +1,54 @@
+#pragma once
+// Signal expressions: XOR-combinations of measurement-outcome variables.
+//
+// The measurement calculus (Danos-Kashefi-Panangaden) expresses adaptive
+// measurements and corrections through "signals": parities (XOR) of
+// previously measured outcomes.  In the paper these are the binary
+// variables n, n', m, m', and the neighbourhood parities P_u of Sec. III.
+// SignalExpr keeps the variable set sorted and duplicate-free so that
+// s ^ s == 0 holds structurally and expressions have a canonical form.
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+class SignalExpr {
+ public:
+  SignalExpr() = default;
+  /// Single-variable signal.
+  explicit SignalExpr(signal_t var);
+  SignalExpr(std::initializer_list<signal_t> vars);
+
+  /// XOR this expression with another (in place); duplicates cancel.
+  SignalExpr& operator^=(const SignalExpr& other);
+  friend SignalExpr operator^(SignalExpr a, const SignalExpr& b) {
+    a ^= b;
+    return a;
+  }
+
+  bool operator==(const SignalExpr&) const = default;
+
+  bool empty() const noexcept { return vars_.empty(); }
+  std::size_t size() const noexcept { return vars_.size(); }
+  const std::vector<signal_t>& variables() const noexcept { return vars_; }
+  bool contains(signal_t v) const noexcept;
+
+  /// Largest variable id referenced, or -1 if empty.
+  signal_t max_variable() const noexcept;
+
+  /// Evaluate given outcome values; outcomes[v] must be 0/1 for every
+  /// referenced variable v.  Throws if a variable is out of range.
+  int evaluate(const std::vector<int>& outcomes) const;
+
+  /// Rendering such as "s3^s7^s12" ("0" when empty).
+  std::string str() const;
+
+ private:
+  std::vector<signal_t> vars_;  // sorted, unique
+};
+
+}  // namespace mbq

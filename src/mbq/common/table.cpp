@@ -1,0 +1,113 @@
+#include "mbq/common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "mbq/common/error.h"
+
+namespace mbq {
+
+std::string format_real(real v, int precision) {
+  std::ostringstream oss;
+  oss << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  MBQ_REQUIRE(!columns_.empty(), "a table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) check_complete_row();
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  MBQ_REQUIRE(!rows_.empty(), "call row() before add()");
+  MBQ_REQUIRE(rows_.back().size() < columns_.size(),
+              "row already has " << columns_.size() << " cells");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+Table& Table::add(int v) { return add(std::to_string(v)); }
+Table& Table::add(real v, int precision) { return add(format_real(v, precision)); }
+Table& Table::add(bool v) { return add(std::string(v ? "yes" : "no")); }
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  MBQ_REQUIRE(r < rows_.size(), "row index out of range: " << r);
+  MBQ_REQUIRE(c < rows_[r].size(), "column index out of range: " << c);
+  return rows_[r][c];
+}
+
+void Table::check_complete_row() const {
+  MBQ_REQUIRE(rows_.back().size() == columns_.size(),
+              "incomplete table row: got " << rows_.back().size()
+                                           << " cells, expected "
+                                           << columns_.size());
+}
+
+std::string Table::markdown() const {
+  if (!rows_.empty()) check_complete_row();
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    oss << "|";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      oss << " " << s << std::string(width[c] - s.size(), ' ') << " |";
+    }
+    oss << "\n";
+  };
+  emit_row(columns_);
+  oss << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    oss << std::string(width[c] + 2, '-') << "|";
+  oss << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return oss.str();
+}
+
+std::string Table::csv() const {
+  if (!rows_.empty()) check_complete_row();
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    oss << (c ? "," : "") << quote(columns_[c]);
+  oss << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      oss << (c ? "," : "") << quote(r[c]);
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "### " << title << "\n\n";
+  os << markdown() << "\n";
+}
+
+}  // namespace mbq

@@ -1,0 +1,54 @@
+#pragma once
+// Markdown / CSV table emission for the experiment harnesses.
+//
+// Every bench binary reports its rows through a Table so the output format
+// matches across experiments and EXPERIMENTS.md can quote it verbatim.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Begin a new row; subsequent add() calls fill cells left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v);
+  Table& add(real v, int precision = 6);
+  Table& add(bool v);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  const std::vector<std::string>& column_names() const noexcept {
+    return columns_;
+  }
+  /// Cell accessor (row-major); throws on out-of-range.
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Render as a GitHub-flavoured markdown table.
+  std::string markdown() const;
+  /// Render as CSV (RFC-4180 quoting where needed).
+  std::string csv() const;
+  /// Print markdown with an optional title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  void check_complete_row() const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed-precision real -> string without trailing noise.
+std::string format_real(real v, int precision = 6);
+
+}  // namespace mbq

@@ -1,0 +1,26 @@
+#pragma once
+// Wall-clock timing for the experiment harnesses.
+
+#include <chrono>
+
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  real seconds() const {
+    return std::chrono::duration<real>(clock::now() - start_).count();
+  }
+  real milliseconds() const { return seconds() * 1e3; }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mbq

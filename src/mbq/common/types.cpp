@@ -1,0 +1,24 @@
+#include "mbq/common/types.h"
+
+#include <cmath>
+
+namespace mbq {
+
+real wrap_angle(real theta) noexcept {
+  theta = std::fmod(theta, kTwoPi);
+  if (theta > kPi) theta -= kTwoPi;
+  if (theta <= -kPi) theta += kTwoPi;
+  return theta;
+}
+
+bool is_pi_multiple(real theta, real tol) noexcept {
+  const real q = theta / kPi;
+  return std::abs(q - std::round(q)) <= tol;
+}
+
+bool angles_equal_mod_2pi(real a, real b, real tol) noexcept {
+  const real d = wrap_angle(a - b);
+  return std::abs(d) <= tol || std::abs(std::abs(d) - kTwoPi) <= tol;
+}
+
+}  // namespace mbq

@@ -1,0 +1,35 @@
+#pragma once
+// Fundamental scalar types and numeric constants shared across the library.
+
+#include <complex>
+#include <cstdint>
+
+namespace mbq {
+
+using real = double;
+using cplx = std::complex<double>;
+
+inline constexpr real kPi = 3.14159265358979323846264338327950288;
+inline constexpr real kTwoPi = 2.0 * kPi;
+inline constexpr cplx kI{0.0, 1.0};
+
+/// Default tolerance for floating-point comparisons of amplitudes,
+/// fidelities and tensor entries throughout tests and verification code.
+inline constexpr real kTol = 1e-9;
+
+/// Index of a qubit/wire inside a register or pattern.
+using qubit_t = std::int32_t;
+
+/// Measurement-outcome variable identifier inside a pattern.
+using signal_t = std::int32_t;
+
+/// Reduce an angle to the half-open interval (-pi, pi].
+real wrap_angle(real theta) noexcept;
+
+/// True if `theta` is an integer multiple of pi within `tol`.
+bool is_pi_multiple(real theta, real tol = 1e-12) noexcept;
+
+/// True if `a` and `b` are congruent modulo 2*pi within `tol`.
+bool angles_equal_mod_2pi(real a, real b, real tol = 1e-12) noexcept;
+
+}  // namespace mbq

@@ -1,0 +1,55 @@
+#pragma once
+// Iterative (quantum-enhanced greedy) optimization — the Sec. V outlook:
+// "the quantum device is used to estimate a set of observable
+// expectation values ... which results in a smaller problem, and the
+// process is iterated until the residual problem is small enough to be
+// solved exactly" (refs [56], [60], [61] of the paper).
+//
+// Concretely, for (weighted) MaxCut:
+//   1. run shallow MBQC-QAOA on the current weighted instance and
+//      estimate the edge correlations M_uv = <Z_u Z_v>;
+//   2. pick the edge with the largest |M_uv| and impose the relation
+//      x_u = x_v (M > 0) or x_u != x_v (M < 0);
+//   3. contract the two vertices (weights of parallel edges add, with a
+//      sign flip for anti-alignment), shrinking the instance by one;
+//   4. repeat until the residual instance is brute-forceable.
+// Every expectation is obtained through the measurement-based protocol.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbq/common/rng.h"
+#include "mbq/graph/graph.h"
+#include "mbq/qaoa/hamiltonian.h"
+
+namespace mbq::core {
+
+struct IterativeOptions {
+  /// Solve exactly once the instance has at most this many vertices.
+  int base_case_size = 4;
+  /// Grid resolution for the per-round (gamma, beta) search.
+  int angle_grid = 16;
+};
+
+struct IterativeRound {
+  int round = 0;
+  int vertices_left = 0;
+  Edge chosen{};
+  real correlation = 0.0;
+  bool anti_aligned = false;
+};
+
+struct IterativeResult {
+  std::uint64_t x = 0;   // assignment on the ORIGINAL vertices
+  real value = 0.0;      // cut value achieved
+  std::vector<IterativeRound> rounds;
+};
+
+/// Iterative MBQC-QAOA solver for weighted MaxCut.  `weights` indexed
+/// like g.edges(); pass all-ones for unweighted.
+IterativeResult iterative_maxcut(const Graph& g,
+                                 const std::vector<real>& weights,
+                                 const IterativeOptions& options, Rng& rng);
+
+}  // namespace mbq::core

@@ -1,0 +1,28 @@
+#include "mbq/core/mis.h"
+
+#include "mbq/qaoa/mixers.h"
+
+namespace mbq::core {
+
+CompiledPattern compile_mis_qaoa(const Graph& g, const qaoa::Angles& angles,
+                                 const CompileOptions& options) {
+  const int n = g.num_vertices();
+  // Pattern wires start in |+>; H turns them into the feasible |0...0>.
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) c.h(q);
+  c.append(qaoa::mis_qaoa_circuit(g, angles));
+  return compile_circuit_tailored(c, options);
+}
+
+std::int64_t mis_partial_mixer_gadget_count(const Graph& g, int v) {
+  return std::int64_t{1} << g.degree(v);
+}
+
+std::int64_t mis_mixer_layer_gadget_count(const Graph& g) {
+  std::int64_t total = 0;
+  for (int v = 0; v < g.num_vertices(); ++v)
+    total += mis_partial_mixer_gadget_count(g, v);
+  return total;
+}
+
+}  // namespace mbq::core

@@ -1,0 +1,29 @@
+#pragma once
+// MIS in the MBQC paradigm (Sec. IV).
+//
+// The partial mixer U_v(beta) = Lambda_{N(v)}(e^{i beta X_v}) is expanded
+// into multi-qubit phase gadgets (the phase-polynomial form of the
+// ZH-derived diagram: one parameterized interaction per subset of N(v)),
+// conjugated by Hadamards on v.  Every piece then maps to MBQC with the
+// same machinery as the QUBO case: phase gadgets use one YZ ancilla each
+// and the Hadamards are J(0) steps.  The gadget count is exponential in
+// deg(v) — the honest cost of a generic multi-controlled rotation, which
+// bench_mis quantifies.
+
+#include "mbq/core/compiler.h"
+#include "mbq/graph/graph.h"
+
+namespace mbq::core {
+
+/// Compile the full MIS-QAOA ansatz (initial feasible state |0...0>,
+/// initial mixer, then p phase/mixer layers) to a measurement pattern.
+CompiledPattern compile_mis_qaoa(const Graph& g, const qaoa::Angles& angles,
+                                 const CompileOptions& options = {});
+
+/// Number of YZ gadgets needed for one partial mixer on vertex v.
+std::int64_t mis_partial_mixer_gadget_count(const Graph& g, int v);
+
+/// Total gadgets for a full mixer layer.
+std::int64_t mis_mixer_layer_gadget_count(const Graph& g);
+
+}  // namespace mbq::core

@@ -1,0 +1,57 @@
+#pragma once
+// End-to-end MBQC-QAOA protocol: compile once, execute the adaptive
+// pattern per shot, read out the problem register.
+//
+// Because the compiled patterns are deterministic, a single run with
+// quantum corrections reproduces the exact QAOA state regardless of which
+// measurement branch was realized, so expectation values need one run
+// only.  Shot-based sampling re-executes the full adaptive protocol per
+// shot, exactly as hardware would.  The classical-correction mode skips
+// the terminal X/Z commands and instead flips the sampled bits with the
+// X byproduct parities (Z byproducts do not affect computational-basis
+// statistics) — the ablation of bench_ablations.
+
+#include <cstdint>
+
+#include "mbq/core/compiler.h"
+#include "mbq/qaoa/hamiltonian.h"
+
+namespace mbq::core {
+
+enum class CorrectionMode : std::uint8_t { Quantum, ClassicalPostProcess };
+
+struct ShotRecord {
+  std::uint64_t x = 0;
+  real cost = 0.0;
+};
+
+class MbqcQaoaSolver {
+ public:
+  explicit MbqcQaoaSolver(qaoa::CostHamiltonian cost,
+                          CorrectionMode mode = CorrectionMode::Quantum,
+                          LinearTermStyle linear_style =
+                              LinearTermStyle::Gadget);
+
+  const qaoa::CostHamiltonian& cost() const noexcept { return cost_; }
+
+  /// Exact <C> through the MBQC protocol (one adaptive pattern run).
+  real expectation(const qaoa::Angles& angles, Rng& rng) const;
+
+  /// Full protocol samples: per shot, run the adaptive pattern and
+  /// measure the output register (corrections per the configured mode).
+  std::vector<ShotRecord> sample(const qaoa::Angles& angles, int shots,
+                                 Rng& rng) const;
+
+  /// Best bitstring over a batch of shots.
+  ShotRecord best_of(const qaoa::Angles& angles, int shots, Rng& rng) const;
+
+  /// Compile for the given angles (exposed for inspection/benches).
+  CompiledPattern compile(const qaoa::Angles& angles) const;
+
+ private:
+  qaoa::CostHamiltonian cost_;
+  CorrectionMode mode_;
+  CompileOptions options_;
+};
+
+}  // namespace mbq::core

@@ -1,0 +1,39 @@
+#include "mbq/core/resources.h"
+
+namespace mbq::core {
+
+ResourceEstimate estimate_resources(const qaoa::CostHamiltonian& cost,
+                                    int p) {
+  ResourceEstimate r;
+  const int n = cost.num_qubits();
+  int per_layer_ancillas = 2 * n;   // mixer: two per vertex (Eq. (9))
+  int per_layer_entanglers = 2 * n; // mixer: two CZ per vertex
+  for (const auto& t : cost.terms()) {
+    per_layer_ancillas += 1;  // one gadget ancilla per term
+    per_layer_entanglers += static_cast<int>(t.support.size());
+  }
+  r.paper_ancilla_bound = p * per_layer_ancillas;
+  r.paper_entangler_bound = p * per_layer_entanglers;
+  r.gate_model_qubits = n;
+  // Standard compilation: each 2-local term costs 2 CX; k-local costs
+  // 2(k-1); linear terms cost none.
+  int per_layer_gate = 0;
+  for (const auto& t : cost.terms())
+    if (t.support.size() >= 2)
+      per_layer_gate += 2 * (static_cast<int>(t.support.size()) - 1);
+  r.gate_model_entanglers = p * per_layer_gate;
+  return r;
+}
+
+ResourceEstimate measure_resources(const qaoa::CostHamiltonian& cost, int p,
+                                   const CompiledPattern& compiled) {
+  ResourceEstimate r = estimate_resources(cost, p);
+  const auto& pat = compiled.pattern;
+  r.total_wires = pat.num_wires();
+  r.ancillas = pat.num_prepared() - cost.num_qubits();
+  r.entanglers = pat.num_entangling();
+  r.measurements = pat.num_measurements();
+  return r;
+}
+
+}  // namespace mbq::core

@@ -1,0 +1,44 @@
+#pragma once
+// Resource accounting (Sec. III-A of the paper).
+//
+// The paper bounds, for QAOA_p on an interaction graph (V, E) with no
+// single-qubit cost terms:
+//     N_Q <= p (|E| + 2|V|)          (ancilla qubits)
+//     N_E <= p (2|E| + 2|V|)         (CZ entanglers / graph-state edges)
+// plus one extra qubit and entangler per vertex per layer when linear
+// terms are present, and compares with the gate model (|V| qubits, at
+// least 2p|E| entangling gates for standard compilations).
+//
+// estimate() returns the closed-form bounds; measure() counts the actual
+// compiled pattern; the two must coincide for QUBO costs (tests assert
+// exact equality, reproducing the formulas rather than just bounding).
+
+#include "mbq/core/compiler.h"
+#include "mbq/qaoa/hamiltonian.h"
+
+namespace mbq::core {
+
+struct ResourceEstimate {
+  // Closed-form (paper) quantities.
+  int paper_ancilla_bound = 0;     // N_Q
+  int paper_entangler_bound = 0;   // N_E
+  int gate_model_qubits = 0;       // |V|
+  int gate_model_entanglers = 0;   // 2 p |E| (standard compilation)
+  // Measured quantities (filled by measure()).
+  int ancillas = 0;                // prepared wires minus |V|
+  int total_wires = 0;
+  int entanglers = 0;
+  int measurements = 0;
+};
+
+/// Closed-form estimate for QAOA_p on this cost function (general PUBO:
+/// one ancilla per term per layer, |S| entanglers per term, 2 per vertex
+/// for the mixer).
+ResourceEstimate estimate_resources(const qaoa::CostHamiltonian& cost, int p);
+
+/// Count the actual resources of a compiled pattern (fills the measured
+/// fields of an estimate for easy comparison).
+ResourceEstimate measure_resources(const qaoa::CostHamiltonian& cost, int p,
+                                   const CompiledPattern& compiled);
+
+}  // namespace mbq::core

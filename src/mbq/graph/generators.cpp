@@ -1,0 +1,128 @@
+#include "mbq/graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace mbq {
+
+Graph path_graph(int n) {
+  MBQ_REQUIRE(n >= 1, "path graph needs n >= 1, got " << n);
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  MBQ_REQUIRE(n >= 3, "cycle graph needs n >= 3, got " << n);
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph complete_graph(int n) {
+  MBQ_REQUIRE(n >= 1, "complete graph needs n >= 1, got " << n);
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph star_graph(int n) {
+  MBQ_REQUIRE(n >= 1, "star graph needs n >= 1, got " << n);
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph grid_graph(int rows, int cols) {
+  MBQ_REQUIRE(rows >= 1 && cols >= 1,
+              "grid needs positive dims, got " << rows << "x" << cols);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph complete_bipartite_graph(int a, int b) {
+  MBQ_REQUIRE(a >= 1 && b >= 1, "K_{a,b} needs a,b >= 1, got " << a << "," << b);
+  Graph g(a + b);
+  for (int u = 0; u < a; ++u)
+    for (int v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+Graph petersen_graph() {
+  Graph g(10);
+  // Outer 5-cycle, inner pentagram, spokes.
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  for (int i = 0; i < 5; ++i) g.add_edge(5 + i, 5 + (i + 2) % 5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, 5 + i);
+  return g;
+}
+
+Graph random_gnm_graph(int n, int m, Rng& rng) {
+  MBQ_REQUIRE(n >= 0, "negative n " << n);
+  const std::int64_t max_m =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  MBQ_REQUIRE(m >= 0 && m <= max_m,
+              "edge count " << m << " out of range [0, " << max_m << "]");
+  Graph g(n);
+  std::set<std::pair<int, int>> chosen;
+  while (static_cast<int>(chosen.size()) < m) {
+    int u = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+    int v = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (chosen.insert({u, v}).second) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph random_gnp_graph(int n, real p, Rng& rng) {
+  MBQ_REQUIRE(n >= 0, "negative n " << n);
+  MBQ_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range: " << p);
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph random_regular_graph(int n, int d, Rng& rng) {
+  MBQ_REQUIRE(n >= 1 && d >= 0, "bad parameters n=" << n << " d=" << d);
+  MBQ_REQUIRE(d < n, "degree " << d << " must be < n=" << n);
+  MBQ_REQUIRE((static_cast<std::int64_t>(n) * d) % 2 == 0,
+              "n*d must be even for a " << d << "-regular graph on " << n);
+  // Configuration model with rejection; expected O(1) restarts for the
+  // small degrees used in experiments.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (int v = 0; v < n; ++v)
+      for (int k = 0; k < d; ++k) stubs.push_back(v);
+    rng.shuffle(stubs);
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      const int u = stubs[i];
+      const int v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) {
+        ok = false;
+      } else {
+        g.add_edge(u, v);
+      }
+    }
+    if (ok) return g;
+  }
+  throw Error("random_regular_graph: failed to generate a simple graph "
+              "after 1000 attempts (n=" +
+              std::to_string(n) + ", d=" + std::to_string(d) + ")");
+}
+
+}  // namespace mbq

@@ -1,0 +1,32 @@
+#pragma once
+// Graph families used as problem instances and resource-state layouts.
+
+#include "mbq/common/rng.h"
+#include "mbq/graph/graph.h"
+
+namespace mbq {
+
+/// Path P_n: 0-1-2-...-(n-1).
+Graph path_graph(int n);
+/// Cycle C_n (n >= 3).
+Graph cycle_graph(int n);
+/// Complete graph K_n.
+Graph complete_graph(int n);
+/// Star S_n: vertex 0 joined to 1..n-1.
+Graph star_graph(int n);
+/// rows x cols 2D grid (the classic cluster-state layout).
+Graph grid_graph(int rows, int cols);
+/// Complete bipartite K_{a,b}; parts are [0,a) and [a,a+b).
+Graph complete_bipartite_graph(int a, int b);
+/// The Petersen graph (10 vertices, 15 edges, 3-regular).
+Graph petersen_graph();
+
+/// Erdos-Renyi G(n, m): exactly m distinct edges, uniformly at random.
+Graph random_gnm_graph(int n, int m, Rng& rng);
+/// Erdos-Renyi G(n, p): each edge independently with probability p.
+Graph random_gnp_graph(int n, real p, Rng& rng);
+/// Random d-regular graph via the configuration model with restarts
+/// (requires n*d even, d < n).
+Graph random_regular_graph(int n, int d, Rng& rng);
+
+}  // namespace mbq

@@ -1,0 +1,158 @@
+#include "mbq/graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace mbq {
+
+Graph::Graph(int num_vertices) {
+  MBQ_REQUIRE(num_vertices >= 0, "negative vertex count " << num_vertices);
+  adj_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+Graph::Graph(int num_vertices, const std::vector<Edge>& edges)
+    : Graph(num_vertices) {
+  for (const Edge& e : edges) add_edge(e.u, e.v);
+}
+
+void Graph::check_vertex(int v) const {
+  MBQ_REQUIRE(v >= 0 && v < num_vertices(),
+              "vertex " << v << " out of range [0, " << num_vertices() << ")");
+}
+
+int Graph::add_vertex() {
+  adj_.emplace_back();
+  return num_vertices() - 1;
+}
+
+void Graph::add_edge(int u, int v) {
+  check_vertex(u);
+  check_vertex(v);
+  MBQ_REQUIRE(u != v, "self-loop at vertex " << u);
+  MBQ_REQUIRE(!has_edge(u, v), "duplicate edge {" << u << "," << v << "}");
+  if (u > v) std::swap(u, v);
+  auto& au = adj_[u];
+  au.insert(std::upper_bound(au.begin(), au.end(), v), v);
+  auto& av = adj_[v];
+  av.insert(std::upper_bound(av.begin(), av.end(), u), u);
+  Edge e{u, v};
+  edges_.insert(std::upper_bound(edges_.begin(), edges_.end(), e), e);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) return false;
+  const auto& a = adj_[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+const std::vector<int>& Graph::neighbors(int v) const {
+  check_vertex(v);
+  return adj_[v];
+}
+
+int Graph::degree(int v) const {
+  check_vertex(v);
+  return static_cast<int>(adj_[v].size());
+}
+
+int Graph::max_degree() const noexcept {
+  int d = 0;
+  for (const auto& a : adj_) d = std::max(d, static_cast<int>(a.size()));
+  return d;
+}
+
+std::vector<int> Graph::isolated_vertices() const {
+  std::vector<int> out;
+  for (int v = 0; v < num_vertices(); ++v)
+    if (adj_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<std::vector<int>> Graph::connected_components() const {
+  std::vector<std::vector<int>> comps;
+  std::vector<char> seen(static_cast<std::size_t>(num_vertices()), 0);
+  for (int s = 0; s < num_vertices(); ++s) {
+    if (seen[s]) continue;
+    std::vector<int> comp;
+    std::queue<int> q;
+    q.push(s);
+    seen[s] = 1;
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      comp.push_back(v);
+      for (int w : adj_[v]) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          q.push(w);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+bool Graph::is_connected() const {
+  if (num_vertices() == 0) return true;
+  return connected_components().size() == 1;
+}
+
+int Graph::common_neighbor_count(int u, int v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& a = adj_[u];
+  const auto& b = adj_[v];
+  int count = 0;
+  auto i = a.begin();
+  auto j = b.begin();
+  while (i != a.end() && j != b.end()) {
+    if (*i < *j) ++i;
+    else if (*j < *i) ++j;
+    else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::int64_t Graph::triangle_count() const {
+  std::int64_t total = 0;
+  for (const Edge& e : edges_) total += common_neighbor_count(e.u, e.v);
+  return total / 3;
+}
+
+bool Graph::is_bipartite() const {
+  std::vector<int> color(static_cast<std::size_t>(num_vertices()), -1);
+  for (int s = 0; s < num_vertices(); ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    std::queue<int> q;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int w : adj_[v]) {
+        if (color[w] == -1) {
+          color[w] = 1 - color[v];
+          q.push(w);
+        } else if (color[w] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string Graph::str() const {
+  return "Graph(n=" + std::to_string(num_vertices()) +
+         ", m=" + std::to_string(num_edges()) + ")";
+}
+
+}  // namespace mbq

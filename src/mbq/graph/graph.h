@@ -1,0 +1,79 @@
+#pragma once
+// Undirected simple graphs.
+//
+// Graphs appear in three roles in this library: as optimization problem
+// instances (MaxCut, MIS), as the interaction graph of a cost Hamiltonian,
+// and as MBQC resource (cluster/graph) states.  The representation is a
+// sorted adjacency list per vertex plus a canonical edge list, which keeps
+// neighbourhood iteration, edge iteration and membership tests all cheap
+// for the sizes we simulate.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mbq/common/error.h"
+
+namespace mbq {
+
+/// An undirected edge; stored with u < v.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_vertices);
+  Graph(int num_vertices, const std::vector<Edge>& edges);
+
+  int num_vertices() const noexcept { return static_cast<int>(adj_.size()); }
+  int num_edges() const noexcept { return static_cast<int>(edges_.size()); }
+
+  /// Add an isolated vertex; returns its index.
+  int add_vertex();
+  /// Add edge {u, v}. Self-loops and duplicates are rejected.
+  void add_edge(int u, int v);
+  /// True if {u, v} is an edge.
+  bool has_edge(int u, int v) const;
+
+  /// Neighbours of v, sorted ascending.
+  const std::vector<int>& neighbors(int v) const;
+  int degree(int v) const;
+  int max_degree() const noexcept;
+  /// Edges with u < v, sorted lexicographically.
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Vertices adjacent to none; useful for sanity checks.
+  std::vector<int> isolated_vertices() const;
+
+  /// Connected components as vertex lists (BFS).
+  std::vector<std::vector<int>> connected_components() const;
+  bool is_connected() const;
+
+  /// Number of triangles through edge {u,v} (common neighbours); the
+  /// lambda_{uv} of the Wang et al. p=1 MaxCut formula.
+  int common_neighbor_count(int u, int v) const;
+  /// Total triangle count of the graph.
+  std::int64_t triangle_count() const;
+
+  /// Two-coloring if bipartite.
+  bool is_bipartite() const;
+
+  /// A human-readable summary like "Graph(n=5, m=6)".
+  std::string str() const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  void check_vertex(int v) const;
+
+  std::vector<std::vector<int>> adj_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace mbq

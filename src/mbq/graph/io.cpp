@@ -1,0 +1,38 @@
+#include "mbq/graph/io.h"
+
+#include <sstream>
+
+namespace mbq {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) os << e.u << " " << e.v << "\n";
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream oss;
+  write_edge_list(oss, g);
+  return oss.str();
+}
+
+Graph read_edge_list(std::istream& is) {
+  int n = -1, m = -1;
+  MBQ_REQUIRE(static_cast<bool>(is >> n >> m),
+              "edge list: missing header '<n> <m>'");
+  MBQ_REQUIRE(n >= 0 && m >= 0, "edge list: bad header n=" << n << " m=" << m);
+  Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    int u = -1, v = -1;
+    MBQ_REQUIRE(static_cast<bool>(is >> u >> v),
+                "edge list: expected " << m << " edges, got " << i);
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream iss(text);
+  return read_edge_list(iss);
+}
+
+}  // namespace mbq

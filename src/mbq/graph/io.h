@@ -1,0 +1,19 @@
+#pragma once
+// Plain-text edge-list serialization:
+//   line 1: "<num_vertices> <num_edges>"
+//   then one "u v" pair per line.
+
+#include <iosfwd>
+#include <string>
+
+#include "mbq/graph/graph.h"
+
+namespace mbq {
+
+std::string to_edge_list(const Graph& g);
+Graph from_edge_list(const std::string& text);
+
+void write_edge_list(std::ostream& os, const Graph& g);
+Graph read_edge_list(std::istream& is);
+
+}  // namespace mbq

@@ -1,0 +1,200 @@
+#include "mbq/linalg/dense.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace mbq {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols,
+               std::initializer_list<cplx> data)
+    : Matrix(rows, cols) {
+  MBQ_REQUIRE(data.size() == rows * cols,
+              "initializer has " << data.size() << " entries, expected "
+                                 << rows * cols);
+  std::copy(data.begin(), data.end(), data_.begin());
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+cplx& Matrix::operator()(std::size_t r, std::size_t c) {
+  MBQ_REQUIRE(r < rows_ && c < cols_,
+              "index (" << r << "," << c << ") out of " << rows_ << "x"
+                        << cols_);
+  return data_[r * cols_ + c];
+}
+
+const cplx& Matrix::operator()(std::size_t r, std::size_t c) const {
+  MBQ_REQUIRE(r < rows_ && c < cols_,
+              "index (" << r << "," << c << ") out of " << rows_ << "x"
+                        << cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  MBQ_REQUIRE(cols_ == rhs.rows_, "matmul shape mismatch: " << rows_ << "x"
+                                  << cols_ << " * " << rhs.rows_ << "x"
+                                  << rhs.cols_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = data_[i * cols_ + k];
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out.data_[i * rhs.cols_ + j] += a * rhs.data_[k * rhs.cols_ + j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  MBQ_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  MBQ_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(cplx scalar) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= scalar;
+  return out;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(c, r) = std::conj(data_[r * cols_ + c]);
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = data_[r * cols_ + c];
+  return out;
+}
+
+Matrix Matrix::conj() const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x = std::conj(x);
+  return out;
+}
+
+cplx Matrix::trace() const {
+  MBQ_REQUIRE(is_square(), "trace of non-square matrix");
+  cplx t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += data_[i * cols_ + i];
+  return t;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (std::size_t r1 = 0; r1 < rows_; ++r1)
+    for (std::size_t c1 = 0; c1 < cols_; ++c1) {
+      const cplx a = data_[r1 * cols_ + c1];
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t r2 = 0; r2 < rhs.rows_; ++r2)
+        for (std::size_t c2 = 0; c2 < rhs.cols_; ++c2)
+          out(r1 * rhs.rows_ + r2, c1 * rhs.cols_ + c2) =
+              a * rhs(r2, c2);
+    }
+  return out;
+}
+
+real Matrix::norm() const {
+  real s = 0.0;
+  for (const auto& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+real Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  MBQ_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+              "shape mismatch in max_abs_diff");
+  real m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+bool Matrix::is_unitary(real tol) const {
+  if (!is_square()) return false;
+  const Matrix p = (*this) * adjoint();
+  return max_abs_diff(p, identity(rows_)) <= tol;
+}
+
+bool Matrix::approx_equal(const Matrix& a, const Matrix& b, real tol) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+  return max_abs_diff(a, b) <= tol;
+}
+
+bool Matrix::approx_equal_up_to_phase(const Matrix& a, const Matrix& b,
+                                      real tol) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+  const real na = a.norm();
+  const real nb = b.norm();
+  if (na <= tol || nb <= tol) return na <= tol && nb <= tol;
+  // <A, B> = sum conj(a_ij) b_ij; equality up to scalar iff
+  // |<A,B>| == ||A|| * ||B||.
+  cplx dot = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    dot += std::conj(a.data_[i]) * b.data_[i];
+  return std::abs(std::abs(dot) - na * nb) <= tol * na * nb + tol;
+}
+
+std::string Matrix::str(int precision) const {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    oss << "[ ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx& x = data_[r * cols_ + c];
+      oss << x.real() << (x.imag() < 0 ? "-" : "+") << std::abs(x.imag())
+          << "i ";
+    }
+    oss << "]\n";
+  }
+  return oss.str();
+}
+
+std::vector<cplx> operator*(const Matrix& m, const std::vector<cplx>& v) {
+  MBQ_REQUIRE(m.cols() == v.size(), "matvec shape mismatch");
+  std::vector<cplx> out(m.rows(), cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out[r] += m(r, c) * v[c];
+  return out;
+}
+
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  MBQ_REQUIRE(a.size() == b.size(), "inner product shape mismatch");
+  cplx s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+real fidelity(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  const real na = std::real(inner(a, a));
+  const real nb = std::real(inner(b, b));
+  MBQ_REQUIRE(na > 0 && nb > 0, "fidelity of zero vector");
+  return std::norm(inner(a, b)) / (na * nb);
+}
+
+}  // namespace mbq

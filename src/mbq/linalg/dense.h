@@ -1,0 +1,82 @@
+#pragma once
+// Dense complex matrices.
+//
+// Sized for verification work (unitaries on <= ~12 qubits, ZX tensor
+// evaluation), not for the statevector hot path, which lives in mbq/sim.
+// Row-major storage, value semantics.
+
+#include <vector>
+
+#include "mbq/common/error.h"
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+  Matrix(std::size_t rows, std::size_t cols, std::initializer_list<cplx> data);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c);
+  const cplx& operator()(std::size_t r, std::size_t c) const;
+
+  const std::vector<cplx>& data() const noexcept { return data_; }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(cplx scalar) const;
+  friend Matrix operator*(cplx scalar, const Matrix& m) { return m * scalar; }
+
+  Matrix adjoint() const;
+  Matrix transpose() const;
+  Matrix conj() const;
+  cplx trace() const;
+
+  /// Kronecker product (this ⊗ rhs); qubit 0 of the result is the
+  /// LOW-order index of `this` block convention documented in kron().
+  Matrix kron(const Matrix& rhs) const;
+
+  /// Frobenius norm.
+  real norm() const;
+  /// max_ij |a_ij - b_ij|.
+  static real max_abs_diff(const Matrix& a, const Matrix& b);
+
+  bool is_square() const noexcept { return rows_ == cols_; }
+  /// ||U U† - I||_max <= tol.
+  bool is_unitary(real tol = kTol) const;
+
+  /// True if a == c * b for some unimodular-or-positive scalar c != 0
+  /// (equality up to global phase and normalization).
+  static bool approx_equal_up_to_phase(const Matrix& a, const Matrix& b,
+                                       real tol = kTol);
+  /// Strict elementwise comparison.
+  static bool approx_equal(const Matrix& a, const Matrix& b, real tol = kTol);
+
+  std::string str(int precision = 3) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Matrix-vector product.
+std::vector<cplx> operator*(const Matrix& m, const std::vector<cplx>& v);
+
+/// Inner product <a|b> (conjugate-linear in a).
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// |<a|b>|^2 / (<a|a><b|b>): squared fidelity of two (unnormalized) pure
+/// state vectors.
+real fidelity(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+}  // namespace mbq

@@ -1,0 +1,175 @@
+#include "mbq/linalg/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "mbq/common/bits.h"
+
+namespace mbq {
+
+Tensor::Tensor(std::vector<int> legs, std::vector<cplx> data)
+    : legs_(std::move(legs)), data_(std::move(data)) {
+  MBQ_REQUIRE(legs_.size() <= 30, "tensor rank too large: " << legs_.size());
+  std::unordered_set<int> seen(legs_.begin(), legs_.end());
+  MBQ_REQUIRE(seen.size() == legs_.size(), "duplicate leg ids in tensor");
+  MBQ_REQUIRE(data_.size() == (std::size_t{1} << legs_.size()),
+              "tensor data size " << data_.size() << " != 2^" << legs_.size());
+}
+
+Tensor Tensor::scalar(cplx value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+bool Tensor::has_leg(int leg) const noexcept {
+  return std::find(legs_.begin(), legs_.end(), leg) != legs_.end();
+}
+
+int Tensor::leg_position(int leg) const {
+  auto it = std::find(legs_.begin(), legs_.end(), leg);
+  MBQ_REQUIRE(it != legs_.end(), "tensor has no leg " << leg);
+  return static_cast<int>(it - legs_.begin());
+}
+
+cplx Tensor::at(const std::vector<int>& bits) const {
+  MBQ_REQUIRE(bits.size() == legs_.size(),
+              "expected " << legs_.size() << " bits, got " << bits.size());
+  return data_[index_of(bits)];
+}
+
+void Tensor::scale(cplx factor) {
+  for (auto& x : data_) x *= factor;
+}
+
+Tensor Tensor::permuted(const std::vector<int>& new_leg_order) const {
+  MBQ_REQUIRE(new_leg_order.size() == legs_.size(),
+              "permutation size mismatch");
+  std::vector<int> pos(new_leg_order.size());
+  for (std::size_t i = 0; i < new_leg_order.size(); ++i)
+    pos[i] = leg_position(new_leg_order[i]);
+  std::vector<cplx> out(data_.size());
+  const std::size_t n = legs_.size();
+  for (std::size_t idx = 0; idx < data_.size(); ++idx) {
+    // idx indexes the NEW layout; gather bit i from old position pos[i].
+    std::uint64_t old_idx = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      old_idx = set_bit(old_idx, pos[i], get_bit(idx, static_cast<int>(i)));
+    out[idx] = data_[old_idx];
+  }
+  return Tensor(new_leg_order, std::move(out));
+}
+
+Tensor Tensor::contract(const Tensor& a, const Tensor& b) {
+  // Identify shared legs.
+  std::vector<int> shared;
+  for (int leg : a.legs_)
+    if (b.has_leg(leg)) shared.push_back(leg);
+
+  std::vector<int> a_free, b_free;
+  for (int leg : a.legs_)
+    if (!b.has_leg(leg)) a_free.push_back(leg);
+  for (int leg : b.legs_)
+    if (!a.has_leg(leg)) b_free.push_back(leg);
+
+  std::vector<int> out_legs = a_free;
+  out_legs.insert(out_legs.end(), b_free.begin(), b_free.end());
+  MBQ_REQUIRE(out_legs.size() <= 30,
+              "contraction result rank too large: " << out_legs.size());
+
+  // Precompute bit positions.
+  std::vector<int> a_shared_pos, b_shared_pos, a_free_pos, b_free_pos;
+  for (int leg : shared) {
+    a_shared_pos.push_back(a.leg_position(leg));
+    b_shared_pos.push_back(b.leg_position(leg));
+  }
+  for (int leg : a_free) a_free_pos.push_back(a.leg_position(leg));
+  for (int leg : b_free) b_free_pos.push_back(b.leg_position(leg));
+
+  const std::size_t n_out = out_legs.size();
+  const std::size_t n_shared = shared.size();
+  const std::size_t na_free = a_free.size();
+  std::vector<cplx> out(std::size_t{1} << n_out, cplx{0.0, 0.0});
+
+  for (std::uint64_t o = 0; o < out.size(); ++o) {
+    cplx acc{0.0, 0.0};
+    for (std::uint64_t s = 0; s < (std::uint64_t{1} << n_shared); ++s) {
+      std::uint64_t ia = 0, ib = 0;
+      for (std::size_t i = 0; i < na_free; ++i)
+        ia = set_bit(ia, a_free_pos[i], get_bit(o, static_cast<int>(i)));
+      for (std::size_t i = 0; i < b_free_pos.size(); ++i)
+        ib = set_bit(ib, b_free_pos[i],
+                     get_bit(o, static_cast<int>(na_free + i)));
+      for (std::size_t i = 0; i < n_shared; ++i) {
+        const int bit = get_bit(s, static_cast<int>(i));
+        ia = set_bit(ia, a_shared_pos[i], bit);
+        ib = set_bit(ib, b_shared_pos[i], bit);
+      }
+      acc += a.data_[ia] * b.data_[ib];
+    }
+    out[o] = acc;
+  }
+  return Tensor(std::move(out_legs), std::move(out));
+}
+
+Tensor Tensor::self_contract(int leg_a, int leg_b) const {
+  MBQ_REQUIRE(leg_a != leg_b, "self_contract needs two distinct legs");
+  const int pa = leg_position(leg_a);
+  const int pb = leg_position(leg_b);
+  std::vector<int> out_legs;
+  for (int leg : legs_)
+    if (leg != leg_a && leg != leg_b) out_legs.push_back(leg);
+  std::vector<int> out_pos;
+  for (int leg : out_legs) out_pos.push_back(leg_position(leg));
+
+  std::vector<cplx> out(std::size_t{1} << out_legs.size(), cplx{0.0, 0.0});
+  for (std::uint64_t o = 0; o < out.size(); ++o) {
+    cplx acc{0.0, 0.0};
+    for (int bit = 0; bit < 2; ++bit) {
+      std::uint64_t idx = 0;
+      for (std::size_t i = 0; i < out_pos.size(); ++i)
+        idx = set_bit(idx, out_pos[i], get_bit(o, static_cast<int>(i)));
+      idx = set_bit(idx, pa, bit);
+      idx = set_bit(idx, pb, bit);
+      acc += data_[idx];
+    }
+    out[o] = acc;
+  }
+  return Tensor(std::move(out_legs), std::move(out));
+}
+
+real Tensor::norm() const {
+  real s = 0.0;
+  for (const auto& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+real Tensor::proportionality_distance(const Tensor& a, const Tensor& b) {
+  std::vector<int> sa = a.legs_, sb = b.legs_;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  MBQ_REQUIRE(sa == sb, "proportionality_distance: leg sets differ");
+  const Tensor bb = b.permuted(a.legs_);
+  const real na = a.norm();
+  const real nb = bb.norm();
+  if (na == 0.0 || nb == 0.0) return (na == 0.0 && nb == 0.0) ? 0.0 : 1.0;
+  cplx dot{0.0, 0.0};
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    dot += std::conj(a.data_[i]) * bb.data_[i];
+  return 1.0 - std::abs(dot) / (na * nb);
+}
+
+real Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  std::vector<int> sa = a.legs_, sb = b.legs_;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  MBQ_REQUIRE(sa == sb, "max_abs_diff: leg sets differ");
+  const Tensor bb = b.permuted(a.legs_);
+  real m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::abs(a.data_[i] - bb.data_[i]));
+  return m;
+}
+
+}  // namespace mbq

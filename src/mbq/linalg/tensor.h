@@ -1,0 +1,65 @@
+#pragma once
+// Small dense tensors over qubit-sized (dimension-2) legs, used to give
+// ZX-diagrams their linear-map semantics by pairwise contraction.
+//
+// A Tensor owns a list of leg identifiers (arbitrary distinct ints; in ZX
+// evaluation these are edge ids) and 2^rank amplitudes.  Leg 0 of the legs
+// vector addresses the least-significant bit of the flat index.
+
+#include <vector>
+
+#include "mbq/common/error.h"
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+class Tensor {
+ public:
+  Tensor() : data_{cplx{1.0, 0.0}} {}  // rank-0 scalar 1
+  Tensor(std::vector<int> legs, std::vector<cplx> data);
+
+  /// Scalar tensor.
+  static Tensor scalar(cplx value);
+
+  int rank() const noexcept { return static_cast<int>(legs_.size()); }
+  const std::vector<int>& legs() const noexcept { return legs_; }
+  const std::vector<cplx>& data() const noexcept { return data_; }
+
+  bool has_leg(int leg) const noexcept;
+  /// Position of `leg` in legs(); throws if absent.
+  int leg_position(int leg) const;
+
+  /// Amplitude for the assignment bits[i] of legs()[i].
+  cplx at(const std::vector<int>& bits) const;
+
+  /// Multiply all amplitudes by a scalar.
+  void scale(cplx factor);
+
+  /// Reorder legs into the given order (must be a permutation of legs()).
+  Tensor permuted(const std::vector<int>& new_leg_order) const;
+
+  /// Contract two tensors over ALL legs they share (Einstein summation on
+  /// common leg ids).  Shared legs must appear exactly once in each.
+  static Tensor contract(const Tensor& a, const Tensor& b);
+
+  /// Contract two legs of the same tensor (partial trace over a wire that
+  /// loops back); both legs are removed.
+  Tensor self_contract(int leg_a, int leg_b) const;
+
+  /// L2 norm of all amplitudes.
+  real norm() const;
+
+  /// Cosine distance 1 - |<a,b>| / (|a||b|) after aligning leg orders;
+  /// 0 means proportional (equal up to a scalar).  Throws if the leg sets
+  /// differ.
+  static real proportionality_distance(const Tensor& a, const Tensor& b);
+
+  /// Strict max-abs difference after aligning leg order.
+  static real max_abs_diff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::vector<int> legs_;
+  std::vector<cplx> data_;
+};
+
+}  // namespace mbq

@@ -1,0 +1,171 @@
+#include "mbq/linalg/unitaries.h"
+
+#include <cmath>
+
+#include "mbq/common/bits.h"
+
+namespace mbq::gates {
+
+namespace {
+const real kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}
+
+Matrix id2() { return Matrix::identity(2); }
+
+Matrix x() { return Matrix(2, 2, {0, 1, 1, 0}); }
+
+Matrix y() {
+  return Matrix(2, 2, {0, cplx{0, -1}, cplx{0, 1}, 0});
+}
+
+Matrix z() { return Matrix(2, 2, {1, 0, 0, -1}); }
+
+Matrix h() {
+  return Matrix(2, 2, {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2});
+}
+
+Matrix s() { return Matrix(2, 2, {1, 0, 0, kI}); }
+Matrix sdg() { return Matrix(2, 2, {1, 0, 0, -kI}); }
+
+Matrix t() {
+  return Matrix(2, 2, {1, 0, 0, std::exp(kI * (kPi / 4))});
+}
+
+Matrix tdg() {
+  return Matrix(2, 2, {1, 0, 0, std::exp(-kI * (kPi / 4))});
+}
+
+Matrix rz(real theta) {
+  return Matrix(2, 2, {1, 0, 0, std::exp(kI * theta)});
+}
+
+Matrix rx(real theta) { return h() * rz(theta) * h(); }
+
+Matrix ry(real theta) {
+  // sdg * rx(theta) * s in our convention equals a Y-axis rotation up to
+  // phase; define directly for clarity.
+  const real c = std::cos(theta / 2), sn = std::sin(theta / 2);
+  return std::exp(kI * (theta / 2)) *
+         Matrix(2, 2, {c, -sn, sn, c});
+}
+
+Matrix exp_z(real theta) {
+  return Matrix(2, 2,
+                {std::exp(-kI * (theta / 2)), 0, 0, std::exp(kI * (theta / 2))});
+}
+
+Matrix exp_x(real theta) { return h() * exp_z(theta) * h(); }
+
+Matrix j(real alpha) { return h() * rz(alpha); }
+
+Matrix cz() {
+  Matrix m = Matrix::identity(4);
+  m(3, 3) = -1.0;
+  return m;
+}
+
+Matrix cx() {
+  // control = qubit 0 (low bit): |x1 x0> -> |x1 ^ x0, x0>.
+  Matrix m(4, 4);
+  m(0, 0) = 1;  // |00> -> |00>
+  m(3, 1) = 1;  // |01> -> |11>   (x0=1 flips x1)
+  m(2, 2) = 1;  // |10> -> |10>
+  m(1, 3) = 1;  // |11> -> |01>
+  return m;
+}
+
+Matrix swap2() {
+  Matrix m(4, 4);
+  m(0, 0) = m(3, 3) = 1;
+  m(1, 2) = m(2, 1) = 1;
+  return m;
+}
+
+Matrix proj0() { return Matrix(2, 2, {1, 0, 0, 0}); }
+Matrix proj1() { return Matrix(2, 2, {0, 0, 0, 1}); }
+
+Matrix identity_n(int n) {
+  MBQ_REQUIRE(n >= 0 && n <= 16, "identity_n: n out of range " << n);
+  return Matrix::identity(std::size_t{1} << n);
+}
+
+Matrix embed1(const Matrix& u, int q, int n) {
+  MBQ_REQUIRE(u.rows() == 2 && u.cols() == 2, "embed1 needs a 2x2 matrix");
+  MBQ_REQUIRE(q >= 0 && q < n, "qubit " << q << " out of range [0," << n << ")");
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix out(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    const int b = get_bit(col, q);
+    for (int rbit = 0; rbit < 2; ++rbit) {
+      const cplx a = u(rbit, b);
+      if (a == cplx{0.0, 0.0}) continue;
+      const std::size_t row = set_bit(col, q, rbit);
+      out(row, col) += a;
+    }
+  }
+  return out;
+}
+
+Matrix embed2(const Matrix& u, int q0, int q1, int n) {
+  MBQ_REQUIRE(u.rows() == 4 && u.cols() == 4, "embed2 needs a 4x4 matrix");
+  MBQ_REQUIRE(q0 != q1, "embed2 needs distinct qubits");
+  MBQ_REQUIRE(q0 >= 0 && q0 < n && q1 >= 0 && q1 < n, "qubit out of range");
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix out(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    const int b0 = get_bit(col, q0);
+    const int b1 = get_bit(col, q1);
+    const int colsub = b0 | (b1 << 1);
+    for (int rowsub = 0; rowsub < 4; ++rowsub) {
+      const cplx a = u(rowsub, colsub);
+      if (a == cplx{0.0, 0.0}) continue;
+      std::size_t row = set_bit(col, q0, rowsub & 1);
+      row = set_bit(row, q1, (rowsub >> 1) & 1);
+      out(row, col) += a;
+    }
+  }
+  return out;
+}
+
+Matrix exp_zs(real theta, const std::vector<int>& support, int n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix out(dim, dim);
+  std::uint64_t mask = 0;
+  for (int q : support) {
+    MBQ_REQUIRE(q >= 0 && q < n, "support qubit out of range: " << q);
+    mask |= (1ULL << q);
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    const int par = parity64(i & mask);
+    out(i, i) = std::exp(-kI * (theta / 2) * (par ? -1.0 : 1.0));
+  }
+  return out;
+}
+
+Matrix controlled_exp_x(real beta, int target, const std::vector<int>& controls,
+                        int ctrl_value, int n) {
+  MBQ_REQUIRE(ctrl_value == 0 || ctrl_value == 1, "ctrl_value must be 0/1");
+  MBQ_REQUIRE(target >= 0 && target < n, "target out of range");
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix out = Matrix::identity(dim);
+  // e^{i beta X} = cos(beta) I + i sin(beta) X.
+  const cplx c = std::cos(beta);
+  const cplx is = kI * std::sin(beta);
+  for (std::size_t col = 0; col < dim; ++col) {
+    bool active = true;
+    for (int q : controls) {
+      MBQ_REQUIRE(q >= 0 && q < n && q != target, "bad control qubit " << q);
+      if (get_bit(col, q) != ctrl_value) {
+        active = false;
+        break;
+      }
+    }
+    if (!active) continue;
+    const std::size_t flip = flip_bit(col, target);
+    out(col, col) = c;
+    out(flip, col) = is;
+  }
+  return out;
+}
+
+}  // namespace mbq::gates

@@ -1,0 +1,61 @@
+#pragma once
+// Standard gate unitaries as dense matrices (the oracle side of tests).
+//
+// Convention (matches DESIGN.md and the ZX Z-spider semantics):
+//   rz(theta) = diag(1, e^{i theta})        -- NOT the e^{∓i theta/2} form
+//   rx(theta) = H rz(theta) H
+//   j(alpha)  = H rz(alpha)                 -- the MBQC building block
+// Multi-qubit embeddings use little-endian qubit order: qubit 0 indexes
+// the least-significant bit of the basis state.
+
+#include "mbq/linalg/dense.h"
+
+namespace mbq::gates {
+
+Matrix id2();
+Matrix x();
+Matrix y();
+Matrix z();
+Matrix h();
+Matrix s();
+Matrix sdg();
+Matrix t();
+Matrix tdg();
+Matrix rz(real theta);
+Matrix rx(real theta);
+Matrix ry(real theta);
+/// Physics-convention rotations exp(-i theta P / 2); used by QAOA oracles.
+Matrix exp_z(real theta);
+Matrix exp_x(real theta);
+/// J(alpha) = H rz(alpha), the universal MBQC primitive.
+Matrix j(real alpha);
+Matrix cz();
+Matrix cx();  // control = qubit 0 (low bit), target = qubit 1
+Matrix swap2();
+
+/// Projectors |0><0|, |1><1|.
+Matrix proj0();
+Matrix proj1();
+
+/// n-qubit identity.
+Matrix identity_n(int n);
+
+/// Embed a single-qubit gate at qubit `q` of an n-qubit register.
+Matrix embed1(const Matrix& u, int q, int n);
+/// Embed a two-qubit gate given its action on (q0 -> low bit, q1 -> high
+/// bit of the 4x4 matrix).
+Matrix embed2(const Matrix& u, int q0, int q1, int n);
+
+/// exp(-i theta/2 * Z_S) on n qubits for a set S of qubit indices
+/// (diagonal); the phase-gadget oracle.
+Matrix exp_zs(real theta, const std::vector<int>& support, int n);
+
+/// Multi-controlled rx: applies rx-style rotation exp(-i beta X_target)
+/// iff every control qubit is in |ctrl_value>.  Oracle for the MIS partial
+/// mixer Lambda_{N(v)}(e^{i beta X_v}) (ctrl_value = 0, angle -2*beta...
+/// see mis.h for the exact mapping used).
+Matrix controlled_exp_x(real beta, int target,
+                        const std::vector<int>& controls, int ctrl_value,
+                        int n);
+
+}  // namespace mbq::gates

@@ -1,0 +1,108 @@
+#include "mbq/mbqc/clifford_runner.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "mbq/common/error.h"
+
+namespace mbq::mbqc {
+
+namespace {
+
+/// Quantize an angle to k * pi/2; returns k in {0,1,2,3} or -1.
+int quarter_turns(real angle) {
+  const real q = angle / (kPi / 2);
+  const real r = std::round(q);
+  if (std::abs(q - r) > 1e-9) return -1;
+  int k = static_cast<int>(r) % 4;
+  if (k < 0) k += 4;
+  return k;
+}
+
+}  // namespace
+
+bool is_clifford_pattern(const Pattern& p) {
+  for (const Command& c : p.commands()) {
+    if (const auto* m = std::get_if<CmdMeasure>(&c)) {
+      if (quarter_turns(m->angle) < 0) return false;
+    }
+  }
+  return true;
+}
+
+CliffordRunResult run_clifford(const Pattern& p, Rng& rng) {
+  p.validate();
+  MBQ_REQUIRE(is_clifford_pattern(p),
+              "pattern has non-Clifford measurement angles");
+
+  // Map wires to tableau qubits.
+  std::unordered_map<int, int> qubit_of_wire;
+  int next = 0;
+  for (int w : p.inputs()) qubit_of_wire[w] = next++;
+  for (const Command& c : p.commands())
+    if (const auto* n = std::get_if<CmdPrep>(&c))
+      qubit_of_wire[n->wire] = next++;
+  MBQ_REQUIRE(next >= 1, "empty pattern");
+
+  Tableau t(next);
+  for (int q = 0; q < next; ++q) t.apply_h(q);  // everything starts |+>
+
+  std::vector<int> outcomes;
+  for (const Command& c : p.commands()) {
+    if (std::holds_alternative<CmdPrep>(c)) {
+      // already prepared in |+>
+    } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+      t.apply_cz(qubit_of_wire.at(e->a), qubit_of_wire.at(e->b));
+    } else if (const auto* m = std::get_if<CmdMeasure>(&c)) {
+      const int q = qubit_of_wire.at(m->wire);
+      const int s = m->s_domain.evaluate(outcomes);
+      const int tt = m->t_domain.evaluate(outcomes);
+      const real angle = (s ? -1.0 : 1.0) * m->angle;
+      const int k = quarter_turns(angle);
+      MBQ_ASSERT(k >= 0);
+      // Map (plane, k * pi/2) to a Pauli measurement and an outcome flip:
+      //   XY: 0 -> +X, 1 -> +Y, 2 -> -X, 3 -> -Y
+      //   YZ: 0 -> +Z, 1 -> +Y, 2 -> -Z, 3 -> -Y
+      // (X plane == XY(0); Z plane == YZ(0).)
+      int raw = 0;
+      int flip = 0;
+      switch (m->plane) {
+        case MeasBasis::X:
+          raw = t.measure_x(q, rng);
+          break;
+        case MeasBasis::Z:
+          raw = t.measure_z(q, rng);
+          break;
+        case MeasBasis::XY:
+          switch (k) {
+            case 0: raw = t.measure_x(q, rng); break;
+            case 1: raw = t.measure_y(q, rng); break;
+            case 2: raw = t.measure_x(q, rng); flip = 1; break;
+            case 3: raw = t.measure_y(q, rng); flip = 1; break;
+          }
+          break;
+        case MeasBasis::YZ:
+          switch (k) {
+            case 0: raw = t.measure_z(q, rng); break;
+            case 1: raw = t.measure_y(q, rng); break;
+            case 2: raw = t.measure_z(q, rng); flip = 1; break;
+            case 3: raw = t.measure_y(q, rng); flip = 1; break;
+          }
+          break;
+      }
+      outcomes.push_back(raw ^ flip ^ tt);
+    } else if (const auto* x = std::get_if<CmdCorrectX>(&c)) {
+      if (x->domain.evaluate(outcomes))
+        t.apply_x(qubit_of_wire.at(x->wire));
+    } else if (const auto* z = std::get_if<CmdCorrectZ>(&c)) {
+      if (z->domain.evaluate(outcomes))
+        t.apply_z(qubit_of_wire.at(z->wire));
+    }
+  }
+
+  CliffordRunResult result{std::move(outcomes), std::move(t), {}};
+  for (int w : p.outputs()) result.output_qubits.push_back(qubit_of_wire.at(w));
+  return result;
+}
+
+}  // namespace mbq::mbqc

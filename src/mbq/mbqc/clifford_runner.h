@@ -1,0 +1,33 @@
+#pragma once
+// Pattern execution on the stabilizer simulator.
+//
+// At Clifford parameter points (all measurement angles multiples of
+// pi/2) every pattern measurement is a Pauli measurement, so the whole
+// adaptive protocol runs on the tableau — resource states of hundreds or
+// thousands of qubits become tractable (bench_stab_large).  Wires are
+// mapped onto tableau qubits up front (no reuse; the tableau is cheap).
+
+#include "mbq/common/rng.h"
+#include "mbq/mbqc/pattern.h"
+#include "mbq/stab/tableau.h"
+
+namespace mbq::mbqc {
+
+/// True if every measurement angle is a multiple of pi/2 (pattern
+/// executable on a stabilizer simulator).
+bool is_clifford_pattern(const Pattern& p);
+
+struct CliffordRunResult {
+  std::vector<int> outcomes;  // recorded outcomes, in command order
+  /// Tableau of the full register after the run; output wires are the
+  /// interesting qubits, the rest are collapsed ancillas.
+  Tableau tableau;
+  /// Tableau qubit index per output wire.
+  std::vector<int> output_qubits;
+};
+
+/// Execute a Clifford pattern (throws if !is_clifford_pattern).  Input
+/// wires are initialized to |+>.
+CliffordRunResult run_clifford(const Pattern& p, Rng& rng);
+
+}  // namespace mbq::mbqc

@@ -1,0 +1,83 @@
+#include "mbq/mbqc/flow.h"
+
+#include <set>
+
+namespace mbq::mbqc {
+
+std::optional<CausalFlow> find_causal_flow(const OpenGraph& og) {
+  const int n = og.num_vertices();
+  for (int v = 0; v < n; ++v) {
+    if (og.measured[v] && og.plane[v] != MeasBasis::XY &&
+        og.plane[v] != MeasBasis::X)
+      return std::nullopt;
+  }
+  CausalFlow flow;
+  flow.f.assign(n, -1);
+  flow.layer.assign(n, 0);
+
+  std::set<int> done;      // vertices whose measurement is "scheduled"
+  std::set<int> correctors;  // vertices available as f-images
+  const std::set<int> inputs(og.input_vertices.begin(),
+                             og.input_vertices.end());
+  for (int v : og.output_vertices) {
+    done.insert(v);
+    if (!inputs.count(v)) correctors.insert(v);
+  }
+
+  int layer = 1;
+  int remaining = 0;
+  for (int v = 0; v < n; ++v) remaining += og.measured[v];
+
+  while (remaining > 0) {
+    std::vector<std::pair<int, int>> found;  // (u, corrector)
+    for (int v : correctors) {
+      int unprocessed = -1;
+      int count = 0;
+      for (int w : og.g.neighbors(v)) {
+        if (!done.count(w)) {
+          unprocessed = w;
+          ++count;
+        }
+      }
+      if (count == 1 && og.measured[unprocessed]) {
+        found.push_back({unprocessed, v});
+      }
+    }
+    if (found.empty()) return std::nullopt;
+    for (const auto& [u, v] : found) {
+      if (done.count(u)) continue;  // already claimed this sweep
+      flow.f[u] = v;
+      flow.layer[u] = layer;
+      done.insert(u);
+      correctors.erase(v);
+      if (!inputs.count(u)) correctors.insert(u);
+      --remaining;
+    }
+    ++layer;
+  }
+  return flow;
+}
+
+bool verify_causal_flow(const OpenGraph& og, const CausalFlow& flow) {
+  const int n = og.num_vertices();
+  // "u before w" in the induced order: layer[u] > layer[w], or they are
+  // unordered (same layer) which is only acceptable when the condition
+  // does not relate them.  The defining conditions need strict order.
+  auto strictly_before = [&](int u, int w) {
+    return flow.layer[u] > flow.layer[w];
+  };
+  for (int u = 0; u < n; ++u) {
+    if (!og.measured[u]) continue;
+    const int v = flow.f[u];
+    if (v < 0) return false;
+    if (!og.g.has_edge(u, v)) return false;
+    if (!strictly_before(u, v)) return false;
+    for (int w : og.g.neighbors(v)) {
+      if (w == u) continue;
+      if (!strictly_before(u, w) && w != u) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mbq::mbqc

@@ -1,0 +1,30 @@
+#pragma once
+// Causal flow (Danos & Kashefi, ref [32]): the simplest sufficient
+// condition for a deterministic XY-plane pattern on an open graph.
+
+#include <optional>
+#include <vector>
+
+#include "mbq/mbqc/open_graph.h"
+
+namespace mbq::mbqc {
+
+struct CausalFlow {
+  /// Correcting vertex per measured vertex (-1 for outputs).
+  std::vector<int> f;
+  /// Layer number per vertex; outputs are layer 0 and layers increase
+  /// toward earlier measurements (u is measured before v iff
+  /// layer[u] > layer[v] whenever the order matters).
+  std::vector<int> layer;
+};
+
+/// Find a causal flow, or nullopt if none exists.  Requires every measured
+/// vertex to use the XY plane (or X, which is XY at angle 0); other planes
+/// make causal flow inapplicable and also return nullopt.
+std::optional<CausalFlow> find_causal_flow(const OpenGraph& og);
+
+/// Check the defining conditions: u ~ f(u); u before f(u); u before every
+/// other neighbour of f(u).
+bool verify_causal_flow(const OpenGraph& og, const CausalFlow& flow);
+
+}  // namespace mbq::mbqc

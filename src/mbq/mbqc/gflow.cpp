@@ -1,0 +1,166 @@
+#include "mbq/mbqc/gflow.h"
+
+#include <algorithm>
+#include <set>
+
+#include "mbq/common/error.h"
+
+namespace mbq::mbqc {
+
+namespace {
+
+/// Solve A x = b over GF(2); A is rows x cols bit matrix (row-major
+/// vector<vector<char>>).  Returns any solution or nullopt.
+std::optional<std::vector<char>> solve_gf2(std::vector<std::vector<char>> a,
+                                           std::vector<char> b) {
+  const std::size_t rows = a.size();
+  const std::size_t cols = rows ? a[0].size() : 0;
+  std::vector<int> pivot_col_of_row;
+  std::size_t r = 0;
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    std::size_t pivot = r;
+    while (pivot < rows && !a[pivot][c]) ++pivot;
+    if (pivot == rows) continue;
+    std::swap(a[pivot], a[r]);
+    std::swap(b[pivot], b[r]);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (i != r && a[i][c]) {
+        for (std::size_t j = c; j < cols; ++j) a[i][j] ^= a[r][j];
+        b[i] ^= b[r];
+      }
+    }
+    pivot_col_of_row.push_back(static_cast<int>(c));
+    ++r;
+  }
+  // Consistency: zero rows must have zero rhs.
+  for (std::size_t i = r; i < rows; ++i)
+    if (b[i]) return std::nullopt;
+  std::vector<char> x(cols, 0);
+  for (std::size_t i = 0; i < r; ++i) x[pivot_col_of_row[i]] = b[i];
+  return x;
+}
+
+}  // namespace
+
+std::optional<GFlow> find_gflow(const OpenGraph& og) {
+  const int n = og.num_vertices();
+  const std::set<int> inputs(og.input_vertices.begin(),
+                             og.input_vertices.end());
+
+  GFlow gf;
+  gf.g.assign(n, {});
+  gf.layer.assign(n, 0);
+
+  std::vector<char> solved(n, 0);
+  std::vector<int> unsolved;
+  for (int v = 0; v < n; ++v) {
+    if (og.measured[v]) {
+      unsolved.push_back(v);
+    } else {
+      solved[v] = 1;  // outputs, layer 0
+    }
+  }
+
+  int layer = 1;
+  while (!unsolved.empty()) {
+    std::vector<int> newly;
+    for (int u : unsolved) {
+      // Candidate correction-set members: already-solved vertices that are
+      // not inputs (g(u) must avoid inputs).
+      std::vector<int> cand;
+      for (int v = 0; v < n; ++v)
+        if (solved[v] && !inputs.count(v)) cand.push_back(v);
+
+      // Rows: one per currently-unsolved vertex w (Odd(g) must not hit
+      // them except as allowed at u).  u itself is among the unsolved.
+      std::vector<std::vector<char>> a;
+      std::vector<char> b;
+      const bool u_in_g = og.plane[u] == MeasBasis::YZ ||
+                          og.plane[u] == MeasBasis::Z;
+      for (int w : unsolved) {
+        std::vector<char> row(cand.size(), 0);
+        for (std::size_t j = 0; j < cand.size(); ++j)
+          row[j] = og.g.has_edge(cand[j], w) ? 1 : 0;
+        char rhs = 0;
+        if (w == u) {
+          // XY: u in Odd(g).  YZ: u not in Odd(g) (with u in g; u has no
+          // self-loop so adding u to g does not change Odd at u).
+          rhs = u_in_g ? 0 : 1;
+        } else {
+          // Odd(g) must avoid w; if u in g, the fixed member u
+          // contributes adj(u, w).
+          rhs = u_in_g && og.g.has_edge(u, w) ? 1 : 0;
+        }
+        a.push_back(std::move(row));
+        b.push_back(rhs);
+      }
+      const auto sol = solve_gf2(std::move(a), std::move(b));
+      if (!sol) continue;
+      std::vector<int> gset;
+      if (u_in_g) gset.push_back(u);
+      for (std::size_t j = 0; j < cand.size(); ++j)
+        if ((*sol)[j]) gset.push_back(cand[j]);
+      std::sort(gset.begin(), gset.end());
+      gf.g[u] = std::move(gset);
+      gf.layer[u] = layer;
+      newly.push_back(u);
+    }
+    if (newly.empty()) return std::nullopt;
+    for (int u : newly) {
+      solved[u] = 1;
+      unsolved.erase(std::remove(unsolved.begin(), unsolved.end(), u),
+                     unsolved.end());
+    }
+    ++layer;
+  }
+  return gf;
+}
+
+bool verify_gflow(const OpenGraph& og, const GFlow& gf) {
+  const int n = og.num_vertices();
+  const std::set<int> inputs(og.input_vertices.begin(),
+                             og.input_vertices.end());
+  auto odd_neighborhood = [&](const std::vector<int>& s) {
+    std::vector<int> count(n, 0);
+    for (int v : s)
+      for (int w : og.g.neighbors(v)) ++count[w];
+    std::vector<int> odd;
+    for (int v = 0; v < n; ++v)
+      if (count[v] & 1) odd.push_back(v);
+    return odd;
+  };
+  auto later_or_self = [&](int u, int w) {
+    // w measured after u (strictly smaller layer) or w == u.
+    return w == u || gf.layer[w] < gf.layer[u];
+  };
+
+  for (int u = 0; u < n; ++u) {
+    if (!og.measured[u]) continue;
+    const auto& gset = gf.g[u];
+    if (gf.layer[u] <= 0) return false;
+    const bool u_in_g = std::binary_search(gset.begin(), gset.end(), u);
+    const auto odd = odd_neighborhood(gset);
+    const bool u_in_odd = std::binary_search(odd.begin(), odd.end(), u);
+
+    for (int w : gset) {
+      if (inputs.count(w)) return false;
+      if (!later_or_self(u, w)) return false;
+    }
+    for (int w : odd) {
+      if (!later_or_self(u, w)) return false;
+    }
+    switch (og.plane[u]) {
+      case MeasBasis::XY:
+      case MeasBasis::X:
+        if (u_in_g || !u_in_odd) return false;
+        break;
+      case MeasBasis::YZ:
+      case MeasBasis::Z:
+        if (!u_in_g || u_in_odd) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace mbq::mbqc

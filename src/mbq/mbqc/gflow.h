@@ -1,0 +1,36 @@
+#pragma once
+// Generalized flow (gflow) with measurement planes XY, XZ-free subset
+// (we use XY and YZ, plus the Pauli specials X and Z), per Browne,
+// Kashefi, Mhalla and Perdrix (ref [33] of the paper).
+//
+// gflow existence certifies that a pattern can be made deterministic by
+// signal corrections — it is the formal counterpart of the paper's
+// statement that "a deterministic measurement pattern emerges" from the
+// derivation of Sec. III.  The compiled MBQC-QAOA patterns are checked to
+// have gflow in tests and benches.
+
+#include <optional>
+#include <vector>
+
+#include "mbq/mbqc/open_graph.h"
+
+namespace mbq::mbqc {
+
+struct GFlow {
+  /// Correction set g(u) per measured vertex (sorted vertex lists).
+  std::vector<std::vector<int>> g;
+  /// Layer per vertex: outputs 0, increasing toward earlier measurements.
+  std::vector<int> layer;
+};
+
+/// Find a gflow via backward layering + GF(2) elimination, or nullopt.
+std::optional<GFlow> find_gflow(const OpenGraph& og);
+
+/// Verify the gflow conditions:
+///   - g(u) avoids inputs; members are u or later-measured/outputs;
+///   - Odd(g(u)) members are u or later;
+///   - plane conditions: XY: u not in g(u), u in Odd; YZ/Z: u in g(u),
+///     u not in Odd; X treated as XY.
+bool verify_gflow(const OpenGraph& og, const GFlow& gf);
+
+}  // namespace mbq::mbqc

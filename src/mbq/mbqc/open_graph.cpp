@@ -1,0 +1,38 @@
+#include "mbq/mbqc/open_graph.h"
+
+#include "mbq/common/error.h"
+
+namespace mbq::mbqc {
+
+OpenGraph open_graph_from_pattern(const Pattern& p) {
+  p.validate();
+  OpenGraph og;
+  auto [g, wires] = p.entanglement_graph();
+  og.g = std::move(g);
+  og.wire_of_vertex = std::move(wires);
+  for (std::size_t v = 0; v < og.wire_of_vertex.size(); ++v)
+    og.vertex_of_wire[og.wire_of_vertex[v]] = static_cast<int>(v);
+
+  const int n = og.g.num_vertices();
+  og.plane.assign(n, MeasBasis::XY);
+  og.angle.assign(n, 0.0);
+  og.measured.assign(n, false);
+  og.meas_position.assign(n, -1);
+
+  int pos = 0;
+  for (const Command& c : p.commands()) {
+    if (const auto* m = std::get_if<CmdMeasure>(&c)) {
+      const int v = og.vertex_of_wire.at(m->wire);
+      og.plane[v] = m->plane;
+      og.angle[v] = m->angle;
+      og.measured[v] = true;
+      og.meas_position[v] = pos++;
+    }
+  }
+  for (int w : p.inputs()) og.input_vertices.push_back(og.vertex_of_wire.at(w));
+  for (int w : p.outputs())
+    og.output_vertices.push_back(og.vertex_of_wire.at(w));
+  return og;
+}
+
+}  // namespace mbq::mbqc

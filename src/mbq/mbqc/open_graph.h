@@ -1,0 +1,34 @@
+#pragma once
+// Open graphs: the (graph, inputs, outputs, measurement labels) view of a
+// pattern, the domain of flow/gflow theory (refs [32], [33] of the paper).
+
+#include <unordered_map>
+#include <vector>
+
+#include "mbq/graph/graph.h"
+#include "mbq/mbqc/pattern.h"
+
+namespace mbq::mbqc {
+
+struct OpenGraph {
+  Graph g;
+  std::vector<int> wire_of_vertex;
+  std::unordered_map<int, int> vertex_of_wire;
+  std::vector<int> input_vertices;
+  std::vector<int> output_vertices;
+  /// Per vertex: measurement plane/angle; outputs keep plane XY, angle 0
+  /// and measured[v] == false.
+  std::vector<MeasBasis> plane;
+  std::vector<real> angle;
+  std::vector<bool> measured;
+  /// Measurement position in the pattern (-1 for outputs).
+  std::vector<int> meas_position;
+
+  int num_vertices() const { return g.num_vertices(); }
+  bool is_output(int v) const { return !measured[v]; }
+};
+
+/// Build the open graph of a pattern (parallel E edges collapse).
+OpenGraph open_graph_from_pattern(const Pattern& p);
+
+}  // namespace mbq::mbqc

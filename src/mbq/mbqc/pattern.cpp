@@ -1,0 +1,216 @@
+#include "mbq/mbqc/pattern.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mbq/common/error.h"
+
+namespace mbq::mbqc {
+
+namespace {
+
+const char* plane_name(MeasBasis b) {
+  switch (b) {
+    case MeasBasis::Z: return "Z";
+    case MeasBasis::X: return "X";
+    case MeasBasis::XY: return "XY";
+    case MeasBasis::YZ: return "YZ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string command_str(const Command& c) {
+  std::ostringstream oss;
+  if (const auto* p = std::get_if<CmdPrep>(&c)) {
+    oss << "N(" << p->wire << ")";
+  } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+    oss << "E(" << e->a << "," << e->b << ")";
+  } else if (const auto* m = std::get_if<CmdMeasure>(&c)) {
+    oss << "M" << plane_name(m->plane) << "(" << m->wire << "; "
+        << m->angle;
+    if (!m->s_domain.empty()) oss << "; s=" << m->s_domain.str();
+    if (!m->t_domain.empty()) oss << "; t=" << m->t_domain.str();
+    oss << ") -> s" << m->outcome;
+  } else if (const auto* x = std::get_if<CmdCorrectX>(&c)) {
+    oss << "X(" << x->wire << ")^" << x->domain.str();
+  } else if (const auto* z = std::get_if<CmdCorrectZ>(&c)) {
+    oss << "Z(" << z->wire << ")^" << z->domain.str();
+  }
+  return oss.str();
+}
+
+void Pattern::add_input(int wire) {
+  MBQ_REQUIRE(std::find(inputs_.begin(), inputs_.end(), wire) == inputs_.end(),
+              "wire " << wire << " already declared input");
+  inputs_.push_back(wire);
+}
+
+void Pattern::add_prep(int wire) { commands_.push_back(CmdPrep{wire}); }
+
+void Pattern::add_entangle(int a, int b) {
+  MBQ_REQUIRE(a != b, "cannot entangle wire " << a << " with itself");
+  commands_.push_back(CmdEntangle{a, b});
+}
+
+signal_t Pattern::add_measure(int wire, MeasBasis plane, real angle,
+                              SignalExpr s_domain, SignalExpr t_domain) {
+  CmdMeasure m;
+  m.wire = wire;
+  m.plane = plane;
+  m.angle = angle;
+  m.s_domain = std::move(s_domain);
+  m.t_domain = std::move(t_domain);
+  m.outcome = next_signal_++;
+  commands_.push_back(m);
+  return m.outcome;
+}
+
+void Pattern::add_correct_x(int wire, SignalExpr domain) {
+  commands_.push_back(CmdCorrectX{wire, std::move(domain)});
+}
+
+void Pattern::add_correct_z(int wire, SignalExpr domain) {
+  commands_.push_back(CmdCorrectZ{wire, std::move(domain)});
+}
+
+void Pattern::set_outputs(std::vector<int> outputs) {
+  outputs_ = std::move(outputs);
+}
+
+int Pattern::num_wires() const {
+  std::set<int> wires(inputs_.begin(), inputs_.end());
+  for (const Command& c : commands_) {
+    if (const auto* p = std::get_if<CmdPrep>(&c)) wires.insert(p->wire);
+  }
+  return static_cast<int>(wires.size());
+}
+
+int Pattern::num_prepared() const {
+  int n = 0;
+  for (const Command& c : commands_) n += std::holds_alternative<CmdPrep>(c);
+  return n;
+}
+
+int Pattern::num_entangling() const {
+  int n = 0;
+  for (const Command& c : commands_)
+    n += std::holds_alternative<CmdEntangle>(c);
+  return n;
+}
+
+int Pattern::num_measurements() const {
+  int n = 0;
+  for (const Command& c : commands_) n += std::holds_alternative<CmdMeasure>(c);
+  return n;
+}
+
+int Pattern::num_corrections() const {
+  int n = 0;
+  for (const Command& c : commands_)
+    n += std::holds_alternative<CmdCorrectX>(c) ||
+         std::holds_alternative<CmdCorrectZ>(c);
+  return n;
+}
+
+std::pair<Graph, std::vector<int>> Pattern::entanglement_graph() const {
+  std::vector<int> wire_of_vertex;
+  std::unordered_map<int, int> vertex_of_wire;
+  auto vertex = [&](int wire) {
+    auto it = vertex_of_wire.find(wire);
+    if (it != vertex_of_wire.end()) return it->second;
+    const int v = static_cast<int>(wire_of_vertex.size());
+    wire_of_vertex.push_back(wire);
+    vertex_of_wire.emplace(wire, v);
+    return v;
+  };
+  for (int w : inputs_) vertex(w);
+  for (const Command& c : commands_) {
+    if (const auto* p = std::get_if<CmdPrep>(&c)) vertex(p->wire);
+  }
+  Graph g(static_cast<int>(wire_of_vertex.size()));
+  for (const Command& c : commands_) {
+    if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+      const int a = vertex(e->a);
+      const int b = vertex(e->b);
+      if (!g.has_edge(a, b)) g.add_edge(a, b);
+    }
+  }
+  return {std::move(g), std::move(wire_of_vertex)};
+}
+
+void Pattern::validate() const {
+  enum class WireState { Unknown, Live, Measured };
+  std::unordered_map<int, WireState> state;
+  for (int w : inputs_) state[w] = WireState::Live;
+  std::unordered_set<int> measured_wires;
+  signal_t measured_signals = 0;
+
+  auto require_live = [&](int wire, const Command& c) {
+    auto it = state.find(wire);
+    MBQ_REQUIRE(it != state.end() && it->second == WireState::Live,
+                "command " << command_str(c) << " uses wire " << wire
+                           << " which is "
+                           << (it == state.end() ? "not prepared"
+                                                 : "already measured"));
+  };
+  auto require_signals = [&](const SignalExpr& s, const Command& c) {
+    MBQ_REQUIRE(s.max_variable() < measured_signals,
+                "command " << command_str(c) << " depends on signal s"
+                           << s.max_variable()
+                           << " which is not yet measured (definiteness)");
+  };
+
+  for (const Command& c : commands_) {
+    if (const auto* p = std::get_if<CmdPrep>(&c)) {
+      MBQ_REQUIRE(state.find(p->wire) == state.end(),
+                  "wire " << p->wire << " prepared twice (or is an input)");
+      state[p->wire] = WireState::Live;
+    } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+      require_live(e->a, c);
+      require_live(e->b, c);
+    } else if (const auto* m = std::get_if<CmdMeasure>(&c)) {
+      require_live(m->wire, c);
+      require_signals(m->s_domain, c);
+      require_signals(m->t_domain, c);
+      MBQ_REQUIRE(m->outcome == measured_signals,
+                  "measurement outcomes must be numbered in order; got s"
+                      << m->outcome << ", expected s" << measured_signals);
+      ++measured_signals;
+      state[m->wire] = WireState::Measured;
+      measured_wires.insert(m->wire);
+    } else if (const auto* x = std::get_if<CmdCorrectX>(&c)) {
+      require_live(x->wire, c);
+      require_signals(x->domain, c);
+    } else if (const auto* z = std::get_if<CmdCorrectZ>(&c)) {
+      require_live(z->wire, c);
+      require_signals(z->domain, c);
+    }
+  }
+  MBQ_REQUIRE(measured_signals == next_signal_, "signal counter mismatch");
+
+  // Outputs = exactly the live wires.
+  std::set<int> live;
+  for (const auto& [w, st] : state)
+    if (st == WireState::Live) live.insert(w);
+  std::set<int> outs(outputs_.begin(), outputs_.end());
+  MBQ_REQUIRE(outs.size() == outputs_.size(), "duplicate output wires");
+  MBQ_REQUIRE(live == outs,
+              "outputs do not match unmeasured wires: " << live.size()
+                  << " live vs " << outs.size() << " declared");
+}
+
+std::string Pattern::str() const {
+  std::ostringstream oss;
+  oss << "Pattern(wires=" << num_wires() << ", E=" << num_entangling()
+      << ", M=" << num_measurements() << ", outputs=" << outputs_.size()
+      << ")\n";
+  for (const Command& c : commands_) oss << "  " << command_str(c) << "\n";
+  return oss.str();
+}
+
+}  // namespace mbq::mbqc

@@ -1,0 +1,125 @@
+#pragma once
+// Measurement patterns (the measurement calculus of Danos, Kashefi and
+// Panangaden, specialized to what the paper uses).
+//
+// A pattern is a sequence of commands over integer wire ids:
+//   N(i)                    prepare wire i in |+>
+//   E(i,j)                  CZ between wires i and j
+//   M(i, plane, angle,
+//     s_domain, t_domain)   adaptive single-qubit measurement: the actual
+//                           measurement angle is (-1)^{s} * angle, and the
+//                           RECORDED outcome is the raw outcome XOR t.
+//                           The recorded outcome is bound to a fresh
+//                           signal variable (returned by add_measure).
+//   X(i, domain), Z(i, domain)  conditional Pauli corrections.
+//
+// Signal domains are XOR-expressions over earlier outcomes; this is how
+// the paper's adaptive parities (n, n', P_u of Sec. III) are represented.
+// For XY measurements the (s, t) adaptation is equivalent to the usual
+// M^{(-1)^s alpha + t pi}; for YZ measurements the angle-shift form does
+// not exist but the outcome-flip form does, which is why we adopt it
+// uniformly (see DESIGN.md).
+//
+// Wires may also be declared as INPUTS: they are not N-prepared; the
+// runner loads a caller-supplied single-qubit state instead (enough to
+// verify unitary patterns on product states).
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mbq/common/signal.h"
+#include "mbq/common/types.h"
+#include "mbq/graph/graph.h"
+#include "mbq/sim/dynamic_statevector.h"
+
+namespace mbq::mbqc {
+
+struct CmdPrep {
+  int wire;
+};
+
+struct CmdEntangle {
+  int a;
+  int b;
+};
+
+struct CmdMeasure {
+  int wire;
+  MeasBasis plane = MeasBasis::XY;
+  real angle = 0.0;
+  SignalExpr s_domain;  // flips the measurement angle sign
+  SignalExpr t_domain;  // flips the recorded outcome
+  signal_t outcome = -1;
+};
+
+struct CmdCorrectX {
+  int wire;
+  SignalExpr domain;
+};
+
+struct CmdCorrectZ {
+  int wire;
+  SignalExpr domain;
+};
+
+using Command =
+    std::variant<CmdPrep, CmdEntangle, CmdMeasure, CmdCorrectX, CmdCorrectZ>;
+
+std::string command_str(const Command& c);
+
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Declare an input wire (loaded by the runner, not N-prepared).
+  void add_input(int wire);
+  void add_prep(int wire);
+  void add_entangle(int a, int b);
+  /// Returns the signal variable bound to the recorded outcome.
+  signal_t add_measure(int wire, MeasBasis plane, real angle,
+                       SignalExpr s_domain = {}, SignalExpr t_domain = {});
+  void add_correct_x(int wire, SignalExpr domain);
+  void add_correct_z(int wire, SignalExpr domain);
+  /// Declare the ordered output wires (must stay unmeasured).
+  void set_outputs(std::vector<int> outputs);
+
+  const std::vector<Command>& commands() const noexcept { return commands_; }
+  const std::vector<int>& inputs() const noexcept { return inputs_; }
+  const std::vector<int>& outputs() const noexcept { return outputs_; }
+  int num_signals() const noexcept { return next_signal_; }
+
+  // --- statistics (the resource quantities of Sec. III-A) ---
+  /// Total distinct wires (inputs + prepared).
+  int num_wires() const;
+  /// Prepared (N) wires only, i.e. the paper's qubit count N_Q when there
+  /// are no inputs.
+  int num_prepared() const;
+  int num_entangling() const;
+  int num_measurements() const;
+  int num_corrections() const;
+
+  /// The entanglement graph: one vertex per wire (in first-use order),
+  /// one edge per E command.  This is the MBQC resource/graph state.
+  /// Returns the graph and the wire id of each vertex.
+  std::pair<Graph, std::vector<int>> entanglement_graph() const;
+
+  /// Full structural validation:
+  ///  - every wire is prepared (or input) exactly once, before use;
+  ///  - no command touches a wire after its measurement;
+  ///  - measurement domains only reference earlier outcomes (definiteness,
+  ///    i.e. the pattern is runnable left to right);
+  ///  - outputs are exactly the unmeasured wires.
+  /// Throws Error with a description on violation.
+  void validate() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<Command> commands_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+  signal_t next_signal_ = 0;
+};
+
+}  // namespace mbq::mbqc

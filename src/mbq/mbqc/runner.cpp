@@ -1,0 +1,108 @@
+#include "mbq/mbqc/runner.h"
+
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+
+namespace mbq::mbqc {
+
+RunResult run(const Pattern& p, Rng& rng, const RunOptions& options) {
+  p.validate();
+  const int num_meas = p.num_measurements();
+  MBQ_REQUIRE(options.forced.empty() ||
+                  static_cast<int>(options.forced.size()) == num_meas,
+              "forced outcomes size " << options.forced.size()
+                                      << " != measurement count " << num_meas);
+
+  MBQ_REQUIRE(options.entangler_noise >= 0.0 && options.entangler_noise <= 1.0,
+              "noise probability out of range: " << options.entangler_noise);
+  MBQ_REQUIRE(options.entangler_noise == 0.0 || options.forced.empty(),
+              "entangler noise is incompatible with forced outcomes");
+
+  DynamicStatevector dsv;
+  RunResult result;
+  std::vector<int> outcomes;  // recorded outcomes by signal id
+  outcomes.reserve(num_meas);
+
+  auto maybe_depolarize = [&](int wire) {
+    if (options.entangler_noise <= 0.0) return;
+    if (!rng.bernoulli(options.entangler_noise)) return;
+    switch (rng.uniform_index(3)) {
+      case 0: dsv.apply_x(wire); break;
+      case 1: dsv.apply_z(wire); break;
+      default:
+        dsv.apply_x(wire);
+        dsv.apply_z(wire);  // Y up to phase
+        break;
+    }
+  };
+
+  // Load inputs.
+  for (int w : p.inputs()) {
+    auto it = options.input_states.find(w);
+    if (it == options.input_states.end()) {
+      dsv.add_wire(w, /*plus=*/true);
+    } else {
+      dsv.add_wire_state(w, it->second.first, it->second.second);
+    }
+  }
+
+  int meas_index = 0;
+  for (const Command& c : p.commands()) {
+    if (const auto* n = std::get_if<CmdPrep>(&c)) {
+      dsv.add_wire(n->wire, /*plus=*/true);
+    } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+      dsv.apply_cz(e->a, e->b);
+      maybe_depolarize(e->a);
+      maybe_depolarize(e->b);
+    } else if (const auto* m = std::get_if<CmdMeasure>(&c)) {
+      const int s = m->s_domain.evaluate(outcomes);
+      const int t = m->t_domain.evaluate(outcomes);
+      const real angle = (s ? -1.0 : 1.0) * m->angle;
+      const Matrix basis = measurement_basis(m->plane, angle);
+      const int forced =
+          options.forced.empty() ? -1 : options.forced[meas_index];
+      const int raw = dsv.measure_remove(m->wire, basis, rng, forced);
+      outcomes.push_back(raw ^ t);
+      ++meas_index;
+    } else if (const auto* x = std::get_if<CmdCorrectX>(&c)) {
+      const int v = x->domain.evaluate(outcomes);
+      if (options.apply_corrections) {
+        if (v) dsv.apply_x(x->wire);
+      } else {
+        result.pending_x[x->wire] ^= v;
+      }
+    } else if (const auto* z = std::get_if<CmdCorrectZ>(&c)) {
+      const int v = z->domain.evaluate(outcomes);
+      if (options.apply_corrections) {
+        if (v) dsv.apply_z(z->wire);
+      } else {
+        result.pending_z[z->wire] ^= v;
+      }
+    }
+  }
+
+  result.outcomes = std::move(outcomes);
+  result.peak_live = dsv.peak_live();
+  result.output_state = dsv.state_in_order(p.outputs());
+  return result;
+}
+
+std::vector<RunResult> run_all_branches(const Pattern& p,
+                                        int max_measurements) {
+  const int m = p.num_measurements();
+  MBQ_REQUIRE(m <= max_measurements,
+              "pattern has " << m << " measurements; exhaustive enumeration "
+                             << "capped at " << max_measurements);
+  std::vector<RunResult> results;
+  results.reserve(std::size_t{1} << m);
+  Rng rng(0);  // unused: all outcomes forced
+  for (std::uint64_t branch = 0; branch < (std::uint64_t{1} << m); ++branch) {
+    RunOptions opt;
+    opt.forced.resize(m);
+    for (int i = 0; i < m; ++i) opt.forced[i] = get_bit(branch, i);
+    results.push_back(run(p, rng, opt));
+  }
+  return results;
+}
+
+}  // namespace mbq::mbqc

@@ -1,0 +1,63 @@
+#pragma once
+// Pattern execution on the dynamic statevector.
+//
+// The runner walks the command list once, preparing wires lazily and
+// dropping them on measurement, so memory tracks the LIVE wire count, not
+// the total pattern width (a 100+ qubit pattern on a 10-vertex problem
+// runs in a ~12-qubit simulator).  Branches can be sampled (Born rule) or
+// forced, which lets tests enumerate every correction path explicitly —
+// the determinism property of Sec. II-B is checked this way.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mbq/common/rng.h"
+#include "mbq/mbqc/pattern.h"
+#include "mbq/sim/dynamic_statevector.h"
+
+namespace mbq::mbqc {
+
+struct RunOptions {
+  /// Forced RAW outcomes per measurement (in command order).  Empty =>
+  /// sample everything; otherwise must have one entry (0/1) per
+  /// measurement.
+  std::vector<int> forced;
+  /// Apply X/Z correction commands (true) or skip them and report the
+  /// byproduct instead (used by the classical post-processing mode).
+  bool apply_corrections = true;
+  /// Initial single-qubit states for input wires (wire -> (a0, a1)).
+  /// Input wires without an entry start in |+>.
+  std::unordered_map<int, std::pair<cplx, cplx>> input_states;
+  /// Depolarizing noise: after every E command, each touched wire
+  /// suffers a uniformly random Pauli with this probability.  Models the
+  /// dominant (entangler) error channel; 0 = noiseless.  Incompatible
+  /// with forced outcomes (noise changes branch statistics).
+  real entangler_noise = 0.0;
+};
+
+struct RunResult {
+  /// Recorded (post-t-flip) outcomes per measurement in command order.
+  std::vector<int> outcomes;
+  /// Final state of the output wires, ordered as pattern.outputs():
+  /// output wire i <-> bit i.
+  std::vector<cplx> output_state;
+  /// Peak number of simultaneously live wires (the qubit-reuse metric).
+  int peak_live = 0;
+  /// Domains of skipped corrections, evaluated: for each output wire,
+  /// whether an X / Z byproduct remains (only populated when
+  /// apply_corrections == false).
+  std::unordered_map<int, int> pending_x;
+  std::unordered_map<int, int> pending_z;
+};
+
+/// Execute the pattern.  Validates it first.
+RunResult run(const Pattern& p, Rng& rng, const RunOptions& options = {});
+
+/// Convenience: run with every branch forced, for all 2^M branches if
+/// M <= max_measurements, and return one RunResult per branch.  Throws if
+/// the pattern has more measurements than max_measurements.
+std::vector<RunResult> run_all_branches(const Pattern& p,
+                                        int max_measurements = 12);
+
+}  // namespace mbq::mbqc

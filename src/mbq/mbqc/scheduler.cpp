@@ -1,0 +1,133 @@
+#include "mbq/mbqc/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "mbq/common/error.h"
+
+namespace mbq::mbqc {
+
+int peak_live_of(const Pattern& p) {
+  int live = static_cast<int>(p.inputs().size());
+  int peak = live;
+  for (const Command& c : p.commands()) {
+    if (std::holds_alternative<CmdPrep>(c)) {
+      peak = std::max(peak, ++live);
+    } else if (std::holds_alternative<CmdMeasure>(c)) {
+      --live;
+    }
+  }
+  return peak;
+}
+
+Schedule schedule_for_reuse(const Pattern& p) {
+  p.validate();
+  const auto& cmds = p.commands();
+  const int m = static_cast<int>(cmds.size());
+
+  // Dependency edges: previous command on the same wire, and the
+  // measurement producing each referenced signal.
+  std::vector<std::vector<int>> deps(m);
+  std::unordered_map<int, int> last_on_wire;
+  std::unordered_map<signal_t, int> producer;
+  auto add_wire_dep = [&](int idx, int wire) {
+    auto it = last_on_wire.find(wire);
+    if (it != last_on_wire.end()) deps[idx].push_back(it->second);
+    last_on_wire[wire] = idx;
+  };
+  auto add_signal_deps = [&](int idx, const SignalExpr& s) {
+    for (signal_t v : s.variables()) deps[idx].push_back(producer.at(v));
+  };
+  for (int i = 0; i < m; ++i) {
+    const Command& c = cmds[i];
+    if (const auto* n = std::get_if<CmdPrep>(&c)) {
+      add_wire_dep(i, n->wire);
+    } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+      add_wire_dep(i, e->a);
+      add_wire_dep(i, e->b);
+    } else if (const auto* mm = std::get_if<CmdMeasure>(&c)) {
+      add_wire_dep(i, mm->wire);
+      add_signal_deps(i, mm->s_domain);
+      add_signal_deps(i, mm->t_domain);
+      producer[mm->outcome] = i;
+    } else if (const auto* x = std::get_if<CmdCorrectX>(&c)) {
+      add_wire_dep(i, x->wire);
+      add_signal_deps(i, x->domain);
+    } else if (const auto* z = std::get_if<CmdCorrectZ>(&c)) {
+      add_wire_dep(i, z->wire);
+      add_signal_deps(i, z->domain);
+    }
+  }
+
+  std::vector<int> missing(m, 0);
+  std::vector<std::vector<int>> dependents(m);
+  for (int i = 0; i < m; ++i) {
+    std::set<int> uniq(deps[i].begin(), deps[i].end());
+    missing[i] = static_cast<int>(uniq.size());
+    for (int d : uniq) dependents[d].push_back(i);
+  }
+
+  auto cls = [&](int i) {
+    const Command& c = cmds[i];
+    if (std::holds_alternative<CmdMeasure>(c)) return 0;   // best
+    if (std::holds_alternative<CmdCorrectX>(c) ||
+        std::holds_alternative<CmdCorrectZ>(c))
+      return 1;
+    if (std::holds_alternative<CmdEntangle>(c)) return 2;
+    return 3;                                              // prep last
+  };
+
+  // Ready queue keyed by (class, original index) for determinism.
+  std::set<std::pair<int, int>> ready;
+  for (int i = 0; i < m; ++i)
+    if (missing[i] == 0) ready.insert({cls(i), i});
+
+  std::vector<int> order;
+  order.reserve(m);
+  while (!ready.empty()) {
+    const auto [k, i] = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(i);
+    for (int j : dependents[i]) {
+      if (--missing[j] == 0) ready.insert({cls(j), j});
+    }
+  }
+  MBQ_REQUIRE(static_cast<int>(order.size()) == m,
+              "scheduler: dependency cycle (malformed pattern?)");
+
+  // Rebuild the pattern in the new order, renumbering outcomes.
+  Schedule out;
+  for (int w : p.inputs()) out.pattern.add_input(w);
+  std::unordered_map<signal_t, signal_t> remap;
+  auto remap_expr = [&](const SignalExpr& s) {
+    SignalExpr r;
+    for (signal_t v : s.variables()) r ^= SignalExpr(remap.at(v));
+    return r;
+  };
+  for (int i : order) {
+    const Command& c = cmds[i];
+    if (const auto* n = std::get_if<CmdPrep>(&c)) {
+      out.pattern.add_prep(n->wire);
+    } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+      out.pattern.add_entangle(e->a, e->b);
+    } else if (const auto* mm = std::get_if<CmdMeasure>(&c)) {
+      const signal_t ns =
+          out.pattern.add_measure(mm->wire, mm->plane, mm->angle,
+                                  remap_expr(mm->s_domain),
+                                  remap_expr(mm->t_domain));
+      remap[mm->outcome] = ns;
+    } else if (const auto* x = std::get_if<CmdCorrectX>(&c)) {
+      out.pattern.add_correct_x(x->wire, remap_expr(x->domain));
+    } else if (const auto* z = std::get_if<CmdCorrectZ>(&c)) {
+      out.pattern.add_correct_z(z->wire, remap_expr(z->domain));
+    }
+  }
+  out.pattern.set_outputs(p.outputs());
+  out.pattern.validate();
+  out.peak_live = peak_live_of(out.pattern);
+  return out;
+}
+
+}  // namespace mbq::mbqc

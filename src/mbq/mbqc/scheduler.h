@@ -1,0 +1,28 @@
+#pragma once
+// Qubit-reuse scheduling.
+//
+// The paper (Sec. III-A, citing DeCross et al. [51]) notes that "the
+// number of qubits required can be significantly reduced in some cases by
+// reusing qubits after measurement".  This scheduler reorders pattern
+// commands — preserving wire lifecycles and signal dependencies — to
+// minimize the peak number of simultaneously-live qubits: measure as
+// early as possible, prepare as late as possible.
+
+#include "mbq/mbqc/pattern.h"
+
+namespace mbq::mbqc {
+
+/// Peak live-wire count when executing commands in the given order
+/// (inputs are live from the start).
+int peak_live_of(const Pattern& p);
+
+struct Schedule {
+  Pattern pattern;  // reordered, outcome ids renumbered consistently
+  int peak_live = 0;
+};
+
+/// Greedy reuse schedule: among executable commands prefer measurements,
+/// then corrections, then entanglers, then preparations.
+Schedule schedule_for_reuse(const Pattern& p);
+
+}  // namespace mbq::mbqc

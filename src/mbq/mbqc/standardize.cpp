@@ -1,0 +1,90 @@
+#include "mbq/mbqc/standardize.h"
+
+#include <unordered_map>
+
+#include "mbq/common/error.h"
+
+namespace mbq::mbqc {
+
+Pattern standardize(const Pattern& p) {
+  p.validate();
+  Pattern out;
+  for (int w : p.inputs()) out.add_input(w);
+
+  std::vector<CmdPrep> preps;
+  std::vector<CmdEntangle> entangles;
+  std::vector<CmdMeasure> measures;
+  std::unordered_map<int, SignalExpr> fx, fz;  // pending correction frames
+
+  for (const Command& c : p.commands()) {
+    if (const auto* n = std::get_if<CmdPrep>(&c)) {
+      preps.push_back(*n);
+    } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
+      // Move E left past the pending frames: E X_a^s = X_a^s Z_b^s E.
+      const SignalExpr fxa = fx[e->a];
+      fz[e->a] ^= fx[e->b];
+      fz[e->b] ^= fxa;
+      entangles.push_back(*e);
+    } else if (const auto* m = std::get_if<CmdMeasure>(&c)) {
+      CmdMeasure mm = *m;
+      // Absorb the pending frame into the measurement domains.  For
+      // XY-plane (and X) measurements an X byproduct flips the angle sign
+      // and a Z byproduct flips the outcome; for YZ-plane (and Z) the
+      // roles swap.
+      switch (mm.plane) {
+        case MeasBasis::XY:
+        case MeasBasis::X:
+          mm.s_domain ^= fx[mm.wire];
+          mm.t_domain ^= fz[mm.wire];
+          break;
+        case MeasBasis::YZ:
+        case MeasBasis::Z:
+          mm.s_domain ^= fz[mm.wire];
+          mm.t_domain ^= fx[mm.wire];
+          break;
+      }
+      fx.erase(mm.wire);
+      fz.erase(mm.wire);
+      measures.push_back(mm);
+    } else if (const auto* x = std::get_if<CmdCorrectX>(&c)) {
+      fx[x->wire] ^= x->domain;
+    } else if (const auto* z = std::get_if<CmdCorrectZ>(&c)) {
+      fz[z->wire] ^= z->domain;
+    }
+  }
+
+  for (const auto& n : preps) out.add_prep(n.wire);
+  for (const auto& e : entangles) out.add_entangle(e.a, e.b);
+  for (const auto& m : measures) {
+    const signal_t s =
+        out.add_measure(m.wire, m.plane, m.angle, m.s_domain, m.t_domain);
+    MBQ_ASSERT(s == m.outcome);  // relative order preserved => ids match
+  }
+  for (int w : p.outputs()) {
+    auto ix = fx.find(w);
+    if (ix != fx.end() && !ix->second.empty())
+      out.add_correct_x(w, ix->second);
+    auto iz = fz.find(w);
+    if (iz != fz.end() && !iz->second.empty())
+      out.add_correct_z(w, iz->second);
+  }
+  out.set_outputs(p.outputs());
+  out.validate();
+  return out;
+}
+
+bool is_standard(const Pattern& p) {
+  int stage = 0;  // 0=N, 1=E, 2=M, 3=C
+  for (const Command& c : p.commands()) {
+    int s = 0;
+    if (std::holds_alternative<CmdPrep>(c)) s = 0;
+    else if (std::holds_alternative<CmdEntangle>(c)) s = 1;
+    else if (std::holds_alternative<CmdMeasure>(c)) s = 2;
+    else s = 3;
+    if (s < stage) return false;
+    stage = s;
+  }
+  return true;
+}
+
+}  // namespace mbq::mbqc

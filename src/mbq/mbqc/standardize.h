@@ -1,0 +1,23 @@
+#pragma once
+// Pattern standardization: rewrite into the N* E* M* C* normal form.
+//
+// Standard form separates the algorithm-independent part (resource-state
+// preparation: all N then all E) from the adaptive part (measurements,
+// then terminal corrections) — exactly the structure of Sec. II-B where
+// "the graph state is usually independent of the algorithm".  The
+// rewrite uses the measurement-calculus commutation rules: corrections
+// commute right through entanglers (E X_i^s = X_i^s Z_j^s E) and are
+// absorbed into measurement domains (plane-dependent s/t updates).
+
+#include "mbq/mbqc/pattern.h"
+
+namespace mbq::mbqc {
+
+/// Rewrite p into standard form; semantics preserved branch-by-branch
+/// (recorded outcomes keep the same meaning).
+Pattern standardize(const Pattern& p);
+
+/// True if commands appear in N* E* M* C* order.
+bool is_standard(const Pattern& p);
+
+}  // namespace mbq::mbqc

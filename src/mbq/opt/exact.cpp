@@ -1,0 +1,75 @@
+#include "mbq/opt/exact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+#include "mbq/common/parallel.h"
+
+namespace mbq::opt {
+
+ExactSolution brute_force_maximum(const qaoa::CostHamiltonian& cost) {
+  const auto table = cost.cost_table();
+  ExactSolution best;
+  // Serial argmax over the (possibly parallel-computed) table: the table
+  // evaluation dominates, and a serial scan is deterministic.
+  for (std::uint64_t x = 0; x < table.size(); ++x) {
+    if (table[x] > best.value) {
+      best.value = table[x];
+      best.x = x;
+    }
+  }
+  return best;
+}
+
+std::uint64_t greedy_mis(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<char> removed(n, 0);
+  std::uint64_t set = 0;
+  while (true) {
+    int best = -1, best_deg = 1 << 30;
+    for (int v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      int deg = 0;
+      for (int w : g.neighbors(v)) deg += !removed[w];
+      if (deg < best_deg) {
+        best_deg = deg;
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    set |= std::uint64_t{1} << best;
+    removed[best] = 1;
+    for (int w : g.neighbors(best)) removed[w] = 1;
+  }
+  return set;
+}
+
+ExactSolution simulated_annealing(const qaoa::CostHamiltonian& cost,
+                                  const AnnealOptions& options, Rng& rng) {
+  const int n = cost.num_qubits();
+  MBQ_REQUIRE(options.sweeps >= 1, "need at least one sweep");
+  std::uint64_t x = rng.next() & ((n == 64) ? ~0ULL : ((1ULL << n) - 1));
+  real cur = cost.evaluate(x);
+  ExactSolution best{x, cur};
+  const real ratio = options.t_final / options.t_initial;
+  for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    const real t =
+        options.t_initial *
+        std::pow(ratio, static_cast<real>(sweep) / (options.sweeps - 1 + 1e-12));
+    for (int flip = 0; flip < n; ++flip) {
+      const int q = static_cast<int>(rng.uniform_index(n));
+      const std::uint64_t y = flip_bit(x, q);
+      const real cy = cost.evaluate(y);
+      if (cy >= cur || rng.uniform() < std::exp((cy - cur) / t)) {
+        x = y;
+        cur = cy;
+        if (cur > best.value) best = {x, cur};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mbq::opt

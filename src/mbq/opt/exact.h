@@ -1,0 +1,35 @@
+#pragma once
+// Exact (brute-force) and heuristic classical baselines.
+
+#include <cstdint>
+
+#include "mbq/common/rng.h"
+#include "mbq/graph/graph.h"
+#include "mbq/qaoa/hamiltonian.h"
+
+namespace mbq::opt {
+
+struct ExactSolution {
+  std::uint64_t x = 0;
+  real value = -1e300;
+};
+
+/// argmax_x c(x) by exhaustive (OpenMP-parallel) enumeration; n <= 28.
+ExactSolution brute_force_maximum(const qaoa::CostHamiltonian& cost);
+
+/// Greedy maximum independent set: repeatedly take a minimum-degree
+/// vertex and delete its neighbourhood.  Returns the chosen set as a
+/// bitmask.
+std::uint64_t greedy_mis(const Graph& g);
+
+/// Simulated annealing over bit flips, maximizing the cost; the SA
+/// baseline for comparing solution quality against QAOA sampling.
+struct AnnealOptions {
+  int sweeps = 200;
+  real t_initial = 2.0;
+  real t_final = 0.01;
+};
+ExactSolution simulated_annealing(const qaoa::CostHamiltonian& cost,
+                                  const AnnealOptions& options, Rng& rng);
+
+}  // namespace mbq::opt

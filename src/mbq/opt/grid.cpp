@@ -1,0 +1,38 @@
+#include "mbq/opt/grid.h"
+
+#include "mbq/common/error.h"
+
+namespace mbq::opt {
+
+OptResult grid_search(const Objective& f, const std::vector<GridAxis>& axes) {
+  MBQ_REQUIRE(!axes.empty(), "grid_search needs at least one axis");
+  std::int64_t total = 1;
+  for (const auto& a : axes) {
+    MBQ_REQUIRE(a.points >= 1, "axis needs >= 1 point");
+    total *= a.points;
+    MBQ_REQUIRE(total <= 10'000'000, "grid too large: " << total);
+  }
+  OptResult best;
+  std::vector<real> x(axes.size());
+  for (std::int64_t idx = 0; idx < total; ++idx) {
+    std::int64_t rem = idx;
+    for (std::size_t d = 0; d < axes.size(); ++d) {
+      const auto& a = axes[d];
+      const int i = static_cast<int>(rem % a.points);
+      rem /= a.points;
+      x[d] = a.points == 1
+                 ? a.lo
+                 : a.lo + (a.hi - a.lo) * static_cast<real>(i) /
+                       (a.points - 1);
+    }
+    const real v = f(x);
+    ++best.evaluations;
+    if (v > best.value) {
+      best.value = v;
+      best.x = x;
+    }
+  }
+  return best;
+}
+
+}  // namespace mbq::opt

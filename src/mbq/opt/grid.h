@@ -1,0 +1,18 @@
+#pragma once
+// Exhaustive grid search over parameter boxes; practical for the p=1
+// (gamma, beta) landscape and as a seeding stage for Nelder-Mead.
+
+#include "mbq/opt/optimizer.h"
+
+namespace mbq::opt {
+
+struct GridAxis {
+  real lo = 0.0;
+  real hi = 1.0;
+  int points = 8;
+};
+
+/// Evaluate f on the Cartesian grid; returns the best point.
+OptResult grid_search(const Objective& f, const std::vector<GridAxis>& axes);
+
+}  // namespace mbq::opt

@@ -1,0 +1,116 @@
+#include "mbq/opt/nelder_mead.h"
+
+#include <algorithm>
+
+#include "mbq/common/error.h"
+
+namespace mbq::opt {
+
+namespace {
+
+OptResult nelder_mead_single(const Objective& f, std::vector<real> x0,
+                             const NelderMeadOptions& opt, int* evals) {
+  const std::size_t n = x0.size();
+  // Simplex of n+1 points.
+  std::vector<std::vector<real>> pts(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) pts[i + 1][i] += opt.initial_step;
+  std::vector<real> val(n + 1);
+  auto eval = [&](const std::vector<real>& x) {
+    ++*evals;
+    return f(x);
+  };
+  for (std::size_t i = 0; i <= n; ++i) val[i] = eval(pts[i]);
+
+  const real alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+  while (*evals < opt.max_evaluations) {
+    // Order descending by value (maximization).
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return val[a] > val[b]; });
+    {
+      std::vector<std::vector<real>> p2(n + 1);
+      std::vector<real> v2(n + 1);
+      for (std::size_t i = 0; i <= n; ++i) {
+        p2[i] = pts[idx[i]];
+        v2[i] = val[idx[i]];
+      }
+      pts = std::move(p2);
+      val = std::move(v2);
+    }
+    if (val.front() - val.back() < opt.tolerance) break;
+
+    // Centroid of all but the worst.
+    std::vector<real> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += pts[i][d] / n;
+
+    auto affine = [&](real t) {
+      std::vector<real> x(n);
+      for (std::size_t d = 0; d < n; ++d)
+        x[d] = centroid[d] + t * (pts[n][d] - centroid[d]);
+      return x;
+    };
+
+    const auto reflected = affine(-alpha);
+    const real fr = eval(reflected);
+    if (fr > val[0]) {
+      const auto expanded = affine(-gamma);
+      const real fe = eval(expanded);
+      if (fe > fr) {
+        pts[n] = expanded;
+        val[n] = fe;
+      } else {
+        pts[n] = reflected;
+        val[n] = fr;
+      }
+      continue;
+    }
+    if (fr > val[n - 1]) {
+      pts[n] = reflected;
+      val[n] = fr;
+      continue;
+    }
+    const auto contracted = affine(rho);
+    const real fc = eval(contracted);
+    if (fc > val[n]) {
+      pts[n] = contracted;
+      val[n] = fc;
+      continue;
+    }
+    // Shrink toward the best.
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t d = 0; d < n; ++d)
+        pts[i][d] = pts[0][d] + sigma * (pts[i][d] - pts[0][d]);
+      val[i] = eval(pts[i]);
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (val[i] > val[best]) best = i;
+  OptResult r;
+  r.x = pts[best];
+  r.value = val[best];
+  return r;
+}
+
+}  // namespace
+
+OptResult nelder_mead(const Objective& f, std::vector<real> x0,
+                      const NelderMeadOptions& options, Rng& rng) {
+  MBQ_REQUIRE(!x0.empty(), "empty parameter vector");
+  int evals = 0;
+  OptResult best = nelder_mead_single(f, x0, options, &evals);
+  for (int r = 0; r < options.restarts && evals < options.max_evaluations;
+       ++r) {
+    std::vector<real> start = best.x;
+    for (auto& v : start) v += rng.normal() * options.initial_step;
+    OptResult cand = nelder_mead_single(f, start, options, &evals);
+    if (cand.value > best.value) best = cand;
+  }
+  best.evaluations = evals;
+  return best;
+}
+
+}  // namespace mbq::opt

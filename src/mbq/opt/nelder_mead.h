@@ -1,0 +1,19 @@
+#pragma once
+// Nelder-Mead simplex maximization with optional random restarts — the
+// default parameter optimizer for QAOA angles.
+
+#include "mbq/opt/optimizer.h"
+
+namespace mbq::opt {
+
+struct NelderMeadOptions {
+  int max_evaluations = 2000;
+  real initial_step = 0.4;
+  real tolerance = 1e-8;  // simplex value spread stopping criterion
+  int restarts = 0;       // additional random restarts around best point
+};
+
+OptResult nelder_mead(const Objective& f, std::vector<real> x0,
+                      const NelderMeadOptions& options, Rng& rng);
+
+}  // namespace mbq::opt

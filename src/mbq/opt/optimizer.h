@@ -1,0 +1,24 @@
+#pragma once
+// Classical optimizer interfaces for the variational outer loop.
+//
+// All optimizers MAXIMIZE the objective (matching the cost-Hamiltonian
+// convention).  They are deterministic given the seed, so experiment
+// tables are reproducible.
+
+#include <functional>
+#include <vector>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/types.h"
+
+namespace mbq::opt {
+
+using Objective = std::function<real(const std::vector<real>&)>;
+
+struct OptResult {
+  std::vector<real> x;
+  real value = -1e300;
+  int evaluations = 0;
+};
+
+}  // namespace mbq::opt

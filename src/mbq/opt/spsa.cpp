@@ -1,0 +1,48 @@
+#include "mbq/opt/spsa.h"
+
+#include <cmath>
+
+#include "mbq/common/error.h"
+
+namespace mbq::opt {
+
+OptResult spsa(const Objective& f, std::vector<real> x0,
+               const SpsaOptions& opt, Rng& rng) {
+  MBQ_REQUIRE(!x0.empty(), "empty parameter vector");
+  const std::size_t n = x0.size();
+  std::vector<real> x = std::move(x0);
+  OptResult best;
+
+  auto record = [&](const std::vector<real>& pt, real v) {
+    if (v > best.value) {
+      best.value = v;
+      best.x = pt;
+    }
+  };
+
+  for (int k = 0; k < opt.iterations; ++k) {
+    const real ak = opt.a / std::pow(k + 1 + opt.A, opt.alpha);
+    const real ck = opt.c / std::pow(k + 1, opt.gamma);
+    std::vector<real> delta(n);
+    for (auto& d : delta) d = rng.coin() ? 1.0 : -1.0;
+    std::vector<real> xp = x, xm = x;
+    for (std::size_t i = 0; i < n; ++i) {
+      xp[i] += ck * delta[i];
+      xm[i] -= ck * delta[i];
+    }
+    const real fp = f(xp);
+    const real fm = f(xm);
+    best.evaluations += 2;
+    record(xp, fp);
+    record(xm, fm);
+    // Ascent step (maximization).
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] += ak * (fp - fm) / (2.0 * ck * delta[i]);
+  }
+  const real fx = f(x);
+  ++best.evaluations;
+  record(x, fx);
+  return best;
+}
+
+}  // namespace mbq::opt

@@ -1,0 +1,22 @@
+#pragma once
+// Simultaneous Perturbation Stochastic Approximation: gradient-free
+// maximization robust to noisy objectives (shot-based expectation
+// estimates), two evaluations per iteration regardless of dimension.
+
+#include "mbq/opt/optimizer.h"
+
+namespace mbq::opt {
+
+struct SpsaOptions {
+  int iterations = 200;
+  real a = 0.2;      // step-size numerator
+  real c = 0.15;     // perturbation size
+  real alpha = 0.602;
+  real gamma = 0.101;
+  real A = 10.0;     // step-size stability constant
+};
+
+OptResult spsa(const Objective& f, std::vector<real> x0,
+               const SpsaOptions& options, Rng& rng);
+
+}  // namespace mbq::opt

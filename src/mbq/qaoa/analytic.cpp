@@ -1,0 +1,52 @@
+#include "mbq/qaoa/analytic.h"
+
+#include <cmath>
+
+#include "mbq/common/error.h"
+
+namespace mbq::qaoa {
+
+real maxcut_p1_edge_expectation(const Graph& g, const Edge& e, real gamma,
+                                real beta) {
+  MBQ_REQUIRE(g.has_edge(e.u, e.v), "no such edge {" << e.u << "," << e.v
+                                                     << "}");
+  const int du = g.degree(e.u);
+  const int dv = g.degree(e.v);
+  const int lambda = g.common_neighbor_count(e.u, e.v);
+  const real c = std::cos(gamma);
+  // Theorem 1 of Wang et al. 2018:
+  // <C_uv> = 1/2
+  //   + (1/4) sin(4 beta) sin(gamma) (cos^{d_u-1} gamma + cos^{d_v-1} gamma)
+  //   - (1/4) sin^2(2 beta) cos^{d_u + d_v - 2 - 2 lambda}(gamma)
+  //         * (1 - cos^lambda(2 gamma)).
+  const real term1 = 0.25 * std::sin(4 * beta) * std::sin(gamma) *
+                     (std::pow(c, du - 1) + std::pow(c, dv - 1));
+  const real term2 = 0.25 * std::pow(std::sin(2 * beta), 2) *
+                     std::pow(c, du + dv - 2 - 2 * lambda) *
+                     (1.0 - std::pow(std::cos(2 * gamma), lambda));
+  return 0.5 + term1 - term2;
+}
+
+real maxcut_p1_expectation(const Graph& g, real gamma, real beta) {
+  real total = 0.0;
+  for (const Edge& e : g.edges())
+    total += maxcut_p1_edge_expectation(g, e, gamma, beta);
+  return total;
+}
+
+P1Optimum maxcut_p1_grid_optimum(const Graph& g, int grid) {
+  MBQ_REQUIRE(grid >= 2, "grid too small: " << grid);
+  P1Optimum best;
+  best.value = -1e300;
+  for (int i = 0; i < grid; ++i) {
+    const real gamma = -kPi + kTwoPi * (i + 0.5) / grid;
+    for (int j = 0; j < grid; ++j) {
+      const real beta = -kPi / 2 + kPi * (j + 0.5) / grid;
+      const real v = maxcut_p1_expectation(g, gamma, beta);
+      if (v > best.value) best = {gamma, beta, v};
+    }
+  }
+  return best;
+}
+
+}  // namespace mbq::qaoa

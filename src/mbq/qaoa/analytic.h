@@ -1,0 +1,31 @@
+#pragma once
+// Closed-form p=1 MaxCut expectation (Wang, Hadfield, Jiang, Rieffel,
+// PRA 97, 022304 (2018); ref [40] of the paper).
+//
+// For QAOA_1 with phase exp(-i gamma C), C = sum (1 - Z_u Z_v)/2, and
+// mixer exp(-i beta B), the per-edge cut expectation has a closed form in
+// the degrees d_u, d_v and the number of common neighbours lambda_uv.
+// This is an independent oracle for the whole QAOA stack: it involves no
+// statevector at all and must agree with the simulator to 1e-9.
+
+#include "mbq/graph/graph.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::qaoa {
+
+/// <C_uv> for a single edge at angles (gamma, beta).
+real maxcut_p1_edge_expectation(const Graph& g, const Edge& e, real gamma,
+                                real beta);
+
+/// <C> = sum over edges.
+real maxcut_p1_expectation(const Graph& g, real gamma, real beta);
+
+/// Best (gamma, beta) on a grid for the analytic p=1 expectation.
+struct P1Optimum {
+  real gamma = 0.0;
+  real beta = 0.0;
+  real value = 0.0;
+};
+P1Optimum maxcut_p1_grid_optimum(const Graph& g, int grid = 64);
+
+}  // namespace mbq::qaoa

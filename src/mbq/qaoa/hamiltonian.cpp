@@ -1,0 +1,162 @@
+#include "mbq/qaoa/hamiltonian.h"
+
+#include <algorithm>
+#include <map>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+#include "mbq/common/parallel.h"
+
+namespace mbq::qaoa {
+
+CostHamiltonian::CostHamiltonian(int num_qubits, real constant)
+    : n_(num_qubits), constant_(constant) {
+  MBQ_REQUIRE(num_qubits >= 1 && num_qubits <= 63,
+              "qubit count out of range: " << num_qubits);
+}
+
+void CostHamiltonian::add_term(std::vector<int> support, real coeff) {
+  // Repeated indices cancel pairwise (Z^2 = I).
+  std::sort(support.begin(), support.end());
+  std::vector<int> reduced;
+  for (std::size_t i = 0; i < support.size();) {
+    const int q = support[i];
+    MBQ_REQUIRE(q >= 0 && q < n_, "term qubit out of range: " << q);
+    std::size_t j = i;
+    while (j < support.size() && support[j] == q) ++j;
+    if ((j - i) % 2 == 1) reduced.push_back(q);
+    i = j;
+  }
+  if (reduced.empty()) {
+    constant_ += coeff;
+    return;
+  }
+  for (auto& t : terms_) {
+    if (t.support == reduced) {
+      t.coeff += coeff;
+      return;
+    }
+  }
+  terms_.push_back({coeff, std::move(reduced)});
+}
+
+real CostHamiltonian::evaluate(std::uint64_t x) const {
+  real c = constant_;
+  for (const auto& t : terms_) {
+    int par = 0;
+    for (int q : t.support) par ^= get_bit(x, q);
+    c += par ? -t.coeff : t.coeff;
+  }
+  return c;
+}
+
+std::vector<real> CostHamiltonian::cost_table() const {
+  MBQ_REQUIRE(n_ <= 28, "cost table too large for n=" << n_);
+  std::vector<real> table(std::size_t{1} << n_);
+  // Precompute masks once; the per-x loop is the hot path.
+  std::vector<std::uint64_t> masks(terms_.size());
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    std::uint64_t m = 0;
+    for (int q : terms_[i].support) m |= 1ULL << q;
+    masks[i] = m;
+  }
+  const real c0 = constant_;
+  auto* out = table.data();
+  parallel_for(static_cast<std::int64_t>(table.size()), [&](std::int64_t x) {
+    real c = c0;
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      const int par = parity64(static_cast<std::uint64_t>(x) & masks[i]);
+      c += par ? -terms_[i].coeff : terms_[i].coeff;
+    }
+    out[x] = c;
+  });
+  return table;
+}
+
+int CostHamiltonian::max_order() const {
+  std::size_t k = 0;
+  for (const auto& t : terms_) k = std::max(k, t.support.size());
+  return static_cast<int>(k);
+}
+
+bool CostHamiltonian::has_linear_terms() const {
+  return num_terms_of_order(1) > 0;
+}
+
+int CostHamiltonian::num_terms_of_order(int k) const {
+  int c = 0;
+  for (const auto& t : terms_)
+    c += static_cast<int>(t.support.size()) == k;
+  return c;
+}
+
+Graph CostHamiltonian::interaction_graph() const {
+  Graph g(n_);
+  for (const auto& t : terms_) {
+    for (std::size_t i = 0; i < t.support.size(); ++i)
+      for (std::size_t j = i + 1; j < t.support.size(); ++j)
+        if (!g.has_edge(t.support[i], t.support[j]))
+          g.add_edge(t.support[i], t.support[j]);
+  }
+  return g;
+}
+
+CostHamiltonian CostHamiltonian::maxcut(const Graph& g) {
+  CostHamiltonian c(g.num_vertices(),
+                    static_cast<real>(g.num_edges()) / 2.0);
+  for (const Edge& e : g.edges()) c.add_term({e.u, e.v}, -0.5);
+  return c;
+}
+
+CostHamiltonian CostHamiltonian::maxcut_weighted(
+    const Graph& g, const std::vector<real>& weights) {
+  MBQ_REQUIRE(static_cast<int>(weights.size()) == g.num_edges(),
+              "weight count " << weights.size() << " != edge count "
+                              << g.num_edges());
+  real total = 0.0;
+  for (real w : weights) total += w;
+  CostHamiltonian c(g.num_vertices(), total / 2.0);
+  const auto& edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    c.add_term({edges[i].u, edges[i].v}, -weights[i] / 2.0);
+  return c;
+}
+
+CostHamiltonian CostHamiltonian::qubo(
+    int n, const std::vector<real>& linear,
+    const std::vector<std::pair<Edge, real>>& quad, real constant) {
+  MBQ_REQUIRE(static_cast<int>(linear.size()) == n,
+              "linear coefficient count " << linear.size() << " != n=" << n);
+  CostHamiltonian c(n, constant);
+  // x_i = (1 - Z_i)/2.
+  for (int i = 0; i < n; ++i) {
+    if (linear[i] == 0.0) continue;
+    c.constant_ += linear[i] / 2.0;
+    c.add_term({i}, -linear[i] / 2.0);
+  }
+  for (const auto& [e, w] : quad) {
+    MBQ_REQUIRE(e.u != e.v, "QUBO quadratic term on a single variable");
+    if (w == 0.0) continue;
+    // x_u x_v = (1 - Z_u - Z_v + Z_u Z_v)/4.
+    c.constant_ += w / 4.0;
+    c.add_term({e.u}, -w / 4.0);
+    c.add_term({e.v}, -w / 4.0);
+    c.add_term({e.u, e.v}, w / 4.0);
+  }
+  return c;
+}
+
+CostHamiltonian CostHamiltonian::independent_set_size(int n) {
+  CostHamiltonian c(n, static_cast<real>(n) / 2.0);
+  for (int i = 0; i < n; ++i) c.add_term({i}, -0.5);
+  return c;
+}
+
+CostHamiltonian CostHamiltonian::mis_penalized(const Graph& g, real penalty) {
+  std::vector<real> linear(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  std::vector<std::pair<Edge, real>> quad;
+  for (const Edge& e : g.edges()) quad.push_back({e, -penalty});
+  return qubo(g.num_vertices(), linear, quad);
+}
+
+}  // namespace mbq::qaoa

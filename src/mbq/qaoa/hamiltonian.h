@@ -1,0 +1,75 @@
+#pragma once
+// Classical cost Hamiltonians in Ising form.
+//
+// A CostHamiltonian represents a real function c(x) over bit strings as
+//   C = c0 + sum_S w_S Z_S,   Z_S = prod_{i in S} Z_i,
+// diagonal in the computational basis with C|x> = c(x)|x> (Sec. II-C of
+// the paper).  QUBO problems give |S| <= 2; the representation allows
+// higher-order terms because the paper's construction "extends to
+// higher-order cost functions" with the same per-term gadget.
+//
+// Convention: QAOA MAXIMIZES c(x); the phase operator is exp(-i gamma C).
+
+#include <cstdint>
+#include <vector>
+
+#include "mbq/common/types.h"
+#include "mbq/graph/graph.h"
+
+namespace mbq::qaoa {
+
+struct IsingTerm {
+  real coeff = 0.0;
+  std::vector<int> support;  // sorted, distinct qubits
+};
+
+class CostHamiltonian {
+ public:
+  explicit CostHamiltonian(int num_qubits, real constant = 0.0);
+
+  int num_qubits() const noexcept { return n_; }
+  real constant() const noexcept { return constant_; }
+  const std::vector<IsingTerm>& terms() const noexcept { return terms_; }
+
+  /// Add w * Z_S; support is sorted and deduplicated (repeats cancel
+  /// pairwise since Z^2 = I).  Terms with identical support are merged.
+  void add_term(std::vector<int> support, real coeff);
+
+  /// c(x) for a bit assignment.
+  real evaluate(std::uint64_t x) const;
+  /// Full table of c(x), x in [0, 2^n); n <= 28 guard.
+  std::vector<real> cost_table() const;
+
+  /// Max |S| over terms (0 if none).
+  int max_order() const;
+  bool has_linear_terms() const;
+  int num_terms_of_order(int k) const;
+
+  /// Graph with an edge {u,v} whenever some term couples u and v.
+  Graph interaction_graph() const;
+
+  // --- frontends ---
+  /// MaxCut: C = |E|/2 - (1/2) sum_{(u,v) in E} Z_u Z_v (cut size).
+  static CostHamiltonian maxcut(const Graph& g);
+  /// Weighted MaxCut: C = sum_e w_e (1 - Z_u Z_v)/2; weights are indexed
+  /// like g.edges().
+  static CostHamiltonian maxcut_weighted(const Graph& g,
+                                         const std::vector<real>& weights);
+  /// General QUBO: c(x) = sum_i linear[i] x_i + sum_{i<j} quad[{i,j}] x_i x_j
+  /// + constant (maximized).
+  static CostHamiltonian qubo(int n, const std::vector<real>& linear,
+                              const std::vector<std::pair<Edge, real>>& quad,
+                              real constant = 0.0);
+  /// Independent-set size: c(x) = sum_i x_i (for the constraint-preserving
+  /// MIS ansatz of Sec. IV, no penalty terms needed).
+  static CostHamiltonian independent_set_size(int n);
+  /// Penalized MIS QUBO: sum_i x_i - penalty * sum_{(u,v) in E} x_u x_v.
+  static CostHamiltonian mis_penalized(const Graph& g, real penalty);
+
+ private:
+  int n_ = 0;
+  real constant_ = 0.0;
+  std::vector<IsingTerm> terms_;
+};
+
+}  // namespace mbq::qaoa

@@ -1,0 +1,64 @@
+#include "mbq/qaoa/hea.h"
+
+#include "mbq/common/error.h"
+#include "mbq/common/rng.h"
+
+namespace mbq::qaoa {
+
+HeaParameters HeaParameters::random(int layers, int n, Rng& rng) {
+  MBQ_REQUIRE(layers >= 1 && n >= 1, "bad HEA shape");
+  HeaParameters p;
+  p.theta.resize(layers);
+  for (auto& layer : p.theta) {
+    layer.resize(n);
+    for (auto& q : layer) q = {rng.angle(), rng.angle()};
+  }
+  return p;
+}
+
+std::vector<real> HeaParameters::flat() const {
+  std::vector<real> v;
+  for (const auto& layer : theta)
+    for (const auto& q : layer) {
+      v.push_back(q[0]);
+      v.push_back(q[1]);
+    }
+  return v;
+}
+
+HeaParameters HeaParameters::from_flat(const std::vector<real>& v, int layers,
+                                       int n) {
+  MBQ_REQUIRE(static_cast<int>(v.size()) == hea_parameter_count(layers, n),
+              "flat HEA vector has wrong length " << v.size());
+  HeaParameters p;
+  p.theta.resize(layers);
+  std::size_t i = 0;
+  for (auto& layer : p.theta) {
+    layer.resize(n);
+    for (auto& q : layer) {
+      q[0] = v[i++];
+      q[1] = v[i++];
+    }
+  }
+  return p;
+}
+
+int hea_parameter_count(int layers, int n) { return 2 * layers * n; }
+
+Circuit hea_circuit(const Graph& coupling, const HeaParameters& params) {
+  const int n = coupling.num_vertices();
+  MBQ_REQUIRE(params.layers() >= 1, "HEA needs >= 1 layer");
+  Circuit c(n);
+  for (const auto& layer : params.theta) {
+    MBQ_REQUIRE(static_cast<int>(layer.size()) == n,
+                "HEA layer width mismatch");
+    for (int q = 0; q < n; ++q) {
+      c.rz(q, layer[q][0]);
+      c.rx(q, layer[q][1]);
+    }
+    for (const Edge& e : coupling.edges()) c.cz(e.u, e.v);
+  }
+  return c;
+}
+
+}  // namespace mbq::qaoa

@@ -1,0 +1,37 @@
+#pragma once
+// Hardware-efficient ansatz (HEA) — the Sec. V remark: "one might also
+// consider wider varieties of parameterized quantum circuits beyond
+// QAOA, such as so-called hardware-efficient ansaetze ... one may
+// proceed similarly in translating to MBQC".
+//
+// The layout is the standard brickwork: per layer, Rz and Rx rotations
+// on every qubit followed by a CZ ladder over a coupling graph.  The
+// resulting circuit feeds directly into core::compile_circuit_tailored,
+// giving the MBQC translation the paper anticipates.
+
+#include <array>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/graph.h"
+
+namespace mbq::qaoa {
+
+struct HeaParameters {
+  /// theta[layer][qubit][0] = Rz angle, [1] = Rx angle.
+  std::vector<std::vector<std::array<real, 2>>> theta;
+  int layers() const { return static_cast<int>(theta.size()); }
+
+  static HeaParameters random(int layers, int n, Rng& rng);
+  std::vector<real> flat() const;
+  static HeaParameters from_flat(const std::vector<real>& v, int layers,
+                                 int n);
+};
+
+/// Build the HEA circuit over the coupling graph (CZ per edge per layer).
+Circuit hea_circuit(const Graph& coupling, const HeaParameters& params);
+
+/// Number of parameters for (layers, n).
+int hea_parameter_count(int layers, int n);
+
+}  // namespace mbq::qaoa

@@ -1,0 +1,80 @@
+#include "mbq/qaoa/mixers.h"
+
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+
+namespace mbq::qaoa {
+
+Circuit mis_partial_mixer(const Graph& g, int v, real beta) {
+  Circuit c(g.num_vertices());
+  c.controlled_exp_x(v, g.neighbors(v), beta, /*ctrl_value=*/0);
+  return c;
+}
+
+Circuit mis_mixer(const Graph& g, real beta) {
+  Circuit c(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v)
+    c.controlled_exp_x(v, g.neighbors(v), beta, 0);
+  return c;
+}
+
+Circuit mis_qaoa_circuit(const Graph& g, const Angles& a) {
+  const int n = g.num_vertices();
+  Circuit c(n);
+  // Feasible initial state: the empty independent set |0...0> is the
+  // circuit's natural start; an initial mixer application spreads it over
+  // feasible states (paper, Sec. IV).
+  c.append(mis_mixer(g, a.beta.front()));
+  for (int k = 0; k < a.p(); ++k) {
+    // Phase layer for c(x) = sum x_i = n/2 - (1/2) sum Z_i:
+    // exp(-i gamma C) ~ prod exp(+i gamma Z_i / 2) = prod PG(-gamma, {i}).
+    for (int q = 0; q < n; ++q) c.phase_gadget({q}, -a.gamma[k]);
+    c.append(mis_mixer(g, a.beta[k]));
+  }
+  return c;
+}
+
+bool is_independent_set(const Graph& g, std::uint64_t x) {
+  for (const Edge& e : g.edges())
+    if (get_bit(x, e.u) && get_bit(x, e.v)) return false;
+  return true;
+}
+
+real infeasible_mass(const Graph& g, const Statevector& sv) {
+  MBQ_REQUIRE(sv.num_qubits() == g.num_vertices(), "width mismatch");
+  real mass = 0.0;
+  const auto& amps = sv.amplitudes();
+  for (std::uint64_t x = 0; x < amps.size(); ++x)
+    if (!is_independent_set(g, x)) mass += std::norm(amps[x]);
+  return mass;
+}
+
+Circuit xy_mixer_pair(int n, int u, int v, real beta) {
+  MBQ_REQUIRE(u != v, "XY mixer needs distinct qubits");
+  Circuit c(n);
+  // e^{i beta X_u X_v}: conjugate exp(-i theta/2 ZZ), theta = -2 beta,
+  // by H on both qubits.
+  c.h(u).h(v);
+  c.phase_gadget({u, v}, -2.0 * beta);
+  c.h(u).h(v);
+  // e^{i beta Y_u Y_v}: with W = S*H we have W Z W^dag = Y, so conjugate
+  // the ZZ gadget by W (circuit: W^dag = sdg,h before; W = h,s after).
+  c.sdg(u).h(u).sdg(v).h(v);
+  c.phase_gadget({u, v}, -2.0 * beta);
+  c.h(u).s(u).h(v).s(v);
+  return c;
+}
+
+Circuit xy_mixer_ring(int n, const std::vector<int>& ring, real beta) {
+  MBQ_REQUIRE(ring.size() >= 2, "ring needs >= 2 vertices");
+  Circuit c(n);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const int u = ring[i];
+    const int v = ring[(i + 1) % ring.size()];
+    if (ring.size() == 2 && i == 1) break;  // avoid the duplicate pair
+    c.append(xy_mixer_pair(n, u, v, beta));
+  }
+  return c;
+}
+
+}  // namespace mbq::qaoa

@@ -1,0 +1,43 @@
+#pragma once
+// Alternative mixing operators: the quantum alternating operator ansatz
+// (ref [5]) pieces used in Secs. IV and V of the paper.
+//
+//  * MIS partial mixers U_v(beta) = Lambda_{N(v)}(e^{i beta X_v}): the
+//    X-rotation fires only when every neighbour is 0, so the mixer maps
+//    independent sets to independent sets.
+//  * XY mixers e^{i beta (X_u X_v + Y_u Y_v)}: preserve Hamming weight,
+//    used for one-hot / coloring encodings.
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/graph/graph.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::qaoa {
+
+/// One MIS partial mixer as a (single-gate) circuit.
+Circuit mis_partial_mixer(const Graph& g, int v, real beta);
+
+/// Full MIS mixer: ordered product of partial mixers v = 0..n-1.
+Circuit mis_mixer(const Graph& g, real beta);
+
+/// Complete MIS QAOA circuit (Sec. IV): start from a feasible state
+/// (empty set |0...0>), then p alternating phase (single-qubit rotations
+/// for c(x) = |set|) and partial-mixer layers.  An initial mixer layer is
+/// prepended, following the paper's suggestion to apply the mixer to a
+/// classically-found feasible state.
+Circuit mis_qaoa_circuit(const Graph& g, const Angles& a);
+
+/// True if bitstring x is an independent set of g.
+bool is_independent_set(const Graph& g, std::uint64_t x);
+
+/// Total probability mass outside the independent-set subspace.
+real infeasible_mass(const Graph& g, const Statevector& sv);
+
+/// e^{i beta (X_u X_v + Y_u Y_v)} as a circuit (two conjugated phase
+/// gadgets; the factors commute).
+Circuit xy_mixer_pair(int n, int u, int v, real beta);
+
+/// Ring-XY mixer layer over the given vertex ring.
+Circuit xy_mixer_ring(int n, const std::vector<int>& ring, real beta);
+
+}  // namespace mbq::qaoa

@@ -1,0 +1,96 @@
+#include "mbq/qaoa/qaoa.h"
+
+#include "mbq/common/error.h"
+
+namespace mbq::qaoa {
+
+Angles::Angles(std::vector<real> g, std::vector<real> b)
+    : gamma(std::move(g)), beta(std::move(b)) {
+  MBQ_REQUIRE(gamma.size() == beta.size(),
+              "gamma/beta length mismatch: " << gamma.size() << " vs "
+                                             << beta.size());
+  MBQ_REQUIRE(!gamma.empty(), "QAOA needs at least one layer");
+}
+
+Angles Angles::random(int p, Rng& rng) {
+  std::vector<real> g(p), b(p);
+  for (int i = 0; i < p; ++i) {
+    g[i] = rng.angle();
+    b[i] = rng.uniform(-kPi / 2, kPi / 2);
+  }
+  return Angles(std::move(g), std::move(b));
+}
+
+Angles Angles::linear_ramp(int p, real dt) {
+  std::vector<real> g(p), b(p);
+  for (int i = 0; i < p; ++i) {
+    const real f = (i + 1.0) / (p + 1.0);
+    g[i] = dt * f;
+    b[i] = dt * (1.0 - f);
+  }
+  return Angles(std::move(g), std::move(b));
+}
+
+std::vector<real> Angles::flat() const {
+  std::vector<real> v = gamma;
+  v.insert(v.end(), beta.begin(), beta.end());
+  return v;
+}
+
+Angles Angles::from_flat(const std::vector<real>& v) {
+  MBQ_REQUIRE(v.size() % 2 == 0 && !v.empty(),
+              "flat angle vector must have even positive length");
+  const std::size_t p = v.size() / 2;
+  return Angles(std::vector<real>(v.begin(), v.begin() + p),
+                std::vector<real>(v.begin() + p, v.end()));
+}
+
+Circuit qaoa_circuit(const CostHamiltonian& c, const Angles& a) {
+  Circuit circ(c.num_qubits());
+  for (int q = 0; q < c.num_qubits(); ++q) circ.h(q);
+  for (int k = 0; k < a.p(); ++k) {
+    // exp(-i gamma C): each term w_S Z_S contributes the phase gadget
+    // exp(-i gamma w_S Z_S) = PhaseGadget(2 gamma w_S, S); the constant
+    // c0 is a global phase and is dropped.
+    for (const auto& t : c.terms())
+      circ.phase_gadget(t.support, 2.0 * a.gamma[k] * t.coeff);
+    // exp(-i beta B): rx(2 beta) per qubit up to global phase.
+    for (int q = 0; q < c.num_qubits(); ++q) circ.rx(q, 2.0 * a.beta[k]);
+  }
+  return circ;
+}
+
+Statevector qaoa_state(const CostHamiltonian& c, const Angles& a,
+                       const std::vector<real>* cost_table) {
+  std::vector<real> local;
+  if (cost_table == nullptr) {
+    local = c.cost_table();
+    cost_table = &local;
+  }
+  Statevector sv = Statevector::all_plus(c.num_qubits());
+  for (int k = 0; k < a.p(); ++k) {
+    sv.apply_phase_of_cost(a.gamma[k], *cost_table);
+    sv.apply_mixer_layer(a.beta[k]);
+  }
+  return sv;
+}
+
+real qaoa_expectation(const CostHamiltonian& c, const Angles& a,
+                      const std::vector<real>* cost_table) {
+  std::vector<real> local;
+  if (cost_table == nullptr) {
+    local = c.cost_table();
+    cost_table = &local;
+  }
+  return qaoa_state(c, a, cost_table).expectation_diagonal(*cost_table);
+}
+
+std::vector<std::uint64_t> qaoa_sample(const CostHamiltonian& c,
+                                       const Angles& a, int shots, Rng& rng) {
+  const Statevector sv = qaoa_state(c, a);
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(shots));
+  for (auto& x : out) x = sv.sample(rng);
+  return out;
+}
+
+}  // namespace mbq::qaoa

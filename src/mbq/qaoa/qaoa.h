@@ -1,0 +1,55 @@
+#pragma once
+// Gate-model QAOA: circuit construction and fast simulation.
+//
+// Two independent execution paths are provided and cross-checked:
+//  1. qaoa_circuit() builds an explicit gate list (Fig. 2 of the paper)
+//     executed by the generic circuit simulator;
+//  2. qaoa_state()/qaoa_expectation() use the fast diagonal path — the
+//     phase layer multiplies amplitudes by exp(-i gamma c(x)) elementwise
+//     and the mixer is a product of single-qubit rotations.
+
+#include <cstdint>
+#include <vector>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/qaoa/hamiltonian.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq::qaoa {
+
+struct Angles {
+  std::vector<real> gamma;
+  std::vector<real> beta;
+
+  Angles() = default;
+  Angles(std::vector<real> g, std::vector<real> b);
+  /// Number of layers p.
+  int p() const { return static_cast<int>(gamma.size()); }
+  /// Random angles in (-pi, pi] x (-pi/2, pi/2].
+  static Angles random(int p, Rng& rng);
+  /// Linear-ramp initialization (the standard annealing-inspired guess).
+  static Angles linear_ramp(int p, real dt = 0.75);
+  /// Flatten to a single parameter vector (gamma_1..gamma_p, beta_1..).
+  std::vector<real> flat() const;
+  static Angles from_flat(const std::vector<real>& v);
+};
+
+/// QAOA_p circuit: H layer, then alternating phase gadgets (one per Ising
+/// term, angle 2*gamma_k*w_S) and mixer rotations rx(2*beta_k).
+Circuit qaoa_circuit(const CostHamiltonian& c, const Angles& a);
+
+/// Fast path: |gamma beta> via diagonal phase application.  cost_table
+/// may be precomputed (pass non-null) to amortize across calls.
+Statevector qaoa_state(const CostHamiltonian& c, const Angles& a,
+                       const std::vector<real>* cost_table = nullptr);
+
+/// <C> at the given angles.
+real qaoa_expectation(const CostHamiltonian& c, const Angles& a,
+                      const std::vector<real>* cost_table = nullptr);
+
+/// Sample measurement outcomes from the QAOA state.
+std::vector<std::uint64_t> qaoa_sample(const CostHamiltonian& c,
+                                       const Angles& a, int shots, Rng& rng);
+
+}  // namespace mbq::qaoa

@@ -1,0 +1,198 @@
+#include "mbq/sim/dynamic_statevector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+
+namespace mbq {
+
+Matrix measurement_basis(MeasBasis basis, real angle) {
+  switch (basis) {
+    case MeasBasis::Z:
+      return Matrix::identity(2);
+    case MeasBasis::X: {
+      const real s = 1.0 / std::sqrt(2.0);
+      return Matrix(2, 2, {s, s, s, -s});
+    }
+    case MeasBasis::XY: {
+      const real s = 1.0 / std::sqrt(2.0);
+      const cplx e = std::exp(kI * angle);
+      return Matrix(2, 2, {s, s, s * e, -s * e});
+    }
+    case MeasBasis::YZ: {
+      const cplx c = std::cos(angle / 2);
+      const cplx is = kI * std::sin(angle / 2);
+      return Matrix(2, 2, {c, is, is, c});
+    }
+  }
+  throw InternalError("unknown measurement basis");
+}
+
+int DynamicStatevector::position(int wire) const {
+  auto it = pos_.find(wire);
+  MBQ_REQUIRE(it != pos_.end(), "wire " << wire << " is not live");
+  return it->second;
+}
+
+void DynamicStatevector::add_wire(int wire, bool plus) {
+  MBQ_REQUIRE(!has_wire(wire), "wire " << wire << " already live");
+  MBQ_REQUIRE(order_.size() < 28, "too many live wires");
+  const std::size_t old_dim = amps_.size();
+  amps_.resize(old_dim * 2);
+  if (plus) {
+    const real s = 1.0 / std::sqrt(2.0);
+    for (std::size_t i = 0; i < old_dim; ++i) {
+      amps_[i] *= s;
+      amps_[old_dim + i] = amps_[i];
+    }
+  } else {
+    std::fill(amps_.begin() + static_cast<std::ptrdiff_t>(old_dim),
+              amps_.end(), cplx{0.0, 0.0});
+  }
+  pos_[wire] = static_cast<int>(order_.size());
+  order_.push_back(wire);
+  peak_live_ = std::max(peak_live_, num_live());
+}
+
+void DynamicStatevector::add_wire_state(int wire, cplx a0, cplx a1) {
+  const real nrm = std::sqrt(std::norm(a0) + std::norm(a1));
+  MBQ_REQUIRE(nrm > 1e-12, "cannot add a wire in the zero state");
+  add_wire(wire, false);  // |0>
+  // Rotate |0> to the target state with a unitary whose first column is
+  // the (normalized) state.
+  const cplx b0 = a0 / nrm;
+  const cplx b1 = a1 / nrm;
+  apply_1q(wire, Matrix(2, 2, {b0, -std::conj(b1), b1, std::conj(b0)}));
+}
+
+void DynamicStatevector::apply_1q(int wire, const Matrix& u) {
+  MBQ_REQUIRE(u.rows() == 2 && u.cols() == 2, "apply_1q needs 2x2");
+  const int q = position(wire);
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const std::uint64_t pairs = amps_.size() / 2;
+  for (std::uint64_t k = 0; k < pairs; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, q);
+    const std::uint64_t i1 = i0 | stride;
+    const cplx a0 = amps_[i0];
+    const cplx a1 = amps_[i1];
+    amps_[i0] = u00 * a0 + u01 * a1;
+    amps_[i1] = u10 * a0 + u11 * a1;
+  }
+}
+
+void DynamicStatevector::apply_h(int wire) {
+  const real s = 1.0 / std::sqrt(2.0);
+  apply_1q(wire, Matrix(2, 2, {s, s, s, -s}));
+}
+
+void DynamicStatevector::apply_x(int wire) {
+  apply_1q(wire, Matrix(2, 2, {0, 1, 1, 0}));
+}
+
+void DynamicStatevector::apply_z(int wire) {
+  apply_1q(wire, Matrix(2, 2, {1, 0, 0, -1}));
+}
+
+void DynamicStatevector::apply_rz(int wire, real theta) {
+  apply_1q(wire, Matrix(2, 2, {1, 0, 0, std::exp(kI * theta)}));
+}
+
+void DynamicStatevector::apply_cz(int wire_a, int wire_b) {
+  MBQ_REQUIRE(wire_a != wire_b, "CZ needs two distinct wires");
+  const std::uint64_t mask = (std::uint64_t{1} << position(wire_a)) |
+                             (std::uint64_t{1} << position(wire_b));
+  for (std::uint64_t i = 0; i < amps_.size(); ++i)
+    if ((i & mask) == mask) amps_[i] = -amps_[i];
+}
+
+real DynamicStatevector::prob_one(int wire, const Matrix& basis) const {
+  MBQ_REQUIRE(basis.rows() == 2 && basis.cols() == 2, "basis must be 2x2");
+  const int q = position(wire);
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  // Effect for outcome m is <b_m| = conj(column m)^T.
+  const cplx e10 = std::conj(basis(0, 1));
+  const cplx e11 = std::conj(basis(1, 1));
+  real p1 = 0.0;
+  const std::uint64_t pairs = amps_.size() / 2;
+  for (std::uint64_t k = 0; k < pairs; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, q);
+    p1 += std::norm(e10 * amps_[i0] + e11 * amps_[i0 | stride]);
+  }
+  const real total = std::norm(norm());
+  MBQ_REQUIRE(total > 1e-14, "zero state");
+  return p1 / total;
+}
+
+int DynamicStatevector::measure_remove(int wire, const Matrix& basis, Rng& rng,
+                                       int forced) {
+  MBQ_REQUIRE(basis.rows() == 2 && basis.cols() == 2, "basis must be 2x2");
+  MBQ_REQUIRE(forced >= -1 && forced <= 1, "forced outcome must be -1/0/1");
+  const int q = position(wire);
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const std::uint64_t pairs = amps_.size() / 2;
+
+  int outcome;
+  if (forced == -1) {
+    outcome = rng.bernoulli(prob_one(wire, basis)) ? 1 : 0;
+  } else {
+    outcome = forced;
+  }
+
+  // Collapse + compact in one pass: out[k] = <b_m| (pair k).
+  const cplx em0 = std::conj(basis(0, outcome));
+  const cplx em1 = std::conj(basis(1, outcome));
+  std::vector<cplx> out(pairs);
+  real nrm2 = 0.0;
+  for (std::uint64_t k = 0; k < pairs; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, q);
+    out[k] = em0 * amps_[i0] + em1 * amps_[i0 | stride];
+    nrm2 += std::norm(out[k]);
+  }
+  MBQ_REQUIRE(nrm2 > 1e-18, "forced outcome " << outcome << " on wire " << wire
+                                              << " has zero probability");
+  const real inv = 1.0 / std::sqrt(nrm2);
+  for (auto& x : out) x *= inv;
+  amps_ = std::move(out);
+
+  // Drop the wire and shift higher positions down.
+  order_.erase(order_.begin() + q);
+  pos_.erase(wire);
+  for (std::size_t i = static_cast<std::size_t>(q); i < order_.size(); ++i)
+    pos_[order_[i]] = static_cast<int>(i);
+  return outcome;
+}
+
+std::vector<cplx> DynamicStatevector::state_in_order(
+    const std::vector<int>& wires) const {
+  MBQ_REQUIRE(wires.size() == order_.size(),
+              "expected all " << order_.size() << " live wires, got "
+                              << wires.size());
+  std::vector<int> src(wires.size());
+  for (std::size_t i = 0; i < wires.size(); ++i) src[i] = position(wires[i]);
+  std::vector<cplx> out(amps_.size());
+  for (std::uint64_t j = 0; j < out.size(); ++j) {
+    std::uint64_t from = 0;
+    for (std::size_t i = 0; i < src.size(); ++i)
+      from = set_bit(from, src[i], get_bit(j, static_cast<int>(i)));
+    out[j] = amps_[from];
+  }
+  return out;
+}
+
+real DynamicStatevector::norm() const {
+  real s = 0.0;
+  for (const auto& x : amps_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+void DynamicStatevector::normalize() {
+  const real nrm = norm();
+  MBQ_REQUIRE(nrm > 1e-14, "cannot normalize a zero state");
+  const real inv = 1.0 / nrm;
+  for (auto& x : amps_) x *= inv;
+}
+
+}  // namespace mbq

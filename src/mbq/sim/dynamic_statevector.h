@@ -1,0 +1,77 @@
+#pragma once
+// Statevector with dynamic qubit (wire) allocation.
+//
+// MBQC patterns touch far more qubits than are ever simultaneously alive:
+// an ancilla is prepared, entangled, measured and discarded within a few
+// commands.  This simulator exploits that (the "qubit reuse" of DeCross et
+// al. cited in the paper, ref [51]): wires are added lazily and removed on
+// measurement, so the amplitude vector tracks only the LIVE wires.  Wires
+// are addressed by stable integer ids independent of their current bit
+// position.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/types.h"
+#include "mbq/linalg/dense.h"
+
+namespace mbq {
+
+/// Single-qubit measurement bases used by patterns.
+enum class MeasBasis : std::uint8_t { Z, X, XY, YZ };
+
+/// Basis kets as the columns of a 2x2 unitary: column m is the outcome-m
+/// state.  XY(angle): (|0> ± e^{i a}|1>)/sqrt(2); YZ(angle): e^{i a X/2}|m>.
+Matrix measurement_basis(MeasBasis basis, real angle);
+
+class DynamicStatevector {
+ public:
+  DynamicStatevector() { amps_ = {cplx{1.0, 0.0}}; }
+
+  int num_live() const noexcept { return static_cast<int>(order_.size()); }
+  int peak_live() const noexcept { return peak_live_; }
+  std::uint64_t dim() const noexcept { return std::uint64_t{1} << order_.size(); }
+  bool has_wire(int wire) const noexcept { return pos_.count(wire) != 0; }
+  /// Live wire ids in bit-position order (position 0 first).
+  const std::vector<int>& wire_order() const noexcept { return order_; }
+
+  /// Add wire `wire` in |+> (plus=true) or |0>.
+  void add_wire(int wire, bool plus = true);
+
+  /// Add wire `wire` in the state a0|0> + a1|1> (normalized internally).
+  void add_wire_state(int wire, cplx a0, cplx a1);
+
+  void apply_1q(int wire, const Matrix& u);
+  void apply_h(int wire);
+  void apply_x(int wire);
+  void apply_z(int wire);
+  void apply_rz(int wire, real theta);
+  void apply_cz(int wire_a, int wire_b);
+
+  /// Measure `wire` in the given basis and REMOVE it from the register.
+  /// forced in {-1 (sample from Born rule), 0, 1}.  Returns the outcome.
+  int measure_remove(int wire, const Matrix& basis, Rng& rng, int forced = -1);
+
+  /// Probability that measuring `wire` in `basis` yields 1.
+  real prob_one(int wire, const Matrix& basis) const;
+
+  /// Amplitudes reordered so that wires[i] maps to bit i; every live wire
+  /// must appear exactly once.  Use this to compare against a fixed-order
+  /// reference state.
+  std::vector<cplx> state_in_order(const std::vector<int>& wires) const;
+
+  real norm() const;
+  void normalize();
+
+ private:
+  int position(int wire) const;
+
+  std::vector<cplx> amps_;
+  std::vector<int> order_;               // wire id per bit position
+  std::unordered_map<int, int> pos_;     // wire id -> bit position
+  int peak_live_ = 0;
+};
+
+}  // namespace mbq

@@ -1,0 +1,89 @@
+#include "mbq/sim/pauli.h"
+
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+
+namespace mbq {
+
+PauliString::PauliString(const std::string& ops)
+    : n_(static_cast<int>(ops.size())) {
+  MBQ_REQUIRE(ops.size() <= 64, "Pauli string too long: " << ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const char c = ops[i];
+    const int q = static_cast<int>(i);
+    switch (c) {
+      case 'I':
+        break;
+      case 'X':
+        x_ |= 1ULL << q;
+        break;
+      case 'Y':
+        x_ |= 1ULL << q;
+        z_ |= 1ULL << q;
+        break;
+      case 'Z':
+        z_ |= 1ULL << q;
+        break;
+      default:
+        MBQ_REQUIRE(false, "invalid Pauli character '" << c << "'");
+    }
+  }
+}
+
+PauliString::PauliString(std::uint64_t x_mask, std::uint64_t z_mask, int n)
+    : x_(x_mask), z_(z_mask), n_(n) {
+  MBQ_REQUIRE(n >= 0 && n <= 64, "bad qubit count " << n);
+  const std::uint64_t lim = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  MBQ_REQUIRE((x_ | z_) == ((x_ | z_) & lim), "mask exceeds qubit count");
+}
+
+int PauliString::y_count() const noexcept { return std::popcount(x_ & z_); }
+
+char PauliString::op_at(int q) const {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range " << q);
+  const bool xb = (x_ >> q) & 1;
+  const bool zb = (z_ >> q) & 1;
+  if (xb && zb) return 'Y';
+  if (xb) return 'X';
+  if (zb) return 'Z';
+  return 'I';
+}
+
+std::string PauliString::str() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(n_));
+  for (int q = 0; q < n_; ++q) s.push_back(op_at(q));
+  return s;
+}
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  // Symplectic form: they anticommute iff <x,z'> + <x',z> is odd.
+  const int sym =
+      parity64(x_ & other.z_) ^ parity64(other.x_ & z_);
+  return sym == 0;
+}
+
+cplx PauliString::expectation(const Statevector& psi) const {
+  MBQ_REQUIRE(n_ == psi.num_qubits(),
+              "Pauli width " << n_ << " != state width " << psi.num_qubits());
+  // P|b> = i^{|Y|} (-1)^{popcount(b & z_)} |b ^ x_>   with the convention
+  // Y|0>=i|1>, Y|1>=-i|0>  (factor i (-1)^b per Y; the (-1)^b is absorbed
+  // in z_ because Y sets both masks).
+  const int ny = y_count();
+  cplx global{1.0, 0.0};
+  switch (ny & 3) {
+    case 0: global = {1.0, 0.0}; break;
+    case 1: global = {0.0, 1.0}; break;
+    case 2: global = {-1.0, 0.0}; break;
+    case 3: global = {0.0, -1.0}; break;
+  }
+  const auto& a = psi.amplitudes();
+  cplx acc{0.0, 0.0};
+  for (std::uint64_t b = 0; b < a.size(); ++b) {
+    const real sign = parity64(b & z_) ? -1.0 : 1.0;
+    acc += std::conj(a[b ^ x_]) * (global * sign * a[b]);
+  }
+  return acc;
+}
+
+}  // namespace mbq

@@ -1,0 +1,47 @@
+#pragma once
+// Pauli strings and their expectation values on statevectors.
+
+#include <cstdint>
+#include <string>
+
+#include "mbq/common/types.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq {
+
+/// A Pauli string on up to 64 qubits, e.g. "XIZY" (qubit 0 first).
+/// Internally: x_mask marks X/Y qubits, z_mask marks Z/Y qubits.
+class PauliString {
+ public:
+  PauliString() = default;
+  /// From a string of I/X/Y/Z characters, qubit 0 first.
+  explicit PauliString(const std::string& ops);
+  PauliString(std::uint64_t x_mask, std::uint64_t z_mask, int n);
+
+  int num_qubits() const noexcept { return n_; }
+  std::uint64_t x_mask() const noexcept { return x_; }
+  std::uint64_t z_mask() const noexcept { return z_; }
+  bool is_identity() const noexcept { return x_ == 0 && z_ == 0; }
+
+  /// Number of Y factors.
+  int y_count() const noexcept;
+
+  char op_at(int q) const;
+  std::string str() const;
+
+  /// Do two strings commute?
+  bool commutes_with(const PauliString& other) const;
+
+  /// <psi|P|psi> (must be real for Hermitian P; we return the real part
+  /// and expose the imaginary residue for tests).
+  cplx expectation(const Statevector& psi) const;
+
+  friend bool operator==(const PauliString&, const PauliString&) = default;
+
+ private:
+  std::uint64_t x_ = 0;
+  std::uint64_t z_ = 0;
+  int n_ = 0;
+};
+
+}  // namespace mbq

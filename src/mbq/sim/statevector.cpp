@@ -1,0 +1,249 @@
+#include "mbq/sim/statevector.h"
+
+#include <cmath>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+#include "mbq/common/parallel.h"
+
+namespace mbq {
+
+Statevector::Statevector(int n) : n_(n) {
+  MBQ_REQUIRE(n >= 0 && n <= 28, "qubit count out of range: " << n);
+  amps_.assign(std::size_t{1} << n, cplx{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+Statevector::Statevector(int n, std::vector<cplx> amps)
+    : n_(n), amps_(std::move(amps)) {
+  MBQ_REQUIRE(n >= 0 && n <= 28, "qubit count out of range: " << n);
+  MBQ_REQUIRE(amps_.size() == (std::size_t{1} << n),
+              "amplitude count " << amps_.size() << " != 2^" << n);
+}
+
+Statevector Statevector::all_plus(int n) {
+  Statevector sv(n);
+  const real a = std::pow(2.0, -0.5 * n);
+  std::fill(sv.amps_.begin(), sv.amps_.end(), cplx{a, 0.0});
+  return sv;
+}
+
+void Statevector::apply_1q(const Matrix& u, int q) {
+  MBQ_REQUIRE(u.rows() == 2 && u.cols() == 2, "apply_1q needs a 2x2 matrix");
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit " << q << " out of range");
+  const std::int64_t stride = std::int64_t{1} << q;
+  const std::int64_t pairs = static_cast<std::int64_t>(dim()) / 2;
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  auto* a = amps_.data();
+  parallel_for(pairs, [=](std::int64_t k) {
+    // Index of the k-th pair: insert a 0 at bit q.
+    const std::int64_t i0 =
+        static_cast<std::int64_t>(insert_zero_bit(static_cast<std::uint64_t>(k), q));
+    const std::int64_t i1 = i0 | stride;
+    const cplx a0 = a[i0];
+    const cplx a1 = a[i1];
+    a[i0] = u00 * a0 + u01 * a1;
+    a[i1] = u10 * a0 + u11 * a1;
+  });
+}
+
+void Statevector::apply_h(int q) {
+  static const real s = 1.0 / std::sqrt(2.0);
+  apply_1q(Matrix(2, 2, {s, s, s, -s}), q);
+}
+
+void Statevector::apply_x(int q) {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit " << q << " out of range");
+  const std::int64_t stride = std::int64_t{1} << q;
+  const std::int64_t pairs = static_cast<std::int64_t>(dim()) / 2;
+  auto* a = amps_.data();
+  parallel_for(pairs, [=](std::int64_t k) {
+    const std::int64_t i0 =
+        static_cast<std::int64_t>(insert_zero_bit(static_cast<std::uint64_t>(k), q));
+    std::swap(a[i0], a[i0 | stride]);
+  });
+}
+
+void Statevector::apply_z(int q) { apply_rz(q, kPi); }
+
+void Statevector::apply_rz(int q, real theta) {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit " << q << " out of range");
+  const cplx phase = std::exp(kI * theta);
+  const std::uint64_t mask = std::uint64_t{1} << q;
+  auto* a = amps_.data();
+  parallel_for(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    if (static_cast<std::uint64_t>(i) & mask) a[i] *= phase;
+  });
+}
+
+void Statevector::apply_rx(int q, real theta) {
+  const cplx e = std::exp(kI * theta);
+  const cplx p = (1.0 + e) * 0.5;
+  const cplx m = (1.0 - e) * 0.5;
+  apply_1q(Matrix(2, 2, {p, m, m, p}), q);  // H rz(theta) H
+}
+
+void Statevector::apply_cz(int q0, int q1) {
+  MBQ_REQUIRE(q0 != q1 && q0 >= 0 && q1 >= 0 && q0 < n_ && q1 < n_,
+              "bad CZ qubits " << q0 << "," << q1);
+  const std::uint64_t mask = (std::uint64_t{1} << q0) | (std::uint64_t{1} << q1);
+  auto* a = amps_.data();
+  parallel_for(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    if ((static_cast<std::uint64_t>(i) & mask) == mask) a[i] = -a[i];
+  });
+}
+
+void Statevector::apply_cx(int control, int target) {
+  MBQ_REQUIRE(control != target && control >= 0 && target >= 0 &&
+                  control < n_ && target < n_,
+              "bad CX qubits " << control << "," << target);
+  const std::uint64_t cmask = std::uint64_t{1} << control;
+  const std::uint64_t tmask = std::uint64_t{1} << target;
+  auto* a = amps_.data();
+  parallel_for(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    const auto u = static_cast<std::uint64_t>(i);
+    if ((u & cmask) && !(u & tmask)) {
+      std::swap(a[u], a[u | tmask]);
+    }
+  });
+}
+
+void Statevector::apply_exp_zs(real theta, const std::vector<int>& support) {
+  std::uint64_t mask = 0;
+  for (int q : support) {
+    MBQ_REQUIRE(q >= 0 && q < n_, "support qubit out of range: " << q);
+    mask |= std::uint64_t{1} << q;
+  }
+  const cplx even = std::exp(-kI * (theta / 2));
+  const cplx odd = std::exp(kI * (theta / 2));
+  auto* a = amps_.data();
+  parallel_for(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    a[i] *= parity64(static_cast<std::uint64_t>(i) & mask) ? odd : even;
+  });
+}
+
+void Statevector::apply_diagonal(const std::vector<cplx>& phases) {
+  MBQ_REQUIRE(phases.size() == dim(), "diagonal size mismatch");
+  auto* a = amps_.data();
+  const cplx* d = phases.data();
+  parallel_for(static_cast<std::int64_t>(dim()),
+               [=](std::int64_t i) { a[i] *= d[i]; });
+}
+
+void Statevector::apply_phase_of_cost(real gamma,
+                                      const std::vector<real>& cost) {
+  MBQ_REQUIRE(cost.size() == dim(), "cost table size mismatch");
+  auto* a = amps_.data();
+  const real* c = cost.data();
+  parallel_for(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    a[i] *= std::exp(cplx{0.0, -gamma * c[i]});
+  });
+}
+
+void Statevector::apply_mixer_layer(real beta) {
+  // e^{-i beta X} = exp_x(2 beta) in the physics convention; as a 2x2:
+  const cplx c = std::cos(beta);
+  const cplx is = -kI * std::sin(beta);
+  const Matrix u(2, 2, {c, is, is, c});
+  for (int q = 0; q < n_; ++q) apply_1q(u, q);
+}
+
+void Statevector::apply_controlled_exp_x(real beta, int target,
+                                         const std::vector<int>& controls,
+                                         int ctrl_value) {
+  MBQ_REQUIRE(ctrl_value == 0 || ctrl_value == 1, "ctrl_value must be 0/1");
+  MBQ_REQUIRE(target >= 0 && target < n_, "target out of range");
+  std::uint64_t cmask = 0;
+  for (int q : controls) {
+    MBQ_REQUIRE(q >= 0 && q < n_ && q != target, "bad control qubit " << q);
+    cmask |= std::uint64_t{1} << q;
+  }
+  const std::uint64_t want = ctrl_value ? cmask : 0;
+  const std::uint64_t tmask = std::uint64_t{1} << target;
+  const cplx c = std::cos(beta);
+  const cplx is = kI * std::sin(beta);
+  auto* a = amps_.data();
+  parallel_for(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    const auto u = static_cast<std::uint64_t>(i);
+    if ((u & cmask) != want) return;
+    if (u & tmask) return;  // handle each pair once, from the 0 side
+    const std::uint64_t f = u | tmask;
+    // The pair partner has the same control bits, so it is also active.
+    const cplx a0 = a[u];
+    const cplx a1 = a[f];
+    a[u] = c * a0 + is * a1;
+    a[f] = is * a0 + c * a1;
+  });
+}
+
+real Statevector::expectation_diagonal(const std::vector<real>& cost) const {
+  MBQ_REQUIRE(cost.size() == dim(), "cost table size mismatch");
+  const auto* a = amps_.data();
+  const real* c = cost.data();
+  return parallel_sum(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    return std::norm(a[i]) * c[i];
+  });
+}
+
+real Statevector::prob_one(int q) const {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit " << q << " out of range");
+  const std::uint64_t mask = std::uint64_t{1} << q;
+  const auto* a = amps_.data();
+  return parallel_sum(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    return (static_cast<std::uint64_t>(i) & mask) ? std::norm(a[i]) : 0.0;
+  });
+}
+
+std::uint64_t Statevector::sample(Rng& rng) const {
+  real r = rng.uniform();
+  // One linear scan; amplitudes are normalized so the cumulative hits 1.
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    r -= std::norm(amps_[i]);
+    if (r <= 0.0) return i;
+  }
+  return dim() - 1;
+}
+
+int Statevector::measure(int q, Rng& rng, int forced) {
+  MBQ_REQUIRE(forced >= -1 && forced <= 1, "forced outcome must be -1/0/1");
+  const real p1 = prob_one(q);
+  int outcome;
+  if (forced == -1) {
+    outcome = rng.bernoulli(p1) ? 1 : 0;
+  } else {
+    outcome = forced;
+    const real p = outcome ? p1 : 1.0 - p1;
+    MBQ_REQUIRE(p > 1e-12, "forced outcome " << outcome << " on qubit " << q
+                                             << " has probability " << p);
+  }
+  const std::uint64_t mask = std::uint64_t{1} << q;
+  const std::uint64_t want = outcome ? mask : 0;
+  auto* a = amps_.data();
+  parallel_for(static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
+    if ((static_cast<std::uint64_t>(i) & mask) != want) a[i] = cplx{0.0, 0.0};
+  });
+  normalize();
+  return outcome;
+}
+
+real Statevector::norm() const {
+  const auto* a = amps_.data();
+  return std::sqrt(parallel_sum(static_cast<std::int64_t>(dim()),
+                                [=](std::int64_t i) { return std::norm(a[i]); }));
+}
+
+void Statevector::normalize() {
+  const real nrm = norm();
+  MBQ_REQUIRE(nrm > 1e-14, "cannot normalize a zero state");
+  const real inv = 1.0 / nrm;
+  auto* a = amps_.data();
+  parallel_for(static_cast<std::int64_t>(dim()),
+               [=](std::int64_t i) { a[i] *= inv; });
+}
+
+real Statevector::fidelity_with(const Statevector& other) const {
+  MBQ_REQUIRE(n_ == other.n_, "fidelity between different widths");
+  return fidelity(amps_, other.amps_);
+}
+
+}  // namespace mbq

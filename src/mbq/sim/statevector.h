@@ -1,0 +1,77 @@
+#pragma once
+// Fixed-width statevector simulator.
+//
+// This is the workhorse for gate-model QAOA and all unitary oracles.
+// Kernels are cache-friendly stride loops parallelized with OpenMP above a
+// grain threshold (see mbq/common/parallel.h).  Qubit order is little-
+// endian: qubit q addresses bit q of the amplitude index.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mbq/common/rng.h"
+#include "mbq/common/types.h"
+#include "mbq/linalg/dense.h"
+
+namespace mbq {
+
+class Statevector {
+ public:
+  /// |0...0> on n qubits (n <= 28).
+  explicit Statevector(int n);
+  /// Take ownership of raw amplitudes (size must be a power of two).
+  Statevector(int n, std::vector<cplx> amps);
+
+  static Statevector all_plus(int n);
+
+  int num_qubits() const noexcept { return n_; }
+  std::uint64_t dim() const noexcept { return std::uint64_t{1} << n_; }
+  const std::vector<cplx>& amplitudes() const noexcept { return amps_; }
+  std::vector<cplx>& amplitudes() noexcept { return amps_; }
+
+  /// Apply an arbitrary single-qubit gate.
+  void apply_1q(const Matrix& u, int q);
+  void apply_h(int q);
+  void apply_x(int q);
+  void apply_z(int q);
+  /// diag(1, e^{i theta}) on qubit q.
+  void apply_rz(int q, real theta);
+  void apply_rx(int q, real theta);
+
+  void apply_cz(int q0, int q1);
+  void apply_cx(int control, int target);
+  /// exp(-i (theta/2) Z_S): phase e^{∓i theta/2} by parity of S.
+  void apply_exp_zs(real theta, const std::vector<int>& support);
+  /// Multiply amplitude of basis state i by phases[i] (|phases| == dim).
+  void apply_diagonal(const std::vector<cplx>& phases);
+  /// Multiply amplitude i by exp(-i gamma * cost[i]) (QAOA phase layer).
+  void apply_phase_of_cost(real gamma, const std::vector<real>& cost);
+  /// e^{-i beta X} on every qubit (QAOA transverse-field mixer layer).
+  void apply_mixer_layer(real beta);
+  /// Multi-controlled e^{i beta X_target}, controls required in ctrl_value.
+  void apply_controlled_exp_x(real beta, int target,
+                              const std::vector<int>& controls,
+                              int ctrl_value);
+
+  /// <psi | diag(cost) | psi>.
+  real expectation_diagonal(const std::vector<real>& cost) const;
+  /// Probability of measuring qubit q as 1.
+  real prob_one(int q) const;
+  /// Sample a full computational-basis measurement (state unchanged).
+  std::uint64_t sample(Rng& rng) const;
+  /// Measure qubit q: collapses the state. forced in {-1 (sample),0,1}.
+  int measure(int q, Rng& rng, int forced = -1);
+
+  real norm() const;
+  void normalize();
+
+  /// Squared overlap with another state of the same width.
+  real fidelity_with(const Statevector& other) const;
+
+ private:
+  int n_ = 0;
+  std::vector<cplx> amps_;
+};
+
+}  // namespace mbq

@@ -1,0 +1,352 @@
+#include "mbq/stab/tableau.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "mbq/common/error.h"
+#include "mbq/graph/graph.h"
+
+namespace mbq {
+
+Tableau::Tableau(int n) : n_(n) {
+  MBQ_REQUIRE(n >= 1 && n <= 1 << 16, "qubit count out of range: " << n);
+  const std::size_t rows = 2 * static_cast<std::size_t>(n);
+  x_.assign(rows * words(), 0);
+  z_.assign(rows * words(), 0);
+  r_.assign(rows, 0);
+  for (int i = 0; i < n; ++i) {
+    set(x_, i, i, true);       // destabilizer i = X_i
+    set(z_, n + i, i, true);   // stabilizer  i = Z_i
+  }
+}
+
+Tableau Tableau::graph_state(const Graph& g) {
+  Tableau t(g.num_vertices());
+  for (int q = 0; q < g.num_vertices(); ++q) t.apply_h(q);
+  for (const Edge& e : g.edges()) t.apply_cz(e.u, e.v);
+  return t;
+}
+
+bool Tableau::get(const std::vector<std::uint64_t>& m, int row, int col) const {
+  return (m[static_cast<std::size_t>(row) * words() + col / 64] >>
+          (col % 64)) & 1ULL;
+}
+
+void Tableau::set(std::vector<std::uint64_t>& m, int row, int col, bool v) {
+  auto& w = m[static_cast<std::size_t>(row) * words() + col / 64];
+  const std::uint64_t bit = 1ULL << (col % 64);
+  if (v) w |= bit;
+  else w &= ~bit;
+}
+
+void Tableau::apply_h(int q) {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range " << q);
+  for (int row = 0; row < 2 * n_; ++row) {
+    const bool xb = get(x_, row, q);
+    const bool zb = get(z_, row, q);
+    r_[row] ^= static_cast<std::uint8_t>(xb && zb);
+    set(x_, row, q, zb);
+    set(z_, row, q, xb);
+  }
+}
+
+void Tableau::apply_s(int q) {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range " << q);
+  for (int row = 0; row < 2 * n_; ++row) {
+    const bool xb = get(x_, row, q);
+    const bool zb = get(z_, row, q);
+    r_[row] ^= static_cast<std::uint8_t>(xb && zb);
+    set(z_, row, q, xb != zb);
+  }
+}
+
+void Tableau::apply_sdg(int q) {
+  apply_s(q);
+  apply_s(q);
+  apply_s(q);
+}
+
+void Tableau::apply_x(int q) {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range " << q);
+  for (int row = 0; row < 2 * n_; ++row)
+    r_[row] ^= static_cast<std::uint8_t>(get(z_, row, q));
+}
+
+void Tableau::apply_z(int q) {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range " << q);
+  for (int row = 0; row < 2 * n_; ++row)
+    r_[row] ^= static_cast<std::uint8_t>(get(x_, row, q));
+}
+
+void Tableau::apply_y(int q) {
+  apply_z(q);
+  apply_x(q);
+}
+
+void Tableau::apply_cx(int control, int target) {
+  MBQ_REQUIRE(control != target && control >= 0 && target >= 0 &&
+                  control < n_ && target < n_,
+              "bad CX qubits " << control << "," << target);
+  for (int row = 0; row < 2 * n_; ++row) {
+    const bool xc = get(x_, row, control);
+    const bool zc = get(z_, row, control);
+    const bool xt = get(x_, row, target);
+    const bool zt = get(z_, row, target);
+    r_[row] ^= static_cast<std::uint8_t>(xc && zt && (xt == zc));
+    set(x_, row, target, xt != xc);
+    set(z_, row, control, zc != zt);
+  }
+}
+
+void Tableau::apply_cz(int a, int b) {
+  apply_h(b);
+  apply_cx(a, b);
+  apply_h(b);
+}
+
+void Tableau::apply_swap(int a, int b) {
+  apply_cx(a, b);
+  apply_cx(b, a);
+  apply_cx(a, b);
+}
+
+void Tableau::rowsum_into(std::vector<std::uint64_t>& xs,
+                          std::vector<std::uint64_t>& zs, int& r,
+                          int i) const {
+  // Multiply the accumulator Pauli (xs, zs, sign bit in r mod 4 exponent)
+  // by row i; exponent arithmetic mod 4 as in CHP.
+  int twos = 2 * r + 2 * r_[i];
+  int plus = 0, minus = 0;
+  const std::size_t base = static_cast<std::size_t>(i) * words();
+  for (int w = 0; w < words(); ++w) {
+    const std::uint64_t a = x_[base + w];  // row i (left factor)
+    const std::uint64_t b = z_[base + w];
+    const std::uint64_t c = xs[w];         // accumulator (right factor)
+    const std::uint64_t d = zs[w];
+    const std::uint64_t gp = (a & b & d & ~c) | (a & ~b & d & c) |
+                             (~a & b & c & ~d);
+    const std::uint64_t gm = (a & b & c & ~d) | (a & ~b & d & ~c) |
+                             (~a & b & c & d);
+    plus += std::popcount(gp);
+    minus += std::popcount(gm);
+    xs[w] ^= a;
+    zs[w] ^= b;
+  }
+  const int total = ((twos + plus - minus) % 4 + 4) % 4;
+  // Products of commuting Paulis give total in {0, 2}.  Odd totals occur
+  // when a destabilizer row is multiplied by its paired stabilizer during
+  // measurement updates; the phase bit of destabilizer rows is
+  // meaningless, so mapping {0,1}->+ and {2,3}->- is safe there.
+  r = (total >> 1) & 1;
+}
+
+void Tableau::rowsum(int h, int i) {
+  const std::size_t bh = static_cast<std::size_t>(h) * words();
+  std::vector<std::uint64_t> xs(x_.begin() + bh, x_.begin() + bh + words());
+  std::vector<std::uint64_t> zs(z_.begin() + bh, z_.begin() + bh + words());
+  int r = r_[h];
+  // rowsum multiplies row i into accumulator; note exponent includes both.
+  int rr = r;
+  // Reuse rowsum_into with accumulator seeded from row h but exponent
+  // handled there (2*r + 2*r_i): pass r of row h.
+  rr = r;
+  rowsum_into(xs, zs, rr, i);
+  std::copy(xs.begin(), xs.end(), x_.begin() + bh);
+  std::copy(zs.begin(), zs.end(), z_.begin() + bh);
+  r_[h] = static_cast<std::uint8_t>(rr);
+}
+
+bool Tableau::is_deterministic_z(int q) const {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range " << q);
+  for (int i = n_; i < 2 * n_; ++i)
+    if (get(x_, i, q)) return false;
+  return true;
+}
+
+int Tableau::measure_z_impl(int q, Rng& rng, int forced) {
+  MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range " << q);
+  MBQ_REQUIRE(forced >= -1 && forced <= 1, "forced must be -1/0/1");
+  int p = -1;
+  for (int i = n_; i < 2 * n_; ++i) {
+    if (get(x_, i, q)) {
+      p = i;
+      break;
+    }
+  }
+  if (p >= 0) {
+    // Random outcome.
+    const int outcome = forced == -1 ? (rng.coin() ? 1 : 0) : forced;
+    for (int i = 0; i < 2 * n_; ++i)
+      if (i != p && get(x_, i, q)) rowsum(i, p);
+    // Destabilizer p-n := old stabilizer p; stabilizer p := (-1)^outcome Z_q.
+    const std::size_t bp = static_cast<std::size_t>(p) * words();
+    const std::size_t bd = static_cast<std::size_t>(p - n_) * words();
+    std::copy(x_.begin() + bp, x_.begin() + bp + words(), x_.begin() + bd);
+    std::copy(z_.begin() + bp, z_.begin() + bp + words(), z_.begin() + bd);
+    r_[p - n_] = r_[p];
+    std::fill(x_.begin() + bp, x_.begin() + bp + words(), 0ULL);
+    std::fill(z_.begin() + bp, z_.begin() + bp + words(), 0ULL);
+    set(z_, p, q, true);
+    r_[p] = static_cast<std::uint8_t>(outcome);
+    return outcome;
+  }
+  // Deterministic outcome: accumulate into scratch.
+  std::vector<std::uint64_t> xs(words(), 0ULL);
+  std::vector<std::uint64_t> zs(words(), 0ULL);
+  int r = 0;
+  for (int i = 0; i < n_; ++i)
+    if (get(x_, i, q)) rowsum_into(xs, zs, r, i + n_);
+  const int outcome = r;
+  MBQ_REQUIRE(forced == -1 || forced == outcome,
+              "forced outcome " << forced << " contradicts deterministic "
+                                << outcome << " on qubit " << q);
+  return outcome;
+}
+
+int Tableau::measure_z(int q, Rng& rng, int forced) {
+  return measure_z_impl(q, rng, forced);
+}
+
+int Tableau::measure_x(int q, Rng& rng, int forced) {
+  apply_h(q);
+  const int m = measure_z_impl(q, rng, forced);
+  apply_h(q);
+  return m;
+}
+
+int Tableau::measure_y(int q, Rng& rng, int forced) {
+  // Y basis: measure Z after rotating Y -> Z with Sdg then H.
+  apply_sdg(q);
+  apply_h(q);
+  const int m = measure_z_impl(q, rng, forced);
+  apply_h(q);
+  apply_s(q);
+  return m;
+}
+
+int Tableau::expectation(const PauliString& p) const {
+  MBQ_REQUIRE(p.num_qubits() == n_,
+              "Pauli width " << p.num_qubits() << " != " << n_);
+  // P anticommutes with some stabilizer  =>  <P> = 0.
+  // Otherwise P = ± product of stabilizers; find the sign using the
+  // destabilizer pairing: stabilizer i participates iff destabilizer i
+  // anticommutes with P.
+  auto row_pauli = [&](int row) {
+    std::uint64_t xm = 0, zm = 0;
+    for (int qq = 0; qq < n_ && qq < 64; ++qq) {
+      if (get(x_, row, qq)) xm |= 1ULL << qq;
+      if (get(z_, row, qq)) zm |= 1ULL << qq;
+    }
+    return PauliString(xm, zm, std::min(n_, 64));
+  };
+  MBQ_REQUIRE(n_ <= 64,
+              "expectation() supports up to 64 qubits; use measure_* beyond");
+  const PauliString target(p.x_mask(), p.z_mask(), n_);
+  for (int i = n_; i < 2 * n_; ++i)
+    if (!row_pauli(i).commutes_with(target)) return 0;
+
+  std::vector<std::uint64_t> xs(words(), 0ULL);
+  std::vector<std::uint64_t> zs(words(), 0ULL);
+  int r = 0;
+  for (int i = 0; i < n_; ++i)
+    if (!row_pauli(i).commutes_with(target)) rowsum_into(xs, zs, r, i + n_);
+  // The accumulated Pauli must equal P as a tensor of X/Z (up to Y phase
+  // bookkeeping shared by both sides).
+  std::uint64_t xm = 0, zm = 0;
+  for (int qq = 0; qq < n_; ++qq) {
+    if ((xs[qq / 64] >> (qq % 64)) & 1ULL) xm |= 1ULL << qq;
+    if ((zs[qq / 64] >> (qq % 64)) & 1ULL) zm |= 1ULL << qq;
+  }
+  MBQ_REQUIRE(xm == p.x_mask() && zm == p.z_mask(),
+              "Pauli " << p.str() << " is not in the stabilizer group");
+  return r ? -1 : +1;
+}
+
+int Tableau::expectation_zs(const std::vector<int>& qubits) const {
+  std::vector<std::uint64_t> zmask(words(), 0ULL);
+  for (int q : qubits) {
+    MBQ_REQUIRE(q >= 0 && q < n_, "qubit out of range: " << q);
+    zmask[q / 64] ^= 1ULL << (q % 64);  // repeated qubits cancel (Z^2 = I)
+  }
+  auto anticommutes_with_target = [&](int row) {
+    // Z_S anticommutes with row iff parity(x_row & zmask) is odd.
+    int par = 0;
+    const std::size_t base = static_cast<std::size_t>(row) * words();
+    for (int w = 0; w < words(); ++w)
+      par ^= std::popcount(x_[base + w] & zmask[w]) & 1;
+    return par == 1;
+  };
+  for (int i = n_; i < 2 * n_; ++i)
+    if (anticommutes_with_target(i)) return 0;
+
+  std::vector<std::uint64_t> xs(words(), 0ULL);
+  std::vector<std::uint64_t> zs(words(), 0ULL);
+  int r = 0;
+  for (int i = 0; i < n_; ++i)
+    if (anticommutes_with_target(i)) rowsum_into(xs, zs, r, i + n_);
+  for (int w = 0; w < words(); ++w) {
+    MBQ_REQUIRE(xs[w] == 0 && zs[w] == zmask[w],
+                "Z product is not in the stabilizer group");
+  }
+  return r ? -1 : +1;
+}
+
+std::vector<std::string> Tableau::canonical_stabilizers() const {
+  // Gaussian elimination over the stabilizer rows (a copy of the tableau
+  // so measurement state is untouched).
+  Tableau t = *this;
+  int row = t.n_;
+  auto pivot_col = [&](int r0, int c, bool use_x) -> int {
+    for (int i = r0; i < 2 * t.n_; ++i)
+      if (use_x ? t.get(t.x_, i, c) : t.get(t.z_, i, c)) return i;
+    return -1;
+  };
+  auto swap_rows = [&](int a, int b) {
+    if (a == b) return;
+    const std::size_t ba = static_cast<std::size_t>(a) * t.words();
+    const std::size_t bb = static_cast<std::size_t>(b) * t.words();
+    for (int w = 0; w < t.words(); ++w) {
+      std::swap(t.x_[ba + w], t.x_[bb + w]);
+      std::swap(t.z_[ba + w], t.z_[bb + w]);
+    }
+    std::swap(t.r_[a], t.r_[b]);
+  };
+  // X part first, then Z part (standard canonical form).
+  for (int c = 0; c < t.n_ && row < 2 * t.n_; ++c) {
+    const int p = pivot_col(row, c, true);
+    if (p < 0) continue;
+    swap_rows(row, p);
+    for (int i = t.n_; i < 2 * t.n_; ++i)
+      if (i != row && t.get(t.x_, i, c)) t.rowsum(i, row);
+    ++row;
+  }
+  for (int c = 0; c < t.n_ && row < 2 * t.n_; ++c) {
+    const int p = pivot_col(row, c, false);
+    if (p < 0) continue;
+    swap_rows(row, p);
+    for (int i = t.n_; i < 2 * t.n_; ++i)
+      if (i != row && !t.get(t.x_, i, c) && t.get(t.z_, i, c))
+        t.rowsum(i, row);
+    ++row;
+  }
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(t.n_));
+  for (int i = t.n_; i < 2 * t.n_; ++i) out.push_back(t.stabilizer_row(i - t.n_));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Tableau::stabilizer_row(int i) const {
+  MBQ_REQUIRE(i >= 0 && i < n_, "stabilizer index out of range " << i);
+  const int row = n_ + i;
+  std::string s;
+  s.push_back(r_[row] ? '-' : '+');
+  for (int q = 0; q < n_; ++q) {
+    const bool xb = get(x_, row, q);
+    const bool zb = get(z_, row, q);
+    s.push_back(xb && zb ? 'Y' : xb ? 'X' : zb ? 'Z' : 'I');
+  }
+  return s;
+}
+
+}  // namespace mbq

@@ -1,0 +1,83 @@
+#pragma once
+// Aaronson-Gottesman stabilizer tableau simulator (CHP).
+//
+// Used where statevectors cannot reach: preparing and checking the MBQC
+// resource graph states at hundreds-to-thousands of qubits, and executing
+// measurement patterns at Clifford parameter points (gamma, beta multiples
+// of pi/2).  Rows are bit-packed; phase updates use the word-parallel
+// formulation of the CHP "rowsum" exponent arithmetic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbq/common/rng.h"
+#include "mbq/sim/pauli.h"
+
+namespace mbq {
+class Graph;
+
+class Tableau {
+ public:
+  /// |0...0> on n qubits.
+  explicit Tableau(int n);
+
+  /// Graph state |G>: H on all, then CZ per edge.
+  static Tableau graph_state(const Graph& g);
+
+  int num_qubits() const noexcept { return n_; }
+
+  void apply_h(int q);
+  void apply_s(int q);
+  void apply_sdg(int q);
+  void apply_x(int q);
+  void apply_y(int q);
+  void apply_z(int q);
+  void apply_cx(int control, int target);
+  void apply_cz(int a, int b);
+  void apply_swap(int a, int b);
+
+  /// True if a Z measurement of q has a deterministic outcome.
+  bool is_deterministic_z(int q) const;
+
+  /// Measure qubit q in the Z basis.  forced in {-1,0,1}; forcing a
+  /// deterministic measurement to the wrong value throws.
+  int measure_z(int q, Rng& rng, int forced = -1);
+  /// Measure in the X basis (H-conjugated Z measurement).
+  int measure_x(int q, Rng& rng, int forced = -1);
+  /// Measure in the Y basis.
+  int measure_y(int q, Rng& rng, int forced = -1);
+
+  /// Expectation of a Pauli string: +1 / -1 if ±P stabilizes the state,
+  /// 0 if P anticommutes with some stabilizer.  Limited to n <= 64 by the
+  /// PauliString representation.
+  int expectation(const PauliString& p) const;
+
+  /// Expectation of prod_{q in qubits} Z_q, for any register width.
+  int expectation_zs(const std::vector<int>& qubits) const;
+
+  /// Canonical (row-reduced) stabilizer generators with signs; two
+  /// tableaus describe the same state iff these are equal.
+  std::vector<std::string> canonical_stabilizers() const;
+
+  /// Stabilizer row `i` (0..n-1) as "+XZY..." text, for debugging.
+  std::string stabilizer_row(int i) const;
+
+ private:
+  int words() const noexcept { return (n_ + 63) / 64; }
+  bool get(const std::vector<std::uint64_t>& m, int row, int col) const;
+  void set(std::vector<std::uint64_t>& m, int row, int col, bool v);
+  void rowsum(int h, int i);                 // row h *= row i
+  void rowsum_into(std::vector<std::uint64_t>& xs,
+                   std::vector<std::uint64_t>& zs, int& r, int i) const;
+  int measure_z_impl(int q, Rng& rng, int forced);
+
+  int n_ = 0;
+  // Row r, word w at index r*words()+w.  Rows 0..n-1 destabilizers,
+  // n..2n-1 stabilizers.
+  std::vector<std::uint64_t> x_;
+  std::vector<std::uint64_t> z_;
+  std::vector<std::uint8_t> r_;  // phase bit per row (1 == minus sign)
+};
+
+}  // namespace mbq

@@ -1,0 +1,156 @@
+#include "mbq/zx/builder.h"
+
+#include <cmath>
+
+#include "mbq/common/error.h"
+
+namespace mbq::zx {
+
+namespace {
+
+const real kSqrt2 = std::sqrt(2.0);
+
+class WireTracker {
+ public:
+  WireTracker(Diagram& d, int n, bool plus_states) : d_(d), frontier_(n, -1) {
+    for (int q = 0; q < n; ++q) {
+      if (plus_states) {
+        // |+> = Z(0) state spider, which evaluates to sqrt(2)|+>.
+        frontier_[q] = d_.add_z(0.0);
+        d_.multiply_scalar(1.0 / kSqrt2);
+      } else {
+        frontier_[q] = d_.add_input();
+      }
+    }
+  }
+
+  /// Append node `v` to wire q (adds the connecting edge).
+  void advance(int q, int v) {
+    d_.add_edge(frontier_[q], v);
+    frontier_[q] = v;
+  }
+  int frontier(int q) const { return frontier_[q]; }
+
+  void finish() {
+    for (std::size_t q = 0; q < frontier_.size(); ++q) {
+      const int out = d_.add_output();
+      d_.add_edge(frontier_[q], out);
+    }
+  }
+
+ private:
+  Diagram& d_;
+  std::vector<int> frontier_;
+};
+
+void append_gate(Diagram& d, WireTracker& w, const Gate& g) {
+  switch (g.kind) {
+    case GateKind::H: {
+      const int h = d.add_hbox();
+      w.advance(g.qubits[0], h);
+      d.multiply_scalar(1.0 / kSqrt2);  // H-box = sqrt(2) H
+      break;
+    }
+    case GateKind::Rz:
+      w.advance(g.qubits[0], d.add_z(g.angle));
+      break;
+    case GateKind::Rx:
+      w.advance(g.qubits[0], d.add_x(g.angle));
+      break;
+    case GateKind::Z:
+      w.advance(g.qubits[0], d.add_z(kPi));
+      break;
+    case GateKind::X:
+      w.advance(g.qubits[0], d.add_x(kPi));
+      break;
+    case GateKind::Y:
+      // Y = i X Z: Z(pi) then X(pi) with scalar i.
+      w.advance(g.qubits[0], d.add_z(kPi));
+      w.advance(g.qubits[0], d.add_x(kPi));
+      d.multiply_scalar(kI);
+      break;
+    case GateKind::S:
+      w.advance(g.qubits[0], d.add_z(kPi / 2));
+      break;
+    case GateKind::Sdg:
+      w.advance(g.qubits[0], d.add_z(-kPi / 2));
+      break;
+    case GateKind::T:
+      w.advance(g.qubits[0], d.add_z(kPi / 4));
+      break;
+    case GateKind::Tdg:
+      w.advance(g.qubits[0], d.add_z(-kPi / 4));
+      break;
+    case GateKind::Cz: {
+      const int zu = d.add_z(0.0);
+      const int zv = d.add_z(0.0);
+      w.advance(g.qubits[0], zu);
+      w.advance(g.qubits[1], zv);
+      d.add_hadamard_edge(zu, zv);  // exact: Z-H-Z block is CZ
+      break;
+    }
+    case GateKind::Cx: {
+      const int zc = d.add_z(0.0);
+      const int xt = d.add_x(0.0);
+      w.advance(g.qubits[0], zc);
+      w.advance(g.qubits[1], xt);
+      d.add_edge(zc, xt);
+      d.multiply_scalar(kSqrt2);  // Z-X block is CX / sqrt(2)
+      break;
+    }
+    case GateKind::PhaseGadget: {
+      // exp(-i a/2 Z_S): hub X(0) spider with a Z(a) leaf, one Z spider
+      // spliced into each wire of S.
+      const int hub = d.add_x(0.0);
+      const int leaf = d.add_z(g.angle);
+      d.add_edge(hub, leaf);
+      for (int q : g.qubits) {
+        const int zq = d.add_z(0.0);
+        w.advance(q, zq);
+        d.add_edge(zq, hub);
+      }
+      // Diagram equals 2^{(1-k)/2} e^{ia/2} * PG(a, S); compensate.
+      const real k = static_cast<real>(g.qubits.size());
+      d.multiply_scalar(std::pow(2.0, 0.5 * (k - 1.0)) *
+                        std::exp(-kI * (g.angle / 2.0)));
+      break;
+    }
+    case GateKind::ControlledExpX:
+      throw InternalError("ControlledExpX must be expanded before building");
+  }
+}
+
+Diagram build(const Circuit& circuit, bool plus_states) {
+  const Circuit c = circuit.expand_controlled_gates();
+  Diagram d;
+  WireTracker w(d, c.num_qubits(), plus_states);
+  for (const Gate& g : c.gates()) append_gate(d, w, g);
+  w.finish();
+  d.validate();
+  return d;
+}
+
+}  // namespace
+
+Diagram from_circuit(const Circuit& c) { return build(c, false); }
+
+Diagram from_circuit_on_plus(const Circuit& c) { return build(c, true); }
+
+Diagram graph_state_diagram(const Graph& g) {
+  Diagram d;
+  std::vector<int> spider(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) spider[v] = d.add_z(0.0);
+  for (const Edge& e : g.edges())
+    d.add_hadamard_edge(spider[e.u], spider[e.v]);
+  // The spiders force all legs equal, so the diagram's amplitude at output
+  // bits b is prod_edges (-1)^{b_u b_v} = 2^{n/2} <b|G>; compensate.
+  d.multiply_scalar(std::pow(2.0, -0.5 * g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int out = d.add_output();
+    d.add_edge(spider[v], out);
+  }
+  d.validate();
+  return d;
+}
+
+}  // namespace mbq::zx

@@ -1,0 +1,26 @@
+#pragma once
+// Translating circuits and graph states into ZX-diagrams.
+//
+// Scalars are tracked so that evaluate_matrix(from_circuit(c)) equals
+// c.unitary() EXACTLY (not just up to phase); this pins down every
+// convention and is verified in tests.
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/graph/graph.h"
+#include "mbq/zx/diagram.h"
+
+namespace mbq::zx {
+
+/// Diagram of the circuit's unitary: one input and one output boundary
+/// per qubit.  ControlledExpX gates are expanded to phase gadgets first.
+Diagram from_circuit(const Circuit& c);
+
+/// Diagram of the STATE c|+...+> (no inputs; outputs only): each wire
+/// starts as a phase-0 Z spider (the |+> state of Eq. (3)).
+Diagram from_circuit_on_plus(const Circuit& c);
+
+/// Graph-state diagram per Eq. (5): one phase-0 Z spider per vertex with
+/// an output wire, one Hadamard edge per graph edge.
+Diagram graph_state_diagram(const Graph& g);
+
+}  // namespace mbq::zx

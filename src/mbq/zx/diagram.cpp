@@ -1,0 +1,248 @@
+#include "mbq/zx/diagram.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mbq::zx {
+
+std::string node_kind_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::Z: return "Z";
+    case NodeKind::X: return "X";
+    case NodeKind::HBox: return "H";
+    case NodeKind::Boundary: return "B";
+  }
+  return "?";
+}
+
+int Diagram::add_node(NodeData d) {
+  d.alive = true;
+  nodes_.push_back(d);
+  incident_.emplace_back();
+  ++alive_nodes_;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Diagram::add_z(real phase) {
+  return add_node({NodeKind::Z, phase, cplx{-1, 0}, true});
+}
+
+int Diagram::add_x(real phase) {
+  return add_node({NodeKind::X, phase, cplx{-1, 0}, true});
+}
+
+int Diagram::add_hbox(cplx param) {
+  return add_node({NodeKind::HBox, 0.0, param, true});
+}
+
+int Diagram::add_input() {
+  const int v = add_node({NodeKind::Boundary, 0.0, cplx{-1, 0}, true});
+  inputs_.push_back(v);
+  return v;
+}
+
+int Diagram::add_output() {
+  const int v = add_node({NodeKind::Boundary, 0.0, cplx{-1, 0}, true});
+  outputs_.push_back(v);
+  return v;
+}
+
+int Diagram::add_edge(int a, int b) {
+  check_node(a);
+  check_node(b);
+  const int e = static_cast<int>(edges_.size());
+  edges_.push_back({a, b, true});
+  incident_[a].push_back(e);
+  if (b != a) incident_[b].push_back(e);
+  ++alive_edges_;
+  return e;
+}
+
+int Diagram::add_hadamard_edge(int a, int b) {
+  const int h = add_hbox();
+  add_edge(a, h);
+  add_edge(h, b);
+  return h;
+}
+
+void Diagram::remove_edge(int e) {
+  check_edge(e);
+  auto& rec = edges_[e];
+  rec.alive = false;
+  auto scrub = [&](int v) {
+    auto& inc = incident_[v];
+    inc.erase(std::remove(inc.begin(), inc.end(), e), inc.end());
+  };
+  scrub(rec.a);
+  if (rec.b != rec.a) scrub(rec.b);
+  --alive_edges_;
+}
+
+void Diagram::remove_node(int v) {
+  check_node(v);
+  // Copy: remove_edge mutates incident_[v].
+  const std::vector<int> inc = incident_[v];
+  for (int e : inc)
+    if (edges_[e].alive) remove_edge(e);
+  nodes_[v].alive = false;
+  --alive_nodes_;
+  auto drop = [&](std::vector<int>& io) {
+    io.erase(std::remove(io.begin(), io.end(), v), io.end());
+  };
+  drop(inputs_);
+  drop(outputs_);
+}
+
+void Diagram::check_node(int v) const {
+  MBQ_REQUIRE(v >= 0 && v < static_cast<int>(nodes_.size()) &&
+                  nodes_[v].alive,
+              "no such node: " << v);
+}
+
+void Diagram::check_edge(int e) const {
+  MBQ_REQUIRE(e >= 0 && e < static_cast<int>(edges_.size()) &&
+                  edges_[e].alive,
+              "no such edge: " << e);
+}
+
+bool Diagram::node_alive(int v) const {
+  return v >= 0 && v < static_cast<int>(nodes_.size()) && nodes_[v].alive;
+}
+
+bool Diagram::edge_alive(int e) const {
+  return e >= 0 && e < static_cast<int>(edges_.size()) && edges_[e].alive;
+}
+
+const NodeData& Diagram::node(int v) const {
+  check_node(v);
+  return nodes_[v];
+}
+
+void Diagram::set_phase(int v, real phase) {
+  check_node(v);
+  MBQ_REQUIRE(is_spider(v), "set_phase on non-spider node " << v);
+  nodes_[v].phase = phase;
+}
+
+void Diagram::set_kind(int v, NodeKind k) {
+  check_node(v);
+  nodes_[v].kind = k;
+}
+
+std::pair<int, int> Diagram::endpoints(int e) const {
+  check_edge(e);
+  return {edges_[e].a, edges_[e].b};
+}
+
+int Diagram::other_end(int e, int v) const {
+  check_edge(e);
+  const auto& rec = edges_[e];
+  MBQ_REQUIRE(rec.a == v || rec.b == v,
+              "edge " << e << " not incident to node " << v);
+  return rec.a == v ? rec.b : rec.a;
+}
+
+const std::vector<int>& Diagram::incident_edges(int v) const {
+  check_node(v);
+  return incident_[v];
+}
+
+int Diagram::degree(int v) const {
+  check_node(v);
+  int d = 0;
+  for (int e : incident_[v]) d += is_self_loop(e) ? 2 : 1;
+  return d;
+}
+
+std::vector<int> Diagram::neighbors(int v) const {
+  check_node(v);
+  std::vector<int> out;
+  for (int e : incident_[v]) out.push_back(other_end(e, v));
+  return out;
+}
+
+std::vector<int> Diagram::edges_between(int a, int b) const {
+  check_node(a);
+  check_node(b);
+  std::vector<int> out;
+  for (int e : incident_[a]) {
+    const auto [u, w] = endpoints(e);
+    if ((u == a && w == b) || (u == b && w == a)) out.push_back(e);
+  }
+  return out;
+}
+
+bool Diagram::is_self_loop(int e) const {
+  check_edge(e);
+  return edges_[e].a == edges_[e].b;
+}
+
+std::vector<int> Diagram::node_ids() const {
+  std::vector<int> out;
+  for (int v = 0; v < static_cast<int>(nodes_.size()); ++v)
+    if (nodes_[v].alive) out.push_back(v);
+  return out;
+}
+
+std::vector<int> Diagram::edge_ids() const {
+  std::vector<int> out;
+  for (int e = 0; e < static_cast<int>(edges_.size()); ++e)
+    if (edges_[e].alive) out.push_back(e);
+  return out;
+}
+
+int Diagram::count_kind(NodeKind k) const {
+  int c = 0;
+  for (const auto& n : nodes_) c += (n.alive && n.kind == k);
+  return c;
+}
+
+bool Diagram::is_spider(int v) const {
+  const NodeKind k = kind(v);
+  return k == NodeKind::Z || k == NodeKind::X;
+}
+
+bool Diagram::is_hadamard_box(int v) const {
+  return kind(v) == NodeKind::HBox && degree(v) == 2 &&
+         std::abs(hparam(v) - cplx{-1.0, 0.0}) < 1e-12;
+}
+
+void Diagram::validate() const {
+  for (int v : inputs_) {
+    MBQ_REQUIRE(node_alive(v), "dead input node " << v);
+    MBQ_REQUIRE(degree(v) == 1, "input " << v << " has degree " << degree(v));
+  }
+  for (int v : outputs_) {
+    MBQ_REQUIRE(node_alive(v), "dead output node " << v);
+    MBQ_REQUIRE(degree(v) == 1, "output " << v << " has degree " << degree(v));
+  }
+  int an = 0;
+  for (const auto& n : nodes_) an += n.alive;
+  MBQ_ASSERT(an == alive_nodes_);
+  int ae = 0;
+  for (const auto& e : edges_) ae += e.alive;
+  MBQ_ASSERT(ae == alive_edges_);
+  for (int e = 0; e < static_cast<int>(edges_.size()); ++e) {
+    if (!edges_[e].alive) continue;
+    MBQ_REQUIRE(node_alive(edges_[e].a) && node_alive(edges_[e].b),
+                "edge " << e << " touches a dead node");
+  }
+}
+
+std::string Diagram::str() const {
+  std::ostringstream oss;
+  oss << "Diagram(nodes=" << num_nodes() << ", edges=" << num_edges()
+      << ", in=" << inputs_.size() << ", out=" << outputs_.size() << ")\n";
+  for (int v : node_ids()) {
+    oss << "  " << v << ": " << node_kind_name(kind(v));
+    if (is_spider(v) && phase(v) != 0.0) oss << "(" << phase(v) << ")";
+    if (kind(v) == NodeKind::HBox && std::abs(hparam(v) + 1.0) > 1e-12)
+      oss << "(" << hparam(v).real() << "+" << hparam(v).imag() << "i)";
+    oss << " --";
+    for (int w : neighbors(v)) oss << " " << w;
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace mbq::zx

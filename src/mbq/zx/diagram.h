@@ -1,0 +1,126 @@
+#pragma once
+// ZX(H)-diagrams.
+//
+// The diagram is an undirected multigraph whose internal nodes are
+// Z-spiders, X-spiders and H-boxes, plus ordered boundary nodes (inputs /
+// outputs).  This mirrors Sec. II-A of the paper: spiders follow Eq. (1)
+// and (2); 2-ary H-boxes with parameter -1 are Hadamard edges (up to the
+// sqrt(2) normalization of the ZH convention); parameterized H-boxes give
+// the ZH-calculus fragment used for the MIS partial mixer (Sec. IV).
+//
+// Nodes and edges carry stable ids; removal tombstones them so rewrite
+// rules can hold references safely.  A global scalar accumulates factors
+// from rewrites that are exact; rules documented as "up to scalar" leave
+// it untouched and tests compare tensors up to proportionality, matching
+// the paper's "equal up to an irrelevant constant".
+
+#include <string>
+#include <vector>
+
+#include "mbq/common/error.h"
+#include "mbq/common/types.h"
+
+namespace mbq::zx {
+
+enum class NodeKind : std::uint8_t { Z, X, HBox, Boundary };
+
+std::string node_kind_name(NodeKind k);
+
+struct NodeData {
+  NodeKind kind = NodeKind::Z;
+  real phase = 0.0;   // Z/X spiders
+  cplx hparam = -1.0; // H-boxes; -1 is the plain Hadamard box
+  bool alive = false;
+};
+
+class Diagram {
+ public:
+  Diagram() = default;
+
+  // --- construction ---
+  int add_z(real phase = 0.0);
+  int add_x(real phase = 0.0);
+  int add_hbox(cplx param = cplx{-1.0, 0.0});
+  int add_input();
+  int add_output();
+  /// Add an edge; returns its id.  Self-loops are allowed structurally but
+  /// rejected by the evaluator; rewrites remove them eagerly.
+  int add_edge(int a, int b);
+  /// Convenience: connect a and b through a fresh Hadamard box; returns
+  /// the H-box node id.
+  int add_hadamard_edge(int a, int b);
+
+  void remove_edge(int e);
+  /// Remove a node and all incident edges.
+  void remove_node(int v);
+
+  // --- queries ---
+  bool node_alive(int v) const;
+  bool edge_alive(int e) const;
+  const NodeData& node(int v) const;
+  NodeKind kind(int v) const { return node(v).kind; }
+  real phase(int v) const { return node(v).phase; }
+  cplx hparam(int v) const { return node(v).hparam; }
+  void set_phase(int v, real phase);
+  void set_kind(int v, NodeKind k);
+
+  /// Endpoints of an edge.
+  std::pair<int, int> endpoints(int e) const;
+  /// The other endpoint of e relative to v.
+  int other_end(int e, int v) const;
+  /// Incident (alive) edge ids of node v.
+  const std::vector<int>& incident_edges(int v) const;
+  int degree(int v) const;
+  /// Neighbour node ids (repeats for parallel edges).
+  std::vector<int> neighbors(int v) const;
+  /// Edges connecting a and b (there may be several).
+  std::vector<int> edges_between(int a, int b) const;
+  bool is_self_loop(int e) const;
+
+  const std::vector<int>& inputs() const noexcept { return inputs_; }
+  const std::vector<int>& outputs() const noexcept { return outputs_; }
+  /// Alive node ids.
+  std::vector<int> node_ids() const;
+  /// Alive edge ids.
+  std::vector<int> edge_ids() const;
+  int num_nodes() const noexcept { return alive_nodes_; }
+  int num_edges() const noexcept { return alive_edges_; }
+  /// Count of alive nodes of a given kind.
+  int count_kind(NodeKind k) const;
+
+  cplx scalar() const noexcept { return scalar_; }
+  void multiply_scalar(cplx f) { scalar_ *= f; }
+
+  /// True if v is a Z or X spider.
+  bool is_spider(int v) const;
+  /// True if v is a 2-ary H-box with parameter -1 (a Hadamard "edge").
+  bool is_hadamard_box(int v) const;
+
+  /// Structural sanity: boundary nodes have degree exactly 1, tombstones
+  /// consistent.  Throws on violation.
+  void validate() const;
+
+  std::string str() const;
+
+ private:
+  int add_node(NodeData d);
+  void check_node(int v) const;
+  void check_edge(int e) const;
+
+  struct EdgeRec {
+    int a = -1;
+    int b = -1;
+    bool alive = false;
+  };
+
+  std::vector<NodeData> nodes_;
+  std::vector<EdgeRec> edges_;
+  std::vector<std::vector<int>> incident_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+  int alive_nodes_ = 0;
+  int alive_edges_ = 0;
+  cplx scalar_{1.0, 0.0};
+};
+
+}  // namespace mbq::zx

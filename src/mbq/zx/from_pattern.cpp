@@ -1,0 +1,56 @@
+#include "mbq/zx/from_pattern.h"
+
+#include <unordered_map>
+
+#include "mbq/common/error.h"
+
+namespace mbq::zx {
+
+Diagram diagram_from_pattern(const mbqc::Pattern& p) {
+  p.validate();
+  MBQ_REQUIRE(p.inputs().empty(),
+              "diagram_from_pattern requires a pattern without open inputs");
+  Diagram d;
+  std::unordered_map<int, int> spider_of_wire;
+
+  for (const mbqc::Command& c : p.commands()) {
+    if (const auto* n = std::get_if<mbqc::CmdPrep>(&c)) {
+      // |+> = phase-0 Z spider (state).  Z(0) arity-1 is sqrt(2)|+>.
+      spider_of_wire[n->wire] = d.add_z(0.0);
+    } else if (const auto* e = std::get_if<mbqc::CmdEntangle>(&c)) {
+      // CZ between wires: Hadamard edge between their spiders.
+      d.add_hadamard_edge(spider_of_wire.at(e->a), spider_of_wire.at(e->b));
+    } else if (const auto* m = std::get_if<mbqc::CmdMeasure>(&c)) {
+      // All-zero branch: s and t domains evaluate to 0, effective angle
+      // is m->angle, recorded outcome 0.
+      const int spider = spider_of_wire.at(m->wire);
+      int effect = -1;
+      switch (m->plane) {
+        case MeasBasis::X:
+        case MeasBasis::XY:
+          // <+_alpha| proportional to the Z(-alpha) arity-1 effect.
+          effect = d.add_z(-m->angle);
+          break;
+        case MeasBasis::Z:
+        case MeasBasis::YZ:
+          // <0| e^{-i theta X / 2} proportional to the X(theta) effect.
+          effect = d.add_x(m->angle);
+          break;
+      }
+      d.add_edge(spider, effect);
+      spider_of_wire.erase(m->wire);
+    } else if (std::holds_alternative<mbqc::CmdCorrectX>(c) ||
+               std::holds_alternative<mbqc::CmdCorrectZ>(c)) {
+      // Domains evaluate to 0 on this branch: identity.
+    }
+  }
+
+  for (int w : p.outputs()) {
+    const int out = d.add_output();
+    d.add_edge(spider_of_wire.at(w), out);
+  }
+  d.validate();
+  return d;
+}
+
+}  // namespace mbq::zx

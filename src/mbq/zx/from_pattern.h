@@ -1,0 +1,26 @@
+#pragma once
+// Measurement patterns as ZX-diagrams — the reverse of the paper's
+// derivation direction, used as a whole-stack cross-check.
+//
+// For a FIXED branch (all recorded outcomes 0) a pattern is a linear map
+// built from:  |+> preparations (phase-0 Z spiders), CZ entanglers
+// (Hadamard edges), and measurement effects:
+//   XY(alpha), outcome 0:  <+_alpha|  = arity-1 Z(-alpha) effect spider
+//   YZ(theta), outcome 0:  <0|e^{-i theta X/2} = arity-1 X(theta) spider
+// (X and Z planes are the alpha/theta = 0 specials).  Corrections whose
+// domains evaluate to 0 vanish.  The diagram therefore evaluates to the
+// (unnormalized) output state of the runner on the all-zero branch —
+// tests compare the two up to a scalar, tying the ZX semantics, the
+// measurement calculus and both simulators together.
+
+#include "mbq/mbqc/pattern.h"
+#include "mbq/zx/diagram.h"
+
+namespace mbq::zx {
+
+/// Build the all-outcomes-zero branch diagram of a pattern.  The pattern
+/// must have no open inputs (all wires N-prepared); outputs become
+/// diagram outputs in pattern order.
+Diagram diagram_from_pattern(const mbqc::Pattern& p);
+
+}  // namespace mbq::zx

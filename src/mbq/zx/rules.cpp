@@ -1,0 +1,289 @@
+#include "mbq/zx/rules.h"
+
+#include <cmath>
+
+#include "mbq/common/types.h"
+
+namespace mbq::zx::rules {
+
+namespace {
+
+bool opposite_spiders(const Diagram& d, int a, int b) {
+  if (!d.node_alive(a) || !d.node_alive(b)) return false;
+  if (!d.is_spider(a) || !d.is_spider(b)) return false;
+  return d.kind(a) != d.kind(b);
+}
+
+bool phase_is(const Diagram& d, int v, real value) {
+  return angles_equal_mod_2pi(d.phase(v), value, 1e-9);
+}
+
+}  // namespace
+
+bool fuse(Diagram& d, int a, int b) {
+  if (a == b || !d.node_alive(a) || !d.node_alive(b)) return false;
+  if (!d.is_spider(a) || !d.is_spider(b)) return false;
+  if (d.kind(a) != d.kind(b)) return false;
+  if (d.edges_between(a, b).empty()) return false;
+
+  d.set_phase(a, wrap_angle(d.phase(a) + d.phase(b)));
+  // Move b's non-a edges onto a; edges to a become self-loops, which are
+  // scalar-free no-ops for spiders and are simply dropped.
+  const std::vector<int> inc = d.incident_edges(b);
+  for (int e : inc) {
+    if (!d.edge_alive(e)) continue;
+    const int o = d.other_end(e, b);
+    d.remove_edge(e);
+    if (o != a && o != b) d.add_edge(a, o);
+  }
+  d.remove_node(b);
+  return true;
+}
+
+bool remove_identity(Diagram& d, int v) {
+  if (!d.node_alive(v) || !d.is_spider(v)) return false;
+  if (!phase_is(d, v, 0.0)) return false;
+  const auto inc = d.incident_edges(v);
+  if (inc.size() != 2) return false;
+  if (d.is_self_loop(inc[0]) || d.is_self_loop(inc[1])) return false;
+  const int n1 = d.other_end(inc[0], v);
+  const int n2 = d.other_end(inc[1], v);
+  d.remove_node(v);
+  d.add_edge(n1, n2);
+  return true;
+}
+
+bool cancel_hh(Diagram& d, int h1, int h2) {
+  if (h1 == h2 || !d.node_alive(h1) || !d.node_alive(h2)) return false;
+  if (!d.is_hadamard_box(h1) || !d.is_hadamard_box(h2)) return false;
+  const auto between = d.edges_between(h1, h2);
+  if (between.size() != 1) return false;
+  // Other neighbours.
+  int a = -1, b = -1;
+  for (int e : d.incident_edges(h1))
+    if (d.other_end(e, h1) != h2) a = d.other_end(e, h1);
+  for (int e : d.incident_edges(h2))
+    if (d.other_end(e, h2) != h1) b = d.other_end(e, h2);
+  if (a < 0 || b < 0) return false;
+  d.remove_node(h1);
+  d.remove_node(h2);
+  d.add_edge(a, b);
+  // Two H-boxes are 2*H*H = 2*I; replacing them with a wire loses the
+  // factor 2.
+  d.multiply_scalar(2.0);
+  return true;
+}
+
+bool color_change(Diagram& d, int v) {
+  if (!d.node_alive(v) || !d.is_spider(v)) return false;
+  for (int e : d.incident_edges(v))
+    if (d.is_self_loop(e)) return false;
+
+  d.set_kind(v, d.kind(v) == NodeKind::Z ? NodeKind::X : NodeKind::Z);
+  const real kSqrt2 = std::sqrt(2.0);
+  const std::vector<int> inc = d.incident_edges(v);
+  for (int e : inc) {
+    if (!d.edge_alive(e)) continue;
+    const int o = d.other_end(e, v);
+    if (d.node_alive(o) && d.is_hadamard_box(o)) {
+      // Splice the H-box out: v -- H -- w  becomes  v -- w.
+      int w = -1;
+      for (int f : d.incident_edges(o))
+        if (d.other_end(f, o) != v) w = d.other_end(f, o);
+      if (w < 0) {
+        // H-box had both edges on v: it becomes a Hadamard self-loop,
+        // which is phase += pi (see absorb_hadamard_self_loop), but after
+        // the colour flip it should instead be removed as H H = I; handle
+        // by removing the box and compensating.
+        d.remove_node(o);
+        d.multiply_scalar(2.0);  // two sqrt(2)H legs collapse
+        continue;
+      }
+      d.remove_node(o);
+      d.add_edge(v, w);
+      d.multiply_scalar(kSqrt2);  // removed an H-box (= sqrt(2) H)
+    } else {
+      // Insert a fresh H-box into this edge.
+      d.remove_edge(e);
+      const int h = d.add_hbox();
+      d.add_edge(v, h);
+      d.add_edge(h, o);
+      d.multiply_scalar(1.0 / kSqrt2);  // inserted an H-box
+    }
+  }
+  return true;
+}
+
+bool pi_copy(Diagram& d, int pi_node) {
+  if (!d.node_alive(pi_node) || !d.is_spider(pi_node)) return false;
+  if (!phase_is(d, pi_node, kPi)) return false;
+  const auto inc = d.incident_edges(pi_node);
+  if (inc.size() != 2) return false;
+  if (d.is_self_loop(inc[0]) || d.is_self_loop(inc[1])) return false;
+  // Find the opposite-colour spider it points into.
+  int through = -1, e_through = -1, e_out = -1;
+  for (int e : inc) {
+    const int o = d.other_end(e, pi_node);
+    if (opposite_spiders(d, pi_node, o)) {
+      through = o;
+      e_through = e;
+    }
+  }
+  if (through < 0) return false;
+  for (int e : inc)
+    if (e != e_through) e_out = e;
+  MBQ_ASSERT(e_out >= 0);
+  const int out_node = d.other_end(e_out, pi_node);
+  if (out_node == through) return false;  // degenerate loop; skip
+
+  const NodeKind pi_kind = d.kind(pi_node);
+  const real alpha = d.phase(through);
+
+  d.remove_node(pi_node);  // drops e_through and e_out
+  d.add_edge(through, out_node);
+  // Copy pi onto every OTHER leg of `through`.
+  const std::vector<int> legs = d.incident_edges(through);
+  for (int f : legs) {
+    if (!d.edge_alive(f)) continue;
+    const int w = d.other_end(f, through);
+    if (w == out_node) {
+      // Skip exactly one edge to out_node (the wire the pi came from).
+      // If there are parallel edges to out_node, only the first is spared.
+      continue;
+    }
+    d.remove_edge(f);
+    const int q = pi_kind == NodeKind::Z ? d.add_z(kPi) : d.add_x(kPi);
+    d.add_edge(through, q);
+    d.add_edge(q, w);
+  }
+  d.set_phase(through, wrap_angle(-alpha));
+  d.multiply_scalar(std::exp(kI * alpha));
+  return true;
+}
+
+bool state_copy(Diagram& d, int state_node) {
+  if (!d.node_alive(state_node) || !d.is_spider(state_node)) return false;
+  if (!(phase_is(d, state_node, 0.0) || phase_is(d, state_node, kPi)))
+    return false;
+  const auto inc = d.incident_edges(state_node);
+  if (inc.size() != 1 || d.is_self_loop(inc[0])) return false;
+  const int s = d.other_end(inc[0], state_node);
+  if (!opposite_spiders(d, state_node, s)) return false;
+  if (!phase_is(d, s, 0.0)) return false;
+
+  const NodeKind state_kind = d.kind(state_node);
+  const real state_phase = phase_is(d, state_node, kPi) ? kPi : 0.0;
+
+  // Other neighbours of s.
+  std::vector<int> targets;
+  for (int e : d.incident_edges(s)) {
+    const int o = d.other_end(e, s);
+    if (o != state_node) targets.push_back(o);
+  }
+  const int deg_out = static_cast<int>(targets.size());
+  d.remove_node(state_node);
+  d.remove_node(s);
+  for (int w : targets) {
+    const int q =
+        state_kind == NodeKind::Z ? d.add_z(state_phase) : d.add_x(state_phase);
+    d.add_edge(q, w);
+  }
+  // Exact factor: sqrt(2) (from the copied pair) vs sqrt(2)^deg_out.
+  d.multiply_scalar(std::pow(2.0, 0.5 * (1.0 - deg_out)));
+  return true;
+}
+
+bool bialgebra(Diagram& d, int z_node, int x_node) {
+  if (!d.node_alive(z_node) || !d.node_alive(x_node)) return false;
+  if (d.kind(z_node) != NodeKind::Z || d.kind(x_node) != NodeKind::X)
+    return false;
+  if (!phase_is(d, z_node, 0.0) || !phase_is(d, x_node, 0.0)) return false;
+  if (d.edges_between(z_node, x_node).size() != 1) return false;
+
+  std::vector<int> z_ext, x_ext;
+  for (int e : d.incident_edges(z_node)) {
+    const int o = d.other_end(e, z_node);
+    if (o != x_node) z_ext.push_back(o);
+    if (o == z_node) return false;  // self-loop
+  }
+  for (int e : d.incident_edges(x_node)) {
+    const int o = d.other_end(e, x_node);
+    if (o != z_node) x_ext.push_back(o);
+    if (o == x_node) return false;
+  }
+  d.remove_node(z_node);
+  d.remove_node(x_node);
+  std::vector<int> new_x, new_z;
+  for (int w : z_ext) {
+    const int q = d.add_x(0.0);
+    d.add_edge(q, w);
+    new_x.push_back(q);
+  }
+  for (int w : x_ext) {
+    const int q = d.add_z(0.0);
+    d.add_edge(q, w);
+    new_z.push_back(q);
+  }
+  for (int qx : new_x)
+    for (int qz : new_z) d.add_edge(qx, qz);
+  return true;  // up to scalar
+}
+
+bool hopf(Diagram& d, int a, int b) {
+  if (!opposite_spiders(d, a, b)) return false;
+  const auto between = d.edges_between(a, b);
+  if (between.size() < 2) return false;
+  d.remove_edge(between[0]);
+  d.remove_edge(between[1]);
+  d.multiply_scalar(0.5);
+  return true;
+}
+
+bool remove_self_loops(Diagram& d, int v) {
+  if (!d.node_alive(v) || !d.is_spider(v)) return false;
+  bool any = false;
+  const std::vector<int> inc = d.incident_edges(v);
+  for (int e : inc) {
+    if (d.edge_alive(e) && d.is_self_loop(e)) {
+      d.remove_edge(e);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool absorb_hadamard_self_loop(Diagram& d, int hbox) {
+  if (!d.node_alive(hbox) || !d.is_hadamard_box(hbox)) return false;
+  const auto inc = d.incident_edges(hbox);
+  if (inc.size() != 2) return false;
+  const int a = d.other_end(inc[0], hbox);
+  const int b = d.other_end(inc[1], hbox);
+  if (a != b || !d.is_spider(a)) return false;
+  d.remove_node(hbox);
+  d.set_phase(a, wrap_angle(d.phase(a) + kPi));
+  return true;
+}
+
+bool cancel_parallel_hadamard_pair(Diagram& d, int a, int b) {
+  if (a == b || !d.node_alive(a) || !d.node_alive(b)) return false;
+  if (!d.is_spider(a) || !d.is_spider(b)) return false;
+  if (d.kind(a) != d.kind(b)) return false;
+  // Find two distinct H-boxes each joining a and b.
+  std::vector<int> boxes;
+  for (int e : d.incident_edges(a)) {
+    const int h = d.other_end(e, a);
+    if (!d.is_hadamard_box(h)) continue;
+    bool to_b = false;
+    for (int f : d.incident_edges(h))
+      if (d.other_end(f, h) == b) to_b = true;
+    if (to_b) boxes.push_back(h);
+    if (boxes.size() == 2) break;
+  }
+  if (boxes.size() < 2) return false;
+  d.remove_node(boxes[0]);
+  d.remove_node(boxes[1]);
+  // Exact: the two (-1)^{ab} factors square to 1; nothing else changes.
+  return true;
+}
+
+}  // namespace mbq::zx::rules

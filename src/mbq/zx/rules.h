@@ -1,0 +1,58 @@
+#pragma once
+// The ZX rewrite rules of Fig. 1, as checked local graph rewrites.
+//
+// Every function validates its preconditions and returns false (leaving
+// the diagram untouched) when they do not hold.  Rules marked [exact]
+// update the diagram scalar so the tensor is preserved exactly; rules
+// marked [up to scalar] preserve it up to a nonzero constant, matching
+// the paper's usage.  Property tests in tests/test_zx_rules.cpp verify
+// both behaviours on randomized diagrams.
+
+#include "mbq/zx/diagram.h"
+
+namespace mbq::zx::rules {
+
+/// (f) spider fusion: same-colour spiders joined by >= 1 plain edge merge,
+/// adding phases; all parallel edges between them vanish.  [exact]
+bool fuse(Diagram& d, int a, int b);
+
+/// (id) phase-0 arity-2 spider is the identity wire.  [exact]
+bool remove_identity(Diagram& d, int v);
+
+/// (hh) two Hadamard boxes in series cancel.  [exact]
+bool cancel_hh(Diagram& d, int h1, int h2);
+
+/// (h) colour change: flip Z<->X and toggle a Hadamard on every incident
+/// wire.  [exact]
+bool color_change(Diagram& d, int v);
+
+/// (pi) pi-commutation: an arity-2 pi-phase spider pushed through an
+/// opposite-colour spider negates its phase and copies pi to all other
+/// legs.  [exact]
+bool pi_copy(Diagram& d, int pi_node);
+
+/// (c) state copy: an arity-1 spider with phase in {0, pi} copies through
+/// an opposite-colour phase-0 spider onto all its other legs.  [exact]
+bool state_copy(Diagram& d, int state_node);
+
+/// (b) bialgebra: a plain-connected phase-0 Z/X spider pair is replaced by
+/// the complete bipartite pattern on their other neighbours.
+/// [up to scalar]
+bool bialgebra(Diagram& d, int z_node, int x_node);
+
+/// (hopf) two parallel plain edges between opposite-colour spiders vanish.
+/// [exact: scalar 1/2]
+bool hopf(Diagram& d, int a, int b);
+
+/// Plain self-loops on a spider evaluate to nothing; remove them. [exact]
+bool remove_self_loops(Diagram& d, int v);
+
+/// A Hadamard box with both legs on the same Z/X spider adds pi to its
+/// phase and disappears.  [exact]
+bool absorb_hadamard_self_loop(Diagram& d, int hbox);
+
+/// Two parallel Hadamard edges between the same pair of same-colour
+/// spiders cancel.  [exact]
+bool cancel_parallel_hadamard_pair(Diagram& d, int a, int b);
+
+}  // namespace mbq::zx::rules

@@ -1,0 +1,185 @@
+#include "mbq/zx/simplify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mbq/zx/rules.h"
+
+namespace mbq::zx {
+
+SimplifyStats to_graph_like(Diagram& d) {
+  SimplifyStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // 1. Turn every X spider into a Z spider.
+    for (int v : d.node_ids()) {
+      if (d.node_alive(v) && d.kind(v) == NodeKind::X) {
+        if (rules::remove_self_loops(d, v)) ++stats.self_loop_removals;
+        if (rules::color_change(d, v)) {
+          ++stats.color_changes;
+          changed = true;
+        }
+      }
+    }
+
+    // 2. Cancel adjacent H-box pairs.
+    for (int h : d.node_ids()) {
+      if (!d.node_alive(h) || !d.is_hadamard_box(h)) continue;
+      for (int o : d.neighbors(h)) {
+        if (d.node_alive(h) && d.node_alive(o) && o != h &&
+            d.is_hadamard_box(o) && rules::cancel_hh(d, h, o)) {
+          ++stats.hh_cancellations;
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    // 3. Hadamard self-loops become pi phases; plain self-loops vanish.
+    for (int h : d.node_ids()) {
+      if (d.node_alive(h) && d.kind(h) == NodeKind::HBox &&
+          rules::absorb_hadamard_self_loop(d, h)) {
+        ++stats.hadamard_self_loops;
+        changed = true;
+      }
+    }
+    for (int v : d.node_ids()) {
+      if (d.node_alive(v) && d.is_spider(v) &&
+          rules::remove_self_loops(d, v)) {
+        ++stats.self_loop_removals;
+        changed = true;
+      }
+    }
+
+    // 4. Fuse spiders joined by plain edges.
+    for (int v : d.node_ids()) {
+      if (!d.node_alive(v) || !d.is_spider(v)) continue;
+      bool fused = true;
+      while (fused) {
+        fused = false;
+        for (int e : d.incident_edges(v)) {
+          const int o = d.other_end(e, v);
+          if (o != v && d.node_alive(o) && d.is_spider(o) &&
+              d.kind(o) == d.kind(v)) {
+            if (rules::fuse(d, v, o)) {
+              ++stats.fusions;
+              changed = true;
+              fused = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // 5. Cancel parallel Hadamard edges between the same spider pair.
+    for (int v : d.node_ids()) {
+      if (!d.node_alive(v) || !d.is_spider(v)) continue;
+      // Collect H-neighbours with multiplicity.
+      std::unordered_map<int, int> hcount;
+      for (int e : d.incident_edges(v)) {
+        const int h = d.other_end(e, v);
+        if (!d.is_hadamard_box(h)) continue;
+        for (int f : d.incident_edges(h)) {
+          const int w = d.other_end(f, h);
+          if (w != v) ++hcount[w];
+        }
+      }
+      for (const auto& [w, count] : hcount) {
+        if (count >= 2 && d.node_alive(w) &&
+            rules::cancel_parallel_hadamard_pair(d, v, w)) {
+          ++stats.parallel_hadamard_pairs;
+          changed = true;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+bool is_graph_like(const Diagram& d) {
+  for (int v : d.node_ids()) {
+    if (!d.node_alive(v)) continue;
+    switch (d.kind(v)) {
+      case NodeKind::X:
+        return false;
+      case NodeKind::Z: {
+        for (int e : d.incident_edges(v)) {
+          if (d.is_self_loop(e)) return false;
+          const int o = d.other_end(e, v);
+          // Plain edges may only lead to boundaries or H-boxes.
+          if (d.kind(o) == NodeKind::Z) return false;
+        }
+        break;
+      }
+      case NodeKind::HBox: {
+        if (!d.is_hadamard_box(v)) return false;
+        const auto ns = d.neighbors(v);
+        if (ns.size() != 2 || ns[0] == ns[1]) return false;
+        break;
+      }
+      case NodeKind::Boundary:
+        break;
+    }
+  }
+  // At most one H-edge per spider pair.
+  for (int v : d.node_ids()) {
+    if (!d.node_alive(v) || d.kind(v) != NodeKind::Z) continue;
+    std::vector<int> hn;
+    for (int e : d.incident_edges(v)) {
+      const int h = d.other_end(e, v);
+      if (d.is_hadamard_box(h))
+        for (int f : d.incident_edges(h)) {
+          const int w = d.other_end(f, h);
+          if (w != v) hn.push_back(w);
+        }
+    }
+    std::sort(hn.begin(), hn.end());
+    if (std::adjacent_find(hn.begin(), hn.end()) != hn.end()) return false;
+  }
+  return true;
+}
+
+ExtractedOpenGraph extract_open_graph(const Diagram& d) {
+  MBQ_REQUIRE(is_graph_like(d), "extract_open_graph needs graph-like form");
+  ExtractedOpenGraph out;
+  std::unordered_map<int, int> vertex_of_spider;
+  for (int v : d.node_ids()) {
+    if (d.kind(v) != NodeKind::Z) continue;
+    vertex_of_spider[v] = out.graph.add_vertex();
+    out.spider_of_vertex.push_back(v);
+    out.vertex_phase.push_back(d.phase(v));
+  }
+  for (int h : d.node_ids()) {
+    if (!d.node_alive(h) || !d.is_hadamard_box(h)) continue;
+    const auto ns = d.neighbors(h);
+    if (ns.size() == 2 && vertex_of_spider.count(ns[0]) &&
+        vertex_of_spider.count(ns[1])) {
+      out.graph.add_edge(vertex_of_spider[ns[0]], vertex_of_spider[ns[1]]);
+    }
+  }
+  auto attach = [&](int boundary, std::vector<int>& vout,
+                    std::vector<bool>& had) {
+    const auto inc = d.incident_edges(boundary);
+    MBQ_REQUIRE(inc.size() == 1, "boundary degree must be 1");
+    int o = d.other_end(inc[0], boundary);
+    bool h = false;
+    if (d.is_hadamard_box(o)) {
+      h = true;
+      const int hbox = o;
+      for (int f : d.incident_edges(hbox))
+        if (d.other_end(f, hbox) != boundary) o = d.other_end(f, hbox);
+    }
+    MBQ_REQUIRE(vertex_of_spider.count(o),
+                "boundary " << boundary << " not attached to a spider");
+    vout.push_back(vertex_of_spider[o]);
+    had.push_back(h);
+  };
+  for (int b : d.inputs()) attach(b, out.input_vertex, out.input_hadamard);
+  for (int b : d.outputs()) attach(b, out.output_vertex, out.output_hadamard);
+  return out;
+}
+
+}  // namespace mbq::zx

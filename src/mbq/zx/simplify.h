@@ -1,0 +1,54 @@
+#pragma once
+// Graph-like normal form and open-graph extraction.
+//
+// A diagram is *graph-like* when every spider is a Z-spider, spiders are
+// joined only by single Hadamard edges, and there are no self-loops or
+// spider-spider plain edges.  This is the form in which a ZX-diagram IS a
+// measurement-based resource state: spiders are graph-state qubits, H
+// edges are CZ entanglers (Sec. II-B / Eq. (5) of the paper).
+
+#include <vector>
+
+#include "mbq/graph/graph.h"
+#include "mbq/zx/diagram.h"
+
+namespace mbq::zx {
+
+struct SimplifyStats {
+  int color_changes = 0;
+  int fusions = 0;
+  int hh_cancellations = 0;
+  int identity_removals = 0;
+  int self_loop_removals = 0;
+  int hadamard_self_loops = 0;
+  int parallel_hadamard_pairs = 0;
+  int total() const {
+    return color_changes + fusions + hh_cancellations + identity_removals +
+           self_loop_removals + hadamard_self_loops + parallel_hadamard_pairs;
+  }
+};
+
+/// Rewrite d into graph-like form (terminates; semantics preserved up to
+/// the tracked scalar).  Returns counts of applied rules.
+SimplifyStats to_graph_like(Diagram& d);
+
+/// Check the graph-like invariants.
+bool is_graph_like(const Diagram& d);
+
+/// The open graph of a graph-like diagram.
+struct ExtractedOpenGraph {
+  Graph graph;                        // vertex per spider
+  std::vector<int> spider_of_vertex;  // diagram node id per vertex
+  std::vector<real> vertex_phase;     // spider phase per vertex
+  // Per diagram input/output: which vertex it attaches to, and whether the
+  // attachment wire carries a Hadamard.
+  std::vector<int> input_vertex;
+  std::vector<int> output_vertex;
+  std::vector<bool> input_hadamard;
+  std::vector<bool> output_hadamard;
+};
+
+/// Extract the open graph; requires is_graph_like(d).
+ExtractedOpenGraph extract_open_graph(const Diagram& d);
+
+}  // namespace mbq::zx

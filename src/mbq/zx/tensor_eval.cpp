@@ -1,0 +1,150 @@
+#include "mbq/zx/tensor_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+
+#include "mbq/common/bits.h"
+
+namespace mbq::zx {
+
+namespace {
+
+Tensor node_tensor_with_legs(NodeKind kind, real phase, cplx hparam,
+                             const std::vector<int>& legs) {
+  const std::size_t d = legs.size();
+  const std::size_t dim = std::size_t{1} << d;
+  std::vector<cplx> data(dim, cplx{0.0, 0.0});
+  switch (kind) {
+    case NodeKind::Z: {
+      data[0] += 1.0;
+      data[dim - 1] += std::exp(kI * phase);
+      break;
+    }
+    case NodeKind::X: {
+      const real norm = std::pow(2.0, -0.5 * static_cast<real>(d));
+      const cplx e = std::exp(kI * phase);
+      for (std::size_t b = 0; b < dim; ++b) {
+        const real sign = parity64(b) ? -1.0 : 1.0;
+        data[b] = norm * (1.0 + e * sign);
+      }
+      break;
+    }
+    case NodeKind::HBox: {
+      for (std::size_t b = 0; b < dim; ++b) data[b] = 1.0;
+      data[dim - 1] = hparam;
+      break;
+    }
+    case NodeKind::Boundary:
+      throw InternalError("boundary nodes have no tensor");
+  }
+  return Tensor(legs, std::move(data));
+}
+
+}  // namespace
+
+Tensor node_tensor(NodeKind kind, real phase, cplx hparam, int deg) {
+  std::vector<int> legs(static_cast<std::size_t>(deg));
+  for (int i = 0; i < deg; ++i) legs[i] = i;
+  return node_tensor_with_legs(kind, phase, hparam, legs);
+}
+
+Tensor evaluate(const Diagram& d) {
+  d.validate();
+  std::list<Tensor> pool;
+
+  // Internal nodes: legs are incident edge ids.
+  for (int v : d.node_ids()) {
+    if (d.kind(v) == NodeKind::Boundary) continue;
+    const auto& inc = d.incident_edges(v);
+    for (int e : inc)
+      MBQ_REQUIRE(!d.is_self_loop(e),
+                  "evaluate: self-loop edge " << e << " on node " << v
+                                              << "; simplify first");
+    pool.push_back(
+        node_tensor_with_legs(d.kind(v), d.phase(v), d.hparam(v), inc));
+  }
+
+  // Boundary nodes: a delta tensor bridging the incident edge to a
+  // negative leg id -(node+1), which survives contraction as a free leg.
+  for (int v : d.node_ids()) {
+    if (d.kind(v) != NodeKind::Boundary) continue;
+    MBQ_REQUIRE(d.degree(v) == 1,
+                "boundary node " << v << " has degree " << d.degree(v));
+    const int e = d.incident_edges(v)[0];
+    // Boundary-boundary edges appear twice with the same edge leg; the two
+    // deltas then contract with each other, which is exactly the identity
+    // wire.
+    pool.push_back(Tensor({e, -(v + 1)}, {1.0, 0.0, 0.0, 1.0}));
+  }
+
+  if (pool.empty()) return Tensor::scalar(d.scalar());
+
+  // Greedy pairwise contraction: prefer the pair sharing legs with the
+  // smallest resulting rank.
+  while (pool.size() > 1) {
+    auto best_a = pool.end(), best_b = pool.end();
+    int best_rank = 1 << 30;
+    for (auto i = pool.begin(); i != pool.end(); ++i) {
+      for (auto j = std::next(i); j != pool.end(); ++j) {
+        int shared = 0;
+        for (int leg : i->legs())
+          if (j->has_leg(leg)) ++shared;
+        if (shared == 0) continue;
+        const int rank = i->rank() + j->rank() - 2 * shared;
+        if (rank < best_rank) {
+          best_rank = rank;
+          best_a = i;
+          best_b = j;
+        }
+      }
+    }
+    if (best_a == pool.end()) {
+      // Disconnected components: outer-product the two smallest.
+      pool.sort([](const Tensor& x, const Tensor& y) {
+        return x.rank() < y.rank();
+      });
+      auto i = pool.begin();
+      auto j = std::next(i);
+      Tensor prod = Tensor::contract(*i, *j);
+      pool.erase(i);
+      pool.erase(j);
+      pool.push_front(std::move(prod));
+      continue;
+    }
+    Tensor prod = Tensor::contract(*best_a, *best_b);
+    pool.erase(best_a);
+    pool.erase(best_b);
+    pool.push_front(std::move(prod));
+  }
+
+  Tensor result = std::move(pool.front());
+  result.scale(d.scalar());
+
+  // Relabel boundary legs to canonical 0..k-1 (inputs then outputs).
+  std::vector<int> want_order;
+  for (int v : d.inputs()) want_order.push_back(-(v + 1));
+  for (int v : d.outputs()) want_order.push_back(-(v + 1));
+  MBQ_REQUIRE(static_cast<int>(want_order.size()) == result.rank(),
+              "evaluator left " << result.rank() << " free legs, expected "
+                                << want_order.size());
+  Tensor ordered = result.rank() ? result.permuted(want_order) : result;
+  std::vector<int> canonical(ordered.rank());
+  for (int i = 0; i < ordered.rank(); ++i) canonical[i] = i;
+  return Tensor(canonical, ordered.data());
+}
+
+Matrix evaluate_matrix(const Diagram& d) {
+  const Tensor t = evaluate(d);
+  const std::size_t n_in = d.inputs().size();
+  const std::size_t n_out = d.outputs().size();
+  MBQ_ASSERT(static_cast<std::size_t>(t.rank()) == n_in + n_out);
+  Matrix m(std::size_t{1} << n_out, std::size_t{1} << n_in);
+  const auto& data = t.data();
+  for (std::size_t col = 0; col < m.cols(); ++col)
+    for (std::size_t row = 0; row < m.rows(); ++row)
+      m(row, col) = data[col | (row << n_in)];
+  return m;
+}
+
+}  // namespace mbq::zx

@@ -1,0 +1,33 @@
+#pragma once
+// Tensor semantics of ZX(H)-diagrams.
+//
+// evaluate() contracts the diagram to a Tensor whose legs are canonically
+// numbered 0..k-1: inputs in diagram order first, then outputs.  Two
+// diagrams with the same boundary arity are therefore directly comparable
+// (exactly, or up to scalar via Tensor::proportionality_distance — the
+// latter matches the paper's "equal up to constant" claims).
+//
+// Spider semantics follow Eq. (1)/(2) of the paper; H-boxes follow the ZH
+// convention (all-ones entry = parameter, every other entry 1), so the
+// 2-ary H-box with parameter -1 equals sqrt(2) * H.
+
+#include "mbq/linalg/dense.h"
+#include "mbq/linalg/tensor.h"
+#include "mbq/zx/diagram.h"
+
+namespace mbq::zx {
+
+/// Contract the whole diagram.  Throws on self-loop edges (rewrites are
+/// expected to remove them first) and if any intermediate tensor would
+/// exceed 2^30 entries.
+Tensor evaluate(const Diagram& d);
+
+/// evaluate() reshaped into a matrix: rows indexed by outputs, columns by
+/// inputs (both little-endian in diagram order).
+Matrix evaluate_matrix(const Diagram& d);
+
+/// Tensor of a single node as used by the evaluator (exposed for tests):
+/// legs are labeled 0..deg-1.
+Tensor node_tensor(NodeKind kind, real phase, cplx hparam, int deg);
+
+}  // namespace mbq::zx

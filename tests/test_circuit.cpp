@@ -1,0 +1,130 @@
+// Unit tests for the circuit IR: building, execution, unitaries,
+// controlled-gate expansion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/linalg/unitaries.h"
+
+namespace mbq {
+namespace {
+
+TEST(Circuit, BuildAndValidate) {
+  Circuit c(3);
+  c.h(0).cz(0, 1).rz(2, 0.5).phase_gadget({0, 2}, 0.7);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_THROW(c.h(3), Error);
+  EXPECT_THROW(c.cz(1, 1), Error);
+  EXPECT_THROW(c.phase_gadget({}, 0.1), Error);
+}
+
+TEST(Circuit, ApplyMatchesUnitary) {
+  Rng rng(1);
+  Circuit c(3);
+  c.h(0).h(1).h(2);
+  c.cz(0, 1).cx(1, 2);
+  c.rz(0, 0.31).rx(1, -0.7).t(2).s(0).sdg(1).tdg(2);
+  c.phase_gadget({0, 1, 2}, 0.9);
+  c.y(0).z(1).x(2);
+
+  Statevector sv(3);
+  c.apply_to(sv);
+  const auto expect = c.unitary() * Statevector(3).amplitudes();
+  EXPECT_NEAR(fidelity(sv.amplitudes(), expect), 1.0, kTol);
+}
+
+TEST(Circuit, AppendCircuit) {
+  Circuit a(2);
+  a.h(0);
+  Circuit b(2);
+  b.cz(0, 1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  Circuit wide(3);
+  EXPECT_THROW(Circuit(2).append(wide), Error);
+}
+
+TEST(Circuit, PhaseGadgetEqualsCxRzCx) {
+  // exp(-i t/2 Z0 Z1) == CX(0,1) rz_1(t) CX(0,1) up to global phase.
+  const real t = 0.77;
+  Circuit pg(2);
+  pg.phase_gadget({0, 1}, t);
+  Circuit comp(2);
+  comp.cx(0, 1).rz(1, t).cx(0, 1);
+  EXPECT_TRUE(Matrix::approx_equal_up_to_phase(pg.unitary(), comp.unitary()));
+}
+
+TEST(Circuit, EntanglingCount) {
+  Circuit c(4);
+  c.h(0).cz(0, 1).cx(1, 2);
+  c.phase_gadget({0, 1, 2}, 0.4);  // 2*(3-1) = 4 CX
+  EXPECT_EQ(c.entangling_count_compiled(), 2u + 4u);
+}
+
+TEST(Circuit, ControlledExpXOracle) {
+  Rng rng(2);
+  for (int nc = 0; nc <= 3; ++nc) {
+    const int n = nc + 1;
+    std::vector<int> controls;
+    for (int i = 1; i <= nc; ++i) controls.push_back(i);
+    for (int v : {0, 1}) {
+      const real beta = rng.angle();
+      Circuit c(n);
+      c.controlled_exp_x(0, controls, beta, v);
+      const Matrix expect =
+          gates::controlled_exp_x(beta, 0, controls, v, n);
+      EXPECT_TRUE(Matrix::approx_equal(c.unitary(), expect))
+          << "nc=" << nc << " v=" << v;
+    }
+  }
+}
+
+TEST(Circuit, ExpandControlledGatesExact) {
+  // The phase-polynomial expansion must reproduce the controlled rotation
+  // exactly (up to global phase) for every control count and value.
+  Rng rng(3);
+  for (int nc = 0; nc <= 3; ++nc) {
+    const int n = nc + 1;
+    std::vector<int> controls;
+    for (int i = 1; i <= nc; ++i) controls.push_back(i);
+    for (int v : {0, 1}) {
+      const real beta = rng.angle();
+      Circuit c(n);
+      c.controlled_exp_x(0, controls, beta, v);
+      const Circuit expanded = c.expand_controlled_gates();
+      // Expansion contains no controlled gates.
+      for (const Gate& g : expanded.gates())
+        EXPECT_NE(g.kind, GateKind::ControlledExpX);
+      EXPECT_TRUE(Matrix::approx_equal_up_to_phase(c.unitary(),
+                                                   expanded.unitary()))
+          << "nc=" << nc << " v=" << v << " beta=" << beta;
+    }
+  }
+}
+
+TEST(Circuit, ExpandGadgetCount) {
+  Circuit c(4);
+  c.controlled_exp_x(0, {1, 2, 3}, 0.5, 0);
+  const Circuit e = c.expand_controlled_gates();
+  int gadgets = 0, hs = 0;
+  for (const Gate& g : e.gates()) {
+    gadgets += g.kind == GateKind::PhaseGadget;
+    hs += g.kind == GateKind::H;
+  }
+  EXPECT_EQ(gadgets, 8);  // 2^3 subsets
+  EXPECT_EQ(hs, 2);
+}
+
+TEST(Circuit, StrContainsGateNames) {
+  Circuit c(2);
+  c.h(0).cz(0, 1);
+  const std::string s = c.str();
+  EXPECT_NE(s.find("H(0)"), std::string::npos);
+  EXPECT_NE(s.find("CZ(0,1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbq

@@ -1,0 +1,111 @@
+// End-to-end protocol tests: expectation through the adaptive MBQC
+// protocol equals the gate-model value; sampling statistics are
+// consistent; classical post-processing of byproducts matches quantum
+// corrections.
+
+#include <gtest/gtest.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/core/protocol.h"
+#include "mbq/graph/generators.h"
+#include "mbq/opt/exact.h"
+#include "mbq/qaoa/analytic.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::core {
+namespace {
+
+using qaoa::Angles;
+using qaoa::CostHamiltonian;
+
+TEST(Protocol, ExpectationMatchesGateModel) {
+  Rng rng(1);
+  const Graph g = cycle_graph(4);
+  const CostHamiltonian c = CostHamiltonian::maxcut(g);
+  const MbqcQaoaSolver solver(c);
+  for (int p : {1, 2}) {
+    const Angles a = Angles::random(p, rng);
+    const real gate = qaoa::qaoa_expectation(c, a);
+    Rng run_rng(p);
+    const real mbqc_val = solver.expectation(a, run_rng);
+    EXPECT_NEAR(mbqc_val, gate, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Protocol, ExpectationMatchesAnalyticP1) {
+  const Graph g = petersen_graph();
+  const CostHamiltonian c = CostHamiltonian::maxcut(g);
+  const MbqcQaoaSolver solver(c);
+  const real gamma = 0.4, beta = 0.25;
+  Rng rng(2);
+  EXPECT_NEAR(solver.expectation(Angles({gamma}, {beta}), rng),
+              qaoa::maxcut_p1_expectation(g, gamma, beta), 1e-9);
+}
+
+TEST(Protocol, ClassicalModeMatchesQuantumMode) {
+  Rng rng(3);
+  const Graph g = complete_graph(3);
+  const CostHamiltonian c = CostHamiltonian::maxcut(g);
+  const Angles a = Angles::random(2, rng);
+  const MbqcQaoaSolver quantum(c, CorrectionMode::Quantum);
+  const MbqcQaoaSolver classical(c, CorrectionMode::ClassicalPostProcess);
+  Rng r1(4), r2(4);
+  EXPECT_NEAR(quantum.expectation(a, r1), classical.expectation(a, r2), 1e-9);
+}
+
+TEST(Protocol, SampleMeanTracksExpectation) {
+  Rng rng(5);
+  const Graph g = cycle_graph(4);
+  const CostHamiltonian c = CostHamiltonian::maxcut(g);
+  const qaoa::P1Optimum opt = qaoa::maxcut_p1_grid_optimum(g, 32);
+  const Angles a({opt.gamma}, {opt.beta});
+  const MbqcQaoaSolver solver(c);
+  const auto samples = solver.sample(a, 400, rng);
+  real mean = 0.0;
+  for (const auto& s : samples) mean += s.cost;
+  mean /= samples.size();
+  Rng erng(6);
+  const real expect = solver.expectation(a, erng);
+  EXPECT_NEAR(mean, expect, 0.25);  // statistical tolerance
+}
+
+TEST(Protocol, ClassicalSamplingAlsoUnbiased) {
+  Rng rng(7);
+  const Graph g = cycle_graph(4);
+  const CostHamiltonian c = CostHamiltonian::maxcut(g);
+  const Angles a({0.6}, {0.4});
+  const MbqcQaoaSolver classical(c, CorrectionMode::ClassicalPostProcess);
+  const auto samples = classical.sample(a, 400, rng);
+  real mean = 0.0;
+  for (const auto& s : samples) mean += s.cost;
+  mean /= samples.size();
+  EXPECT_NEAR(mean, qaoa::qaoa_expectation(c, a), 0.25);
+}
+
+TEST(Protocol, BestOfFindsOptimumOnEasyInstance) {
+  Rng rng(8);
+  const Graph g = cycle_graph(4);
+  const CostHamiltonian c = CostHamiltonian::maxcut(g);
+  const qaoa::P1Optimum popt = qaoa::maxcut_p1_grid_optimum(g, 32);
+  const MbqcQaoaSolver solver(c);
+  const ShotRecord best =
+      solver.best_of(Angles({popt.gamma}, {popt.beta}), 64, rng);
+  const auto exact = opt::brute_force_maximum(c);
+  EXPECT_NEAR(best.cost, exact.value, 1e-9);  // C4 optimum found in 64 shots
+}
+
+TEST(Protocol, FusedLinearStyleAgrees) {
+  Rng rng(9);
+  const CostHamiltonian c = CostHamiltonian::qubo(
+      3, {1.0, -0.5, 0.25}, {{{0, 1}, 0.8}, {{1, 2}, -0.6}}, 0.0);
+  const Angles a = Angles::random(2, rng);
+  const MbqcQaoaSolver gadget(c, CorrectionMode::Quantum,
+                              LinearTermStyle::Gadget);
+  const MbqcQaoaSolver fused(c, CorrectionMode::Quantum,
+                             LinearTermStyle::FusedIntoMixer);
+  Rng r1(10), r2(10);
+  EXPECT_NEAR(gadget.expectation(a, r1), fused.expectation(a, r2), 1e-9);
+}
+
+}  // namespace
+}  // namespace mbq::core

@@ -1,0 +1,198 @@
+// Unit tests for the dynamic (qubit-reuse) statevector simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/common/rng.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/sim/dynamic_statevector.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq {
+namespace {
+
+TEST(MeasurementBasis, Columns) {
+  // XY(0) must be the X basis; YZ(0) the Z basis.
+  EXPECT_TRUE(Matrix::approx_equal(measurement_basis(MeasBasis::XY, 0.0),
+                                   measurement_basis(MeasBasis::X, 0.0)));
+  EXPECT_TRUE(Matrix::approx_equal(measurement_basis(MeasBasis::YZ, 0.0),
+                                   measurement_basis(MeasBasis::Z, 0.0)));
+  for (real a : {0.3, -1.2, 2.9}) {
+    EXPECT_TRUE(measurement_basis(MeasBasis::XY, a).is_unitary());
+    EXPECT_TRUE(measurement_basis(MeasBasis::YZ, a).is_unitary());
+  }
+}
+
+TEST(DynamicSv, AddWirePlusAndZero) {
+  DynamicStatevector dsv;
+  dsv.add_wire(10, true);
+  dsv.add_wire(20, false);
+  EXPECT_EQ(dsv.num_live(), 2);
+  // State should be |0>_20 ⊗ |+>_10.
+  const auto amps = dsv.state_in_order({10, 20});
+  const real s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(amps[0] - cplx{s, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(amps[1] - cplx{s, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(amps[2]), 0.0, kTol);
+  EXPECT_THROW(dsv.add_wire(10), Error);
+}
+
+TEST(DynamicSv, MatchesFixedSimulatorOnRandomCircuit) {
+  Rng rng(5);
+  DynamicStatevector dsv;
+  Statevector sv(3);
+  for (int q = 0; q < 3; ++q) {
+    dsv.add_wire(q, true);
+    sv.apply_h(q);
+  }
+  for (int step = 0; step < 30; ++step) {
+    const int q = static_cast<int>(rng.uniform_index(3));
+    switch (rng.uniform_index(4)) {
+      case 0:
+        dsv.apply_h(q);
+        sv.apply_h(q);
+        break;
+      case 1: {
+        const real t = rng.angle();
+        dsv.apply_rz(q, t);
+        sv.apply_rz(q, t);
+        break;
+      }
+      case 2: {
+        int r = static_cast<int>(rng.uniform_index(3));
+        if (r == q) r = (r + 1) % 3;
+        dsv.apply_cz(q, r);
+        sv.apply_cz(q, r);
+        break;
+      }
+      case 3:
+        dsv.apply_x(q);
+        sv.apply_x(q);
+        break;
+    }
+  }
+  EXPECT_NEAR(fidelity(dsv.state_in_order({0, 1, 2}), sv.amplitudes()), 1.0,
+              kTol);
+}
+
+TEST(DynamicSv, MeasureRemoveZBasis) {
+  // Bell pair; Z measurement of one half collapses the other.
+  DynamicStatevector dsv;
+  dsv.add_wire(0, true);
+  dsv.add_wire(1, false);
+  // CX(0 -> 1) built from H and CZ.
+  dsv.apply_h(1);
+  dsv.apply_cz(0, 1);
+  dsv.apply_h(1);
+  Rng rng(1);
+  const Matrix zb = measurement_basis(MeasBasis::Z, 0.0);
+  const int m = dsv.measure_remove(0, zb, rng);
+  EXPECT_EQ(dsv.num_live(), 1);
+  const auto amps = dsv.state_in_order({1});
+  EXPECT_NEAR(std::abs(amps[m]), 1.0, kTol);  // perfectly correlated
+  EXPECT_NEAR(std::abs(amps[1 - m]), 0.0, kTol);
+}
+
+TEST(DynamicSv, ForcedOutcomeZeroProbabilityThrows) {
+  DynamicStatevector dsv;
+  dsv.add_wire(0, false);  // |0>
+  Rng rng(2);
+  const Matrix zb = measurement_basis(MeasBasis::Z, 0.0);
+  EXPECT_THROW(dsv.measure_remove(0, zb, rng, 1), Error);
+}
+
+TEST(DynamicSv, XYMeasurementProbabilities) {
+  // On |0>, an XY(alpha) measurement is 50/50 for every alpha.
+  for (real a : {0.0, 0.7, -2.1}) {
+    DynamicStatevector dsv;
+    dsv.add_wire(0, false);
+    EXPECT_NEAR(dsv.prob_one(0, measurement_basis(MeasBasis::XY, a)), 0.5,
+                kTol);
+  }
+  // On |+>, X measurement gives 0 with certainty.
+  DynamicStatevector dsv;
+  dsv.add_wire(0, true);
+  EXPECT_NEAR(dsv.prob_one(0, measurement_basis(MeasBasis::X, 0.0)), 0.0,
+              kTol);
+}
+
+TEST(DynamicSv, JGadgetTeleportation) {
+  // The core MBQC step: wire v entangled to fresh ancilla by CZ, measure v
+  // in XY(-alpha); outcome m yields X^m J(alpha) |psi> on the ancilla.
+  Rng rng(7);
+  for (int forced = 0; forced <= 1; ++forced) {
+    const real alpha = 0.83;
+    // Input |psi> = rz(0.4) H |0> on wire 0.
+    DynamicStatevector dsv;
+    dsv.add_wire(0, true);
+    dsv.apply_rz(0, 0.4);
+    dsv.add_wire(1, true);
+    dsv.apply_cz(0, 1);
+    const int m = dsv.measure_remove(
+        0, measurement_basis(MeasBasis::XY, -alpha), rng, forced);
+    ASSERT_EQ(m, forced);
+    // Reference: X^m J(alpha) rz(0.4) |+>.
+    std::vector<cplx> ref{1.0 / std::sqrt(2.0), 1.0 / std::sqrt(2.0)};
+    ref = gates::rz(0.4) * ref;
+    ref = gates::j(alpha) * ref;
+    if (m) ref = gates::x() * ref;
+    EXPECT_NEAR(fidelity(dsv.state_in_order({1}), ref), 1.0, kTol)
+        << "branch " << forced;
+  }
+}
+
+TEST(DynamicSv, YZGadgetPhase) {
+  // Ancilla gadget: ancilla |+> CZ-coupled to wire, measured in YZ(theta)
+  // implements exp(-i theta/2 Z) (outcome 0) or Z * that (outcome 1).
+  Rng rng(8);
+  for (int forced = 0; forced <= 1; ++forced) {
+    const real theta = 1.1;
+    DynamicStatevector dsv;
+    dsv.add_wire(0, true);  // input |+>
+    dsv.apply_rz(0, 0.9);   // arbitrary input state
+    dsv.add_wire(5, true);  // ancilla
+    dsv.apply_cz(0, 5);
+    const int m = dsv.measure_remove(
+        5, measurement_basis(MeasBasis::YZ, theta), rng, forced);
+    ASSERT_EQ(m, forced);
+    std::vector<cplx> ref{1.0 / std::sqrt(2.0), 1.0 / std::sqrt(2.0)};
+    ref = gates::rz(0.9) * ref;
+    ref = gates::exp_z(theta) * ref;
+    if (m) ref = gates::z() * ref;
+    EXPECT_NEAR(fidelity(dsv.state_in_order({0}), ref), 1.0, kTol)
+        << "branch " << forced;
+  }
+}
+
+TEST(DynamicSv, PeakLiveTracksHighWater) {
+  DynamicStatevector dsv;
+  Rng rng(3);
+  dsv.add_wire(0, true);
+  dsv.add_wire(1, true);
+  dsv.add_wire(2, true);
+  EXPECT_EQ(dsv.peak_live(), 3);
+  dsv.measure_remove(1, measurement_basis(MeasBasis::X, 0.0), rng);
+  EXPECT_EQ(dsv.num_live(), 2);
+  dsv.add_wire(3, true);
+  EXPECT_EQ(dsv.peak_live(), 3);  // never exceeded 3
+  dsv.add_wire(4, true);
+  EXPECT_EQ(dsv.peak_live(), 4);
+}
+
+TEST(DynamicSv, StateInOrderPermutes) {
+  DynamicStatevector dsv;
+  dsv.add_wire(7, false);
+  dsv.apply_x(7);  // |1>_7
+  dsv.add_wire(3, false);
+  // Order {3, 7}: index bit0 = wire3, bit1 = wire7 -> state index 2.
+  auto amps = dsv.state_in_order({3, 7});
+  EXPECT_NEAR(std::abs(amps[2] - cplx{1, 0}), 0.0, kTol);
+  // Order {7, 3}: index 1.
+  amps = dsv.state_in_order({7, 3});
+  EXPECT_NEAR(std::abs(amps[1] - cplx{1, 0}), 0.0, kTol);
+  EXPECT_THROW(dsv.state_in_order({7}), Error);
+}
+
+}  // namespace
+}  // namespace mbq

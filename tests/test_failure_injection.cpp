@@ -1,0 +1,131 @@
+// Failure-injection sweep: malformed inputs anywhere in the stack must
+// throw mbq::Error with context, never crash or silently misbehave.
+
+#include <gtest/gtest.h>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/linalg/tensor.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/qaoa/hamiltonian.h"
+#include "mbq/qaoa/qaoa.h"
+#include "mbq/sim/dynamic_statevector.h"
+#include "mbq/sim/statevector.h"
+#include "mbq/stab/tableau.h"
+#include "mbq/zx/diagram.h"
+#include "mbq/zx/tensor_eval.h"
+
+namespace mbq {
+namespace {
+
+TEST(FailureInjection, StatevectorLimits) {
+  EXPECT_THROW(Statevector(-1), Error);
+  EXPECT_THROW(Statevector(29), Error);
+  Statevector sv(2);
+  EXPECT_THROW(sv.apply_h(2), Error);
+  EXPECT_THROW(sv.apply_cz(0, 0), Error);
+  EXPECT_THROW(sv.apply_exp_zs(0.1, {5}), Error);
+  EXPECT_THROW(sv.expectation_diagonal(std::vector<real>(3)), Error);
+  Rng rng(1);
+  EXPECT_THROW(sv.measure(0, rng, 2), Error);
+}
+
+TEST(FailureInjection, DynamicStatevectorLifecycle) {
+  DynamicStatevector dsv;
+  EXPECT_THROW(dsv.apply_h(0), Error);  // wire not live
+  dsv.add_wire(0);
+  EXPECT_THROW(dsv.add_wire(0), Error);
+  EXPECT_THROW(dsv.apply_cz(0, 0), Error);
+  EXPECT_THROW(dsv.add_wire_state(1, 0.0, 0.0), Error);  // zero state
+  Rng rng(2);
+  dsv.measure_remove(0, measurement_basis(MeasBasis::X, 0), rng);
+  EXPECT_THROW(dsv.apply_h(0), Error);  // removed
+}
+
+TEST(FailureInjection, HamiltonianShape) {
+  EXPECT_THROW(qaoa::CostHamiltonian(0), Error);
+  EXPECT_THROW(qaoa::CostHamiltonian(64), Error);
+  qaoa::CostHamiltonian c(3);
+  EXPECT_THROW(c.add_term({3}, 1.0), Error);
+  EXPECT_THROW(qaoa::CostHamiltonian::qubo(2, {1.0}, {}), Error);
+  EXPECT_THROW(qaoa::CostHamiltonian::qubo(2, {1.0, 2.0}, {{{0, 0}, 1.0}}),
+               Error);
+  const Graph g = cycle_graph(4);
+  EXPECT_THROW(qaoa::CostHamiltonian::maxcut_weighted(g, {1.0}), Error);
+}
+
+TEST(FailureInjection, TableauMisuse) {
+  EXPECT_THROW(Tableau(0), Error);
+  Tableau t(2);
+  EXPECT_THROW(t.apply_h(2), Error);
+  EXPECT_THROW(t.apply_cx(1, 1), Error);
+  EXPECT_THROW(t.expectation(PauliString("XXX")), Error);  // width mismatch
+  EXPECT_THROW(t.expectation_zs({7}), Error);
+  EXPECT_THROW(t.stabilizer_row(2), Error);
+}
+
+TEST(FailureInjection, ZxDiagramMisuse) {
+  zx::Diagram d;
+  EXPECT_THROW(d.remove_node(0), Error);
+  const int a = d.add_z(0.1);
+  EXPECT_THROW(d.set_phase(99, 0.0), Error);
+  const int h = d.add_hbox();
+  EXPECT_THROW(d.set_phase(h, 0.2), Error);  // H-boxes carry no spider phase
+  d.add_edge(a, h);
+  const int e = d.edges_between(a, h)[0];
+  d.remove_edge(e);
+  EXPECT_THROW(d.remove_edge(e), Error);  // double removal
+}
+
+TEST(FailureInjection, TensorGuards) {
+  EXPECT_THROW(Tensor({0}, std::vector<cplx>(4)), Error);  // size mismatch
+  const Tensor t({0, 1}, std::vector<cplx>(4, cplx{1, 0}));
+  EXPECT_THROW(t.leg_position(9), Error);
+  EXPECT_THROW(t.self_contract(0, 0), Error);
+  const Tensor u({5}, std::vector<cplx>(2, cplx{1, 0}));
+  EXPECT_THROW(Tensor::proportionality_distance(t, u), Error);
+}
+
+TEST(FailureInjection, RunnerForcedBranchImpossible) {
+  // Forcing the X-measurement of |+> to outcome 1 has probability 0.
+  mbqc::Pattern p;
+  p.add_prep(0);
+  p.add_measure(0, MeasBasis::X, 0.0);
+  p.set_outputs({});
+  mbqc::RunOptions opt;
+  opt.forced = {1};
+  Rng rng(3);
+  EXPECT_THROW(mbqc::run(p, rng, opt), Error);
+}
+
+TEST(FailureInjection, AnglesAndCircuitShape) {
+  EXPECT_THROW(qaoa::Angles({}, {}), Error);
+  EXPECT_THROW(qaoa::Angles::from_flat({0.1, 0.2, 0.3}), Error);
+  EXPECT_THROW(Circuit(0), Error);
+  Circuit c(2);
+  EXPECT_THROW(c.controlled_exp_x(0, {0}, 0.1, 0), Error);  // repeated qubit
+  EXPECT_THROW(c.controlled_exp_x(0, {1}, 0.1, 2), Error);  // bad ctrl value
+}
+
+TEST(FailureInjection, CompilerRejectsWideExhaustiveEnumeration) {
+  // run_all_branches guards against exponential blowup.
+  Rng rng(4);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(4));
+  const auto cp = core::compile_qaoa(cost, qaoa::Angles::random(2, rng));
+  EXPECT_GT(cp.pattern.num_measurements(), 12);
+  EXPECT_THROW(mbqc::run_all_branches(cp.pattern), Error);
+}
+
+TEST(FailureInjection, GraphGuards) {
+  EXPECT_THROW(Graph(-1), Error);
+  Graph g(3);
+  EXPECT_THROW(g.neighbors(3), Error);
+  EXPECT_THROW(g.common_neighbor_count(0, 5), Error);
+  Rng rng(5);
+  EXPECT_THROW(random_regular_graph(4, 4, rng), Error);  // d >= n
+}
+
+}  // namespace
+}  // namespace mbq

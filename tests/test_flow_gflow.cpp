@@ -1,0 +1,180 @@
+// Flow and generalized flow: existence on well-structured patterns,
+// verification of the defining conditions, and absence on graphs that
+// cannot support determinism.
+
+#include <gtest/gtest.h>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/flow.h"
+#include "mbq/mbqc/from_circuit.h"
+#include "mbq/mbqc/gflow.h"
+#include "mbq/mbqc/standardize.h"
+
+namespace mbq::mbqc {
+namespace {
+
+/// Open graph of a 1D chain pattern: wire 0 input, wire n-1 output, XY
+/// measurements everywhere else — the canonical flow example.
+OpenGraph chain_open_graph(int n) {
+  Pattern p;
+  p.add_input(0);
+  for (int i = 1; i < n; ++i) p.add_prep(i);
+  for (int i = 0; i + 1 < n; ++i) p.add_entangle(i, i + 1);
+  for (int i = 0; i + 1 < n; ++i) p.add_measure(i, MeasBasis::XY, 0.3);
+  p.set_outputs({n - 1});
+  return open_graph_from_pattern(p);
+}
+
+TEST(Flow, ChainHasCausalFlow) {
+  const OpenGraph og = chain_open_graph(5);
+  const auto flow = find_causal_flow(og);
+  ASSERT_TRUE(flow.has_value());
+  EXPECT_TRUE(verify_causal_flow(og, *flow));
+  // f(i) = i+1 along the chain.
+  for (int i = 0; i + 1 < 5; ++i) EXPECT_EQ(flow->f[i], i + 1);
+}
+
+TEST(Flow, JTranslatedCircuitHasCausalFlow) {
+  Rng rng(1);
+  Circuit c(2);
+  c.h(0).rz(0, 0.4).cz(0, 1).rx(1, 0.7);
+  const Pattern p = standardize(pattern_from_circuit(c, true));
+  const OpenGraph og = open_graph_from_pattern(p);
+  const auto flow = find_causal_flow(og);
+  ASSERT_TRUE(flow.has_value());
+  EXPECT_TRUE(verify_causal_flow(og, *flow));
+}
+
+TEST(Flow, RejectsNonXYPlanes) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  p.add_measure(1, MeasBasis::YZ, 0.5);
+  p.set_outputs({0});
+  const OpenGraph og = open_graph_from_pattern(p);
+  EXPECT_FALSE(find_causal_flow(og).has_value());
+}
+
+TEST(Flow, NoFlowOnIsolatedMeasuredVertex) {
+  // A measured vertex with no neighbours cannot be corrected.
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_measure(0, MeasBasis::XY, 0.2);
+  p.set_outputs({1});
+  const OpenGraph og = open_graph_from_pattern(p);
+  EXPECT_FALSE(find_causal_flow(og).has_value());
+}
+
+TEST(GFlow, ChainHasGFlow) {
+  const OpenGraph og = chain_open_graph(5);
+  const auto gf = find_gflow(og);
+  ASSERT_TRUE(gf.has_value());
+  EXPECT_TRUE(verify_gflow(og, *gf));
+}
+
+TEST(GFlow, YZGadgetPatternHasGFlow) {
+  // The paper's edge gadget: two wires (outputs) + YZ-measured ancilla.
+  // Causal flow does not apply (YZ plane) but gflow exists with
+  // g(ancilla) = {ancilla}.
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_prep(2);
+  p.add_entangle(0, 2);
+  p.add_entangle(1, 2);
+  p.add_measure(2, MeasBasis::YZ, 0.9);
+  p.set_outputs({0, 1});
+  const OpenGraph og = open_graph_from_pattern(p);
+  EXPECT_FALSE(find_causal_flow(og).has_value());
+  const auto gf = find_gflow(og);
+  ASSERT_TRUE(gf.has_value());
+  EXPECT_TRUE(verify_gflow(og, *gf));
+  const int anc = og.vertex_of_wire.at(2);
+  EXPECT_EQ(gf->g[anc], std::vector<int>{anc});
+}
+
+TEST(GFlow, GadgetThenJChainHasGFlow) {
+  // The QAOA-layer structure: a YZ gadget ancilla hanging off a wire,
+  // followed by a J-chain on the wire.  Wires are measured after the
+  // gadget ancilla, so the YZ byproduct is correctable: gflow exists.
+  Pattern p;
+  p.add_prep(0);  // wire
+  p.add_prep(1);  // gadget ancilla
+  p.add_prep(2);  // J-chain ancilla
+  p.add_prep(3);  // final output
+  p.add_entangle(0, 1);
+  p.add_entangle(0, 2);
+  p.add_entangle(2, 3);
+  p.add_measure(1, MeasBasis::YZ, 0.2);
+  p.add_measure(0, MeasBasis::XY, 0.1);
+  p.add_measure(2, MeasBasis::XY, 0.3);
+  p.set_outputs({3});
+  const OpenGraph og = open_graph_from_pattern(p);
+  const auto gf = find_gflow(og);
+  ASSERT_TRUE(gf.has_value());
+  EXPECT_TRUE(verify_gflow(og, *gf));
+  // YZ-measured vertices must appear in their own correction set.
+  const int anc = og.vertex_of_wire.at(1);
+  EXPECT_TRUE(std::binary_search(gf->g[anc].begin(), gf->g[anc].end(), anc));
+}
+
+TEST(GFlow, MidChainYZHasNoGFlow) {
+  // Counterexample: a YZ measurement in the MIDDLE of a path, with both
+  // chain neighbours measured in XY toward far-away outputs, creates a
+  // cyclic correction dependency — no gflow exists.
+  Pattern p;
+  for (int i = 0; i < 5; ++i) p.add_prep(i);
+  for (int i = 0; i + 1 < 5; ++i) p.add_entangle(i, i + 1);
+  p.add_measure(0, MeasBasis::XY, 0.1);
+  p.add_measure(2, MeasBasis::YZ, 0.2);
+  p.add_measure(1, MeasBasis::XY, 0.3);
+  p.set_outputs({3, 4});
+  const OpenGraph og = open_graph_from_pattern(p);
+  EXPECT_FALSE(find_gflow(og).has_value());
+}
+
+TEST(GFlow, NoGFlowWhenOutputsTooFew) {
+  // Complete graph K3 with all vertices measured in XY and no outputs:
+  // no gflow (nothing left to absorb corrections).
+  Pattern p;
+  for (int i = 0; i < 3; ++i) p.add_prep(i);
+  p.add_entangle(0, 1);
+  p.add_entangle(1, 2);
+  p.add_entangle(0, 2);
+  for (int i = 0; i < 3; ++i) p.add_measure(i, MeasBasis::XY, 0.4);
+  p.set_outputs({});
+  const OpenGraph og = open_graph_from_pattern(p);
+  EXPECT_FALSE(find_gflow(og).has_value());
+}
+
+TEST(GFlow, VerifyRejectsBrokenGFlow) {
+  const OpenGraph og = chain_open_graph(4);
+  auto gf = find_gflow(og);
+  ASSERT_TRUE(gf.has_value());
+  ASSERT_TRUE(verify_gflow(og, *gf));
+  // Corrupt: give vertex 0 an empty correction set.
+  gf->g[0].clear();
+  EXPECT_FALSE(verify_gflow(og, *gf));
+}
+
+TEST(GFlow, PauliZMeasurementTreatedAsYZ) {
+  // Z-measured ancilla hanging off an output wire: g = {anc}, Odd(g)
+  // touches only the output.
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  p.add_measure(1, MeasBasis::Z, 0.0);
+  p.set_outputs({0});
+  const OpenGraph og = open_graph_from_pattern(p);
+  const auto gf = find_gflow(og);
+  ASSERT_TRUE(gf.has_value());
+  EXPECT_TRUE(verify_gflow(og, *gf));
+}
+
+}  // namespace
+}  // namespace mbq::mbqc

@@ -1,0 +1,144 @@
+// Unit tests for mbq/graph: construction, generators, properties, io.
+
+#include <gtest/gtest.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/graph/graph.h"
+#include "mbq/graph/io.h"
+
+namespace mbq {
+namespace {
+
+TEST(Graph, AddEdgeAndQuery) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.neighbors(1), (std::vector<int>{0, 2}));
+}
+
+TEST(Graph, EdgesNormalizedAndSorted) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(2, 0);
+  const auto& es = g.edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], (Edge{0, 2}));
+  EXPECT_EQ(es[1], (Edge{1, 3}));
+}
+
+TEST(Graph, RejectsSelfLoopAndDuplicate) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), Error);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+}
+
+TEST(Graph, Components) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  const auto comps = g.connected_components();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_EQ(g.isolated_vertices(), (std::vector<int>{2}));
+}
+
+TEST(Graph, TriangleCount) {
+  Graph g = complete_graph(4);  // C(4,3) = 4 triangles
+  EXPECT_EQ(g.triangle_count(), 4);
+  EXPECT_EQ(g.common_neighbor_count(0, 1), 2);
+  EXPECT_EQ(cycle_graph(5).triangle_count(), 0);
+}
+
+TEST(Graph, Bipartite) {
+  EXPECT_TRUE(path_graph(5).is_bipartite());
+  EXPECT_TRUE(cycle_graph(6).is_bipartite());
+  EXPECT_FALSE(cycle_graph(5).is_bipartite());
+  EXPECT_TRUE(complete_bipartite_graph(3, 4).is_bipartite());
+  EXPECT_FALSE(complete_graph(3).is_bipartite());
+}
+
+TEST(Generators, Path) {
+  const Graph g = path_graph(4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle_graph(5);
+  EXPECT_EQ(g.num_edges(), 5);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_THROW(cycle_graph(2), Error);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = complete_graph(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(Generators, Star) {
+  const Graph g = star_graph(6);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.degree(0), 5);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.is_bipartite());
+}
+
+TEST(Generators, Petersen) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (int v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_EQ(g.triangle_count(), 0);
+}
+
+TEST(Generators, Gnm) {
+  Rng rng(1);
+  const Graph g = random_gnm_graph(10, 20, rng);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 20);
+  EXPECT_THROW(random_gnm_graph(4, 7, rng), Error);  // > C(4,2)
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(random_gnp_graph(6, 0.0, rng).num_edges(), 0);
+  EXPECT_EQ(random_gnp_graph(6, 1.0, rng).num_edges(), 15);
+}
+
+TEST(Generators, RandomRegular) {
+  Rng rng(3);
+  const Graph g = random_regular_graph(12, 3, rng);
+  for (int v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_THROW(random_regular_graph(5, 3, rng), Error);  // odd n*d
+}
+
+TEST(Io, RoundTrip) {
+  Rng rng(4);
+  const Graph g = random_gnm_graph(8, 11, rng);
+  const Graph h = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, h);
+}
+
+TEST(Io, RejectsTruncated) {
+  EXPECT_THROW(from_edge_list("3 2\n0 1\n"), Error);
+}
+
+}  // namespace
+}  // namespace mbq

@@ -1,0 +1,99 @@
+// Iterative quantum optimization (Sec. V / refs [56], [60], [61]):
+// correlation-guided contraction with all expectations obtained through
+// the measurement-based protocol.
+
+#include <gtest/gtest.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/core/iterative.h"
+#include "mbq/graph/generators.h"
+#include "mbq/opt/exact.h"
+#include "mbq/qaoa/hamiltonian.h"
+
+namespace mbq::core {
+namespace {
+
+real exact_maxcut(const Graph& g, const std::vector<real>& w) {
+  return opt::brute_force_maximum(
+             qaoa::CostHamiltonian::maxcut_weighted(g, w))
+      .value;
+}
+
+TEST(Iterative, SolvesEvenCycleExactly) {
+  const Graph g = cycle_graph(8);
+  const std::vector<real> w(8, 1.0);
+  Rng rng(1);
+  const IterativeResult r = iterative_maxcut(g, w, {}, rng);
+  EXPECT_NEAR(r.value, 8.0, 1e-9);  // bipartite: cut everything
+  EXPECT_EQ(r.rounds.size(), 8u - 4u);
+  // The first round operates on the all-(+1) instance, where the p=1
+  // optimum anti-correlates every edge.  (Later rounds see contracted
+  // instances with negative weights, where alignment can be optimal.)
+  ASSERT_FALSE(r.rounds.empty());
+  EXPECT_TRUE(r.rounds.front().anti_aligned);
+}
+
+TEST(Iterative, NearOptimalOnRandomGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = random_gnm_graph(8, 12, rng);
+    const std::vector<real> w(12, 1.0);
+    const real best = exact_maxcut(g, w);
+    Rng solve_rng(trial);
+    const IterativeResult r = iterative_maxcut(g, w, {}, solve_rng);
+    EXPECT_GE(r.value, 0.85 * best) << "trial " << trial;
+    // Value reported must equal the cut of the returned assignment.
+    EXPECT_NEAR(
+        r.value,
+        qaoa::CostHamiltonian::maxcut_weighted(g, w).evaluate(r.x), 1e-9);
+  }
+}
+
+TEST(Iterative, HandlesWeights) {
+  // Triangle with one dominant edge: the heavy edge must be cut.
+  const Graph g = complete_graph(3);
+  std::vector<real> w{5.0, 1.0, 1.0};  // edges (0,1), (0,2), (1,2)
+  Rng rng(3);
+  IterativeOptions opt;
+  opt.base_case_size = 2;
+  const IterativeResult r = iterative_maxcut(g, w, opt, rng);
+  EXPECT_NEAR(r.value, 6.0, 1e-9);  // cut (0,1) and one unit edge
+}
+
+TEST(Iterative, NegativeWeightsAlign) {
+  // A single negative edge: best cut leaves it uncut (aligned).
+  Graph g(2);
+  g.add_edge(0, 1);
+  Rng rng(4);
+  IterativeOptions opt;
+  opt.base_case_size = 1;
+  const IterativeResult r = iterative_maxcut(g, {-2.0}, opt, rng);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+  ASSERT_EQ(r.rounds.size(), 1u);
+  EXPECT_FALSE(r.rounds[0].anti_aligned);
+}
+
+TEST(Iterative, BaseCaseOnlyReducesToBruteForce) {
+  // With base_case_size >= n there are no quantum rounds at all.
+  const Graph g = cycle_graph(5);
+  const std::vector<real> w(5, 1.0);
+  Rng rng(5);
+  IterativeOptions opt;
+  opt.base_case_size = 5;
+  const IterativeResult r = iterative_maxcut(g, w, opt, rng);
+  EXPECT_TRUE(r.rounds.empty());
+  EXPECT_NEAR(r.value, 4.0, 1e-9);  // odd cycle optimum
+}
+
+TEST(Iterative, RejectsBadArguments) {
+  const Graph g = cycle_graph(4);
+  Rng rng(6);
+  EXPECT_THROW(iterative_maxcut(g, {1.0}, {}, rng), Error);
+  IterativeOptions opt;
+  opt.base_case_size = 0;
+  EXPECT_THROW(iterative_maxcut(g, std::vector<real>(4, 1.0), opt, rng),
+               Error);
+}
+
+}  // namespace
+}  // namespace mbq::core

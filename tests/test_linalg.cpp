@@ -1,0 +1,190 @@
+// Unit tests for mbq/linalg: dense matrices, gate unitaries, tensors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/common/rng.h"
+#include "mbq/linalg/dense.h"
+#include "mbq/linalg/tensor.h"
+#include "mbq/linalg/unitaries.h"
+
+namespace mbq {
+namespace {
+
+TEST(Matrix, IdentityMul) {
+  const Matrix i = Matrix::identity(4);
+  Matrix a(4, 4);
+  Rng rng(1);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      a(r, c) = cplx{rng.uniform(), rng.uniform()};
+  EXPECT_TRUE(Matrix::approx_equal(i * a, a));
+  EXPECT_TRUE(Matrix::approx_equal(a * i, a));
+}
+
+TEST(Matrix, AdjointInvolution) {
+  Matrix a(2, 3);
+  a(0, 1) = cplx{1, 2};
+  a(1, 2) = cplx{-3, 0.5};
+  EXPECT_TRUE(Matrix::approx_equal(a.adjoint().adjoint(), a));
+  EXPECT_EQ(a.adjoint().rows(), 3u);
+}
+
+TEST(Matrix, KronDims) {
+  const Matrix k = gates::h().kron(gates::x());
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_TRUE(k.is_unitary());
+}
+
+TEST(Matrix, UpToPhase) {
+  const Matrix h = gates::h();
+  const Matrix hp = h * std::exp(kI * 0.7);
+  EXPECT_TRUE(Matrix::approx_equal_up_to_phase(h, hp));
+  EXPECT_FALSE(Matrix::approx_equal(h, hp));
+  EXPECT_FALSE(Matrix::approx_equal_up_to_phase(h, gates::x()));
+}
+
+TEST(Gates, StandardAlgebra) {
+  using namespace gates;
+  EXPECT_TRUE(Matrix::approx_equal(h() * h(), id2()));
+  EXPECT_TRUE(Matrix::approx_equal(s() * s(), z()));
+  EXPECT_TRUE(Matrix::approx_equal(t() * t(), s()));
+  EXPECT_TRUE(Matrix::approx_equal(s() * sdg(), id2()));
+  EXPECT_TRUE(Matrix::approx_equal(x() * x(), id2()));
+  // Y = i X Z.
+  EXPECT_TRUE(Matrix::approx_equal(y(), kI * (x() * z())));
+  // H X H = Z.
+  EXPECT_TRUE(Matrix::approx_equal(h() * x() * h(), z()));
+}
+
+TEST(Gates, RotationConventions) {
+  using namespace gates;
+  // rz(theta) = diag(1, e^{i theta}); rz(pi) = Z.
+  EXPECT_TRUE(Matrix::approx_equal(rz(kPi), z()));
+  EXPECT_TRUE(Matrix::approx_equal_up_to_phase(rx(kPi), x()));
+  // exp_z is the physics convention.
+  EXPECT_TRUE(Matrix::approx_equal_up_to_phase(exp_z(0.37), rz(0.37)));
+  // J(alpha) = H rz(alpha); J(0) = H.
+  EXPECT_TRUE(Matrix::approx_equal(j(0.0), h()));
+  // rz(a) rz(b) = rz(a+b).
+  EXPECT_TRUE(Matrix::approx_equal(rz(0.3) * rz(0.4), rz(0.7)));
+}
+
+TEST(Gates, JDecompositions) {
+  using namespace gates;
+  // rz(t) = J(0) J(t), rx(t) = J(t) J(0).
+  EXPECT_TRUE(Matrix::approx_equal(j(0.0) * j(0.9), rz(0.9)));
+  EXPECT_TRUE(Matrix::approx_equal(j(0.9) * j(0.0), rx(0.9)));
+}
+
+TEST(Gates, CxFromCz) {
+  using namespace gates;
+  // CX(control=0, target=1) = (I ⊗ H) CZ (I ⊗ H); qubit1 is high bit, so
+  // embed H at position 1 of 2.
+  const Matrix h1 = embed1(h(), 1, 2);
+  EXPECT_TRUE(Matrix::approx_equal(h1 * cz() * h1, cx()));
+}
+
+TEST(Gates, Embed1Consistency) {
+  using namespace gates;
+  // X on qubit 0 of 2 maps |00> -> |01> (index 0 -> 1).
+  const Matrix m = embed1(x(), 0, 2);
+  EXPECT_NEAR(std::abs(m(1, 0) - cplx{1, 0}), 0.0, kTol);
+  const Matrix m2 = embed1(x(), 1, 2);
+  EXPECT_NEAR(std::abs(m2(2, 0) - cplx{1, 0}), 0.0, kTol);
+}
+
+TEST(Gates, ExpZsDiagonalParity) {
+  using namespace gates;
+  const Matrix m = exp_zs(0.8, {0, 2}, 3);
+  // Basis 000 (even parity) gets e^{-i 0.4}; 101 (even) too; 001 odd.
+  EXPECT_NEAR(std::abs(m(0, 0) - std::exp(-kI * 0.4)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(m(5, 5) - std::exp(-kI * 0.4)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(m(1, 1) - std::exp(kI * 0.4)), 0.0, kTol);
+}
+
+TEST(Gates, ControlledExpXActsOnlyWhenControlsMatch) {
+  using namespace gates;
+  const Matrix m = controlled_exp_x(0.6, 0, {1}, 0, 2);
+  // Control qubit 1 == 0 -> acts on qubit 0; == 1 -> identity block.
+  EXPECT_NEAR(std::abs(m(0, 0) - std::cos(0.6)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(m(1, 0) - kI * std::sin(0.6)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(m(2, 2) - cplx{1, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(m(3, 2)), 0.0, kTol);
+  EXPECT_TRUE(m.is_unitary());
+}
+
+TEST(Vector, InnerAndFidelity) {
+  const std::vector<cplx> a{1, 0};
+  const std::vector<cplx> b{0, 1};
+  EXPECT_NEAR(std::abs(inner(a, b)), 0.0, kTol);
+  EXPECT_NEAR(fidelity(a, a), 1.0, kTol);
+  const std::vector<cplx> c{std::exp(kI * 1.2), 0};  // global phase
+  EXPECT_NEAR(fidelity(a, c), 1.0, kTol);
+}
+
+// ---- Tensor ----
+
+Tensor matrix_as_tensor(const Matrix& m, int leg_in, int leg_out) {
+  // 2x2 matrix as tensor with legs {in, out}: T[in + 2*out]? Our
+  // convention: legs vector {in, out}, data index bit0 = in, bit1 = out,
+  // value = m(out, in).
+  return Tensor({leg_in, leg_out},
+                {m(0, 0), m(0, 1), m(1, 0), m(1, 1)});
+}
+
+TEST(Tensor, MatrixComposeViaContraction) {
+  // (HX) as contraction of X(in=0,mid=1) with H(mid=1,out=2).
+  const Tensor tx = matrix_as_tensor(gates::x(), 0, 1);
+  const Tensor th = matrix_as_tensor(gates::h(), 1, 2);
+  const Tensor prod = Tensor::contract(tx, th);
+  const Matrix hx = gates::h() * gates::x();
+  const Tensor expect = matrix_as_tensor(hx, 0, 2);
+  EXPECT_NEAR(Tensor::max_abs_diff(prod, expect), 0.0, kTol);
+}
+
+TEST(Tensor, ScalarContraction) {
+  // <+|0> = 1/sqrt(2): contract |0> (leg 0) with <+| (leg 0).
+  const real s = 1.0 / std::sqrt(2.0);
+  const Tensor ket0({0}, {1.0, 0.0});
+  const Tensor braplus({0}, {s, s});
+  const Tensor r = Tensor::contract(ket0, braplus);
+  EXPECT_EQ(r.rank(), 0);
+  EXPECT_NEAR(std::abs(r.data()[0] - cplx{s, 0}), 0.0, kTol);
+}
+
+TEST(Tensor, PermutationRoundTrip) {
+  Rng rng(9);
+  std::vector<cplx> d(8);
+  for (auto& x : d) x = cplx{rng.uniform(), rng.uniform()};
+  const Tensor t({2, 5, 7}, d);
+  const Tensor p = t.permuted({7, 2, 5});
+  EXPECT_NEAR(Tensor::max_abs_diff(t, p), 0.0, kTol);  // aligns by leg id
+  // Spot-check an entry: t(bits a,b,c on legs 2,5,7) == p(c,a,b).
+  EXPECT_EQ(t.at({1, 0, 1}), p.at({1, 1, 0}));
+}
+
+TEST(Tensor, SelfContractTrace) {
+  // Trace of H via self-contraction = 0.
+  const Tensor th = matrix_as_tensor(gates::h(), 0, 1);
+  const Tensor tr = th.self_contract(0, 1);
+  EXPECT_EQ(tr.rank(), 0);
+  EXPECT_NEAR(std::abs(tr.data()[0]), 0.0, kTol);
+}
+
+TEST(Tensor, ProportionalityDistance) {
+  const Tensor a({0}, {1.0, 2.0});
+  const Tensor b({0}, {cplx{0, 3}, cplx{0, 6}});  // 3i * a
+  EXPECT_NEAR(Tensor::proportionality_distance(a, b), 0.0, kTol);
+  const Tensor c({0}, {1.0, -2.0});
+  EXPECT_GT(Tensor::proportionality_distance(a, c), 0.1);
+}
+
+TEST(Tensor, RejectsDuplicateLegs) {
+  EXPECT_THROW(Tensor({1, 1}, std::vector<cplx>(4)), Error);
+  EXPECT_THROW(Tensor({1}, std::vector<cplx>(3)), Error);
+}
+
+}  // namespace
+}  // namespace mbq

@@ -1,0 +1,135 @@
+// Mixer tests: MIS partial mixers (three implementations against each
+// other) and XY mixers, including the invariant-subspace properties the
+// paper relies on in Secs. IV and V.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/qaoa/mixers.h"
+
+namespace mbq::qaoa {
+namespace {
+
+TEST(MisMixer, PartialMixerThreeWaysAgree) {
+  Rng rng(1);
+  const Graph g = path_graph(3);
+  const real beta = 0.83;
+  for (int v = 0; v < 3; ++v) {
+    // 1. Oracle matrix.
+    const Matrix oracle =
+        gates::controlled_exp_x(beta, v, g.neighbors(v), 0, 3);
+    // 2. Circuit gate.
+    const Matrix direct = mis_partial_mixer(g, v, beta).unitary();
+    // 3. Phase-polynomial expansion.
+    const Matrix expanded =
+        mis_partial_mixer(g, v, beta).expand_controlled_gates().unitary();
+    EXPECT_TRUE(Matrix::approx_equal(direct, oracle));
+    EXPECT_TRUE(Matrix::approx_equal_up_to_phase(expanded, oracle));
+  }
+}
+
+TEST(MisMixer, PreservesIndependentSetSubspace) {
+  Rng rng(2);
+  for (const auto& g : {path_graph(4), cycle_graph(5), star_graph(5)}) {
+    const int n = g.num_vertices();
+    // Start from a random superposition of independent sets.
+    Statevector sv(n);
+    {
+      std::vector<cplx> amps(std::size_t{1} << n, cplx{0, 0});
+      for (std::uint64_t x = 0; x < amps.size(); ++x)
+        if (is_independent_set(g, x))
+          amps[x] = cplx{rng.normal(), rng.normal()};
+      sv = Statevector(n, std::move(amps));
+      sv.normalize();
+    }
+    mis_mixer(g, 0.9).apply_to(sv);
+    EXPECT_NEAR(infeasible_mass(g, sv), 0.0, 1e-10) << g.str();
+  }
+}
+
+TEST(MisMixer, ActsOnlyWhenNeighborsAllZero) {
+  // Star graph: center 0 with leaves.  If any leaf is 1, the center
+  // rotation must not fire.
+  const Graph g = star_graph(3);
+  Statevector sv(3);
+  sv.apply_x(1);  // leaf 1 set
+  Statevector before = sv;
+  mis_partial_mixer(g, 0, 1.1).apply_to(sv);
+  EXPECT_NEAR(sv.fidelity_with(before), 1.0, 1e-10);
+  // With all leaves 0 it does fire.
+  Statevector sv2(3);
+  mis_partial_mixer(g, 0, 1.1).apply_to(sv2);
+  EXPECT_NEAR(sv2.prob_one(0), std::pow(std::sin(1.1), 2), 1e-9);
+}
+
+TEST(MisMixer, QaoaCircuitStaysFeasible) {
+  Rng rng(3);
+  const Graph g = cycle_graph(5);
+  const Angles a = Angles::random(2, rng);
+  Statevector sv(5);  // |00000> = empty set, feasible
+  mis_qaoa_circuit(g, a).apply_to(sv);
+  EXPECT_NEAR(infeasible_mass(g, sv), 0.0, 1e-10);
+  // And it actually explores: expected set size > 0.
+  std::vector<real> size_table(32);
+  for (std::uint64_t x = 0; x < 32; ++x)
+    size_table[x] = static_cast<real>(std::popcount(x));
+  EXPECT_GT(sv.expectation_diagonal(size_table), 0.1);
+}
+
+TEST(XyMixer, PairMatchesOracle) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const real beta = rng.angle();
+    const Matrix xx = gates::x().kron(gates::x());  // qubits (1,0) order
+    const Matrix yy = gates::y().kron(gates::y());
+    const Matrix i4 = Matrix::identity(4);
+    const cplx c = std::cos(beta), is = kI * std::sin(beta);
+    const Matrix oracle = (i4 * c + xx * is) * (i4 * c + yy * is);
+    const Matrix built = xy_mixer_pair(2, 0, 1, beta).unitary();
+    EXPECT_TRUE(Matrix::approx_equal_up_to_phase(built, oracle))
+        << "beta=" << beta;
+  }
+}
+
+TEST(XyMixer, PreservesHammingWeight) {
+  Rng rng(5);
+  const int n = 4;
+  // Start in an equal superposition of all weight-1 states (one-hot).
+  std::vector<cplx> amps(16, cplx{0, 0});
+  for (int q = 0; q < n; ++q) amps[1u << q] = 0.5;
+  Statevector sv(n, std::move(amps));
+  const Circuit ring = xy_mixer_ring(n, {0, 1, 2, 3}, 0.7);
+  ring.apply_to(sv);
+  // All mass still on weight-1 states.
+  real w1 = 0.0;
+  for (std::uint64_t x = 0; x < 16; ++x)
+    if (std::popcount(x) == 1) w1 += std::norm(sv.amplitudes()[x]);
+  EXPECT_NEAR(w1, 1.0, 1e-10);
+  // And the mixer genuinely moves amplitude between one-hot states.
+  Statevector onehot(n);
+  onehot.apply_x(0);
+  ring.apply_to(onehot);
+  EXPECT_LT(onehot.prob_one(0), 0.999);
+}
+
+TEST(XyMixer, TwoVertexRingNoDuplicate) {
+  const Circuit c = xy_mixer_ring(3, {0, 2}, 0.4);
+  int gadgets = 0;
+  for (const Gate& g : c.gates()) gadgets += g.kind == GateKind::PhaseGadget;
+  EXPECT_EQ(gadgets, 2);  // one XX + one YY, not doubled
+}
+
+TEST(Feasibility, IndependentSetPredicate) {
+  const Graph g = path_graph(3);
+  EXPECT_TRUE(is_independent_set(g, parse_bitstring("101")));
+  EXPECT_FALSE(is_independent_set(g, parse_bitstring("110")));
+  EXPECT_TRUE(is_independent_set(g, 0));
+}
+
+}  // namespace
+}  // namespace mbq::qaoa

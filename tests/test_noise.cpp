@@ -1,0 +1,85 @@
+// Noise-injection semantics of the pattern runner.
+
+#include <gtest/gtest.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::mbqc {
+namespace {
+
+TEST(Noise, ZeroNoiseIsNoiseless) {
+  Rng rng(1);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(3));
+  const auto cp = core::compile_qaoa(cost, qaoa::Angles::random(1, rng));
+  const auto ideal = qaoa::qaoa_state(cost, qaoa::Angles::random(1, rng));
+  RunOptions opt;
+  opt.entangler_noise = 0.0;
+  Rng run_rng(2);
+  const auto r = run(cp.pattern, run_rng, opt);
+  EXPECT_NEAR(r.output_state.size(), 8u, 0);
+}
+
+TEST(Noise, FullDepolarizationDestroysFidelity) {
+  Rng rng(3);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(3));
+  const qaoa::Angles a = qaoa::Angles::random(1, rng);
+  const auto cp = core::compile_qaoa(cost, a);
+  const auto ideal = qaoa::qaoa_state(cost, a).amplitudes();
+  RunOptions opt;
+  opt.entangler_noise = 1.0;
+  Rng run_rng(4);
+  real mean = 0.0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t)
+    mean += fidelity(run(cp.pattern, run_rng, opt).output_state, ideal);
+  mean /= trials;
+  EXPECT_LT(mean, 0.9);
+}
+
+TEST(Noise, FidelityDecreasesWithNoise) {
+  Rng rng(5);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(4));
+  const qaoa::Angles a = qaoa::Angles::random(1, rng);
+  const auto cp = core::compile_qaoa(cost, a);
+  const auto ideal = qaoa::qaoa_state(cost, a).amplitudes();
+  auto mean_fid = [&](real noise) {
+    RunOptions opt;
+    opt.entangler_noise = noise;
+    Rng run_rng(6);
+    real acc = 0.0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t)
+      acc += fidelity(run(cp.pattern, run_rng, opt).output_state, ideal);
+    return acc / trials;
+  };
+  const real f0 = mean_fid(0.0);
+  const real f1 = mean_fid(0.05);
+  const real f2 = mean_fid(0.3);
+  EXPECT_NEAR(f0, 1.0, 1e-9);
+  EXPECT_GT(f0, f1);
+  EXPECT_GT(f1, f2);
+}
+
+TEST(Noise, IncompatibleWithForcedBranches) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  p.add_measure(0, MeasBasis::X, 0.0);
+  p.set_outputs({1});
+  RunOptions opt;
+  opt.entangler_noise = 0.1;
+  opt.forced = {0};
+  Rng rng(7);
+  EXPECT_THROW(run(p, rng, opt), Error);
+  opt.forced.clear();
+  opt.entangler_noise = 1.5;
+  EXPECT_THROW(run(p, rng, opt), Error);
+}
+
+}  // namespace
+}  // namespace mbq::mbqc

@@ -1,0 +1,137 @@
+// Optimizer and classical-baseline tests.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/opt/exact.h"
+#include "mbq/opt/grid.h"
+#include "mbq/opt/nelder_mead.h"
+#include "mbq/opt/spsa.h"
+#include "mbq/qaoa/analytic.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::opt {
+namespace {
+
+real quadratic_bowl(const std::vector<real>& x) {
+  // Maximum 5 at (1, -2).
+  const real dx = x[0] - 1.0, dy = x[1] + 2.0;
+  return 5.0 - (dx * dx + 3 * dy * dy);
+}
+
+TEST(NelderMead, FindsQuadraticMaximum) {
+  Rng rng(1);
+  NelderMeadOptions opt;
+  const OptResult r = nelder_mead(quadratic_bowl, {0.0, 0.0}, opt, rng);
+  EXPECT_NEAR(r.value, 5.0, 1e-5);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-3);
+  EXPECT_GT(r.evaluations, 0);
+  EXPECT_LE(r.evaluations, opt.max_evaluations);
+}
+
+TEST(NelderMead, RestartsImproveMultimodal) {
+  // f has a poor local max at x=-2 (value 1) and global at x=2 (value 3).
+  auto f = [](const std::vector<real>& x) {
+    const real a = std::exp(-4 * (x[0] + 2) * (x[0] + 2));
+    const real b = 3.0 * std::exp(-4 * (x[0] - 2) * (x[0] - 2));
+    return a + b;
+  };
+  Rng rng(2);
+  NelderMeadOptions opt;
+  opt.restarts = 8;
+  opt.initial_step = 2.0;
+  const OptResult r = nelder_mead(f, {-2.0}, opt, rng);
+  EXPECT_GT(r.value, 2.5);
+}
+
+TEST(Grid, FindsCoarseOptimum) {
+  const OptResult r = grid_search(quadratic_bowl, {{-3, 3, 25}, {-4, 0, 25}});
+  EXPECT_NEAR(r.x[0], 1.0, 0.3);
+  EXPECT_NEAR(r.x[1], -2.0, 0.3);
+  EXPECT_EQ(r.evaluations, 625);
+}
+
+TEST(Grid, RejectsHugeGrids) {
+  EXPECT_THROW(
+      grid_search(quadratic_bowl, {{0, 1, 10000}, {0, 1, 10000}}), Error);
+}
+
+TEST(Spsa, ConvergesOnSmoothObjective) {
+  Rng rng(3);
+  SpsaOptions opt;
+  opt.iterations = 400;
+  const OptResult r = spsa(quadratic_bowl, {0.0, 0.0}, opt, rng);
+  EXPECT_GT(r.value, 4.5);
+}
+
+TEST(Spsa, ToleratesNoise) {
+  Rng noise(4);
+  auto noisy = [&](const std::vector<real>& x) {
+    return quadratic_bowl(x) + 0.05 * noise.normal();
+  };
+  Rng rng(5);
+  SpsaOptions opt;
+  opt.iterations = 500;
+  const OptResult r = spsa(noisy, {2.0, 1.0}, opt, rng);
+  EXPECT_GT(quadratic_bowl(r.x), 4.0);
+}
+
+TEST(Exact, BruteForceMaxCut) {
+  const Graph g = cycle_graph(6);
+  const auto sol = brute_force_maximum(qaoa::CostHamiltonian::maxcut(g));
+  EXPECT_NEAR(sol.value, 6.0, 1e-12);  // even cycle: cut all edges
+}
+
+TEST(Exact, BruteForceQubo) {
+  const auto c = qaoa::CostHamiltonian::qubo(
+      2, {1.0, 1.0}, {{{0, 1}, -3.0}}, 0.0);
+  const auto sol = brute_force_maximum(c);
+  EXPECT_NEAR(sol.value, 1.0, 1e-12);  // pick exactly one variable
+  EXPECT_TRUE(sol.x == 1 || sol.x == 2);
+}
+
+TEST(Exact, GreedyMisIsIndependent) {
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_gnm_graph(12, 20, rng);
+    const std::uint64_t set = greedy_mis(g);
+    for (const Edge& e : g.edges())
+      EXPECT_FALSE(((set >> e.u) & 1) && ((set >> e.v) & 1));
+    EXPECT_GT(std::popcount(set), 0);
+  }
+}
+
+TEST(Exact, SimulatedAnnealingNearOptimal) {
+  Rng rng(7);
+  const Graph g = petersen_graph();
+  const auto c = qaoa::CostHamiltonian::maxcut(g);
+  const auto exact = brute_force_maximum(c);
+  AnnealOptions opt;
+  opt.sweeps = 300;
+  const auto sa = simulated_annealing(c, opt, rng);
+  EXPECT_GE(sa.value, 0.9 * exact.value);
+  EXPECT_NEAR(c.evaluate(sa.x), sa.value, 1e-12);
+}
+
+TEST(Integration, NelderMeadOptimizesQaoaAngles) {
+  // p=1 MaxCut on C4 via the analytic objective: NM should reach the
+  // grid optimum.
+  const Graph g = cycle_graph(4);
+  auto f = [&](const std::vector<real>& v) {
+    return qaoa::maxcut_p1_expectation(g, v[0], v[1]);
+  };
+  Rng rng(8);
+  NelderMeadOptions opt;
+  opt.restarts = 4;
+  const OptResult r = nelder_mead(f, {0.3, 0.3}, opt, rng);
+  const auto grid = qaoa::maxcut_p1_grid_optimum(g, 64);
+  EXPECT_GE(r.value, grid.value - 1e-3);
+}
+
+}  // namespace
+}  // namespace mbq::opt

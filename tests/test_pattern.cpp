@@ -1,0 +1,111 @@
+// Unit tests for the pattern IR: construction, validation, statistics.
+
+#include <gtest/gtest.h>
+
+#include "mbq/mbqc/pattern.h"
+
+namespace mbq::mbqc {
+namespace {
+
+Pattern j_gate_pattern(real alpha) {
+  // The canonical single-J pattern: input 0, ancilla 1.
+  Pattern p;
+  p.add_input(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m = p.add_measure(0, MeasBasis::XY, -alpha);
+  p.add_correct_x(1, SignalExpr(m));
+  p.set_outputs({1});
+  return p;
+}
+
+TEST(Pattern, JGateStructure) {
+  const Pattern p = j_gate_pattern(0.5);
+  p.validate();
+  EXPECT_EQ(p.num_wires(), 2);
+  EXPECT_EQ(p.num_prepared(), 1);
+  EXPECT_EQ(p.num_entangling(), 1);
+  EXPECT_EQ(p.num_measurements(), 1);
+  EXPECT_EQ(p.num_corrections(), 1);
+  EXPECT_EQ(p.num_signals(), 1);
+}
+
+TEST(Pattern, EntanglementGraph) {
+  Pattern p;
+  p.add_prep(10);
+  p.add_prep(20);
+  p.add_prep(30);
+  p.add_entangle(10, 20);
+  p.add_entangle(20, 30);
+  p.add_entangle(10, 20);  // parallel E collapses in the graph
+  p.set_outputs({10, 20, 30});
+  const auto [g, wires] = p.entanglement_graph();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(wires, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Pattern, ValidateRejectsUnpreparedWire) {
+  Pattern p;
+  p.add_entangle(0, 1);
+  p.set_outputs({});
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Pattern, ValidateRejectsDoublePrep) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(0);
+  p.set_outputs({0});
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Pattern, ValidateRejectsUseAfterMeasure) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_measure(0, MeasBasis::X, 0.0);
+  p.add_entangle(0, 1);  // wire 0 is dead
+  p.set_outputs({1});
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Pattern, ValidateRejectsFutureSignal) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  // Measurement of wire 0 depends on signal 1, which is measured later.
+  CmdMeasure bad;
+  p.add_measure(0, MeasBasis::XY, 0.3, SignalExpr(1), {});
+  p.add_measure(1, MeasBasis::XY, 0.3);
+  p.set_outputs({});
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Pattern, ValidateRejectsWrongOutputs) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_measure(0, MeasBasis::X, 0.0);
+  p.set_outputs({0});  // 0 is measured; 1 is the live wire
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Pattern, ValidateRejectsCorrectionOnMeasuredWire) {
+  Pattern p;
+  p.add_prep(0);
+  const signal_t m = p.add_measure(0, MeasBasis::X, 0.0);
+  p.add_correct_x(0, SignalExpr(m));
+  p.set_outputs({});
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Pattern, StrMentionsDomains) {
+  const Pattern p = j_gate_pattern(0.25);
+  const std::string s = p.str();
+  EXPECT_NE(s.find("MXY(0"), std::string::npos);
+  EXPECT_NE(s.find("X(1)^s0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbq::mbqc

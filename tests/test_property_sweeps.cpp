@@ -1,0 +1,206 @@
+// Parameterized property sweeps (TEST_P): the core invariants checked
+// systematically across graph families, depths, gates, angles and seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/common/bits.h"
+#include "mbq/common/rng.h"
+#include "mbq/core/compiler.h"
+#include "mbq/core/protocol.h"
+#include "mbq/graph/generators.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/mbqc/from_circuit.h"
+#include "mbq/mbqc/gflow.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/qaoa/qaoa.h"
+#include "mbq/sim/statevector.h"
+#include "mbq/stab/tableau.h"
+#include "mbq/zx/builder.h"
+#include "mbq/zx/tensor_eval.h"
+
+namespace mbq {
+namespace {
+
+Graph make_family(const std::string& family, int n, Rng& rng) {
+  if (family == "path") return path_graph(n);
+  if (family == "cycle") return cycle_graph(n);
+  if (family == "complete") return complete_graph(n);
+  if (family == "star") return star_graph(n);
+  if (family == "gnm") return random_gnm_graph(n, std::min(2 * n, n * (n - 1) / 2), rng);
+  throw Error("unknown family " + family);
+}
+
+// ---------------------------------------------------------------------
+// Sweep 1: MBQC-QAOA == gate-model QAOA over (family, p).
+
+using FamilyDepth = std::tuple<std::string, int>;
+
+class EquivalenceSweep : public ::testing::TestWithParam<FamilyDepth> {};
+
+TEST_P(EquivalenceSweep, PatternReproducesQaoaState) {
+  const auto [family, p] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p) * 101 + family.size());
+  const Graph g = make_family(family, 4, rng);
+  const auto cost = qaoa::CostHamiltonian::maxcut(g);
+  const qaoa::Angles a = qaoa::Angles::random(p, rng);
+  const auto cp = core::compile_qaoa(cost, a);
+  const auto expect = qaoa::qaoa_state(cost, a);
+  Rng run_rng(p);
+  for (int i = 0; i < 2; ++i) {
+    const auto r = mbqc::run(cp.pattern, run_rng);
+    ASSERT_NEAR(fidelity(r.output_state, expect.amplitudes()), 1.0, 1e-9);
+  }
+  // Determinism certificate.
+  const auto og = mbqc::open_graph_from_pattern(cp.pattern);
+  const auto gf = mbqc::find_gflow(og);
+  ASSERT_TRUE(gf.has_value());
+  EXPECT_TRUE(mbqc::verify_gflow(og, *gf));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndDepths, EquivalenceSweep,
+    ::testing::Combine(::testing::Values("path", "cycle", "complete", "star",
+                                         "gnm"),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<FamilyDepth>& info) {
+      return std::get<0>(info.param) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 2: the ZZ gadget across a dense angle grid, every branch.
+
+class GadgetAngleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GadgetAngleSweep, ZZGadgetExactEverywhere) {
+  const real theta = -kPi + kTwoPi * GetParam() / 16.0;
+  mbqc::Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_prep(2);
+  p.add_entangle(0, 2);
+  p.add_entangle(1, 2);
+  const signal_t m = p.add_measure(2, MeasBasis::YZ, theta);
+  p.add_correct_z(0, SignalExpr(m));
+  p.add_correct_z(1, SignalExpr(m));
+  p.set_outputs({0, 1});
+  Statevector ref = Statevector::all_plus(2);
+  ref.apply_exp_zs(theta, {0, 1});
+  for (const auto& b : mbqc::run_all_branches(p))
+    ASSERT_NEAR(fidelity(b.output_state, ref.amplitudes()), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AngleGrid, GadgetAngleSweep,
+                         ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------
+// Sweep 3: every gate kind through BOTH pattern translators.
+
+class TranslatorGateSweep : public ::testing::TestWithParam<int> {};
+
+Circuit single_gate_circuit(int kind_index) {
+  Circuit c(2);
+  switch (kind_index) {
+    case 0: c.h(0); break;
+    case 1: c.x(1); break;
+    case 2: c.y(0); break;
+    case 3: c.z(1); break;
+    case 4: c.s(0); break;
+    case 5: c.sdg(1); break;
+    case 6: c.t(0); break;
+    case 7: c.tdg(1); break;
+    case 8: c.rx(0, 0.73); break;
+    case 9: c.rz(1, -1.21); break;
+    case 10: c.cz(0, 1); break;
+    case 11: c.cx(1, 0); break;
+    case 12: c.phase_gadget({0, 1}, 0.61); break;
+    case 13: c.controlled_exp_x(0, {1}, 0.57, 0); break;
+    default: throw Error("bad gate index");
+  }
+  return c;
+}
+
+TEST_P(TranslatorGateSweep, BothTranslationsMatchStatevector) {
+  const Circuit c = single_gate_circuit(GetParam());
+  Statevector ref = Statevector::all_plus(2);
+  c.apply_to(ref);
+
+  const mbqc::Pattern generic = mbqc::pattern_from_circuit(c, true);
+  const auto tailored = core::compile_circuit_tailored(c);
+
+  Rng rng(GetParam());
+  for (int i = 0; i < 3; ++i) {
+    const auto rg = mbqc::run(generic, rng);
+    ASSERT_NEAR(fidelity(rg.output_state, ref.amplitudes()), 1.0, 1e-9)
+        << "generic translation";
+    const auto rt = mbqc::run(tailored.pattern, rng);
+    ASSERT_NEAR(fidelity(rt.output_state, ref.amplitudes()), 1.0, 1e-9)
+        << "tailored translation";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGateKinds, TranslatorGateSweep,
+                         ::testing::Range(0, 14));
+
+// ---------------------------------------------------------------------
+// Sweep 4: weighted MaxCut QUBOs over random seeds.
+
+class WeightedMaxcutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedMaxcutSweep, WeightedInstancesReproduce) {
+  Rng rng(GetParam());
+  const Graph g = random_gnm_graph(4, 5, rng);
+  std::vector<real> w(5);
+  for (auto& x : w) x = rng.uniform(-2.0, 2.0);
+  const auto cost = qaoa::CostHamiltonian::maxcut_weighted(g, w);
+  // Weighted cut values match a direct computation.
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    real cut = 0.0;
+    const auto& es = g.edges();
+    for (std::size_t i = 0; i < es.size(); ++i)
+      if (get_bit(x, es[i].u) != get_bit(x, es[i].v)) cut += w[i];
+    ASSERT_NEAR(cost.evaluate(x), cut, 1e-9);
+  }
+  // And the MBQC protocol reproduces <C>.
+  const qaoa::Angles a = qaoa::Angles::random(2, rng);
+  const core::MbqcQaoaSolver solver(cost);
+  Rng run_rng(GetParam() + 100);
+  ASSERT_NEAR(solver.expectation(a, run_rng),
+              qaoa::qaoa_expectation(cost, a), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedMaxcutSweep, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Sweep 5: graph-state diagrams match the stabilizer construction across
+// families.
+
+class GraphStateSweep
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GraphStateSweep, ZxStateMatchesCzConstruction) {
+  Rng rng(1);
+  const Graph g = make_family(GetParam(), 5, rng);
+  const zx::Diagram d = zx::graph_state_diagram(g);
+  const Matrix m = zx::evaluate_matrix(d);
+  Statevector sv = Statevector::all_plus(g.num_vertices());
+  for (const Edge& e : g.edges()) sv.apply_cz(e.u, e.v);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    ASSERT_NEAR(std::abs(m(i, 0) - sv.amplitudes()[i]), 0.0, 1e-9);
+  // Stabilizer check: K_v = X_v prod_{w~v} Z_w for every vertex.
+  Tableau t = Tableau::graph_state(g);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    std::uint64_t xm = 1ULL << v, zm = 0;
+    for (int w : g.neighbors(v)) zm |= 1ULL << w;
+    ASSERT_EQ(t.expectation(PauliString(xm, zm, g.num_vertices())), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GraphStateSweep,
+                         ::testing::Values("path", "cycle", "complete",
+                                           "star", "gnm"));
+
+}  // namespace
+}  // namespace mbq

@@ -1,0 +1,183 @@
+// Tests for pattern execution: gadget semantics branch by branch,
+// determinism, sampling statistics, classical-correction mode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/common/rng.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq::mbqc {
+namespace {
+
+std::vector<cplx> plus_state() {
+  const real s = 1.0 / std::sqrt(2.0);
+  return {s, s};
+}
+
+TEST(Runner, JPatternAllBranches) {
+  // X^m J(alpha) teleportation, corrected: both branches must agree.
+  const real alpha = 0.71;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m = p.add_measure(0, MeasBasis::XY, -alpha);
+  p.add_correct_x(1, SignalExpr(m));
+  p.set_outputs({1});
+
+  const auto branches = run_all_branches(p);
+  ASSERT_EQ(branches.size(), 2u);
+  const auto expect = gates::j(alpha) * plus_state();
+  for (const auto& b : branches)
+    EXPECT_NEAR(fidelity(b.output_state, expect), 1.0, kTol);
+}
+
+TEST(Runner, SampledMatchesForcedStatistics) {
+  const real alpha = -1.3;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m = p.add_measure(0, MeasBasis::XY, -alpha);
+  p.add_correct_x(1, SignalExpr(m));
+  p.set_outputs({1});
+
+  Rng rng(3);
+  int ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const RunResult r = run(p, rng);
+    ones += r.outcomes[0];
+  }
+  // XY measurements in J-patterns are unbiased.
+  EXPECT_NEAR(static_cast<real>(ones) / trials, 0.5, 0.05);
+}
+
+TEST(Runner, AdaptiveAngleSignDomain) {
+  // Two chained J's: J(beta) J(alpha) = H rz(beta) H rz(alpha).  The
+  // second measurement must flip its angle with the first outcome; all
+  // four branches agree after corrections.
+  const real alpha = 0.42, beta = -0.97;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_prep(2);
+  p.add_entangle(0, 1);
+  const signal_t m0 = p.add_measure(0, MeasBasis::XY, -alpha);
+  p.add_entangle(1, 2);
+  const signal_t m1 =
+      p.add_measure(1, MeasBasis::XY, -beta, SignalExpr(m0), {});
+  p.add_correct_x(2, SignalExpr(m1));
+  p.add_correct_z(2, SignalExpr(m0));
+  p.set_outputs({2});
+
+  const auto expect = gates::j(beta) * (gates::j(alpha) * plus_state());
+  for (const auto& b : run_all_branches(p))
+    EXPECT_NEAR(fidelity(b.output_state, expect), 1.0, kTol);
+}
+
+TEST(Runner, YZGadgetAllBranches) {
+  // Single-qubit phase gadget: ancilla CZ-linked, YZ(theta) measurement,
+  // Z correction on the wire; implements exp(-i theta/2 Z) on |+>.
+  const real theta = 1.23;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m = p.add_measure(1, MeasBasis::YZ, theta);
+  p.add_correct_z(0, SignalExpr(m));
+  p.set_outputs({0});
+
+  const auto expect = gates::exp_z(theta) * plus_state();
+  for (const auto& b : run_all_branches(p))
+    EXPECT_NEAR(fidelity(b.output_state, expect), 1.0, kTol);
+}
+
+TEST(Runner, TwoQubitZZGadgetAllBranches) {
+  // The paper's per-edge gadget (Eq. 8): ancilla CZ-linked to both wires,
+  // YZ(theta) measurement, Z byproduct on both wires.
+  const real theta = 0.77;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_prep(2);  // ancilla
+  p.add_entangle(0, 2);
+  p.add_entangle(1, 2);
+  const signal_t m = p.add_measure(2, MeasBasis::YZ, theta);
+  p.add_correct_z(0, SignalExpr(m));
+  p.add_correct_z(1, SignalExpr(m));
+  p.set_outputs({0, 1});
+
+  // exp(-i theta/2 ZZ) |++>.
+  Statevector sv = Statevector::all_plus(2);
+  sv.apply_exp_zs(theta, {0, 1});
+  for (const auto& b : run_all_branches(p))
+    EXPECT_NEAR(fidelity(b.output_state, sv.amplitudes()), 1.0, kTol);
+}
+
+TEST(Runner, InputStatesLoaded) {
+  // Identity pattern on an input wire: state must round-trip.
+  Pattern p;
+  p.add_input(5);
+  p.set_outputs({5});
+  RunOptions opt;
+  opt.input_states[5] = {cplx{0.6, 0.0}, cplx{0.0, 0.8}};
+  Rng rng(1);
+  const RunResult r = run(p, rng, opt);
+  const std::vector<cplx> expect{cplx{0.6, 0.0}, cplx{0.0, 0.8}};
+  EXPECT_NEAR(fidelity(r.output_state, expect), 1.0, kTol);
+}
+
+TEST(Runner, SkippedCorrectionsReported) {
+  const real alpha = 0.33;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m = p.add_measure(0, MeasBasis::XY, -alpha);
+  p.add_correct_x(1, SignalExpr(m));
+  p.set_outputs({1});
+
+  RunOptions opt;
+  opt.apply_corrections = false;
+  opt.forced = {1};
+  Rng rng(2);
+  const RunResult r = run(p, rng, opt);
+  EXPECT_EQ(r.pending_x.at(1), 1);
+  // Output state is the UNcorrected X J(alpha)|+>.
+  const auto expect = gates::x() * (gates::j(alpha) * plus_state());
+  EXPECT_NEAR(fidelity(r.output_state, expect), 1.0, kTol);
+}
+
+TEST(Runner, ForcedSizeMismatchThrows) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_measure(0, MeasBasis::X, 0.0);
+  p.set_outputs({});
+  RunOptions opt;
+  opt.forced = {0, 1};
+  Rng rng(4);
+  EXPECT_THROW(run(p, rng, opt), Error);
+}
+
+TEST(Runner, PeakLiveReported) {
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  p.add_measure(0, MeasBasis::X, 0.0);
+  p.add_prep(2);
+  p.add_entangle(1, 2);
+  p.add_measure(1, MeasBasis::X, 0.0);
+  p.set_outputs({2});
+  Rng rng(5);
+  const RunResult r = run(p, rng);
+  EXPECT_EQ(r.peak_live, 2);  // never more than two wires alive
+}
+
+}  // namespace
+}  // namespace mbq::mbqc

@@ -1,0 +1,224 @@
+// Unit tests for the stabilizer tableau, cross-validated against the
+// statevector simulator on small Clifford circuits.
+
+#include <gtest/gtest.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/sim/pauli.h"
+#include "mbq/sim/statevector.h"
+#include "mbq/stab/tableau.h"
+
+namespace mbq {
+namespace {
+
+TEST(Tableau, InitialStabilizers) {
+  Tableau t(3);
+  EXPECT_EQ(t.stabilizer_row(0), "+ZII");
+  EXPECT_EQ(t.stabilizer_row(1), "+IZI");
+  EXPECT_EQ(t.stabilizer_row(2), "+IIZ");
+  EXPECT_EQ(t.expectation(PauliString("ZII")), 1);
+  EXPECT_EQ(t.expectation(PauliString("XII")), 0);
+  EXPECT_EQ(t.expectation(PauliString("IZZ")), 1);
+}
+
+TEST(Tableau, HadamardMakesPlus) {
+  Tableau t(1);
+  t.apply_h(0);
+  EXPECT_EQ(t.expectation(PauliString("X")), 1);
+  EXPECT_EQ(t.expectation(PauliString("Z")), 0);
+}
+
+TEST(Tableau, SGateYields_Y) {
+  Tableau t(1);
+  t.apply_h(0);
+  t.apply_s(0);  // S|+> = |+i>, stabilized by +Y
+  EXPECT_EQ(t.expectation(PauliString("Y")), 1);
+  t.apply_sdg(0);
+  EXPECT_EQ(t.expectation(PauliString("X")), 1);
+}
+
+TEST(Tableau, PauliGatesFlipSigns) {
+  Tableau t(1);
+  t.apply_x(0);  // |1>: stabilized by -Z
+  EXPECT_EQ(t.expectation(PauliString("Z")), -1);
+  t.apply_h(0);
+  EXPECT_EQ(t.expectation(PauliString("X")), -1);
+  t.apply_z(0);
+  EXPECT_EQ(t.expectation(PauliString("X")), 1);
+}
+
+TEST(Tableau, BellState) {
+  Tableau t(2);
+  t.apply_h(0);
+  t.apply_cx(0, 1);
+  EXPECT_EQ(t.expectation(PauliString("XX")), 1);
+  EXPECT_EQ(t.expectation(PauliString("ZZ")), 1);
+  EXPECT_EQ(t.expectation(PauliString("YY")), -1);
+  EXPECT_EQ(t.expectation(PauliString("ZI")), 0);
+}
+
+TEST(Tableau, GraphStateStabilizers) {
+  // |G> is stabilized by K_v = X_v prod_{w ~ v} Z_w.
+  const Graph g = cycle_graph(4);
+  Tableau t = Tableau::graph_state(g);
+  EXPECT_EQ(t.expectation(PauliString("XZIZ")), 1);
+  EXPECT_EQ(t.expectation(PauliString("ZXZI")), 1);
+  EXPECT_EQ(t.expectation(PauliString("IZXZ")), 1);
+  EXPECT_EQ(t.expectation(PauliString("ZIZX")), 1);
+  EXPECT_EQ(t.expectation(PauliString("XXII")), 0);
+}
+
+TEST(Tableau, MeasureDeterministic) {
+  Tableau t(2);
+  Rng rng(1);
+  EXPECT_TRUE(t.is_deterministic_z(0));
+  EXPECT_EQ(t.measure_z(0, rng), 0);
+  t.apply_x(0);
+  EXPECT_EQ(t.measure_z(0, rng), 1);
+  EXPECT_THROW(t.measure_z(0, rng, 0), Error);  // contradicts determinism
+}
+
+TEST(Tableau, MeasureRandomThenRepeatable) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tableau t(2);
+    t.apply_h(0);
+    t.apply_cx(0, 1);
+    EXPECT_FALSE(t.is_deterministic_z(0));
+    const int m0 = t.measure_z(0, rng);
+    // After collapse, both qubits deterministic and correlated.
+    EXPECT_TRUE(t.is_deterministic_z(0));
+    EXPECT_EQ(t.measure_z(0, rng), m0);
+    EXPECT_EQ(t.measure_z(1, rng), m0);
+  }
+}
+
+TEST(Tableau, MeasureXBasis) {
+  Tableau t(1);
+  t.apply_h(0);  // |+>
+  Rng rng(3);
+  EXPECT_EQ(t.measure_x(0, rng), 0);
+  Tableau t2(1);
+  t2.apply_h(0);
+  t2.apply_z(0);  // |->
+  EXPECT_EQ(t2.measure_x(0, rng), 1);
+}
+
+TEST(Tableau, MeasureYBasis) {
+  Tableau t(1);
+  t.apply_h(0);
+  t.apply_s(0);  // |+i>
+  Rng rng(4);
+  EXPECT_EQ(t.measure_y(0, rng), 0);
+}
+
+TEST(Tableau, MeasurementStatisticsMatchStatevector) {
+  // Random 4-qubit Clifford circuit; compare Z-measurement marginal of
+  // qubit 0 against statevector probabilities (0, 1/2, or 1).
+  Rng crng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tableau t(4);
+    Statevector sv(4);
+    for (int step = 0; step < 24; ++step) {
+      const int q = static_cast<int>(crng.uniform_index(4));
+      int r = static_cast<int>(crng.uniform_index(4));
+      if (r == q) r = (r + 1) % 4;
+      switch (crng.uniform_index(4)) {
+        case 0:
+          t.apply_h(q);
+          sv.apply_h(q);
+          break;
+        case 1:
+          t.apply_s(q);
+          sv.apply_rz(q, kPi / 2);
+          break;
+        case 2:
+          t.apply_cx(q, r);
+          sv.apply_cx(q, r);
+          break;
+        case 3:
+          t.apply_cz(q, r);
+          sv.apply_cz(q, r);
+          break;
+      }
+    }
+    const real p1 = sv.prob_one(0);
+    if (t.is_deterministic_z(0)) {
+      Rng rng(6);
+      const int m = t.measure_z(0, rng);
+      EXPECT_NEAR(p1, static_cast<real>(m), kTol);
+    } else {
+      EXPECT_NEAR(p1, 0.5, kTol);
+    }
+  }
+}
+
+TEST(Tableau, ExpectationMatchesStatevector) {
+  Rng crng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tableau t(3);
+    Statevector sv(3);
+    for (int step = 0; step < 15; ++step) {
+      const int q = static_cast<int>(crng.uniform_index(3));
+      int r = static_cast<int>(crng.uniform_index(3));
+      if (r == q) r = (r + 1) % 3;
+      switch (crng.uniform_index(3)) {
+        case 0:
+          t.apply_h(q);
+          sv.apply_h(q);
+          break;
+        case 1:
+          t.apply_s(q);
+          sv.apply_rz(q, kPi / 2);
+          break;
+        case 2:
+          t.apply_cz(q, r);
+          sv.apply_cz(q, r);
+          break;
+      }
+    }
+    for (const char* ps : {"XII", "ZZI", "YIZ", "XYZ", "IZZ"}) {
+      const PauliString p(ps);
+      const real sv_val = std::real(p.expectation(sv));
+      EXPECT_NEAR(static_cast<real>(t.expectation(p)), sv_val, 1e-6)
+          << "trial " << trial << " pauli " << ps;
+    }
+  }
+}
+
+TEST(Tableau, CanonicalFormEquality) {
+  // Same state prepared two ways: |G> for the path 0-1 vs H0 CX(0,1) H1
+  // applied suitably.  Use two equivalent graph-state constructions.
+  const Graph g = path_graph(2);
+  Tableau a = Tableau::graph_state(g);
+  // Equivalent preparation: Bell pair (XX, ZZ), then H on qubit 1 maps
+  // XX -> XZ and ZZ -> ZX, i.e. exactly the path graph state.
+  Tableau b(2);
+  b.apply_h(0);
+  b.apply_cx(0, 1);
+  b.apply_h(1);
+  EXPECT_EQ(a.canonical_stabilizers(), b.canonical_stabilizers());
+  // And a different state differs.
+  Tableau c(2);
+  EXPECT_NE(a.canonical_stabilizers(), c.canonical_stabilizers());
+}
+
+TEST(Tableau, LargeGraphState) {
+  // 400-qubit ring graph state: check a stabilizer and a few measurements.
+  const int n = 400;
+  const Graph g = cycle_graph(n);
+  Tableau t = Tableau::graph_state(g);
+  Rng rng(8);
+  // Z-measure a qubit; neighbours' correlation survives.
+  const int m = t.measure_z(17, rng);
+  (void)m;
+  // All X-measurements on a graph state are ±1-determined only after
+  // enough collapses; just ensure nothing throws and determinism is
+  // consistent when re-measuring.
+  const int m2 = t.measure_z(17, rng);
+  EXPECT_EQ(m, m2);
+}
+
+}  // namespace
+}  // namespace mbq

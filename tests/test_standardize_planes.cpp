@@ -1,0 +1,136 @@
+// Standardization across measurement planes: mid-pattern X/Z corrections
+// must be absorbed correctly into XY *and* YZ/Z/X measurement domains
+// (the plane-dependent s/t table of standardize.cpp).
+
+#include <gtest/gtest.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/mbqc/standardize.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq::mbqc {
+namespace {
+
+/// Compare a pattern against its standardized form on every branch: with
+/// corrections applied both must produce the same (deterministic) output.
+void expect_standardize_preserves(const Pattern& p,
+                                  const std::vector<cplx>& expect) {
+  const Pattern s = standardize(p);
+  ASSERT_TRUE(is_standard(s));
+  for (const auto& b : run_all_branches(p))
+    ASSERT_NEAR(fidelity(b.output_state, expect), 1.0, 1e-9) << "original";
+  for (const auto& b : run_all_branches(s))
+    ASSERT_NEAR(fidelity(b.output_state, expect), 1.0, 1e-9)
+        << "standardized";
+}
+
+TEST(StandardizePlanes, CorrectionBeforeYZMeasurement) {
+  // X^s correction on a wire that is later the SUPPORT of a YZ gadget:
+  // the X flips the gadget's effective angle (s-domain... here it lands
+  // in the t-domain per the YZ table) — build a pattern where a J-step
+  // byproduct is corrected mid-pattern instead of at the end.
+  const real alpha = 0.9, theta = 1.2;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m0 = p.add_measure(0, MeasBasis::XY, -alpha);
+  // Mid-pattern corrections (NOT terminal):
+  p.add_correct_x(1, SignalExpr(m0));
+  // Now a YZ gadget on wire 1.
+  p.add_prep(2);
+  p.add_entangle(1, 2);
+  const signal_t m1 = p.add_measure(2, MeasBasis::YZ, theta);
+  p.add_correct_z(1, SignalExpr(m1));
+  p.set_outputs({1});
+
+  // Reference: exp_z(theta) . J(alpha) |+>.
+  std::vector<cplx> expect{1.0 / std::sqrt(2.0), 1.0 / std::sqrt(2.0)};
+  expect = gates::j(alpha) * expect;
+  expect = gates::exp_z(theta) * expect;
+  expect_standardize_preserves(p, expect);
+
+  // The standardized pattern must have rewritten the mid-pattern X into
+  // the YZ measurement's domains (no correction before a measurement).
+  const Pattern s = standardize(p);
+  bool seen_measure_after_correction = false;
+  bool seen_correction = false;
+  for (const Command& c : s.commands()) {
+    if (std::holds_alternative<CmdCorrectX>(c) ||
+        std::holds_alternative<CmdCorrectZ>(c))
+      seen_correction = true;
+    else if (std::holds_alternative<CmdMeasure>(c) && seen_correction)
+      seen_measure_after_correction = true;
+  }
+  EXPECT_FALSE(seen_measure_after_correction);
+}
+
+TEST(StandardizePlanes, CorrectionBeforeZMeasurement) {
+  // Z-basis measurement preceded by an X correction: standardization
+  // absorbs the X as an outcome flip (t-domain).  The physically-same
+  // branch of the standardized pattern has its RAW outcome XORed with
+  // the absorbed correction value; after the t-flip the RECORDED
+  // outcomes and the collapsed states must coincide.
+  // Use a generic XY angle for the first measurement so wire 1 is left
+  // in superposition and the later Z measurement is genuinely random on
+  // both branches (an X-basis first measurement would leave wire 1 in a
+  // computational state and make one Z branch impossible).
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m = p.add_measure(0, MeasBasis::XY, 0.7);
+  // Correct wire 1 with X^m, then measure it in Z (wire 2 entangled to
+  // it witnesses the collapse).
+  p.add_correct_x(1, SignalExpr(m));
+  p.add_prep(2);
+  p.add_entangle(1, 2);
+  p.add_measure(1, MeasBasis::Z, 0.0);
+  p.set_outputs({2});
+
+  const Pattern s = standardize(p);
+  ASSERT_TRUE(is_standard(s));
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      RunOptions orig_opt;
+      orig_opt.forced = {a, b};
+      // Same physical branch in the standardized pattern: wire 1 was
+      // not physically corrected there, so its raw outcome is b ^ a.
+      RunOptions std_opt;
+      std_opt.forced = {a, b ^ a};
+      Rng rng(0);
+      const auto r1 = run(p, rng, orig_opt);
+      const auto r2 = run(s, rng, std_opt);
+      ASSERT_EQ(r1.outcomes, r2.outcomes) << "a=" << a << " b=" << b;
+      ASSERT_NEAR(fidelity(r1.output_state, r2.output_state), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(StandardizePlanes, ZCorrectionBeforeXYMeasurement) {
+  // Z^s before an XY measurement flips the recorded outcome; two chained
+  // J's with the intermediate Z correction materialized mid-pattern.
+  const real alpha = 0.4, beta = -0.8;
+  Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_prep(2);
+  p.add_entangle(0, 1);
+  const signal_t m0 = p.add_measure(0, MeasBasis::XY, -alpha);
+  // Materialize the J byproducts RIGHT NOW instead of adapting later.
+  p.add_correct_x(1, SignalExpr(m0));
+  p.add_entangle(1, 2);
+  const signal_t m1 = p.add_measure(1, MeasBasis::XY, -beta);
+  p.add_correct_x(2, SignalExpr(m1));
+  p.set_outputs({2});
+
+  std::vector<cplx> expect{1.0 / std::sqrt(2.0), 1.0 / std::sqrt(2.0)};
+  expect = gates::j(alpha) * expect;
+  expect = gates::j(beta) * expect;
+  expect_standardize_preserves(p, expect);
+}
+
+}  // namespace
+}  // namespace mbq::mbqc

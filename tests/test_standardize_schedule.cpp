@@ -1,0 +1,129 @@
+// Standardization (N* E* M* C* normal form) and qubit-reuse scheduling
+// must both preserve pattern semantics exactly, branch by branch.
+
+#include <gtest/gtest.h>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/mbqc/from_circuit.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/mbqc/scheduler.h"
+#include "mbq/mbqc/standardize.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq::mbqc {
+namespace {
+
+Circuit random_circuit(int n, int steps, Rng& rng) {
+  Circuit c(n);
+  for (int step = 0; step < steps; ++step) {
+    const int q = static_cast<int>(rng.uniform_index(n));
+    int r = static_cast<int>(rng.uniform_index(n));
+    if (r == q) r = (r + 1) % n;
+    switch (rng.uniform_index(5)) {
+      case 0: c.h(q); break;
+      case 1: c.rz(q, rng.angle()); break;
+      case 2: c.rx(q, rng.angle()); break;
+      case 3: c.cz(q, r); break;
+      case 4: c.cx(q, r); break;
+    }
+  }
+  return c;
+}
+
+std::vector<cplx> reference_on_plus(const Circuit& c) {
+  Statevector sv = Statevector::all_plus(c.num_qubits());
+  c.apply_to(sv);
+  return sv.amplitudes();
+}
+
+TEST(Standardize, ProducesNormalForm) {
+  Rng rng(1);
+  const Circuit c = random_circuit(2, 8, rng);
+  const Pattern p = pattern_from_circuit(c, true);
+  EXPECT_FALSE(is_standard(p));  // translation interleaves N/E/M
+  const Pattern s = standardize(p);
+  EXPECT_TRUE(is_standard(s));
+  // Same resources, same signals.
+  EXPECT_EQ(s.num_prepared(), p.num_prepared());
+  EXPECT_EQ(s.num_entangling(), p.num_entangling());
+  EXPECT_EQ(s.num_measurements(), p.num_measurements());
+  EXPECT_EQ(s.num_signals(), p.num_signals());
+}
+
+TEST(Standardize, SemanticsPreservedAllBranches) {
+  Rng rng(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    Circuit c = random_circuit(2, 4, rng);
+    const Pattern p = pattern_from_circuit(c, true);
+    const Pattern s = standardize(p);
+    const auto expect = reference_on_plus(c);
+    if (s.num_measurements() > 10) continue;
+    for (const auto& b : run_all_branches(s))
+      ASSERT_NEAR(fidelity(b.output_state, expect), 1.0, 1e-9)
+          << "trial " << trial;
+  }
+}
+
+TEST(Standardize, GraphStatePartIsAlgorithmIndependent) {
+  // Patterns for rz(0.3) and rz(-1.1) share the same entanglement graph
+  // after standardization — "the graph state is independent of the
+  // algorithm" (Sec. II-B).
+  Circuit c1(1), c2(1);
+  c1.rz(0, 0.3);
+  c2.rz(0, -1.1);
+  const auto g1 = standardize(pattern_from_circuit(c1, true))
+                      .entanglement_graph()
+                      .first;
+  const auto g2 = standardize(pattern_from_circuit(c2, true))
+                      .entanglement_graph()
+                      .first;
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(Schedule, ReducesPeakLive) {
+  Rng rng(3);
+  const Circuit c = random_circuit(3, 12, rng);
+  const Pattern p = standardize(pattern_from_circuit(c, true));
+  // Standard form preps everything first: peak == total wires.
+  EXPECT_EQ(peak_live_of(p), p.num_wires());
+  const Schedule s = schedule_for_reuse(p);
+  EXPECT_LT(s.peak_live, p.num_wires());
+  // A J-chain translation should keep roughly n+1 wires alive.
+  EXPECT_LE(s.peak_live, c.num_qubits() + 2);
+}
+
+TEST(Schedule, SemanticsPreservedAllBranches) {
+  Rng rng(4);
+  for (int trial = 0; trial < 4; ++trial) {
+    Circuit c = random_circuit(2, 4, rng);
+    const Pattern p = standardize(pattern_from_circuit(c, true));
+    const Schedule s = schedule_for_reuse(p);
+    const auto expect = reference_on_plus(c);
+    if (s.pattern.num_measurements() > 10) continue;
+    for (const auto& b : run_all_branches(s.pattern))
+      ASSERT_NEAR(fidelity(b.output_state, expect), 1.0, 1e-9)
+          << "trial " << trial;
+  }
+}
+
+TEST(Schedule, PreservesResourceCounts) {
+  Rng rng(5);
+  const Circuit c = random_circuit(3, 10, rng);
+  const Pattern p = pattern_from_circuit(c, true);
+  const Schedule s = schedule_for_reuse(p);
+  EXPECT_EQ(s.pattern.num_prepared(), p.num_prepared());
+  EXPECT_EQ(s.pattern.num_entangling(), p.num_entangling());
+  EXPECT_EQ(s.pattern.num_measurements(), p.num_measurements());
+}
+
+TEST(Schedule, PeakLiveOfCountsInputs) {
+  Pattern p;
+  p.add_input(0);
+  p.add_input(1);
+  p.set_outputs({0, 1});
+  EXPECT_EQ(peak_live_of(p), 2);
+}
+
+}  // namespace
+}  // namespace mbq::mbqc

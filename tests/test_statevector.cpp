@@ -1,0 +1,232 @@
+// Unit tests for the fixed-width statevector simulator, cross-checked
+// against dense unitaries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/common/rng.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/sim/pauli.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq {
+namespace {
+
+Statevector random_state(int n, Rng& rng) {
+  std::vector<cplx> a(std::size_t{1} << n);
+  for (auto& x : a) x = cplx{rng.normal(), rng.normal()};
+  Statevector sv(n, std::move(a));
+  sv.normalize();
+  return sv;
+}
+
+TEST(Statevector, InitialState) {
+  Statevector sv(3);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - cplx{1, 0}), 0.0, kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(Statevector, AllPlus) {
+  const Statevector sv = Statevector::all_plus(4);
+  for (const auto& a : sv.amplitudes())
+    EXPECT_NEAR(std::abs(a - cplx{0.25, 0}), 0.0, kTol);
+}
+
+TEST(Statevector, SingleQubitGateMatchesDense) {
+  Rng rng(1);
+  for (int n : {1, 3, 5}) {
+    for (int q = 0; q < n; ++q) {
+      Statevector sv = random_state(n, rng);
+      const auto before = sv.amplitudes();
+      const Matrix u = gates::rz(0.7) * gates::h() * gates::t();
+      sv.apply_1q(u, q);
+      const auto expect = gates::embed1(u, q, n) * before;
+      EXPECT_NEAR(fidelity(sv.amplitudes(), expect), 1.0, kTol);
+    }
+  }
+}
+
+TEST(Statevector, HXZRzRx) {
+  Rng rng(2);
+  Statevector sv = random_state(4, rng);
+  Statevector ref = sv;
+  sv.apply_h(2);
+  ref.apply_1q(gates::h(), 2);
+  sv.apply_x(0);
+  ref.apply_1q(gates::x(), 0);
+  sv.apply_z(3);
+  ref.apply_1q(gates::z(), 3);
+  sv.apply_rz(1, 0.31);
+  ref.apply_1q(gates::rz(0.31), 1);
+  sv.apply_rx(1, -1.21);
+  ref.apply_1q(gates::rx(-1.21), 1);
+  EXPECT_NEAR(fidelity(sv.amplitudes(), ref.amplitudes()), 1.0, kTol);
+}
+
+TEST(Statevector, CzMatchesDense) {
+  Rng rng(3);
+  Statevector sv = random_state(3, rng);
+  const auto before = sv.amplitudes();
+  sv.apply_cz(0, 2);
+  const auto expect = gates::embed2(gates::cz(), 0, 2, 3) * before;
+  EXPECT_NEAR(fidelity(sv.amplitudes(), expect), 1.0, kTol);
+}
+
+TEST(Statevector, CxMatchesDense) {
+  Rng rng(4);
+  Statevector sv = random_state(3, rng);
+  const auto before = sv.amplitudes();
+  sv.apply_cx(1, 0);
+  const auto expect = gates::embed2(gates::cx(), 1, 0, 3) * before;
+  EXPECT_NEAR(fidelity(sv.amplitudes(), expect), 1.0, kTol);
+  // CX with control=1: |010> (= index 2) -> |011> (= index 3).
+  Statevector basis(3);
+  basis.apply_x(1);
+  basis.apply_cx(1, 0);
+  EXPECT_NEAR(std::abs(basis.amplitudes()[3] - cplx{1, 0}), 0.0, kTol);
+}
+
+TEST(Statevector, ExpZsMatchesDense) {
+  Rng rng(5);
+  Statevector sv = random_state(4, rng);
+  const auto before = sv.amplitudes();
+  sv.apply_exp_zs(0.83, {0, 1, 3});
+  const auto expect = gates::exp_zs(0.83, {0, 1, 3}, 4) * before;
+  EXPECT_NEAR(fidelity(sv.amplitudes(), expect), 1.0, kTol);
+}
+
+TEST(Statevector, MixerLayerMatchesExpX) {
+  Rng rng(6);
+  const real beta = 0.47;
+  Statevector sv = random_state(3, rng);
+  Statevector ref = sv;
+  sv.apply_mixer_layer(beta);
+  for (int q = 0; q < 3; ++q) ref.apply_1q(gates::exp_x(2 * beta), q);
+  EXPECT_NEAR(fidelity(sv.amplitudes(), ref.amplitudes()), 1.0, kTol);
+}
+
+TEST(Statevector, ControlledExpXMatchesDense) {
+  Rng rng(7);
+  Statevector sv = random_state(4, rng);
+  const auto before = sv.amplitudes();
+  sv.apply_controlled_exp_x(0.9, 2, {0, 3}, 0);
+  const auto expect = gates::controlled_exp_x(0.9, 2, {0, 3}, 0, 4) * before;
+  EXPECT_NEAR(fidelity(sv.amplitudes(), expect), 1.0, kTol);
+}
+
+TEST(Statevector, PhaseOfCostMatchesExpZs) {
+  // cost(x) = parity(x_0, x_1) has Ising form (1 - Z0 Z1)/2; check the
+  // fast diagonal path against exp_zs composition.
+  const int n = 3;
+  std::vector<real> cost(8);
+  for (std::uint64_t x = 0; x < 8; ++x)
+    cost[x] = static_cast<real>((x & 1) ^ ((x >> 1) & 1));
+  Rng rng(8);
+  Statevector sv = random_state(n, rng);
+  Statevector ref = sv;
+  const real gamma = 0.41;
+  sv.apply_phase_of_cost(gamma, cost);
+  // e^{-i gamma (1 - Z0Z1)/2} = e^{-i gamma/2} e^{+i (gamma/2) Z0 Z1}
+  ref.apply_exp_zs(-gamma, {0, 1});
+  // fidelity ignores the global phase e^{-i gamma/2}
+  EXPECT_NEAR(fidelity(sv.amplitudes(), ref.amplitudes()), 1.0, kTol);
+}
+
+TEST(Statevector, ExpectationDiagonal) {
+  Statevector sv = Statevector::all_plus(2);
+  const std::vector<real> cost{0, 1, 2, 3};
+  EXPECT_NEAR(sv.expectation_diagonal(cost), 1.5, kTol);
+}
+
+TEST(Statevector, ProbOne) {
+  Statevector sv(2);
+  sv.apply_h(0);
+  EXPECT_NEAR(sv.prob_one(0), 0.5, kTol);
+  EXPECT_NEAR(sv.prob_one(1), 0.0, kTol);
+}
+
+TEST(Statevector, MeasureForcedAndCollapse) {
+  Statevector sv(2);
+  sv.apply_h(0);
+  sv.apply_cx(0, 1);  // Bell state
+  Rng rng(9);
+  const int m0 = sv.measure(0, rng, 1);
+  EXPECT_EQ(m0, 1);
+  // Perfect correlation.
+  EXPECT_NEAR(sv.prob_one(1), 1.0, kTol);
+  // Forcing an impossible outcome now throws.
+  EXPECT_THROW(sv.measure(1, rng, 0), Error);
+}
+
+TEST(Statevector, MeasureStatistics) {
+  Rng rng(10);
+  int ones = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    Statevector sv(1);
+    sv.apply_1q(gates::rx(0.6), 0);  // |<1|rx(0.6)|0>|^2 = sin^2(0.3)
+    ones += sv.measure(0, rng);
+  }
+  const real expect = std::pow(std::sin(0.3), 2);
+  EXPECT_NEAR(static_cast<real>(ones) / trials, expect, 0.03);
+}
+
+TEST(Statevector, SampleDistribution) {
+  Rng rng(11);
+  Statevector sv(2);
+  sv.apply_h(0);
+  sv.apply_cx(0, 1);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 2000; ++i) counts[sv.sample(rng)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 2000.0, 0.5, 0.05);
+}
+
+TEST(Pauli, StringRoundTrip) {
+  const PauliString p("XIZY");
+  EXPECT_EQ(p.str(), "XIZY");
+  EXPECT_EQ(p.y_count(), 1);
+  EXPECT_EQ(p.op_at(2), 'Z');
+}
+
+TEST(Pauli, Commutation) {
+  EXPECT_FALSE(PauliString("X").commutes_with(PauliString("Z")));
+  EXPECT_TRUE(PauliString("XX").commutes_with(PauliString("ZZ")));
+  EXPECT_TRUE(PauliString("XI").commutes_with(PauliString("IZ")));
+  EXPECT_FALSE(PauliString("XY").commutes_with(PauliString("ZY")));
+}
+
+TEST(Pauli, ExpectationMatchesDense) {
+  Rng rng(12);
+  const Statevector sv = random_state(3, rng);
+  for (const char* s : {"XIZ", "YYI", "ZZZ", "IXI", "XYZ"}) {
+    const PauliString p(s);
+    Matrix m = Matrix::identity(1);
+    for (int q = 0; q < 3; ++q) {
+      Matrix f;
+      switch (p.op_at(q)) {
+        case 'I': f = gates::id2(); break;
+        case 'X': f = gates::x(); break;
+        case 'Y': f = gates::y(); break;
+        case 'Z': f = gates::z(); break;
+      }
+      m = f.kron(m);  // qubit q is bit q: higher q = left factor
+    }
+    const auto mv = m * sv.amplitudes();
+    const cplx expect = inner(sv.amplitudes(), mv);
+    const cplx got = p.expectation(sv);
+    EXPECT_NEAR(std::abs(got - expect), 0.0, kTol) << s;
+  }
+}
+
+TEST(Pauli, PlusStateExpectations) {
+  const Statevector plus = Statevector::all_plus(2);
+  EXPECT_NEAR(std::real(PauliString("XI").expectation(plus)), 1.0, kTol);
+  EXPECT_NEAR(std::real(PauliString("ZI").expectation(plus)), 0.0, kTol);
+  EXPECT_NEAR(std::real(PauliString("XX").expectation(plus)), 1.0, kTol);
+}
+
+}  // namespace
+}  // namespace mbq

@@ -1,0 +1,80 @@
+// Width-unlimited Z-product expectations on the tableau.
+
+#include <gtest/gtest.h>
+
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/sim/pauli.h"
+#include "mbq/sim/statevector.h"
+#include "mbq/stab/tableau.h"
+
+namespace mbq {
+namespace {
+
+TEST(TableauZs, MatchesPauliStringOnSmallRegisters) {
+  Rng crng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tableau t(5);
+    for (int step = 0; step < 20; ++step) {
+      const int q = static_cast<int>(crng.uniform_index(5));
+      int r = static_cast<int>(crng.uniform_index(5));
+      if (r == q) r = (r + 1) % 5;
+      switch (crng.uniform_index(4)) {
+        case 0: t.apply_h(q); break;
+        case 1: t.apply_s(q); break;
+        case 2: t.apply_cx(q, r); break;
+        case 3: t.apply_cz(q, r); break;
+      }
+    }
+    for (const auto& qs : std::vector<std::vector<int>>{
+             {0}, {1, 3}, {0, 2, 4}, {0, 1, 2, 3, 4}}) {
+      std::uint64_t zm = 0;
+      for (int q : qs) zm |= 1ULL << q;
+      ASSERT_EQ(t.expectation_zs(qs),
+                t.expectation(PauliString(0, zm, 5)))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(TableauZs, RepeatedQubitsCancel) {
+  Tableau t(2);
+  t.apply_x(0);  // |10>: <Z0> = -1
+  EXPECT_EQ(t.expectation_zs({0}), -1);
+  EXPECT_EQ(t.expectation_zs({0, 0}), 1);       // Z^2 = I
+  EXPECT_EQ(t.expectation_zs({0, 0, 0}), -1);
+  EXPECT_EQ(t.expectation_zs({}), 1);           // identity
+}
+
+TEST(TableauZs, WorksBeyond64Qubits) {
+  // 80-qubit GHZ-like chain: Z_i Z_j = +1 for all pairs, Z_i alone = 0.
+  const int n = 80;
+  Tableau t(n);
+  t.apply_h(0);
+  for (int q = 0; q + 1 < n; ++q) t.apply_cx(q, q + 1);
+  EXPECT_EQ(t.expectation_zs({0, 79}), 1);
+  EXPECT_EQ(t.expectation_zs({13, 57}), 1);
+  EXPECT_EQ(t.expectation_zs({42}), 0);
+  EXPECT_EQ(t.expectation_zs({0, 1, 2}), 0);  // odd number of Z's
+}
+
+TEST(TableauZs, GraphStateCorrelations) {
+  // On a graph state every pure-Z product has expectation 0 unless
+  // empty (Z products anti-commute with some vertex stabilizer K_v
+  // whenever the support is non-empty... specifically <Z_S> = 0 for any
+  // non-empty S on a connected graph state with no isolated structure).
+  const Graph g = cycle_graph(6);
+  Tableau t = Tableau::graph_state(g);
+  EXPECT_EQ(t.expectation_zs({0}), 0);
+  EXPECT_EQ(t.expectation_zs({0, 1}), 0);
+  EXPECT_EQ(t.expectation_zs({0, 1, 2, 3, 4, 5}), 0);
+}
+
+TEST(TableauZs, OutOfRangeThrows) {
+  Tableau t(3);
+  EXPECT_THROW(t.expectation_zs({3}), Error);
+  EXPECT_THROW(t.expectation_zs({-1}), Error);
+}
+
+}  // namespace
+}  // namespace mbq

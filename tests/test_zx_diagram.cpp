@@ -1,0 +1,226 @@
+// Unit tests for the ZX diagram structure and tensor evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/linalg/unitaries.h"
+#include "mbq/sim/statevector.h"
+#include "mbq/zx/builder.h"
+#include "mbq/zx/diagram.h"
+#include "mbq/zx/tensor_eval.h"
+
+namespace mbq::zx {
+namespace {
+
+TEST(Diagram, BasicStructure) {
+  Diagram d;
+  const int a = d.add_z(0.5);
+  const int b = d.add_x(-0.5);
+  const int e = d.add_edge(a, b);
+  EXPECT_EQ(d.num_nodes(), 2);
+  EXPECT_EQ(d.num_edges(), 1);
+  EXPECT_EQ(d.other_end(e, a), b);
+  EXPECT_EQ(d.degree(a), 1);
+  d.remove_node(b);
+  EXPECT_EQ(d.num_nodes(), 1);
+  EXPECT_EQ(d.num_edges(), 0);
+  EXPECT_FALSE(d.edge_alive(e));
+  EXPECT_THROW(d.other_end(e, a), Error);
+}
+
+TEST(Diagram, SelfLoopDegree) {
+  Diagram d;
+  const int a = d.add_z(0.0);
+  d.add_edge(a, a);
+  EXPECT_EQ(d.degree(a), 2);
+  EXPECT_TRUE(d.is_self_loop(d.incident_edges(a)[0]));
+}
+
+TEST(Diagram, ValidateCatchesBadBoundary) {
+  Diagram d;
+  const int in = d.add_input();
+  (void)in;
+  EXPECT_THROW(d.validate(), Error);  // boundary with degree 0
+}
+
+TEST(Diagram, ParallelEdges) {
+  Diagram d;
+  const int a = d.add_z(0.0);
+  const int b = d.add_x(0.0);
+  d.add_edge(a, b);
+  d.add_edge(a, b);
+  EXPECT_EQ(d.edges_between(a, b).size(), 2u);
+}
+
+// --- node tensors ---
+
+TEST(TensorEval, ZSpiderStates) {
+  // Z(0) arity-1 = sqrt(2)|+>; Z(pi) arity-1 = sqrt(2)|->.  (Eq. (3))
+  const Tensor z0 = node_tensor(NodeKind::Z, 0.0, -1.0, 1);
+  EXPECT_NEAR(std::abs(z0.data()[0] - cplx{1, 0}), 0, kTol);
+  EXPECT_NEAR(std::abs(z0.data()[1] - cplx{1, 0}), 0, kTol);
+  const Tensor zpi = node_tensor(NodeKind::Z, kPi, -1.0, 1);
+  EXPECT_NEAR(std::abs(zpi.data()[1] - cplx{-1, 0}), 0, kTol);
+}
+
+TEST(TensorEval, XSpiderStates) {
+  // X(0) arity-1 = sqrt(2)|0>; X(pi) arity-1 = sqrt(2)|1>.  (Eq. (3))
+  const real s = std::sqrt(2.0);
+  const Tensor x0 = node_tensor(NodeKind::X, 0.0, -1.0, 1);
+  EXPECT_NEAR(std::abs(x0.data()[0] - cplx{s, 0}), 0, kTol);
+  EXPECT_NEAR(std::abs(x0.data()[1]), 0, kTol);
+  const Tensor xpi = node_tensor(NodeKind::X, kPi, -1.0, 1);
+  EXPECT_NEAR(std::abs(xpi.data()[0]), 0, kTol);
+  EXPECT_NEAR(std::abs(xpi.data()[1] - cplx{s, 0}), 0, kTol);
+}
+
+TEST(TensorEval, HBoxIsSqrt2H) {
+  const Tensor h = node_tensor(NodeKind::HBox, 0.0, -1.0, 2);
+  const real s = std::sqrt(2.0);
+  const Matrix hm = gates::h();
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      EXPECT_NEAR(std::abs(h.data()[i + 2 * j] - s * hm(i, j)), 0, kTol);
+}
+
+// --- circuit -> diagram exactness ---
+
+TEST(TensorEval, WireIsIdentity) {
+  Circuit c(1);
+  const Diagram d = from_circuit(c);
+  EXPECT_TRUE(Matrix::approx_equal(evaluate_matrix(d), Matrix::identity(2)));
+}
+
+TEST(TensorEval, SingleGatesExact) {
+  for (auto build : {+[](Circuit& c) { c.h(0); },
+                     +[](Circuit& c) { c.rz(0, 0.37); },
+                     +[](Circuit& c) { c.rx(0, -0.91); },
+                     +[](Circuit& c) { c.x(0); }, +[](Circuit& c) { c.y(0); },
+                     +[](Circuit& c) { c.z(0); }, +[](Circuit& c) { c.s(0); },
+                     +[](Circuit& c) { c.t(0); }}) {
+    Circuit c(1);
+    build(c);
+    const Diagram d = from_circuit(c);
+    EXPECT_TRUE(Matrix::approx_equal(evaluate_matrix(d), c.unitary(), 1e-9))
+        << c.str();
+  }
+}
+
+TEST(TensorEval, TwoQubitGatesExact) {
+  {
+    Circuit c(2);
+    c.cz(0, 1);
+    EXPECT_TRUE(Matrix::approx_equal(evaluate_matrix(from_circuit(c)),
+                                     c.unitary(), 1e-9));
+  }
+  {
+    Circuit c(2);
+    c.cx(0, 1);
+    EXPECT_TRUE(Matrix::approx_equal(evaluate_matrix(from_circuit(c)),
+                                     c.unitary(), 1e-9));
+  }
+}
+
+TEST(TensorEval, PhaseGadgetExact) {
+  for (int k = 1; k <= 3; ++k) {
+    Circuit c(k);
+    std::vector<int> support;
+    for (int q = 0; q < k; ++q) support.push_back(q);
+    c.phase_gadget(support, 0.73);
+    EXPECT_TRUE(Matrix::approx_equal(evaluate_matrix(from_circuit(c)),
+                                     c.unitary(), 1e-9))
+        << "k=" << k;
+  }
+}
+
+TEST(TensorEval, RandomCircuitExact) {
+  Rng rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_index(2));
+    Circuit c(n);
+    for (int step = 0; step < 10; ++step) {
+      const int q = static_cast<int>(rng.uniform_index(n));
+      int r = static_cast<int>(rng.uniform_index(n));
+      if (r == q) r = (r + 1) % n;
+      switch (rng.uniform_index(6)) {
+        case 0: c.h(q); break;
+        case 1: c.rz(q, rng.angle()); break;
+        case 2: c.rx(q, rng.angle()); break;
+        case 3: c.cz(q, r); break;
+        case 4: c.cx(q, r); break;
+        case 5: c.phase_gadget({q, r}, rng.angle()); break;
+      }
+    }
+    EXPECT_TRUE(Matrix::approx_equal(evaluate_matrix(from_circuit(c)),
+                                     c.unitary(), 1e-8))
+        << "trial " << trial;
+  }
+}
+
+TEST(TensorEval, CircuitOnPlusMatchesState) {
+  Rng rng(22);
+  Circuit c(3);
+  c.rz(0, 0.4).cz(0, 1).rx(1, 0.9).cx(1, 2).t(2);
+  const Diagram d = from_circuit_on_plus(c);
+  EXPECT_TRUE(d.inputs().empty());
+  Statevector sv = Statevector::all_plus(3);
+  c.apply_to(sv);
+  const Matrix m = evaluate_matrix(d);  // 8 x 1 column
+  ASSERT_EQ(m.rows(), 8u);
+  ASSERT_EQ(m.cols(), 1u);
+  std::vector<cplx> amps(8);
+  for (std::size_t i = 0; i < 8; ++i) amps[i] = m(i, 0);
+  EXPECT_NEAR(fidelity(amps, sv.amplitudes()), 1.0, 1e-9);
+  // Exact, including normalization:
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::abs(amps[i] - sv.amplitudes()[i]), 0.0, 1e-9);
+}
+
+TEST(TensorEval, GraphStateDiagramMatchesStabilizerConstruction) {
+  // Eq. (5): the diagram of |G> for the square graph.
+  const Graph g = cycle_graph(4);
+  const Diagram d = graph_state_diagram(g);
+  const Matrix m = evaluate_matrix(d);
+  // Reference via statevector.
+  Statevector sv = Statevector::all_plus(4);
+  for (const Edge& e : g.edges()) sv.apply_cz(e.u, e.v);
+  std::vector<cplx> amps(16);
+  for (std::size_t i = 0; i < 16; ++i) amps[i] = m(i, 0);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(std::abs(amps[i] - sv.amplitudes()[i]), 0.0, 1e-9);
+}
+
+TEST(TensorEval, RejectsSelfLoop) {
+  Diagram d;
+  const int a = d.add_z(0.0);
+  d.add_edge(a, a);
+  const int out = d.add_output();
+  d.add_edge(a, out);
+  EXPECT_THROW(evaluate(d), Error);
+}
+
+TEST(TensorEval, BareWire) {
+  // input connected directly to output.
+  Diagram d;
+  const int in = d.add_input();
+  const int out = d.add_output();
+  d.add_edge(in, out);
+  EXPECT_TRUE(Matrix::approx_equal(evaluate_matrix(d), Matrix::identity(2)));
+}
+
+TEST(TensorEval, ScalarDiagram) {
+  // A lone Z(theta) spider of arity 0 evaluates to 1 + e^{i theta}.
+  Diagram d;
+  d.add_z(0.8);
+  const Tensor t = evaluate(d);
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_NEAR(std::abs(t.data()[0] - (cplx{1, 0} + std::exp(kI * 0.8))), 0,
+              kTol);
+}
+
+}  // namespace
+}  // namespace mbq::zx

@@ -1,0 +1,119 @@
+// Whole-stack cross-validation: a pattern rendered as a ZX diagram (the
+// all-zero branch) must evaluate — by pure tensor contraction, no
+// simulator — to the same state the measurement-calculus runner produces
+// on that branch.  This ties together the ZX semantics, the pattern
+// semantics, and the compiler, exactly the correspondence the paper's
+// derivations rely on.
+
+#include <gtest/gtest.h>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/linalg/tensor.h"
+#include "mbq/mbqc/from_circuit.h"
+#include "mbq/mbqc/runner.h"
+#include "mbq/qaoa/qaoa.h"
+#include "mbq/zx/from_pattern.h"
+#include "mbq/zx/simplify.h"
+#include "mbq/zx/tensor_eval.h"
+
+namespace mbq::zx {
+namespace {
+
+/// Output state of the all-raw-zero branch from the runner.
+std::vector<cplx> zero_branch_state(const mbqc::Pattern& p) {
+  mbqc::RunOptions opt;
+  opt.forced.assign(p.num_measurements(), 0);
+  Rng rng(0);
+  return mbqc::run(p, rng, opt).output_state;
+}
+
+void expect_diagram_matches_runner(const mbqc::Pattern& p) {
+  const Diagram d = diagram_from_pattern(p);
+  const Matrix m = evaluate_matrix(d);
+  ASSERT_EQ(m.cols(), 1u);
+  std::vector<cplx> zx_state(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) zx_state[i] = m(i, 0);
+  const auto runner_state = zero_branch_state(p);
+  ASSERT_EQ(zx_state.size(), runner_state.size());
+  EXPECT_NEAR(fidelity(zx_state, runner_state), 1.0, 1e-9);
+}
+
+TEST(FromPattern, SingleJGadget) {
+  mbqc::Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_entangle(0, 1);
+  const signal_t m = p.add_measure(0, MeasBasis::XY, -0.8);
+  p.add_correct_x(1, SignalExpr(m));
+  p.set_outputs({1});
+  expect_diagram_matches_runner(p);
+}
+
+TEST(FromPattern, YZGadget) {
+  mbqc::Pattern p;
+  p.add_prep(0);
+  p.add_prep(1);
+  p.add_prep(2);
+  p.add_entangle(0, 2);
+  p.add_entangle(1, 2);
+  const signal_t m = p.add_measure(2, MeasBasis::YZ, 1.3);
+  p.add_correct_z(0, SignalExpr(m));
+  p.add_correct_z(1, SignalExpr(m));
+  p.set_outputs({0, 1});
+  expect_diagram_matches_runner(p);
+}
+
+TEST(FromPattern, CompiledQaoaPatterns) {
+  Rng rng(3);
+  for (const Graph& g : {path_graph(3), complete_graph(3)}) {
+    const auto cost = qaoa::CostHamiltonian::maxcut(g);
+    for (int p : {1, 2}) {
+      const auto cp = core::compile_qaoa(cost, qaoa::Angles::random(p, rng));
+      expect_diagram_matches_runner(cp.pattern);
+    }
+  }
+}
+
+TEST(FromPattern, QuboWithLinearTerms) {
+  Rng rng(4);
+  const auto cost = qaoa::CostHamiltonian::qubo(
+      3, {0.5, -0.7, 0.2}, {{{0, 1}, 1.0}, {{1, 2}, -0.4}}, 0.0);
+  const auto cp = core::compile_qaoa(cost, qaoa::Angles::random(1, rng));
+  expect_diagram_matches_runner(cp.pattern);
+}
+
+TEST(FromPattern, GenericTranslationPatterns) {
+  Rng rng(5);
+  Circuit c(2);
+  c.h(0).rz(0, 0.4).cz(0, 1).rx(1, -0.9);
+  const mbqc::Pattern p = mbqc::pattern_from_circuit(c, /*plus=*/true);
+  expect_diagram_matches_runner(p);
+}
+
+TEST(FromPattern, DiagramIsGraphLikeAfterSimplify) {
+  // The pattern diagram simplifies to graph-like form — the "pattern =
+  // graph state + measurements" reading of Sec. II-B.
+  Rng rng(6);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(3));
+  const auto cp = core::compile_qaoa(cost, qaoa::Angles::random(1, rng));
+  Diagram d = diagram_from_pattern(cp.pattern);
+  const Diagram before = d;
+  to_graph_like(d);
+  EXPECT_TRUE(is_graph_like(d));
+  EXPECT_NEAR(
+      Tensor::proportionality_distance(evaluate(before), evaluate(d)), 0.0,
+      1e-8);
+}
+
+TEST(FromPattern, RejectsOpenInputs) {
+  mbqc::Pattern p;
+  p.add_input(0);
+  p.set_outputs({0});
+  EXPECT_THROW(diagram_from_pattern(p), Error);
+}
+
+}  // namespace
+}  // namespace mbq::zx

@@ -1,0 +1,111 @@
+// Tests for graph-like simplification and open-graph extraction: the
+// bridge between ZX diagrams and MBQC resource states (Sec. II-B).
+
+#include <gtest/gtest.h>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/linalg/tensor.h"
+#include "mbq/zx/builder.h"
+#include "mbq/zx/simplify.h"
+#include "mbq/zx/tensor_eval.h"
+
+namespace mbq::zx {
+namespace {
+
+real diff_up_to_scalar(const Diagram& a, const Diagram& b) {
+  return Tensor::proportionality_distance(evaluate(a), evaluate(b));
+}
+
+TEST(Simplify, GraphStateDiagramIsAlreadyGraphLike) {
+  const Diagram d = graph_state_diagram(cycle_graph(4));
+  EXPECT_TRUE(is_graph_like(d));
+}
+
+TEST(Simplify, CzCircuitBecomesGraphLike) {
+  Circuit c(3);
+  c.h(0).cz(0, 1).cz(1, 2).rz(2, 0.4);
+  Diagram d = from_circuit(c);
+  const Diagram before = d;
+  const SimplifyStats stats = to_graph_like(d);
+  EXPECT_GT(stats.total(), 0);
+  EXPECT_TRUE(is_graph_like(d)) << d.str();
+  EXPECT_NEAR(diff_up_to_scalar(before, d), 0.0, 1e-8);
+}
+
+TEST(Simplify, RandomCircuitsPreserveSemantics) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_index(2));
+    Circuit c(n);
+    for (int step = 0; step < 12; ++step) {
+      const int q = static_cast<int>(rng.uniform_index(n));
+      int r = static_cast<int>(rng.uniform_index(n));
+      if (r == q) r = (r + 1) % n;
+      switch (rng.uniform_index(6)) {
+        case 0: c.h(q); break;
+        case 1: c.rz(q, rng.angle()); break;
+        case 2: c.rx(q, rng.angle()); break;
+        case 3: c.cz(q, r); break;
+        case 4: c.cx(q, r); break;
+        case 5: c.x(q); break;
+      }
+    }
+    Diagram d = from_circuit(c);
+    const Diagram before = d;
+    to_graph_like(d);
+    EXPECT_TRUE(is_graph_like(d)) << "trial " << trial << "\n" << d.str();
+    EXPECT_NEAR(diff_up_to_scalar(before, d), 0.0, 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(Simplify, QaoaLayerOnPlusBecomesGraphLike) {
+  // One QAOA layer on a triangle: phase gadgets + mixer.
+  Circuit c(3);
+  for (auto [u, v] : {std::pair{0, 1}, {1, 2}, {0, 2}})
+    c.phase_gadget({u, v}, 0.8);
+  for (int q = 0; q < 3; ++q) c.rx(q, 0.6);
+  Diagram d = from_circuit_on_plus(c);
+  const Diagram before = d;
+  to_graph_like(d);
+  EXPECT_TRUE(is_graph_like(d));
+  EXPECT_NEAR(diff_up_to_scalar(before, d), 0.0, 1e-8);
+}
+
+TEST(Simplify, ExtractOpenGraphOfGraphState) {
+  const Graph g = petersen_graph();
+  const Diagram d = graph_state_diagram(g);
+  const ExtractedOpenGraph og = extract_open_graph(d);
+  EXPECT_EQ(og.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(og.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(og.output_vertex.size(), 10u);
+  // Spider degrees mirror graph degrees.
+  for (int v = 0; v < og.graph.num_vertices(); ++v)
+    EXPECT_EQ(og.graph.degree(v), 3);
+}
+
+TEST(Simplify, ExtractRequiresGraphLike) {
+  Circuit c(2);
+  c.cx(0, 1);
+  Diagram d = from_circuit(c);  // contains an X spider
+  EXPECT_FALSE(is_graph_like(d));
+  EXPECT_THROW(extract_open_graph(d), Error);
+}
+
+TEST(Simplify, ExtractionReportsPhases) {
+  Circuit c(2);
+  c.rz(0, 0.5).cz(0, 1).rz(1, -0.25);
+  Diagram d = from_circuit_on_plus(c);
+  to_graph_like(d);
+  const ExtractedOpenGraph og = extract_open_graph(d);
+  // Two spiders with the rz phases fused in.
+  ASSERT_EQ(og.vertex_phase.size(), 2u);
+  std::vector<real> phases = og.vertex_phase;
+  std::sort(phases.begin(), phases.end());
+  EXPECT_NEAR(phases[0], -0.25, 1e-9);
+  EXPECT_NEAR(phases[1], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mbq::zx

@@ -1,17 +1,18 @@
-// E15 — ablations over the design choices DESIGN.md calls out:
-//   1. correction mode: quantum terminal corrections vs classical
-//      post-processing of samples (resource-free on hardware);
+// E15 — ablations over the design choices DESIGN.md calls out, phrased
+// as workload/backend combinations of the unified API:
+//   1. correction mode: backend "mbqc" (quantum terminal corrections) vs
+//      "mbqc-classical" (post-processing, resource-free on hardware);
 //   2. linear-term style: paper's Eq. (10) gadget vs fusing the rotation
-//      into the first mixer J angle (saves p|V| ancillas);
+//      into the first mixer J angle (saves p|V| ancillas) — a Workload
+//      compile option;
 //   3. command scheduling: standard form vs reuse schedule (live width).
 // All variants must agree on <C> to numerical precision.
 
 #include <iostream>
 
+#include "mbq/api/api.h"
 #include "mbq/common/rng.h"
 #include "mbq/common/table.h"
-#include "mbq/core/protocol.h"
-#include "mbq/core/resources.h"
 #include "mbq/graph/generators.h"
 #include "mbq/mbqc/runner.h"
 #include "mbq/mbqc/scheduler.h"
@@ -22,7 +23,7 @@ int main() {
   using namespace mbq;
   Rng rng(77);
 
-  std::cout << "# E15 — ablations\n\n";
+  std::cout << "# E15 — ablations (through mbq::api)\n\n";
 
   // Instance: QUBO with linear terms so every knob matters.
   const Graph g = cycle_graph(5);
@@ -31,62 +32,58 @@ int main() {
     cost.add_term({q}, 0.15 * (q + 1));
   const int p = 2;
   const qaoa::Angles a = qaoa::Angles::random(p, rng);
-  const real reference = qaoa::qaoa_expectation(cost, a);
+  api::Session reference(api::Workload::qaoa(cost), "statevector");
+  const real ref_value = reference.expectation(a);
 
   Table t({"variant", "<C>", "|d<C>| vs gate model", "pattern qubits",
            "pattern CZ", "peak live"});
 
-  auto add_row = [&](const std::string& name, core::CorrectionMode mode,
+  auto add_row = [&](const std::string& name, const std::string& backend,
                      core::LinearTermStyle style, bool reschedule) {
-    const core::MbqcQaoaSolver solver(cost, mode, style);
-    auto cp = solver.compile(a);
+    api::Workload workload = api::Workload::qaoa(cost);
+    workload.with_linear_style(style);
+    api::Session session(workload, backend, {.seed = 4});
+    const real val = session.expectation(a);
+
+    const bool quantum = backend == "mbqc";
+    auto cp = workload.compile_pattern(a, quantum);
     mbqc::Pattern pat = cp.pattern;
     if (reschedule) pat = mbqc::schedule_for_reuse(pat).pattern;
-    Rng run_rng(4);
-    const real val = solver.expectation(a, run_rng);
     Rng peek_rng(5);
     const int peak = mbqc::run(pat, peek_rng).peak_live;
     t.row()
         .add(name)
         .add(val, 9)
-        .add(std::abs(val - reference), 3)
+        .add(std::abs(val - ref_value), 3)
         .add(pat.num_wires())
         .add(pat.num_entangling())
         .add(peak);
   };
 
-  add_row("quantum corrections, Eq.10 gadgets, compiled order",
-          core::CorrectionMode::Quantum, core::LinearTermStyle::Gadget,
-          false);
-  add_row("quantum corrections, Eq.10 gadgets, reuse schedule",
-          core::CorrectionMode::Quantum, core::LinearTermStyle::Gadget, true);
-  add_row("quantum corrections, fused linear terms",
-          core::CorrectionMode::Quantum,
-          core::LinearTermStyle::FusedIntoMixer, false);
-  add_row("classical post-processing, Eq.10 gadgets",
-          core::CorrectionMode::ClassicalPostProcess,
+  add_row("quantum corrections, Eq.10 gadgets, compiled order", "mbqc",
           core::LinearTermStyle::Gadget, false);
-  add_row("classical post-processing, fused linear terms",
-          core::CorrectionMode::ClassicalPostProcess,
+  add_row("quantum corrections, Eq.10 gadgets, reuse schedule", "mbqc",
+          core::LinearTermStyle::Gadget, true);
+  add_row("quantum corrections, fused linear terms", "mbqc",
+          core::LinearTermStyle::FusedIntoMixer, false);
+  add_row("classical post-processing, Eq.10 gadgets", "mbqc-classical",
+          core::LinearTermStyle::Gadget, false);
+  add_row("classical post-processing, fused linear terms", "mbqc-classical",
           core::LinearTermStyle::FusedIntoMixer, false);
 
   // Degree-bounded un-fusing (Sec. III / ref [49]): same instance with
   // the resource graph capped at degree 4.
   {
-    core::CompileOptions opt;
-    opt.max_wire_degree = 4;
-    const auto cp = core::compile_qaoa(cost, a, opt);
+    api::Workload workload = api::Workload::qaoa(cost);
+    workload.with_max_wire_degree(4);
+    api::Session session(workload, "mbqc", {.seed = 4});
+    const real val = session.expectation(a);
+    const auto cp = workload.compile_pattern(a, true);
     const auto [graph, wires] = cp.pattern.entanglement_graph();
-    Rng run_rng(4);
-    const auto r = mbqc::run(cp.pattern, run_rng);
-    real val = 0.0;
-    const auto table = cost.cost_table();
-    for (std::uint64_t x = 0; x < r.output_state.size(); ++x)
-      val += std::norm(r.output_state[x]) * table[x];
     t.row()
         .add("degree-bounded (<=4) un-fused resource graph")
         .add(val, 9)
-        .add(std::abs(val - reference), 3)
+        .add(std::abs(val - ref_value), 3)
         .add(cp.pattern.num_wires())
         .add(cp.pattern.num_entangling())
         .add(graph.max_degree());
@@ -97,8 +94,7 @@ int main() {
                      "max degree)");
 
   // Standard form: the algorithm-independent resource state.
-  const core::MbqcQaoaSolver solver(cost);
-  const auto cp = solver.compile(a);
+  const auto cp = api::Workload::qaoa(cost).compile_pattern(a, true);
   const auto standard = mbqc::standardize(cp.pattern);
   Table t2({"form", "commands N,E first", "peak live", "entanglement graph "
             "edges"});

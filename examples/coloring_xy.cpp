@@ -6,15 +6,20 @@
 // maximize the number of properly-colored edges.  Qubit (v, c) = vertex
 // v has color c; cost counts edges whose endpoints hold different
 // colors; the mixer rotates within each vertex's one-hot block.
+//
+// The XY ansatz enters the unified API as a CustomCircuit workload: the
+// statevector backend drives the classical outer loop (cheap exact
+// objective) and the mbqc backend executes the optimized angles
+// measurement-based — same workload, two registry names.
 
 #include <bit>
 #include <iostream>
 
+#include "mbq/api/api.h"
 #include "mbq/common/bits.h"
 #include "mbq/common/rng.h"
-#include "mbq/core/compiler.h"
 #include "mbq/graph/generators.h"
-#include "mbq/mbqc/runner.h"
+#include "mbq/opt/grid.h"
 #include "mbq/opt/nelder_mead.h"
 #include "mbq/qaoa/mixers.h"
 
@@ -30,19 +35,18 @@ int main() {
 
   // Cost: for each edge (u,v) and color c, penalize same-color endpoints:
   // proper(u,v) = 1 - sum_c x_{u,c} x_{v,c} on the one-hot subspace.
-  qaoa::CostHamiltonian cost(n, 0.0);
   std::vector<std::pair<Edge, real>> quad;
   std::vector<real> linear(n, 0.0);
   for (const Edge& e : g.edges())
     for (int c = 0; c < k; ++c)
       quad.push_back({{qubit(e.u, c), qubit(e.v, c)}, -1.0});
-  cost = qaoa::CostHamiltonian::qubo(
+  const auto cost = qaoa::CostHamiltonian::qubo(
       n, linear, quad, static_cast<real>(g.num_edges()));
 
-  // Circuit: prepare each vertex in color 0 (one-hot: |10> per block,
+  // Ansatz: prepare each vertex in color 0 (one-hot: |10> per block,
   // reached from the pattern's |+>^n via H then X on the color-0 qubit),
   // then alternate phase layers with ring-XY mixers per vertex block.
-  auto build = [&](const qaoa::Angles& a) {
+  const auto build = [&, cost](const qaoa::Angles& a) {
     Circuit circ(n);
     for (int q = 0; q < n; ++q) circ.h(q);
     for (int v = 0; v < g.num_vertices(); ++v) circ.x(qubit(v, 0));
@@ -55,53 +59,43 @@ int main() {
     }
     return circ;
   };
+  const api::Workload workload = api::Workload::custom(cost, build);
 
-  // Classical outer loop: coarse grid over shared (gamma, beta).
-  const auto table = cost.cost_table();
-  qaoa::Angles best_angles({0.5, 0.5}, {0.5, 0.5});
-  real best_exp = -1e300;
-  for (int i = 0; i < 9; ++i) {
-    for (int j = 0; j < 9; ++j) {
-      const real gamma = -kPi + kTwoPi * (i + 0.5) / 9;
-      const real beta = -kPi / 2 + kPi * (j + 0.5) / 9;
-      const qaoa::Angles a({gamma, gamma}, {beta, beta});
-      Statevector sv = Statevector::all_plus(n);
-      build(a).apply_to(sv);
-      const real e = sv.expectation_diagonal(table);
-      if (e > best_exp) {
-        best_exp = e;
-        best_angles = a;
-      }
-    }
-  }
-  // Refine with Nelder-Mead over all four angles.
-  auto objective = [&](const std::vector<real>& v) {
-    Statevector sv = Statevector::all_plus(n);
-    build(qaoa::Angles::from_flat(v)).apply_to(sv);
-    return sv.expectation_diagonal(table);
+  // Classical outer loop on the exact statevector backend: coarse grid
+  // over shared (gamma, beta), refined with Nelder-Mead over all four.
+  api::Session sv_session(workload, "statevector");
+  const auto shared_objective = [&](const std::vector<real>& v) {
+    return sv_session.expectation(
+        qaoa::Angles({v[0], v[0]}, {v[1], v[1]}));
   };
+  const auto seed = opt::grid_search(
+      shared_objective,
+      {{-kPi + kPi / 9, kPi - kPi / 9, 9},
+       {-kPi / 2 + kPi / 18, kPi / 2 - kPi / 18, 9}});
+  qaoa::Angles best_angles({seed.x[0], seed.x[0]}, {seed.x[1], seed.x[1]});
+
   opt::NelderMeadOptions nm;
   nm.max_evaluations = 400;
   nm.restarts = 3;
   Rng nm_rng(5);
-  const auto refined =
-      opt::nelder_mead(objective, best_angles.flat(), nm, nm_rng);
+  const auto refined = opt::nelder_mead(sv_session.objective(),
+                                        best_angles.flat(), nm, nm_rng);
   best_angles = qaoa::Angles::from_flat(refined.x);
   std::cout << "optimized <properly colored> = " << refined.value
-            << " (grid seed " << best_exp << ")\n";
+            << " (grid seed " << seed.value << ", "
+            << sv_session.cache_misses() << " distinct angle points)\n";
 
-  // Compile to MBQC and run.
-  const auto cp = core::compile_circuit_tailored(build(best_angles));
+  // Execute the optimized ansatz measurement-based.
+  const auto cp = workload.compile_pattern(best_angles, true);
   std::cout << "MBQC pattern: " << cp.pattern.num_wires() << " qubits, "
             << cp.pattern.num_measurements() << " measurements\n";
 
-  Rng rng(11);
-  const auto r = mbqc::run(cp.pattern, rng);
+  api::Session mbqc_session(workload, "mbqc", {.seed = 11});
+  std::cout << "MBQC <properly colored> = "
+            << mbqc_session.expectation(best_angles) << "\n";
 
-  // Check the one-hot subspace and extract the best coloring.
-  real onehot_mass = 0.0;
-  real best_prob = 0.0;
-  std::uint64_t best_x = 0;
+  // Check the one-hot subspace and extract the best coloring from shots.
+  const api::SampleResult result = mbqc_session.sample(best_angles, 256);
   auto is_onehot = [&](std::uint64_t x) {
     for (int v = 0; v < g.num_vertices(); ++v) {
       int count = 0;
@@ -110,19 +104,14 @@ int main() {
     }
     return true;
   };
-  for (std::uint64_t x = 0; x < r.output_state.size(); ++x) {
-    const real prob = std::norm(r.output_state[x]);
-    if (is_onehot(x)) onehot_mass += prob;
-    if (prob > best_prob) {
-      best_prob = prob;
-      best_x = x;
-    }
-  }
-  std::cout << "one-hot subspace mass after MBQC run: " << onehot_mass
-            << " (exactly 1: encoding constraints preserved by the XY "
+  int onehot = 0;
+  for (const api::Shot& s : result.shots) onehot += is_onehot(s.x);
+  const api::Shot best = result.best();
+  std::cout << "one-hot samples: " << onehot << "/" << result.shots.size()
+            << " (all of them: encoding constraints preserved by the XY "
                "mixer)\n";
-  std::cout << "most likely outcome: " << bitstring(best_x, n)
-            << "  -> properly colored edges: " << cost.evaluate(best_x)
-            << " of " << g.num_edges() << " (optimum 2)\n";
+  std::cout << "best outcome: " << bitstring(best.x, n)
+            << "  -> properly colored edges: " << best.cost << " of "
+            << g.num_edges() << " (optimum 2)\n";
   return 0;
 }

@@ -1,13 +1,13 @@
 // Variational MBQC-QAOA on a random 3-regular graph: the full hybrid
-// loop (Nelder-Mead over angles, expectation evaluated through the
-// measurement-based protocol), compared against simulated annealing and
-// the exact optimum.
+// loop (Nelder-Mead over angles, objective evaluated through the
+// measurement-based backend of the unified API), compared against
+// simulated annealing and the exact optimum.
 
 #include <iostream>
 
+#include "mbq/api/api.h"
 #include "mbq/common/rng.h"
 #include "mbq/common/table.h"
-#include "mbq/core/protocol.h"
 #include "mbq/graph/generators.h"
 #include "mbq/opt/exact.h"
 #include "mbq/opt/nelder_mead.h"
@@ -19,21 +19,19 @@ int main() {
   Rng rng(2025);
 
   const Graph g = random_regular_graph(8, 3, rng);
-  const auto cost = qaoa::CostHamiltonian::maxcut(g);
-  const auto exact = opt::brute_force_maximum(cost);
+  const api::Workload workload = api::Workload::maxcut(g);
+  const auto exact = opt::brute_force_maximum(workload.cost());
   std::cout << "MaxCut on a random 3-regular graph, n = 8, optimum = "
             << exact.value << "\n\n";
 
-  const core::MbqcQaoaSolver solver(cost);
   Table t({"p", "optimized <C> (MBQC)", "approx ratio", "best of 96 shots",
-           "NM evaluations"});
+           "NM evaluations", "pattern cache hits"});
 
   for (int p : {1, 2, 3}) {
-    // Objective: expectation THROUGH the measurement-based protocol.
-    Rng obj_rng(p);
-    auto objective = [&](const std::vector<real>& v) {
-      return solver.expectation(qaoa::Angles::from_flat(v), obj_rng);
-    };
+    // Objective: expectation THROUGH the measurement-based protocol; the
+    // session's per-angle cache absorbs the optimizer's re-visits.
+    api::Session session(workload, "mbqc", {.seed = std::uint64_t(p)});
+    const auto objective = session.objective();
     std::vector<real> x0;
     if (p == 1) {
       const auto g0 = qaoa::maxcut_p1_grid_optimum(g, 32);
@@ -47,22 +45,22 @@ int main() {
     Rng nm_rng(p * 17);
     const auto res = opt::nelder_mead(objective, x0, nm, nm_rng);
 
-    Rng shot_rng(p * 23);
-    const auto best =
-        solver.best_of(qaoa::Angles::from_flat(res.x), 96, shot_rng);
+    const api::Shot best =
+        session.best_of(qaoa::Angles::from_flat(res.x), 96);
     t.row()
         .add(p)
         .add(res.value, 6)
         .add(res.value / exact.value, 4)
         .add(best.cost, 4)
-        .add(res.evaluations);
+        .add(res.evaluations)
+        .add(static_cast<int>(session.cache_hits()));
   }
-  t.print(std::cout, "variational MBQC-QAOA");
+  t.print(std::cout, "variational MBQC-QAOA (api::Session, backend 'mbqc')");
 
   // Classical baseline.
   opt::AnnealOptions sa_opt;
   sa_opt.sweeps = 100;
-  const auto sa = opt::simulated_annealing(cost, sa_opt, rng);
+  const auto sa = opt::simulated_annealing(workload.cost(), sa_opt, rng);
   std::cout << "simulated-annealing baseline (100 sweeps): " << sa.value
             << "\n";
   return 0;

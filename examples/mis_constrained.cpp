@@ -1,15 +1,16 @@
 // Maximum independent set with HARD constraints (Sec. IV of the paper):
 // the partial mixers only connect feasible states, so no penalty terms
-// are needed and every sample is a valid independent set by construction.
+// are needed and every sample is a valid independent set by
+// construction.  The constraint-preserving ansatz is a first-class
+// api::Workload, so it runs through the same Session/backends as QAOA.
 
 #include <bit>
 #include <iostream>
 
+#include "mbq/api/api.h"
 #include "mbq/common/bits.h"
 #include "mbq/common/rng.h"
-#include "mbq/core/mis.h"
 #include "mbq/graph/generators.h"
-#include "mbq/mbqc/runner.h"
 #include "mbq/opt/exact.h"
 #include "mbq/qaoa/mixers.h"
 
@@ -28,37 +29,26 @@ int main() {
   std::cout << "alpha(G) = " << alpha
             << ", greedy = " << std::popcount(opt::greedy_mis(g)) << "\n\n";
 
+  const api::Workload workload = api::Workload::mis(g);
   const qaoa::Angles angles({0.65, 0.85}, {0.75, 0.45});
-  const auto compiled = core::compile_mis_qaoa(g, angles);
+  const auto compiled = workload.compile_pattern(angles, true);
   std::cout << "MBQC pattern: " << compiled.pattern.num_wires()
             << " qubits, " << compiled.pattern.num_measurements()
             << " measurements\n";
 
-  int best = 0;
-  std::uint64_t best_x = 0;
+  api::Session session(workload, "mbqc", {.seed = 7});
+  std::cout << "<|set|> through the protocol = "
+            << session.expectation(angles) << "\n";
+
+  const api::SampleResult result = session.sample(angles, 128);
   int feasible = 0;
-  const int shots = 48;
-  for (int s = 0; s < shots; ++s) {
-    const auto r = mbqc::run(compiled.pattern, rng);
-    real u = rng.uniform();
-    std::uint64_t x = 0;
-    for (std::uint64_t i = 0; i < r.output_state.size(); ++i) {
-      u -= std::norm(r.output_state[i]);
-      if (u <= 0.0) {
-        x = i;
-        break;
-      }
-    }
-    feasible += qaoa::is_independent_set(g, x);
-    const int size = static_cast<int>(std::popcount(x));
-    if (size > best) {
-      best = size;
-      best_x = x;
-    }
-  }
-  std::cout << "feasible samples: " << feasible << "/" << shots
+  for (const api::Shot& s : result.shots)
+    feasible += qaoa::is_independent_set(g, s.x);
+  const api::Shot best = result.best();
+  std::cout << "feasible samples: " << feasible << "/"
+            << result.shots.size()
             << " (hard constraints, so all of them)\n"
-            << "best independent set found: size " << best << ", "
-            << bitstring(best_x, g.num_vertices()) << "\n";
+            << "best independent set found: size " << best.cost << ", "
+            << bitstring(best.x, g.num_vertices()) << "\n";
   return 0;
 }

@@ -6,14 +6,14 @@
 //             - lambda (sum_i x_i - B)^2
 //
 // (expected return, pairwise risk, and a soft budget of B assets).
+// Everything runs through api::Session on the "mbqc" backend.
 
 #include <bit>
 #include <iostream>
 
+#include "mbq/api/api.h"
 #include "mbq/common/bits.h"
 #include "mbq/common/rng.h"
-#include "mbq/common/table.h"
-#include "mbq/core/protocol.h"
 #include "mbq/opt/exact.h"
 #include "mbq/opt/nelder_mead.h"
 #include "mbq/qaoa/qaoa.h"
@@ -53,25 +53,22 @@ int main() {
   std::cout << "exact optimum: value " << exact.value << ", portfolio "
             << bitstring(exact.x, n) << "\n";
 
-  // MBQC-QAOA with the paper's Eq. 10 linear-term gadgets.
-  const core::MbqcQaoaSolver solver(cost, core::CorrectionMode::Quantum,
-                                    core::LinearTermStyle::Gadget);
-  Rng obj_rng(3);
-  auto objective = [&](const std::vector<real>& v) {
-    return solver.expectation(qaoa::Angles::from_flat(v), obj_rng);
-  };
+  // MBQC-QAOA with the paper's Eq. 10 linear-term gadgets, through the
+  // unified API.
+  api::Workload workload = api::Workload::qaoa(cost);
+  workload.with_linear_style(core::LinearTermStyle::Gadget);
+  api::Session session(workload, "mbqc", {.seed = 3});
   opt::NelderMeadOptions nm;
   nm.max_evaluations = 500;
   nm.restarts = 2;
   Rng nm_rng(4);
-  const auto res =
-      opt::nelder_mead(objective, qaoa::Angles::linear_ramp(2).flat(), nm,
-                       nm_rng);
+  const auto res = opt::nelder_mead(session.objective(),
+                                    qaoa::Angles::linear_ramp(2).flat(), nm,
+                                    nm_rng);
   std::cout << "optimized p=2 MBQC <C> = " << res.value << "\n";
 
-  Rng shot_rng(5);
-  const auto best = solver.best_of(qaoa::Angles::from_flat(res.x), 128,
-                                   shot_rng);
+  const api::Shot best =
+      session.best_of(qaoa::Angles::from_flat(res.x), 128);
   std::cout << "best of 128 shots: value " << best.cost << ", portfolio "
             << bitstring(best.x, n) << " ("
             << std::popcount(best.x) << " assets)\n";

@@ -1,26 +1,28 @@
-// Quickstart: MaxCut on a 5-cycle, solved measurement-based.
+// Quickstart: MaxCut on a 5-cycle through the unified backend API.
 //
-//   1. build the cost Hamiltonian,
-//   2. compile QAOA_p into a measurement pattern (the paper's Sec. III),
-//   3. execute the adaptive pattern and sample solutions.
+//   1. wrap the problem in an api::Workload,
+//   2. open an api::Session on a backend chosen by registry name,
+//   3. ask for expectations and samples — compilation, caching, RNG
+//      seeding and shot batching are the Session's job.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [backend]
 
 #include <iostream>
+#include <memory>
 
+#include "mbq/api/api.h"
 #include "mbq/common/bits.h"
-#include "mbq/common/rng.h"
-#include "mbq/core/protocol.h"
+#include "mbq/common/error.h"
 #include "mbq/graph/generators.h"
 #include "mbq/opt/exact.h"
 #include "mbq/qaoa/analytic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbq;
 
-  // 1. The problem: MaxCut on C5.
+  // 1. The problem: MaxCut on C5, as a backend-agnostic workload.
   const Graph g = cycle_graph(5);
-  const auto cost = qaoa::CostHamiltonian::maxcut(g);
+  const api::Workload workload = api::Workload::maxcut(g);
   std::cout << "Problem: MaxCut on " << g.str() << "\n";
 
   // 2. Angles: p = 1 optimum from the closed-form landscape.
@@ -29,21 +31,53 @@ int main() {
   std::cout << "p=1 angles: gamma = " << p1.gamma << ", beta = " << p1.beta
             << " (analytic <C> = " << p1.value << ")\n";
 
-  // 3. Compile to a measurement pattern.
-  const core::MbqcQaoaSolver solver(cost);
-  const auto compiled = solver.compile(angles);
+  // 3. A session on the measurement-based backend (or any registered
+  //    name passed on the command line: statevector, mbqc,
+  //    mbqc-classical, clifford, zx).
+  const std::string backend = argc > 1 ? argv[1] : "mbqc";
+  std::unique_ptr<api::Session> opened;
+  try {
+    opened = std::make_unique<api::Session>(workload, backend,
+                                            api::SessionOptions{.seed = 1234});
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  api::Session& session = *opened;
+  std::cout << "Backend '" << session.backend_name()
+            << "': " << session.capabilities().summary << "\n";
+  const std::string decline = session.unsupported_reason(angles);
+  if (!decline.empty()) {
+    std::cerr << "backend '" << backend << "' declines this workload: "
+              << decline << "\n";
+    return 1;
+  }
+
+  const auto compiled = workload.compile_pattern(angles, true);
   std::cout << "Compiled pattern: " << compiled.pattern.num_wires()
             << " qubits, " << compiled.pattern.num_entangling() << " CZ, "
             << compiled.pattern.num_measurements()
             << " adaptive measurements\n";
 
   // 4. Run the protocol.
-  Rng rng(1234);
-  std::cout << "MBQC <C> = " << solver.expectation(angles, rng) << "\n";
-  const auto best = solver.best_of(angles, 64, rng);
-  const auto exact = opt::brute_force_maximum(cost);
+  std::cout << "<C> = " << session.expectation(angles) << "\n";
+  const api::Shot best = session.best_of(angles, 64);
+  const auto exact = opt::brute_force_maximum(workload.cost());
   std::cout << "best of 64 shots: cut " << best.cost << " via bitstring "
             << bitstring(best.x, g.num_vertices()) << " (optimal "
             << exact.value << ")\n";
+
+  // 5. The same workload on every other registered backend.
+  std::cout << "\ncross-check over the registry:\n";
+  for (const std::string& name : api::BackendRegistry::instance().names()) {
+    api::Session other(workload, name);
+    const std::string reason = other.unsupported_reason(angles);
+    if (!reason.empty()) {
+      std::cout << "  " << name << ": skipped (" << reason << ")\n";
+      continue;
+    }
+    std::cout << "  " << name << ": <C> = " << other.expectation(angles)
+              << "\n";
+  }
   return 0;
 }

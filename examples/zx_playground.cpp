@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "mbq/api/api.h"
 #include "mbq/common/table.h"
 #include "mbq/graph/generators.h"
 #include "mbq/linalg/tensor.h"
@@ -60,5 +61,15 @@ int main() {
   std::cout << "\nThis is the pipeline of the paper: circuit -> ZX -> "
                "graph-like diagram\n== graph state + measurement data "
                "(Secs. II-B and III).\n";
+
+  // The same semantics, packaged as an execution backend: the "zx"
+  // registry entry contracts the compiled pattern's diagram and must
+  // agree with the gate-model reference.
+  const api::Workload workload = api::Workload::maxcut(g);
+  api::Session zx_session(workload, "zx");
+  api::Session sv_session(workload, "statevector");
+  std::cout << "\nbackend cross-check at these angles: zx <C> = "
+            << zx_session.expectation(a) << ", statevector <C> = "
+            << sv_session.expectation(a) << "\n";
   return 0;
 }

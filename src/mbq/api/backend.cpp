@@ -1,0 +1,45 @@
+#include "mbq/api/backend.h"
+
+#include "mbq/common/error.h"
+
+namespace mbq::api {
+
+std::string Backend::unsupported_reason(const Workload& w,
+                                        const qaoa::Angles& a,
+                                        const Prepared* prep) const {
+  (void)a;
+  (void)prep;
+  const Capabilities caps = capabilities();
+  if (w.num_qubits() > caps.max_qubits)
+    return name() + " handles at most " + std::to_string(caps.max_qubits) +
+           " qubits, workload has " + std::to_string(w.num_qubits());
+  if (w.ansatz() == AnsatzKind::MisConstrained && !caps.supports_mis_ansatz)
+    return name() + " does not support the MIS ansatz";
+  if (w.ansatz() == AnsatzKind::CustomCircuit && !caps.supports_custom_ansatz)
+    return name() + " does not support custom ansatz circuits";
+  return {};
+}
+
+std::shared_ptr<const Prepared> Backend::prepare(const Workload& w,
+                                                 const qaoa::Angles& a) const {
+  (void)w;
+  (void)a;
+  return nullptr;
+}
+
+std::vector<std::uint64_t> Backend::sample(const Workload& w,
+                                           const qaoa::Angles& a, int shots,
+                                           Rng& rng,
+                                           const Prepared* prep) const {
+  MBQ_REQUIRE(shots >= 1, "need at least one shot, got " << shots);
+  std::shared_ptr<const Prepared> local;
+  if (prep == nullptr) {
+    local = prepare(w, a);
+    prep = local.get();
+  }
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(shots));
+  for (auto& x : out) x = sample_one(w, a, rng, prep);
+  return out;
+}
+
+}  // namespace mbq::api

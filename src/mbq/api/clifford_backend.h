@@ -1,0 +1,35 @@
+#pragma once
+// Stabilizer-tableau adapter ("clifford").
+//
+// When every measurement angle of the compiled pattern is a multiple of
+// pi/2 the whole adaptive protocol is Clifford, so it runs on the
+// Aaronson-Gottesman tableau — resource states of hundreds-to-thousands
+// of qubits become tractable where statevectors cannot reach.  With
+// quantum corrections a single run collapses to the exact QAOA state, so
+// expectation() reads each Ising term off the tableau as an exact
+// Z_S-expectation in {-1, 0, +1}.
+
+#include "mbq/api/backend.h"
+
+namespace mbq::api {
+
+class CliffordBackend final : public Backend {
+ public:
+  std::string name() const override { return "clifford"; }
+  Capabilities capabilities() const override;
+
+  /// Refines the generic checks by testing that all measurement angles
+  /// of the compiled pattern are pi/2 multiples (reusing `prep` when the
+  /// caller already holds the compilation).
+  std::string unsupported_reason(const Workload& w, const qaoa::Angles& a,
+                                 const Prepared* prep) const override;
+
+  std::shared_ptr<const Prepared> prepare(const Workload& w,
+                                          const qaoa::Angles& a) const override;
+  real expectation(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                   const Prepared* prep) const override;
+  std::uint64_t sample_one(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                           const Prepared* prep) const override;
+};
+
+}  // namespace mbq::api

@@ -1,0 +1,91 @@
+#include "mbq/api/mbqc_backend.h"
+
+#include "mbq/api/prepared.h"
+#include "mbq/common/bits.h"
+#include "mbq/common/error.h"
+#include "mbq/mbqc/runner.h"
+
+namespace mbq::api {
+
+namespace {
+
+/// X-byproduct mask over the problem register for one finished run
+/// (empty frames when quantum corrections were emitted).
+std::uint64_t byproduct_flips(const core::CompiledPattern& cp, int n,
+                              const std::vector<int>& outcomes) {
+  std::uint64_t flip = 0;
+  for (int q = 0; q < n; ++q)
+    if (!cp.final_fx[q].empty() && cp.final_fx[q].evaluate(outcomes))
+      flip |= std::uint64_t{1} << q;
+  return flip;
+}
+
+}  // namespace
+
+std::string MbqcBackend::name() const {
+  return mode_ == core::CorrectionMode::Quantum ? "mbqc" : "mbqc-classical";
+}
+
+Capabilities MbqcBackend::capabilities() const {
+  Capabilities caps;
+  caps.summary =
+      mode_ == core::CorrectionMode::Quantum
+          ? "full adaptive measurement protocol with quantum corrections"
+          : "adaptive protocol, byproducts fixed by classical post-processing";
+  caps.max_qubits = 20;  // live-width ~ problem register + gadget ancillas
+  return caps;
+}
+
+std::shared_ptr<const Prepared> MbqcBackend::prepare(
+    const Workload& w, const qaoa::Angles& a) const {
+  auto prep = std::make_shared<PreparedPattern>();
+  prep->compiled =
+      w.compile_pattern(a, mode_ == core::CorrectionMode::Quantum);
+  return prep;
+}
+
+real MbqcBackend::expectation(const Workload& w, const qaoa::Angles& a,
+                              Rng& rng, const Prepared* prep) const {
+  std::shared_ptr<const Prepared> local;
+  if (prep == nullptr) {
+    local = prepare(w, a);
+    prep = local.get();
+  }
+  const core::CompiledPattern& cp = pattern_of(prep);
+  // One adaptive run; determinism makes the output state branch-free.
+  // In classical mode the X byproducts permute basis states, so <C> is
+  // computed on the corrected distribution by folding the flip mask into
+  // the cost argument.
+  const mbqc::RunResult r = mbqc::run(cp.pattern, rng);
+  const std::uint64_t flip = byproduct_flips(cp, w.num_qubits(), r.outcomes);
+  real acc = 0.0;
+  for (std::uint64_t x = 0; x < r.output_state.size(); ++x)
+    acc += std::norm(r.output_state[x]) * w.cost().evaluate(x ^ flip);
+  return acc;
+}
+
+std::uint64_t MbqcBackend::sample_one(const Workload& w, const qaoa::Angles& a,
+                                      Rng& rng, const Prepared* prep) const {
+  std::shared_ptr<const Prepared> local;
+  if (prep == nullptr) {
+    local = prepare(w, a);
+    prep = local.get();
+  }
+  const core::CompiledPattern& cp = pattern_of(prep);
+  const mbqc::RunResult r = mbqc::run(cp.pattern, rng);
+  // Final computational-basis readout of the output register.
+  real u = rng.uniform();
+  std::uint64_t x = 0;
+  for (std::uint64_t i = 0; i < r.output_state.size(); ++i) {
+    u -= std::norm(r.output_state[i]);
+    if (u <= 0.0) {
+      x = i;
+      break;
+    }
+    if (i + 1 == r.output_state.size()) x = i;
+  }
+  // Classical correction mode: X byproducts flip readout bits.
+  return x ^ byproduct_flips(cp, w.num_qubits(), r.outcomes);
+}
+
+}  // namespace mbq::api

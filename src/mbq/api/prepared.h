@@ -1,0 +1,50 @@
+#pragma once
+// Shared Prepared implementations for the built-in adapters.
+//
+// Two artifact shapes cover all four backends: a compiled measurement
+// pattern (mbqc, clifford) and an explicit Born distribution with its
+// exact expectation (statevector, zx).  Kept in one place so the
+// cumulative-search sampling and the downcast boilerplate cannot drift
+// between adapters.
+
+#include <algorithm>
+#include <vector>
+
+#include "mbq/api/backend.h"
+#include "mbq/common/error.h"
+#include "mbq/core/compiler.h"
+
+namespace mbq::api {
+
+struct PreparedPattern final : Prepared {
+  core::CompiledPattern compiled;
+};
+
+inline const core::CompiledPattern& pattern_of(const Prepared* prep) {
+  const auto* p = dynamic_cast<const PreparedPattern*>(prep);
+  MBQ_ASSERT(p != nullptr);
+  return p->compiled;
+}
+
+/// Exact output distribution of a backend whose state is fully known.
+struct PreparedDistribution final : Prepared {
+  real expectation = 0.0;
+  /// cumulative[x] = P(outcome <= x); what sampling needs.
+  std::vector<real> cumulative;
+
+  /// Born sample by binary search.
+  std::uint64_t sample(Rng& rng) const {
+    const real u = rng.uniform();
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    if (it == cumulative.end()) return cumulative.size() - 1;
+    return static_cast<std::uint64_t>(it - cumulative.begin());
+  }
+};
+
+inline const PreparedDistribution& distribution_of(const Prepared* prep) {
+  const auto* p = dynamic_cast<const PreparedDistribution*>(prep);
+  MBQ_ASSERT(p != nullptr);
+  return *p;
+}
+
+}  // namespace mbq::api

@@ -1,0 +1,74 @@
+#include "mbq/api/registry.h"
+
+#include <sstream>
+
+#include "mbq/api/clifford_backend.h"
+#include "mbq/api/mbqc_backend.h"
+#include "mbq/api/statevector_backend.h"
+#include "mbq/api/zx_backend.h"
+#include "mbq/common/error.h"
+
+namespace mbq::api {
+
+BackendRegistry::BackendRegistry() {
+  factories_["statevector"] = [] {
+    return std::make_shared<StatevectorBackend>();
+  };
+  factories_["mbqc"] = [] {
+    return std::make_shared<MbqcBackend>(core::CorrectionMode::Quantum);
+  };
+  factories_["mbqc-classical"] = [] {
+    return std::make_shared<MbqcBackend>(
+        core::CorrectionMode::ClassicalPostProcess);
+  };
+  factories_["clifford"] = [] { return std::make_shared<CliffordBackend>(); };
+  factories_["zx"] = [] { return std::make_shared<ZxTensorBackend>(); };
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(const std::string& name, Factory factory) {
+  MBQ_REQUIRE(factory != nullptr, "null backend factory for '" << name << "'");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MBQ_REQUIRE(factories_.find(name) == factories_.end(),
+              "backend '" << name << "' is already registered");
+  factories_[name] = std::move(factory);
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.find(name) != factories_.end();
+}
+
+std::shared_ptr<Backend> BackendRegistry::create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream known;
+    for (const auto& n : names()) known << " '" << n << "'";
+    MBQ_REQUIRE(false, "unknown backend '" << name << "'; registered:"
+                                           << known.str());
+  }
+  auto backend = factory();
+  MBQ_REQUIRE(backend != nullptr,
+              "factory for backend '" << name << "' returned null");
+  return backend;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iterates in sorted key order
+}
+
+}  // namespace mbq::api

@@ -1,0 +1,50 @@
+#pragma once
+// String-keyed backend factory.
+//
+// The registry decouples call sites from concrete adapters: benches,
+// examples and future network-facing frontends select an execution path
+// by name ("statevector", "mbqc", "mbqc-classical", "clifford", "zx")
+// and new backends plug in with one add() call — the one-adapter-each
+// extension point the ROADMAP's multi-backend scaling items build on.
+//
+// The built-in adapters register themselves the first time instance() is
+// called; user backends may be added at any point after that.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mbq/api/backend.h"
+
+namespace mbq::api {
+
+class BackendRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<Backend>()>;
+
+  /// The process-wide registry, with built-ins pre-registered.
+  static BackendRegistry& instance();
+
+  /// Register a factory under `name`; throws on duplicates.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiate by name; throws Error listing the known names when the
+  /// key is unknown.
+  std::shared_ptr<Backend> create(const std::string& name) const;
+
+  /// Sorted registered names.
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace mbq::api

@@ -1,0 +1,150 @@
+#include "mbq/api/session.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "mbq/api/registry.h"
+#include "mbq/common/error.h"
+#include "mbq/common/parallel.h"
+
+namespace mbq::api {
+
+const Shot& SampleResult::best() const {
+  MBQ_REQUIRE(!shots.empty(), "no shots recorded");
+  const Shot* best = &shots.front();
+  for (const Shot& s : shots)
+    if (s.cost > best->cost) best = &s;
+  return *best;
+}
+
+real SampleResult::mean_cost() const {
+  MBQ_REQUIRE(!shots.empty(), "no shots recorded");
+  real acc = 0.0;
+  for (const Shot& s : shots) acc += s.cost;
+  return acc / static_cast<real>(shots.size());
+}
+
+std::vector<std::int64_t> SampleResult::counts(int num_qubits) const {
+  MBQ_REQUIRE(num_qubits >= 1 && num_qubits <= 24,
+              "histogram needs 1 <= n <= 24, got " << num_qubits);
+  std::vector<std::int64_t> out(std::size_t{1} << num_qubits, 0);
+  for (const Shot& s : shots) {
+    MBQ_REQUIRE(s.x < out.size(), "shot outcome " << s.x << " out of range");
+    ++out[s.x];
+  }
+  return out;
+}
+
+Session::Session(Workload workload, const std::string& backend_name,
+                 SessionOptions options)
+    : Session(std::move(workload),
+              BackendRegistry::instance().create(backend_name), options) {}
+
+Session::Session(Workload workload, std::shared_ptr<Backend> backend,
+                 SessionOptions options)
+    : workload_(std::move(workload)),
+      backend_(std::move(backend)),
+      options_(options),
+      rng_(options.seed) {
+  MBQ_REQUIRE(backend_ != nullptr, "Session needs a backend");
+  MBQ_REQUIRE(options_.cache_capacity >= 1, "cache capacity must be >= 1");
+}
+
+const Prepared* Session::peek_cache(const std::vector<real>& key) const {
+  for (const CacheEntry& entry : cache_)
+    if (entry.key == key) return entry.prepared.get();
+  return nullptr;
+}
+
+std::string Session::unsupported_reason(const qaoa::Angles& a) const {
+  // Hand the backend any cached artifact so checks that need the
+  // compiled pattern (clifford) do not recompile it.
+  return backend_->unsupported_reason(workload_, a, peek_cache(a.flat()));
+}
+
+void Session::require_supported(const qaoa::Angles& a) const {
+  const std::string reason = unsupported_reason(a);
+  MBQ_REQUIRE(reason.empty(),
+              "backend '" << backend_->name() << "' cannot run this workload: "
+                          << reason);
+}
+
+std::shared_ptr<const Prepared> Session::checked_prepared(
+    const qaoa::Angles& a) {
+  const std::vector<real> key = a.flat();
+  for (CacheEntry& entry : cache_) {
+    if (entry.key == key) {
+      entry.last_used = ++cache_clock_;
+      ++cache_hits_;
+      return entry.prepared;
+    }
+  }
+  const std::string reason =
+      backend_->unsupported_reason(workload_, a, nullptr);
+  MBQ_REQUIRE(reason.empty(),
+              "backend '" << backend_->name() << "' cannot run this workload: "
+                          << reason);
+  ++cache_misses_;
+  auto prepared = backend_->prepare(workload_, a);
+  if (prepared == nullptr) return nullptr;  // nothing cacheable
+  if (cache_.size() >= options_.cache_capacity) {
+    const auto lru = std::min_element(
+        cache_.begin(), cache_.end(), [](const auto& x, const auto& y) {
+          return x.last_used < y.last_used;
+        });
+    cache_.erase(lru);
+  }
+  cache_.push_back({key, prepared, ++cache_clock_});
+  return prepared;
+}
+
+real Session::expectation(const qaoa::Angles& a) {
+  const auto prepared = checked_prepared(a);
+  return backend_->expectation(workload_, a, rng_, prepared.get());
+}
+
+SampleResult Session::sample(const qaoa::Angles& a, int shots) {
+  MBQ_REQUIRE(shots >= 1, "need at least one shot, got " << shots);
+  const auto prepared = checked_prepared(a);
+
+  // Shot s of call k draws from stream(s) of a per-call base generator,
+  // itself stream(k) of the root: deterministic in (seed, k, s) and
+  // independent of the thread count and iteration order.
+  const Rng base = rng_.stream(sample_calls_++);
+
+  SampleResult result;
+  result.shots.resize(static_cast<std::size_t>(shots));
+  Shot* out = result.shots.data();
+  const Workload& w = workload_;
+  Backend* backend = backend_.get();
+  const Prepared* prep = prepared.get();
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::int64_t grain = options_.parallel_shots ? 1 : shots + 1;
+  parallel_for_grain(shots, grain, [&](std::int64_t s) {
+    try {
+      Rng shot_rng = base.stream(static_cast<std::uint64_t>(s));
+      const std::uint64_t x = backend->sample_one(w, a, shot_rng, prep);
+      out[s] = {x, w.cost().evaluate(x)};
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  });
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+Shot Session::best_of(const qaoa::Angles& a, int shots) {
+  return sample(a, shots).best();
+}
+
+opt::Objective Session::objective() {
+  return [this](const std::vector<real>& flat) {
+    return expectation(qaoa::Angles::from_flat(flat));
+  };
+}
+
+}  // namespace mbq::api

@@ -1,0 +1,119 @@
+#pragma once
+// Session: the user-facing façade over a (workload, backend) pair.
+//
+// A Session owns what the stateless backends deliberately do not:
+//   * the root Rng — one seed reproduces a whole experiment;
+//   * an LRU cache of prepare() artifacts keyed by the exact angle
+//     values, so the variational outer loop (which revisits angles and
+//     moves in small simplexes) never recompiles a pattern it has seen;
+//   * parallel shot batching on common/parallel — shot s always draws
+//     from stream(s) of a per-call base generator, so sample() returns
+//     bit-identical results at any thread count.
+//
+// Construct with a registry name to stay decoupled from concrete
+// adapters:
+//
+//   auto session = api::Session(api::Workload::maxcut(g), "mbqc");
+//   real e = session.expectation(angles);
+//   auto shots = session.sample(angles, 1024);
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbq/api/backend.h"
+#include "mbq/common/rng.h"
+#include "mbq/opt/optimizer.h"
+
+namespace mbq::api {
+
+struct SessionOptions {
+  std::uint64_t seed = 0x51E55ED5EEDULL;
+  /// Batch sample() shots across threads (results are identical either
+  /// way; this is purely a wall-clock knob).
+  bool parallel_shots = true;
+  /// Entries kept in the per-angle prepare() cache before LRU eviction.
+  std::size_t cache_capacity = 64;
+};
+
+struct Shot {
+  std::uint64_t x = 0;
+  real cost = 0.0;
+};
+
+struct SampleResult {
+  std::vector<Shot> shots;
+
+  const Shot& best() const;
+  real mean_cost() const;
+  /// Occurrence count per bitstring, length 2^num_qubits (n <= 24).
+  std::vector<std::int64_t> counts(int num_qubits) const;
+};
+
+class Session {
+ public:
+  /// Resolve the backend from the global BackendRegistry by name.
+  Session(Workload workload, const std::string& backend_name,
+          SessionOptions options = {});
+  Session(Workload workload, std::shared_ptr<Backend> backend,
+          SessionOptions options = {});
+
+  // Deliberately no mutable workload() accessor: the prepare() cache is
+  // keyed by angles only, so workload options must not change under a
+  // live Session — configure the Workload before constructing.
+  const Workload& workload() const noexcept { return workload_; }
+  const Backend& backend() const noexcept { return *backend_; }
+  std::string backend_name() const { return backend_->name(); }
+  Capabilities capabilities() const { return backend_->capabilities(); }
+
+  /// Empty when the backend can run this workload at these angles.
+  std::string unsupported_reason(const qaoa::Angles& a) const;
+  /// Throws Error with the backend's reason when unsupported.
+  void require_supported(const qaoa::Angles& a) const;
+
+  /// <C> at the given angles (exact on every built-in backend).
+  real expectation(const qaoa::Angles& a);
+
+  /// `shots` measurements of the problem register, batched in parallel,
+  /// reproducible from the session seed regardless of thread count.
+  SampleResult sample(const qaoa::Angles& a, int shots);
+
+  /// Highest-cost shot of a fresh batch.
+  Shot best_of(const qaoa::Angles& a, int shots);
+
+  /// The variational objective: flat angle vector -> expectation.  The
+  /// closure references this Session (and its cache); the Session must
+  /// outlive it.
+  opt::Objective objective();
+
+  // --- cache introspection ---------------------------------------------
+  std::size_t cache_entries() const noexcept { return cache_.size(); }
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t cache_misses() const noexcept { return cache_misses_; }
+
+ private:
+  /// Cache lookup; on a miss, runs the support check, prepares and
+  /// inserts.  Hits skip the check — entries are only inserted after it
+  /// passed and the workload is immutable while the Session lives.
+  std::shared_ptr<const Prepared> checked_prepared(const qaoa::Angles& a);
+  const Prepared* peek_cache(const std::vector<real>& key) const;
+
+  Workload workload_;
+  std::shared_ptr<Backend> backend_;
+  SessionOptions options_;
+  Rng rng_;
+  std::uint64_t sample_calls_ = 0;
+
+  struct CacheEntry {
+    std::vector<real> key;  // exact flattened angles
+    std::shared_ptr<const Prepared> prepared;
+    std::uint64_t last_used = 0;
+  };
+  std::vector<CacheEntry> cache_;
+  std::uint64_t cache_clock_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace mbq::api

@@ -1,0 +1,48 @@
+#include "mbq/api/statevector_backend.h"
+
+#include "mbq/api/prepared.h"
+
+namespace mbq::api {
+
+Capabilities StatevectorBackend::capabilities() const {
+  Capabilities caps;
+  caps.summary =
+      "dense gate-model simulation; the exact reference for every ansatz";
+  caps.max_qubits = 24;  // 2^24 amplitudes + cost table stay RAM-friendly
+  return caps;
+}
+
+std::shared_ptr<const Prepared> StatevectorBackend::prepare(
+    const Workload& w, const qaoa::Angles& a) const {
+  const Statevector sv = w.reference_state(a);
+  const auto table = w.cost_table();
+  auto prep = std::make_shared<PreparedDistribution>();
+  prep->expectation = sv.expectation_diagonal(*table);
+  prep->cumulative.resize(sv.dim());
+  real acc = 0.0;
+  for (std::uint64_t x = 0; x < sv.dim(); ++x) {
+    acc += std::norm(sv.amplitudes()[x]);
+    prep->cumulative[x] = acc;
+  }
+  return prep;
+}
+
+real StatevectorBackend::expectation(const Workload& w, const qaoa::Angles& a,
+                                     Rng& rng, const Prepared* prep) const {
+  (void)rng;  // the dense path is deterministic
+  if (prep != nullptr) return distribution_of(prep).expectation;
+  return w.reference_state(a).expectation_diagonal(*w.cost_table());
+}
+
+std::uint64_t StatevectorBackend::sample_one(const Workload& w,
+                                             const qaoa::Angles& a, Rng& rng,
+                                             const Prepared* prep) const {
+  std::shared_ptr<const Prepared> local;
+  if (prep == nullptr) {
+    local = prepare(w, a);
+    prep = local.get();
+  }
+  return distribution_of(prep).sample(rng);
+}
+
+}  // namespace mbq::api

@@ -1,0 +1,27 @@
+#pragma once
+// Gate-model statevector adapter ("statevector").
+//
+// The exact-reference backend: runs the workload's gate-model ansatz on
+// the dense simulator (the fast diagonal path for standard QAOA) and
+// reads expectations/samples off the amplitudes.  prepare() stores the
+// evaluated state plus a cumulative distribution so batched sampling is
+// a binary search per shot.
+
+#include "mbq/api/backend.h"
+
+namespace mbq::api {
+
+class StatevectorBackend final : public Backend {
+ public:
+  std::string name() const override { return "statevector"; }
+  Capabilities capabilities() const override;
+
+  std::shared_ptr<const Prepared> prepare(const Workload& w,
+                                          const qaoa::Angles& a) const override;
+  real expectation(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                   const Prepared* prep) const override;
+  std::uint64_t sample_one(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                           const Prepared* prep) const override;
+};
+
+}  // namespace mbq::api

@@ -1,0 +1,109 @@
+#include "mbq/api/workload.h"
+
+#include "mbq/common/error.h"
+#include "mbq/core/mis.h"
+#include "mbq/qaoa/mixers.h"
+
+namespace mbq::api {
+
+std::string ansatz_kind_name(AnsatzKind k) {
+  switch (k) {
+    case AnsatzKind::QaoaDiagonal: return "qaoa";
+    case AnsatzKind::MisConstrained: return "mis";
+    case AnsatzKind::CustomCircuit: return "custom";
+  }
+  return "?";
+}
+
+Workload Workload::qaoa(qaoa::CostHamiltonian cost) {
+  return Workload(std::move(cost));
+}
+
+Workload Workload::maxcut(const Graph& g) {
+  return Workload(qaoa::CostHamiltonian::maxcut(g));
+}
+
+Workload Workload::mis(const Graph& g) {
+  Workload w(qaoa::CostHamiltonian::independent_set_size(g.num_vertices()));
+  w.ansatz_ = AnsatzKind::MisConstrained;
+  w.mis_graph_ = g;
+  return w;
+}
+
+Workload Workload::custom(qaoa::CostHamiltonian cost, CircuitBuilder builder) {
+  MBQ_REQUIRE(builder != nullptr, "custom workload needs a circuit builder");
+  Workload w(std::move(cost));
+  w.ansatz_ = AnsatzKind::CustomCircuit;
+  w.circuit_ = std::move(builder);
+  return w;
+}
+
+const Graph& Workload::mis_graph() const {
+  MBQ_REQUIRE(ansatz_ == AnsatzKind::MisConstrained,
+              "workload has no MIS graph (ansatz is "
+                  << ansatz_kind_name(ansatz_) << ")");
+  return mis_graph_;
+}
+
+Workload& Workload::with_linear_style(core::LinearTermStyle style) {
+  linear_style_ = style;
+  table_.reset();  // options do not affect the table, but stay conservative
+  return *this;
+}
+
+Workload& Workload::with_max_wire_degree(int degree) {
+  MBQ_REQUIRE(degree == 0 || degree >= 3,
+              "max_wire_degree must be 0 (unlimited) or >= 3, got " << degree);
+  max_wire_degree_ = degree;
+  return *this;
+}
+
+core::CompileOptions Workload::compile_options(bool final_corrections) const {
+  core::CompileOptions o;
+  o.linear_style = linear_style_;
+  o.final_corrections = final_corrections;
+  o.max_wire_degree = max_wire_degree_;
+  return o;
+}
+
+std::shared_ptr<const std::vector<real>> Workload::cost_table() const {
+  if (!table_)
+    table_ = std::make_shared<const std::vector<real>>(cost_.cost_table());
+  return table_;
+}
+
+Statevector Workload::reference_state(const qaoa::Angles& a) const {
+  switch (ansatz_) {
+    case AnsatzKind::QaoaDiagonal: {
+      const auto table = cost_table();
+      return qaoa::qaoa_state(cost_, a, table.get());
+    }
+    case AnsatzKind::MisConstrained: {
+      Statevector sv(num_qubits());  // feasible start |0...0>
+      qaoa::mis_qaoa_circuit(mis_graph_, a).apply_to(sv);
+      return sv;
+    }
+    case AnsatzKind::CustomCircuit: {
+      Statevector sv = Statevector::all_plus(num_qubits());
+      circuit_(a).apply_to(sv);
+      return sv;
+    }
+  }
+  throw InternalError("unreachable ansatz kind");
+}
+
+core::CompiledPattern Workload::compile_pattern(const qaoa::Angles& a,
+                                                bool final_corrections) const {
+  const core::CompileOptions options = compile_options(final_corrections);
+  switch (ansatz_) {
+    case AnsatzKind::QaoaDiagonal:
+      return core::compile_qaoa(cost_, a, options);
+    case AnsatzKind::MisConstrained:
+      return core::compile_mis_qaoa(mis_graph_, a, options);
+    case AnsatzKind::CustomCircuit:
+      return core::compile_circuit_tailored(circuit_(a), options);
+  }
+  throw InternalError("unreachable ansatz kind");
+}
+
+}  // namespace mbq::api

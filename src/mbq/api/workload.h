@@ -1,0 +1,101 @@
+#pragma once
+// The unit of work every execution backend accepts.
+//
+// A Workload bundles a cost Hamiltonian with the ansatz that prepares the
+// trial state and the options controlling its measurement-based
+// compilation.  The ansatz semantics live HERE, not in the backends: a
+// workload knows both its gate-model reference state (what the
+// statevector backend runs) and its measurement-pattern compilation (what
+// the MBQC/stabilizer/ZX backends run), so every backend executes the
+// same mathematical object and the paper's equivalence claims (Sec. III,
+// Eq. 12) become assertions over interchangeable adapters.
+//
+// Three ansatz kinds cover the paper:
+//   QaoaDiagonal   — standard QAOA_p: phase layers for the cost function
+//                    alternating with transverse-field mixers (Sec. III);
+//   MisConstrained — the constraint-preserving MIS ansatz over a graph
+//                    (Sec. IV), starting from the feasible state |0...0>;
+//   CustomCircuit  — an angle-parameterized circuit acting on |+...+>
+//                    (e.g. the XY-mixer colorings of Sec. V), compiled
+//                    with the tailored circuit translator.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/graph.h"
+#include "mbq/qaoa/hamiltonian.h"
+#include "mbq/qaoa/qaoa.h"
+#include "mbq/sim/statevector.h"
+
+namespace mbq::api {
+
+enum class AnsatzKind : std::uint8_t {
+  QaoaDiagonal,
+  MisConstrained,
+  CustomCircuit,
+};
+
+std::string ansatz_kind_name(AnsatzKind k);
+
+/// Angle-parameterized circuit on |+...+> for AnsatzKind::CustomCircuit.
+using CircuitBuilder = std::function<Circuit(const qaoa::Angles&)>;
+
+class Workload {
+ public:
+  /// Standard QAOA over an arbitrary Ising cost function.
+  static Workload qaoa(qaoa::CostHamiltonian cost);
+  /// QAOA for MaxCut on a graph.
+  static Workload maxcut(const Graph& g);
+  /// Constraint-preserving MIS ansatz (Sec. IV); cost is the set size.
+  static Workload mis(const Graph& g);
+  /// Custom ansatz circuit (convention: acts on |+...+>).
+  static Workload custom(qaoa::CostHamiltonian cost, CircuitBuilder builder);
+
+  const qaoa::CostHamiltonian& cost() const noexcept { return cost_; }
+  AnsatzKind ansatz() const noexcept { return ansatz_; }
+  int num_qubits() const noexcept { return cost_.num_qubits(); }
+  /// Graph of the MIS ansatz; throws for other kinds.
+  const Graph& mis_graph() const;
+
+  // --- chainable compile options --------------------------------------
+  Workload& with_linear_style(core::LinearTermStyle style);
+  Workload& with_max_wire_degree(int degree);
+  core::LinearTermStyle linear_style() const noexcept { return linear_style_; }
+  int max_wire_degree() const noexcept { return max_wire_degree_; }
+
+  core::CompileOptions compile_options(bool final_corrections) const;
+
+  /// Memoized full cost table c(x), x in [0, 2^n).  Shared across copies
+  /// of this workload; compute it once before handing the workload to
+  /// parallel workers.
+  std::shared_ptr<const std::vector<real>> cost_table() const;
+
+  /// Gate-model reference state at the given angles (each ansatz kind
+  /// fixes its own initial state; see the header comment).
+  Statevector reference_state(const qaoa::Angles& a) const;
+
+  /// Measurement-pattern compilation of the same ansatz.  With
+  /// final_corrections the pattern is deterministic and its output state
+  /// equals reference_state() on every branch; without, the byproduct
+  /// frames are exported for classical post-processing.
+  core::CompiledPattern compile_pattern(const qaoa::Angles& a,
+                                        bool final_corrections) const;
+
+ private:
+  explicit Workload(qaoa::CostHamiltonian cost) : cost_(std::move(cost)) {}
+
+  qaoa::CostHamiltonian cost_{0};
+  AnsatzKind ansatz_ = AnsatzKind::QaoaDiagonal;
+  core::LinearTermStyle linear_style_ = core::LinearTermStyle::Gadget;
+  int max_wire_degree_ = 0;
+  Graph mis_graph_;
+  CircuitBuilder circuit_;
+  // Memo for cost_table(); shared so copies reuse the computed table.
+  mutable std::shared_ptr<const std::vector<real>> table_;
+};
+
+}  // namespace mbq::api

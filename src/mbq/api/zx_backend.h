@@ -1,0 +1,29 @@
+#pragma once
+// ZX tensor-contraction adapter ("zx").
+//
+// The small-instance oracle: the compiled pattern's all-outcomes-zero
+// branch becomes a ZX-diagram (preparations are phase-0 Z spiders, CZ
+// entanglers are Hadamard edges, measurements are effect spiders) whose
+// full tensor contraction yields the unnormalized output state; pattern
+// determinism makes that state equal to the QAOA state after
+// normalization.  An entirely independent semantics — no statevector, no
+// tableau — which is what makes it valuable as a cross-check.
+
+#include "mbq/api/backend.h"
+
+namespace mbq::api {
+
+class ZxTensorBackend final : public Backend {
+ public:
+  std::string name() const override { return "zx"; }
+  Capabilities capabilities() const override;
+
+  std::shared_ptr<const Prepared> prepare(const Workload& w,
+                                          const qaoa::Angles& a) const override;
+  real expectation(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                   const Prepared* prep) const override;
+  std::uint64_t sample_one(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                           const Prepared* prep) const override;
+};
+
+}  // namespace mbq::api

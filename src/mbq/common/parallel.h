@@ -45,6 +45,24 @@ void parallel_for(std::int64_t n, F&& f) {
   for (std::int64_t i = 0; i < n; ++i) f(i);
 }
 
+/// parallel_for with a caller-chosen grain.  Shot batches have trip
+/// counts far below kParallelGrain but each iteration is an entire
+/// pattern execution, so they parallelize profitably at grain 1; dynamic
+/// scheduling absorbs the per-shot variance of adaptive runs.
+template <typename F>
+void parallel_for_grain(std::int64_t n, std::int64_t grain, F&& f) {
+#ifdef MBQ_HAS_OPENMP
+  if (n >= grain && n > 1) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::int64_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::int64_t i = 0; i < n; ++i) f(i);
+}
+
 /// Sum-reduction over [0, n) of a real-valued f(i).
 template <typename F>
 real parallel_sum(std::int64_t n, F&& f) {

@@ -99,4 +99,14 @@ Rng Rng::split() noexcept {
   return child;
 }
 
+Rng Rng::stream(std::uint64_t index) const noexcept {
+  // Fold the whole state into one word, perturb by the stream index, and
+  // let splitmix64 (plus the seeding constructor's own splitmix chain)
+  // decorrelate.  The parent state is read, never written.
+  std::uint64_t x = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                    rotl(s_[3], 47);
+  x ^= (index + 1) * 0x9E3779B97F4A7C15ULL;
+  return Rng(splitmix64(x));
+}
+
 }  // namespace mbq

@@ -52,8 +52,16 @@ class Rng {
     }
   }
 
-  /// Derive an independent child generator (for parallel workers).
+  /// Derive an independent child generator, advancing this one (for
+  /// sequential hand-offs where the parent keeps drawing afterwards).
   Rng split() noexcept;
+
+  /// Derive the index-th child stream from the CURRENT state WITHOUT
+  /// advancing it: stream(i) always returns the same generator until the
+  /// parent is advanced, and distinct indices give decorrelated streams.
+  /// This is the primitive behind reproducible parallel shot batching —
+  /// shot s always draws from stream(s), whatever the thread count.
+  Rng stream(std::uint64_t index) const noexcept;
 
  private:
   std::array<std::uint64_t, 4> s_{};

@@ -33,6 +33,12 @@
 
 namespace mbq::core {
 
+/// Whether byproduct operators are fixed by terminal X/Z correction
+/// commands in the pattern (Quantum) or exported as frames and applied
+/// to samples classically (ClassicalPostProcess) — the resource-free
+/// hardware option benchmarked by bench_ablations.
+enum class CorrectionMode : std::uint8_t { Quantum, ClassicalPostProcess };
+
 enum class LinearTermStyle : std::uint8_t {
   /// Paper-faithful: one YZ-gadget ancilla per vertex with a linear term
   /// (Eq. (10); +1 qubit, +1 CZ per vertex per layer).

@@ -1,66 +1,55 @@
 #include "mbq/core/protocol.h"
 
-#include "mbq/common/bits.h"
+#include "mbq/api/mbqc_backend.h"
+#include "mbq/api/workload.h"
 #include "mbq/common/error.h"
-#include "mbq/mbqc/runner.h"
 
 namespace mbq::core {
 
 MbqcQaoaSolver::MbqcQaoaSolver(qaoa::CostHamiltonian cost, CorrectionMode mode,
                                LinearTermStyle linear_style)
-    : cost_(std::move(cost)), mode_(mode) {
-  options_.linear_style = linear_style;
-  options_.final_corrections = mode_ == CorrectionMode::Quantum;
+    : workload_(std::make_unique<api::Workload>(
+          api::Workload::qaoa(std::move(cost)).with_linear_style(
+              linear_style))),
+      backend_(std::make_unique<api::MbqcBackend>(mode)),
+      mode_(mode) {}
+
+MbqcQaoaSolver::~MbqcQaoaSolver() = default;
+
+MbqcQaoaSolver::MbqcQaoaSolver(const MbqcQaoaSolver& other)
+    : workload_(std::make_unique<api::Workload>(*other.workload_)),
+      backend_(std::make_unique<api::MbqcBackend>(other.backend_->mode())),
+      mode_(other.mode_) {}
+
+MbqcQaoaSolver& MbqcQaoaSolver::operator=(const MbqcQaoaSolver& other) {
+  if (this != &other) {
+    workload_ = std::make_unique<api::Workload>(*other.workload_);
+    backend_ = std::make_unique<api::MbqcBackend>(other.backend_->mode());
+    mode_ = other.mode_;
+  }
+  return *this;
+}
+
+const qaoa::CostHamiltonian& MbqcQaoaSolver::cost() const noexcept {
+  return workload_->cost();
 }
 
 CompiledPattern MbqcQaoaSolver::compile(const qaoa::Angles& angles) const {
-  return compile_qaoa(cost_, angles, options_);
+  return workload_->compile_pattern(angles, mode_ == CorrectionMode::Quantum);
 }
 
 real MbqcQaoaSolver::expectation(const qaoa::Angles& angles, Rng& rng) const {
-  // One adaptive run; determinism makes the output state branch-free.
-  // In classical mode the X byproducts permute basis states, so <C> must
-  // be computed on the corrected distribution: fold the flip into the
-  // cost argument.
-  const CompiledPattern cp = compile(angles);
-  const mbqc::RunResult r = mbqc::run(cp.pattern, rng);
-  const int n = cost_.num_qubits();
-  std::uint64_t flip = 0;
-  for (int q = 0; q < n; ++q)
-    if (!cp.final_fx[q].empty() && cp.final_fx[q].evaluate(r.outcomes))
-      flip |= std::uint64_t{1} << q;
-  real acc = 0.0;
-  for (std::uint64_t x = 0; x < r.output_state.size(); ++x)
-    acc += std::norm(r.output_state[x]) * cost_.evaluate(x ^ flip);
-  return acc;
+  return backend_->expectation(*workload_, angles, rng, nullptr);
 }
 
 std::vector<ShotRecord> MbqcQaoaSolver::sample(const qaoa::Angles& angles,
                                                int shots, Rng& rng) const {
-  MBQ_REQUIRE(shots >= 1, "need at least one shot, got " << shots);
-  const CompiledPattern cp = compile(angles);
-  const int n = cost_.num_qubits();
+  const std::vector<std::uint64_t> xs =
+      backend_->sample(*workload_, angles, shots, rng, nullptr);
   std::vector<ShotRecord> out;
-  out.reserve(static_cast<std::size_t>(shots));
-  for (int s = 0; s < shots; ++s) {
-    const mbqc::RunResult r = mbqc::run(cp.pattern, rng);
-    // Final computational-basis readout of the output register.
-    real u = rng.uniform();
-    std::uint64_t x = 0;
-    for (std::uint64_t i = 0; i < r.output_state.size(); ++i) {
-      u -= std::norm(r.output_state[i]);
-      if (u <= 0.0) {
-        x = i;
-        break;
-      }
-      if (i + 1 == r.output_state.size()) x = i;
-    }
-    // Classical correction mode: X byproducts flip readout bits.
-    for (int q = 0; q < n; ++q)
-      if (!cp.final_fx[q].empty() && cp.final_fx[q].evaluate(r.outcomes))
-        x = flip_bit(x, q);
-    out.push_back({x, cost_.evaluate(x)});
-  }
+  out.reserve(xs.size());
+  for (const std::uint64_t x : xs)
+    out.push_back({x, workload_->cost().evaluate(x)});
   return out;
 }
 

@@ -1,24 +1,27 @@
 #pragma once
-// End-to-end MBQC-QAOA protocol: compile once, execute the adaptive
-// pattern per shot, read out the problem register.
+// End-to-end MBQC-QAOA protocol façade.
 //
-// Because the compiled patterns are deterministic, a single run with
-// quantum corrections reproduces the exact QAOA state regardless of which
-// measurement branch was realized, so expectation values need one run
-// only.  Shot-based sampling re-executes the full adaptive protocol per
-// shot, exactly as hardware would.  The classical-correction mode skips
-// the terminal X/Z commands and instead flips the sampled bits with the
-// X byproduct parities (Z byproducts do not affect computational-basis
-// statistics) — the ablation of bench_ablations.
+// MbqcQaoaSolver predates the unified backend API and is kept as a thin
+// compatibility layer: it now delegates to the measurement-based adapter
+// of mbq/api (api::MbqcBackend), which owns the protocol semantics —
+// compile once, one adaptive run for expectations (determinism makes the
+// output state branch-free), full re-execution per shot for sampling,
+// and the classical-correction ablation that fixes X byproducts in
+// post-processing.  New code should use api::Session directly.
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "mbq/core/compiler.h"
 #include "mbq/qaoa/hamiltonian.h"
 
-namespace mbq::core {
+namespace mbq::api {
+class MbqcBackend;
+class Workload;
+}  // namespace mbq::api
 
-enum class CorrectionMode : std::uint8_t { Quantum, ClassicalPostProcess };
+namespace mbq::core {
 
 struct ShotRecord {
   std::uint64_t x = 0;
@@ -31,8 +34,11 @@ class MbqcQaoaSolver {
                           CorrectionMode mode = CorrectionMode::Quantum,
                           LinearTermStyle linear_style =
                               LinearTermStyle::Gadget);
+  ~MbqcQaoaSolver();
+  MbqcQaoaSolver(const MbqcQaoaSolver&);
+  MbqcQaoaSolver& operator=(const MbqcQaoaSolver&);
 
-  const qaoa::CostHamiltonian& cost() const noexcept { return cost_; }
+  const qaoa::CostHamiltonian& cost() const noexcept;
 
   /// Exact <C> through the MBQC protocol (one adaptive pattern run).
   real expectation(const qaoa::Angles& angles, Rng& rng) const;
@@ -49,9 +55,11 @@ class MbqcQaoaSolver {
   CompiledPattern compile(const qaoa::Angles& angles) const;
 
  private:
-  qaoa::CostHamiltonian cost_;
+  // Workload + backend from the unified API (pimpl'd to keep this header
+  // free of api includes for the many call sites that only need core).
+  std::unique_ptr<api::Workload> workload_;
+  std::unique_ptr<api::MbqcBackend> backend_;
   CorrectionMode mode_;
-  CompileOptions options_;
 };
 
 }  // namespace mbq::core

@@ -110,6 +110,22 @@ int main() {
       .add(standard.entanglement_graph().first.num_edges());
   t2.print(std::cout, "standardization (resource-state-first execution)");
 
+  // Routed, cross-checked evaluation of the same instance: the router
+  // picks the cheapest capable adapter and a second independent adapter
+  // re-evaluates every expectation (throws on >1e-9 disagreement).
+  {
+    const api::Workload workload = api::Workload::qaoa(cost);
+    const api::RouterBackend router;
+    const api::RouteDecision d = router.route(workload, a);
+    api::Session checked(workload, "router-checked", {.seed = 4});
+    std::cout << "router: picks '" << d.backend_name << "' for this cell";
+    for (const auto& [name, why] : d.rejected)
+      std::cout << "; passes over '" << name << "'";
+    std::cout << ".  cross-checked <C> = " << checked.expectation(a)
+              << " (|d| vs gate model = "
+              << std::abs(checked.expectation(a) - ref_value) << ")\n\n";
+  }
+
   std::cout << "All variants give identical <C>.  Classical post-processing "
                "removes the\nterminal correction layer; fusing linear terms "
                "removes p|V| ancillas;\nreuse scheduling shrinks the live "

@@ -1,0 +1,111 @@
+// E16 — batched angle evaluation: wall-clock of the variational outer
+// loop's fan-out.  A 32-point angle sweep (one simplex neighborhood's
+// worth of candidates) is evaluated (a) as 32 serial expectation()
+// calls and (b) as one expectation_batch() call, at increasing thread
+// counts.  The contract under test and timing alike: batch values are
+// bit-identical to the serial loop at every thread count (the per-point
+// Rng::stream assignment makes them a pure function of seed and call
+// index), so the speedup column is free of any accuracy trade-off.
+//
+// The acceptance bar for this experiment is >= 2x at 8 threads on the
+// adaptive mbqc path when >= 8 hardware threads exist; single-core CI
+// boxes report ~1x (oversubscribed threads), which the table makes
+// visible rather than hiding.
+
+#include <iostream>
+#include <vector>
+
+#include "mbq/api/api.h"
+#include "mbq/common/parallel.h"
+#include "mbq/common/rng.h"
+#include "mbq/common/table.h"
+#include "mbq/common/timer.h"
+#include "mbq/graph/generators.h"
+#include "mbq/opt/nelder_mead.h"
+#include "mbq/qaoa/qaoa.h"
+
+int main() {
+  using namespace mbq;
+  Rng rng(2024);
+
+  std::cout << "# E16 — batched angle evaluation (Session::expectation_batch)"
+            << "\n\nHardware threads available: " << num_threads()
+            << " (with OpenMP: " << (has_openmp() ? "yes" : "no") << ")\n\n";
+
+  const Graph g = random_regular_graph(10, 3, rng);
+  const api::Workload workload = api::Workload::maxcut(g);
+  const int points_count = 32;
+  std::vector<qaoa::Angles> points;
+  points.reserve(points_count);
+  for (int i = 0; i < points_count; ++i)
+    points.push_back(qaoa::Angles::random(2, rng));
+
+  Table t({"backend", "threads", "serial 32 pts [ms]", "batch 32 pts [ms]",
+           "speedup", "bit-identical"});
+
+  for (const std::string backend : {"mbqc", "statevector"}) {
+    // Serial reference, timed once (it is single-threaded by nature).
+    std::vector<real> serial;
+    real serial_ms = 0.0;
+    {
+      api::Session session(workload, backend, {.seed = 7});
+      Timer timer;
+      for (const auto& a : points) serial.push_back(session.expectation(a));
+      serial_ms = timer.milliseconds();
+    }
+
+    for (int threads : {1, 2, 4, 8}) {
+      set_num_threads(threads);
+      api::Session session(workload, backend, {.seed = 7});
+      Timer timer;
+      const std::vector<real> batch = session.expectation_batch(points);
+      const real batch_ms = timer.milliseconds();
+      bool identical = batch.size() == serial.size();
+      for (std::size_t i = 0; identical && i < batch.size(); ++i)
+        identical = batch[i] == serial[i];
+      t.row()
+          .add(backend)
+          .add(threads)
+          .add(serial_ms, 2)
+          .add(batch_ms, 2)
+          .add(serial_ms / batch_ms, 2)
+          .add(identical);
+    }
+    set_num_threads(0);
+  }
+  t.print(std::cout,
+          "32 random p=2 points, MaxCut on a 3-regular n=10 graph; the "
+          "speedup column is serial/batch wall-clock");
+
+  // The same fan-out through the optimizer's batch path: Nelder-Mead with
+  // a batch objective overlaps its simplex evaluations.
+  {
+    opt::NelderMeadOptions nm;
+    nm.max_evaluations = 120;
+    const std::vector<real> x0 = qaoa::Angles::linear_ramp(2).flat();
+
+    api::Session scalar_session(workload, "mbqc", {.seed = 11});
+    Rng rng_a(3);
+    Timer t_scalar;
+    const auto scalar =
+        opt::nelder_mead(scalar_session.objective(), x0, nm, rng_a);
+    const real scalar_ms = t_scalar.milliseconds();
+
+    api::Session batch_session(workload, "mbqc", {.seed = 11});
+    Rng rng_b(3);
+    Timer t_batch;
+    const auto batch =
+        opt::nelder_mead(batch_session.batch_objective(), x0, nm, rng_b);
+    const real batch_ms = t_batch.milliseconds();
+
+    std::cout << "\nNelder-Mead (120 evals, p=2): scalar objective "
+              << scalar_ms << " ms, batch objective " << batch_ms
+              << " ms; same optimum: "
+              << (batch.value == scalar.value ? "yes" : "NO") << " (<C> = "
+              << batch.value << ")\n";
+  }
+
+  std::cout << "\nBatch slot i always draws rng.stream(base + i): the fan-out"
+               "\nis a pure wall-clock knob, never an accuracy knob.\n";
+  return 0;
+}

@@ -51,9 +51,11 @@ int main() {
                                       "<C> (statevector)"};
   for (const auto& name : backends)
     if (name != "statevector") columns.push_back("|d<C>| " + name);
+  columns.push_back("router picks");
   columns.push_back("gflow");
   columns.push_back("ms/mbqc run");
   Table t(columns);
+  const api::RouterBackend router;  // per-cell routing report
 
   for (const auto& cs : cases) {
     qaoa::CostHamiltonian cost = qaoa::CostHamiltonian::maxcut(cs.g);
@@ -90,6 +92,7 @@ int main() {
         if (name == "mbqc") ms = timer.milliseconds();
         row.add(std::abs(val - expect_c), 3);
       }
+      row.add(router.route(workload, a).backend_name);
       row.add(has_gflow).add(ms, 2);
     }
   }

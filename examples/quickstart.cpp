@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   // 3. A session on the measurement-based backend (or any registered
   //    name passed on the command line: statevector, mbqc,
-  //    mbqc-classical, clifford, zx).
+  //    mbqc-classical, clifford, zx, router, router-checked).
   const std::string backend = argc > 1 ? argv[1] : "mbqc";
   std::unique_ptr<api::Session> opened;
   try {

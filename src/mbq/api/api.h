@@ -2,14 +2,16 @@
 // Umbrella header for the unified execution-backend API.
 //
 //   Workload  — what to run (cost Hamiltonian + ansatz/compile options)
-//   Backend   — how to run it (statevector / mbqc / clifford / zx)
+//   Backend   — how to run it (statevector / mbqc / clifford / zx / router)
 //   Registry  — string-keyed backend selection ("mbqc", "statevector", ...)
-//   Session   — rng ownership, per-angle prepare() cache, parallel shots
+//   Session   — rng ownership, per-angle prepare() cache, parallel shots,
+//               batched/async angle evaluation
 
 #include "mbq/api/backend.h"
 #include "mbq/api/clifford_backend.h"
 #include "mbq/api/mbqc_backend.h"
 #include "mbq/api/registry.h"
+#include "mbq/api/router_backend.h"
 #include "mbq/api/session.h"
 #include "mbq/api/statevector_backend.h"
 #include "mbq/api/workload.h"

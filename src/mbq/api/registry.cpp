@@ -4,6 +4,7 @@
 
 #include "mbq/api/clifford_backend.h"
 #include "mbq/api/mbqc_backend.h"
+#include "mbq/api/router_backend.h"
 #include "mbq/api/statevector_backend.h"
 #include "mbq/api/zx_backend.h"
 #include "mbq/common/error.h"
@@ -23,6 +24,14 @@ BackendRegistry::BackendRegistry() {
   };
   factories_["clifford"] = [] { return std::make_shared<CliffordBackend>(); };
   factories_["zx"] = [] { return std::make_shared<ZxTensorBackend>(); };
+  // Meta-backends: cost routing over the adapters above (the factories
+  // run at create() time, when the built-ins are all registered).
+  factories_["router"] = [] { return std::make_shared<RouterBackend>(); };
+  factories_["router-checked"] = [] {
+    RouterOptions options;
+    options.cross_check = true;
+    return std::make_shared<RouterBackend>(options);
+  };
 }
 
 BackendRegistry& BackendRegistry::instance() {

@@ -1,0 +1,90 @@
+#pragma once
+// Cost-routing meta-backend ("router", and "router-checked" with
+// cross-checking on).
+//
+// Per (workload, angles) it picks the cheapest capable adapter and
+// delegates to it:
+//
+//   clifford     when the compiled pattern is Clifford — the tableau run
+//                is near-free and scales to thousands of pattern qubits;
+//   zx           for tiny instances (<= zx_max_qubits), where the full
+//                contraction is cheap and doubles as an independent oracle;
+//   statevector  for everything the dense reference can hold;
+//   mbqc         as the measurement-based fallback.
+//
+// Candidates are tried in the (cost-ordered) list given in RouterOptions,
+// so the policy is both inspectable — route() returns a RouteDecision
+// naming the chosen adapter and why each other candidate was passed
+// over — and replaceable, including with user backends registered under
+// custom names.
+//
+// Cross-check mode runs a second, independent capable adapter on every
+// expectation() and throws Error unless the two agree to
+// cross_check_tolerance (the paper's Eq. 12 enforced at runtime, not just
+// in the test suite).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mbq/api/backend.h"
+
+namespace mbq::api {
+
+struct RouterOptions {
+  /// Candidate registry names, tried in cost order (cheapest first).
+  std::vector<std::string> candidates{"clifford", "zx", "statevector",
+                                      "mbqc"};
+  /// Problem sizes up to this may route to "zx" (the tiny-instance
+  /// oracle); larger instances skip it even though it could run.
+  int zx_max_qubits = 5;
+  /// Evaluate every expectation on a second capable adapter too and
+  /// require agreement.
+  bool cross_check = false;
+  real cross_check_tolerance = 1e-9;
+};
+
+/// The routing report: which adapter runs a (workload, angles) pair, why,
+/// and why every other candidate was passed over.
+struct RouteDecision {
+  /// Chosen adapter's registry/backend name; empty when nothing fits.
+  std::string backend_name;
+  std::string reason;
+  /// (candidate name, why it was passed over), in cost order.
+  std::vector<std::pair<std::string, std::string>> rejected;
+  /// Second adapter used by cross-check mode; empty when off or when no
+  /// second capable adapter exists.
+  std::string cross_check_backend;
+};
+
+class RouterBackend final : public Backend {
+ public:
+  /// Resolves every candidate from the global BackendRegistry; throws if
+  /// one is unknown.
+  explicit RouterBackend(RouterOptions options = {});
+
+  std::string name() const override { return "router"; }
+  Capabilities capabilities() const override;
+  std::string unsupported_reason(const Workload& w, const qaoa::Angles& a,
+                                 const Prepared* prep) const override;
+  std::shared_ptr<const Prepared> prepare(const Workload& w,
+                                          const qaoa::Angles& a) const override;
+  real expectation(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                   const Prepared* prep) const override;
+  std::uint64_t sample_one(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                           const Prepared* prep) const override;
+
+  /// The routing report for (w, a) — cheap relative to running, but it
+  /// does evaluate candidate support checks (clifford compiles the
+  /// pattern to test its angles).
+  RouteDecision route(const Workload& w, const qaoa::Angles& a) const;
+
+  const RouterOptions& options() const noexcept { return options_; }
+
+ private:
+  RouterOptions options_;
+  std::vector<std::shared_ptr<Backend>> backends_;  // parallel to candidates
+};
+
+}  // namespace mbq::api

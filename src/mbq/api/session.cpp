@@ -26,8 +26,13 @@ real SampleResult::mean_cost() const {
 }
 
 std::vector<std::int64_t> SampleResult::counts(int num_qubits) const {
-  MBQ_REQUIRE(num_qubits >= 1 && num_qubits <= 24,
-              "histogram needs 1 <= n <= 24, got " << num_qubits);
+  MBQ_REQUIRE(num_qubits >= 1,
+              "histogram needs at least one qubit, got " << num_qubits);
+  MBQ_REQUIRE(num_qubits <= 24,
+              "counts(" << num_qubits << ") would allocate a 2^" << num_qubits
+                        << "-entry dense histogram (>128 MiB); counts() "
+                           "supports at most 24 qubits — aggregate the shots "
+                           "directly for larger registers");
   std::vector<std::int64_t> out(std::size_t{1} << num_qubits, 0);
   for (const Shot& s : shots) {
     MBQ_REQUIRE(s.x < out.size(), "shot outcome " << s.x << " out of range");
@@ -70,6 +75,18 @@ void Session::require_supported(const qaoa::Angles& a) const {
                           << reason);
 }
 
+void Session::insert_cache(std::vector<real> key,
+                           std::shared_ptr<const Prepared> prepared) {
+  if (cache_.size() >= options_.cache_capacity) {
+    const auto lru = std::min_element(
+        cache_.begin(), cache_.end(), [](const auto& x, const auto& y) {
+          return x.last_used < y.last_used;
+        });
+    cache_.erase(lru);
+  }
+  cache_.push_back({std::move(key), std::move(prepared), ++cache_clock_});
+}
+
 std::shared_ptr<const Prepared> Session::checked_prepared(
     const qaoa::Angles& a) {
   const std::vector<real> key = a.flat();
@@ -88,20 +105,131 @@ std::shared_ptr<const Prepared> Session::checked_prepared(
   ++cache_misses_;
   auto prepared = backend_->prepare(workload_, a);
   if (prepared == nullptr) return nullptr;  // nothing cacheable
-  if (cache_.size() >= options_.cache_capacity) {
-    const auto lru = std::min_element(
-        cache_.begin(), cache_.end(), [](const auto& x, const auto& y) {
-          return x.last_used < y.last_used;
-        });
-    cache_.erase(lru);
-  }
-  cache_.push_back({key, prepared, ++cache_clock_});
+  insert_cache(key, prepared);
   return prepared;
+}
+
+std::vector<std::shared_ptr<const Prepared>> Session::checked_prepared_batch(
+    std::span<const qaoa::Angles> points) {
+  const std::size_t n = points.size();
+  std::vector<std::shared_ptr<const Prepared>> preps(n);
+  if (n == 0) return preps;
+  // Pre-warm the workload's memoized cost table before stateless workers
+  // share the workload concurrently.
+  workload_.cost_table();
+
+  std::vector<std::vector<real>> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = points[i].flat();
+
+  // Serial pass: resolve cache hits; later in-batch duplicates of a
+  // missing point share its artifact and count as hits, as they would in
+  // the serial loop.
+  constexpr std::size_t kHit = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> owner(n, kHit);  // point -> unique-miss slot
+  std::vector<std::size_t> miss;            // first-occurrence point index
+  for (std::size_t i = 0; i < n; ++i) {
+    bool hit = false;
+    for (CacheEntry& entry : cache_) {
+      if (entry.key == keys[i]) {
+        entry.last_used = ++cache_clock_;
+        ++cache_hits_;
+        preps[i] = entry.prepared;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) continue;
+    bool duplicate = false;
+    for (std::size_t m = 0; m < miss.size(); ++m)
+      if (keys[miss[m]] == keys[i]) {
+        owner[i] = m;
+        ++cache_hits_;
+        duplicate = true;
+        break;
+      }
+    if (duplicate) continue;
+    owner[i] = miss.size();
+    miss.push_back(i);
+  }
+
+  // Parallel pass: support check + prepare for every unique miss.  The
+  // backend is stateless, so checks and compilations are independent.
+  std::vector<std::shared_ptr<const Prepared>> fresh(miss.size());
+  std::vector<std::exception_ptr> errors(miss.size());
+  parallel_for_grain(static_cast<std::int64_t>(miss.size()), 1,
+                     [&](std::int64_t m) {
+    try {
+      const qaoa::Angles& a = points[miss[m]];
+      const std::string reason =
+          backend_->unsupported_reason(workload_, a, nullptr);
+      MBQ_REQUIRE(reason.empty(),
+                  "backend '" << backend_->name()
+                              << "' cannot run this workload: " << reason);
+      fresh[m] = backend_->prepare(workload_, a);
+    } catch (...) {
+      errors[m] = std::current_exception();
+    }
+  });
+  // Serial pass: record misses and fill the cache in point order.
+  // `miss` is in increasing point order, so a failure rethrows for the
+  // lowest-indexed failing point with every earlier point already cached
+  // and counted — the exact state the serial loop leaves behind.
+  for (std::size_t m = 0; m < miss.size(); ++m) {
+    if (errors[m]) std::rethrow_exception(errors[m]);
+    ++cache_misses_;
+    if (fresh[m] != nullptr) insert_cache(std::move(keys[miss[m]]), fresh[m]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (owner[i] != kHit) preps[i] = fresh[owner[i]];
+  return preps;
 }
 
 real Session::expectation(const qaoa::Angles& a) {
   const auto prepared = checked_prepared(a);
-  return backend_->expectation(workload_, a, rng_, prepared.get());
+  Rng eval_rng = rng_.stream(kExpectationStreamBase + expectation_calls_++);
+  return backend_->expectation(workload_, a, eval_rng, prepared.get());
+}
+
+std::vector<real> Session::expectation_batch(
+    std::span<const qaoa::Angles> points) {
+  const std::size_t n = points.size();
+  std::vector<real> out(n);
+  if (n == 0) return out;
+  const auto preps = checked_prepared_batch(points);
+  const std::uint64_t base = expectation_calls_;
+  expectation_calls_ += n;
+
+  const Workload& w = workload_;
+  Backend* backend = backend_.get();
+  std::vector<std::exception_ptr> errors(n);
+  parallel_for_grain(static_cast<std::int64_t>(n), 1, [&](std::int64_t i) {
+    try {
+      // Slot i draws exactly the stream the (base + i)-th serial
+      // expectation() call would: bit-identical at any thread count.
+      Rng eval_rng = rng_.stream(kExpectationStreamBase + base +
+                                 static_cast<std::uint64_t>(i));
+      out[i] = backend->expectation(w, points[i], eval_rng, preps[i].get());
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return out;
+}
+
+std::future<real> Session::expectation_async(const qaoa::Angles& a) {
+  // Cache update and stream assignment happen on the calling thread (the
+  // cache is not synchronized); only the stateless evaluation is
+  // offloaded, so concurrent pending futures cannot race.
+  workload_.cost_table();  // pre-warm the shared memo before offloading
+  auto prepared = checked_prepared(a);
+  Rng eval_rng = rng_.stream(kExpectationStreamBase + expectation_calls_++);
+  return std::async(std::launch::async,
+                    [this, a, eval_rng, prepared]() mutable {
+                      return backend_->expectation(workload_, a, eval_rng,
+                                                   prepared.get());
+                    });
 }
 
 SampleResult Session::sample(const qaoa::Angles& a, int shots) {
@@ -137,6 +265,46 @@ SampleResult Session::sample(const qaoa::Angles& a, int shots) {
   return result;
 }
 
+std::vector<SampleResult> Session::sample_batch(
+    std::span<const qaoa::Angles> points, int shots) {
+  MBQ_REQUIRE(shots >= 1, "need at least one shot, got " << shots);
+  const std::size_t n = points.size();
+  std::vector<SampleResult> results(n);
+  if (n == 0) return results;
+  const auto preps = checked_prepared_batch(points);
+  // Point i draws from the stream the i-th of n consecutive serial
+  // sample() calls would, and shot s from stream(s) below it — so every
+  // (point, shot) pair is a pure function of (seed, call index, s) and
+  // the whole cross product can run concurrently.
+  const std::uint64_t base_call = sample_calls_;
+  sample_calls_ += n;
+  for (auto& r : results) r.shots.resize(static_cast<std::size_t>(shots));
+
+  const Workload& w = workload_;
+  Backend* backend = backend_.get();
+  std::vector<std::exception_ptr> errors(n);
+  std::mutex error_mutex;
+  const std::int64_t total = static_cast<std::int64_t>(n) * shots;
+  const std::int64_t grain = options_.parallel_shots ? 1 : total + 1;
+  parallel_for_grain(total, grain, [&](std::int64_t t) {
+    const std::size_t i = static_cast<std::size_t>(t / shots);
+    const std::int64_t s = t % shots;
+    try {
+      Rng shot_rng = rng_.stream(base_call + i)
+                         .stream(static_cast<std::uint64_t>(s));
+      const std::uint64_t x =
+          backend->sample_one(w, points[i], shot_rng, preps[i].get());
+      results[i].shots[s] = {x, w.cost().evaluate(x)};
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!errors[i]) errors[i] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
+
 Shot Session::best_of(const qaoa::Angles& a, int shots) {
   return sample(a, shots).best();
 }
@@ -144,6 +312,16 @@ Shot Session::best_of(const qaoa::Angles& a, int shots) {
 opt::Objective Session::objective() {
   return [this](const std::vector<real>& flat) {
     return expectation(qaoa::Angles::from_flat(flat));
+  };
+}
+
+opt::BatchObjective Session::batch_objective() {
+  return [this](const std::vector<std::vector<real>>& flats) {
+    std::vector<qaoa::Angles> points;
+    points.reserve(flats.size());
+    for (const auto& flat : flats)
+      points.push_back(qaoa::Angles::from_flat(flat));
+    return expectation_batch(points);
   };
 }
 

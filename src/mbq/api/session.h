@@ -16,9 +16,25 @@
 //   auto session = api::Session(api::Workload::maxcut(g), "mbqc");
 //   real e = session.expectation(angles);
 //   auto shots = session.sample(angles, 1024);
+//
+// The variational outer loop evaluates <C> at many nearby angle points
+// (simplex vertices, gradient stencils, grid cells).  The batch/async
+// entry points fan those points out on common/parallel:
+//
+//   std::vector<real> es = session.expectation_batch(points);
+//   auto pending = session.expectation_async(angles);   // overlaps work
+//
+// Determinism contract: the k-th expectation this session evaluates —
+// whether through expectation(), a batch slot, or a future — draws from
+// rng.stream(kExpectationStreamBase + k), and shot s of sample call k
+// draws from rng.stream(k).stream(s).  Both are pure functions of
+// (seed, k, s), so batch results are bit-identical to the serial loop at
+// every thread count.
 
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,7 +63,9 @@ struct SampleResult {
 
   const Shot& best() const;
   real mean_cost() const;
-  /// Occurrence count per bitstring, length 2^num_qubits (n <= 24).
+  /// Occurrence count per bitstring, length 2^num_qubits.  Throws Error
+  /// for num_qubits outside [1, 24]: beyond 24 the dense histogram would
+  /// silently allocate gigabytes — aggregate the shots directly instead.
   std::vector<std::int64_t> counts(int num_qubits) const;
 };
 
@@ -75,9 +93,26 @@ class Session {
   /// <C> at the given angles (exact on every built-in backend).
   real expectation(const qaoa::Angles& a);
 
+  /// <C> at every given angle point, prepared AND evaluated concurrently
+  /// on common/parallel.  Values are bit-identical to calling
+  /// expectation() on each point in order, at every thread count.
+  std::vector<real> expectation_batch(std::span<const qaoa::Angles> points);
+
+  /// <C> at the given angles as a future; the support check and the
+  /// prepare-cache update run on the calling thread (the cache is not
+  /// thread-safe), only the stateless backend evaluation is offloaded.
+  /// The Session must outlive the returned future.
+  std::future<real> expectation_async(const qaoa::Angles& a);
+
   /// `shots` measurements of the problem register, batched in parallel,
   /// reproducible from the session seed regardless of thread count.
   SampleResult sample(const qaoa::Angles& a, int shots);
+
+  /// One SampleResult per angle point; all (point, shot) pairs run
+  /// concurrently.  Result i is bit-identical to the i-th of consecutive
+  /// serial sample(points[i], shots) calls, at every thread count.
+  std::vector<SampleResult> sample_batch(std::span<const qaoa::Angles> points,
+                                         int shots);
 
   /// Highest-cost shot of a fresh batch.
   Shot best_of(const qaoa::Angles& a, int shots);
@@ -87,23 +122,41 @@ class Session {
   /// outlive it.
   opt::Objective objective();
 
+  /// Batch-aware objective over expectation_batch, for the optimizers'
+  /// batch paths (opt::nelder_mead/grid_search/spsa BatchObjective
+  /// overloads).  Same lifetime rule as objective().
+  opt::BatchObjective batch_objective();
+
   // --- cache introspection ---------------------------------------------
   std::size_t cache_entries() const noexcept { return cache_.size(); }
   std::uint64_t cache_hits() const noexcept { return cache_hits_; }
   std::uint64_t cache_misses() const noexcept { return cache_misses_; }
 
  private:
+  /// Expectation evaluations draw from the upper half of the stream-index
+  /// space so they can never collide with sample() call streams.
+  static constexpr std::uint64_t kExpectationStreamBase = 1ULL << 63;
+
   /// Cache lookup; on a miss, runs the support check, prepares and
   /// inserts.  Hits skip the check — entries are only inserted after it
   /// passed and the workload is immutable while the Session lives.
   std::shared_ptr<const Prepared> checked_prepared(const qaoa::Angles& a);
+  /// Batch variant: cache lookups and insertions stay serial, but the
+  /// support checks and prepare() calls of all missing points run
+  /// concurrently (backends are stateless).  Errors are rethrown for the
+  /// lowest-indexed failing point, matching the serial loop.
+  std::vector<std::shared_ptr<const Prepared>> checked_prepared_batch(
+      std::span<const qaoa::Angles> points);
   const Prepared* peek_cache(const std::vector<real>& key) const;
+  void insert_cache(std::vector<real> key,
+                    std::shared_ptr<const Prepared> prepared);
 
   Workload workload_;
   std::shared_ptr<Backend> backend_;
   SessionOptions options_;
   Rng rng_;
   std::uint64_t sample_calls_ = 0;
+  std::uint64_t expectation_calls_ = 0;
 
   struct CacheEntry {
     std::vector<real> key;  // exact flattened angles

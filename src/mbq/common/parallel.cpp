@@ -10,4 +10,14 @@ int num_threads() noexcept {
 #endif
 }
 
+void set_num_threads(int n) noexcept {
+#ifdef MBQ_HAS_OPENMP
+  // Captured on first use, before any override can have taken effect.
+  static const int default_threads = omp_get_max_threads();
+  omp_set_num_threads(n >= 1 ? n : default_threads);
+#else
+  (void)n;
+#endif
+}
+
 }  // namespace mbq

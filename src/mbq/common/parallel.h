@@ -19,6 +19,12 @@ namespace mbq {
 /// Number of threads the parallel helpers will use.
 int num_threads() noexcept;
 
+/// Override the thread count used by subsequent parallel regions; n <= 0
+/// restores the build default.  No-op without OpenMP.  Batched evaluation
+/// is bit-identical at every thread count, so this is purely a wall-clock
+/// knob (and what the determinism tests sweep).
+void set_num_threads(int n) noexcept;
+
 /// True when compiled with OpenMP support.
 constexpr bool has_openmp() noexcept {
 #ifdef MBQ_HAS_OPENMP

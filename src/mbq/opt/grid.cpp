@@ -5,7 +5,13 @@
 namespace mbq::opt {
 
 OptResult grid_search(const Objective& f, const std::vector<GridAxis>& axes) {
+  return grid_search(batched(f), axes);
+}
+
+OptResult grid_search(const BatchObjective& f, const std::vector<GridAxis>& axes,
+                      int chunk_size) {
   MBQ_REQUIRE(!axes.empty(), "grid_search needs at least one axis");
+  MBQ_REQUIRE(chunk_size >= 1, "chunk size must be >= 1, got " << chunk_size);
   std::int64_t total = 1;
   for (const auto& a : axes) {
     MBQ_REQUIRE(a.points >= 1, "axis needs >= 1 point");
@@ -14,6 +20,25 @@ OptResult grid_search(const Objective& f, const std::vector<GridAxis>& axes) {
   }
   OptResult best;
   std::vector<real> x(axes.size());
+  std::vector<std::vector<real>> chunk;
+  chunk.reserve(static_cast<std::size_t>(chunk_size));
+  // Scan the chunk's values in grid order so the first strictly-greater
+  // point wins ties exactly as the serial loop does.
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    const std::vector<real> values = f(chunk);
+    MBQ_REQUIRE(values.size() == chunk.size(),
+                "batch objective returned " << values.size() << " values for "
+                                            << chunk.size() << " points");
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      ++best.evaluations;
+      if (values[i] > best.value) {
+        best.value = values[i];
+        best.x = chunk[i];
+      }
+    }
+    chunk.clear();
+  };
   for (std::int64_t idx = 0; idx < total; ++idx) {
     std::int64_t rem = idx;
     for (std::size_t d = 0; d < axes.size(); ++d) {
@@ -25,13 +50,10 @@ OptResult grid_search(const Objective& f, const std::vector<GridAxis>& axes) {
                  : a.lo + (a.hi - a.lo) * static_cast<real>(i) /
                        (a.points - 1);
     }
-    const real v = f(x);
-    ++best.evaluations;
-    if (v > best.value) {
-      best.value = v;
-      best.x = x;
-    }
+    chunk.push_back(x);
+    if (chunk.size() >= static_cast<std::size_t>(chunk_size)) flush();
   }
+  flush();
   return best;
 }
 

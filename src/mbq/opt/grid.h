@@ -15,4 +15,11 @@ struct GridAxis {
 /// Evaluate f on the Cartesian grid; returns the best point.
 OptResult grid_search(const Objective& f, const std::vector<GridAxis>& axes);
 
+/// Batch-aware variant: grid points are fed to f in chunks of
+/// `chunk_size` (in grid order), so a parallel evaluator overlaps them.
+/// Same points, same first-wins tie-breaking, same result as the scalar
+/// overload.
+OptResult grid_search(const BatchObjective& f, const std::vector<GridAxis>& axes,
+                      int chunk_size = 256);
+
 }  // namespace mbq::opt

@@ -8,18 +8,23 @@ namespace mbq::opt {
 
 namespace {
 
-OptResult nelder_mead_single(const Objective& f, std::vector<real> x0,
+OptResult nelder_mead_single(const BatchObjective& f, std::vector<real> x0,
                              const NelderMeadOptions& opt, int* evals) {
   const std::size_t n = x0.size();
   // Simplex of n+1 points.
   std::vector<std::vector<real>> pts(n + 1, x0);
   for (std::size_t i = 0; i < n; ++i) pts[i + 1][i] += opt.initial_step;
-  std::vector<real> val(n + 1);
-  auto eval = [&](const std::vector<real>& x) {
-    ++*evals;
-    return f(x);
+  auto eval_many = [&](const std::vector<std::vector<real>>& xs) {
+    *evals += static_cast<int>(xs.size());
+    std::vector<real> values = f(xs);
+    MBQ_REQUIRE(values.size() == xs.size(),
+                "batch objective returned " << values.size() << " values for "
+                                            << xs.size() << " points");
+    return values;
   };
-  for (std::size_t i = 0; i <= n; ++i) val[i] = eval(pts[i]);
+  auto eval = [&](const std::vector<real>& x) { return eval_many({x})[0]; };
+  // The whole initial simplex is one batch.
+  std::vector<real> val = eval_many(pts);
 
   const real alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
   while (*evals < opt.max_evaluations) {
@@ -78,12 +83,13 @@ OptResult nelder_mead_single(const Objective& f, std::vector<real> x0,
       val[n] = fc;
       continue;
     }
-    // Shrink toward the best.
-    for (std::size_t i = 1; i <= n; ++i) {
+    // Shrink toward the best; the n shrunk points are one batch.
+    for (std::size_t i = 1; i <= n; ++i)
       for (std::size_t d = 0; d < n; ++d)
         pts[i][d] = pts[0][d] + sigma * (pts[i][d] - pts[0][d]);
-      val[i] = eval(pts[i]);
-    }
+    const std::vector<real> shrunk =
+        eval_many({pts.begin() + 1, pts.end()});
+    for (std::size_t i = 1; i <= n; ++i) val[i] = shrunk[i - 1];
   }
 
   std::size_t best = 0;
@@ -98,6 +104,11 @@ OptResult nelder_mead_single(const Objective& f, std::vector<real> x0,
 }  // namespace
 
 OptResult nelder_mead(const Objective& f, std::vector<real> x0,
+                      const NelderMeadOptions& options, Rng& rng) {
+  return nelder_mead(batched(f), std::move(x0), options, rng);
+}
+
+OptResult nelder_mead(const BatchObjective& f, std::vector<real> x0,
                       const NelderMeadOptions& options, Rng& rng) {
   MBQ_REQUIRE(!x0.empty(), "empty parameter vector");
   int evals = 0;

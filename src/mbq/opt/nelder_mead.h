@@ -16,4 +16,12 @@ struct NelderMeadOptions {
 OptResult nelder_mead(const Objective& f, std::vector<real> x0,
                       const NelderMeadOptions& options, Rng& rng);
 
+/// Batch-aware variant: the initial simplex (n+1 points) and every shrink
+/// step (n points) are evaluated through one BatchObjective call, so a
+/// parallel evaluator (api::Session::batch_objective) overlaps them.  The
+/// trajectory — points visited, their order, and the result — is identical
+/// to the scalar overload.
+OptResult nelder_mead(const BatchObjective& f, std::vector<real> x0,
+                      const NelderMeadOptions& options, Rng& rng);
+
 }  // namespace mbq::opt

@@ -1,0 +1,17 @@
+#include "mbq/opt/optimizer.h"
+
+#include "mbq/common/error.h"
+
+namespace mbq::opt {
+
+BatchObjective batched(Objective f) {
+  MBQ_REQUIRE(f != nullptr, "batched() needs a non-null objective");
+  return [f = std::move(f)](const std::vector<std::vector<real>>& points) {
+    std::vector<real> values;
+    values.reserve(points.size());
+    for (const auto& x : points) values.push_back(f(x));
+    return values;
+  };
+}
+
+}  // namespace mbq::opt

@@ -4,6 +4,14 @@
 // All optimizers MAXIMIZE the objective (matching the cost-Hamiltonian
 // convention).  They are deterministic given the seed, so experiment
 // tables are reproducible.
+//
+// Two objective shapes are supported.  The scalar Objective evaluates one
+// candidate point; the BatchObjective evaluates a whole set of candidate
+// points in one call, letting the evaluation layer fan the points out
+// across threads (api::Session::batch_objective) or, eventually, across
+// processes.  Every optimizer offers both paths, and the batch path visits
+// the same points in the same order as the scalar one, so results are
+// identical — batching is purely a wall-clock knob.
 
 #include <functional>
 #include <vector>
@@ -14,6 +22,16 @@
 namespace mbq::opt {
 
 using Objective = std::function<real(const std::vector<real>&)>;
+
+/// Evaluate many candidate points at once; returns one value per point, in
+/// order.  The caller may assume nothing about evaluation order WITHIN a
+/// batch (points of one batch must be independent).
+using BatchObjective =
+    std::function<std::vector<real>(const std::vector<std::vector<real>>&)>;
+
+/// Lift a scalar objective to the batch interface (serial loop), so any
+/// optimizer's batch path can also run on a plain Objective.
+BatchObjective batched(Objective f);
 
 struct OptResult {
   std::vector<real> x;

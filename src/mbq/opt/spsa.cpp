@@ -8,6 +8,11 @@ namespace mbq::opt {
 
 OptResult spsa(const Objective& f, std::vector<real> x0,
                const SpsaOptions& opt, Rng& rng) {
+  return spsa(batched(f), std::move(x0), opt, rng);
+}
+
+OptResult spsa(const BatchObjective& f, std::vector<real> x0,
+               const SpsaOptions& opt, Rng& rng) {
   MBQ_REQUIRE(!x0.empty(), "empty parameter vector");
   const std::size_t n = x0.size();
   std::vector<real> x = std::move(x0);
@@ -30,8 +35,12 @@ OptResult spsa(const Objective& f, std::vector<real> x0,
       xp[i] += ck * delta[i];
       xm[i] -= ck * delta[i];
     }
-    const real fp = f(xp);
-    const real fm = f(xm);
+    // The two perturbed points are independent: one batch.
+    const std::vector<real> fpm = f({xp, xm});
+    MBQ_REQUIRE(fpm.size() == 2, "batch objective returned "
+                                     << fpm.size() << " values for 2 points");
+    const real fp = fpm[0];
+    const real fm = fpm[1];
     best.evaluations += 2;
     record(xp, fp);
     record(xm, fm);
@@ -39,7 +48,10 @@ OptResult spsa(const Objective& f, std::vector<real> x0,
     for (std::size_t i = 0; i < n; ++i)
       x[i] += ak * (fp - fm) / (2.0 * ck * delta[i]);
   }
-  const real fx = f(x);
+  const std::vector<real> fxs = f({x});
+  MBQ_REQUIRE(fxs.size() == 1, "batch objective returned " << fxs.size()
+                                                           << " values for 1 point");
+  const real fx = fxs[0];
   ++best.evaluations;
   record(x, fx);
   return best;

@@ -19,4 +19,11 @@ struct SpsaOptions {
 OptResult spsa(const Objective& f, std::vector<real> x0,
                const SpsaOptions& options, Rng& rng);
 
+/// Batch-aware variant: the two perturbed evaluations of each iteration
+/// go through one BatchObjective call (they are independent), halving the
+/// critical path on a parallel evaluator.  Identical trajectory and
+/// result to the scalar overload.
+OptResult spsa(const BatchObjective& f, std::vector<real> x0,
+               const SpsaOptions& options, Rng& rng);
+
 }  // namespace mbq::opt

@@ -1,0 +1,194 @@
+// The cost-routing meta-backend: adapter selection at Clifford vs.
+// generic angles and across instance sizes, the routing report, parity
+// with the reference on every routed path, and the cross-check mode —
+// including that it catches an injected disagreement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mbq/api/api.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+
+namespace mbq::api {
+namespace {
+
+using qaoa::Angles;
+
+const Angles kCliffordPoint({kPi / 2}, {kPi / 4});
+const Angles kGenericPoint({0.37}, {0.21});
+
+TEST(Router, RegisteredInRegistry) {
+  auto& registry = BackendRegistry::instance();
+  EXPECT_TRUE(registry.contains("router"));
+  EXPECT_TRUE(registry.contains("router-checked"));
+  EXPECT_EQ(registry.create("router")->name(), "router");
+}
+
+TEST(Router, PicksCliffordAtCliffordPoints) {
+  const RouterBackend router;
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  const RouteDecision d = router.route(w, kCliffordPoint);
+  EXPECT_EQ(d.backend_name, "clifford");
+  EXPECT_TRUE(d.rejected.empty());
+  EXPECT_FALSE(d.reason.empty());
+}
+
+TEST(Router, PicksZxForTinyInstancesAtGenericAngles) {
+  const RouterBackend router;
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  const RouteDecision d = router.route(w, kGenericPoint);
+  EXPECT_EQ(d.backend_name, "zx");
+  // clifford was considered and passed over, with a reason.
+  ASSERT_EQ(d.rejected.size(), 1u);
+  EXPECT_EQ(d.rejected[0].first, "clifford");
+  EXPECT_FALSE(d.rejected[0].second.empty());
+}
+
+TEST(Router, PicksSimulatorBeyondTheTinyInstanceRule) {
+  const RouterBackend router;
+  Rng rng(3);
+  const Workload w = Workload::maxcut(cycle_graph(6));  // > zx_max_qubits = 5
+  const RouteDecision d = router.route(w, Angles::random(1, rng));
+  EXPECT_EQ(d.backend_name, "statevector");
+  bool zx_policy_rejected = false;
+  for (const auto& [name, why] : d.rejected)
+    if (name == "zx")
+      zx_policy_rejected = why.find("routing policy") != std::string::npos;
+  EXPECT_TRUE(zx_policy_rejected);
+}
+
+TEST(Router, RoutedExpectationMatchesReferenceEverywhere) {
+  Rng rng(11);
+  for (int n : {4, 6}) {
+    const Workload w = Workload::maxcut(cycle_graph(n));
+    for (const Angles& a :
+         {kCliffordPoint, Angles::random(1, rng), Angles::random(2, rng)}) {
+      Session reference(w, "statevector");
+      Session routed(w, "router");
+      EXPECT_NEAR(routed.expectation(a), reference.expectation(a), 1e-9)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(Router, SamplingGoesThroughTheRoutedAdapter) {
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  Session session(w, "router", {.seed = 5});
+  const SampleResult r = session.sample(kGenericPoint, 256);
+  EXPECT_EQ(r.shots.size(), 256u);
+  const auto counts = r.counts(4);
+  std::int64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, 256);
+}
+
+TEST(Router, SessionSurfacesRouterName) {
+  Session session(Workload::maxcut(cycle_graph(4)), "router");
+  EXPECT_EQ(session.backend_name(), "router");
+  EXPECT_EQ(session.unsupported_reason(kGenericPoint), "");
+}
+
+TEST(Router, UnsupportedWhenNoCandidateFits) {
+  RouterOptions options;
+  options.candidates = {"clifford"};
+  const RouterBackend router(options);
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  const std::string reason = router.unsupported_reason(w, kGenericPoint,
+                                                       nullptr);
+  EXPECT_NE(reason.find("clifford"), std::string::npos) << reason;
+  Session session(w, std::make_shared<RouterBackend>(options));
+  EXPECT_THROW(session.expectation(kGenericPoint), Error);
+}
+
+TEST(Router, RejectsUnknownCandidatesAndSelfRouting) {
+  RouterOptions unknown;
+  unknown.candidates = {"no-such-backend"};
+  EXPECT_THROW(RouterBackend{unknown}, Error);
+  RouterOptions self;
+  self.candidates = {"router"};
+  EXPECT_THROW(RouterBackend{self}, Error);
+}
+
+TEST(Router, CrossCheckPassesWhenAdaptersAgree) {
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  Session reference(w, "statevector");
+  Session checked(w, "router-checked");
+  // Generic point: zx checked against statevector; Clifford point:
+  // clifford checked against zx.  Both must agree with the reference.
+  EXPECT_NEAR(checked.expectation(kGenericPoint),
+              reference.expectation(kGenericPoint), 1e-9);
+  EXPECT_NEAR(checked.expectation(kCliffordPoint),
+              reference.expectation(kCliffordPoint), 1e-9);
+}
+
+TEST(Router, CrossCheckReportsTheCheckingAdapter) {
+  RouterOptions options;
+  options.cross_check = true;
+  const RouterBackend router(options);
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  const RouteDecision d = router.route(w, kGenericPoint);
+  EXPECT_EQ(d.backend_name, "zx");
+  EXPECT_EQ(d.cross_check_backend, "statevector");
+}
+
+/// Deliberately wrong adapter: statevector shifted by a constant — the
+/// injected disagreement the cross-check must catch.
+class LyingBackend final : public Backend {
+ public:
+  std::string name() const override { return "lying-statevector"; }
+  Capabilities capabilities() const override { return inner_.capabilities(); }
+  real expectation(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                   const Prepared* prep) const override {
+    return inner_.expectation(w, a, rng, prep) + 0.5;
+  }
+  std::uint64_t sample_one(const Workload& w, const qaoa::Angles& a, Rng& rng,
+                           const Prepared* prep) const override {
+    return inner_.sample_one(w, a, rng, prep);
+  }
+
+ private:
+  StatevectorBackend inner_;
+};
+
+TEST(Router, CrossCheckCatchesInjectedDisagreement) {
+  auto& registry = BackendRegistry::instance();
+  if (!registry.contains("lying-statevector"))
+    registry.add("lying-statevector",
+                 [] { return std::make_shared<LyingBackend>(); });
+
+  RouterOptions options;
+  options.candidates = {"lying-statevector", "statevector"};
+  options.cross_check = true;
+  const Workload w = Workload::maxcut(cycle_graph(4));
+
+  Session session(w, std::make_shared<RouterBackend>(options));
+  try {
+    session.expectation(kGenericPoint);
+    FAIL() << "cross-check accepted a 0.5 disagreement";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cross-check disagreement"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("lying-statevector"), std::string::npos) << what;
+  }
+
+  // The same injected pair passes once the tolerance swallows the shift —
+  // the throw above really is the comparison, not an unrelated failure.
+  options.cross_check_tolerance = 1.0;
+  Session lenient(w, std::make_shared<RouterBackend>(options));
+  EXPECT_NO_THROW(lenient.expectation(kGenericPoint));
+}
+
+TEST(Router, CapabilitiesAggregateTheCandidates) {
+  const RouterBackend router;
+  const Capabilities caps = router.capabilities();
+  EXPECT_EQ(caps.max_qubits, 64);  // clifford's reach
+  EXPECT_FALSE(caps.clifford_angles_only);
+  EXPECT_TRUE(caps.supports_mis_ansatz);
+  EXPECT_TRUE(caps.exact_expectation);
+}
+
+}  // namespace
+}  // namespace mbq::api

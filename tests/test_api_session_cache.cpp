@@ -1,0 +1,151 @@
+// Focused coverage of the Session prepare() cache: LRU eviction order at
+// the cache_capacity boundary, hit/miss counter accounting, and the
+// support-check path around eviction — an entry that was evicted must
+// re-run the full check-then-prepare path on its next use, and a point
+// the backend rejects must keep being rejected whatever the cache holds
+// (failed checks never touch the cache or its counters).
+
+#include <gtest/gtest.h>
+
+#include "mbq/api/api.h"
+#include "mbq/graph/generators.h"
+
+namespace mbq::api {
+namespace {
+
+using qaoa::Angles;
+
+Angles point(real gamma, real beta) { return Angles({gamma}, {beta}); }
+
+TEST(SessionCache, CapacityBoundaryHoldsWithoutEviction) {
+  Session session(Workload::maxcut(cycle_graph(3)), "statevector",
+                  {.cache_capacity = 3});
+  session.expectation(point(0.1, 0.1));
+  session.expectation(point(0.2, 0.2));
+  session.expectation(point(0.3, 0.3));
+  EXPECT_EQ(session.cache_entries(), 3u);
+  EXPECT_EQ(session.cache_misses(), 3u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+  // Exactly at capacity every entry is still resident: all hits.
+  session.expectation(point(0.1, 0.1));
+  session.expectation(point(0.2, 0.2));
+  session.expectation(point(0.3, 0.3));
+  EXPECT_EQ(session.cache_entries(), 3u);
+  EXPECT_EQ(session.cache_misses(), 3u);
+  EXPECT_EQ(session.cache_hits(), 3u);
+}
+
+TEST(SessionCache, EvictionFollowsLeastRecentlyUsedOrder) {
+  Session session(Workload::maxcut(cycle_graph(3)), "statevector",
+                  {.cache_capacity = 3});
+  session.expectation(point(0.1, 0.1));  // A
+  session.expectation(point(0.2, 0.2));  // B
+  session.expectation(point(0.3, 0.3));  // C
+  // Touch in the order C, A — so recency is now B < C < A.
+  session.expectation(point(0.3, 0.3));
+  session.expectation(point(0.1, 0.1));
+  EXPECT_EQ(session.cache_hits(), 2u);
+
+  // One past capacity evicts exactly the LRU entry, B.
+  session.expectation(point(0.4, 0.4));  // D
+  EXPECT_EQ(session.cache_entries(), 3u);
+  session.expectation(point(0.3, 0.3));  // C still resident
+  session.expectation(point(0.1, 0.1));  // A still resident
+  session.expectation(point(0.4, 0.4));  // D resident
+  EXPECT_EQ(session.cache_hits(), 5u);
+  EXPECT_EQ(session.cache_misses(), 4u);  // A, B, C, D
+
+  // B was evicted: re-requesting it is a fresh miss, which evicts the
+  // next LRU in line — C (A and D were touched more recently above).
+  session.expectation(point(0.2, 0.2));
+  EXPECT_EQ(session.cache_misses(), 5u);
+  // C misses again and evicts A, now the oldest.
+  session.expectation(point(0.3, 0.3));
+  EXPECT_EQ(session.cache_misses(), 6u);
+  // The survivors — D and the freshly re-inserted B and C — all hit.
+  session.expectation(point(0.4, 0.4));
+  session.expectation(point(0.2, 0.2));
+  session.expectation(point(0.3, 0.3));
+  EXPECT_EQ(session.cache_hits(), 8u);
+  EXPECT_EQ(session.cache_misses(), 6u);
+}
+
+TEST(SessionCache, CapacityOneThrashesDeterministically) {
+  Session session(Workload::maxcut(cycle_graph(3)), "statevector",
+                  {.cache_capacity = 1});
+  const real a = session.expectation(point(0.5, 0.3));
+  session.expectation(point(0.7, 0.1));
+  EXPECT_EQ(session.cache_entries(), 1u);
+  // The first point was evicted; its re-evaluation is a miss with an
+  // identical value (prepare() is deterministic).
+  EXPECT_EQ(session.expectation(point(0.5, 0.3)), a);
+  EXPECT_EQ(session.cache_misses(), 3u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+}
+
+TEST(SessionCache, HitAfterEvictionRerunsSupportCheckPath) {
+  // Clifford points of unit-weight MaxCut on C4: 2*gamma*(+-1/2) and
+  // 2*beta must be pi/2 multiples.  The clifford backend's support check
+  // compiles the pattern and tests its angles — exactly the path that
+  // must re-run when an evicted point comes back.
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  const Angles a = point(kPi / 2, kPi / 4);
+  const Angles b = point(0.0, kPi / 4);
+  const Angles c = point(kPi / 2, 0.0);
+  Session session(w, "clifford", {.cache_capacity = 2});
+
+  const real at_a = session.expectation(a);
+  session.expectation(b);
+  EXPECT_EQ(session.cache_misses(), 2u);
+  session.expectation(c);  // evicts a
+  EXPECT_EQ(session.cache_entries(), 2u);
+
+  // a must pass the full check-then-prepare path again and reproduce its
+  // value exactly (the tableau run is deterministic in the expectation).
+  EXPECT_EQ(session.expectation(a), at_a);
+  EXPECT_EQ(session.cache_misses(), 4u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+}
+
+TEST(SessionCache, RejectedPointsNeverTouchCacheOrCounters) {
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  Session session(w, "clifford", {.cache_capacity = 2});
+  const Angles generic = point(0.37, 0.21);  // not a Clifford point
+
+  // Rejected before the cache exists...
+  EXPECT_THROW(session.expectation(generic), Error);
+  EXPECT_EQ(session.cache_entries(), 0u);
+  EXPECT_EQ(session.cache_misses(), 0u);
+
+  // ...and still rejected when the cache is full and churning.
+  session.expectation(point(kPi / 2, kPi / 4));
+  session.expectation(point(0.0, kPi / 4));
+  session.expectation(point(kPi / 2, 0.0));  // forces an eviction
+  EXPECT_THROW(session.expectation(generic), Error);
+  EXPECT_THROW(session.sample(generic, 4), Error);
+  EXPECT_EQ(session.cache_entries(), 2u);
+  EXPECT_EQ(session.cache_misses(), 3u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+}
+
+TEST(SessionCache, SampleAndExpectationShareEntries) {
+  Session session(Workload::maxcut(cycle_graph(4)), "mbqc",
+                  {.cache_capacity = 4});
+  const Angles a = point(0.6, 0.4);
+  session.expectation(a);
+  EXPECT_EQ(session.cache_misses(), 1u);
+  session.sample(a, 8);
+  session.best_of(a, 8);
+  EXPECT_EQ(session.cache_misses(), 1u);
+  EXPECT_EQ(session.cache_hits(), 2u);
+  EXPECT_EQ(session.cache_entries(), 1u);
+}
+
+TEST(SessionCache, CapacityMustBePositive) {
+  EXPECT_THROW(Session(Workload::maxcut(cycle_graph(3)), "statevector",
+                       {.cache_capacity = 0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace mbq::api

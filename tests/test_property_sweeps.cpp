@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "mbq/api/api.h"
 #include "mbq/common/bits.h"
 #include "mbq/common/rng.h"
 #include "mbq/core/compiler.h"
@@ -201,6 +204,73 @@ TEST_P(GraphStateSweep, ZxStateMatchesCzConstruction) {
 INSTANTIATE_TEST_SUITE_P(Families, GraphStateSweep,
                          ::testing::Values("path", "cycle", "complete",
                                            "star", "gnm"));
+
+// ---------------------------------------------------------------------
+// Sweep 6: api::SampleResult accessors are mutually consistent across
+// random seeds — counts() sums to the shot total, best() is the max-cost
+// shot, mean_cost() is the arithmetic mean of per-shot costs.
+
+class SampleResultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampleResultSweep, AccessorsAreConsistent) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const int n = 4;
+  const Graph g = random_gnm_graph(n, 5, rng);
+  api::Session session(api::Workload::maxcut(g), "statevector",
+                       {.seed = seed * 977 + 1});
+  const qaoa::Angles a = qaoa::Angles::random(1, rng);
+  const int shots = 256;
+  const api::SampleResult r = session.sample(a, shots);
+  ASSERT_EQ(r.shots.size(), static_cast<std::size_t>(shots));
+
+  // counts(n): one bin per bitstring, totals the shot count, and every
+  // outcome fits the register.
+  const auto counts = r.counts(n);
+  ASSERT_EQ(counts.size(), std::size_t{1} << n);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            shots);
+  for (const api::Shot& s : r.shots) {
+    ASSERT_LT(s.x, std::uint64_t{1} << n);
+    ASSERT_NEAR(s.cost, session.workload().cost().evaluate(s.x), 1e-12);
+  }
+  for (std::uint64_t x = 0; x < counts.size(); ++x) {
+    const auto expected = static_cast<std::int64_t>(
+        std::count_if(r.shots.begin(), r.shots.end(),
+                      [x](const api::Shot& s) { return s.x == x; }));
+    ASSERT_EQ(counts[x], expected) << "bin " << x;
+  }
+
+  // best(): the maximum cost over the shots.
+  real max_cost = r.shots.front().cost;
+  real sum = 0.0;
+  for (const api::Shot& s : r.shots) {
+    max_cost = std::max(max_cost, s.cost);
+    sum += s.cost;
+  }
+  EXPECT_EQ(r.best().cost, max_cost);
+  EXPECT_NEAR(r.mean_cost(), sum / shots, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SampleResultSweep, ::testing::Range(0, 8));
+
+TEST(SampleResultCounts, RejectsOversizedRegistersDescriptively) {
+  // Regression: counts() must refuse n > 24 with an explanatory Error
+  // instead of silently allocating a 2^n histogram.
+  api::SampleResult r;
+  r.shots = {{3, 1.0}, {5, 2.0}};
+  EXPECT_EQ(r.counts(3).size(), 8u);
+  EXPECT_THROW(r.counts(0), Error);
+  try {
+    r.counts(25);
+    FAIL() << "counts(25) did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("24"), std::string::npos) << what;
+    EXPECT_NE(what.find("2^25"), std::string::npos) << what;
+  }
+  EXPECT_THROW(r.counts(63), Error);
+}
 
 }  // namespace
 }  // namespace mbq

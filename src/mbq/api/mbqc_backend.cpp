@@ -3,7 +3,7 @@
 #include "mbq/api/prepared.h"
 #include "mbq/common/bits.h"
 #include "mbq/common/error.h"
-#include "mbq/mbqc/runner.h"
+#include "mbq/mbqc/compiled.h"
 
 namespace mbq::api {
 
@@ -41,6 +41,11 @@ std::shared_ptr<const Prepared> MbqcBackend::prepare(
   auto prep = std::make_shared<PreparedPattern>();
   prep->compiled =
       w.compile_pattern(a, mode_ == core::CorrectionMode::Quantum);
+  // Lower to the flat op tape here, once per (workload, angles):
+  // Session's prepare-cache keeps the whole artifact, so every
+  // subsequent expectation/sample shot replays the tape only.
+  prep->executable =
+      std::make_shared<const mbqc::CompiledPattern>(prep->compiled.pattern);
   return prep;
 }
 
@@ -56,7 +61,8 @@ real MbqcBackend::expectation(const Workload& w, const qaoa::Angles& a,
   // In classical mode the X byproducts permute basis states, so <C> is
   // computed on the corrected distribution by folding the flip mask into
   // the cost argument.
-  const mbqc::RunResult r = mbqc::run(cp.pattern, rng);
+  const mbqc::RunResult r =
+      mbqc::thread_local_executor(executable_of(prep)).run(rng);
   const std::uint64_t flip = byproduct_flips(cp, w.num_qubits(), r.outcomes);
   real acc = 0.0;
   for (std::uint64_t x = 0; x < r.output_state.size(); ++x)
@@ -72,20 +78,16 @@ std::uint64_t MbqcBackend::sample_one(const Workload& w, const qaoa::Angles& a,
     prep = local.get();
   }
   const core::CompiledPattern& cp = pattern_of(prep);
-  const mbqc::RunResult r = mbqc::run(cp.pattern, rng);
-  // Final computational-basis readout of the output register.
-  real u = rng.uniform();
-  std::uint64_t x = 0;
-  for (std::uint64_t i = 0; i < r.output_state.size(); ++i) {
-    u -= std::norm(r.output_state[i]);
-    if (u <= 0.0) {
-      x = i;
-      break;
-    }
-    if (i + 1 == r.output_state.size()) x = i;
-  }
+  // The tape replays on this thread's warm executor arena: the whole
+  // shot loop above us (Session::sample fans shots across threads)
+  // performs no per-shot validation, lowering, or basis construction,
+  // and the final computational-basis readout samples straight from the
+  // arena — no per-shot output_state copy either.
+  mbqc::PatternExecutor& executor =
+      mbqc::thread_local_executor(executable_of(prep));
+  const std::uint64_t x = executor.run_sample(rng).x;
   // Classical correction mode: X byproducts flip readout bits.
-  return x ^ byproduct_flips(cp, w.num_qubits(), r.outcomes);
+  return x ^ byproduct_flips(cp, w.num_qubits(), executor.last_outcomes());
 }
 
 }  // namespace mbq::api

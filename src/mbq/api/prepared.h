@@ -8,22 +8,36 @@
 // between adapters.
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "mbq/api/backend.h"
 #include "mbq/common/error.h"
 #include "mbq/core/compiler.h"
+#include "mbq/mbqc/compiled.h"
 
 namespace mbq::api {
 
 struct PreparedPattern final : Prepared {
   core::CompiledPattern compiled;
+  /// The validate-once lowered op tape of compiled.pattern, shared with
+  /// per-thread PatternExecutors.  Filled by the backends that execute
+  /// on the dynamic statevector (mbqc, mbqc-classical); the tableau path
+  /// walks compiled.pattern directly and leaves it null.
+  std::shared_ptr<const mbqc::CompiledPattern> executable;
 };
 
 inline const core::CompiledPattern& pattern_of(const Prepared* prep) {
   const auto* p = dynamic_cast<const PreparedPattern*>(prep);
   MBQ_ASSERT(p != nullptr);
   return p->compiled;
+}
+
+inline const std::shared_ptr<const mbqc::CompiledPattern>& executable_of(
+    const Prepared* prep) {
+  const auto* p = dynamic_cast<const PreparedPattern*>(prep);
+  MBQ_ASSERT(p != nullptr && p->executable != nullptr);
+  return p->executable;
 }
 
 /// Exact output distribution of a backend whose state is fully known.

@@ -1,11 +1,36 @@
 #include "mbq/mbqc/runner.h"
 
+#include <memory>
+
 #include "mbq/common/bits.h"
 #include "mbq/common/error.h"
+#include "mbq/mbqc/compiled.h"
 
 namespace mbq::mbqc {
 
+namespace {
+
+ExecOptions exec_options(const RunOptions& options) {
+  return {options.apply_corrections, options.input_states,
+          options.entangler_noise};
+}
+
+}  // namespace
+
 RunResult run(const Pattern& p, Rng& rng, const RunOptions& options) {
+  const int num_meas = p.num_measurements();
+  MBQ_REQUIRE(options.forced.empty() ||
+                  static_cast<int>(options.forced.size()) == num_meas,
+              "forced outcomes size " << options.forced.size()
+                                      << " != measurement count " << num_meas);
+  PatternExecutor executor(std::make_shared<const CompiledPattern>(p),
+                           exec_options(options));
+  if (!options.forced.empty()) return executor.run_forced(options.forced);
+  return executor.run(rng);
+}
+
+RunResult run_interpreted(const Pattern& p, Rng& rng,
+                          const RunOptions& options) {
   p.validate();
   const int num_meas = p.num_measurements();
   MBQ_REQUIRE(options.forced.empty() ||
@@ -23,19 +48,6 @@ RunResult run(const Pattern& p, Rng& rng, const RunOptions& options) {
   std::vector<int> outcomes;  // recorded outcomes by signal id
   outcomes.reserve(num_meas);
 
-  auto maybe_depolarize = [&](int wire) {
-    if (options.entangler_noise <= 0.0) return;
-    if (!rng.bernoulli(options.entangler_noise)) return;
-    switch (rng.uniform_index(3)) {
-      case 0: dsv.apply_x(wire); break;
-      case 1: dsv.apply_z(wire); break;
-      default:
-        dsv.apply_x(wire);
-        dsv.apply_z(wire);  // Y up to phase
-        break;
-    }
-  };
-
   // Load inputs.
   for (int w : p.inputs()) {
     auto it = options.input_states.find(w);
@@ -51,9 +63,7 @@ RunResult run(const Pattern& p, Rng& rng, const RunOptions& options) {
     if (const auto* n = std::get_if<CmdPrep>(&c)) {
       dsv.add_wire(n->wire, /*plus=*/true);
     } else if (const auto* e = std::get_if<CmdEntangle>(&c)) {
-      dsv.apply_cz(e->a, e->b);
-      maybe_depolarize(e->a);
-      maybe_depolarize(e->b);
+      dsv.apply_cz_depolarize(e->a, e->b, options.entangler_noise, rng);
     } else if (const auto* m = std::get_if<CmdMeasure>(&c)) {
       const int s = m->s_domain.evaluate(outcomes);
       const int t = m->t_domain.evaluate(outcomes);
@@ -87,21 +97,24 @@ RunResult run(const Pattern& p, Rng& rng, const RunOptions& options) {
   return result;
 }
 
-std::vector<RunResult> run_all_branches(const Pattern& p,
-                                        int max_measurements) {
+std::vector<RunResult> run_all_branches(const Pattern& p, int max_measurements,
+                                        const RunOptions& base) {
   const int m = p.num_measurements();
   MBQ_REQUIRE(m <= max_measurements,
               "pattern has " << m << " measurements; exhaustive enumeration "
                              << "capped at " << max_measurements);
+  MBQ_REQUIRE(base.forced.empty(),
+              "run_all_branches enumerates every branch itself; do not pass "
+              "forced outcomes");
+  MBQ_REQUIRE(base.entangler_noise == 0.0,
+              "run_all_branches forces every outcome, which is incompatible "
+              "with entangler noise");
+  PatternExecutor executor(std::make_shared<const CompiledPattern>(p),
+                           exec_options(base));
   std::vector<RunResult> results;
   results.reserve(std::size_t{1} << m);
-  Rng rng(0);  // unused: all outcomes forced
-  for (std::uint64_t branch = 0; branch < (std::uint64_t{1} << m); ++branch) {
-    RunOptions opt;
-    opt.forced.resize(m);
-    for (int i = 0; i < m; ++i) opt.forced[i] = get_bit(branch, i);
-    results.push_back(run(p, rng, opt));
-  }
+  for (std::uint64_t branch = 0; branch < (std::uint64_t{1} << m); ++branch)
+    results.push_back(executor.run_forced(branch));
   return results;
 }
 

@@ -51,13 +51,29 @@ struct RunResult {
   std::unordered_map<int, int> pending_z;
 };
 
-/// Execute the pattern.  Validates it first.
+/// Execute the pattern.  Thin wrapper over the compiled executor
+/// (mbqc/compiled.h): compiles the pattern (which validates it) and runs
+/// it once.  Repeated-shot callers should compile once and reuse a
+/// PatternExecutor instead — that amortizes validation, command lowering
+/// and basis construction across shots.
 RunResult run(const Pattern& p, Rng& rng, const RunOptions& options = {});
 
+/// Reference implementation: walk the command variant list directly,
+/// validating and rebuilding measurement bases per call.  Semantically
+/// and rng-stream-identical to run(); retained as the differential
+/// oracle for the compiled executor (tests) and the "interpreted" column
+/// of the benches.
+RunResult run_interpreted(const Pattern& p, Rng& rng,
+                          const RunOptions& options = {});
+
 /// Convenience: run with every branch forced, for all 2^M branches if
-/// M <= max_measurements, and return one RunResult per branch.  Throws if
-/// the pattern has more measurements than max_measurements.
+/// M <= max_measurements, and return one RunResult per branch (compiled
+/// once, executed 2^M times).  Throws if the pattern has more
+/// measurements than max_measurements, if base.forced is non-empty (the
+/// enumeration owns the forcing), or if base carries entangler noise —
+/// noise draws would silently change branch statistics.
 std::vector<RunResult> run_all_branches(const Pattern& p,
-                                        int max_measurements = 12);
+                                        int max_measurements = 12,
+                                        const RunOptions& base = {});
 
 }  // namespace mbq::mbqc

@@ -30,12 +30,21 @@ class DynamicStatevector {
  public:
   DynamicStatevector() { amps_ = {cplx{1.0, 0.0}}; }
 
+  /// Return to the empty register (scalar state 1) WITHOUT releasing the
+  /// amplitude buffers: a simulator reset in a shot loop reuses the same
+  /// arena, so steady-state execution performs no allocations at all.
+  void reset();
+
   int num_live() const noexcept { return static_cast<int>(order_.size()); }
   int peak_live() const noexcept { return peak_live_; }
   std::uint64_t dim() const noexcept { return std::uint64_t{1} << order_.size(); }
   bool has_wire(int wire) const noexcept { return pos_.count(wire) != 0; }
   /// Live wire ids in bit-position order (position 0 first).
   const std::vector<int>& wire_order() const noexcept { return order_; }
+  /// Current bit position of a live wire (throws if not live).  The
+  /// compiled executor uses this to build position masks for the fused
+  /// kernels below.
+  int bit_position(int wire) const { return position(wire); }
 
   /// Add wire `wire` in |+> (plus=true) or |0>.
   void add_wire(int wire, bool plus = true);
@@ -50,9 +59,66 @@ class DynamicStatevector {
   void apply_rz(int wire, real theta);
   void apply_cz(int wire_a, int wire_b);
 
+  /// CZ followed by the entangler noise channel: each touched wire
+  /// suffers a uniformly random Pauli with probability p.  Draws from
+  /// rng in the same order as apply_cz + two per-wire checks would, but
+  /// executes everything as ONE fused amplitude pass (sign flips and
+  /// index swaps only, so the result is bit-identical to the sequential
+  /// gate composition).  p <= 0 degrades to plain apply_cz.
+  void apply_cz_depolarize(int wire_a, int wire_b, real p, Rng& rng);
+
   /// Measure `wire` in the given basis and REMOVE it from the register.
   /// forced in {-1 (sample from Born rule), 0, 1}.  Returns the outcome.
   int measure_remove(int wire, const Matrix& basis, Rng& rng, int forced = -1);
+
+  // --- fused kernels for the compiled pattern executor -----------------
+  // Each replaces a sequence of the primitive operations above with one
+  // amplitude pass, producing bit-identical amplitudes and outcome
+  // streams (everything they fuse is a scale, a sign flip, an index swap
+  // or a sum evaluated in the reference order).  They also maintain the
+  // running norm fold (see fold_ below), which lets the next sampled
+  // measurement skip its full normalization pass.
+
+  /// add_wire(wire, plus=true) immediately followed by a CZ against
+  /// every live wire whose POSITION bit is set in partner_pos_mask, as
+  /// one pass (the fresh wire occupies the top position, so the CZs only
+  /// sign the upper half being written anyway).
+  void add_wire_plus_cz(int wire, std::uint64_t partner_pos_mask);
+
+  /// A run of CZs given as position-pair masks (each mask = both
+  /// endpoint position bits), one sign pass instead of `count` passes.
+  void apply_cz_masks(const std::uint64_t* pair_masks, int count);
+
+  /// The ordered composition of X- and Z-corrections folded to
+  /// X^{xmask} with a Z-phase mask and an overall sign, one pass instead
+  /// of one per correction.  Masks are position masks; `negate` carries
+  /// the anticommutation sign the sequential order would have produced.
+  void apply_pauli_masks(std::uint64_t xmask, std::uint64_t zmask,
+                         bool negate);
+
+  /// The paper's gadget step fused end to end: prepare `wire` in |+> at
+  /// the top position, CZ it against partner_pos_mask, and measure it in
+  /// `basis` — without ever materializing the doubled register.  The
+  /// upper amplitude half is ±(scaled lower half), so probabilities,
+  /// projections and the collapsed state are computed straight from the
+  /// untouched register: the whole N;E...;M block costs ~3 passes at the
+  /// SMALL dimension.  Contract matches measure_remove.
+  int prep_cz_measure(int wire, std::uint64_t partner_pos_mask,
+                      const Matrix& basis, Rng& rng, int forced = -1);
+
+  /// The teleport step fused end to end: prepare `new_wire` in |+> at
+  /// the top position, CZ it against partner_pos_mask, then measure
+  /// `meas_wire` (a DIFFERENT, live wire) in `basis`.  Again the doubled
+  /// register never exists — the virtual upper half is ±(scaled lower
+  /// half), so the collapse reads the untouched register directly and
+  /// writes the final (same-sized) state in one pass.  Every sum runs in
+  /// the order the sequential add_wire/apply_cz/measure_remove chain
+  /// folds it, so outcomes stay bit-identical.  After the call
+  /// `meas_wire` is gone and `new_wire` is live at the top position,
+  /// exactly as the sequential chain would leave them.
+  int prep_cz_teleport_measure(int new_wire, std::uint64_t partner_pos_mask,
+                               int meas_wire, const Matrix& basis, Rng& rng,
+                               int forced = -1);
 
   /// Probability that measuring `wire` in `basis` yields 1.
   real prob_one(int wire, const Matrix& basis) const;
@@ -62,6 +128,13 @@ class DynamicStatevector {
   /// reference state.
   std::vector<cplx> state_in_order(const std::vector<int>& wires) const;
 
+  /// Cumulative Born walk over the state_in_order(wires) amplitudes
+  /// WITHOUT materializing the copy: subtracts |amp|² from u in gathered
+  /// order and returns the first index where u drops to <= 0 (the last
+  /// index if it never does).  Bit-identical to walking the gathered
+  /// vector, minus its allocation — the per-shot readout fast path.
+  std::uint64_t sample_in_order(const std::vector<int>& wires, real u) const;
+
   real norm() const;
   void normalize();
 
@@ -69,9 +142,19 @@ class DynamicStatevector {
   int position(int wire) const;
 
   std::vector<cplx> amps_;
+  std::vector<cplx> scratch_;            // measure_remove ping-pong buffer
   std::vector<int> order_;               // wire id per bit position
   std::unordered_map<int, int> pos_;     // wire id -> bit position
   int peak_live_ = 0;
+
+  // Running Σ|amp|² folded in ascending index order — bitwise equal to
+  // what a fresh normalization pass would compute, which is the ONLY
+  // reason a sampled measurement may reuse it (Born probabilities stay
+  // bit-identical).  Maintained by the fused kernels and by the
+  // measure_remove collapse; norm-preserving sign passes (Z, CZ) keep it
+  // valid untouched; everything else invalidates it.
+  real fold_ = 1.0;
+  bool fold_valid_ = true;
 };
 
 }  // namespace mbq

@@ -14,6 +14,7 @@
 #include "mbq/core/protocol.h"
 #include "mbq/graph/generators.h"
 #include "mbq/linalg/unitaries.h"
+#include "mbq/mbqc/compiled.h"
 #include "mbq/mbqc/from_circuit.h"
 #include "mbq/mbqc/gflow.h"
 #include "mbq/mbqc/runner.h"
@@ -253,6 +254,74 @@ TEST_P(SampleResultSweep, AccessorsAreConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SampleResultSweep, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Sweep 7: compiled vs interpreted pattern execution over ~200 random
+// standardized patterns (random entanglement graphs, measurement planes
+// and signal domains): same seeds must give the same outcome streams,
+// the same peak live width, and output states matching to 1e-12.
+
+mbqc::Pattern random_standardized_pattern(Rng& rng) {
+  const int n = 3 + static_cast<int>(rng.uniform_index(4));  // 3..6 wires
+  const int outputs = 1 + static_cast<int>(rng.uniform_index(2));
+  mbqc::Pattern p;
+  for (int w = 0; w < n; ++w) p.add_prep(w);
+  // Random entanglement graph over the wires (standard form: all E
+  // commands up front), always including a spanning path so nothing is
+  // trivially disconnected.
+  for (int w = 0; w + 1 < n; ++w) p.add_entangle(w, w + 1);
+  const Graph extra = random_gnp_graph(n, 0.4, rng);
+  for (const Edge& e : extra.edges())
+    if (e.v != e.u + 1) p.add_entangle(e.u, e.v);
+
+  const MeasBasis planes[] = {MeasBasis::Z, MeasBasis::X, MeasBasis::XY,
+                              MeasBasis::YZ};
+  auto random_domain = [&](int measured) {
+    SignalExpr d;
+    for (int v = 0; v < measured; ++v)
+      if (rng.coin()) d ^= SignalExpr(static_cast<signal_t>(v));
+    return d;
+  };
+  for (int w = 0; w < n - outputs; ++w)
+    p.add_measure(w, planes[rng.uniform_index(4)], rng.angle(),
+                  random_domain(w), random_domain(w));
+  std::vector<int> outs;
+  for (int w = n - outputs; w < n; ++w) {
+    const int m = n - outputs;
+    if (rng.coin()) p.add_correct_x(w, random_domain(m));
+    if (rng.coin()) p.add_correct_z(w, random_domain(m));
+    outs.push_back(w);
+  }
+  p.set_outputs(std::move(outs));
+  return p;
+}
+
+class CompiledExecutorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledExecutorSweep, CompiledAgreesWithInterpreter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int i = 0; i < 25; ++i) {
+    const mbqc::Pattern p = random_standardized_pattern(rng);
+    mbqc::PatternExecutor executor(
+        std::make_shared<const mbqc::CompiledPattern>(p));
+    const std::uint64_t seed = rng.next();
+    Rng interpreted_rng(seed);
+    Rng compiled_rng(seed);
+    for (int rep = 0; rep < 3; ++rep) {
+      const mbqc::RunResult want = mbqc::run_interpreted(p, interpreted_rng);
+      const mbqc::RunResult got = executor.run(compiled_rng);
+      ASSERT_EQ(want.outcomes, got.outcomes) << "pattern " << i << "\n"
+                                             << p.str();
+      ASSERT_EQ(want.peak_live, got.peak_live) << "pattern " << i;
+      ASSERT_EQ(want.output_state.size(), got.output_state.size());
+      for (std::size_t k = 0; k < want.output_state.size(); ++k)
+        ASSERT_LT(std::abs(want.output_state[k] - got.output_state[k]), 1e-12)
+            << "pattern " << i << " amplitude " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledExecutorSweep, ::testing::Range(0, 8));
 
 TEST(SampleResultCounts, RejectsOversizedRegistersDescriptively) {
   // Regression: counts() must refuse n > 24 with an explanatory Error

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "mbq/api/api.h"
+#include "mbq/common/parallel.h"
 #include "mbq/common/rng.h"
 #include "mbq/core/compiler.h"
 #include "mbq/graph/generators.h"
@@ -135,6 +137,56 @@ void BM_PatternRunClifford(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PatternRunClifford)->DenseRange(16, 60, 22);
+
+// Process-sharded Session sampling: shots/sec at 1 vs N worker
+// processes on the p=2 MaxCut workload (items/sec IS shots/sec).  The
+// 1-process row is the in-process path; rows with processes >= 2 fan
+// contiguous shot slices out to single-threaded mbq_worker children
+// (outcome streams are bit-identical across ALL rows — test_shard
+// asserts it; this table only times the fan-out).  Speedup tracks the
+// physical core count: on a 1-core box the sharded rows only measure
+// protocol overhead.  Run with
+//   --benchmark_filter=SessionSampleProcesses
+//       --benchmark_out=BENCH_shard_scaling.json
+// to produce the shard-scaling artifact CI uploads.
+void BM_SessionSampleProcesses(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int processes = static_cast<int>(state.range(1));
+  Rng rng(3);
+  const Graph g = cycle_graph(n);
+  const api::Workload w = api::Workload::maxcut(g);
+  const qaoa::Angles a = qaoa::Angles::random(2, rng);
+
+  api::SessionOptions options;
+  options.seed = 9;
+  options.num_processes = processes;
+  api::Session session(w, "mbqc", options);
+  const int shots = 32;
+  // Warm up outside the timed loop: compile/cache the pattern and (for
+  // sharded rows) spawn the worker pool.
+  session.sample(a, shots);
+  if (processes > 1 && session.shard_workers() != processes)
+    state.SkipWithError("worker pool did not spawn (mbq_worker missing?)");
+
+  for (auto _ : state) {
+    const api::SampleResult r = session.sample(a, shots);
+    benchmark::DoNotOptimize(r.shots.data());
+  }
+  state.SetItemsProcessed(state.iterations() * shots);
+  state.counters["processes"] = processes;
+  state.counters["threads_inproc"] = num_threads();
+}
+BENCHMARK(BM_SessionSampleProcesses)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->Args({14, 1})
+    ->Args({14, 2})
+    ->Args({14, 4})
+    // Wall clock, not parent CPU: the sharded rows burn their cycles in
+    // the worker processes, which process CPU time never sees.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GraphStateTableau(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

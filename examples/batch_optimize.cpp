@@ -28,6 +28,12 @@ int main(int argc, char** argv) {
   const Graph g = random_regular_graph(8, 3, rng);
   const api::Workload workload = api::Workload::maxcut(g);
   const std::string backend = argc > 1 ? argv[1] : "router";
+  if (!api::BackendRegistry::instance().contains(backend)) {
+    std::cerr << "unknown backend '" << backend << "'. Available backends:\n";
+    for (const std::string& name : api::BackendRegistry::instance().names())
+      std::cerr << "  " << name << "\n";
+    return 1;
+  }
   api::Session session(workload, backend, {.seed = 424242});
   std::cout << "MaxCut on " << g.str() << " via backend '"
             << session.backend_name() << "' (" << num_threads()

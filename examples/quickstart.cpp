@@ -8,7 +8,6 @@
 // Build & run:  ./build/examples/quickstart [backend]
 
 #include <iostream>
-#include <memory>
 
 #include "mbq/api/api.h"
 #include "mbq/common/bits.h"
@@ -33,17 +32,17 @@ int main(int argc, char** argv) {
 
   // 3. A session on the measurement-based backend (or any registered
   //    name passed on the command line: statevector, mbqc,
-  //    mbqc-classical, clifford, zx, router, router-checked).
+  //    mbqc-classical, clifford, zx, router, router-checked).  Validate
+  //    the name up front so a typo yields the list of valid choices, not
+  //    a mid-setup exception.
   const std::string backend = argc > 1 ? argv[1] : "mbqc";
-  std::unique_ptr<api::Session> opened;
-  try {
-    opened = std::make_unique<api::Session>(workload, backend,
-                                            api::SessionOptions{.seed = 1234});
-  } catch (const Error& e) {
-    std::cerr << e.what() << "\n";
+  if (!api::BackendRegistry::instance().contains(backend)) {
+    std::cerr << "unknown backend '" << backend << "'. Available backends:\n";
+    for (const std::string& name : api::BackendRegistry::instance().names())
+      std::cerr << "  " << name << "\n";
     return 1;
   }
-  api::Session& session = *opened;
+  api::Session session(workload, backend, api::SessionOptions{.seed = 1234});
   std::cout << "Backend '" << session.backend_name()
             << "': " << session.capabilities().summary << "\n";
   const std::string decline = session.unsupported_reason(angles);

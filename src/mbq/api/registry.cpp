@@ -1,5 +1,6 @@
 #include "mbq/api/registry.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "mbq/api/clifford_backend.h"
@@ -32,6 +33,9 @@ BackendRegistry::BackendRegistry() {
     options.cross_check = true;
     return std::make_shared<RouterBackend>(options);
   };
+  builtin_names_.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_)
+    builtin_names_.push_back(name);
 }
 
 BackendRegistry& BackendRegistry::instance() {
@@ -50,6 +54,12 @@ void BackendRegistry::add(const std::string& name, Factory factory) {
 bool BackendRegistry::contains(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return factories_.find(name) != factories_.end();
+}
+
+bool BackendRegistry::is_builtin(const std::string& name) const {
+  // builtin_names_ is immutable after the constructor: no lock needed.
+  return std::find(builtin_names_.begin(), builtin_names_.end(), name) !=
+         builtin_names_.end();
 }
 
 std::shared_ptr<Backend> BackendRegistry::create(

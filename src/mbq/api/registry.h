@@ -33,6 +33,12 @@ class BackendRegistry {
 
   bool contains(const std::string& name) const;
 
+  /// True for the adapters the library registers itself — the set every
+  /// freshly exec'd process (in particular mbq_worker) is guaranteed to
+  /// have.  Sessions only shard backends passing this test: a child
+  /// cannot rebuild a backend registered at runtime in the parent only.
+  bool is_builtin(const std::string& name) const;
+
   /// Instantiate by name; throws Error listing the known names when the
   /// key is unknown.
   std::shared_ptr<Backend> create(const std::string& name) const;
@@ -45,6 +51,7 @@ class BackendRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
+  std::vector<std::string> builtin_names_;  // fixed after construction
 };
 
 }  // namespace mbq::api

@@ -1,14 +1,29 @@
 #include "mbq/api/session.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 
 #include "mbq/api/registry.h"
 #include "mbq/common/error.h"
 #include "mbq/common/parallel.h"
+#include "mbq/shard/plan.h"
+#include "mbq/shard/protocol.h"
+#include "mbq/shard/worker_pool.h"
 
 namespace mbq::api {
+
+namespace {
+
+int resolve_num_processes(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("MBQ_NUM_PROCESSES"))
+    if (const int n = std::atoi(env); n >= 1) return n;
+  return 1;
+}
+
+}  // namespace
 
 const Shot& SampleResult::best() const {
   MBQ_REQUIRE(!shots.empty(), "no shots recorded");
@@ -44,7 +59,16 @@ std::vector<std::int64_t> SampleResult::counts(int num_qubits) const {
 Session::Session(Workload workload, const std::string& backend_name,
                  SessionOptions options)
     : Session(std::move(workload),
-              BackendRegistry::instance().create(backend_name), options) {}
+              BackendRegistry::instance().create(backend_name), options) {
+  // Record the exact key the user picked: it may carry configuration the
+  // backend's own name() does not (e.g. "router-checked" names itself
+  // "router"), and a worker process rebuilds the backend from this key.
+  // Runtime-registered keys stay unset: they exist in THIS process's
+  // registry only, so a worker could not rebuild them (no sharding).
+  registry_key_ = BackendRegistry::instance().is_builtin(backend_name)
+                      ? backend_name
+                      : std::string{};
+}
 
 Session::Session(Workload workload, std::shared_ptr<Backend> backend,
                  SessionOptions options)
@@ -54,6 +78,45 @@ Session::Session(Workload workload, std::shared_ptr<Backend> backend,
       rng_(options.seed) {
   MBQ_REQUIRE(backend_ != nullptr, "Session needs a backend");
   MBQ_REQUIRE(options_.cache_capacity >= 1, "cache capacity must be >= 1");
+  num_processes_ = resolve_num_processes(options_.num_processes);
+  // Instance-constructed sessions never shard (registry_key_ stays
+  // empty): a worker rebuilds backends from a registry key, and a name
+  // match alone cannot prove the instance carries the key's default
+  // configuration — e.g. a RouterBackend with custom RouterOptions
+  // still names itself "router", and a worker rebuilding "router"
+  // would route differently, breaking bit-identity.  Construct by
+  // registry name to opt into sharding.
+}
+
+Session::~Session() = default;
+
+int Session::shard_workers() const noexcept {
+  return pool_ != nullptr && pool_->alive() ? pool_->size() : 0;
+}
+
+shard::WorkerPool* Session::shard_pool(std::uint64_t items) {
+  if (num_processes_ <= 1 || shard_disabled_ || items < 2) return nullptr;
+  if (registry_key_.empty() || !shard::shardable(workload_)) return nullptr;
+  if (pool_ == nullptr) {
+    const std::string path =
+        shard::resolve_worker_path(options_.worker_path);
+    if (path.empty()) {
+      shard_disabled_ = true;  // no worker executable: stay in-process
+      return nullptr;
+    }
+    try {
+      pool_ = std::make_unique<shard::WorkerPool>(num_processes_, path);
+    } catch (const Error&) {
+      shard_disabled_ = true;
+      return nullptr;
+    }
+  }
+  if (!pool_->alive()) {
+    pool_.reset();
+    shard_disabled_ = true;
+    return nullptr;
+  }
+  return pool_.get();
 }
 
 const Prepared* Session::peek_cache(const std::vector<real>& key) const {
@@ -195,6 +258,13 @@ std::vector<real> Session::expectation_batch(
   const std::size_t n = points.size();
   std::vector<real> out(n);
   if (n == 0) return out;
+
+  if (auto* pool = shard_pool(n)) {
+    const std::uint64_t base = expectation_calls_;
+    expectation_calls_ += n;
+    return expectation_batch_sharded(points, base, *pool);
+  }
+
   const auto preps = checked_prepared_batch(points);
   const std::uint64_t base = expectation_calls_;
   expectation_calls_ += n;
@@ -235,6 +305,9 @@ std::future<real> Session::expectation_async(const qaoa::Angles& a) {
 SampleResult Session::sample(const qaoa::Angles& a, int shots) {
   MBQ_REQUIRE(shots >= 1, "need at least one shot, got " << shots);
   const auto prepared = checked_prepared(a);
+
+  if (auto* pool = shard_pool(static_cast<std::uint64_t>(shots)))
+    return sample_sharded(a, shots, sample_calls_++, *pool);
 
   // Shot s of call k draws from stream(s) of a per-call base generator,
   // itself stream(k) of the root: deterministic in (seed, k, s) and
@@ -278,6 +351,10 @@ std::vector<SampleResult> Session::sample_batch(
   // the whole cross product can run concurrently.
   const std::uint64_t base_call = sample_calls_;
   sample_calls_ += n;
+
+  if (auto* pool =
+          shard_pool(n * static_cast<std::uint64_t>(shots)))
+    return sample_batch_sharded(points, shots, base_call, *pool);
   for (auto& r : results) r.shots.resize(static_cast<std::size_t>(shots));
 
   const Workload& w = workload_;
@@ -303,6 +380,209 @@ std::vector<SampleResult> Session::sample_batch(
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
   return results;
+}
+
+namespace {
+
+struct DecodedRound {
+  std::vector<shard::Response> responses;  // in worker order
+  /// Lowest-GLOBAL-index failure across workers (what the serial sample
+  /// loop, which collects per-index errors, would rethrow), or nullptr.
+  const shard::Response* failed = nullptr;
+  /// Lowest-index CHECK-phase (support/prepare) failure.  The serial
+  /// expectation loop runs every check before any eval, so when one
+  /// exists it wins over any eval failure regardless of index.
+  const shard::Response* failed_check = nullptr;
+};
+
+/// Decode every worker's response frame.  Workers report slice-local
+/// error indices (their requests carry only their own slice);
+/// `offsets[w]` maps them back to the call's global index space so
+/// failures order correctly across workers.
+DecodedRound decode_round(std::vector<std::vector<std::byte>> frames,
+                          const std::vector<std::vector<std::byte>>& requests,
+                          const std::vector<std::uint64_t>& offsets) {
+  DecodedRound round;
+  round.responses.resize(frames.size());
+  std::uint64_t failed_global = 0, failed_check_global = 0;
+  for (std::size_t w = 0; w < frames.size(); ++w) {
+    if (requests[w].empty()) continue;
+    round.responses[w] = shard::decode_response(frames[w]);
+    const shard::Response& r = round.responses[w];
+    if (!r.ok) {
+      const std::uint64_t global = offsets[w] + r.error_index;
+      if (round.failed == nullptr || global < failed_global) {
+        round.failed = &round.responses[w];
+        failed_global = global;
+      }
+      if (!r.error_in_eval &&
+          (round.failed_check == nullptr || global < failed_check_global)) {
+        round.failed_check = &round.responses[w];
+        failed_check_global = global;
+      }
+    }
+  }
+  return round;
+}
+
+}  // namespace
+
+SampleResult Session::sample_sharded(const qaoa::Angles& a, int shots,
+                                     std::uint64_t call,
+                                     shard::WorkerPool& pool) {
+  // Each worker replays a contiguous shot slice of this call on streams
+  // stream(call).stream(s) — exactly what the in-process loop draws — so
+  // concatenating the slices in order reproduces it bit for bit.
+  const shard::ShardPlan plan(static_cast<std::uint64_t>(shots), pool.size());
+  shard::Request req;
+  req.kind = shard::TaskKind::kSample;
+  req.backend = registry_key_;
+  req.seed = options_.seed;
+  req.workload = workload_;
+  req.points = {a};
+  req.shots = static_cast<std::uint64_t>(shots);
+  req.base_call = call;
+  std::vector<std::vector<std::byte>> requests(plan.ranges().size());
+  std::vector<std::uint64_t> offsets(plan.ranges().size(), 0);
+  for (std::size_t w = 0; w < plan.ranges().size(); ++w) {
+    const shard::ShardRange& r = plan.ranges()[w];
+    if (r.empty()) continue;
+    req.begin = r.begin;
+    req.end = r.end;
+    requests[w] = shard::encode_request(req);
+  }
+
+  const DecodedRound round =
+      decode_round(pool.round(requests), requests, offsets);
+  if (round.failed != nullptr) throw Error(round.failed->error_message);
+  SampleResult result;
+  result.shots.resize(static_cast<std::size_t>(shots));
+  for (std::size_t w = 0; w < round.responses.size(); ++w) {
+    const shard::ShardRange& r = plan.ranges()[w];
+    MBQ_REQUIRE(requests[w].empty() ||
+                    round.responses[w].outcomes.size() == r.size(),
+                "shard worker " << w << " returned "
+                                << round.responses[w].outcomes.size()
+                                << " outcomes for a slice of " << r.size());
+    for (std::uint64_t s = r.begin; s < r.end; ++s) {
+      const std::uint64_t x = round.responses[w].outcomes[s - r.begin];
+      result.shots[s] = {x, workload_.cost().evaluate(x)};
+    }
+  }
+  return result;
+}
+
+std::vector<SampleResult> Session::sample_batch_sharded(
+    std::span<const qaoa::Angles> points, int shots, std::uint64_t base_call,
+    shard::WorkerPool& pool) {
+  const std::size_t n = points.size();
+  const std::uint64_t su = static_cast<std::uint64_t>(shots);
+  const std::uint64_t total = n * su;
+  // Slices cover the flattened (point, shot) space: pair t belongs to
+  // point t / shots, shot t % shots, on stream(base_call + point)
+  // .stream(shot) — the same assignment the in-process loop uses.  Each
+  // worker receives only the points its slice touches, with base_call
+  // and the slice bounds rebased so the absolute stream indices are
+  // unchanged.
+  const shard::ShardPlan plan(total, pool.size());
+  shard::Request req;
+  req.kind = shard::TaskKind::kSample;
+  req.backend = registry_key_;
+  req.seed = options_.seed;
+  req.workload = workload_;
+  req.shots = su;
+  std::vector<std::vector<std::byte>> requests(plan.ranges().size());
+  std::vector<std::uint64_t> offsets(plan.ranges().size(), 0);
+  for (std::size_t w = 0; w < plan.ranges().size(); ++w) {
+    const shard::ShardRange& r = plan.ranges()[w];
+    if (r.empty()) continue;
+    const std::uint64_t first_point = r.begin / su;
+    const std::uint64_t last_point = (r.end - 1) / su;  // r is non-empty
+    req.points.assign(points.begin() + static_cast<std::ptrdiff_t>(first_point),
+                      points.begin() + static_cast<std::ptrdiff_t>(last_point) +
+                          1);
+    req.base_call = base_call + first_point;
+    req.begin = r.begin - first_point * su;
+    req.end = r.end - first_point * su;
+    offsets[w] = first_point * su;
+    requests[w] = shard::encode_request(req);
+  }
+
+  const DecodedRound round =
+      decode_round(pool.round(requests), requests, offsets);
+  if (round.failed != nullptr) throw Error(round.failed->error_message);
+  std::vector<SampleResult> results(n);
+  for (auto& r : results) r.shots.resize(static_cast<std::size_t>(shots));
+  for (std::size_t w = 0; w < round.responses.size(); ++w) {
+    const shard::ShardRange& r = plan.ranges()[w];
+    MBQ_REQUIRE(requests[w].empty() ||
+                    round.responses[w].outcomes.size() == r.size(),
+                "shard worker " << w << " returned "
+                                << round.responses[w].outcomes.size()
+                                << " outcomes for a slice of " << r.size());
+    for (std::uint64_t t = r.begin; t < r.end; ++t) {
+      const std::size_t i = static_cast<std::size_t>(t / su);
+      const std::size_t s = static_cast<std::size_t>(t % su);
+      const std::uint64_t x = round.responses[w].outcomes[t - r.begin];
+      results[i].shots[s] = {x, workload_.cost().evaluate(x)};
+    }
+  }
+  return results;
+}
+
+std::vector<real> Session::expectation_batch_sharded(
+    std::span<const qaoa::Angles> points, std::uint64_t base,
+    shard::WorkerPool& pool) {
+  const std::size_t n = points.size();
+  const shard::ShardPlan plan(n, pool.size());
+  shard::Request req;
+  req.kind = shard::TaskKind::kExpectation;
+  req.backend = registry_key_;
+  req.seed = options_.seed;
+  req.workload = workload_;
+  std::vector<std::vector<std::byte>> requests(plan.ranges().size());
+  std::vector<std::uint64_t> offsets(plan.ranges().size(), 0);
+  for (std::size_t w = 0; w < plan.ranges().size(); ++w) {
+    const shard::ShardRange& r = plan.ranges()[w];
+    if (r.empty()) continue;
+    // Only this worker's points travel; stream_base absorbs the slice
+    // offset so point j of the slice still draws the global stream of
+    // point r.begin + j.
+    req.points.assign(points.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                      points.begin() + static_cast<std::ptrdiff_t>(r.end));
+    req.stream_base = kExpectationStreamBase + base + r.begin;
+    req.begin = 0;
+    req.end = r.size();
+    offsets[w] = r.begin;
+    requests[w] = shard::encode_request(req);
+  }
+
+  // Transport failures (a worker died mid-call) propagate with the
+  // counter left advanced — like a serial eval crashing after the batch
+  // advanced it.  Worker-REPORTED failures replay the serial loop's
+  // phase order: it support-checks and prepares every point before
+  // burning any stream index, so a check/prepare failure anywhere wins
+  // over eval failures and restores the counter; a pure eval failure
+  // leaves the indices consumed.
+  const DecodedRound round =
+      decode_round(pool.round(requests), requests, offsets);
+  if (round.failed_check != nullptr) {
+    expectation_calls_ = base;
+    throw Error(round.failed_check->error_message);
+  }
+  if (round.failed != nullptr) throw Error(round.failed->error_message);
+  std::vector<real> out(n);
+  for (std::size_t w = 0; w < round.responses.size(); ++w) {
+    const shard::ShardRange& r = plan.ranges()[w];
+    MBQ_REQUIRE(requests[w].empty() ||
+                    round.responses[w].values.size() == r.size(),
+                "shard worker " << w << " returned "
+                                << round.responses[w].values.size()
+                                << " values for a slice of " << r.size());
+    for (std::uint64_t i = r.begin; i < r.end; ++i)
+      out[i] = round.responses[w].values[i - r.begin];
+  }
+  return out;
 }
 
 Shot Session::best_of(const qaoa::Angles& a, int shots) {

@@ -29,7 +29,37 @@
 // rng.stream(kExpectationStreamBase + k), and shot s of sample call k
 // draws from rng.stream(k).stream(s).  Both are pure functions of
 // (seed, k, s), so batch results are bit-identical to the serial loop at
-// every thread count.
+// every thread count — and, because worker processes re-derive the same
+// streams from (seed, index) alone, at every PROCESS count too (see
+// "Process sharding" below).
+//
+// Call-index bookkeeping: expectation_calls_ / sample_calls_ advance on
+// the CALLING thread, synchronously, before any entry point returns —
+// expectation_async in particular assigns its stream index before
+// handing back the future.  Stream assignment is therefore a function of
+// SUBMISSION order alone: any interleaving of expectation(),
+// expectation_batch() and expectation_async() calls evaluates point
+// number k (in submission order) on stream kExpectationStreamBase + k,
+// however the futures later resolve.  The members are not synchronized —
+// a Session must be driven from one thread (concurrent pending futures
+// are fine; concurrent calls INTO the session are not).
+//
+// Process sharding: with SessionOptions::num_processes > 1 (or
+// MBQ_NUM_PROCESSES set and num_processes left at 0), sample(),
+// sample_batch() and expectation_batch() fan their work out across a
+// pool of fork/exec'd mbq_worker processes (shard/worker_pool.h), each
+// owning a contiguous slice of the call's stream-index space.  Results
+// are merged in index order and are bit-identical to the in-process
+// path.  The Session falls back to in-process execution — silently, the
+// results being identical either way — when the workload cannot cross a
+// process boundary (custom-circuit ansatz), the backend was not resolved
+// from the registry by name, the worker executable cannot be found
+// (see shard::resolve_worker_path), the pool died earlier, or the call
+// is too small to split.  Cache bookkeeping under sharding: the sample
+// paths still warm the parent's prepare cache exactly like the
+// in-process loop; a sharded expectation_batch leaves the parent cache
+// untouched (each worker prepares its own slice) and reports no
+// hits/misses for the call.
 
 #include <cstdint>
 #include <future>
@@ -42,6 +72,10 @@
 #include "mbq/common/rng.h"
 #include "mbq/opt/optimizer.h"
 
+namespace mbq::shard {
+class WorkerPool;
+}  // namespace mbq::shard
+
 namespace mbq::api {
 
 struct SessionOptions {
@@ -51,6 +85,17 @@ struct SessionOptions {
   bool parallel_shots = true;
   /// Entries kept in the per-angle prepare() cache before LRU eviction.
   std::size_t cache_capacity = 64;
+  /// Worker processes for sample/sample_batch/expectation_batch.  0 (the
+  /// default) reads the MBQ_NUM_PROCESSES environment variable, falling
+  /// back to 1; 1 never shards; >= 2 shards across that many mbq_worker
+  /// processes.  Results are bit-identical at every value — like
+  /// parallel_shots, this is purely a wall-clock knob (see the "Process
+  /// sharding" notes above).
+  int num_processes = 0;
+  /// Explicit path to the mbq_worker executable; empty uses
+  /// shard::resolve_worker_path's search ($MBQ_WORKER, then next to the
+  /// running executable).
+  std::string worker_path;
 };
 
 struct Shot {
@@ -76,6 +121,7 @@ class Session {
           SessionOptions options = {});
   Session(Workload workload, std::shared_ptr<Backend> backend,
           SessionOptions options = {});
+  ~Session();  // out of line: owns an incomplete-type worker pool
 
   // Deliberately no mutable workload() accessor: the prepare() cache is
   // keyed by angles only, so workload options must not change under a
@@ -132,6 +178,19 @@ class Session {
   std::uint64_t cache_hits() const noexcept { return cache_hits_; }
   std::uint64_t cache_misses() const noexcept { return cache_misses_; }
 
+  // --- sharding introspection ------------------------------------------
+  /// Live worker processes backing this session; 0 while unsharded (no
+  /// pool spawned yet, sharding not requested, or fallen back).  The
+  /// pool spawns lazily on the first sharded call.
+  int shard_workers() const noexcept;
+  /// The num_processes value in effect (options / MBQ_NUM_PROCESSES).
+  int num_processes() const noexcept { return num_processes_; }
+  /// The live pool, for diagnostics and fault-injection tests; nullptr
+  /// while unsharded.
+  const shard::WorkerPool* worker_pool() const noexcept {
+    return pool_.get();
+  }
+
  private:
   /// Expectation evaluations draw from the upper half of the stream-index
   /// space so they can never collide with sample() call streams.
@@ -151,12 +210,36 @@ class Session {
   void insert_cache(std::vector<real> key,
                     std::shared_ptr<const Prepared> prepared);
 
+  /// The worker pool when this call (of `items` independent pieces)
+  /// should shard, else nullptr (fall back in-process).  Spawns the pool
+  /// on first use; a failed spawn or a dead pool disables sharding for
+  /// the session's lifetime.
+  shard::WorkerPool* shard_pool(std::uint64_t items);
+  SampleResult sample_sharded(const qaoa::Angles& a, int shots,
+                              std::uint64_t call, shard::WorkerPool& pool);
+  std::vector<SampleResult> sample_batch_sharded(
+      std::span<const qaoa::Angles> points, int shots, std::uint64_t base_call,
+      shard::WorkerPool& pool);
+  std::vector<real> expectation_batch_sharded(
+      std::span<const qaoa::Angles> points, std::uint64_t base,
+      shard::WorkerPool& pool);
+
   Workload workload_;
   std::shared_ptr<Backend> backend_;
   SessionOptions options_;
   Rng rng_;
   std::uint64_t sample_calls_ = 0;
   std::uint64_t expectation_calls_ = 0;
+
+  /// Built-in registry key the backend was created from.  Empty — and
+  /// the session never shards — when the Session was handed a backend
+  /// INSTANCE (whose configuration a worker could not reproduce from a
+  /// name) or a runtime-registered key (absent from a worker's
+  /// registry).
+  std::string registry_key_;
+  int num_processes_ = 1;  // resolved from options / MBQ_NUM_PROCESSES
+  std::unique_ptr<shard::WorkerPool> pool_;
+  bool shard_disabled_ = false;
 
   struct CacheEntry {
     std::vector<real> key;  // exact flattened angles

@@ -2,6 +2,29 @@
 
 namespace mbq {
 
+namespace {
+
+#ifdef MBQ_HAS_OPENMP
+/// The startup thread count, captured during static initialization —
+/// i.e. before main() and therefore before any set_num_threads override
+/// can run.  The previous implementation captured it lazily inside
+/// set_num_threads, so when the FIRST call was already an override
+/// (set_num_threads(2)), some OpenMP runtimes reported the overridden
+/// max back and "restore default" then restored the override instead of
+/// the build default.
+const int kStartupThreads = omp_get_max_threads();
+#endif
+
+}  // namespace
+
+int default_num_threads() noexcept {
+#ifdef MBQ_HAS_OPENMP
+  return kStartupThreads;
+#else
+  return 1;
+#endif
+}
+
 int num_threads() noexcept {
 #ifdef MBQ_HAS_OPENMP
   return omp_get_max_threads();
@@ -12,9 +35,7 @@ int num_threads() noexcept {
 
 void set_num_threads(int n) noexcept {
 #ifdef MBQ_HAS_OPENMP
-  // Captured on first use, before any override can have taken effect.
-  static const int default_threads = omp_get_max_threads();
-  omp_set_num_threads(n >= 1 ? n : default_threads);
+  omp_set_num_threads(n >= 1 ? n : default_num_threads());
 #else
   (void)n;
 #endif

@@ -19,10 +19,16 @@ namespace mbq {
 /// Number of threads the parallel helpers will use.
 int num_threads() noexcept;
 
+/// The startup default thread count — what set_num_threads(0) restores.
+/// Captured at static-initialization time (before main), so it reports
+/// the build/environment default even when the first set_num_threads
+/// call of the process is already an override.
+int default_num_threads() noexcept;
+
 /// Override the thread count used by subsequent parallel regions; n <= 0
-/// restores the build default.  No-op without OpenMP.  Batched evaluation
-/// is bit-identical at every thread count, so this is purely a wall-clock
-/// knob (and what the determinism tests sweep).
+/// restores default_num_threads().  No-op without OpenMP.  Batched
+/// evaluation is bit-identical at every thread count, so this is purely
+/// a wall-clock knob (and what the determinism tests sweep).
 void set_num_threads(int n) noexcept;
 
 /// True when compiled with OpenMP support.

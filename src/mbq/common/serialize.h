@@ -1,0 +1,157 @@
+#pragma once
+// Flat binary serialization for the process-sharding wire protocol.
+//
+// ByteWriter appends fixed-width little-endian primitives to a growable
+// buffer; ByteReader walks one back with hard bounds checks (a truncated
+// or corrupt frame throws Error instead of reading garbage).  real values
+// round-trip through their IEEE-754 bit pattern, so a value decoded in a
+// worker process is BIT-identical to the one encoded by the parent — the
+// property the sharded determinism contract rests on.
+//
+// The format carries no type tags or versioning beyond what callers
+// encode themselves: both ends of the pipe are the same build of this
+// library (the parent fork/execs its own `mbq_worker`), so schema
+// evolution is a non-goal.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mbq/common/error.h"
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+  /// Exact IEEE-754 bit pattern; decoding reproduces the value bit-wise.
+  void f64(real v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (const char c : s) buf_.push_back(static_cast<std::byte>(c));
+  }
+
+  void f64_vec(std::span<const real> v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const real x : v) f64(x);
+  }
+
+  void u64_vec(std::span<const std::uint64_t> v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const std::uint64_t x : v) u64(x);
+  }
+
+  void i32_vec(std::span<const int> v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const int x : v) i32(x);
+  }
+
+  const std::vector<std::byte>& data() const noexcept { return buf_; }
+  std::vector<std::byte> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  real f64() { return std::bit_cast<real>(u64()); }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(len, '\0');
+    for (std::uint32_t i = 0; i < len; ++i)
+      s[i] = static_cast<char>(data_[pos_ + i]);
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<real> f64_vec() {
+    // Validate the (untrusted) length against the remaining bytes BEFORE
+    // allocating: a corrupt prefix must throw Error, not bad_alloc.
+    const std::uint32_t len = u32();
+    need(std::size_t{len} * 8);
+    std::vector<real> v(len);
+    for (auto& x : v) x = f64();
+    return v;
+  }
+
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint32_t len = u32();
+    need(std::size_t{len} * 8);
+    std::vector<std::uint64_t> v(len);
+    for (auto& x : v) x = u64();
+    return v;
+  }
+
+  std::vector<int> i32_vec() {
+    const std::uint32_t len = u32();
+    need(std::size_t{len} * 4);
+    std::vector<int> v(len);
+    for (auto& x : v) x = i32();
+    return v;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    MBQ_REQUIRE(data_.size() - pos_ >= n,
+                "truncated message: wanted " << n << " more bytes, have "
+                                             << (data_.size() - pos_));
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+static_assert(sizeof(real) == sizeof(std::uint64_t),
+              "f64 wire format assumes 64-bit real");
+
+}  // namespace mbq

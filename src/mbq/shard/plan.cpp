@@ -1,0 +1,29 @@
+#include "mbq/shard/plan.h"
+
+#include "mbq/common/error.h"
+
+namespace mbq::shard {
+
+ShardPlan::ShardPlan(std::uint64_t total, int num_workers) : total_(total) {
+  MBQ_REQUIRE(num_workers >= 1,
+              "a shard plan needs at least one worker, got " << num_workers);
+  ranges_.reserve(static_cast<std::size_t>(num_workers));
+  const std::uint64_t w = static_cast<std::uint64_t>(num_workers);
+  const std::uint64_t base = total / w;
+  const std::uint64_t extra = total % w;  // first `extra` workers get +1
+  std::uint64_t begin = 0;
+  for (std::uint64_t i = 0; i < w; ++i) {
+    const std::uint64_t size = base + (i < extra ? 1 : 0);
+    ranges_.push_back({begin, begin + size});
+    begin += size;
+  }
+}
+
+int ShardPlan::active_workers() const noexcept {
+  int n = 0;
+  for (const ShardRange& r : ranges_)
+    if (!r.empty()) ++n;
+  return n;
+}
+
+}  // namespace mbq::shard

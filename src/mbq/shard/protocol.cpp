@@ -1,0 +1,263 @@
+#include "mbq/shard/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "mbq/common/error.h"
+
+namespace mbq::shard {
+
+namespace {
+
+/// Hard cap on a single frame; a length prefix beyond this is corruption
+/// (the largest legitimate frame is a shot-outcome payload, ~8 bytes per
+/// shot).
+constexpr std::uint32_t kMaxFrameBytes = 1u << 28;  // 256 MiB
+
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusError = 1;
+
+void encode_cost(ByteWriter& out, const qaoa::CostHamiltonian& c) {
+  out.i32(c.num_qubits());
+  out.f64(c.constant());
+  out.u32(static_cast<std::uint32_t>(c.terms().size()));
+  for (const qaoa::IsingTerm& t : c.terms()) {
+    out.f64(t.coeff);
+    out.i32_vec(t.support);
+  }
+}
+
+qaoa::CostHamiltonian decode_cost(ByteReader& in) {
+  const int n = in.i32();
+  const real constant = in.f64();
+  qaoa::CostHamiltonian c(n, constant);
+  const std::uint32_t terms = in.u32();
+  for (std::uint32_t i = 0; i < terms; ++i) {
+    const real coeff = in.f64();
+    c.add_term(in.i32_vec(), coeff);
+  }
+  return c;
+}
+
+void encode_graph(ByteWriter& out, const Graph& g) {
+  out.i32(g.num_vertices());
+  out.u32(static_cast<std::uint32_t>(g.edges().size()));
+  for (const Edge& e : g.edges()) {
+    out.i32(e.u);
+    out.i32(e.v);
+  }
+}
+
+Graph decode_graph(ByteReader& in) {
+  const int n = in.i32();
+  Graph g(n);
+  const std::uint32_t edges = in.u32();
+  for (std::uint32_t i = 0; i < edges; ++i) {
+    const int u = in.i32();
+    const int v = in.i32();
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace
+
+std::string unshardable_reason(const api::Workload& w) {
+  if (w.ansatz() == api::AnsatzKind::CustomCircuit)
+    return "custom-circuit workloads hold an arbitrary CircuitBuilder "
+           "closure that cannot cross a process boundary";
+  return {};
+}
+
+void encode_workload(ByteWriter& out, const api::Workload& w) {
+  MBQ_REQUIRE(shardable(w), "cannot serialize workload: "
+                                << unshardable_reason(w));
+  out.u8(static_cast<std::uint8_t>(w.ansatz()));
+  out.u8(static_cast<std::uint8_t>(w.linear_style()));
+  out.i32(w.max_wire_degree());
+  switch (w.ansatz()) {
+    case api::AnsatzKind::QaoaDiagonal:
+      encode_cost(out, w.cost());
+      break;
+    case api::AnsatzKind::MisConstrained:
+      // Workload::mis derives its cost (independent-set size) from the
+      // graph, so the graph alone reconstructs the workload exactly.
+      encode_graph(out, w.mis_graph());
+      break;
+    case api::AnsatzKind::CustomCircuit:
+      break;  // unreachable: guarded above
+  }
+}
+
+api::Workload decode_workload(ByteReader& in) {
+  const auto kind = static_cast<api::AnsatzKind>(in.u8());
+  const auto style = static_cast<core::LinearTermStyle>(in.u8());
+  const int max_wire_degree = in.i32();
+  MBQ_REQUIRE(kind == api::AnsatzKind::QaoaDiagonal ||
+                  kind == api::AnsatzKind::MisConstrained,
+              "malformed workload frame: ansatz kind "
+                  << static_cast<int>(kind));
+  api::Workload w = kind == api::AnsatzKind::QaoaDiagonal
+                        ? api::Workload::qaoa(decode_cost(in))
+                        : api::Workload::mis(decode_graph(in));
+  w.with_linear_style(style);
+  if (max_wire_degree != 0) w.with_max_wire_degree(max_wire_degree);
+  return w;
+}
+
+void encode_angles(ByteWriter& out, const qaoa::Angles& a) {
+  out.f64_vec(a.gamma);
+  out.f64_vec(a.beta);
+}
+
+qaoa::Angles decode_angles(ByteReader& in) {
+  std::vector<real> gamma = in.f64_vec();
+  std::vector<real> beta = in.f64_vec();
+  return qaoa::Angles(std::move(gamma), std::move(beta));
+}
+
+std::vector<std::byte> encode_request(const Request& r) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(r.kind));
+  out.str(r.backend);
+  out.u64(r.seed);
+  encode_workload(out, r.workload);
+  out.u32(static_cast<std::uint32_t>(r.points.size()));
+  for (const qaoa::Angles& a : r.points) encode_angles(out, a);
+  out.u64(r.shots);
+  out.u64(r.base_call);
+  out.u64(r.stream_base);
+  out.u64(r.begin);
+  out.u64(r.end);
+  return out.take();
+}
+
+Request decode_request(std::span<const std::byte> frame) {
+  ByteReader in(frame);
+  Request r;
+  const std::uint8_t kind = in.u8();
+  MBQ_REQUIRE(kind == static_cast<std::uint8_t>(TaskKind::kSample) ||
+                  kind == static_cast<std::uint8_t>(TaskKind::kExpectation),
+              "malformed request frame: task kind " << int{kind});
+  r.kind = static_cast<TaskKind>(kind);
+  r.backend = in.str();
+  r.seed = in.u64();
+  r.workload = decode_workload(in);
+  const std::uint32_t points = in.u32();
+  r.points.reserve(points);
+  for (std::uint32_t i = 0; i < points; ++i)
+    r.points.push_back(decode_angles(in));
+  r.shots = in.u64();
+  r.base_call = in.u64();
+  r.stream_base = in.u64();
+  r.begin = in.u64();
+  r.end = in.u64();
+  MBQ_REQUIRE(in.done(), "malformed request frame: " << in.remaining()
+                                                     << " trailing bytes");
+  MBQ_REQUIRE(r.begin <= r.end, "malformed request frame: begin "
+                                    << r.begin << " > end " << r.end);
+  return r;
+}
+
+std::vector<std::byte> encode_response(const Response& r) {
+  ByteWriter out;
+  if (r.ok) {
+    out.u8(kStatusOk);
+    out.u64_vec(r.outcomes);
+    out.f64_vec(r.values);
+  } else {
+    out.u8(kStatusError);
+    out.u64(r.error_index);
+    out.u8(r.error_in_eval ? 1 : 0);
+    out.str(r.error_message);
+  }
+  return out.take();
+}
+
+Response decode_response(std::span<const std::byte> frame) {
+  ByteReader in(frame);
+  Response r;
+  const std::uint8_t status = in.u8();
+  if (status == kStatusOk) {
+    r.ok = true;
+    r.outcomes = in.u64_vec();
+    r.values = in.f64_vec();
+  } else {
+    MBQ_REQUIRE(status == kStatusError,
+                "malformed response frame: status " << int{status});
+    r.ok = false;
+    r.error_index = in.u64();
+    r.error_in_eval = in.u8() != 0;
+    r.error_message = in.str();
+  }
+  MBQ_REQUIRE(in.done(), "malformed response frame: " << in.remaining()
+                                                      << " trailing bytes");
+  return r;
+}
+
+void write_frame(int fd, std::span<const std::byte> payload) {
+  MBQ_REQUIRE(payload.size() <= kMaxFrameBytes,
+              "frame of " << payload.size() << " bytes exceeds the "
+                          << kMaxFrameBytes << "-byte protocol cap");
+  std::byte header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<std::byte>((len >> (8 * i)) & 0xFF);
+
+  const auto send_all = [fd](const std::byte* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+      // MSG_NOSIGNAL: a dead peer surfaces as EPIPE here instead of
+      // delivering SIGPIPE to the whole process.
+      const ssize_t n =
+          ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        MBQ_REQUIRE(false, "shard channel write failed: "
+                               << std::strerror(errno));
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  send_all(header, sizeof(header));
+  send_all(payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::byte>> read_frame(int fd) {
+  const auto recv_all = [fd](std::byte* data, std::size_t size,
+                             bool eof_ok) -> bool {
+    std::size_t got = 0;
+    while (got < size) {
+      const ssize_t n = ::read(fd, data + got, size - got);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        MBQ_REQUIRE(false, "shard channel read failed: "
+                               << std::strerror(errno));
+      }
+      if (n == 0) {
+        MBQ_REQUIRE(eof_ok && got == 0,
+                    "shard channel closed mid-frame (worker process died?)");
+        return false;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  std::byte header[4];
+  if (!recv_all(header, sizeof(header), /*eof_ok=*/true)) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  MBQ_REQUIRE(len <= kMaxFrameBytes, "frame length prefix "
+                                         << len << " exceeds the "
+                                         << kMaxFrameBytes << "-byte cap");
+  std::vector<std::byte> payload(len);
+  if (len > 0) recv_all(payload.data(), len, /*eof_ok=*/false);
+  return payload;
+}
+
+}  // namespace mbq::shard

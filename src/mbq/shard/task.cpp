@@ -1,0 +1,125 @@
+#include "mbq/shard/task.h"
+
+#include <exception>
+#include <memory>
+
+#include "mbq/api/registry.h"
+#include "mbq/common/error.h"
+
+namespace mbq::shard {
+
+namespace {
+
+Response error_response(std::uint64_t index, const std::string& what) {
+  Response r;
+  r.ok = false;
+  r.error_index = index;
+  r.error_message = what;
+  return r;
+}
+
+/// Mirrors Session::checked_prepared's support-check wording so a
+/// sharded failure reads the same as the in-process one.
+void require_supported(const api::Backend& backend, const api::Workload& w,
+                       const qaoa::Angles& a) {
+  const std::string reason = backend.unsupported_reason(w, a, nullptr);
+  MBQ_REQUIRE(reason.empty(),
+              "backend '" << backend.name() << "' cannot run this workload: "
+                          << reason);
+}
+
+Response run_sample(const api::Backend& backend, const Request& req) {
+  Response out;
+  out.outcomes.reserve(static_cast<std::size_t>(req.end - req.begin));
+  const Rng root(req.seed);
+  MBQ_REQUIRE(req.shots >= 1, "sample request needs shots >= 1");
+  MBQ_REQUIRE(req.end <= req.points.size() * req.shots,
+              "sample slice end " << req.end << " exceeds "
+                                  << req.points.size() << " points x "
+                                  << req.shots << " shots");
+  // Pairs are processed in ascending flat order; the prepare artifact is
+  // reused across the (contiguous) shots of each point.
+  std::shared_ptr<const api::Prepared> prep;
+  std::uint64_t prep_point = ~std::uint64_t{0};
+  for (std::uint64_t t = req.begin; t < req.end; ++t) {
+    const std::uint64_t i = t / req.shots;
+    const std::uint64_t s = t % req.shots;
+    try {
+      const qaoa::Angles& a = req.points[i];
+      if (i != prep_point) {
+        require_supported(backend, req.workload, a);
+        prep = backend.prepare(req.workload, a);
+        prep_point = i;
+      }
+      // Exactly Session::sample/sample_batch's stream assignment: shot s
+      // of sample call (base_call + i) draws stream(base_call + i) then
+      // stream(s) below it.
+      Rng shot_rng = root.stream(req.base_call + i).stream(s);
+      out.outcomes.push_back(
+          backend.sample_one(req.workload, a, shot_rng, prep.get()));
+    } catch (const std::exception& e) {
+      return error_response(t, e.what());
+    }
+  }
+  return out;
+}
+
+Response run_expectation(const api::Backend& backend, const Request& req) {
+  Response out;
+  const std::size_t count = static_cast<std::size_t>(req.end - req.begin);
+  out.values.reserve(count);
+  const Rng root(req.seed);
+  MBQ_REQUIRE(req.end <= req.points.size(),
+              "expectation slice end " << req.end << " exceeds "
+                                       << req.points.size() << " points");
+  // Phase 1 — support checks and prepares for the whole slice BEFORE any
+  // stream is drawn, mirroring Session::checked_prepared_batch.  A
+  // failure here reports error_in_eval = false: the serial loop throws
+  // at this stage without burning any stream index, and the parent
+  // restores its call counter accordingly.
+  std::vector<std::shared_ptr<const api::Prepared>> preps(count);
+  for (std::uint64_t i = req.begin; i < req.end; ++i) {
+    try {
+      require_supported(backend, req.workload, req.points[i]);
+      preps[i - req.begin] = backend.prepare(req.workload, req.points[i]);
+    } catch (const std::exception& e) {
+      return error_response(i, e.what());
+    }
+  }
+  // Phase 2 — evaluation; failures here have consumed streams, like a
+  // serial eval throwing after the batch advanced its counter.
+  for (std::uint64_t i = req.begin; i < req.end; ++i) {
+    try {
+      // Session's assignment: the (stream_base + i)-th expectation
+      // stream (stream_base already carries kExpectationStreamBase).
+      Rng eval_rng = root.stream(req.stream_base + i);
+      out.values.push_back(backend.expectation(
+          req.workload, req.points[i], eval_rng, preps[i - req.begin].get()));
+    } catch (const std::exception& e) {
+      Response r = error_response(i, e.what());
+      r.error_in_eval = true;
+      return r;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Response execute_request(const Request& req) {
+  try {
+    const std::shared_ptr<api::Backend> backend =
+        api::BackendRegistry::instance().create(req.backend);
+    switch (req.kind) {
+      case TaskKind::kSample:
+        return run_sample(*backend, req);
+      case TaskKind::kExpectation:
+        return run_expectation(*backend, req);
+    }
+    return error_response(req.begin, "unknown task kind");
+  } catch (const std::exception& e) {
+    return error_response(req.begin, e.what());
+  }
+}
+
+}  // namespace mbq::shard

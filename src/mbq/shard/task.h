@@ -1,0 +1,21 @@
+#pragma once
+// Request execution — the compute core of the mbq_worker process.
+//
+// Kept in the library (rather than the worker's main()) so tests can run
+// the exact code a worker runs without spawning processes, and so the
+// parent could in principle execute a slice inline.  The function is
+// pure with respect to process state: it builds its own backend from the
+// registry name and derives every Rng stream from the request's seed, so
+// its results are bit-identical wherever it runs.
+
+#include "mbq/shard/protocol.h"
+
+namespace mbq::shard {
+
+/// Execute one request and produce its response.  Never throws: failures
+/// are folded into an error Response carrying the lowest failing global
+/// index and the exception message (the slice is processed in ascending
+/// index order and stops at the first failure, like the serial loop).
+Response execute_request(const Request& req);
+
+}  // namespace mbq::shard

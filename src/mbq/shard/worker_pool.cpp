@@ -1,0 +1,159 @@
+#include "mbq/shard/worker_pool.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "mbq/common/error.h"
+#include "mbq/shard/protocol.h"
+
+namespace mbq::shard {
+
+namespace {
+
+std::string self_exe_dir() {
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return {};
+  return self.parent_path().string();
+}
+
+bool is_executable(const std::string& path) {
+  return !path.empty() && ::access(path.c_str(), X_OK) == 0;
+}
+
+}  // namespace
+
+std::string resolve_worker_path(const std::string& override_path) {
+  if (!override_path.empty()) {
+    if (is_executable(override_path)) return override_path;
+    return {};
+  }
+  if (const char* env = std::getenv("MBQ_WORKER"); env != nullptr && *env) {
+    if (is_executable(env)) return env;
+    return {};
+  }
+  const std::string dir = self_exe_dir();
+  if (!dir.empty()) {
+    const std::string beside = dir + "/mbq_worker";
+    if (is_executable(beside)) return beside;
+    // Benches and examples land one level below the binary dir root
+    // (build/bench, build/examples) where mbq_worker lives.
+    const std::string parent = dir + "/../mbq_worker";
+    if (is_executable(parent)) return parent;
+  }
+  return {};
+}
+
+WorkerPool::WorkerPool(int num_workers, const std::string& worker_path) {
+  MBQ_REQUIRE(num_workers >= 1,
+              "worker pool needs at least one worker, got " << num_workers);
+  MBQ_REQUIRE(is_executable(worker_path),
+              "shard worker executable not found or not executable: '"
+                  << worker_path << "'");
+  pids_.reserve(static_cast<std::size_t>(num_workers));
+  fds_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      shutdown();
+      MBQ_REQUIRE(false, "socketpair failed: " << std::strerror(errno));
+    }
+    // Parent end must not leak into this child (it gets sv[1]) or any
+    // later sibling.
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      shutdown();
+      MBQ_REQUIRE(false, "fork failed: " << std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: only async-signal-safe calls between fork and exec.  Move
+      // the channel to a fixed descriptor and exec the worker.
+      ::dup2(sv[1], 3);  // dup2 clears CLOEXEC on the new descriptor
+      if (sv[1] != 3) ::close(sv[1]);
+      const char* argv[] = {worker_path.c_str(), "3", nullptr};
+      ::execv(worker_path.c_str(), const_cast<char**>(argv));
+      _exit(127);  // exec failed; parent sees EOF and reports
+    }
+    ::close(sv[1]);
+    pids_.push_back(pid);
+    fds_.push_back(sv[0]);
+  }
+  alive_ = true;
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::shutdown() noexcept {
+  alive_ = false;
+  // Closing the parent ends EOFs every worker's request loop; they exit
+  // on their own.  Reap to avoid zombies — a worker stuck mid-task is
+  // killed rather than waited on forever.
+  for (const int fd : fds_)
+    if (fd >= 0) ::close(fd);
+  fds_.clear();
+  for (const pid_t pid : pids_) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+    }
+  }
+  pids_.clear();
+}
+
+std::vector<std::vector<std::byte>> WorkerPool::round(
+    std::span<const std::vector<std::byte>> requests) {
+  MBQ_REQUIRE(alive_, "worker pool is not alive (a previous round failed)");
+  MBQ_REQUIRE(requests.size() <= pids_.size(),
+              "round of " << requests.size() << " requests exceeds the pool's "
+                          << pids_.size() << " workers");
+  // Dispatch everything first so workers run concurrently, then collect.
+  // Distinct sockets per worker make this deadlock-free: a worker blocked
+  // writing a large response never blocks the parent's remaining request
+  // writes.
+  try {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].empty()) continue;
+      try {
+        write_frame(fds_[i], requests[i]);
+      } catch (const Error& e) {
+        MBQ_REQUIRE(false, "shard worker " << i << " (pid " << pids_[i]
+                                           << ") is unreachable — it was "
+                                              "killed or crashed: "
+                                           << e.what());
+      }
+    }
+
+    std::vector<std::vector<std::byte>> responses(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].empty()) continue;
+      auto frame = read_frame(fds_[i]);
+      MBQ_REQUIRE(frame.has_value(),
+                  "shard worker " << i << " (pid " << pids_[i]
+                                  << ") exited before answering — it was "
+                                     "killed or crashed mid-task");
+      responses[i] = std::move(*frame);
+    }
+    return responses;
+  } catch (...) {
+    // Any channel failure poisons the whole pool: surviving workers may
+    // hold half-read frames, so tear everything down.
+    shutdown();
+    throw;
+  }
+}
+
+}  // namespace mbq::shard

@@ -1,0 +1,66 @@
+#pragma once
+// A pool of mbq_worker processes speaking the shard protocol.
+//
+// Each worker is fork/exec'd once and reused across rounds: it loops on
+// (read request frame, execute, write response frame) until the parent
+// closes its socket, so per-call overhead after spawn is one small
+// request frame plus the result payload.  One AF_UNIX stream socket per
+// worker carries both directions; the parent end is CLOEXEC so workers
+// never inherit their siblings' channels.
+//
+// Failure model: a worker that dies (crash, kill, exec failure) is
+// detected as EPIPE on write or EOF/short-read on read and surfaces as a
+// descriptive mbq::Error from round() — never a hang, because every read
+// is from a socket whose peer's death closes it.  After a failed round
+// the pool is broken (alive() == false) and must be discarded; the
+// Session above falls back to in-process execution.
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mbq::shard {
+
+/// Locate the worker executable: an explicit non-empty `override` wins,
+/// then $MBQ_WORKER, then `mbq_worker` next to the running executable
+/// (where the CMake target puts it, beside the test binaries), then one
+/// directory up (benches and examples run from build subdirectories).
+/// Returns "" when none of these exists — the caller should fall back to
+/// in-process execution.
+std::string resolve_worker_path(const std::string& override_path = {});
+
+class WorkerPool {
+ public:
+  /// Spawns `num_workers` processes running `worker_path`.  Throws Error
+  /// when the executable cannot be spawned.
+  WorkerPool(int num_workers, const std::string& worker_path);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(pids_.size()); }
+  bool alive() const noexcept { return alive_; }
+  /// Worker process ids, for diagnostics and fault-injection tests.
+  const std::vector<pid_t>& pids() const noexcept { return pids_; }
+
+  /// One round: send requests[i] to worker i (requests.size() <= size();
+  /// an empty request skips its worker), then collect one response frame
+  /// per dispatched request, in worker order.  Workers execute
+  /// concurrently.  Throws Error if any worker died or broke protocol;
+  /// the pool is then permanently broken.
+  std::vector<std::vector<std::byte>> round(
+      std::span<const std::vector<std::byte>> requests);
+
+ private:
+  void shutdown() noexcept;
+
+  std::vector<pid_t> pids_;
+  std::vector<int> fds_;  // parent end of each worker's socket
+  bool alive_ = false;
+};
+
+}  // namespace mbq::shard

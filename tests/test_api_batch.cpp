@@ -98,7 +98,10 @@ TEST(ExpectationBatch, DuplicatePointsShareOnePrepare) {
   const Angles a({0.3}, {0.2});
   const Angles b({0.7}, {-0.1});
   const std::vector<Angles> points = {a, b, a, a, b};
-  Session session(w, "statevector");
+  // The cache bookkeeping asserted below is the IN-PROCESS contract; a
+  // sharded expectation_batch documentedly leaves the cache untouched,
+  // so pin num_processes (MBQ_NUM_PROCESSES=2 runs this suite too).
+  Session session(w, "statevector", {.num_processes = 1});
   const std::vector<real> values = session.expectation_batch(points);
   EXPECT_EQ(session.cache_misses(), 2u);  // a, b prepared once each
   EXPECT_EQ(session.cache_hits(), 3u);    // the three duplicates
@@ -116,7 +119,8 @@ TEST(ExpectationBatch, EmptyBatchIsANoOp) {
 
 TEST(ExpectationBatch, UnsupportedPointThrowsLikeSerialLoop) {
   const Workload w = Workload::maxcut(cycle_graph(4));
-  Session session(w, "clifford");
+  // In-process cache bookkeeping assertions: pin num_processes.
+  Session session(w, "clifford", {.num_processes = 1});
   const std::vector<Angles> points = {Angles({kPi / 2}, {kPi / 4}),
                                       Angles({0.37}, {0.21})};
   EXPECT_THROW(session.expectation_batch(points), Error);
@@ -169,6 +173,41 @@ TEST(SampleBatch, AdvancesTheSampleCallCounter) {
   const SampleResult after_batch = batched.sample(points[0], 8);
   for (std::size_t s = 0; s < after_serial.shots.size(); ++s)
     EXPECT_EQ(after_batch.shots[s].x, after_serial.shots[s].x);
+}
+
+TEST(ExpectationAsync, InterleavingWithBatchesKeepsSerialEquivalence) {
+  // Session's stream bookkeeping (expectation_calls_) advances on the
+  // CALLING thread before any entry point returns — expectation_async
+  // assigns its stream index at submission, not when the future
+  // resolves.  Point k in SUBMISSION order therefore always draws
+  // stream kExpectationStreamBase + k, whatever mix of async, batch and
+  // scalar calls carried it and however the futures are interleaved.
+  // This had no coverage: a bookkeeping scheme that touched the counter
+  // inside the future would pass the all-async and all-batch tests and
+  // still break this one.
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  const std::vector<Angles> points = random_points(8, 1, 23);
+
+  Session all_serial(w, "mbqc", {.seed = 77});
+  std::vector<real> expected;
+  for (const Angles& a : points) expected.push_back(all_serial.expectation(a));
+
+  Session mixed(w, "mbqc", {.seed = 77});
+  // Submission order 0..7: async, batch of 4, async, scalar, batch of 1
+  // — with both futures left pending across the calls that follow them.
+  auto f0 = mixed.expectation_async(points[0]);
+  const std::vector<real> mid =
+      mixed.expectation_batch(std::span(points).subspan(1, 4));
+  auto f5 = mixed.expectation_async(points[5]);
+  const real v6 = mixed.expectation(points[6]);
+  const std::vector<real> tail =
+      mixed.expectation_batch(std::span(points).subspan(7, 1));
+
+  EXPECT_EQ(f0.get(), expected[0]);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(mid[i], expected[1 + i]) << i;
+  EXPECT_EQ(f5.get(), expected[5]);
+  EXPECT_EQ(v6, expected[6]);
+  EXPECT_EQ(tail[0], expected[7]);
 }
 
 TEST(ExpectationAsync, AgreesWithSerialAndOverlaps) {

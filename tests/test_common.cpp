@@ -220,6 +220,31 @@ TEST(Parallel, ForCoversAllIndices) {
   for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hit[i], i + 1);
 }
 
+// Regression: the restore-default value used to be captured lazily on
+// the FIRST set_num_threads call, so a process whose first call was
+// already an override (set_num_threads(2)) could record the overridden
+// max as "the default" on some OpenMP runtimes.  The default is now
+// captured at static-initialization time, before any override can run,
+// and stays invariant however many overrides happen.
+TEST(Parallel, SetNumThreadsRestoresTheStartupDefault) {
+  const int startup_default = default_num_threads();
+  EXPECT_GE(startup_default, 1);
+
+  // Overrides must not contaminate the recorded default.
+  set_num_threads(2);
+  EXPECT_EQ(default_num_threads(), startup_default);
+  if (has_openmp()) EXPECT_EQ(num_threads(), 2);
+
+  set_num_threads(3);
+  EXPECT_EQ(default_num_threads(), startup_default);
+
+  // n <= 0 restores the startup default, not the last override.
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), startup_default);
+  set_num_threads(-5);
+  EXPECT_EQ(num_threads(), startup_default);
+}
+
 TEST(Error, RequireMessage) {
   try {
     MBQ_REQUIRE(false, "context " << 42);

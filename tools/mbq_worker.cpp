@@ -1,0 +1,73 @@
+// mbq_worker — the shard worker process entrypoint.
+//
+// Spawned by shard::WorkerPool with one argument: the file descriptor of
+// its AF_UNIX channel to the parent.  The loop is the whole program:
+// read a request frame, execute it (shard::execute_request builds the
+// backend from the registry and replays the slice's Rng streams), write
+// the response frame, repeat until the parent closes the channel.
+//
+// Determinism: requests carry (seed, stream indices), never generator
+// state, so results are independent of which worker runs a slice and of
+// everything this process did before.  Workers run their slices
+// serially — process count is the parallelism axis here, and results
+// are bit-identical regardless (set MBQ_WORKER_THREADS to opt into
+// intra-worker OpenMP threading on large registers).
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "mbq/common/parallel.h"
+#include "mbq/shard/protocol.h"
+#include "mbq/shard/task.h"
+
+int main(int argc, char** argv) {
+  using namespace mbq;
+
+  if (argc != 2) {
+    std::cerr << "usage: mbq_worker <channel-fd>\n"
+              << "(spawned by mbq::shard::WorkerPool; not meant to be run "
+                 "by hand)\n";
+    return 2;
+  }
+  const int fd = std::atoi(argv[1]);
+  if (fd < 0 || std::to_string(fd) != argv[1]) {
+    std::cerr << "mbq_worker: invalid channel fd '" << argv[1] << "'\n";
+    return 2;
+  }
+
+  // Workers default to one thread apiece: the pool already keys its
+  // worker count to the cores it wants used, and nested OpenMP teams in
+  // every child would oversubscribe the box.
+  int worker_threads = 1;
+  if (const char* env = std::getenv("MBQ_WORKER_THREADS"))
+    if (const int n = std::atoi(env); n >= 1) worker_threads = n;
+  set_num_threads(worker_threads);
+
+  try {
+    while (true) {
+      const auto frame = shard::read_frame(fd);
+      if (!frame.has_value()) break;  // parent closed the channel: done
+      shard::Response response;
+      try {
+        response = shard::execute_request(shard::decode_request(*frame));
+      } catch (const std::exception& e) {
+        // decode_request threw: answer with an error rather than dying,
+        // so the parent gets the message instead of a broken channel.
+        response.ok = false;
+        response.error_message = e.what();
+      }
+      const auto out = shard::encode_response(response);
+      shard::write_frame(fd, out);
+    }
+  } catch (const std::exception& e) {
+    // Channel-level failure (parent died mid-frame, protocol corruption):
+    // nothing sensible to answer, so report and exit nonzero.
+    std::cerr << "mbq_worker: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// WorkloadSpec pipeline costs: the codec itself (encode + decode of
+// every serializable ansatz kind) and the headline row — sharded vs
+// in-process sampling throughput for a third-order PUBO workload, the
+// workload shape PR 4's shard layer could not ship at all.  Outcome
+// streams are bit-identical across the process rows (test_workload_spec
+// asserts it); the table times the fan-out only.  Run with
+//   --benchmark_filter=PuboSample
+//       --benchmark_out=BENCH_workload_spec.json
+// to produce the artifact CI uploads.
+
+#include <benchmark/benchmark.h>
+
+#include "mbq/api/api.h"
+#include "mbq/common/parallel.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/qaoa/hea.h"
+#include "mbq/shard/protocol.h"
+
+namespace {
+
+using namespace mbq;
+
+api::Workload pubo_workload(int n) {
+  // Ring of overlapping third-order monomials plus a few pair terms:
+  // order-3 everywhere, so every phase layer exercises the |S| = 3
+  // gadget path.
+  std::vector<qaoa::PuboTerm> terms;
+  for (int i = 0; i < n; ++i)
+    terms.push_back({(i % 2 == 0) ? 0.75 : -0.5,
+                     {i, (i + 1) % n, (i + 2) % n}});
+  for (int i = 0; i + 1 < n; i += 2) terms.push_back({0.25, {i, i + 1}});
+  return api::Workload::pubo(n, terms, 0.5);
+}
+
+/// Codec throughput across ansatz kinds: arg 0 selects the workload.
+void BM_SpecRoundTrip(benchmark::State& state) {
+  Rng rng(5);
+  const api::Workload w = [&]() -> api::Workload {
+    switch (state.range(0)) {
+      case 0: return pubo_workload(10);
+      case 1:
+        return api::Workload::mis_weighted(
+            random_gnm_graph(10, 18, rng),
+            std::vector<real>(10, 1.25));
+      default:
+        return api::Workload::parameterized(
+            qaoa::CostHamiltonian::maxcut(path_graph(8)),
+            qaoa::hea_param_circuit(path_graph(8), 3));
+    }
+  }();
+  for (auto _ : state) {
+    const auto frame = api::serialize_spec(w.spec());
+    const api::WorkloadSpec back = api::parse_spec(frame);
+    benchmark::DoNotOptimize(back.cost.num_qubits());
+  }
+  state.counters["bytes"] =
+      static_cast<double>(api::serialize_spec(w.spec()).size());
+}
+BENCHMARK(BM_SpecRoundTrip)->Arg(0)->Arg(1)->Arg(2);
+
+/// The satellite row: sharded vs in-process throughput for a
+/// third-order PUBO instance on the mbqc backend.
+void BM_PuboSampleProcesses(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int processes = static_cast<int>(state.range(1));
+  Rng rng(3);
+  const api::Workload w = pubo_workload(n);
+  const qaoa::Angles a = qaoa::Angles::random(1, rng);
+
+  api::SessionOptions options;
+  options.seed = 9;
+  options.num_processes = processes;
+  api::Session session(w, "mbqc", options);
+  const int shots = 32;
+  // Warm up outside the timed loop: compile/cache the pattern and (for
+  // sharded rows) spawn the worker pool.
+  session.sample(a, shots);
+  if (processes > 1 && session.shard_workers() != processes)
+    state.SkipWithError("worker pool did not spawn (mbq_worker missing?)");
+
+  for (auto _ : state) {
+    const api::SampleResult r = session.sample(a, shots);
+    benchmark::DoNotOptimize(r.shots.data());
+  }
+  state.SetItemsProcessed(state.iterations() * shots);
+  state.counters["processes"] = processes;
+  state.counters["threads_inproc"] = num_threads();
+  state.counters["term_order"] = w.cost().max_order();
+}
+BENCHMARK(BM_PuboSampleProcesses)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({10, 1})
+    ->Args({10, 2})
+    // Wall clock, not parent CPU: the sharded rows burn their cycles in
+    // the worker processes, which process CPU time never sees.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

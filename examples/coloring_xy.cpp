@@ -7,10 +7,13 @@
 // v has color c; cost counts edges whose endpoints hold different
 // colors; the mixer rotates within each vertex's one-hot block.
 //
-// The XY ansatz enters the unified API as a CustomCircuit workload: the
-// statevector backend drives the classical outer loop (cheap exact
-// objective) and the mbqc backend executes the optimized angles
-// measurement-based — same workload, two registry names.
+// The XY ansatz enters the unified API as a DECLARATIVE ParamCircuit
+// workload — a plain gate list whose angles are affine in gamma/beta
+// (no std::function anywhere), so it serializes as a WorkloadSpec and
+// even shards across worker processes.  The statevector backend drives
+// the classical outer loop (cheap exact objective) and the mbqc backend
+// executes the optimized angles measurement-based — same workload, two
+// registry names.
 
 #include <bit>
 #include <iostream>
@@ -21,7 +24,8 @@
 #include "mbq/graph/generators.h"
 #include "mbq/opt/grid.h"
 #include "mbq/opt/nelder_mead.h"
-#include "mbq/qaoa/mixers.h"
+#include "mbq/qaoa/param_circuit.h"
+#include "mbq/shard/protocol.h"
 
 int main() {
   using namespace mbq;
@@ -46,20 +50,25 @@ int main() {
   // Ansatz: prepare each vertex in color 0 (one-hot: |10> per block,
   // reached from the pattern's |+>^n via H then X on the color-0 qubit),
   // then alternate phase layers with ring-XY mixers per vertex block.
-  const auto build = [&, cost](const qaoa::Angles& a) {
-    Circuit circ(n);
-    for (int q = 0; q < n; ++q) circ.h(q);
-    for (int v = 0; v < g.num_vertices(); ++v) circ.x(qubit(v, 0));
-    for (int layer = 0; layer < a.p(); ++layer) {
-      for (const auto& t : cost.terms())
-        circ.phase_gadget(t.support, 2.0 * a.gamma[layer] * t.coeff);
-      for (int v = 0; v < g.num_vertices(); ++v)
-        circ.append(qaoa::xy_mixer_ring(n, {qubit(v, 0), qubit(v, 1)},
-                                        a.beta[layer]));
-    }
-    return circ;
-  };
-  const api::Workload workload = api::Workload::custom(cost, build);
+  // Declared once as data for p = 2 layers: the phase-gadget angle of
+  // term t in layer k is 2 * coeff_t * gamma[k], an affine Param.
+  const int p = 2;
+  qaoa::ParamCircuit ansatz(n);
+  for (int q = 0; q < n; ++q) ansatz.h(q);
+  for (int v = 0; v < g.num_vertices(); ++v) ansatz.x(qubit(v, 0));
+  for (int layer = 0; layer < p; ++layer) {
+    for (const auto& t : cost.terms())
+      ansatz.phase_gadget(t.support,
+                          qaoa::Param::gamma(layer, 2.0 * t.coeff));
+    for (int v = 0; v < g.num_vertices(); ++v)
+      ansatz.xy_ring({qubit(v, 0), qubit(v, 1)}, qaoa::Param::beta(layer));
+  }
+  const api::Workload workload = api::Workload::parameterized(cost, ansatz);
+  std::cout << "declarative ansatz: " << workload.param_circuit().size()
+            << " parameterized gates, spec wire format "
+            << api::serialize_spec(workload.spec()).size()
+            << " bytes, shardable: "
+            << (shard::shardable(workload) ? "yes" : "no") << "\n\n";
 
   // Classical outer loop on the exact statevector backend: coarse grid
   // over shared (gamma, beta), refined with Nelder-Mead over all four.

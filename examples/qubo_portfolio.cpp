@@ -10,6 +10,7 @@
 
 #include <bit>
 #include <iostream>
+#include <map>
 
 #include "mbq/api/api.h"
 #include "mbq/common/bits.h"
@@ -32,15 +33,21 @@ int main() {
     for (int j = i + 1; j < n; ++j)
       risk.push_back({{i, j}, rng.uniform(0.0, 0.6)});
 
-  // QUBO assembly: returns - q*risk - lambda*(sum x - B)^2.
+  // QUBO assembly: returns - q*risk - lambda*(sum x - B)^2.  The risk
+  // and budget-penalty contributions touch the SAME {i,j} pairs, and
+  // CostHamiltonian::qubo rejects duplicate entries rather than summing
+  // them silently — so accumulate per pair first.
   const real q = 0.7, lambda = 0.8;
   std::vector<real> linear = ret;
-  std::vector<std::pair<Edge, real>> quad;
-  for (auto& [e, c] : risk) quad.push_back({e, -q * c});
+  std::map<std::pair<int, int>, real> pair_coeff;
+  for (auto& [e, c] : risk) pair_coeff[{e.u, e.v}] += -q * c;
   // (sum x - B)^2 = sum x_i + 2 sum_{i<j} x_i x_j - 2B sum x_i + B^2.
   for (int i = 0; i < n; ++i) linear[i] -= lambda * (1.0 - 2.0 * budget);
   for (int i = 0; i < n; ++i)
-    for (int j = i + 1; j < n; ++j) quad.push_back({{i, j}, -2.0 * lambda});
+    for (int j = i + 1; j < n; ++j) pair_coeff[{i, j}] += -2.0 * lambda;
+  std::vector<std::pair<Edge, real>> quad;
+  for (const auto& [pair, c] : pair_coeff)
+    quad.push_back({{pair.first, pair.second}, c});
   const auto cost = qaoa::CostHamiltonian::qubo(
       n, linear, quad, -lambda * budget * budget);
 

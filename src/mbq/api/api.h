@@ -1,6 +1,7 @@
 #pragma once
 // Umbrella header for the unified execution-backend API.
 //
+//   WorkloadSpec — the declarative, serializable workload IR
 //   Workload  — what to run (cost Hamiltonian + ansatz/compile options)
 //   Backend   — how to run it (statevector / mbqc / clifford / zx / router)
 //   Registry  — string-keyed backend selection ("mbqc", "statevector", ...)
@@ -15,4 +16,5 @@
 #include "mbq/api/session.h"
 #include "mbq/api/statevector_backend.h"
 #include "mbq/api/workload.h"
+#include "mbq/api/workload_spec.h"
 #include "mbq/api/zx_backend.h"

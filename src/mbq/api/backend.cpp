@@ -15,8 +15,17 @@ std::string Backend::unsupported_reason(const Workload& w,
            " qubits, workload has " + std::to_string(w.num_qubits());
   if (w.ansatz() == AnsatzKind::MisConstrained && !caps.supports_mis_ansatz)
     return name() + " does not support the MIS ansatz";
-  if (w.ansatz() == AnsatzKind::CustomCircuit && !caps.supports_custom_ansatz)
+  if ((w.ansatz() == AnsatzKind::CustomCircuit ||
+       w.ansatz() == AnsatzKind::ParamCircuit) &&
+      !caps.supports_custom_ansatz)
     return name() + " does not support custom ansatz circuits";
+  if (caps.max_term_order > 0 && w.cost().max_order() > caps.max_term_order)
+    return name() + " evaluates cost terms up to order " +
+           std::to_string(caps.max_term_order) + ", workload has an order-" +
+           std::to_string(w.cost().max_order()) + " term";
+  if (w.entangler_noise() > 0.0 && !caps.supports_noise)
+    return name() +
+           " is a noiseless path and cannot execute entangler noise";
   return {};
 }
 

@@ -40,7 +40,19 @@ struct Capabilities {
   /// Only angles compiling to pi/2-multiple measurement patterns run.
   bool clifford_angles_only = false;
   bool supports_mis_ansatz = true;
+  /// Arbitrary angle-parameterized circuits — covers both the
+  /// declarative ParamCircuit ansatz and the CustomCircuit escape hatch.
   bool supports_custom_ansatz = true;
+  /// Largest Ising-term order |S| the backend can evaluate (0 =
+  /// unlimited).  Higher-order PUBO costs expand into |S| > 2 terms;
+  /// a bounded backend rejects them and the router passes it over.
+  int max_term_order = 0;
+  /// Whether the backend can execute workloads with entangler_noise > 0
+  /// (the mbqc runner's depolarizing channel).  Ideal backends
+  /// (statevector, clifford, zx) are noiseless by construction and
+  /// reject noisy workloads, so the router sends them to a
+  /// measurement-based adapter.
+  bool supports_noise = false;
 };
 
 /// Opaque reusable per-(workload, angles) compilation artifact.

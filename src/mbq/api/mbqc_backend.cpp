@@ -33,8 +33,21 @@ Capabilities MbqcBackend::capabilities() const {
           ? "full adaptive measurement protocol with quantum corrections"
           : "adaptive protocol, byproducts fixed by classical post-processing";
   caps.max_qubits = 20;  // live-width ~ problem register + gadget ancillas
+  // The dynamic-statevector runner models the entangler depolarizing
+  // channel, so noisy workloads execute here (and only here).
+  caps.supports_noise = true;
   return caps;
 }
+
+namespace {
+
+mbqc::ExecOptions exec_options_for(const Workload& w) {
+  mbqc::ExecOptions opt;
+  opt.entangler_noise = w.entangler_noise();
+  return opt;
+}
+
+}  // namespace
 
 std::shared_ptr<const Prepared> MbqcBackend::prepare(
     const Workload& w, const qaoa::Angles& a) const {
@@ -57,12 +70,15 @@ real MbqcBackend::expectation(const Workload& w, const qaoa::Angles& a,
     prep = local.get();
   }
   const core::CompiledPattern& cp = pattern_of(prep);
-  // One adaptive run; determinism makes the output state branch-free.
-  // In classical mode the X byproducts permute basis states, so <C> is
-  // computed on the corrected distribution by folding the flip mask into
-  // the cost argument.
+  // One adaptive run; determinism makes the output state branch-free
+  // (under entangler noise the run is a single noisy trajectory, so the
+  // value is a stochastic estimate — deterministic in the rng stream,
+  // but no longer the exact noiseless <C>).  In classical mode the X
+  // byproducts permute basis states, so <C> is computed on the corrected
+  // distribution by folding the flip mask into the cost argument.
   const mbqc::RunResult r =
-      mbqc::thread_local_executor(executable_of(prep)).run(rng);
+      mbqc::thread_local_executor(executable_of(prep), exec_options_for(w))
+          .run(rng);
   const std::uint64_t flip = byproduct_flips(cp, w.num_qubits(), r.outcomes);
   real acc = 0.0;
   for (std::uint64_t x = 0; x < r.output_state.size(); ++x)
@@ -84,7 +100,7 @@ std::uint64_t MbqcBackend::sample_one(const Workload& w, const qaoa::Angles& a,
   // and the final computational-basis readout samples straight from the
   // arena — no per-shot output_state copy either.
   mbqc::PatternExecutor& executor =
-      mbqc::thread_local_executor(executable_of(prep));
+      mbqc::thread_local_executor(executable_of(prep), exec_options_for(w));
   const std::uint64_t x = executor.run_sample(rng).x;
   // Classical correction mode: X byproducts flip readout bits.
   return x ^ byproduct_flips(cp, w.num_qubits(), executor.last_outcomes());

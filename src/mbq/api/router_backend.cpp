@@ -69,6 +69,10 @@ Capabilities RouterBackend::capabilities() const {
   caps.clifford_angles_only = true;
   caps.supports_mis_ansatz = false;
   caps.supports_custom_ansatz = false;
+  // Term order / noise: the router can run whatever its most capable
+  // candidate can — unlimited (0) if any candidate is unlimited, the
+  // max bound otherwise.
+  caps.max_term_order = -1;
   for (const auto& b : backends_) {
     const Capabilities c = b->capabilities();
     caps.max_qubits = std::max(caps.max_qubits, c.max_qubits);
@@ -77,7 +81,13 @@ Capabilities RouterBackend::capabilities() const {
     caps.clifford_angles_only &= c.clifford_angles_only;
     caps.supports_mis_ansatz |= c.supports_mis_ansatz;
     caps.supports_custom_ansatz |= c.supports_custom_ansatz;
+    if (c.max_term_order == 0)
+      caps.max_term_order = 0;
+    else if (caps.max_term_order != 0)
+      caps.max_term_order = std::max(caps.max_term_order, c.max_term_order);
+    caps.supports_noise |= c.supports_noise;
   }
+  if (caps.max_term_order < 0) caps.max_term_order = 0;
   return caps;
 }
 
@@ -102,8 +112,11 @@ RouteDecision RouterBackend::route(const Workload& w,
                  join(options_.candidates) + ")";
       // Without cross-checking there is no need to probe the costlier
       // candidates, so `rejected` covers only those tried before the
-      // choice.
-      if (!options_.cross_check) break;
+      // choice.  Noisy workloads never get a checker: every capable
+      // adapter evaluates a single stochastic noise trajectory, so two
+      // independent evaluations legitimately disagree far beyond any
+      // cross-check tolerance.
+      if (!options_.cross_check || w.entangler_noise() > 0.0) break;
     } else {
       d.cross_check_backend = name;
       break;

@@ -78,6 +78,15 @@ Session::Session(Workload workload, std::shared_ptr<Backend> backend,
       rng_(options.seed) {
   MBQ_REQUIRE(backend_ != nullptr, "Session needs a backend");
   MBQ_REQUIRE(options_.cache_capacity >= 1, "cache capacity must be >= 1");
+  if (options_.entangler_noise != 0.0) {
+    MBQ_REQUIRE(workload_.entangler_noise() == 0.0 ||
+                    workload_.entangler_noise() == options_.entangler_noise,
+                "SessionOptions::entangler_noise = "
+                    << options_.entangler_noise
+                    << " conflicts with the workload's own noise level "
+                    << workload_.entangler_noise());
+    workload_.with_entangler_noise(options_.entangler_noise);
+  }
   num_processes_ = resolve_num_processes(options_.num_processes);
   // Instance-constructed sessions never shard (registry_key_ stays
   // empty): a worker rebuilds backends from a registry key, and a name

@@ -50,9 +50,13 @@
 // pool of fork/exec'd mbq_worker processes (shard/worker_pool.h), each
 // owning a contiguous slice of the call's stream-index space.  Results
 // are merged in index order and are bit-identical to the in-process
-// path.  The Session falls back to in-process execution — silently, the
-// results being identical either way — when the workload cannot cross a
-// process boundary (custom-circuit ansatz), the backend was not resolved
+// path.  Every built-in ansatz — QAOA-diagonal over any-order Ising/PUBO
+// costs, (weighted) constraint-preserving MIS, declarative ParamCircuit
+// ansätze, with or without entangler noise — lowers to a serializable
+// WorkloadSpec and shards.  The Session falls back to in-process
+// execution — silently, the results being identical either way — only
+// when the workload cannot cross a process boundary (the CustomCircuit
+// std::function escape hatch), the backend was not resolved
 // from the registry by name, the worker executable cannot be found
 // (see shard::resolve_worker_path), the pool died earlier, or the call
 // is too small to split.  Cache bookkeeping under sharding: the sample
@@ -96,6 +100,16 @@ struct SessionOptions {
   /// shard::resolve_worker_path's search ($MBQ_WORKER, then next to the
   /// running executable).
   std::string worker_path;
+  /// Entangler-noise probability for the workload's measurement-based
+  /// execution (mbqc/runner.h's depolarizing channel).  0 leaves the
+  /// workload untouched; > 0 applies Workload::with_entangler_noise at
+  /// construction — a convenience so callers can dial noise per Session
+  /// without rebuilding the workload.  Throws if the workload already
+  /// carries a DIFFERENT non-zero noise level (ambiguous intent).  Noise
+  /// draws live on the same per-shot rng streams as everything else, so
+  /// noisy results keep the full determinism contract below — including
+  /// bit-identical process-sharded execution.
+  real entangler_noise = 0.0;
 };
 
 struct Shot {

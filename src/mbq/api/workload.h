@@ -10,62 +10,109 @@
 // same mathematical object and the paper's equivalence claims (Sec. III,
 // Eq. 12) become assertions over interchangeable adapters.
 //
-// Three ansatz kinds cover the paper:
+// Internally a Workload is a declarative WorkloadSpec (workload_spec.h) —
+// pure, serializable data — plus at most one opaque escape hatch.  The
+// ansatz kinds:
+//
 //   QaoaDiagonal   — standard QAOA_p: phase layers for the cost function
 //                    alternating with transverse-field mixers (Sec. III);
+//                    covers MaxCut, QUBO, and arbitrary-order PUBO costs
+//                    (the Sec. II-C higher-order extension);
 //   MisConstrained — the constraint-preserving MIS ansatz over a graph
 //                    (Sec. IV), starting from the feasible state |0...0>;
-//   CustomCircuit  — an angle-parameterized circuit acting on |+...+>
-//                    (e.g. the XY-mixer colorings of Sec. V), compiled
-//                    with the tailored circuit translator.
+//                    optionally vertex-weighted (c(x) = sum w_v x_v);
+//   ParamCircuit   — a DECLARATIVE angle-parameterized circuit acting on
+//                    |+...+> (XY-mixer colorings of Sec. V, HEA, ...),
+//                    held as a qaoa::ParamCircuit gate list: value
+//                    semantics, serializable, shardable;
+//   CustomCircuit  — the std::function escape hatch: an arbitrary
+//                    angle-parameterized builder acting on |+...+>.  The
+//                    closure cannot cross a process boundary, so custom
+//                    workloads are the ONLY kind that cannot shard.
 
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "mbq/api/workload_spec.h"
 #include "mbq/circuit/circuit.h"
 #include "mbq/core/compiler.h"
 #include "mbq/graph/graph.h"
 #include "mbq/qaoa/hamiltonian.h"
+#include "mbq/qaoa/param_circuit.h"
 #include "mbq/qaoa/qaoa.h"
 #include "mbq/sim/statevector.h"
 
 namespace mbq::api {
-
-enum class AnsatzKind : std::uint8_t {
-  QaoaDiagonal,
-  MisConstrained,
-  CustomCircuit,
-};
-
-std::string ansatz_kind_name(AnsatzKind k);
 
 /// Angle-parameterized circuit on |+...+> for AnsatzKind::CustomCircuit.
 using CircuitBuilder = std::function<Circuit(const qaoa::Angles&)>;
 
 class Workload {
  public:
-  /// Standard QAOA over an arbitrary Ising cost function.
+  /// Standard QAOA over an arbitrary Ising cost function (any term order).
   static Workload qaoa(qaoa::CostHamiltonian cost);
   /// QAOA for MaxCut on a graph.
   static Workload maxcut(const Graph& g);
+  /// QAOA for weighted MaxCut; weights are indexed like g.edges().
+  static Workload maxcut_weighted(const Graph& g,
+                                  const std::vector<real>& weights);
+  /// QAOA for a higher-order PUBO over 0/1 variables (see
+  /// qaoa::CostHamiltonian::pubo).
+  static Workload pubo(int n, const std::vector<qaoa::PuboTerm>& terms,
+                       real constant = 0.0);
   /// Constraint-preserving MIS ansatz (Sec. IV); cost is the set size.
   static Workload mis(const Graph& g);
-  /// Custom ansatz circuit (convention: acts on |+...+>).
+  /// Weighted MIS: cost is sum_v weights[v] x_v and the phase layer
+  /// rotates vertex v by weights[v] * gamma; the mixer still preserves
+  /// independence.  weights must have one entry per vertex.
+  static Workload mis_weighted(const Graph& g, std::vector<real> weights);
+  /// Declarative parameterized-circuit ansatz (convention: acts on
+  /// |+...+>).  Serializable, so it shards across worker processes.
+  static Workload parameterized(qaoa::CostHamiltonian cost,
+                                qaoa::ParamCircuit circuit);
+  /// Custom ansatz circuit (convention: acts on |+...+>).  The explicit
+  /// escape hatch: the closure is opaque, so the workload cannot be
+  /// serialized or sharded — prefer parameterized() when the ansatz can
+  /// be written as a gate list.
   static Workload custom(qaoa::CostHamiltonian cost, CircuitBuilder builder);
+  /// Rebuild from a declarative spec (validated; throws on inconsistent
+  /// specs, and on CustomCircuit kinds — the closure cannot travel).
+  static Workload from_spec(WorkloadSpec spec);
 
-  const qaoa::CostHamiltonian& cost() const noexcept { return cost_; }
-  AnsatzKind ansatz() const noexcept { return ansatz_; }
-  int num_qubits() const noexcept { return cost_.num_qubits(); }
+  /// The declarative description (always present; for CustomCircuit it
+  /// describes everything except the closure itself).
+  const WorkloadSpec& spec() const noexcept { return spec_; }
+
+  const qaoa::CostHamiltonian& cost() const noexcept { return spec_.cost; }
+  AnsatzKind ansatz() const noexcept { return spec_.kind; }
+  int num_qubits() const noexcept { return spec_.cost.num_qubits(); }
   /// Graph of the MIS ansatz; throws for other kinds.
   const Graph& mis_graph() const;
+  /// Per-vertex weights of the MIS ansatz (empty = unweighted); throws
+  /// for other kinds.
+  const std::vector<real>& mis_weights() const;
+  /// Declarative circuit of the ParamCircuit ansatz; throws otherwise.
+  const qaoa::ParamCircuit& param_circuit() const;
+  /// True only for the CustomCircuit escape hatch.
+  bool has_custom_builder() const noexcept { return circuit_ != nullptr; }
 
-  // --- chainable compile options --------------------------------------
+  // --- chainable compile / execution options ---------------------------
   Workload& with_linear_style(core::LinearTermStyle style);
   Workload& with_max_wire_degree(int degree);
-  core::LinearTermStyle linear_style() const noexcept { return linear_style_; }
-  int max_wire_degree() const noexcept { return max_wire_degree_; }
+  /// Depolarizing probability after every entangling command of the
+  /// measurement-based execution (mbqc/runner.h's entangler_noise);
+  /// must be in [0, 1].  Noise draws are part of the per-shot rng
+  /// stream, so noisy results stay bit-identical at every thread and
+  /// process count; only noise-capable backends (mbqc, mbqc-classical)
+  /// accept the workload.
+  Workload& with_entangler_noise(real probability);
+  core::LinearTermStyle linear_style() const noexcept {
+    return spec_.linear_style;
+  }
+  int max_wire_degree() const noexcept { return spec_.max_wire_degree; }
+  real entangler_noise() const noexcept { return spec_.entangler_noise; }
 
   core::CompileOptions compile_options(bool final_corrections) const;
 
@@ -86,14 +133,10 @@ class Workload {
                                         bool final_corrections) const;
 
  private:
-  explicit Workload(qaoa::CostHamiltonian cost) : cost_(std::move(cost)) {}
+  explicit Workload(WorkloadSpec spec) : spec_(std::move(spec)) {}
 
-  qaoa::CostHamiltonian cost_{0};
-  AnsatzKind ansatz_ = AnsatzKind::QaoaDiagonal;
-  core::LinearTermStyle linear_style_ = core::LinearTermStyle::Gadget;
-  int max_wire_degree_ = 0;
-  Graph mis_graph_;
-  CircuitBuilder circuit_;
+  WorkloadSpec spec_;
+  CircuitBuilder circuit_;  // CustomCircuit escape hatch only
   // Memo for cost_table(); shared so copies reuse the computed table.
   mutable std::shared_ptr<const std::vector<real>> table_;
 };

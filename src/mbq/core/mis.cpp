@@ -6,11 +6,20 @@ namespace mbq::core {
 
 CompiledPattern compile_mis_qaoa(const Graph& g, const qaoa::Angles& angles,
                                  const CompileOptions& options) {
+  return compile_mis_qaoa_weighted(
+      g, std::vector<real>(static_cast<std::size_t>(g.num_vertices()), 1.0),
+      angles, options);
+}
+
+CompiledPattern compile_mis_qaoa_weighted(const Graph& g,
+                                          const std::vector<real>& weights,
+                                          const qaoa::Angles& angles,
+                                          const CompileOptions& options) {
   const int n = g.num_vertices();
   // Pattern wires start in |+>; H turns them into the feasible |0...0>.
   Circuit c(n);
   for (int q = 0; q < n; ++q) c.h(q);
-  c.append(qaoa::mis_qaoa_circuit(g, angles));
+  c.append(qaoa::mis_qaoa_circuit_weighted(g, weights, angles));
   return compile_circuit_tailored(c, options);
 }
 

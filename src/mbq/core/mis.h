@@ -20,6 +20,14 @@ namespace mbq::core {
 CompiledPattern compile_mis_qaoa(const Graph& g, const qaoa::Angles& angles,
                                  const CompileOptions& options = {});
 
+/// Weighted variant: phase rotations scale with the per-vertex weights
+/// (cost c(x) = sum_v weights[v] x_v); all-ones weights reproduce the
+/// unweighted pattern exactly.
+CompiledPattern compile_mis_qaoa_weighted(const Graph& g,
+                                          const std::vector<real>& weights,
+                                          const qaoa::Angles& angles,
+                                          const CompileOptions& options = {});
+
 /// Number of YZ gadgets needed for one partial mixer on vertex v.
 std::int64_t mis_partial_mixer_gadget_count(const Graph& g, int v);
 

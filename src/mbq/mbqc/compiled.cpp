@@ -349,12 +349,16 @@ RunResult PatternExecutor::execute(Rng* rng, const int* forced,
 }
 
 PatternExecutor& thread_local_executor(
-    const std::shared_ptr<const CompiledPattern>& compiled) {
+    const std::shared_ptr<const CompiledPattern>& compiled,
+    const ExecOptions& options) {
   MBQ_REQUIRE(compiled != nullptr, "thread_local_executor needs a pattern");
+  MBQ_REQUIRE(options.input_states.empty(),
+              "thread_local_executor does not support input_states; "
+              "construct a PatternExecutor directly");
   thread_local std::shared_ptr<const CompiledPattern> cached;
   thread_local std::unique_ptr<PatternExecutor> executor;
-  if (cached != compiled) {
-    executor = std::make_unique<PatternExecutor>(compiled);
+  if (cached != compiled || !(executor->options() == options)) {
+    executor = std::make_unique<PatternExecutor>(compiled, options);
     cached = compiled;
   }
   return *executor;

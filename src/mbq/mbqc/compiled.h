@@ -131,6 +131,10 @@ struct ExecOptions {
   /// (unfused) execution path so the rng stream matches the interpreter
   /// draw for draw.
   real entangler_noise = 0.0;
+
+  /// Whole-struct comparison keeps thread_local_executor's staleness
+  /// check honest when fields are added here.
+  friend bool operator==(const ExecOptions&, const ExecOptions&) = default;
 };
 
 /// Replays a CompiledPattern's tape; owns the DynamicStatevector arena
@@ -184,16 +188,20 @@ class PatternExecutor {
   std::vector<int> forced_bits_;  // scratch for the branch overload
 };
 
-/// The executor for `compiled` cached on the CURRENT thread (default
-/// ExecOptions).  Parallel shot loops call this per shot: each worker
-/// keeps one warm arena for the pattern it is currently running, which
-/// is what makes Session::sample allocation-free in steady state.
-/// Swapping patterns on a thread rebuilds its executor (cheap; the
-/// compiled tape is shared, only the arena restarts cold).  Retention:
-/// each pool thread pins ONE tape + arena (the pattern it last ran,
-/// ~2·16B·2^peak_live) until a different pattern replaces it — bounded
-/// by thread count, but it does outlive the owning Session.
+/// The executor for `compiled` cached on the CURRENT thread.  Parallel
+/// shot loops call this per shot: each worker keeps one warm arena for
+/// the pattern it is currently running, which is what makes
+/// Session::sample allocation-free in steady state.  Swapping patterns —
+/// or ExecOptions (e.g. a different entangler_noise) — on a thread
+/// rebuilds its executor (cheap; the compiled tape is shared, only the
+/// arena restarts cold).  input_states are not supported through this
+/// cache (they would silently leak between callers); construct a
+/// PatternExecutor directly for those.  Retention: each pool thread pins
+/// ONE tape + arena (the pattern it last ran, ~2·16B·2^peak_live) until
+/// a different pattern replaces it — bounded by thread count, but it
+/// does outlive the owning Session.
 PatternExecutor& thread_local_executor(
-    const std::shared_ptr<const CompiledPattern>& compiled);
+    const std::shared_ptr<const CompiledPattern>& compiled,
+    const ExecOptions& options = {});
 
 }  // namespace mbq::mbqc

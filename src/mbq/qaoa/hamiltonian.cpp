@@ -1,7 +1,10 @@
 #include "mbq/qaoa/hamiltonian.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
+#include <set>
+#include <utility>
 
 #include "mbq/common/bits.h"
 #include "mbq/common/error.h"
@@ -37,6 +40,7 @@ void CostHamiltonian::add_term(std::vector<int> support, real coeff) {
       return;
     }
   }
+  max_order_ = std::max(max_order_, static_cast<int>(reduced.size()));
   terms_.push_back({coeff, std::move(reduced)});
 }
 
@@ -71,12 +75,6 @@ std::vector<real> CostHamiltonian::cost_table() const {
     out[x] = c;
   });
   return table;
-}
-
-int CostHamiltonian::max_order() const {
-  std::size_t k = 0;
-  for (const auto& t : terms_) k = std::max(k, t.support.size());
-  return static_cast<int>(k);
 }
 
 bool CostHamiltonian::has_linear_terms() const {
@@ -127,6 +125,26 @@ CostHamiltonian CostHamiltonian::qubo(
     const std::vector<std::pair<Edge, real>>& quad, real constant) {
   MBQ_REQUIRE(static_cast<int>(linear.size()) == n,
               "linear coefficient count " << linear.size() << " != n=" << n);
+  // Validate the whole quadratic list up front: a malformed entry must
+  // throw before any term mutates the Hamiltonian, and duplicate pairs
+  // would otherwise silently sum their coefficients.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& [e, w] : quad) {
+    (void)w;
+    MBQ_REQUIRE(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+                "QUBO quadratic term {" << e.u << "," << e.v
+                                        << "} out of range for n=" << n);
+    MBQ_REQUIRE(e.u != e.v, "QUBO quadratic term {"
+                                << e.u << "," << e.v
+                                << "} couples a variable with itself; fold "
+                                   "x_i^2 = x_i into linear[" << e.u << "]");
+    const auto key = std::minmax(e.u, e.v);
+    MBQ_REQUIRE(seen.insert(key).second,
+                "duplicate QUBO quadratic term {" << key.first << ","
+                                                  << key.second
+                                                  << "}; merge coefficients "
+                                                     "before constructing");
+  }
   CostHamiltonian c(n, constant);
   // x_i = (1 - Z_i)/2.
   for (int i = 0; i < n; ++i) {
@@ -135,7 +153,6 @@ CostHamiltonian CostHamiltonian::qubo(
     c.add_term({i}, -linear[i] / 2.0);
   }
   for (const auto& [e, w] : quad) {
-    MBQ_REQUIRE(e.u != e.v, "QUBO quadratic term on a single variable");
     if (w == 0.0) continue;
     // x_u x_v = (1 - Z_u - Z_v + Z_u Z_v)/4.
     c.constant_ += w / 4.0;
@@ -146,9 +163,68 @@ CostHamiltonian CostHamiltonian::qubo(
   return c;
 }
 
+CostHamiltonian CostHamiltonian::pubo(int n,
+                                      const std::vector<PuboTerm>& terms,
+                                      real constant) {
+  CostHamiltonian c(n, constant);
+  // Accumulate the expansion in a support-keyed map rather than through
+  // add_term's linear scan: a single order-16 monomial already expands
+  // into 2^16 distinct supports, which would make repeated scans
+  // quadratic.  The map also fixes a deterministic (sorted) term order.
+  std::map<std::vector<int>, real> expanded;
+  for (const PuboTerm& t : terms) {
+    // x_i^2 = x_i: repeated indices collapse (unlike Z, where they
+    // cancel), so deduplicate rather than reduce mod 2.
+    std::vector<int> vars = t.vars;
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    for (int v : vars)
+      MBQ_REQUIRE(v >= 0 && v < n,
+                  "PUBO term variable " << v << " out of range for n=" << n);
+    const int k = static_cast<int>(vars.size());
+    MBQ_REQUIRE(k <= 16, "PUBO term of order " << k
+                             << " exceeds the order-16 expansion cap (2^k "
+                                "Ising terms per monomial)");
+    if (t.coeff == 0.0) continue;
+    // prod_{i in S} x_i = prod (1 - Z_i)/2
+    //                   = 2^{-|S|} sum_{T subseteq S} (-1)^{|T|} Z_T.
+    const real scale = t.coeff / static_cast<real>(std::uint64_t{1} << k);
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << k); ++mask) {
+      std::vector<int> support;
+      for (int i = 0; i < k; ++i)
+        if ((mask >> i) & 1) support.push_back(vars[i]);
+      const real sign = (std::popcount(mask) % 2 == 0) ? 1.0 : -1.0;
+      expanded[std::move(support)] += sign * scale;
+    }
+  }
+  for (auto& [support, coeff] : expanded) {
+    if (support.empty()) {
+      c.constant_ += coeff;
+    } else if (coeff != 0.0) {  // drop exact cancellations: they would
+      // inflate max_order() and compile to dead gadgets
+      c.max_order_ =
+          std::max(c.max_order_, static_cast<int>(support.size()));
+      c.terms_.push_back({coeff, support});
+    }
+  }
+  return c;
+}
+
 CostHamiltonian CostHamiltonian::independent_set_size(int n) {
   CostHamiltonian c(n, static_cast<real>(n) / 2.0);
   for (int i = 0; i < n; ++i) c.add_term({i}, -0.5);
+  return c;
+}
+
+CostHamiltonian CostHamiltonian::weighted_independent_set(
+    const std::vector<real>& weights) {
+  const int n = static_cast<int>(weights.size());
+  // x_i = (1 - Z_i)/2, so sum w_i x_i = sum(w)/2 - sum (w_i/2) Z_i.
+  real total = 0.0;
+  for (real w : weights) total += w;
+  CostHamiltonian c(n, total / 2.0);
+  for (int i = 0; i < n; ++i)
+    if (weights[i] != 0.0) c.add_term({i}, -weights[i] / 2.0);
   return c;
 }
 

@@ -23,6 +23,13 @@ struct IsingTerm {
   std::vector<int> support;  // sorted, distinct qubits
 };
 
+/// One monomial coeff * prod_{i in vars} x_i of a PUBO over 0/1
+/// variables.  Repeated indices collapse (x_i^2 = x_i).
+struct PuboTerm {
+  real coeff = 0.0;
+  std::vector<int> vars;
+};
+
 class CostHamiltonian {
  public:
   explicit CostHamiltonian(int num_qubits, real constant = 0.0);
@@ -40,8 +47,9 @@ class CostHamiltonian {
   /// Full table of c(x), x in [0, 2^n); n <= 28 guard.
   std::vector<real> cost_table() const;
 
-  /// Max |S| over terms (0 if none).
-  int max_order() const;
+  /// Max |S| over terms (0 if none).  O(1): maintained at insertion,
+  /// since capability checks consult it per angle point.
+  int max_order() const noexcept { return max_order_; }
   bool has_linear_terms() const;
   int num_terms_of_order(int k) const;
 
@@ -56,19 +64,34 @@ class CostHamiltonian {
   static CostHamiltonian maxcut_weighted(const Graph& g,
                                          const std::vector<real>& weights);
   /// General QUBO: c(x) = sum_i linear[i] x_i + sum_{i<j} quad[{i,j}] x_i x_j
-  /// + constant (maximized).
+  /// + constant (maximized).  Throws Error on out-of-range endpoints,
+  /// self-edges, or duplicate {i,j} entries (which would silently sum).
   static CostHamiltonian qubo(int n, const std::vector<real>& linear,
                               const std::vector<std::pair<Edge, real>>& quad,
+                              real constant = 0.0);
+  /// General PUBO over 0/1 variables: c(x) = constant +
+  /// sum_t coeff_t * prod_{i in vars_t} x_i (maximized).  Each order-k
+  /// monomial expands into 2^k Ising terms via x_i = (1 - Z_i)/2 — the
+  /// higher-order extension of Sec. II-C, compiled with the same
+  /// per-term gadget.  Repeated indices within a term collapse
+  /// (x_i^2 = x_i); out-of-range indices throw; term order is capped at
+  /// 16 (the expansion is exponential in the order).
+  static CostHamiltonian pubo(int n, const std::vector<PuboTerm>& terms,
                               real constant = 0.0);
   /// Independent-set size: c(x) = sum_i x_i (for the constraint-preserving
   /// MIS ansatz of Sec. IV, no penalty terms needed).
   static CostHamiltonian independent_set_size(int n);
+  /// Weighted independent-set value c(x) = sum_i weights[i] x_i, for the
+  /// weighted variant of the constraint-preserving MIS ansatz.
+  static CostHamiltonian weighted_independent_set(
+      const std::vector<real>& weights);
   /// Penalized MIS QUBO: sum_i x_i - penalty * sum_{(u,v) in E} x_u x_v.
   static CostHamiltonian mis_penalized(const Graph& g, real penalty);
 
  private:
   int n_ = 0;
   real constant_ = 0.0;
+  int max_order_ = 0;
   std::vector<IsingTerm> terms_;
 };
 

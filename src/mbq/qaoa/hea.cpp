@@ -45,20 +45,47 @@ HeaParameters HeaParameters::from_flat(const std::vector<real>& v, int layers,
 
 int hea_parameter_count(int layers, int n) { return 2 * layers * n; }
 
-Circuit hea_circuit(const Graph& coupling, const HeaParameters& params) {
+ParamCircuit hea_param_circuit(const Graph& coupling, int layers) {
   const int n = coupling.num_vertices();
-  MBQ_REQUIRE(params.layers() >= 1, "HEA needs >= 1 layer");
-  Circuit c(n);
-  for (const auto& layer : params.theta) {
-    MBQ_REQUIRE(static_cast<int>(layer.size()) == n,
-                "HEA layer width mismatch");
+  MBQ_REQUIRE(layers >= 1, "HEA needs >= 1 layer");
+  ParamCircuit pc(n);
+  for (int layer = 0; layer < layers; ++layer) {
     for (int q = 0; q < n; ++q) {
-      c.rz(q, layer[q][0]);
-      c.rx(q, layer[q][1]);
+      pc.rz(q, Param::gamma(layer * n + q));
+      pc.rx(q, Param::beta(layer * n + q));
     }
-    for (const Edge& e : coupling.edges()) c.cz(e.u, e.v);
+    for (const Edge& e : coupling.edges()) pc.cz(e.u, e.v);
   }
-  return c;
+  return pc;
+}
+
+Angles hea_angles(const HeaParameters& params, int num_qubits) {
+  MBQ_REQUIRE(params.layers() >= 1, "HEA needs >= 1 layer");
+  const std::size_t width = num_qubits > 0
+                                ? static_cast<std::size_t>(num_qubits)
+                                : params.theta.front().size();
+  Angles a;
+  for (const auto& layer : params.theta) {
+    // A jagged theta — or one wider/narrower than the circuit it will
+    // be bound to — would silently shift every later (layer, qubit)
+    // slot in the gamma/beta = layer*n + q packing.
+    MBQ_REQUIRE(layer.size() == width,
+                "HEA layer width mismatch: " << layer.size() << " vs "
+                                             << width);
+    for (const auto& q : layer) {
+      a.gamma.push_back(q[0]);
+      a.beta.push_back(q[1]);
+    }
+  }
+  return a;
+}
+
+Circuit hea_circuit(const Graph& coupling, const HeaParameters& params) {
+  // One source of truth: bind the declarative template, so the closure
+  // and ParamCircuit paths cannot drift apart (hea_angles validates the
+  // layer widths against the coupling graph).
+  return hea_param_circuit(coupling, params.layers())
+      .instantiate(hea_angles(params, coupling.num_vertices()));
 }
 
 }  // namespace mbq::qaoa

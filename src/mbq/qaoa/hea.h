@@ -14,6 +14,7 @@
 #include "mbq/circuit/circuit.h"
 #include "mbq/common/rng.h"
 #include "mbq/graph/graph.h"
+#include "mbq/qaoa/param_circuit.h"
 
 namespace mbq::qaoa {
 
@@ -30,6 +31,19 @@ struct HeaParameters {
 
 /// Build the HEA circuit over the coupling graph (CZ per edge per layer).
 Circuit hea_circuit(const Graph& coupling, const HeaParameters& params);
+
+/// The same brickwork as a declarative ParamCircuit: the Rz angle of
+/// (layer L, qubit q) reads gamma[L*n + q], the Rx angle beta[L*n + q]
+/// (Angles is just two real vectors, so ansätze with more than 2p
+/// parameters pack them this way — see hea_angles).  Serializable, so
+/// HEA workloads shard across worker processes.
+ParamCircuit hea_param_circuit(const Graph& coupling, int layers);
+
+/// Pack HeaParameters into the Angles layout hea_param_circuit reads.
+/// Pass the coupling graph's vertex count as num_qubits when composing
+/// with hea_param_circuit by hand: a width mismatch would otherwise
+/// shift every layer*n + q slot silently (0 skips the check).
+Angles hea_angles(const HeaParameters& params, int num_qubits = 0);
 
 /// Number of parameters for (layers, n).
 int hea_parameter_count(int layers, int n);

@@ -2,6 +2,7 @@
 
 #include "mbq/common/bits.h"
 #include "mbq/common/error.h"
+#include "mbq/qaoa/param_circuit.h"
 
 namespace mbq::qaoa {
 
@@ -19,16 +20,28 @@ Circuit mis_mixer(const Graph& g, real beta) {
 }
 
 Circuit mis_qaoa_circuit(const Graph& g, const Angles& a) {
+  return mis_qaoa_circuit_weighted(
+      g, std::vector<real>(static_cast<std::size_t>(g.num_vertices()), 1.0),
+      a);
+}
+
+Circuit mis_qaoa_circuit_weighted(const Graph& g,
+                                  const std::vector<real>& weights,
+                                  const Angles& a) {
   const int n = g.num_vertices();
+  MBQ_REQUIRE(static_cast<int>(weights.size()) == n,
+              "MIS weight count " << weights.size() << " != vertex count "
+                                  << n);
   Circuit c(n);
   // Feasible initial state: the empty independent set |0...0> is the
   // circuit's natural start; an initial mixer application spreads it over
   // feasible states (paper, Sec. IV).
   c.append(mis_mixer(g, a.beta.front()));
   for (int k = 0; k < a.p(); ++k) {
-    // Phase layer for c(x) = sum x_i = n/2 - (1/2) sum Z_i:
-    // exp(-i gamma C) ~ prod exp(+i gamma Z_i / 2) = prod PG(-gamma, {i}).
-    for (int q = 0; q < n; ++q) c.phase_gadget({q}, -a.gamma[k]);
+    // Phase layer for c(x) = sum w_i x_i = sum(w)/2 - (1/2) sum w_i Z_i:
+    // exp(-i gamma C) ~ prod exp(+i gamma w_i Z_i / 2)
+    //                 = prod PG(-w_i gamma, {i}).
+    for (int q = 0; q < n; ++q) c.phase_gadget({q}, -weights[q] * a.gamma[k]);
     c.append(mis_mixer(g, a.beta[k]));
   }
   return c;
@@ -50,31 +63,20 @@ real infeasible_mass(const Graph& g, const Statevector& sv) {
 }
 
 Circuit xy_mixer_pair(int n, int u, int v, real beta) {
-  MBQ_REQUIRE(u != v, "XY mixer needs distinct qubits");
-  Circuit c(n);
-  // e^{i beta X_u X_v}: conjugate exp(-i theta/2 ZZ), theta = -2 beta,
-  // by H on both qubits.
-  c.h(u).h(v);
-  c.phase_gadget({u, v}, -2.0 * beta);
-  c.h(u).h(v);
-  // e^{i beta Y_u Y_v}: with W = S*H we have W Z W^dag = Y, so conjugate
-  // the ZZ gadget by W (circuit: W^dag = sdg,h before; W = h,s after).
-  c.sdg(u).h(u).sdg(v).h(v);
-  c.phase_gadget({u, v}, -2.0 * beta);
-  c.h(u).s(u).h(v).s(v);
-  return c;
+  // One source of truth: the declarative xy_pair (param_circuit.cpp)
+  // carries the gate sequence; binding a constant beta reproduces it
+  // exactly (Param::constant evaluates to its offset, no arithmetic).
+  ParamCircuit pc(n);
+  pc.xy_pair(u, v, Param::constant(beta));
+  return pc.instantiate({});
 }
 
 Circuit xy_mixer_ring(int n, const std::vector<int>& ring, real beta) {
-  MBQ_REQUIRE(ring.size() >= 2, "ring needs >= 2 vertices");
-  Circuit c(n);
-  for (std::size_t i = 0; i < ring.size(); ++i) {
-    const int u = ring[i];
-    const int v = ring[(i + 1) % ring.size()];
-    if (ring.size() == 2 && i == 1) break;  // avoid the duplicate pair
-    c.append(xy_mixer_pair(n, u, v, beta));
-  }
-  return c;
+  // Delegates to the declarative builder (like xy_mixer_pair): one
+  // source of truth for the ring iteration and its size-2 dedup.
+  ParamCircuit pc(n);
+  pc.xy_ring(ring, Param::constant(beta));
+  return pc.instantiate({});
 }
 
 }  // namespace mbq::qaoa

@@ -27,6 +27,14 @@ Circuit mis_mixer(const Graph& g, real beta);
 /// classically-found feasible state.
 Circuit mis_qaoa_circuit(const Graph& g, const Angles& a);
 
+/// Weighted variant: the phase layer rotates vertex v by w_v * gamma
+/// (cost c(x) = sum_v weights[v] x_v); the constraint-preserving mixer
+/// is unchanged.  weights must have one entry per vertex; the
+/// all-ones vector reproduces mis_qaoa_circuit exactly.
+Circuit mis_qaoa_circuit_weighted(const Graph& g,
+                                  const std::vector<real>& weights,
+                                  const Angles& a);
+
 /// True if bitstring x is an independent set of g.
 bool is_independent_set(const Graph& g, std::uint64_t x);
 

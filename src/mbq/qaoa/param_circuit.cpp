@@ -1,0 +1,174 @@
+#include "mbq/qaoa/param_circuit.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mbq/common/error.h"
+
+namespace mbq::qaoa {
+
+real Param::evaluate(const Angles& a) const {
+  switch (source) {
+    case Source::Constant:
+      return offset + scale;  // the documented affine form with source = 1
+    case Source::Gamma:
+      MBQ_REQUIRE(index >= 0 && index < static_cast<int>(a.gamma.size()),
+                  "gate references gamma[" << index << "], angles carry "
+                                           << a.gamma.size());
+      return offset + scale * a.gamma[static_cast<std::size_t>(index)];
+    case Source::Beta:
+      MBQ_REQUIRE(index >= 0 && index < static_cast<int>(a.beta.size()),
+                  "gate references beta[" << index << "], angles carry "
+                                          << a.beta.size());
+      return offset + scale * a.beta[static_cast<std::size_t>(index)];
+  }
+  throw InternalError("unreachable param source");
+}
+
+ParamCircuit::ParamCircuit(int num_qubits) : n_(num_qubits) {
+  MBQ_REQUIRE(num_qubits >= 1,
+              "circuit needs >= 1 qubit, got " << num_qubits);
+}
+
+ParamCircuit& ParamCircuit::h(int q) { return append({GateKind::H, {q}}); }
+ParamCircuit& ParamCircuit::x(int q) { return append({GateKind::X, {q}}); }
+ParamCircuit& ParamCircuit::y(int q) { return append({GateKind::Y, {q}}); }
+ParamCircuit& ParamCircuit::z(int q) { return append({GateKind::Z, {q}}); }
+ParamCircuit& ParamCircuit::s(int q) { return append({GateKind::S, {q}}); }
+ParamCircuit& ParamCircuit::sdg(int q) { return append({GateKind::Sdg, {q}}); }
+ParamCircuit& ParamCircuit::t(int q) { return append({GateKind::T, {q}}); }
+ParamCircuit& ParamCircuit::tdg(int q) { return append({GateKind::Tdg, {q}}); }
+
+ParamCircuit& ParamCircuit::rx(int q, Param theta) {
+  return append({GateKind::Rx, {q}, theta});
+}
+
+ParamCircuit& ParamCircuit::rz(int q, Param theta) {
+  return append({GateKind::Rz, {q}, theta});
+}
+
+ParamCircuit& ParamCircuit::cz(int a, int b) {
+  return append({GateKind::Cz, {a, b}});
+}
+
+ParamCircuit& ParamCircuit::cx(int control, int target) {
+  return append({GateKind::Cx, {control, target}});
+}
+
+ParamCircuit& ParamCircuit::phase_gadget(std::vector<int> support,
+                                         Param theta) {
+  return append({GateKind::PhaseGadget, std::move(support), theta});
+}
+
+ParamCircuit& ParamCircuit::controlled_exp_x(int target,
+                                             std::vector<int> controls,
+                                             Param beta, int ctrl_value) {
+  std::vector<int> qs{target};
+  qs.insert(qs.end(), controls.begin(), controls.end());
+  ParamGate g{GateKind::ControlledExpX, std::move(qs), beta, ctrl_value};
+  return append(std::move(g));
+}
+
+ParamCircuit& ParamCircuit::xy_pair(int u, int v, Param beta) {
+  // Guard up front: a gadget append throwing mid-sequence would leave
+  // stray H gates behind on a repeated or out-of-range qubit.
+  MBQ_REQUIRE(u != v, "XY mixer needs distinct qubits");
+  for (int q : {u, v})
+    MBQ_REQUIRE(q >= 0 && q < n_,
+                "qubit " << q << " out of range [0," << n_ << ")");
+  // The defining gate sequence (mixers.h xy_mixer_pair delegates here):
+  // both factors are ZZ phase gadgets at angle -2*beta, conjugated by H
+  // (for XX) and by W = S·H (for YY).
+  h(u).h(v);
+  phase_gadget({u, v}, beta.scaled(-2.0));
+  h(u).h(v);
+  sdg(u).h(u).sdg(v).h(v);
+  phase_gadget({u, v}, beta.scaled(-2.0));
+  h(u).s(u).h(v).s(v);
+  return *this;
+}
+
+ParamCircuit& ParamCircuit::xy_ring(const std::vector<int>& ring, Param beta) {
+  MBQ_REQUIRE(ring.size() >= 2, "ring needs >= 2 vertices");
+  // Validate the whole ring before mutating: see xy_pair.
+  for (int q : ring)
+    MBQ_REQUIRE(q >= 0 && q < n_,
+                "qubit " << q << " out of range [0," << n_ << ")");
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (ring.size() == 2 && i == 1) break;  // avoid the duplicate pair
+    xy_pair(ring[i], ring[(i + 1) % ring.size()], beta);
+  }
+  return *this;
+}
+
+ParamCircuit& ParamCircuit::append(ParamGate g) {
+  std::unordered_set<int> seen;
+  for (int q : g.qubits) {
+    MBQ_REQUIRE(q >= 0 && q < n_,
+                "qubit " << q << " out of range [0," << n_ << ")");
+    MBQ_REQUIRE(seen.insert(q).second, "repeated qubit " << q << " in gate");
+  }
+  bool parameterized = false;
+  switch (g.kind) {
+    case GateKind::Cz:
+    case GateKind::Cx:
+      MBQ_REQUIRE(g.qubits.size() == 2, "two-qubit gate needs 2 qubits");
+      break;
+    case GateKind::PhaseGadget:
+      MBQ_REQUIRE(!g.qubits.empty(), "phase gadget needs support");
+      parameterized = true;
+      break;
+    case GateKind::ControlledExpX:
+      MBQ_REQUIRE(!g.qubits.empty(), "controlled gate needs a target");
+      MBQ_REQUIRE(g.ctrl_value == 0 || g.ctrl_value == 1,
+                  "ctrl_value must be 0/1");
+      parameterized = true;
+      break;
+    case GateKind::Rx:
+    case GateKind::Rz:
+      MBQ_REQUIRE(g.qubits.size() == 1, "single-qubit gate needs 1 qubit");
+      parameterized = true;
+      break;
+    default:
+      MBQ_REQUIRE(g.qubits.size() == 1, "single-qubit gate needs 1 qubit");
+  }
+  // Canonicality: angle-less gates carry exactly the default angle and
+  // ctrl_value, so equal circuits have equal (and equal-encoding) gate
+  // lists — the invariant WorkloadSpec::validate documents, enforced
+  // here for the wire-format decoder too.
+  if (g.kind != GateKind::ControlledExpX)
+    MBQ_REQUIRE(g.ctrl_value == 0, "ctrl_value is only meaningful on "
+                                   "ControlledExpX gates");
+  if (!parameterized)
+    MBQ_REQUIRE(g.angle == Param::constant(0.0),
+                "angle expression on a parameterless "
+                    << gate_kind_name(g.kind) << " gate");
+  if (g.angle.source != Param::Source::Constant) {
+    MBQ_REQUIRE(g.angle.index >= 0,
+                "negative parameter index " << g.angle.index);
+    int& floor = g.angle.source == Param::Source::Gamma ? min_gamma_
+                                                        : min_beta_;
+    floor = std::max(floor, g.angle.index + 1);
+  }
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+ParamCircuit& ParamCircuit::append(const ParamCircuit& other) {
+  MBQ_REQUIRE(other.n_ <= n_, "appended circuit is wider");
+  for (const ParamGate& g : other.gates_) append(g);
+  return *this;
+}
+
+Circuit ParamCircuit::instantiate(const Angles& a) const {
+  MBQ_REQUIRE(n_ >= 1, "cannot instantiate an empty ParamCircuit");
+  Circuit c(n_);
+  for (const ParamGate& g : gates_) {
+    Gate gate{g.kind, g.qubits, g.angle.evaluate(a)};
+    gate.ctrl_value = g.ctrl_value;
+    c.append(gate);
+  }
+  return c;
+}
+
+}  // namespace mbq::qaoa

@@ -1,0 +1,123 @@
+#pragma once
+// Declarative angle-parameterized circuits.
+//
+// A ParamCircuit is the value-semantic alternative to the api layer's
+// CircuitBuilder closures: a plain list of gates whose angles are affine
+// functions of the QAOA angle vector —
+//
+//   angle = offset + scale * source,   source in { 1 (constant),
+//                                                  gamma[k], beta[k] }
+//
+// — so the whole ansatz is data.  Data serializes, compares, and crosses
+// process boundaries, which is what lets XY-mixer and HEA workloads
+// shard across worker processes instead of falling back in-process (a
+// std::function can do none of those).  instantiate() binds an Angles
+// value and returns the concrete Circuit; the gate set is exactly
+// circuit/circuit.h's, so everything a CircuitBuilder could build from
+// gates, a ParamCircuit can declare.
+//
+// Ansätze whose parameter count exceeds 2p still fit: Angles is just two
+// real vectors, so e.g. the HEA (hea.h) lays its per-(layer, qubit) Rz
+// angles out in gamma and its Rx angles in beta (see
+// hea_param_circuit).
+
+#include <cstdint>
+#include <vector>
+
+#include "mbq/circuit/circuit.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::qaoa {
+
+/// Affine angle expression: offset + scale * source.
+struct Param {
+  enum class Source : std::uint8_t { Constant, Gamma, Beta };
+
+  Source source = Source::Constant;
+  int index = 0;  // layer k for Gamma/Beta; ignored for Constant
+  real scale = 0.0;
+  real offset = 0.0;
+
+  static Param constant(real value) {
+    return {Source::Constant, 0, 0.0, value};
+  }
+  static Param gamma(int layer, real scale = 1.0, real offset = 0.0) {
+    return {Source::Gamma, layer, scale, offset};
+  }
+  static Param beta(int layer, real scale = 1.0, real offset = 0.0) {
+    return {Source::Beta, layer, scale, offset};
+  }
+  /// The expression scaled by f (both scale and offset — this is f * expr).
+  Param scaled(real f) const { return {source, index, scale * f, offset * f}; }
+
+  real evaluate(const Angles& a) const;
+
+  friend bool operator==(const Param&, const Param&) = default;
+};
+
+/// One declarative gate: a circuit/circuit.h Gate with its angle
+/// replaced by a Param expression.
+struct ParamGate {
+  GateKind kind = GateKind::H;
+  std::vector<int> qubits;
+  Param angle = Param::constant(0.0);
+  int ctrl_value = 0;  // only for ControlledExpX
+
+  friend bool operator==(const ParamGate&, const ParamGate&) = default;
+};
+
+class ParamCircuit {
+ public:
+  ParamCircuit() = default;
+  explicit ParamCircuit(int num_qubits);
+
+  int num_qubits() const noexcept { return n_; }
+  const std::vector<ParamGate>& gates() const noexcept { return gates_; }
+  std::size_t size() const noexcept { return gates_.size(); }
+  /// Smallest gamma/beta vector lengths an Angles value must provide.
+  int min_gamma() const noexcept { return min_gamma_; }
+  int min_beta() const noexcept { return min_beta_; }
+
+  // --- builders (mirroring Circuit's, chainable) -----------------------
+  ParamCircuit& h(int q);
+  ParamCircuit& x(int q);
+  ParamCircuit& y(int q);
+  ParamCircuit& z(int q);
+  ParamCircuit& s(int q);
+  ParamCircuit& sdg(int q);
+  ParamCircuit& t(int q);
+  ParamCircuit& tdg(int q);
+  ParamCircuit& rx(int q, Param theta);
+  ParamCircuit& rz(int q, Param theta);
+  ParamCircuit& cz(int a, int b);
+  ParamCircuit& cx(int control, int target);
+  /// exp(-i theta/2 Z_S).
+  ParamCircuit& phase_gadget(std::vector<int> support, Param theta);
+  /// exp(i beta X_target) controlled on all `controls` == ctrl_value.
+  ParamCircuit& controlled_exp_x(int target, std::vector<int> controls,
+                                 Param beta, int ctrl_value);
+  /// e^{i beta (X_u X_v + Y_u Y_v)} — the XY mixer pair of mixers.h, with
+  /// beta an expression (typically Param::beta(layer)).
+  ParamCircuit& xy_pair(int u, int v, Param beta);
+  /// Ring-XY mixer layer over `ring` (see mixers.h xy_mixer_ring).
+  ParamCircuit& xy_ring(const std::vector<int>& ring, Param beta);
+  /// Validated generic append — the single entry point every builder
+  /// (and the wire-format decoder) funnels through.  Throws Error on
+  /// out-of-range/duplicate qubits, bad arity, or a negative layer index.
+  ParamCircuit& append(ParamGate g);
+  ParamCircuit& append(const ParamCircuit& other);
+
+  /// Bind the angles and return the concrete circuit.  Throws Error when
+  /// a gate references gamma[k]/beta[k] beyond the given vectors.
+  Circuit instantiate(const Angles& a) const;
+
+  friend bool operator==(const ParamCircuit&, const ParamCircuit&) = default;
+
+ private:
+  int n_ = 0;
+  int min_gamma_ = 0;
+  int min_beta_ = 0;
+  std::vector<ParamGate> gates_;
+};
+
+}  // namespace mbq::qaoa

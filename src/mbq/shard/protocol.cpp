@@ -20,53 +20,10 @@ constexpr std::uint32_t kMaxFrameBytes = 1u << 28;  // 256 MiB
 constexpr std::uint8_t kStatusOk = 0;
 constexpr std::uint8_t kStatusError = 1;
 
-void encode_cost(ByteWriter& out, const qaoa::CostHamiltonian& c) {
-  out.i32(c.num_qubits());
-  out.f64(c.constant());
-  out.u32(static_cast<std::uint32_t>(c.terms().size()));
-  for (const qaoa::IsingTerm& t : c.terms()) {
-    out.f64(t.coeff);
-    out.i32_vec(t.support);
-  }
-}
-
-qaoa::CostHamiltonian decode_cost(ByteReader& in) {
-  const int n = in.i32();
-  const real constant = in.f64();
-  qaoa::CostHamiltonian c(n, constant);
-  const std::uint32_t terms = in.u32();
-  for (std::uint32_t i = 0; i < terms; ++i) {
-    const real coeff = in.f64();
-    c.add_term(in.i32_vec(), coeff);
-  }
-  return c;
-}
-
-void encode_graph(ByteWriter& out, const Graph& g) {
-  out.i32(g.num_vertices());
-  out.u32(static_cast<std::uint32_t>(g.edges().size()));
-  for (const Edge& e : g.edges()) {
-    out.i32(e.u);
-    out.i32(e.v);
-  }
-}
-
-Graph decode_graph(ByteReader& in) {
-  const int n = in.i32();
-  Graph g(n);
-  const std::uint32_t edges = in.u32();
-  for (std::uint32_t i = 0; i < edges; ++i) {
-    const int u = in.i32();
-    const int v = in.i32();
-    g.add_edge(u, v);
-  }
-  return g;
-}
-
 }  // namespace
 
 std::string unshardable_reason(const api::Workload& w) {
-  if (w.ansatz() == api::AnsatzKind::CustomCircuit)
+  if (w.has_custom_builder())
     return "custom-circuit workloads hold an arbitrary CircuitBuilder "
            "closure that cannot cross a process boundary";
   return {};
@@ -75,37 +32,15 @@ std::string unshardable_reason(const api::Workload& w) {
 void encode_workload(ByteWriter& out, const api::Workload& w) {
   MBQ_REQUIRE(shardable(w), "cannot serialize workload: "
                                 << unshardable_reason(w));
-  out.u8(static_cast<std::uint8_t>(w.ansatz()));
-  out.u8(static_cast<std::uint8_t>(w.linear_style()));
-  out.i32(w.max_wire_degree());
-  switch (w.ansatz()) {
-    case api::AnsatzKind::QaoaDiagonal:
-      encode_cost(out, w.cost());
-      break;
-    case api::AnsatzKind::MisConstrained:
-      // Workload::mis derives its cost (independent-set size) from the
-      // graph, so the graph alone reconstructs the workload exactly.
-      encode_graph(out, w.mis_graph());
-      break;
-    case api::AnsatzKind::CustomCircuit:
-      break;  // unreachable: guarded above
-  }
+  // The workload IS its spec (the CustomCircuit escape hatch is guarded
+  // above), so the spec codec carries every ansatz kind — arbitrary-order
+  // costs, weighted MIS, declarative circuits, the noise knob — and a
+  // worker rebuilds the workload bit-exactly from it.
+  api::encode_spec(out, w.spec());
 }
 
 api::Workload decode_workload(ByteReader& in) {
-  const auto kind = static_cast<api::AnsatzKind>(in.u8());
-  const auto style = static_cast<core::LinearTermStyle>(in.u8());
-  const int max_wire_degree = in.i32();
-  MBQ_REQUIRE(kind == api::AnsatzKind::QaoaDiagonal ||
-                  kind == api::AnsatzKind::MisConstrained,
-              "malformed workload frame: ansatz kind "
-                  << static_cast<int>(kind));
-  api::Workload w = kind == api::AnsatzKind::QaoaDiagonal
-                        ? api::Workload::qaoa(decode_cost(in))
-                        : api::Workload::mis(decode_graph(in));
-  w.with_linear_style(style);
-  if (max_wire_degree != 0) w.with_max_wire_degree(max_wire_degree);
-  return w;
+  return api::Workload::from_spec(api::decode_spec(in));
 }
 
 void encode_angles(ByteWriter& out, const qaoa::Angles& a) {

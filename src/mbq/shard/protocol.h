@@ -9,14 +9,16 @@
 // flow.
 //
 // A request carries everything a fresh process needs to replay a slice
-// of the serial loop bit-identically: the workload (cost Hamiltonian +
-// ansatz + compile options), the backend REGISTRY NAME (the child
-// instantiates its own adapter via BackendRegistry — backends are
-// stateless, so same name => same math), the session seed, the angle
-// points, and the [begin, end) slice of the global stream-index space
-// this worker owns (see plan.h).  Workloads whose ansatz cannot cross a
-// process boundary (CustomCircuit holds an arbitrary std::function) are
-// reported unshardable and the Session falls back in-process.
+// of the serial loop bit-identically: the workload as its declarative
+// WorkloadSpec (api/workload_spec.h — ansatz, cost, graph/weights or
+// declarative circuit, compile options, noise knob), the backend
+// REGISTRY NAME (the child instantiates its own adapter via
+// BackendRegistry — backends are stateless, so same name => same math),
+// the session seed, the angle points, and the [begin, end) slice of the
+// global stream-index space this worker owns (see plan.h).  Every
+// built-in ansatz lowers to a spec and shards; only the CustomCircuit
+// escape hatch (an arbitrary std::function) is reported unshardable,
+// making the Session fall back in-process.
 //
 // A response is either Ok + payload (sampled outcomes as u64 bitstrings,
 // or expectation values as bit-exact f64s) or Error + the failing global
@@ -43,6 +45,8 @@ inline bool shardable(const api::Workload& w) {
 }
 
 // --- workload codec ----------------------------------------------------
+// Thin wrappers over the WorkloadSpec codec (api/workload_spec.h): the
+// shard layer owns the framing, the api layer owns the workload format.
 
 void encode_workload(ByteWriter& out, const api::Workload& w);
 /// Throws Error on malformed input (never trusts the frame).

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
@@ -340,6 +341,89 @@ TEST(SampleResultCounts, RejectsOversizedRegistersDescriptively) {
   }
   EXPECT_THROW(r.counts(63), Error);
 }
+
+// ---------------------------------------------------------------------
+// Sweep 8: serialize(lower(w)) -> parse -> execute is bit-identical to
+// direct execution across every serializable ansatz kind, seeds
+// {0, 1, 42}, and process counts {1, 2, 4} — the WorkloadSpec wire
+// format IS the workload, wherever and however it runs.
+
+class SpecRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecRoundTripSweep, SerializedSpecExecutesBitIdentically) {
+  const std::uint64_t seed = GetParam();
+  struct Case {
+    const char* label;
+    api::Workload w;
+    const char* backend;
+    qaoa::Angles a;
+  };
+  Rng graph_rng(9);
+  const Graph gnm = random_gnm_graph(5, 6, graph_rng);
+  qaoa::ParamCircuit xy(4);
+  for (int q = 0; q < 4; ++q) xy.h(q);
+  xy.x(0).x(2);
+  xy.phase_gadget({0, 2}, qaoa::Param::gamma(0, -2.0));
+  xy.phase_gadget({1, 3}, qaoa::Param::gamma(0, -2.0));
+  xy.xy_ring({0, 1}, qaoa::Param::beta(0));
+  xy.xy_ring({2, 3}, qaoa::Param::beta(0));
+  const qaoa::Angles a1({0.45}, {0.65});
+  const Case cases[] = {
+      {"qaoa-maxcut", api::Workload::maxcut(cycle_graph(5)), "mbqc", a1},
+      {"qaoa-pubo3",
+       api::Workload::pubo(
+           5, {{1.5, {0, 1, 2}}, {-0.75, {2, 3}}, {0.5, {3, 4, 0}}}, 0.25),
+       "statevector", a1},
+      {"mis", api::Workload::mis(gnm), "mbqc", a1},
+      {"mis-weighted",
+       api::Workload::mis_weighted(gnm, {1.5, 0.5, 2.0, 1.0, 0.25}), "mbqc",
+       a1},
+      {"param-circuit",
+       api::Workload::parameterized(
+           qaoa::CostHamiltonian::qubo(4, std::vector<real>(4, 0.0),
+                                       {{{0, 2}, -1.0}, {{1, 3}, -1.0}}, 1.0),
+           xy),
+       "mbqc-classical", a1},
+      {"noisy-qaoa",
+       api::Workload::maxcut(cycle_graph(4)).with_entangler_noise(0.1),
+       "mbqc", a1},
+  };
+  for (const Case& c : cases) {
+    const api::Workload decoded = api::Workload::from_spec(
+        api::parse_spec(api::serialize_spec(c.w.spec())));
+    api::SessionOptions direct_opt;
+    direct_opt.seed = seed;
+    direct_opt.num_processes = 1;
+    api::Session direct(c.w, c.backend, direct_opt);
+    const api::SampleResult want = direct.sample(c.a, 12);
+    const real want_e = direct.expectation(c.a);
+    for (const int processes : {1, 2, 4}) {
+      api::SessionOptions opt;
+      opt.seed = seed;
+      opt.num_processes = processes;
+      api::Session session(decoded, c.backend, opt);
+      const api::SampleResult got = session.sample(c.a, 12);
+      ASSERT_EQ(got.shots.size(), want.shots.size());
+      for (std::size_t s = 0; s < want.shots.size(); ++s) {
+        ASSERT_EQ(got.shots[s].x, want.shots[s].x)
+            << c.label << " @" << processes << "p seed " << seed << " shot "
+            << s;
+        ASSERT_EQ(got.shots[s].cost, want.shots[s].cost)
+            << c.label << " @" << processes << "p seed " << seed;
+      }
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(session.expectation(c.a)),
+                std::bit_cast<std::uint64_t>(want_e))
+          << c.label << " @" << processes << "p seed " << seed;
+      if (processes > 1)
+        EXPECT_GT(session.shard_workers(), 0)
+            << c.label << " @" << processes
+            << "p: serializable workloads must not fall back";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecRoundTripSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL));
 
 }  // namespace
 }  // namespace mbq

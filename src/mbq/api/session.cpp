@@ -8,6 +8,7 @@
 #include "mbq/api/registry.h"
 #include "mbq/common/error.h"
 #include "mbq/common/parallel.h"
+#include "mbq/serve/client.h"
 #include "mbq/shard/plan.h"
 #include "mbq/shard/protocol.h"
 #include "mbq/shard/worker_pool.h"
@@ -88,6 +89,10 @@ Session::Session(Workload workload, std::shared_ptr<Backend> backend,
     workload_.with_entangler_noise(options_.entangler_noise);
   }
   num_processes_ = resolve_num_processes(options_.num_processes);
+  daemon_endpoint_ = options_.daemon_endpoint;
+  if (daemon_endpoint_.empty())
+    if (const char* env = std::getenv("MBQ_DAEMON_ENDPOINT"))
+      daemon_endpoint_ = env;
   // Instance-constructed sessions never shard (registry_key_ stays
   // empty): a worker rebuilds backends from a registry key, and a name
   // match alone cannot prove the instance carries the key's default
@@ -268,6 +273,8 @@ std::vector<real> Session::expectation_batch(
   std::vector<real> out(n);
   if (n == 0) return out;
 
+  if (remote()) return expectation_batch_remote(points);
+
   if (auto* pool = shard_pool(n)) {
     const std::uint64_t base = expectation_calls_;
     expectation_calls_ += n;
@@ -313,6 +320,7 @@ std::future<real> Session::expectation_async(const qaoa::Angles& a) {
 
 SampleResult Session::sample(const qaoa::Angles& a, int shots) {
   MBQ_REQUIRE(shots >= 1, "need at least one shot, got " << shots);
+  if (remote()) return sample_remote(a, shots);
   const auto prepared = checked_prepared(a);
 
   if (auto* pool = shard_pool(static_cast<std::uint64_t>(shots)))
@@ -353,6 +361,7 @@ std::vector<SampleResult> Session::sample_batch(
   const std::size_t n = points.size();
   std::vector<SampleResult> results(n);
   if (n == 0) return results;
+  if (remote()) return sample_batch_remote(points, shots);
   const auto preps = checked_prepared_batch(points);
   // Point i draws from the stream the i-th of n consecutive serial
   // sample() calls would, and shot s from stream(s) below it — so every
@@ -451,14 +460,15 @@ SampleResult Session::sample_sharded(const qaoa::Angles& a, int shots,
   req.points = {a};
   req.shots = static_cast<std::uint64_t>(shots);
   req.base_call = call;
+  req.end = static_cast<std::uint64_t>(shots);
   std::vector<std::vector<std::byte>> requests(plan.ranges().size());
   std::vector<std::uint64_t> offsets(plan.ranges().size(), 0);
   for (std::size_t w = 0; w < plan.ranges().size(); ++w) {
     const shard::ShardRange& r = plan.ranges()[w];
     if (r.empty()) continue;
-    req.begin = r.begin;
-    req.end = r.end;
-    requests[w] = shard::encode_request(req);
+    const shard::SliceRequest sub = shard::rebase_slice(req, r.begin, r.end);
+    offsets[w] = sub.offset;
+    requests[w] = shard::encode_request(sub.request);
   }
 
   const DecodedRound round =
@@ -499,22 +509,18 @@ std::vector<SampleResult> Session::sample_batch_sharded(
   req.backend = registry_key_;
   req.seed = options_.seed;
   req.workload = workload_;
+  req.points.assign(points.begin(), points.end());
   req.shots = su;
+  req.base_call = base_call;
+  req.end = total;
   std::vector<std::vector<std::byte>> requests(plan.ranges().size());
   std::vector<std::uint64_t> offsets(plan.ranges().size(), 0);
   for (std::size_t w = 0; w < plan.ranges().size(); ++w) {
     const shard::ShardRange& r = plan.ranges()[w];
     if (r.empty()) continue;
-    const std::uint64_t first_point = r.begin / su;
-    const std::uint64_t last_point = (r.end - 1) / su;  // r is non-empty
-    req.points.assign(points.begin() + static_cast<std::ptrdiff_t>(first_point),
-                      points.begin() + static_cast<std::ptrdiff_t>(last_point) +
-                          1);
-    req.base_call = base_call + first_point;
-    req.begin = r.begin - first_point * su;
-    req.end = r.end - first_point * su;
-    offsets[w] = first_point * su;
-    requests[w] = shard::encode_request(req);
+    const shard::SliceRequest sub = shard::rebase_slice(req, r.begin, r.end);
+    offsets[w] = sub.offset;
+    requests[w] = shard::encode_request(sub.request);
   }
 
   const DecodedRound round =
@@ -549,21 +555,20 @@ std::vector<real> Session::expectation_batch_sharded(
   req.backend = registry_key_;
   req.seed = options_.seed;
   req.workload = workload_;
+  req.points.assign(points.begin(), points.end());
+  req.stream_base = kExpectationStreamBase + base;
+  req.end = n;
   std::vector<std::vector<std::byte>> requests(plan.ranges().size());
   std::vector<std::uint64_t> offsets(plan.ranges().size(), 0);
   for (std::size_t w = 0; w < plan.ranges().size(); ++w) {
     const shard::ShardRange& r = plan.ranges()[w];
     if (r.empty()) continue;
-    // Only this worker's points travel; stream_base absorbs the slice
-    // offset so point j of the slice still draws the global stream of
-    // point r.begin + j.
-    req.points.assign(points.begin() + static_cast<std::ptrdiff_t>(r.begin),
-                      points.begin() + static_cast<std::ptrdiff_t>(r.end));
-    req.stream_base = kExpectationStreamBase + base + r.begin;
-    req.begin = 0;
-    req.end = r.size();
-    offsets[w] = r.begin;
-    requests[w] = shard::encode_request(req);
+    // Only this worker's points travel; rebase_slice makes stream_base
+    // absorb the slice offset so point j of the slice still draws the
+    // global stream of point r.begin + j.
+    const shard::SliceRequest sub = shard::rebase_slice(req, r.begin, r.end);
+    offsets[w] = sub.offset;
+    requests[w] = shard::encode_request(sub.request);
   }
 
   // Transport failures (a worker died mid-call) propagate with the
@@ -592,6 +597,116 @@ std::vector<real> Session::expectation_batch_sharded(
       out[i] = round.responses[w].values[i - r.begin];
   }
   return out;
+}
+
+shard::Request Session::base_request() const {
+  shard::Request req;
+  req.backend = registry_key_;
+  req.seed = options_.seed;
+  req.workload = workload_;
+  return req;
+}
+
+Session::RemoteRun Session::run_remote(const shard::Request& req) {
+  if (daemon_ == nullptr) {
+    // Remote mode was requested explicitly (options or environment), so
+    // an impossible transport is an error, never a silent local run —
+    // callers pointing a fleet of Sessions at one daemon must not
+    // discover months later that half of them quietly computed locally.
+    MBQ_REQUIRE(!registry_key_.empty(),
+                "daemon transport requires a registry-named backend: a "
+                "worker process cannot reproduce a backend INSTANCE from "
+                "a name (construct the Session with a registry key)");
+    const std::string reason = shard::unshardable_reason(workload_);
+    MBQ_REQUIRE(reason.empty(),
+                "workload cannot execute on daemon '"
+                    << daemon_endpoint_ << "': " << reason);
+    daemon_ = std::make_unique<serve::DaemonClient>(daemon_endpoint_,
+                                                    "mbq-session");
+  }
+  try {
+    serve::DaemonClient::RunResult r = daemon_->run(req);
+    return {std::move(r.outcomes), std::move(r.values)};
+  } catch (const serve::RemoteError&) {
+    throw;  // the connection is still good; the request failed
+  } catch (const serve::BusyError&) {
+    throw;
+  } catch (const Error&) {
+    daemon_.reset();  // broken transport: reconnect on the next call
+    throw;
+  }
+}
+
+SampleResult Session::sample_remote(const qaoa::Angles& a, int shots) {
+  const std::uint64_t call = sample_calls_++;
+  shard::Request req = base_request();
+  req.kind = shard::TaskKind::kSample;
+  req.points = {a};
+  req.shots = static_cast<std::uint64_t>(shots);
+  req.base_call = call;
+  req.end = static_cast<std::uint64_t>(shots);
+  try {
+    const RemoteRun run = run_remote(req);
+    SampleResult result;
+    result.shots.resize(static_cast<std::size_t>(shots));
+    for (std::size_t s = 0; s < run.outcomes.size(); ++s)
+      result.shots[s] = {run.outcomes[s],
+                         workload_.cost().evaluate(run.outcomes[s])};
+    return result;
+  } catch (const serve::RemoteError& e) {
+    // The serial loop support-checks before assigning the call index, so
+    // a check-phase failure must leave the counter untouched; an eval
+    // failure happens after and keeps it.
+    if (!e.in_eval()) sample_calls_ = call;
+    throw;
+  }
+}
+
+std::vector<SampleResult> Session::sample_batch_remote(
+    std::span<const qaoa::Angles> points, int shots) {
+  const std::size_t n = points.size();
+  const std::uint64_t su = static_cast<std::uint64_t>(shots);
+  const std::uint64_t base_call = sample_calls_;
+  sample_calls_ += n;
+  shard::Request req = base_request();
+  req.kind = shard::TaskKind::kSample;
+  req.points.assign(points.begin(), points.end());
+  req.shots = su;
+  req.base_call = base_call;
+  req.end = n * su;
+  try {
+    const RemoteRun run = run_remote(req);
+    std::vector<SampleResult> results(n);
+    for (auto& r : results) r.shots.resize(static_cast<std::size_t>(shots));
+    for (std::uint64_t t = 0; t < run.outcomes.size(); ++t) {
+      const std::uint64_t x = run.outcomes[t];
+      results[t / su].shots[t % su] = {x, workload_.cost().evaluate(x)};
+    }
+    return results;
+  } catch (const serve::RemoteError& e) {
+    if (!e.in_eval()) sample_calls_ = base_call;
+    throw;
+  }
+}
+
+std::vector<real> Session::expectation_batch_remote(
+    std::span<const qaoa::Angles> points) {
+  const std::size_t n = points.size();
+  const std::uint64_t base = expectation_calls_;
+  expectation_calls_ += n;
+  shard::Request req = base_request();
+  req.kind = shard::TaskKind::kExpectation;
+  req.points.assign(points.begin(), points.end());
+  req.stream_base = kExpectationStreamBase + base;
+  req.end = n;
+  try {
+    return run_remote(req).values;
+  } catch (const serve::RemoteError& e) {
+    // Same phase rule as expectation_batch_sharded: check failures
+    // restore the counter, eval failures leave the indices consumed.
+    if (!e.in_eval()) expectation_calls_ = base;
+    throw;
+  }
 }
 
 Shot Session::best_of(const qaoa::Angles& a, int shots) {

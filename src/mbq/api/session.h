@@ -78,7 +78,12 @@
 
 namespace mbq::shard {
 class WorkerPool;
+struct Request;
 }  // namespace mbq::shard
+
+namespace mbq::serve {
+class DaemonClient;
+}  // namespace mbq::serve
 
 namespace mbq::api {
 
@@ -100,6 +105,20 @@ struct SessionOptions {
   /// shard::resolve_worker_path's search ($MBQ_WORKER, then next to the
   /// running executable).
   std::string worker_path;
+  /// Endpoint of a running mbqd serving daemon ("unix:/path" or
+  /// "tcp:host:port"); empty (the default) reads the MBQ_DAEMON_ENDPOINT
+  /// environment variable, and when that is unset too the session runs
+  /// locally.  With an endpoint in effect, sample(), sample_batch() and
+  /// expectation_batch() execute on the daemon's shared worker fleet
+  /// (serve/daemon.h) instead of session-owned processes: the daemon
+  /// streams finished slices back and the session merges them in index
+  /// order, so results are bit-identical to local execution.  Remote
+  /// mode never falls back silently — an unreachable daemon, a version
+  /// mismatch, or a workload that cannot cross a process boundary is a
+  /// loud Error.  Single-point expectation()/expectation_async() stay
+  /// in-process (same results either way; they are latency-bound, not
+  /// throughput-bound).
+  std::string daemon_endpoint;
   /// Entangler-noise probability for the workload's measurement-based
   /// execution (mbqc/runner.h's depolarizing channel).  0 leaves the
   /// workload untouched; > 0 applies Workload::with_entangler_noise at
@@ -205,6 +224,14 @@ class Session {
     return pool_.get();
   }
 
+  // --- remote transport ------------------------------------------------
+  /// True when a daemon endpoint is in effect (options or
+  /// MBQ_DAEMON_ENDPOINT): batch/sample calls execute on mbqd.
+  bool remote() const noexcept { return !daemon_endpoint_.empty(); }
+  const std::string& daemon_endpoint() const noexcept {
+    return daemon_endpoint_;
+  }
+
  private:
   /// Expectation evaluations draw from the upper half of the stream-index
   /// space so they can never collide with sample() call streams.
@@ -229,6 +256,25 @@ class Session {
   /// on first use; a failed spawn or a dead pool disables sharding for
   /// the session's lifetime.
   shard::WorkerPool* shard_pool(std::uint64_t items);
+
+  /// Fill the request fields every daemon/worker call shares (backend
+  /// key, seed, workload); the caller sets kind, points and bounds.
+  shard::Request base_request() const;
+  /// Execute one whole request on the configured daemon, connecting
+  /// lazily.  Throws Error when the workload cannot travel or the
+  /// daemon is unreachable; a broken transport drops the connection so
+  /// the next call can reach a restarted daemon.
+  struct RemoteRun {
+    std::vector<std::uint64_t> outcomes;  // kSample payload
+    std::vector<real> values;             // kExpectation payload
+  };
+  RemoteRun run_remote(const shard::Request& req);
+  SampleResult sample_remote(const qaoa::Angles& a, int shots);
+  std::vector<SampleResult> sample_batch_remote(
+      std::span<const qaoa::Angles> points, int shots);
+  std::vector<real> expectation_batch_remote(
+      std::span<const qaoa::Angles> points);
+
   SampleResult sample_sharded(const qaoa::Angles& a, int shots,
                               std::uint64_t call, shard::WorkerPool& pool);
   std::vector<SampleResult> sample_batch_sharded(
@@ -254,6 +300,8 @@ class Session {
   int num_processes_ = 1;  // resolved from options / MBQ_NUM_PROCESSES
   std::unique_ptr<shard::WorkerPool> pool_;
   bool shard_disabled_ = false;
+  std::string daemon_endpoint_;  // options / MBQ_DAEMON_ENDPOINT
+  std::unique_ptr<serve::DaemonClient> daemon_;  // lazy, remote() only
 
   struct CacheEntry {
     std::vector<real> key;  // exact flattened angles

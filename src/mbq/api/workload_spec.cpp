@@ -206,6 +206,19 @@ WorkloadSpec decode_spec(ByteReader& in) {
   return spec;
 }
 
+std::uint64_t fnv1a64(std::span<const std::byte> bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t spec_fingerprint(const WorkloadSpec& spec) {
+  return fnv1a64(serialize_spec(spec));
+}
+
 std::vector<std::byte> serialize_spec(const WorkloadSpec& spec) {
   ByteWriter out;
   encode_spec(out, spec);

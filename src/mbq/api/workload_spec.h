@@ -78,6 +78,24 @@ struct WorkloadSpec {
   void validate() const;
 };
 
+/// Stable 64-bit FNV-1a hash of the spec's exact codec bytes.  Two specs
+/// fingerprint equal iff they encode equal — so the fingerprint survives
+/// a serialize/parse round trip unchanged, distinguishes any two specs
+/// the codec distinguishes (different costs, angles aside, noise levels,
+/// compile options...), and is stable across processes and runs (FNV-1a
+/// over little-endian bytes has no seed and no pointer dependence).
+/// Used as the serving daemon's warm prepare-cache key, and handy as a
+/// compact workload label in logs and bench output.  Throws Error for
+/// CustomCircuit specs (they do not serialize).
+std::uint64_t spec_fingerprint(const WorkloadSpec& spec);
+
+/// FNV-1a 64 over raw bytes — the primitive under spec_fingerprint,
+/// exposed so other layers can hash wire payloads the same way (the
+/// daemon keys (spec, angles) pairs by chaining angle bytes onto the
+/// spec fingerprint).
+std::uint64_t fnv1a64(std::span<const std::byte> bytes,
+                      std::uint64_t seed = 14695981039346656037ULL);
+
 /// Exact binary codec over common/serialize.h.  encode() requires
 /// serializable(); decode() never trusts the frame — malformed input
 /// throws Error, and the returned spec is validate()d.  decode(encode(s))

@@ -1,0 +1,105 @@
+#include "mbq/serve/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace mbq::serve {
+
+DaemonClient::DaemonClient(const std::string& endpoint,
+                           std::string client_name) {
+  fd_ = connect_endpoint(parse_endpoint(endpoint));
+  try {
+    Hello h;
+    h.client_name = std::move(client_name);
+    shard::write_frame(fd_, encode_hello(h));
+    const std::vector<std::byte> reply = next_frame();
+    const FrameKind kind = frame_kind(reply);
+    if (kind == FrameKind::kError) {
+      const ErrorFrame e = decode_error(reply);
+      throw RemoteError("daemon at " + endpoint + " rejected handshake: " +
+                            e.message,
+                        e.error_index, e.error_in_eval);
+    }
+    hello_ = decode_hello_ok(reply);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+DaemonClient::~DaemonClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::byte> DaemonClient::next_frame() {
+  auto frame = shard::read_frame(fd_);
+  MBQ_REQUIRE(frame.has_value(),
+              "daemon closed the connection mid-conversation");
+  return std::move(*frame);
+}
+
+DaemonClient::RunResult DaemonClient::run(const shard::Request& request) {
+  Submit s;
+  s.request_id = next_request_id_++;
+  s.request = request;
+  shard::write_frame(fd_, encode_submit(s));
+
+  SliceMerger merger(request.kind, request.begin, request.end);
+  for (;;) {
+    const std::vector<std::byte> frame = next_frame();
+    switch (frame_kind(frame)) {
+      case FrameKind::kSlice: {
+        Slice slice = decode_slice(frame);
+        MBQ_REQUIRE(slice.request_id == s.request_id,
+                    "daemon streamed a slice for request "
+                        << slice.request_id << ", expected "
+                        << s.request_id);
+        merger.add(slice);
+        break;
+      }
+      case FrameKind::kDone: {
+        const Done d = decode_done(frame);
+        MBQ_REQUIRE(d.request_id == s.request_id,
+                    "daemon answered request " << d.request_id
+                                               << ", expected "
+                                               << s.request_id);
+        MBQ_REQUIRE(merger.complete(),
+                    "daemon sent DONE with " << merger.missing()
+                                             << " indices still missing");
+        RunResult r;
+        r.outcomes = std::move(merger.outcomes());
+        r.values = std::move(merger.values());
+        r.slices = d.slices;
+        r.redispatched = d.redispatched;
+        r.warm_hit = d.warm_hit;
+        return r;
+      }
+      case FrameKind::kBusy: {
+        const Busy b = decode_busy(frame);
+        throw BusyError("daemon is busy: " + b.message);
+      }
+      case FrameKind::kError: {
+        const ErrorFrame e = decode_error(frame);
+        throw RemoteError(e.message, e.error_index, e.error_in_eval);
+      }
+      default:
+        MBQ_REQUIRE(false, "unexpected daemon frame while waiting for "
+                           "request "
+                               << s.request_id);
+    }
+  }
+}
+
+DaemonStats DaemonClient::stats() {
+  shard::write_frame(fd_, encode_stats_request());
+  const std::vector<std::byte> frame = next_frame();
+  if (frame_kind(frame) == FrameKind::kError) {
+    const ErrorFrame e = decode_error(frame);
+    throw RemoteError(e.message, e.error_index, e.error_in_eval);
+  }
+  return decode_stats_reply(frame);
+}
+
+}  // namespace mbq::serve

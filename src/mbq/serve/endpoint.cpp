@@ -1,0 +1,158 @@
+#include "mbq/serve/endpoint.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "mbq/common/error.h"
+
+namespace mbq::serve {
+
+namespace {
+
+/// "localhost" and numeric IPv4 only: the daemon serves sockets, it does
+/// not do name resolution (getaddrinfo can block indefinitely, and the
+/// deployment story is explicit addresses).
+in_addr_t resolve_host(const std::string& host) {
+  if (host == "localhost") return htonl(INADDR_LOOPBACK);
+  if (host.empty() || host == "*" || host == "0.0.0.0") return INADDR_ANY;
+  in_addr addr{};
+  MBQ_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr) == 1,
+              "endpoint host '" << host
+                                << "' is not a numeric IPv4 address, "
+                                   "'localhost', or '*'");
+  return addr.s_addr;
+}
+
+void set_cloexec_nonblock(int fd) {
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MBQ_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "unix endpoint path too long (" << path.size() << " bytes): "
+                                              << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    MBQ_REQUIRE(!ep.path.empty(), "unix endpoint needs a path: '" << spec
+                                                                  << "'");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    MBQ_REQUIRE(colon != std::string::npos && colon + 1 < rest.size(),
+                "tcp endpoint needs host:port: '" << spec << "'");
+    ep.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    MBQ_REQUIRE(end != nullptr && *end == '\0' && port >= 0 && port <= 65535,
+                "tcp endpoint port out of range: '" << spec << "'");
+    ep.port = static_cast<std::uint16_t>(port);
+    resolve_host(ep.host);  // reject unresolvable hosts at parse time
+    return ep;
+  }
+  MBQ_REQUIRE(false, "endpoint must start with 'unix:' or 'tcp:', got '"
+                         << spec << "'");
+}
+
+int listen_endpoint(const Endpoint& ep, Endpoint& bound) {
+  bound = ep;
+  const int fd = ::socket(
+      ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  MBQ_REQUIRE(fd >= 0, "socket failed for " << ep.to_string() << ": "
+                                            << std::strerror(errno));
+  try {
+    if (ep.kind == Endpoint::Kind::kUnix) {
+      ::unlink(ep.path.c_str());  // stale socket from a previous daemon
+      const sockaddr_un addr = unix_addr(ep.path);
+      MBQ_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind " << ep.to_string() << " failed: "
+                          << std::strerror(errno));
+    } else {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = resolve_host(ep.host);
+      addr.sin_port = htons(ep.port);
+      MBQ_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind " << ep.to_string() << " failed: "
+                          << std::strerror(errno));
+      socklen_t len = sizeof(addr);
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+      bound.port = ntohs(addr.sin_port);  // resolve an ephemeral port 0
+    }
+    MBQ_REQUIRE(::listen(fd, 64) == 0, "listen " << ep.to_string()
+                                                 << " failed: "
+                                                 << std::strerror(errno));
+    set_cloexec_nonblock(fd);
+    return fd;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+int connect_endpoint(const Endpoint& ep) {
+  const int fd = ::socket(
+      ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  MBQ_REQUIRE(fd >= 0, "socket failed for " << ep.to_string() << ": "
+                                            << std::strerror(errno));
+  try {
+    int rc;
+    if (ep.kind == Endpoint::Kind::kUnix) {
+      const sockaddr_un addr = unix_addr(ep.path);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } else {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = resolve_host(ep.host);
+      addr.sin_port = htons(ep.port);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    MBQ_REQUIRE(rc == 0, "connect " << ep.to_string()
+                                    << " failed (is mbqd running?): "
+                                    << std::strerror(errno));
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    return fd;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+}  // namespace mbq::serve

@@ -1,0 +1,50 @@
+#pragma once
+// Serving endpoints: where mbqd listens and clients connect.
+//
+// An endpoint is a string with one of two shapes:
+//
+//   unix:/path/to/mbqd.sock      AF_UNIX stream socket at that path
+//   tcp:host:port                AF_INET stream socket (host is a
+//                                numeric IPv4 address or "localhost";
+//                                port 0 asks the kernel for an ephemeral
+//                                port — read it back from listen())
+//
+// The daemon listens on any number of endpoints at once (a local UNIX
+// socket for same-host clients plus TCP for remote Sessions is the
+// expected deployment); a client connects to exactly one.  Both carry
+// the identical frame protocol — the transport is invisible above this
+// header.
+
+#include <cstdint>
+#include <string>
+
+namespace mbq::serve {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem path
+  std::string host;  // kTcp
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+};
+
+/// Parse "unix:..." / "tcp:host:port"; throws Error with the offending
+/// string on any other shape (empty path, non-numeric or out-of-range
+/// port, missing colon...).
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Bind + listen.  For kUnix a stale socket file at the path is removed
+/// first (daemons restart; a leftover inode must not block the bind).
+/// For kTcp with port 0 the kernel picks the port.  Returns the listening
+/// fd (CLOEXEC, non-blocking) and writes the final endpoint — with the
+/// resolved port — to `bound`.  Throws Error naming the endpoint on
+/// failure.
+int listen_endpoint(const Endpoint& ep, Endpoint& bound);
+
+/// Connect a blocking stream socket to the endpoint; throws Error naming
+/// the endpoint on failure (daemon not running, wrong path, refused).
+int connect_endpoint(const Endpoint& ep);
+
+}  // namespace mbq::serve

@@ -1,0 +1,354 @@
+#include "mbq/serve/frames.h"
+
+#include <sstream>
+
+#include "mbq/common/error.h"
+
+namespace mbq::serve {
+
+namespace {
+
+/// Same cap as the blocking framing in shard/protocol.cpp.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 28;  // 256 MiB
+
+ByteReader open_frame(std::span<const std::byte> frame, FrameKind want) {
+  ByteReader in(frame);
+  const std::uint8_t kind = in.u8();
+  MBQ_REQUIRE(kind == static_cast<std::uint8_t>(want),
+              "malformed serve frame: kind " << int{kind} << ", wanted "
+                                             << int{static_cast<std::uint8_t>(
+                                                    want)});
+  return in;
+}
+
+void close_frame(const ByteReader& in, const char* what) {
+  MBQ_REQUIRE(in.done(), "malformed " << what << " frame: " << in.remaining()
+                                      << " trailing bytes");
+}
+
+}  // namespace
+
+FrameKind frame_kind(std::span<const std::byte> frame) {
+  MBQ_REQUIRE(!frame.empty(), "empty serve frame");
+  const auto kind = static_cast<std::uint8_t>(frame[0]);
+  const bool known =
+      (kind >= static_cast<std::uint8_t>(FrameKind::kHello) &&
+       kind <= static_cast<std::uint8_t>(FrameKind::kStatsRequest)) ||
+      (kind >= static_cast<std::uint8_t>(FrameKind::kHelloOk) &&
+       kind <= static_cast<std::uint8_t>(FrameKind::kStatsReply));
+  MBQ_REQUIRE(known, "malformed serve frame: unknown kind " << int{kind});
+  return static_cast<FrameKind>(kind);
+}
+
+// --- handshake ---------------------------------------------------------
+
+std::vector<std::byte> encode_hello(const Hello& h) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kHello));
+  out.u32(h.version);
+  out.str(h.client_name);
+  return out.take();
+}
+
+Hello decode_hello(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kHello);
+  Hello h;
+  h.version = in.u32();
+  h.client_name = in.str();
+  close_frame(in, "hello");
+  return h;
+}
+
+std::vector<std::byte> encode_hello_ok(const HelloOk& h) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kHelloOk));
+  out.u32(h.version);
+  out.str(h.daemon_name);
+  out.u32(h.workers);
+  return out.take();
+}
+
+HelloOk decode_hello_ok(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kHelloOk);
+  HelloOk h;
+  h.version = in.u32();
+  h.daemon_name = in.str();
+  h.workers = in.u32();
+  close_frame(in, "hello-ok");
+  return h;
+}
+
+// --- requests ----------------------------------------------------------
+
+std::vector<std::byte> encode_submit(const Submit& s) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kSubmit));
+  out.u64(s.request_id);
+  // The shard request codec travels verbatim: the daemon re-encodes only
+  // the per-slice rebasing, never the spec bytes themselves.
+  const std::vector<std::byte> body = shard::encode_request(s.request);
+  for (const std::byte b : body) out.u8(static_cast<std::uint8_t>(b));
+  return out.take();
+}
+
+Submit decode_submit(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kSubmit);
+  Submit s;
+  s.request_id = in.u64();
+  // The rest of the frame IS one shard request (decode_request consumes
+  // it exactly, trailing bytes included in its own check).
+  constexpr std::size_t kHeader = 1 + 8;  // kind tag + request id
+  MBQ_REQUIRE(frame.size() >= kHeader, "malformed submit frame");
+  s.request = shard::decode_request(frame.subspan(kHeader));
+  return s;
+}
+
+std::vector<std::byte> encode_stats_request() {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kStatsRequest));
+  return out.take();
+}
+
+// --- streamed results --------------------------------------------------
+
+std::vector<std::byte> encode_slice(const Slice& s) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kSlice));
+  out.u64(s.request_id);
+  out.u64(s.begin);
+  out.u64(s.end);
+  out.u64_vec(s.outcomes);
+  out.f64_vec(s.values);
+  return out.take();
+}
+
+Slice decode_slice(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kSlice);
+  Slice s;
+  s.request_id = in.u64();
+  s.begin = in.u64();
+  s.end = in.u64();
+  s.outcomes = in.u64_vec();
+  s.values = in.f64_vec();
+  close_frame(in, "slice");
+  MBQ_REQUIRE(s.begin <= s.end, "malformed slice frame: begin " << s.begin
+                                                                << " > end "
+                                                                << s.end);
+  return s;
+}
+
+std::vector<std::byte> encode_done(const Done& d) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kDone));
+  out.u64(d.request_id);
+  out.u32(d.slices);
+  out.u32(d.redispatched);
+  out.u8(d.warm_hit ? 1 : 0);
+  return out.take();
+}
+
+Done decode_done(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kDone);
+  Done d;
+  d.request_id = in.u64();
+  d.slices = in.u32();
+  d.redispatched = in.u32();
+  d.warm_hit = in.u8() != 0;
+  close_frame(in, "done");
+  return d;
+}
+
+std::vector<std::byte> encode_error(const ErrorFrame& e) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kError));
+  out.u64(e.request_id);
+  out.u64(e.error_index);
+  out.u8(e.error_in_eval ? 1 : 0);
+  out.str(e.message);
+  return out.take();
+}
+
+ErrorFrame decode_error(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kError);
+  ErrorFrame e;
+  e.request_id = in.u64();
+  e.error_index = in.u64();
+  e.error_in_eval = in.u8() != 0;
+  e.message = in.str();
+  close_frame(in, "error");
+  return e;
+}
+
+std::vector<std::byte> encode_busy(const Busy& b) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kBusy));
+  out.u64(b.request_id);
+  out.str(b.message);
+  return out.take();
+}
+
+Busy decode_busy(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kBusy);
+  Busy b;
+  b.request_id = in.u64();
+  b.message = in.str();
+  close_frame(in, "busy");
+  return b;
+}
+
+// --- observability -----------------------------------------------------
+
+std::vector<std::byte> encode_stats_reply(const DaemonStats& s) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(FrameKind::kStatsReply));
+  out.u64(s.connections_total);
+  out.u64(s.connections_active);
+  out.u64(s.requests_total);
+  out.u64(s.requests_active);
+  out.u64(s.busy_rejections);
+  out.u64(s.slices_dispatched);
+  out.u64(s.slices_redispatched);
+  out.u64(s.slices_completed);
+  out.u64(s.worker_respawns);
+  out.u64(s.warm_hits);
+  out.u64(s.warm_misses);
+  out.u64(s.queue_depth);
+  out.u32(static_cast<std::uint32_t>(s.workers.size()));
+  for (const WorkerStats& w : s.workers) {
+    out.u64(static_cast<std::uint64_t>(w.pid));
+    out.u8(w.busy ? 1 : 0);
+    out.u64(w.slices_done);
+    out.u64(w.respawns);
+  }
+  return out.take();
+}
+
+DaemonStats decode_stats_reply(std::span<const std::byte> frame) {
+  ByteReader in = open_frame(frame, FrameKind::kStatsReply);
+  DaemonStats s;
+  s.connections_total = in.u64();
+  s.connections_active = in.u64();
+  s.requests_total = in.u64();
+  s.requests_active = in.u64();
+  s.busy_rejections = in.u64();
+  s.slices_dispatched = in.u64();
+  s.slices_redispatched = in.u64();
+  s.slices_completed = in.u64();
+  s.worker_respawns = in.u64();
+  s.warm_hits = in.u64();
+  s.warm_misses = in.u64();
+  s.queue_depth = in.u64();
+  const std::uint32_t workers = in.u32();
+  s.workers.reserve(workers);
+  for (std::uint32_t i = 0; i < workers; ++i) {
+    WorkerStats w;
+    w.pid = static_cast<std::int64_t>(in.u64());
+    w.busy = in.u8() != 0;
+    w.slices_done = in.u64();
+    w.respawns = in.u64();
+    s.workers.push_back(w);
+  }
+  close_frame(in, "stats");
+  return s;
+}
+
+std::string format_stats(const DaemonStats& s) {
+  std::ostringstream os;
+  os << "connections:    " << s.connections_active << " active / "
+     << s.connections_total << " total\n"
+     << "requests:       " << s.requests_active << " active / "
+     << s.requests_total << " total, " << s.busy_rejections
+     << " busy-rejected\n"
+     << "slices:         " << s.slices_completed << " completed / "
+     << s.slices_dispatched << " dispatched, " << s.slices_redispatched
+     << " re-dispatched, " << s.queue_depth << " queued\n"
+     << "warm cache:     " << s.warm_hits << " hits / "
+     << (s.warm_hits + s.warm_misses) << " lookups\n"
+     << "worker respawns:" << " " << s.worker_respawns << "\n";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const WorkerStats& w = s.workers[i];
+    os << "worker " << i << ":       pid " << w.pid << ", "
+       << (w.busy ? "busy" : "idle") << ", " << w.slices_done << " slices, "
+       << w.respawns << " respawns\n";
+  }
+  return os.str();
+}
+
+// --- incremental framing -----------------------------------------------
+
+void FrameBuffer::append(std::span<const std::byte> bytes) {
+  // Compact before growing: consumed frames would otherwise pin the
+  // buffer's front forever on a long-lived connection.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (1u << 16)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::byte>> FrameBuffer::pop() {
+  if (buffered() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  MBQ_REQUIRE(len <= kMaxFrameBytes, "frame length prefix "
+                                         << len << " exceeds the "
+                                         << kMaxFrameBytes << "-byte cap");
+  if (buffered() < 4 + std::size_t{len}) return std::nullopt;
+  std::vector<std::byte> frame(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                               buf_.begin() +
+                                   static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return frame;
+}
+
+// --- client-side merge -------------------------------------------------
+
+SliceMerger::SliceMerger(shard::TaskKind kind, std::uint64_t begin,
+                         std::uint64_t end)
+    : kind_(kind), begin_(begin), end_(end) {
+  MBQ_REQUIRE(begin <= end, "merger range [" << begin << ", " << end
+                                             << ") is inverted");
+  const std::size_t total = static_cast<std::size_t>(end - begin);
+  seen_.assign(total, false);
+  if (kind == shard::TaskKind::kSample)
+    outcomes_.resize(total);
+  else
+    values_.resize(total);
+}
+
+void SliceMerger::add(const Slice& s) {
+  MBQ_REQUIRE(begin_ <= s.begin && s.end <= end_,
+              "slice [" << s.begin << ", " << s.end
+                        << ") outside the request's [" << begin_ << ", "
+                        << end_ << ")");
+  const std::uint64_t size = s.end - s.begin;
+  if (kind_ == shard::TaskKind::kSample) {
+    MBQ_REQUIRE(s.outcomes.size() == size && s.values.empty(),
+                "sample slice [" << s.begin << ", " << s.end << ") carries "
+                                 << s.outcomes.size() << " outcomes");
+  } else {
+    MBQ_REQUIRE(s.values.size() == size && s.outcomes.empty(),
+                "expectation slice [" << s.begin << ", " << s.end
+                                      << ") carries " << s.values.size()
+                                      << " values");
+  }
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::size_t at = static_cast<std::size_t>(s.begin - begin_ + i);
+    MBQ_REQUIRE(!seen_[at], "duplicate result for index "
+                                << (s.begin + i)
+                                << " — a slice was delivered twice");
+    seen_[at] = true;
+    if (kind_ == shard::TaskKind::kSample)
+      outcomes_[at] = s.outcomes[i];
+    else
+      values_[at] = s.values[i];
+  }
+  covered_ += size;
+}
+
+}  // namespace mbq::serve

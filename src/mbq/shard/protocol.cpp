@@ -1,9 +1,12 @@
 #include "mbq/shard/protocol.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "mbq/common/error.h"
@@ -97,6 +100,37 @@ Request decode_request(std::span<const std::byte> frame) {
   return r;
 }
 
+SliceRequest rebase_slice(const Request& whole, std::uint64_t begin,
+                          std::uint64_t end) {
+  MBQ_REQUIRE(begin < end, "empty slice [" << begin << ", " << end << ")");
+  MBQ_REQUIRE(whole.begin <= begin && end <= whole.end,
+              "slice [" << begin << ", " << end << ") outside the request's ["
+                        << whole.begin << ", " << whole.end << ")");
+  SliceRequest out;
+  out.request = whole;
+  if (whole.kind == TaskKind::kSample) {
+    MBQ_REQUIRE(whole.shots >= 1, "sample request needs shots >= 1");
+    const std::uint64_t first_point = begin / whole.shots;
+    const std::uint64_t last_point = (end - 1) / whole.shots;
+    out.request.points.assign(
+        whole.points.begin() + static_cast<std::ptrdiff_t>(first_point),
+        whole.points.begin() + static_cast<std::ptrdiff_t>(last_point) + 1);
+    out.request.base_call = whole.base_call + first_point;
+    out.request.begin = begin - first_point * whole.shots;
+    out.request.end = end - first_point * whole.shots;
+    out.offset = first_point * whole.shots;
+  } else {
+    out.request.points.assign(
+        whole.points.begin() + static_cast<std::ptrdiff_t>(begin),
+        whole.points.begin() + static_cast<std::ptrdiff_t>(end));
+    out.request.stream_base = whole.stream_base + begin;
+    out.request.begin = 0;
+    out.request.end = end - begin;
+    out.offset = begin;
+  }
+  return out;
+}
+
 std::vector<std::byte> encode_response(const Response& r) {
   ByteWriter out;
   if (r.ok) {
@@ -161,11 +195,32 @@ void write_frame(int fd, std::span<const std::byte> payload) {
   send_all(payload.data(), payload.size());
 }
 
-std::optional<std::vector<std::byte>> read_frame(int fd) {
-  const auto recv_all = [fd](std::byte* data, std::size_t size,
-                             bool eof_ok) -> bool {
+std::optional<std::vector<std::byte>> read_frame(int fd, int timeout_ms) {
+  // One deadline covers the whole frame: a peer that keeps trickling
+  // bytes forever is as wedged as one that sends nothing.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const auto recv_all = [fd, timeout_ms, deadline](std::byte* data,
+                                                   std::size_t size,
+                                                   bool eof_ok) -> bool {
     std::size_t got = 0;
     while (got < size) {
+      if (timeout_ms > 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        struct pollfd pfd{fd, POLLIN, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(std::max<long long>(
+                                left.count(), 0)));
+        if (ready < 0) {
+          if (errno == EINTR) continue;
+          MBQ_REQUIRE(false, "shard channel poll failed: "
+                                 << std::strerror(errno));
+        }
+        MBQ_REQUIRE(ready > 0, "shard channel read timed out after "
+                                   << timeout_ms
+                                   << " ms (peer alive but not responding)");
+      }
       const ssize_t n = ::read(fd, data + got, size - got);
       if (n < 0) {
         if (errno == EINTR) continue;

@@ -87,6 +87,24 @@ struct Request {
 std::vector<std::byte> encode_request(const Request& r);
 Request decode_request(std::span<const std::byte> frame);
 
+/// A sub-slice [begin, end) of `whole`'s global index space, rebased so a
+/// worker that sees only the sub-request still draws exactly the global
+/// streams: for kSample the flattened (point, shot) space is cut to the
+/// touched points with base_call advanced past the untouched prefix; for
+/// kExpectation the point list is cut with stream_base absorbing the
+/// offset.  `offset` maps the sub-request's slice-local indices (error
+/// reports, response positions) back to `whole`'s index space.  Both the
+/// Session's sharded paths and the serving daemon's streaming dispatch
+/// split calls with this one helper, so their slices are
+/// indistinguishable to a worker.  Requires begin < end within whole's
+/// [begin, end).
+struct SliceRequest {
+  Request request;
+  std::uint64_t offset = 0;
+};
+SliceRequest rebase_slice(const Request& whole, std::uint64_t begin,
+                          std::uint64_t end);
+
 // --- responses ---------------------------------------------------------
 
 struct Response {
@@ -116,6 +134,10 @@ void write_frame(int fd, std::span<const std::byte> payload);
 
 /// Read one frame; nullopt on clean EOF before any byte, Error on a
 /// truncated frame (peer died mid-message) or oversized length prefix.
-std::optional<std::vector<std::byte>> read_frame(int fd);
+/// With timeout_ms > 0, a peer that sends nothing for that long (e.g. a
+/// SIGSTOP'd or wedged worker — its socket stays open, so a plain read
+/// would block forever) raises a descriptive Error instead of hanging;
+/// 0 waits indefinitely.
+std::optional<std::vector<std::byte>> read_frame(int fd, int timeout_ms = 0);
 
 }  // namespace mbq::shard

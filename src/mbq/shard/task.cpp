@@ -1,9 +1,11 @@
 #include "mbq/shard/task.h"
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 
 #include "mbq/api/registry.h"
+#include "mbq/api/workload_spec.h"
 #include "mbq/common/error.h"
 
 namespace mbq::shard {
@@ -28,6 +30,55 @@ void require_supported(const api::Backend& backend, const api::Workload& w,
                           << reason);
 }
 
+// --- warm prepare cache ------------------------------------------------
+// A small process-global LRU over prepare() artifacts, keyed by (backend
+// registry name, spec fingerprint, exact angle values).  For the
+// per-Session WorkerPool it saves recompiles when the variational loop
+// revisits angles across rounds (the parent's own cache cannot help — it
+// lives in a different process); for the long-lived serving daemon's
+// fleet it IS the warm cache: a repeated (workload, angles) pair from
+// any client skips compilation entirely.  Safe because prepare artifacts
+// are immutable and backends are stateless — reusing one is exactly what
+// Session's own LRU does; hits skip the support check for the same
+// reason Session's do (entries are only inserted after it passed).
+
+struct PrepCacheEntry {
+  std::string backend;
+  std::uint64_t fingerprint = 0;
+  std::vector<real> angles;
+  std::shared_ptr<const api::Prepared> prepared;
+  std::uint64_t last_used = 0;
+};
+
+constexpr std::size_t kPrepCacheCapacity = 32;
+std::vector<PrepCacheEntry> g_prep_cache;  // worker processes are
+std::uint64_t g_prep_clock = 0;            // single-threaded (see
+                                           // tools/mbq_worker.cpp)
+
+std::shared_ptr<const api::Prepared> cached_prepare(
+    const api::Backend& backend, const std::string& backend_name,
+    std::uint64_t fingerprint, const api::Workload& w, const qaoa::Angles& a) {
+  const std::vector<real> key = a.flat();
+  for (PrepCacheEntry& e : g_prep_cache) {
+    if (e.fingerprint == fingerprint && e.backend == backend_name &&
+        e.angles == key) {
+      e.last_used = ++g_prep_clock;
+      return e.prepared;
+    }
+  }
+  require_supported(backend, w, a);
+  auto prepared = backend.prepare(w, a);
+  if (prepared == nullptr) return nullptr;  // nothing cacheable
+  if (g_prep_cache.size() >= kPrepCacheCapacity) {
+    g_prep_cache.erase(std::min_element(
+        g_prep_cache.begin(), g_prep_cache.end(),
+        [](const auto& x, const auto& y) { return x.last_used < y.last_used; }));
+  }
+  g_prep_cache.push_back(
+      {backend_name, fingerprint, key, prepared, ++g_prep_clock});
+  return prepared;
+}
+
 Response run_sample(const api::Backend& backend, const Request& req) {
   Response out;
   out.outcomes.reserve(static_cast<std::size_t>(req.end - req.begin));
@@ -37,6 +88,7 @@ Response run_sample(const api::Backend& backend, const Request& req) {
               "sample slice end " << req.end << " exceeds "
                                   << req.points.size() << " points x "
                                   << req.shots << " shots");
+  const std::uint64_t fingerprint = api::spec_fingerprint(req.workload.spec());
   // Pairs are processed in ascending flat order; the prepare artifact is
   // reused across the (contiguous) shots of each point.
   std::shared_ptr<const api::Prepared> prep;
@@ -44,13 +96,20 @@ Response run_sample(const api::Backend& backend, const Request& req) {
   for (std::uint64_t t = req.begin; t < req.end; ++t) {
     const std::uint64_t i = t / req.shots;
     const std::uint64_t s = t % req.shots;
-    try {
-      const qaoa::Angles& a = req.points[i];
-      if (i != prep_point) {
-        require_supported(backend, req.workload, a);
-        prep = backend.prepare(req.workload, a);
+    const qaoa::Angles& a = req.points[i];
+    if (i != prep_point) {
+      // Check/prepare failures report error_in_eval = false: the serial
+      // loop raises them from checked_prepared before burning any stream
+      // index, and a remote parent restores its call counter accordingly.
+      try {
+        prep = cached_prepare(backend, req.backend, fingerprint, req.workload,
+                              a);
         prep_point = i;
+      } catch (const std::exception& e) {
+        return error_response(t, e.what());
       }
+    }
+    try {
       // Exactly Session::sample/sample_batch's stream assignment: shot s
       // of sample call (base_call + i) draws stream(base_call + i) then
       // stream(s) below it.
@@ -58,7 +117,9 @@ Response run_sample(const api::Backend& backend, const Request& req) {
       out.outcomes.push_back(
           backend.sample_one(req.workload, a, shot_rng, prep.get()));
     } catch (const std::exception& e) {
-      return error_response(t, e.what());
+      Response r = error_response(t, e.what());
+      r.error_in_eval = true;
+      return r;
     }
   }
   return out;
@@ -72,6 +133,7 @@ Response run_expectation(const api::Backend& backend, const Request& req) {
   MBQ_REQUIRE(req.end <= req.points.size(),
               "expectation slice end " << req.end << " exceeds "
                                        << req.points.size() << " points");
+  const std::uint64_t fingerprint = api::spec_fingerprint(req.workload.spec());
   // Phase 1 — support checks and prepares for the whole slice BEFORE any
   // stream is drawn, mirroring Session::checked_prepared_batch.  A
   // failure here reports error_in_eval = false: the serial loop throws
@@ -80,8 +142,8 @@ Response run_expectation(const api::Backend& backend, const Request& req) {
   std::vector<std::shared_ptr<const api::Prepared>> preps(count);
   for (std::uint64_t i = req.begin; i < req.end; ++i) {
     try {
-      require_supported(backend, req.workload, req.points[i]);
-      preps[i - req.begin] = backend.prepare(req.workload, req.points[i]);
+      preps[i - req.begin] = cached_prepare(backend, req.backend, fingerprint,
+                                            req.workload, req.points[i]);
     } catch (const std::exception& e) {
       return error_response(i, e.what());
     }

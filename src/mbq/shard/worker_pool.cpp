@@ -31,6 +31,42 @@ bool is_executable(const std::string& path) {
 
 }  // namespace
 
+SpawnedWorker spawn_worker(const std::string& worker_path) {
+  MBQ_REQUIRE(is_executable(worker_path),
+              "shard worker executable not found or not executable: '"
+                  << worker_path << "'");
+  int sv[2];
+  MBQ_REQUIRE(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+              "socketpair failed: " << std::strerror(errno));
+  // Parent end must not leak into this child (it gets sv[1]) or any
+  // later sibling.
+  ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    MBQ_REQUIRE(false, "fork failed: " << std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.  Move
+    // the channel to a fixed descriptor and exec the worker.
+    ::dup2(sv[1], 3);  // dup2 clears CLOEXEC on the new descriptor
+    if (sv[1] != 3) ::close(sv[1]);
+    const char* argv[] = {worker_path.c_str(), "3", nullptr};
+    ::execv(worker_path.c_str(), const_cast<char**>(argv));
+    _exit(127);  // exec failed; parent sees EOF and reports
+  }
+  ::close(sv[1]);
+  return {pid, sv[0]};
+}
+
+int worker_timeout_ms() {
+  if (const char* env = std::getenv("MBQ_WORKER_TIMEOUT_MS"))
+    if (const int ms = std::atoi(env); ms >= 1) return ms;
+  return 0;
+}
+
 std::string resolve_worker_path(const std::string& override_path) {
   if (!override_path.empty()) {
     if (is_executable(override_path)) return override_path;
@@ -55,40 +91,18 @@ std::string resolve_worker_path(const std::string& override_path) {
 WorkerPool::WorkerPool(int num_workers, const std::string& worker_path) {
   MBQ_REQUIRE(num_workers >= 1,
               "worker pool needs at least one worker, got " << num_workers);
-  MBQ_REQUIRE(is_executable(worker_path),
-              "shard worker executable not found or not executable: '"
-                  << worker_path << "'");
   pids_.reserve(static_cast<std::size_t>(num_workers));
   fds_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
-    int sv[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    SpawnedWorker w;
+    try {
+      w = spawn_worker(worker_path);
+    } catch (const Error&) {
       shutdown();
-      MBQ_REQUIRE(false, "socketpair failed: " << std::strerror(errno));
+      throw;
     }
-    // Parent end must not leak into this child (it gets sv[1]) or any
-    // later sibling.
-    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
-
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(sv[0]);
-      ::close(sv[1]);
-      shutdown();
-      MBQ_REQUIRE(false, "fork failed: " << std::strerror(errno));
-    }
-    if (pid == 0) {
-      // Child: only async-signal-safe calls between fork and exec.  Move
-      // the channel to a fixed descriptor and exec the worker.
-      ::dup2(sv[1], 3);  // dup2 clears CLOEXEC on the new descriptor
-      if (sv[1] != 3) ::close(sv[1]);
-      const char* argv[] = {worker_path.c_str(), "3", nullptr};
-      ::execv(worker_path.c_str(), const_cast<char**>(argv));
-      _exit(127);  // exec failed; parent sees EOF and reports
-    }
-    ::close(sv[1]);
-    pids_.push_back(pid);
-    fds_.push_back(sv[0]);
+    pids_.push_back(w.pid);
+    fds_.push_back(w.fd);
   }
   alive_ = true;
 }
@@ -137,10 +151,21 @@ std::vector<std::vector<std::byte>> WorkerPool::round(
       }
     }
 
+    // MBQ_WORKER_TIMEOUT_MS (re-read every round so tests and callers
+    // can toggle it) turns a hung-but-alive worker into an Error naming
+    // the worker, instead of blocking the parent forever.
+    const int timeout_ms = worker_timeout_ms();
     std::vector<std::vector<std::byte>> responses(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
       if (requests[i].empty()) continue;
-      auto frame = read_frame(fds_[i]);
+      std::optional<std::vector<std::byte>> frame;
+      try {
+        frame = read_frame(fds_[i], timeout_ms);
+      } catch (const Error& e) {
+        MBQ_REQUIRE(false, "shard worker " << i << " (pid " << pids_[i]
+                                           << ") failed to answer its slice: "
+                                           << e.what());
+      }
       MBQ_REQUIRE(frame.has_value(),
                   "shard worker " << i << " (pid " << pids_[i]
                                   << ") exited before answering — it was "

@@ -11,7 +11,11 @@
 // Failure model: a worker that dies (crash, kill, exec failure) is
 // detected as EPIPE on write or EOF/short-read on read and surfaces as a
 // descriptive mbq::Error from round() — never a hang, because every read
-// is from a socket whose peer's death closes it.  After a failed round
+// is from a socket whose peer's death closes it.  A worker that is alive
+// but WEDGED (SIGSTOP'd, spinning in a kernel call) keeps its socket
+// open, so death detection cannot see it; set MBQ_WORKER_TIMEOUT_MS to
+// bound every response read and turn that into a descriptive Error
+// naming the worker too (default: wait forever).  After a failed round
 // the pool is broken (alive() == false) and must be discarded; the
 // Session above falls back to in-process execution.
 
@@ -31,6 +35,24 @@ namespace mbq::shard {
 /// Returns "" when none of these exists — the caller should fall back to
 /// in-process execution.
 std::string resolve_worker_path(const std::string& override_path = {});
+
+/// One fork/exec'd mbq_worker and the parent end of its channel.  The
+/// parent fd is CLOEXEC (later siblings never inherit it); closing it
+/// EOFs the worker's request loop, which is the normal shutdown path.
+/// Shared by WorkerPool and the serving daemon's fleet (which respawns
+/// through this after a worker death).  Throws Error when the executable
+/// cannot be spawned.
+struct SpawnedWorker {
+  pid_t pid = -1;
+  int fd = -1;
+};
+SpawnedWorker spawn_worker(const std::string& worker_path);
+
+/// The per-read worker timeout in effect: MBQ_WORKER_TIMEOUT_MS, or 0
+/// (wait forever) when unset/invalid.  A positive value turns a hung
+/// worker — e.g. SIGSTOP'd, or spinning in a kernel call — from an
+/// indefinite block into a descriptive Error naming the worker.
+int worker_timeout_ms();
 
 class WorkerPool {
  public:

@@ -1,0 +1,364 @@
+// The serve wire protocol in isolation (no daemon, no processes):
+// endpoint strings parse strictly, every frame codec round-trips exactly
+// and rejects malformed input, FrameBuffer reassembles frames from
+// arbitrary chunkings of the byte stream, and SliceMerger produces
+// arrival-order-independent merges while rejecting duplicate coverage —
+// the client half of the daemon's at-most-once guarantee.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <vector>
+
+#include "mbq/api/workload.h"
+#include "mbq/common/rng.h"
+#include "mbq/graph/generators.h"
+#include "mbq/serve/endpoint.h"
+#include "mbq/serve/frames.h"
+
+namespace mbq {
+namespace {
+
+using qaoa::Angles;
+using namespace mbq::serve;
+
+// --- endpoints ---------------------------------------------------------
+
+TEST(ServeEndpoint, ParsesUnixAndTcpShapes) {
+  const Endpoint u = parse_endpoint("unix:/tmp/mbqd.sock");
+  EXPECT_EQ(u.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(u.path, "/tmp/mbqd.sock");
+  EXPECT_EQ(u.to_string(), "unix:/tmp/mbqd.sock");
+
+  const Endpoint t = parse_endpoint("tcp:localhost:7711");
+  EXPECT_EQ(t.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(t.host, "localhost");
+  EXPECT_EQ(t.port, 7711);
+  EXPECT_EQ(t.to_string(), "tcp:localhost:7711");
+
+  const Endpoint num = parse_endpoint("tcp:127.0.0.1:0");
+  EXPECT_EQ(num.host, "127.0.0.1");
+  EXPECT_EQ(num.port, 0);  // ephemeral; resolved by listen_endpoint
+
+  EXPECT_THROW(parse_endpoint("unix:"), Error);
+  EXPECT_THROW(parse_endpoint("tcp:localhost"), Error);
+  EXPECT_THROW(parse_endpoint("tcp:localhost:notaport"), Error);
+  EXPECT_THROW(parse_endpoint("tcp:localhost:70000"), Error);
+  EXPECT_THROW(parse_endpoint("tcp:no.such.host.example:1"), Error);
+  EXPECT_THROW(parse_endpoint("http://localhost:80"), Error);
+  EXPECT_THROW(parse_endpoint(""), Error);
+}
+
+// --- frame codecs ------------------------------------------------------
+
+TEST(ServeFrames, HandshakeRoundTrips) {
+  Hello h;
+  h.client_name = "test-client";
+  const Hello hb = decode_hello(encode_hello(h));
+  EXPECT_EQ(hb.version, kProtocolVersion);
+  EXPECT_EQ(hb.client_name, "test-client");
+
+  HelloOk ok;
+  ok.daemon_name = "mbqd-test";
+  ok.workers = 7;
+  const HelloOk ob = decode_hello_ok(encode_hello_ok(ok));
+  EXPECT_EQ(ob.version, kProtocolVersion);
+  EXPECT_EQ(ob.daemon_name, "mbqd-test");
+  EXPECT_EQ(ob.workers, 7u);
+
+  // Wrong tag and truncation both throw.
+  EXPECT_THROW(decode_hello_ok(encode_hello(h)), Error);
+  auto frame = encode_hello(h);
+  frame.resize(frame.size() - 2);
+  EXPECT_THROW(decode_hello(frame), Error);
+  EXPECT_THROW(frame_kind({}), Error);
+}
+
+TEST(ServeFrames, SubmitEmbedsTheShardRequestVerbatim) {
+  Rng rng(3);
+  Submit s;
+  s.request_id = 0xABCDEF0112345678ULL;
+  s.request.kind = shard::TaskKind::kSample;
+  s.request.backend = "mbqc";
+  s.request.seed = 99;
+  s.request.workload = api::Workload::maxcut(cycle_graph(5));
+  s.request.points = {Angles::random(2, rng), Angles::random(2, rng)};
+  s.request.shots = 16;
+  s.request.base_call = 4;
+  s.request.end = 32;
+
+  const Submit back = decode_submit(encode_submit(s));
+  EXPECT_EQ(back.request_id, s.request_id);
+  EXPECT_EQ(back.request.kind, s.request.kind);
+  EXPECT_EQ(back.request.backend, s.request.backend);
+  EXPECT_EQ(back.request.seed, s.request.seed);
+  ASSERT_EQ(back.request.points.size(), 2u);
+  EXPECT_EQ(back.request.points[0].gamma, s.request.points[0].gamma);
+  EXPECT_EQ(back.request.points[1].beta, s.request.points[1].beta);
+  EXPECT_EQ(back.request.shots, s.request.shots);
+  EXPECT_EQ(back.request.base_call, s.request.base_call);
+  EXPECT_EQ(back.request.end, s.request.end);
+  // The embedded bytes ARE the shard codec: stripping the 9-byte serve
+  // header must yield a frame shard::decode_request accepts.
+  const auto frame = encode_submit(s);
+  const shard::Request direct = shard::decode_request(
+      std::span<const std::byte>(frame).subspan(9));
+  EXPECT_EQ(direct.seed, s.request.seed);
+
+  auto truncated = encode_submit(s);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(decode_submit(truncated), Error);
+}
+
+TEST(ServeFrames, ResultAndControlFramesRoundTrip) {
+  Slice sl;
+  sl.request_id = 5;
+  sl.begin = 10;
+  sl.end = 13;
+  sl.outcomes = {1, 0xFFFFFFFFFFFFFFFFULL, 7};
+  const Slice slb = decode_slice(encode_slice(sl));
+  EXPECT_EQ(slb.request_id, 5u);
+  EXPECT_EQ(slb.begin, 10u);
+  EXPECT_EQ(slb.end, 13u);
+  EXPECT_EQ(slb.outcomes, sl.outcomes);
+  EXPECT_TRUE(slb.values.empty());
+
+  Slice sv;
+  sv.request_id = 6;
+  sv.begin = 0;
+  sv.end = 2;
+  sv.values = {-0.0, 3.5e-300};
+  const Slice svb = decode_slice(encode_slice(sv));
+  ASSERT_EQ(svb.values.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(svb.values[i]),
+              std::bit_cast<std::uint64_t>(sv.values[i]));
+
+  Done d;
+  d.request_id = 5;
+  d.slices = 8;
+  d.redispatched = 2;
+  d.warm_hit = true;
+  const Done db = decode_done(encode_done(d));
+  EXPECT_EQ(db.request_id, 5u);
+  EXPECT_EQ(db.slices, 8u);
+  EXPECT_EQ(db.redispatched, 2u);
+  EXPECT_TRUE(db.warm_hit);
+
+  ErrorFrame e;
+  e.request_id = 9;
+  e.error_index = 123;
+  e.error_in_eval = true;
+  e.message = "backend 'x' cannot run this workload";
+  const ErrorFrame eb = decode_error(encode_error(e));
+  EXPECT_EQ(eb.request_id, 9u);
+  EXPECT_EQ(eb.error_index, 123u);
+  EXPECT_TRUE(eb.error_in_eval);
+  EXPECT_EQ(eb.message, e.message);
+
+  Busy b;
+  b.request_id = 4;
+  b.message = "queue full";
+  const Busy bb = decode_busy(encode_busy(b));
+  EXPECT_EQ(bb.request_id, 4u);
+  EXPECT_EQ(bb.message, "queue full");
+}
+
+TEST(ServeFrames, StatsRoundTripAndFormat) {
+  DaemonStats s;
+  s.connections_total = 10;
+  s.connections_active = 2;
+  s.requests_total = 100;
+  s.requests_active = 3;
+  s.busy_rejections = 4;
+  s.slices_dispatched = 400;
+  s.slices_redispatched = 5;
+  s.slices_completed = 395;
+  s.worker_respawns = 2;
+  s.warm_hits = 60;
+  s.warm_misses = 40;
+  s.queue_depth = 7;
+  s.workers = {{1234, true, 200, 0}, {1235, false, 195, 2}};
+
+  const DaemonStats b = decode_stats_reply(encode_stats_reply(s));
+  EXPECT_EQ(b.connections_total, 10u);
+  EXPECT_EQ(b.connections_active, 2u);
+  EXPECT_EQ(b.requests_total, 100u);
+  EXPECT_EQ(b.requests_active, 3u);
+  EXPECT_EQ(b.busy_rejections, 4u);
+  EXPECT_EQ(b.slices_dispatched, 400u);
+  EXPECT_EQ(b.slices_redispatched, 5u);
+  EXPECT_EQ(b.slices_completed, 395u);
+  EXPECT_EQ(b.worker_respawns, 2u);
+  EXPECT_EQ(b.warm_hits, 60u);
+  EXPECT_EQ(b.warm_misses, 40u);
+  EXPECT_EQ(b.queue_depth, 7u);
+  ASSERT_EQ(b.workers.size(), 2u);
+  EXPECT_EQ(b.workers[0].pid, 1234);
+  EXPECT_TRUE(b.workers[0].busy);
+  EXPECT_EQ(b.workers[1].slices_done, 195u);
+  EXPECT_EQ(b.workers[1].respawns, 2u);
+
+  const std::string text = format_stats(b);
+  EXPECT_NE(text.find("re-dispatched"), std::string::npos) << text;
+  EXPECT_NE(text.find("warm cache"), std::string::npos) << text;
+  EXPECT_NE(text.find("1234"), std::string::npos) << text;
+}
+
+// --- incremental framing -----------------------------------------------
+
+TEST(ServeFrameBuffer, ReassemblesAcrossArbitraryChunkings) {
+  // Three frames of different sizes, fed in chunk sizes from 1 byte to
+  // larger-than-everything: the popped sequence must always be exactly
+  // the three payloads, in order.
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.push_back(encode_stats_request());
+  Hello h;
+  h.client_name = "chunk-test";
+  payloads.push_back(encode_hello(h));
+  Busy b;
+  b.request_id = 77;
+  b.message = std::string(300, 'x');
+  payloads.push_back(encode_busy(b));
+
+  std::vector<std::byte> stream;
+  for (const auto& p : payloads) {
+    const std::uint32_t size = static_cast<std::uint32_t>(p.size());
+    for (int i = 0; i < 4; ++i)
+      stream.push_back(static_cast<std::byte>((size >> (8 * i)) & 0xFF));
+    stream.insert(stream.end(), p.begin(), p.end());
+  }
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{64},
+                                  stream.size()}) {
+    FrameBuffer fb;
+    std::vector<std::vector<std::byte>> got;
+    for (std::size_t at = 0; at < stream.size(); at += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - at);
+      fb.append(std::span<const std::byte>(stream).subspan(at, n));
+      while (auto f = fb.pop()) got.push_back(std::move(*f));
+    }
+    ASSERT_EQ(got.size(), payloads.size()) << "chunk " << chunk;
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+      EXPECT_EQ(got[i], payloads[i]) << "chunk " << chunk << " frame " << i;
+    EXPECT_EQ(fb.buffered(), 0u);
+  }
+}
+
+TEST(ServeFrameBuffer, OversizedLengthPrefixThrows) {
+  FrameBuffer fb;
+  const std::byte huge[4] = {std::byte{0xFF}, std::byte{0xFF},
+                             std::byte{0xFF}, std::byte{0xFF}};
+  fb.append(huge);
+  EXPECT_THROW(fb.pop(), Error);
+}
+
+// --- slice merging -----------------------------------------------------
+
+TEST(ServeSliceMerger, MergeIsArrivalOrderIndependent) {
+  // 10 slices of uneven sizes covering [5, 47), merged in every rotation
+  // and a few shuffles: the merged vector must always equal the direct
+  // layout.  This is the client-side half of the streaming contract.
+  const std::uint64_t begin = 5, end = 47;
+  std::vector<Slice> slices;
+  std::vector<std::uint64_t> want;
+  std::uint64_t at = begin;
+  int k = 0;
+  while (at < end) {
+    const std::uint64_t size = std::min<std::uint64_t>(1 + (k % 7), end - at);
+    Slice s;
+    s.request_id = 1;
+    s.begin = at;
+    s.end = at + size;
+    for (std::uint64_t i = at; i < at + size; ++i) {
+      s.outcomes.push_back(i * 1000003ULL);
+      want.push_back(i * 1000003ULL);
+    }
+    slices.push_back(std::move(s));
+    at += size;
+    ++k;
+  }
+  ASSERT_GE(slices.size(), 8u);
+
+  std::vector<std::size_t> order(slices.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Rotations first (deterministic coverage), then random shuffles.
+    if (trial < static_cast<int>(slices.size())) {
+      std::rotate(order.begin(), order.begin() + trial, order.end());
+    } else {
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    SliceMerger m(shard::TaskKind::kSample, begin, end);
+    for (const std::size_t i : order) {
+      EXPECT_FALSE(m.complete());
+      m.add(slices[i]);
+    }
+    ASSERT_TRUE(m.complete());
+    EXPECT_EQ(m.missing(), 0u);
+    EXPECT_EQ(m.outcomes(), want) << "trial " << trial;
+  }
+}
+
+TEST(ServeSliceMerger, RejectsDuplicateAndMalformedSlices) {
+  SliceMerger m(shard::TaskKind::kSample, 0, 10);
+  Slice s;
+  s.begin = 2;
+  s.end = 5;
+  s.outcomes = {1, 2, 3};
+  m.add(s);
+  // Exact duplicate: the at-most-once guard must refuse to overwrite.
+  EXPECT_THROW(m.add(s), Error);
+  // Overlapping coverage.
+  Slice o;
+  o.begin = 4;
+  o.end = 6;
+  o.outcomes = {9, 9};
+  EXPECT_THROW(m.add(o), Error);
+  // Out of range.
+  Slice r;
+  r.begin = 8;
+  r.end = 12;
+  r.outcomes = {0, 0, 0, 0};
+  EXPECT_THROW(m.add(r), Error);
+  // Payload size mismatch.
+  Slice p;
+  p.begin = 6;
+  p.end = 8;
+  p.outcomes = {1};
+  EXPECT_THROW(m.add(p), Error);
+  // Wrong payload kind for the task.
+  Slice v;
+  v.begin = 6;
+  v.end = 7;
+  v.values = {0.5};
+  EXPECT_THROW(m.add(v), Error);
+  EXPECT_FALSE(m.complete());
+  EXPECT_EQ(m.missing(), 7u);
+
+  // Expectation merges place f64 payloads bit-exactly.
+  SliceMerger em(shard::TaskKind::kExpectation, 0, 2);
+  Slice e1;
+  e1.begin = 1;
+  e1.end = 2;
+  e1.values = {-0.0};
+  Slice e0;
+  e0.begin = 0;
+  e0.end = 1;
+  e0.values = {3.5e-300};
+  em.add(e1);
+  em.add(e0);
+  ASSERT_TRUE(em.complete());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(em.values()[0]),
+            std::bit_cast<std::uint64_t>(3.5e-300));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(em.values()[1]),
+            std::bit_cast<std::uint64_t>(-0.0));
+}
+
+}  // namespace
+}  // namespace mbq

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -527,6 +528,120 @@ TEST(ShardWorkerDeath, SessionSurfacesTheErrorThenFallsBack) {
   const SampleResult ref2 = reference.sample(a, 8);
   expect_same_shots(first, ref0, "pre-death call");
   expect_same_shots(session.sample(a, 8), ref2, "post-death call");
+}
+
+TEST(ShardWorkerDeath, WedgedWorkerTimesOutWithAMessageNotAHang) {
+  // A SIGSTOP'd worker is the nasty case: its socket stays open, so
+  // without a deadline the parent blocks forever.  MBQ_WORKER_TIMEOUT_MS
+  // (re-read every round) must turn it into an Error naming the worker
+  // and its slice.
+  shard::WorkerPool pool(2, worker_path());
+  const pid_t victim = pool.pids()[1];
+  ASSERT_EQ(kill(victim, SIGSTOP), 0);
+
+  shard::Request req;
+  req.kind = shard::TaskKind::kSample;
+  req.backend = "mbqc";
+  req.seed = 1;
+  req.workload = Workload::maxcut(cycle_graph(4));
+  req.points = {Angles({0.4}, {0.3})};
+  req.shots = 4;
+  req.begin = 0;
+  req.end = 2;
+  const std::vector<std::vector<std::byte>> requests = {
+      shard::encode_request(req), shard::encode_request(req)};
+
+  ASSERT_EQ(setenv("MBQ_WORKER_TIMEOUT_MS", "300", 1), 0);
+  EXPECT_EQ(shard::worker_timeout_ms(), 300);
+  try {
+    pool.round(requests);
+    FAIL() << "round against a stopped worker should have timed out";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker 1"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(victim)), std::string::npos) << what;
+    EXPECT_NE(what.find("slice"), std::string::npos) << what;
+    EXPECT_NE(what.find("timed out after 300 ms"), std::string::npos)
+        << what;
+  }
+  ASSERT_EQ(unsetenv("MBQ_WORKER_TIMEOUT_MS"), 0);
+  EXPECT_EQ(shard::worker_timeout_ms(), 0);
+  EXPECT_FALSE(pool.alive());  // the poisoned pool tore itself down
+
+  // Unwedge and reap so the stopped child does not outlive the test.
+  kill(victim, SIGCONT);
+  kill(victim, SIGKILL);
+  int status = 0;
+  waitpid(victim, &status, 0);
+}
+
+// --- merge-order independence ------------------------------------------
+
+TEST(ShardTask, SliceMergeIsArrivalOrderIndependent) {
+  // Execute a plan's slices independently and merge them in many
+  // different arrival orders: every permutation must reproduce the
+  // serial result bit for bit, because each slice's payload is a pure
+  // function of (seed, global indices) and merging places it at its
+  // global offset.  This is the exact property the serving daemon's
+  // streaming dispatch leans on.
+  const Workload w = Workload::maxcut(cycle_graph(6));
+  const std::vector<Angles> points = random_points(3, 1, 77);
+  const int shots = 20;
+  const std::uint64_t total = points.size() * shots;
+
+  Session serial(w, "mbqc", sharded_options(33, 1));
+  const auto want_batch = serial.sample_batch(points, shots);
+  std::vector<std::uint64_t> want;
+  for (const SampleResult& r : want_batch)
+    for (const auto& shot : r.shots) want.push_back(shot.x);
+  ASSERT_EQ(want.size(), total);
+
+  shard::Request whole;
+  whole.kind = shard::TaskKind::kSample;
+  whole.backend = "mbqc";
+  whole.seed = 33;
+  whole.workload = w;
+  whole.points = points;
+  whole.shots = shots;
+  whole.base_call = 0;
+  whole.begin = 0;
+  whole.end = total;
+
+  // Uneven 7-way plan over 60 pairs: slice boundaries cut through the
+  // middle of points, the stress case for rebasing.
+  const shard::ShardPlan plan(total, 7);
+  struct Piece {
+    std::uint64_t begin, end;
+    std::vector<std::uint64_t> outcomes;
+  };
+  std::vector<Piece> pieces;
+  for (const auto& [begin, end] : plan.ranges()) {
+    const shard::SliceRequest slice = shard::rebase_slice(whole, begin, end);
+    const shard::Response r = shard::execute_request(slice.request);
+    ASSERT_TRUE(r.ok) << r.error_message;
+    pieces.push_back({begin, end, r.outcomes});
+  }
+  ASSERT_GE(pieces.size(), 5u);
+
+  std::vector<std::size_t> order(pieces.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(5);
+  for (int trial = 0; trial < 12; ++trial) {
+    if (trial < static_cast<int>(order.size()))
+      std::rotate(order.begin(), order.begin() + trial, order.end());
+    else
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.uniform_index(i)]);
+
+    std::vector<std::uint64_t> merged(total, ~std::uint64_t{0});
+    for (const std::size_t pi : order) {
+      const Piece& p = pieces[pi];
+      ASSERT_EQ(p.outcomes.size(), p.end - p.begin);
+      std::copy(p.outcomes.begin(), p.outcomes.end(),
+                merged.begin() + static_cast<std::ptrdiff_t>(p.begin));
+    }
+    EXPECT_EQ(merged, want) << "arrival order trial " << trial;
+  }
 }
 
 }  // namespace

@@ -651,5 +651,74 @@ TEST(SpecSharding, OnlyCustomClosuresFallBack) {
   EXPECT_EQ(s.shard_workers(), 0) << "custom workloads must fall back";
 }
 
+// --- spec fingerprints -------------------------------------------------
+
+TEST(SpecFingerprint, IsInvariantUnderCodecRoundTrips) {
+  // The fingerprint hashes the exact codec bytes, so
+  // fingerprint(decode(encode(spec))) == fingerprint(spec) for every
+  // serializable ansatz — the property the daemon's warm cache needs to
+  // recognize a workload that traveled through the wire protocol.
+  const std::vector<Workload> workloads = {
+      Workload::maxcut(cycle_graph(4)), third_order_pubo(),
+      weighted_mis_workload(), xy_declarative_workload(2)};
+  for (const Workload& w : workloads) {
+    const std::uint64_t fp = api::spec_fingerprint(w.spec());
+    EXPECT_EQ(api::spec_fingerprint(w.spec()), fp) << "not deterministic";
+    EXPECT_EQ(api::spec_fingerprint(round_tripped(w).spec()), fp)
+        << "round trip changed the fingerprint";
+    EXPECT_EQ(api::spec_fingerprint(round_tripped(round_tripped(w)).spec()),
+              fp);
+  }
+  // No pointer or process-lifetime dependence: an independently rebuilt
+  // equal workload fingerprints equal.
+  EXPECT_EQ(api::spec_fingerprint(Workload::maxcut(cycle_graph(4)).spec()),
+            api::spec_fingerprint(workloads[0].spec()));
+}
+
+TEST(SpecFingerprint, DistinguishesWhatTheCodecDistinguishes) {
+  const std::vector<Workload> distinct = {
+      Workload::maxcut(cycle_graph(4)),
+      Workload::maxcut(cycle_graph(5)),        // different graph
+      Workload::maxcut(path_graph(4)),         // same size, different edges
+      third_order_pubo(),
+      weighted_mis_workload(),
+      xy_declarative_workload(1),
+      xy_declarative_workload(2),              // different layer count
+  };
+  for (std::size_t i = 0; i < distinct.size(); ++i)
+    for (std::size_t j = i + 1; j < distinct.size(); ++j)
+      EXPECT_NE(api::spec_fingerprint(distinct[i].spec()),
+                api::spec_fingerprint(distinct[j].spec()))
+          << "workloads " << i << " and " << j << " collide";
+
+  // The noise knob is part of the identity: a recompile-relevant field.
+  Workload noisy = Workload::maxcut(cycle_graph(4));
+  const std::uint64_t clean_fp = api::spec_fingerprint(noisy.spec());
+  noisy.with_entangler_noise(0.125);
+  EXPECT_NE(api::spec_fingerprint(noisy.spec()), clean_fp);
+}
+
+TEST(SpecFingerprint, CustomCircuitsThrowInsteadOfLying) {
+  const Workload c = Workload::custom(
+      CostHamiltonian::maxcut(cycle_graph(3)),
+      [](const Angles&) { return Circuit(3); });
+  EXPECT_THROW(api::spec_fingerprint(c.spec()), Error);
+}
+
+TEST(SpecFingerprint, Fnv1a64MatchesThePublishedVectors) {
+  const auto hash = [](std::string_view s) {
+    return api::fnv1a64(std::as_bytes(std::span<const char>(s.data(),
+                                                            s.size())));
+  };
+  // Reference values of the standard FNV-1a 64 parameters.
+  EXPECT_EQ(hash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(hash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(hash("foobar"), 0x85944171f73967e8ULL);
+  // Seed chaining: hashing "ab" equals hashing "b" seeded with hash("a").
+  EXPECT_EQ(hash("ab"),
+            api::fnv1a64(std::as_bytes(std::span<const char>("b", 1)),
+                         hash("a")));
+}
+
 }  // namespace
 }  // namespace mbq

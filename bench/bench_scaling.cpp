@@ -13,6 +13,7 @@
 #include "mbq/mbqc/compiled.h"
 #include "mbq/mbqc/runner.h"
 #include "mbq/qaoa/qaoa.h"
+#include "mbq/sim/collapse_kernels.h"
 #include "mbq/stab/tableau.h"
 
 namespace {
@@ -123,6 +124,77 @@ void BM_PatternRunCompiled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PatternRunCompiled)->Arg(6)->Arg(10)->Arg(12)->Arg(14);
+
+// The shots/sec-vs-n perf wall for the runtime-dispatched collapse
+// kernels: identical p=2 cycle-graph MaxCut sampling, once forced onto
+// the scalar reference kernels and once on the best vector flavor this
+// host can run (the auto-dispatch choice).  items/sec IS shots/sec and
+// the time column is ms/shot — the ROADMAP tracking numbers at n = 14
+// and 16 read straight off the two rows.  Every row first replays a
+// short differential leg and SkipWithError's on any bitwise divergence,
+// so the wall can never report a speedup the kernel contract would not
+// back with identical outcome streams.  Run
+//   --benchmark_filter=PatternSample
+//       --benchmark_out=BENCH_simd_kernels.json
+// to produce the artifact CI uploads from both matrix legs.
+SimdIsa best_vector_isa() {
+  const auto isas = supported_simd_isas();
+  for (SimdIsa want : {SimdIsa::Avx512, SimdIsa::Avx2, SimdIsa::Neon})
+    for (SimdIsa have : isas)
+      if (have == want) return want;
+  return SimdIsa::Scalar;
+}
+
+void pattern_sample_isa(benchmark::State& state, SimdIsa isa) {
+  const SimdIsa orig = active_simd_isa();
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(n));
+  const qaoa::Angles a = qaoa::Angles::random(2, rng);
+  const auto compiled = std::make_shared<const mbqc::CompiledPattern>(
+      core::compile_qaoa(cost, a).pattern);
+
+  auto stream = [&](SimdIsa leg) {
+    force_simd_isa(leg);
+    mbqc::PatternExecutor exec(compiled);
+    Rng leg_rng(17);
+    std::vector<std::uint64_t> xs;
+    for (int shot = 0; shot < 8; ++shot)
+      xs.push_back(exec.run_sample(leg_rng).x);
+    return xs;
+  };
+  const bool identical = stream(SimdIsa::Scalar) == stream(isa);
+  if (!identical) {
+    force_simd_isa(orig);
+    state.SkipWithError("scalar vs vector sampled streams diverged");
+    return;
+  }
+
+  force_simd_isa(isa);
+  mbqc::PatternExecutor exec(compiled);
+  Rng run_rng(4);
+  for (auto _ : state) {
+    auto s = exec.run_sample(run_rng);
+    benchmark::DoNotOptimize(s.x);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(isa_name(isa));
+  force_simd_isa(orig);
+}
+
+void BM_PatternSampleScalar(benchmark::State& state) {
+  pattern_sample_isa(state, SimdIsa::Scalar);
+}
+BENCHMARK(BM_PatternSampleScalar)
+    ->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PatternSampleSimd(benchmark::State& state) {
+  pattern_sample_isa(state, best_vector_isa());
+}
+BENCHMARK(BM_PatternSampleSimd)
+    ->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PatternRunClifford(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -158,10 +158,12 @@ RunResult PatternExecutor::run(Rng& rng) { return execute(&rng, nullptr); }
 PatternExecutor::SampledShot PatternExecutor::run_sample(Rng& rng) {
   execute(&rng, nullptr, /*gather_output=*/false);
   // Readout draws AFTER the full run, exactly like sampling from the
-  // gathered output_state would.
+  // gathered output_state would.  The gather table is refreshed in
+  // place against the final layout — same size every shot, so its
+  // storage is reused and the steady-state shot stays allocation-free.
   const real u = rng.uniform();
-  return {dsv_.sample_in_order(compiled_->output_slots_, u),
-          dsv_.peak_live()};
+  dsv_.fill_gather_table(compiled_->output_slots_, gather_);
+  return {dsv_.sample_in_order(gather_, u), dsv_.peak_live()};
 }
 
 RunResult PatternExecutor::run_forced(const std::vector<int>& forced) {
@@ -343,7 +345,8 @@ RunResult PatternExecutor::execute(Rng* rng, const int* forced,
     // run_sample skips this copy too: its caller reads last_outcomes()
     // from the member, keeping the shot loop allocation-free.
     result.outcomes = outcomes_;
-    result.output_state = dsv_.state_in_order(cp.output_slots_);
+    dsv_.fill_gather_table(cp.output_slots_, gather_);
+    result.output_state = dsv_.state_in_order(gather_);
   }
   return result;
 }

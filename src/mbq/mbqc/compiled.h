@@ -21,8 +21,10 @@
 // steady-state shot loop allocates nothing) and draws from the Rng in
 // exactly the order the interpreter does: outcome streams are
 // bit-identical to mbqc::run_interpreted for equal seeds (the fused
-// kernels evaluate the same sums in the same order — see
-// sim/dynamic_statevector).
+// kernels evaluate the same sums in the same canonical order — see
+// sim/dynamic_statevector).  Every amplitude sweep underneath runs on
+// the runtime-dispatched SIMD kernel table (sim/collapse_kernels.h);
+// the MBQ_SIMD flavor choice is bitwise invisible in every result.
 //
 // Angle-parametric execution keeps its thunk at a different layer: the
 // pattern itself is compiled per angle point by core::compile_qaoa, and
@@ -186,6 +188,12 @@ class PatternExecutor {
   DynamicStatevector dsv_;
   std::vector<int> outcomes_;
   std::vector<int> forced_bits_;  // scratch for the branch overload
+  // Output-readout gather table, cached across shots: the output slots
+  // are fixed per compiled pattern, so refreshing the table against the
+  // final wire layout reuses its storage — this is what closed the last
+  // per-shot heap allocation in run_sample (the old sample_in_order
+  // overload built src/flip vectors on every call).
+  DynamicStatevector::GatherTable gather_;
 };
 
 /// The executor for `compiled` cached on the CURRENT thread.  Parallel

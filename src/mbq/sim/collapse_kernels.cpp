@@ -1,0 +1,230 @@
+// Kernel dispatch: resolve the active flavor once per process, guarded
+// by a bit-identity self-check battery against the scalar reference.
+//
+// Resolution order: an MBQ_SIMD override is honored strictly (missing
+// flavor or failed self-check THROWS — a forced flavor must never
+// silently degrade); auto mode walks best-first (avx512 > avx2 > neon)
+// and falls back past anything that is not compiled in, not executable
+// here, or fails its self-check, bottoming out at scalar.
+
+#include "mbq/sim/collapse_kernels.h"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+
+#include "mbq/common/error.h"
+
+namespace mbq {
+
+namespace {
+
+// ---- deterministic self-check battery --------------------------------
+
+/// splitmix64: tiny, deterministic, no state shared with mbq::Rng.
+std::uint64_t mix64(std::uint64_t& s) noexcept {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double rand_unit(std::uint64_t& s) noexcept {
+  // [-1, 1) with full mantissa churn; exact-zero components appear via
+  // the effect products, not the inputs.
+  return static_cast<double>(mix64(s) >> 11) * 0x1.0p-52 - 1.0;
+}
+
+void fill(std::vector<cplx>& buf, std::size_t n, std::uint64_t seed) {
+  buf.resize(n);
+  for (auto& v : buf) v = {rand_unit(seed), rand_unit(seed)};
+}
+
+bool same(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool same(const std::vector<cplx>& a, const std::vector<cplx>& b) noexcept {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)) == 0;
+}
+
+/// Every kernel entry, against scalar, bit-for-bit, across sizes that
+/// exercise both the vector main loops and the delegation shapes.
+bool run_battery(const CollapseKernels& k) {
+  const CollapseKernels& ref = scalar_kernels();
+  const cplx effs[] = {{0.7071067811865476, 0.0},   // Real
+                       {0.0, 0.3141592653589793},   // Imag
+                       {0.6, -0.8}};                // Generic
+  std::vector<cplx> x, y, ox, oy;
+
+  const std::size_t sizes[] = {1, 2, 3, 4, 8, 12, 32, 64, 256};
+  for (std::size_t n : sizes) {
+    fill(x, n, 0xC0FFEE ^ n);
+    y = x;
+    if (!same(ref.fold_norms(x.data(), n), k.fold_norms(x.data(), n)))
+      return false;
+    if (!same(ref.fold_norms_scaled(x.data(), n, 0.25),
+              k.fold_norms_scaled(x.data(), n, 0.25)))
+      return false;
+    if (!same(ref.prep_total_fold(x.data(), n, 0.7071067811865476),
+              k.prep_total_fold(x.data(), n, 0.7071067811865476)))
+      return false;
+    const double fa = ref.scale_fold(x.data(), n, 1.3);
+    const double fb = k.scale_fold(y.data(), n, 1.3);
+    if (!same(fa, fb) || !same(x, y)) return false;
+  }
+
+  const std::size_t dim = 256;
+  for (const cplx& e0 : effs) {
+    for (const cplx& e1 : effs) {
+      for (int q : {0, 1, 2, 3, 5}) {
+        fill(x, dim, 0xABCD ^ static_cast<std::uint64_t>(q));
+        ox.assign(dim / 2, cplx{});
+        oy.assign(dim / 2, cplx{});
+        const double fa =
+            ref.collapse_pairs(x.data(), ox.data(), dim / 2, q, e0, e1);
+        const double fb =
+            k.collapse_pairs(x.data(), oy.data(), dim / 2, q, e0, e1);
+        if (!same(fa, fb) || !same(ox, oy)) return false;
+      }
+      for (std::uint64_t pmask : {0x0ULL, 0x1ULL, 0xAULL, 0x2BULL, 0xF0ULL}) {
+        fill(x, dim, 0x5EED ^ pmask);
+        ox.assign(dim, cplx{});
+        oy.assign(dim, cplx{});
+        const double fa = ref.prep_collapse(x.data(), ox.data(), dim, pmask,
+                                            e0, e1, 0.7071067811865476);
+        const double fb = k.prep_collapse(x.data(), oy.data(), dim, pmask,
+                                          e0, e1, 0.7071067811865476);
+        if (!same(fa, fb) || !same(ox, oy)) return false;
+        for (int q : {0, 2, 4}) {
+          ox.assign(dim, cplx{});
+          oy.assign(dim, cplx{});
+          ref.teleport_collapse(x.data(), ox.data(), dim, q, pmask, e0, e1,
+                                0.7071067811865476);
+          k.teleport_collapse(x.data(), oy.data(), dim, q, pmask, e0, e1,
+                              0.7071067811865476);
+          if (!same(ox, oy)) return false;
+        }
+      }
+    }
+  }
+
+  for (std::uint64_t pmask : {0x0ULL, 0x3ULL, 0x15ULL, 0x81ULL}) {
+    fill(x, 2 * dim, 0xADD ^ pmask);
+    y = x;
+    const double fa = ref.add_plus_cz(x.data(), dim, pmask, 0.5);
+    const double fb = k.add_plus_cz(y.data(), dim, pmask, 0.5);
+    if (!same(fa, fb) || !same(x, y)) return false;
+  }
+
+  for (std::uint64_t eq : {0x0ULL, 0x6ULL, 0x90ULL}) {
+    for (std::uint64_t par : {0x0ULL, 0x5ULL, 0xC3ULL}) {
+      for (bool neg : {false, true}) {
+        fill(x, dim, eq * 131 + par * 7 + (neg ? 1 : 0));
+        y = x;
+        ref.sign_pass(x.data(), dim, eq, par, neg);
+        k.sign_pass(y.data(), dim, eq, par, neg);
+        if (!same(x, y)) return false;
+        for (std::uint64_t xm : {0x1ULL, 0x8ULL, 0x22ULL, 0x88ULL}) {
+          fill(x, dim, eq * 13 + par * 101 + xm);
+          y = x;
+          ref.pauli_swap_pass(x.data(), dim, xm, par, eq, neg);
+          k.pauli_swap_pass(y.data(), dim, xm, par, eq, neg);
+          if (!same(x, y)) return false;
+        }
+      }
+    }
+  }
+
+  const std::uint64_t masks[] = {0x3, 0x18, 0x41, 0x6};
+  for (int count : {1, 2, 4}) {
+    fill(x, dim, 0xC2 ^ static_cast<std::uint64_t>(count));
+    y = x;
+    ref.cz_masks_pass(x.data(), dim, masks, count);
+    k.cz_masks_pass(y.data(), dim, masks, count);
+    if (!same(x, y)) return false;
+  }
+
+  for (int q : {0, 1, 3, 6}) {
+    fill(x, dim, 0x9FA5E ^ static_cast<std::uint64_t>(q));
+    y = x;
+    const cplx e{0.984807753012208, 0.17364817766693033};
+    ref.phase_pass(x.data(), dim, q, e);
+    k.phase_pass(y.data(), dim, q, e);
+    if (!same(x, y)) return false;
+  }
+
+  return true;
+}
+
+// ---- dispatch --------------------------------------------------------
+
+std::atomic<const CollapseKernels*> g_active{nullptr};
+
+/// Strict resolution for a NAMED flavor: must exist here and must pass
+/// the battery, else throw — "rejected at dispatch time".
+const CollapseKernels* resolve_forced(SimdIsa isa) {
+  const CollapseKernels* k = kernels_for_isa(isa);
+  MBQ_REQUIRE(k != nullptr,
+              "SIMD flavor '" << isa_name(isa)
+                              << "' is not available (not compiled into this "
+                                 "build or not supported by this CPU)");
+  MBQ_REQUIRE(isa == SimdIsa::Scalar || verify_kernels(*k),
+              "SIMD flavor '" << isa_name(isa)
+                              << "' failed the bit-identity self-check "
+                                 "against the scalar reference; rejected at "
+                                 "dispatch time");
+  return k;
+}
+
+const CollapseKernels* resolve() {
+  if (const auto forced = simd_env_override()) return resolve_forced(*forced);
+  for (const SimdIsa isa : {SimdIsa::Avx512, SimdIsa::Avx2, SimdIsa::Neon}) {
+    const CollapseKernels* k = kernels_for_isa(isa);
+    if (k != nullptr && verify_kernels(*k)) return k;
+  }
+  return &scalar_kernels();
+}
+
+}  // namespace
+
+bool verify_kernels(const CollapseKernels& k) { return run_battery(k); }
+
+const CollapseKernels* kernels_for_isa(SimdIsa isa) noexcept {
+  if (!host_supports_isa(isa)) return nullptr;
+  switch (isa) {
+    case SimdIsa::Scalar: return &scalar_kernels();
+    case SimdIsa::Avx2: return detail::avx2_kernels_impl();
+    case SimdIsa::Avx512: return detail::avx512_kernels_impl();
+    case SimdIsa::Neon: return detail::neon_kernels_impl();
+  }
+  return nullptr;
+}
+
+std::vector<SimdIsa> supported_simd_isas() {
+  std::vector<SimdIsa> out;
+  for (const SimdIsa isa : {SimdIsa::Scalar, SimdIsa::Avx2, SimdIsa::Avx512,
+                            SimdIsa::Neon})
+    if (kernels_for_isa(isa) != nullptr) out.push_back(isa);
+  return out;
+}
+
+const CollapseKernels& kernels() {
+  const CollapseKernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // A concurrent first call resolves to the same table; the double
+    // store is idempotent.
+    k = resolve();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+SimdIsa active_simd_isa() { return kernels().isa; }
+
+void force_simd_isa(SimdIsa isa) {
+  g_active.store(resolve_forced(isa), std::memory_order_release);
+}
+
+}  // namespace mbq

@@ -1,0 +1,217 @@
+#pragma once
+// Runtime-dispatched SIMD kernels for the DynamicStatevector hot loops.
+//
+// Every amplitude sweep the simulator performs per shot — the
+// measure-collapse projections, the fused prep+CZ(+teleport) gadgets,
+// the Pauli/CZ sign and swap passes, and every norm fold — goes through
+// the function-pointer table below.  The table is resolved ONCE per
+// process (scalar / AVX2 / AVX-512 / NEON, see common/cpu.h and the
+// MBQ_SIMD override) and the choice is invisible in the results:
+//
+//   THE BITWISE CONTRACT.  A norm fold over a stream of doubles
+//   d[0], d[1], ... is defined as eight lane accumulators
+//       A[j] = Σ d[m]·d[m]   over m ≡ j (mod 8), in ascending m,
+//   combined as ((A0+A1) + (A2+A3)) + ((A4+A5) + (A6+A7)).
+//   A complex amplitude contributes its re then im component as two
+//   consecutive stream doubles.  Scalar keeps eight running doubles;
+//   AVX-512 holds all eight lanes in one register, AVX2 in two, NEON in
+//   four — every flavor performs the IDENTICAL additions in the
+//   IDENTICAL order, so the result is bit-for-bit the same on every
+//   ISA.  Elementwise work (complex products, sign flips, scaling) is
+//   trivially exact; no kernel uses FMA (and the build sets
+//   -ffp-contract=off so no compiler re-fuses one in).
+//
+// The fold-reuse machinery (DynamicStatevector::fold_) depends on this
+// contract: a running fold maintained by one kernel must be bitwise
+// equal to a fresh pass by another.  Dispatch therefore runs a
+// self-check battery (verify_kernels) comparing every vector flavor
+// against the scalar reference on deterministic data; a flavor that
+// fails is rejected at dispatch time — auto mode falls back down the
+// ladder, a forced MBQ_SIMD flavor throws.
+//
+// NOTE the canonical fold fixes the reduction ORDER once for all ISAs;
+// it is intentionally not the old strictly-sequential accumulation, so
+// the choice of ISA can never matter.  Heterogeneous fleets (an AVX-512
+// host sharding to NEON workers) stay bit-identical for free.
+
+#include <cstdint>
+#include <vector>
+
+#include "mbq/common/cpu.h"
+#include "mbq/common/types.h"
+
+namespace mbq {
+
+// Measurement-effect coefficients are conjugated basis entries; for the
+// pattern planes they are real (X, XY top row, YZ diagonal) or purely
+// imaginary (YZ off-diagonal).  The reduced products below compute the
+// same VALUES as the full complex multiply whose dropped factor is ±0 —
+// only signs of zeros can differ, which no norm, Born probability or
+// comparison observes — at a third of the arithmetic.
+enum class EffKind : std::uint8_t { Real, Imag, Generic };
+
+inline EffKind eff_kind(const cplx& e) noexcept {
+  if (e.imag() == 0.0) return EffKind::Real;
+  if (e.real() == 0.0) return EffKind::Imag;
+  return EffKind::Generic;
+}
+
+/// The textbook complex product.  operator* on std::complex lowers to
+/// the __muldc3 libcall, whose non-NaN fast path computes exactly this —
+/// amplitudes and effects are finite and bounded, so inlining it is
+/// bit-identical and drops a function call from the innermost loops.
+/// (The vector kernels compute re as e.r·u.r + (−(e.i·u.i)), which IEEE
+/// defines as exactly the subtraction here.)
+inline cplx cmul(const cplx& e, const cplx& u) noexcept {
+  return {e.real() * u.real() - e.imag() * u.imag(),
+          e.real() * u.imag() + e.imag() * u.real()};
+}
+
+inline cplx eff_mul(EffKind k, const cplx& e, const cplx& u) noexcept {
+  switch (k) {
+    case EffKind::Real:
+      return {e.real() * u.real(), e.real() * u.imag()};
+    case EffKind::Imag:
+      return {-(e.imag() * u.imag()), e.imag() * u.real()};
+    default:
+      return cmul(e, u);
+  }
+}
+
+/// One ISA flavor of the hot-loop kernels.  All folds follow the
+/// canonical 8-lane scheme above; all entries are safe for any n ≥ 1
+/// (vector flavors delegate awkward shapes — tiny or non-multiple-of-
+/// block sizes, strides below the vector width — to the scalar
+/// reference, which is bit-identical by the contract).
+struct CollapseKernels {
+  SimdIsa isa;
+
+  /// Canonical fold of Σ|x[i]|² over n amplitudes.
+  double (*fold_norms)(const cplx* x, std::uint64_t n);
+
+  /// Canonical fold of Σ|s·x[i]|² (the values are scaled first; the
+  /// squares are of the scaled values, matching what a sequential prep
+  /// would have stored).
+  double (*fold_norms_scaled)(const cplx* x, std::uint64_t n, double s);
+
+  /// The fused-prep Born denominator: the norm fold of the DOUBLED
+  /// register [s·x | ±s·x], i.e. the scaled stream folded twice with
+  /// ONE carried accumulator set (signs square away bitwise).
+  double (*prep_total_fold)(const cplx* x, std::uint64_t n, double s);
+
+  /// x[i] *= inv for all i, returning the canonical fold of the scaled
+  /// values — the collapse-normalization pass shared by every measure.
+  double (*scale_fold)(cplx* x, std::uint64_t n, double inv);
+
+  /// measure_remove projection: for pair index k in [0, pairs),
+  /// i0 = insert_zero_bit(k, q),
+  ///   out[k] = eff_mul(e0, x[i0]) + eff_mul(e1, x[i0 | 1<<q]);
+  /// returns the canonical fold over out (ascending k).
+  double (*collapse_pairs)(const cplx* x, cplx* out, std::uint64_t pairs,
+                           int q, cplx e0, cplx e1);
+
+  /// Fused-gadget projection (prep_cz_measure): for i in [0, dim),
+  ///   low = s·x[i];  up = parity(i & pmask) ? −low : low;
+  ///   out[i] = eff_mul(e0, low) + eff_mul(e1, up);
+  /// (sign applied BEFORE the effect product, as the sequential chain
+  /// stores ±values then multiplies — keeps zero-signs identical too);
+  /// returns the canonical fold over out.
+  double (*prep_collapse)(const cplx* x, cplx* out, std::uint64_t dim,
+                          std::uint64_t pmask, cplx e0, cplx e1, double s);
+
+  /// Fused-teleport projection (prep_cz_teleport_measure), elementwise
+  /// only — the caller folds `out` separately with fold_norms.  For
+  /// each pair (i0, i0|1<<q) of the measured wire q:
+  ///   a = eff_mul(e0, s·x[i0]);  b = eff_mul(e1, s·x[i0|1<<q]);
+  ///   out[r]           = a + b                      (new wire bit = 0)
+  ///   out[dim/2 + r]   = ±a ± b                     (new wire bit = 1)
+  /// with r the pair's rank and the ± signs from parity(i & pmask)
+  /// applied AFTER the products, exactly as the scalar code always has.
+  void (*teleport_collapse)(const cplx* x, cplx* out, std::uint64_t dim,
+                            int q, std::uint64_t pmask, cplx e0, cplx e1,
+                            double s);
+
+  /// add_wire_plus_cz in place: scale x[0..old_dim) by s, mirror into
+  /// x[old_dim..2·old_dim) with sign (−1)^parity(i & pmask); returns
+  /// the canonical fold over all 2·old_dim amplitudes (one carried
+  /// accumulator set across both halves, ascending).
+  double (*add_plus_cz)(cplx* x, std::uint64_t old_dim, std::uint64_t pmask,
+                        double s);
+
+  /// Generic sign pass: negate x[j] when
+  ///   ((eq_mask != 0) && ((j & eq_mask) == eq_mask))
+  ///     ^ parity(j & par_mask) ^ negate.
+  /// Covers apply_z (eq = wire bit), apply_cz (eq = pair mask), the
+  /// Pauli Z-only correction (par = zmask) and the fused depolarize
+  /// sign branch (eq = cz pair, par = zmask).  Exact: fold unaffected.
+  void (*sign_pass)(cplx* x, std::uint64_t n, std::uint64_t eq_mask,
+                    std::uint64_t par_mask, bool negate);
+
+  /// A run of CZs: negate x[i] when an odd number of pair_masks are
+  /// fully set in i.  One pass instead of `count`.
+  void (*cz_masks_pass)(cplx* x, std::uint64_t n,
+                        const std::uint64_t* pair_masks, int count);
+
+  /// Pauli swap pass (xmask != 0): for each index pair {j, j2 = j^xmask}
+  /// (j with the top xmask bit clear),
+  ///   x[j]  = flip_j  ? −x[j2] : x[j2],
+  ///   x[j2] = flip_j2 ? −t     : t          (t = old x[j]), where
+  ///   flip_j  = eq(j2) ^ parity(j  & zmask) ^ negate,
+  ///   flip_j2 = eq(j)  ^ parity(j2 & zmask) ^ negate,
+  ///   eq(i) = (eq_mask != 0) && ((i & eq_mask) == eq_mask).
+  /// Covers apply_x, the X-bearing Pauli corrections, and the fused
+  /// depolarize swap branch.
+  void (*pauli_swap_pass)(cplx* x, std::uint64_t n, std::uint64_t xmask,
+                          std::uint64_t zmask, std::uint64_t eq_mask,
+                          bool negate);
+
+  /// Diagonal phase on the bit-q=1 half: x[i1] = cmul(e, x[i1]) for
+  /// every i1 with bit q set (n = full register size).  The dedicated
+  /// apply_rz kernel — diagonal and norm-preserving, so the caller may
+  /// keep its fold valid.
+  void (*phase_pass)(cplx* x, std::uint64_t n, int q, cplx e);
+};
+
+/// The always-available scalar reference table (also the bit-exactness
+/// oracle for verify_kernels).
+const CollapseKernels& scalar_kernels() noexcept;
+
+/// The table for one flavor, or nullptr when the flavor is not compiled
+/// into this build or not executable on this host.  Scalar never null.
+const CollapseKernels* kernels_for_isa(SimdIsa isa) noexcept;
+
+/// Every flavor this build+host can actually run (always includes
+/// Scalar).  The differential tests sweep this list.
+std::vector<SimdIsa> supported_simd_isas();
+
+/// Bit-identity self-check battery: runs every kernel entry of `k`
+/// against the scalar reference on deterministic pseudo-random data
+/// across a spread of sizes, strides, masks and effect kinds, comparing
+/// results bit-for-bit.  True iff all match.
+bool verify_kernels(const CollapseKernels& k);
+
+/// The active table.  First call resolves it: MBQ_SIMD override (forced
+/// flavor must exist AND pass verify_kernels, else throws — "rejected at
+/// dispatch time"), otherwise best-first auto with fallback past any
+/// flavor that fails its self-check.  Cheap afterwards (one atomic
+/// acquire load) — call sites fetch it per operation.
+const CollapseKernels& kernels();
+
+/// The flavor kernels() currently resolves to.
+SimdIsa active_simd_isa();
+
+/// Re-dispatch to a specific flavor (testing/bench hook; same
+/// validation as a forced MBQ_SIMD).  Affects the whole process.
+void force_simd_isa(SimdIsa isa);
+
+namespace detail {
+// Per-TU factories: each collapse_kernels_<isa>.cpp returns its table
+// when compiled with the matching ISA flag, nullptr otherwise (the TUs
+// are always in the build; their content is preprocessor-gated so a
+// build without, say, -mavx512f still links).
+const CollapseKernels* avx2_kernels_impl() noexcept;
+const CollapseKernels* avx512_kernels_impl() noexcept;
+const CollapseKernels* neon_kernels_impl() noexcept;
+}  // namespace detail
+
+}  // namespace mbq

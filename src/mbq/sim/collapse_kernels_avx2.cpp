@@ -1,0 +1,60 @@
+// AVX2 flavor of the collapse kernels (4 doubles / register).
+//
+// Compiled with -mavx2 and -DMBQ_TU_AVX2 when the toolchain supports it
+// (see CMakeLists); otherwise this TU degrades to a nullptr factory so
+// the build links unchanged on any platform.  No FMA: the bitwise
+// contract requires the same separate mul+add the scalar path performs.
+
+#include "mbq/sim/collapse_kernels.h"
+
+#if defined(MBQ_TU_AVX2)
+
+#include <immintrin.h>
+
+#include "mbq/sim/collapse_kernels_vec.h"
+
+namespace mbq::detail {
+namespace {
+
+struct Avx2Traits {
+  static constexpr int kW = 4;
+  using V = __m256d;
+
+  static V load(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void store(double* p, V v) noexcept { _mm256_storeu_pd(p, v); }
+  static V set1(double x) noexcept { return _mm256_set1_pd(x); }
+  static V zero() noexcept { return _mm256_setzero_pd(); }
+  static V add(V a, V b) noexcept { return _mm256_add_pd(a, b); }
+  static V mul(V a, V b) noexcept { return _mm256_mul_pd(a, b); }
+  /// [re0,im0,re1,im1] -> [im0,re0,im1,re1] (swap within 128-bit pairs).
+  static V swap_pairs(V v) noexcept { return _mm256_permute_pd(v, 0b0101); }
+  static V xor_signs(V v, V m) noexcept { return _mm256_xor_pd(v, m); }
+  static V neg(V v) noexcept {
+    return _mm256_xor_pd(
+        v, _mm256_castsi256_pd(_mm256_set1_epi64x(
+               static_cast<long long>(kSignBit))));
+  }
+  /// Negate the re lanes (stream-even positions) only.
+  static V neg_even(V v) noexcept {
+    return _mm256_xor_pd(
+        v, _mm256_castsi256_pd(_mm256_set_epi64x(
+               0, static_cast<long long>(kSignBit), 0,
+               static_cast<long long>(kSignBit))));
+  }
+};
+
+}  // namespace
+
+const CollapseKernels* avx2_kernels_impl() noexcept {
+  return make_vec_table<Avx2Traits>(SimdIsa::Avx2);
+}
+
+}  // namespace mbq::detail
+
+#else  // !MBQ_TU_AVX2
+
+namespace mbq::detail {
+const CollapseKernels* avx2_kernels_impl() noexcept { return nullptr; }
+}  // namespace mbq::detail
+
+#endif

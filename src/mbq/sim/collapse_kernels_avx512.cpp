@@ -1,0 +1,62 @@
+// AVX-512 flavor of the collapse kernels (8 doubles / register — the
+// whole canonical fold in ONE accumulator register).
+//
+// Uses AVX512F only: the sign-bit xors route through the 512-bit
+// integer domain (_mm512_xor_si512) instead of requiring DQ's xor_pd,
+// so any F-capable host qualifies.  Compiled with -mavx512f and
+// -DMBQ_TU_AVX512 when available; nullptr factory otherwise.  No FMA.
+
+#include "mbq/sim/collapse_kernels.h"
+
+#if defined(MBQ_TU_AVX512)
+
+#include <immintrin.h>
+
+#include "mbq/sim/collapse_kernels_vec.h"
+
+namespace mbq::detail {
+namespace {
+
+struct Avx512Traits {
+  static constexpr int kW = 8;
+  using V = __m512d;
+
+  static V load(const double* p) noexcept { return _mm512_loadu_pd(p); }
+  static void store(double* p, V v) noexcept { _mm512_storeu_pd(p, v); }
+  static V set1(double x) noexcept { return _mm512_set1_pd(x); }
+  static V zero() noexcept { return _mm512_setzero_pd(); }
+  static V add(V a, V b) noexcept { return _mm512_add_pd(a, b); }
+  static V mul(V a, V b) noexcept { return _mm512_mul_pd(a, b); }
+  /// Swap within each 128-bit (re,im) pair: imm 0x55 = 01 per pair.
+  static V swap_pairs(V v) noexcept { return _mm512_permute_pd(v, 0x55); }
+  static V xor_signs(V v, V m) noexcept {
+    return _mm512_castsi512_pd(_mm512_xor_si512(_mm512_castpd_si512(v),
+                                                _mm512_castpd_si512(m)));
+  }
+  static V neg(V v) noexcept {
+    return xor_signs(v, _mm512_castsi512_pd(_mm512_set1_epi64(
+                            static_cast<long long>(kSignBit))));
+  }
+  /// Negate the re lanes (stream-even positions) only.
+  static V neg_even(V v) noexcept {
+    const long long s = static_cast<long long>(kSignBit);
+    return xor_signs(
+        v, _mm512_castsi512_pd(_mm512_set_epi64(0, s, 0, s, 0, s, 0, s)));
+  }
+};
+
+}  // namespace
+
+const CollapseKernels* avx512_kernels_impl() noexcept {
+  return make_vec_table<Avx512Traits>(SimdIsa::Avx512);
+}
+
+}  // namespace mbq::detail
+
+#else  // !MBQ_TU_AVX512
+
+namespace mbq::detail {
+const CollapseKernels* avx512_kernels_impl() noexcept { return nullptr; }
+}  // namespace mbq::detail
+
+#endif

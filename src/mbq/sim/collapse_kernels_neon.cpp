@@ -1,0 +1,61 @@
+// NEON / AdvSIMD flavor of the collapse kernels (2 doubles / register —
+// one complex amplitude per register, four accumulator registers for
+// the canonical fold).
+//
+// AdvSIMD is baseline on AArch64, so this TU gates on the architecture
+// itself (plus -DMBQ_TU_NEON from the build); x86 builds get the
+// nullptr factory.  vmulq/vaddq are plain (non-fused) IEEE ops, and the
+// global -ffp-contract=off keeps the compiler from re-fusing them.
+
+#include "mbq/sim/collapse_kernels.h"
+
+#if defined(MBQ_TU_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "mbq/sim/collapse_kernels_vec.h"
+
+namespace mbq::detail {
+namespace {
+
+struct NeonTraits {
+  static constexpr int kW = 2;
+  using V = float64x2_t;
+
+  static V load(const double* p) noexcept { return vld1q_f64(p); }
+  static void store(double* p, V v) noexcept { vst1q_f64(p, v); }
+  static V set1(double x) noexcept { return vdupq_n_f64(x); }
+  static V zero() noexcept { return vdupq_n_f64(0.0); }
+  static V add(V a, V b) noexcept { return vaddq_f64(a, b); }
+  static V mul(V a, V b) noexcept { return vmulq_f64(a, b); }
+  /// [re, im] -> [im, re].
+  static V swap_pairs(V v) noexcept { return vextq_f64(v, v, 1); }
+  static V xor_signs(V v, V m) noexcept {
+    return vreinterpretq_f64_u64(
+        veorq_u64(vreinterpretq_u64_f64(v), vreinterpretq_u64_f64(m)));
+  }
+  static V neg(V v) noexcept {
+    return xor_signs(v, vreinterpretq_f64_u64(vdupq_n_u64(kSignBit)));
+  }
+  /// Negate the re lane (stream-even position) only.
+  static V neg_even(V v) noexcept {
+    return xor_signs(v, vreinterpretq_f64_u64(vcombine_u64(
+                            vdup_n_u64(kSignBit), vdup_n_u64(0))));
+  }
+};
+
+}  // namespace
+
+const CollapseKernels* neon_kernels_impl() noexcept {
+  return make_vec_table<NeonTraits>(SimdIsa::Neon);
+}
+
+}  // namespace mbq::detail
+
+#else  // !MBQ_TU_NEON
+
+namespace mbq::detail {
+const CollapseKernels* neon_kernels_impl() noexcept { return nullptr; }
+}  // namespace mbq::detail
+
+#endif

@@ -1,0 +1,203 @@
+// Scalar reference flavor of the collapse kernels.
+//
+// This TU defines the CANONICAL results: every vector flavor must
+// reproduce these bit-for-bit (verify_kernels enforces it at dispatch).
+// The folds keep eight running lane accumulators indexed by the global
+// double-stream position mod 8 and combine them in the fixed tree
+// documented in collapse_kernels.h — which is exactly what one vector
+// register (or two, or four) of lane partials computes, so the scalar
+// path is slower but never different.
+
+#include <cstdint>
+
+#include "mbq/common/bits.h"
+#include "mbq/sim/collapse_kernels.h"
+
+namespace mbq {
+namespace {
+
+/// The canonical 8-lane fold accumulator (see collapse_kernels.h).
+struct FoldAcc8 {
+  double a[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::uint64_t m = 0;  // global double-stream position
+
+  void add(double d) noexcept {
+    a[m & 7] += d * d;
+    ++m;
+  }
+  void add(const cplx& v) noexcept {
+    add(v.real());
+    add(v.imag());
+  }
+  double combine() const noexcept {
+    return ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]));
+  }
+};
+
+double s_fold_norms(const cplx* x, std::uint64_t n) {
+  FoldAcc8 acc;
+  for (std::uint64_t i = 0; i < n; ++i) acc.add(x[i]);
+  return acc.combine();
+}
+
+double s_fold_norms_scaled(const cplx* x, std::uint64_t n, double s) {
+  FoldAcc8 acc;
+  for (std::uint64_t i = 0; i < n; ++i) acc.add(x[i] * s);
+  return acc.combine();
+}
+
+double s_prep_total_fold(const cplx* x, std::uint64_t n, double s) {
+  // Two sweeps, ONE carried accumulator set: the doubled register's
+  // upper half differs only in signs, which square away bitwise.
+  FoldAcc8 acc;
+  for (std::uint64_t i = 0; i < n; ++i) acc.add(x[i] * s);
+  for (std::uint64_t i = 0; i < n; ++i) acc.add(x[i] * s);
+  return acc.combine();
+}
+
+double s_scale_fold(cplx* x, std::uint64_t n, double inv) {
+  FoldAcc8 acc;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    x[i] *= inv;
+    acc.add(x[i]);
+  }
+  return acc.combine();
+}
+
+double s_collapse_pairs(const cplx* x, cplx* out, std::uint64_t pairs, int q,
+                        cplx e0, cplx e1) {
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const EffKind k0 = eff_kind(e0);
+  const EffKind k1 = eff_kind(e1);
+  FoldAcc8 acc;
+  for (std::uint64_t k = 0; k < pairs; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, q);
+    out[k] = eff_mul(k0, e0, x[i0]) + eff_mul(k1, e1, x[i0 | stride]);
+    acc.add(out[k]);
+  }
+  return acc.combine();
+}
+
+double s_prep_collapse(const cplx* x, cplx* out, std::uint64_t dim,
+                       std::uint64_t pmask, cplx e0, cplx e1, double s) {
+  const EffKind k0 = eff_kind(e0);
+  const EffKind k1 = eff_kind(e1);
+  FoldAcc8 acc;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    const cplx low = x[i] * s;
+    const cplx up = parity64(i & pmask) ? -low : low;
+    out[i] = eff_mul(k0, e0, low) + eff_mul(k1, e1, up);
+    acc.add(out[i]);
+  }
+  return acc.combine();
+}
+
+void s_teleport_collapse(const cplx* x, cplx* out, std::uint64_t dim, int q,
+                         std::uint64_t pmask, cplx e0, cplx e1, double s) {
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const std::uint64_t rest_count = dim / 2;
+  const EffKind k0 = eff_kind(e0);
+  const EffKind k1 = eff_kind(e1);
+  const std::uint64_t pm_low = pmask & (stride - 1);
+  const int pm_q = static_cast<int>((pmask >> q) & 1);
+  // Blocked on the measured position so all four streams (two reads,
+  // two writes) advance sequentially; CZ-partner signs are constant per
+  // block whenever no partner sits below the measured wire.
+  for (std::uint64_t hp = 0; hp < rest_count >> q; ++hp) {
+    const std::uint64_t i0b = hp << (q + 1);
+    const std::uint64_t rb = hp << q;
+    const int ph = parity64(i0b & pmask);
+    if (pm_low == 0) {
+      const bool s0 = ph != 0;
+      const bool s1 = (ph ^ pm_q) != 0;
+      for (std::uint64_t lo = 0; lo < stride; ++lo) {
+        const cplx a = eff_mul(k0, e0, x[i0b + lo] * s);
+        const cplx b = eff_mul(k1, e1, x[i0b + stride + lo] * s);
+        out[rb + lo] = a + b;
+        out[rest_count + rb + lo] = (s0 ? -a : a) + (s1 ? -b : b);
+      }
+    } else {
+      for (std::uint64_t lo = 0; lo < stride; ++lo) {
+        const cplx a = eff_mul(k0, e0, x[i0b + lo] * s);
+        const cplx b = eff_mul(k1, e1, x[i0b + stride + lo] * s);
+        out[rb + lo] = a + b;
+        const int s0 = ph ^ parity64(lo & pm_low);
+        out[rest_count + rb + lo] = (s0 ? -a : a) + ((s0 ^ pm_q) ? -b : b);
+      }
+    }
+  }
+}
+
+double s_add_plus_cz(cplx* x, std::uint64_t old_dim, std::uint64_t pmask,
+                     double s) {
+  FoldAcc8 acc;
+  for (std::uint64_t i = 0; i < old_dim; ++i) {
+    x[i] *= s;
+    acc.add(x[i]);
+  }
+  for (std::uint64_t i = 0; i < old_dim; ++i) {
+    cplx v = x[i];
+    if (parity64(i & pmask)) v = -v;
+    x[old_dim + i] = v;
+    acc.add(v);
+  }
+  return acc.combine();
+}
+
+void s_sign_pass(cplx* x, std::uint64_t n, std::uint64_t eq_mask,
+                 std::uint64_t par_mask, bool negate) {
+  for (std::uint64_t j = 0; j < n; ++j) {
+    const bool eq = eq_mask != 0 && (j & eq_mask) == eq_mask;
+    if (eq ^ (parity64(j & par_mask) != 0) ^ negate) x[j] = -x[j];
+  }
+}
+
+void s_cz_masks_pass(cplx* x, std::uint64_t n, const std::uint64_t* pair_masks,
+                     int count) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    int flips = 0;
+    for (int m = 0; m < count; ++m)
+      flips ^= static_cast<int>((i & pair_masks[m]) == pair_masks[m]);
+    if (flips) x[i] = -x[i];
+  }
+}
+
+void s_pauli_swap_pass(cplx* x, std::uint64_t n, std::uint64_t xmask,
+                       std::uint64_t zmask, std::uint64_t eq_mask,
+                       bool negate) {
+  const int hb = 63 - std::countl_zero(xmask);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    if (get_bit(j, hb)) continue;  // each {j, j^xmask} pair handled once
+    const std::uint64_t j2 = j ^ xmask;
+    const bool eq_j2 = eq_mask != 0 && (j2 & eq_mask) == eq_mask;
+    const bool eq_j = eq_mask != 0 && (j & eq_mask) == eq_mask;
+    const bool flip_j = eq_j2 ^ (parity64(j & zmask) != 0) ^ negate;
+    const bool flip_j2 = eq_j ^ (parity64(j2 & zmask) != 0) ^ negate;
+    const cplx t = x[j];
+    x[j] = flip_j ? -x[j2] : x[j2];
+    x[j2] = flip_j2 ? -t : t;
+  }
+}
+
+void s_phase_pass(cplx* x, std::uint64_t n, int q, cplx e) {
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const std::uint64_t pairs = n / 2;
+  for (std::uint64_t k = 0; k < pairs; ++k) {
+    const std::uint64_t i1 = insert_zero_bit(k, q) | stride;
+    x[i1] = cmul(e, x[i1]);
+  }
+}
+
+constexpr CollapseKernels kScalarTable = {
+    SimdIsa::Scalar,    s_fold_norms,     s_fold_norms_scaled,
+    s_prep_total_fold,  s_scale_fold,     s_collapse_pairs,
+    s_prep_collapse,    s_teleport_collapse, s_add_plus_cz,
+    s_sign_pass,        s_cz_masks_pass,  s_pauli_swap_pass,
+    s_phase_pass,
+};
+
+}  // namespace
+
+const CollapseKernels& scalar_kernels() noexcept { return kScalarTable; }
+
+}  // namespace mbq

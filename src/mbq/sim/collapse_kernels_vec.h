@@ -1,0 +1,375 @@
+#pragma once
+// Shared vector implementation of the collapse kernels.
+//
+// Each ISA TU (collapse_kernels_{avx2,avx512,neon}.cpp) supplies a small
+// Traits type — W doubles per register plus load/store/add/mul and three
+// sign-bit xors — and instantiates make_vec_table<Traits>.  Everything
+// else (lane bookkeeping, effect products, delegation rules) lives here
+// ONCE, so the three flavors cannot drift apart.
+//
+// Bitwise identity with the scalar reference comes from two facts:
+//  * elementwise ops (mul/add/xor per lane) are the same IEEE operations
+//    the scalar kernel performs, in the same per-element order — complex
+//    products use explicit mul+add (never FMA), negation is a sign-bit
+//    xor (exact), and a−b is computed as a+(−b) (IEEE-identical);
+//  * folds keep the canonical 8-lane accumulators in vector registers:
+//    a W-wide chunk at stream position m (m ≡ 0 mod W) adds its squares
+//    to lanes m..m+W−1 mod 8, which is exactly what the scalar
+//    reference's eight running doubles receive.
+// Shapes that would break lane alignment (sizes not a multiple of four
+// amplitudes, strides narrower than the register) delegate to the scalar
+// table — same bits, just slower; real registers are powers of two so
+// the delegation never triggers past dim 2.
+
+#include <bit>
+#include <cstdint>
+
+#include "mbq/common/bits.h"
+#include "mbq/sim/collapse_kernels.h"
+
+namespace mbq::detail {
+
+inline constexpr std::uint64_t kSignBit = std::uint64_t{1} << 63;
+
+template <class T>
+struct VecKernels {
+  static constexpr int kW = T::kW;   // doubles per register
+  static constexpr int kWc = kW / 2; // complex amplitudes per register
+  using V = typename T::V;
+
+  // std::complex<double> is array-layout-compatible with double[2].
+  static const double* dp(const cplx* x) noexcept {
+    return reinterpret_cast<const double*>(x);
+  }
+  static double* dp(cplx* x) noexcept { return reinterpret_cast<double*>(x); }
+
+  /// The canonical 8-lane fold held in 8/W vector registers; add()
+  /// consumes one W-wide chunk (stream position multiple of W, fed in
+  /// ascending order from a position ≡ 0 mod 8).
+  struct Acc {
+    static constexpr int kNV = 8 / kW;
+    V v[kNV];
+    int slot = 0;
+    Acc() noexcept {
+      for (int i = 0; i < kNV; ++i) v[i] = T::zero();
+    }
+    void add(V x) noexcept {
+      v[slot] = T::add(v[slot], T::mul(x, x));
+      slot = (slot + 1) & (kNV - 1);
+    }
+    double combine() const noexcept {
+      alignas(64) double a[8];
+      for (int i = 0; i < kNV; ++i) T::store(a + i * kW, v[i]);
+      return ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]));
+    }
+  };
+
+  /// Broadcast measurement effect; apply() performs per complex lane
+  /// exactly the scalar eff_mul (Generic re uses a+(−b), IEEE-identical
+  /// to the scalar a−b).
+  struct Eff {
+    EffKind k;
+    V er, ei;
+    explicit Eff(cplx e) noexcept
+        : k(eff_kind(e)), er(T::set1(e.real())), ei(T::set1(e.imag())) {}
+    V apply(V u) const noexcept {
+      switch (k) {
+        case EffKind::Real:
+          return T::mul(u, er);
+        case EffKind::Imag:
+          return T::neg_even(T::mul(T::swap_pairs(u), ei));
+        default:
+          return T::add(T::mul(u, er),
+                        T::neg_even(T::mul(T::swap_pairs(u), ei)));
+      }
+    }
+  };
+
+  /// Per-chunk sign masks for (−1)^parity(i & pmask) over kWc
+  /// consecutive amplitudes: the low pmask bits fix a pattern within the
+  /// chunk, the high bits a per-chunk base parity selecting m[0] or m[1].
+  struct PairSigns {
+    V m[2];
+    std::uint64_t pm_hi;
+    explicit PairSigns(std::uint64_t pmask) noexcept {
+      const std::uint64_t pm_lo = pmask & (std::uint64_t(kWc) - 1);
+      pm_hi = pmask & ~(std::uint64_t(kWc) - 1);
+      alignas(64) double b0[kW], b1[kW];
+      for (int t = 0; t < kWc; ++t) {
+        const bool bit = parity64(std::uint64_t(t) & pm_lo) != 0;
+        const double sgn = std::bit_cast<double>(kSignBit);
+        const double pos = std::bit_cast<double>(std::uint64_t{0});
+        b0[2 * t] = b0[2 * t + 1] = bit ? sgn : pos;
+        b1[2 * t] = b1[2 * t + 1] = bit ? pos : sgn;
+      }
+      m[0] = T::load(b0);
+      m[1] = T::load(b1);
+    }
+    V at(std::uint64_t base) const noexcept {
+      return m[parity64(base & pm_hi)];
+    }
+  };
+
+  static double fold_norms(const cplx* x, std::uint64_t n) {
+    if (n % 4 != 0) return scalar_kernels().fold_norms(x, n);
+    const double* p = dp(x);
+    Acc acc;
+    for (std::uint64_t m = 0; m < 2 * n; m += kW) acc.add(T::load(p + m));
+    return acc.combine();
+  }
+
+  static double fold_norms_scaled(const cplx* x, std::uint64_t n, double s) {
+    if (n % 4 != 0) return scalar_kernels().fold_norms_scaled(x, n, s);
+    const double* p = dp(x);
+    const V sv = T::set1(s);
+    Acc acc;
+    for (std::uint64_t m = 0; m < 2 * n; m += kW)
+      acc.add(T::mul(T::load(p + m), sv));
+    return acc.combine();
+  }
+
+  static double prep_total_fold(const cplx* x, std::uint64_t n, double s) {
+    if (n % 4 != 0) return scalar_kernels().prep_total_fold(x, n, s);
+    const double* p = dp(x);
+    const V sv = T::set1(s);
+    Acc acc;  // ONE carried accumulator set across both sweeps
+    for (int sweep = 0; sweep < 2; ++sweep)
+      for (std::uint64_t m = 0; m < 2 * n; m += kW)
+        acc.add(T::mul(T::load(p + m), sv));
+    return acc.combine();
+  }
+
+  static double scale_fold(cplx* x, std::uint64_t n, double inv) {
+    if (n % 4 != 0) return scalar_kernels().scale_fold(x, n, inv);
+    double* p = dp(x);
+    const V iv = T::set1(inv);
+    Acc acc;
+    for (std::uint64_t m = 0; m < 2 * n; m += kW) {
+      const V v = T::mul(T::load(p + m), iv);
+      T::store(p + m, v);
+      acc.add(v);
+    }
+    return acc.combine();
+  }
+
+  static double collapse_pairs(const cplx* x, cplx* out, std::uint64_t pairs,
+                               int q, cplx e0, cplx e1) {
+    const std::uint64_t stride = std::uint64_t{1} << q;
+    if (pairs % 4 != 0 || stride < std::uint64_t(kWc))
+      return scalar_kernels().collapse_pairs(x, out, pairs, q, e0, e1);
+    const double* p = dp(x);
+    double* o = dp(out);
+    const Eff f0(e0), f1(e1);
+    Acc acc;
+    for (std::uint64_t k = 0; k < pairs; k += kWc) {
+      const std::uint64_t i0 = insert_zero_bit(k, q);
+      const V a = f0.apply(T::load(p + 2 * i0));
+      const V b = f1.apply(T::load(p + 2 * (i0 | stride)));
+      const V r = T::add(a, b);
+      T::store(o + 2 * k, r);
+      acc.add(r);
+    }
+    return acc.combine();
+  }
+
+  static double prep_collapse(const cplx* x, cplx* out, std::uint64_t dim,
+                              std::uint64_t pmask, cplx e0, cplx e1,
+                              double s) {
+    if (dim % 4 != 0)
+      return scalar_kernels().prep_collapse(x, out, dim, pmask, e0, e1, s);
+    const double* p = dp(x);
+    double* o = dp(out);
+    const V sv = T::set1(s);
+    const Eff f0(e0), f1(e1);
+    const PairSigns signs(pmask);
+    Acc acc;
+    for (std::uint64_t i = 0; i < dim; i += kWc) {
+      const V low = T::mul(T::load(p + 2 * i), sv);
+      const V up = T::xor_signs(low, signs.at(i));  // sign BEFORE effect
+      const V r = T::add(f0.apply(low), f1.apply(up));
+      T::store(o + 2 * i, r);
+      acc.add(r);
+    }
+    return acc.combine();
+  }
+
+  static void teleport_collapse(const cplx* x, cplx* out, std::uint64_t dim,
+                                int q, std::uint64_t pmask, cplx e0, cplx e1,
+                                double s) {
+    const std::uint64_t stride = std::uint64_t{1} << q;
+    // A partner below the measured wire makes the ± signs vary inside a
+    // block — rare (mixer J chains never do it); leave it to scalar.
+    if (dim % 4 != 0 || stride < std::uint64_t(kWc) ||
+        (pmask & (stride - 1)) != 0) {
+      scalar_kernels().teleport_collapse(x, out, dim, q, pmask, e0, e1, s);
+      return;
+    }
+    const std::uint64_t rest_count = dim / 2;
+    const int pm_q = static_cast<int>((pmask >> q) & 1);
+    const double* p = dp(x);
+    double* o = dp(out);
+    const V sv = T::set1(s);
+    const Eff f0(e0), f1(e1);
+    for (std::uint64_t hp = 0; hp < rest_count >> q; ++hp) {
+      const std::uint64_t i0b = hp << (q + 1);
+      const std::uint64_t rb = hp << q;
+      const int ph = parity64(i0b & pmask);
+      const bool s0 = ph != 0;
+      const bool s1 = (ph ^ pm_q) != 0;
+      for (std::uint64_t lo = 0; lo < stride; lo += kWc) {
+        const V a = f0.apply(T::mul(T::load(p + 2 * (i0b + lo)), sv));
+        const V b =
+            f1.apply(T::mul(T::load(p + 2 * (i0b + stride + lo)), sv));
+        T::store(o + 2 * (rb + lo), T::add(a, b));
+        const V an = s0 ? T::neg(a) : a;  // sign AFTER the product,
+        const V bn = s1 ? T::neg(b) : b;  // as the scalar path always has
+        T::store(o + 2 * (rest_count + rb + lo), T::add(an, bn));
+      }
+    }
+  }
+
+  static double add_plus_cz(cplx* x, std::uint64_t old_dim,
+                            std::uint64_t pmask, double s) {
+    if (old_dim % 4 != 0)
+      return scalar_kernels().add_plus_cz(x, old_dim, pmask, s);
+    double* p = dp(x);
+    const V sv = T::set1(s);
+    const PairSigns signs(pmask);
+    Acc acc;  // carried across both halves, ascending
+    for (std::uint64_t i = 0; i < old_dim; i += kWc) {
+      const V v = T::mul(T::load(p + 2 * i), sv);
+      T::store(p + 2 * i, v);
+      acc.add(v);
+    }
+    for (std::uint64_t i = 0; i < old_dim; i += kWc) {
+      const V v = T::xor_signs(T::load(p + 2 * i), signs.at(i));
+      T::store(p + 2 * (old_dim + i), v);
+      acc.add(v);
+    }
+    return acc.combine();
+  }
+
+  static void sign_pass(cplx* x, std::uint64_t n, std::uint64_t eq_mask,
+                        std::uint64_t par_mask, bool negate) {
+    if (n % 4 != 0) {
+      scalar_kernels().sign_pass(x, n, eq_mask, par_mask, negate);
+      return;
+    }
+    double* p = dp(x);
+    alignas(64) double mb[kW];
+    for (std::uint64_t base = 0; base < n; base += kWc) {
+      for (int t = 0; t < kWc; ++t) {
+        const std::uint64_t j = base + std::uint64_t(t);
+        const bool eq = eq_mask != 0 && (j & eq_mask) == eq_mask;
+        const bool flip = eq ^ (parity64(j & par_mask) != 0) ^ negate;
+        const double w =
+            std::bit_cast<double>(flip ? kSignBit : std::uint64_t{0});
+        mb[2 * t] = mb[2 * t + 1] = w;
+      }
+      T::store(p + 2 * base,
+               T::xor_signs(T::load(p + 2 * base), T::load(mb)));
+    }
+  }
+
+  static void cz_masks_pass(cplx* x, std::uint64_t n,
+                            const std::uint64_t* pair_masks, int count) {
+    if (n % 4 != 0) {
+      scalar_kernels().cz_masks_pass(x, n, pair_masks, count);
+      return;
+    }
+    double* p = dp(x);
+    alignas(64) double mb[kW];
+    for (std::uint64_t base = 0; base < n; base += kWc) {
+      for (int t = 0; t < kWc; ++t) {
+        const std::uint64_t i = base + std::uint64_t(t);
+        int flips = 0;
+        for (int m = 0; m < count; ++m)
+          flips ^= static_cast<int>((i & pair_masks[m]) == pair_masks[m]);
+        const double w =
+            std::bit_cast<double>(flips ? kSignBit : std::uint64_t{0});
+        mb[2 * t] = mb[2 * t + 1] = w;
+      }
+      T::store(p + 2 * base,
+               T::xor_signs(T::load(p + 2 * base), T::load(mb)));
+    }
+  }
+
+  static void pauli_swap_pass(cplx* x, std::uint64_t n, std::uint64_t xmask,
+                              std::uint64_t zmask, std::uint64_t eq_mask,
+                              bool negate) {
+    // xmask touching the intra-chunk bits would pair lanes within one
+    // register; scalar handles that shape.
+    if (n % 4 != 0 || (xmask & (std::uint64_t(kWc) - 1)) != 0) {
+      scalar_kernels().pauli_swap_pass(x, n, xmask, zmask, eq_mask, negate);
+      return;
+    }
+    const int hb = 63 - std::countl_zero(xmask);
+    double* p = dp(x);
+    alignas(64) double mj[kW], mj2[kW];
+    for (std::uint64_t base = 0; base < n; base += kWc) {
+      if (get_bit(base, hb)) continue;  // pairs handled once (chunk-uniform)
+      const std::uint64_t base2 = base ^ xmask;
+      for (int t = 0; t < kWc; ++t) {
+        const std::uint64_t j = base + std::uint64_t(t);
+        const std::uint64_t j2 = base2 + std::uint64_t(t);
+        const bool eq_j2 = eq_mask != 0 && (j2 & eq_mask) == eq_mask;
+        const bool eq_j = eq_mask != 0 && (j & eq_mask) == eq_mask;
+        const bool flip_j = eq_j2 ^ (parity64(j & zmask) != 0) ^ negate;
+        const bool flip_j2 = eq_j ^ (parity64(j2 & zmask) != 0) ^ negate;
+        mj[2 * t] = mj[2 * t + 1] =
+            std::bit_cast<double>(flip_j ? kSignBit : std::uint64_t{0});
+        mj2[2 * t] = mj2[2 * t + 1] =
+            std::bit_cast<double>(flip_j2 ? kSignBit : std::uint64_t{0});
+      }
+      const V vj = T::load(p + 2 * base);
+      const V vj2 = T::load(p + 2 * base2);
+      T::store(p + 2 * base, T::xor_signs(vj2, T::load(mj)));
+      T::store(p + 2 * base2, T::xor_signs(vj, T::load(mj2)));
+    }
+  }
+
+  static void phase_pass(cplx* x, std::uint64_t n, int q, cplx e) {
+    const std::uint64_t stride = std::uint64_t{1} << q;
+    if (n % 4 != 0 || stride < std::uint64_t(kWc)) {
+      scalar_kernels().phase_pass(x, n, q, e);
+      return;
+    }
+    double* p = dp(x);
+    // Always the full product: the scalar phase kernel uses cmul
+    // unconditionally, and only the Generic form matches it bitwise
+    // including zero signs.
+    const V er = T::set1(e.real());
+    const V ei = T::set1(e.imag());
+    const std::uint64_t pairs = n / 2;
+    for (std::uint64_t k = 0; k < pairs; k += kWc) {
+      const std::uint64_t i1 = insert_zero_bit(k, q) | stride;
+      const V u = T::load(p + 2 * i1);
+      const V r = T::add(T::mul(u, er),
+                         T::neg_even(T::mul(T::swap_pairs(u), ei)));
+      T::store(p + 2 * i1, r);
+    }
+  }
+};
+
+template <class T>
+const CollapseKernels* make_vec_table(SimdIsa isa) noexcept {
+  using K = VecKernels<T>;
+  static const CollapseKernels table = {
+      isa,
+      K::fold_norms,
+      K::fold_norms_scaled,
+      K::prep_total_fold,
+      K::scale_fold,
+      K::collapse_pairs,
+      K::prep_collapse,
+      K::teleport_collapse,
+      K::add_plus_cz,
+      K::sign_pass,
+      K::cz_masks_pass,
+      K::pauli_swap_pass,
+      K::phase_pass,
+  };
+  return &table;
+}
+
+}  // namespace mbq::detail

@@ -5,46 +5,9 @@
 
 #include "mbq/common/bits.h"
 #include "mbq/common/error.h"
+#include "mbq/sim/collapse_kernels.h"
 
 namespace mbq {
-
-namespace {
-
-// Measurement-effect coefficients are conjugated basis entries; for the
-// pattern planes they are real (X, XY top row, YZ diagonal) or purely
-// imaginary (YZ off-diagonal).  The reduced products below compute the
-// same VALUES as the full complex multiply whose dropped factor is ±0 —
-// only signs of zeros can differ, which no norm, Born probability or
-// comparison observes — at a third of the arithmetic.
-enum class EffKind : std::uint8_t { Real, Imag, Generic };
-
-inline EffKind eff_kind(const cplx& e) noexcept {
-  if (e.imag() == 0.0) return EffKind::Real;
-  if (e.real() == 0.0) return EffKind::Imag;
-  return EffKind::Generic;
-}
-
-/// The textbook complex product.  operator* on std::complex lowers to
-/// the __muldc3 libcall, whose non-NaN fast path computes exactly this —
-/// amplitudes and effects are finite and bounded, so inlining it is
-/// bit-identical and drops a function call from the innermost loops.
-inline cplx cmul(const cplx& e, const cplx& u) noexcept {
-  return {e.real() * u.real() - e.imag() * u.imag(),
-          e.real() * u.imag() + e.imag() * u.real()};
-}
-
-inline cplx eff_mul(EffKind k, const cplx& e, const cplx& u) noexcept {
-  switch (k) {
-    case EffKind::Real:
-      return {e.real() * u.real(), e.real() * u.imag()};
-    case EffKind::Imag:
-      return {-(e.imag() * u.imag()), e.imag() * u.real()};
-    default:
-      return cmul(e, u);
-  }
-}
-
-}  // namespace
 
 Matrix measurement_basis(MeasBasis basis, real angle) {
   switch (basis) {
@@ -71,17 +34,25 @@ Matrix measurement_basis(MeasBasis basis, real angle) {
 void DynamicStatevector::reset() {
   amps_.clear();
   amps_.push_back(cplx{1.0, 0.0});
+  // Clear only the live entries; pos_ keeps its capacity so the next
+  // shot re-registers wires without touching the allocator.
+  for (const int w : order_) pos_[static_cast<std::size_t>(w)] = -1;
   order_.clear();
-  pos_.clear();
   peak_live_ = 0;
   fold_ = 1.0;
   fold_valid_ = true;
 }
 
 int DynamicStatevector::position(int wire) const {
-  auto it = pos_.find(wire);
-  MBQ_REQUIRE(it != pos_.end(), "wire " << wire << " is not live");
-  return it->second;
+  MBQ_REQUIRE(has_wire(wire), "wire " << wire << " is not live");
+  return pos_[static_cast<std::size_t>(wire)];
+}
+
+void DynamicStatevector::set_position(int wire, int p) {
+  MBQ_REQUIRE(wire >= 0, "wire ids must be non-negative, got " << wire);
+  if (static_cast<std::size_t>(wire) >= pos_.size())
+    pos_.resize(static_cast<std::size_t>(wire) + 1, -1);
+  pos_[static_cast<std::size_t>(wire)] = p;
 }
 
 void DynamicStatevector::add_wire(int wire, bool plus) {
@@ -100,14 +71,14 @@ void DynamicStatevector::add_wire(int wire, bool plus) {
     std::fill(amps_.begin() + static_cast<std::ptrdiff_t>(old_dim),
               amps_.end(), cplx{0.0, 0.0});
   }
-  pos_[wire] = static_cast<int>(order_.size());
+  set_position(wire, static_cast<int>(order_.size()));
   order_.push_back(wire);
   peak_live_ = std::max(peak_live_, num_live());
 }
 
 void DynamicStatevector::add_wire_state(int wire, cplx a0, cplx a1) {
   const real nrm = std::sqrt(std::norm(a0) + std::norm(a1));
-  MBQ_REQUIRE(nrm > 1e-12, "cannot add a wire in the zero state");
+  MBQ_REQUIRE(nrm > kMinAddWireNorm, "cannot add a wire in the zero state");
   add_wire(wire, false);  // |0>
   // Rotate |0> to the target state with a unitary whose first column is
   // the (normalized) state.
@@ -139,33 +110,27 @@ void DynamicStatevector::apply_h(int wire) {
 }
 
 void DynamicStatevector::apply_x(int wire) {
-  // Dedicated kernel: X is a pure amplitude swap, no complex arithmetic.
-  // The swap reorders elements, so the linear norm fold is invalidated
+  // X is a pure amplitude swap: the swap-pass kernel with no phase
+  // masks.  The swap reorders elements, so the norm fold is invalidated
   // (per-element norms survive, their fold order does not).
   fold_valid_ = false;
-  const int q = position(wire);
-  const std::uint64_t stride = std::uint64_t{1} << q;
-  const std::uint64_t pairs = amps_.size() / 2;
-  for (std::uint64_t k = 0; k < pairs; ++k) {
-    const std::uint64_t i0 = insert_zero_bit(k, q);
-    std::swap(amps_[i0], amps_[i0 | stride]);
-  }
+  const std::uint64_t xmask = std::uint64_t{1} << position(wire);
+  kernels().pauli_swap_pass(amps_.data(), amps_.size(), xmask, 0, 0, false);
 }
 
 void DynamicStatevector::apply_z(int wire) {
-  // Dedicated kernel: Z only negates the bit-set half.  Per-element
-  // norms and their order are untouched, so the fold stays valid.
-  const int q = position(wire);
-  const std::uint64_t stride = std::uint64_t{1} << q;
-  const std::uint64_t pairs = amps_.size() / 2;
-  for (std::uint64_t k = 0; k < pairs; ++k) {
-    const std::uint64_t i1 = insert_zero_bit(k, q) | stride;
-    amps_[i1] = -amps_[i1];
-  }
+  // Z only negates the bit-set half.  Per-element norms and their order
+  // are untouched, so the fold stays valid.
+  const std::uint64_t stride = std::uint64_t{1} << position(wire);
+  kernels().sign_pass(amps_.data(), amps_.size(), stride, 0, false);
 }
 
 void DynamicStatevector::apply_rz(int wire, real theta) {
-  apply_1q(wire, Matrix(2, 2, {1, 0, 0, std::exp(kI * theta)}));
+  // Dedicated diagonal-phase kernel: bit-identical amplitudes to
+  // apply_1q(diag(1, e^{iθ})) on the touched half at a third of the
+  // work, and the fold stays usable (see the fold_ contract note).
+  const int q = position(wire);
+  kernels().phase_pass(amps_.data(), amps_.size(), q, std::exp(kI * theta));
 }
 
 void DynamicStatevector::apply_cz(int wire_a, int wire_b) {
@@ -173,8 +138,7 @@ void DynamicStatevector::apply_cz(int wire_a, int wire_b) {
   const std::uint64_t mask = (std::uint64_t{1} << position(wire_a)) |
                              (std::uint64_t{1} << position(wire_b));
   // Sign flips preserve per-element norms in place: fold stays valid.
-  for (std::uint64_t i = 0; i < amps_.size(); ++i)
-    if ((i & mask) == mask) amps_[i] = -amps_[i];
+  kernels().sign_pass(amps_.data(), amps_.size(), mask, 0, false);
 }
 
 void DynamicStatevector::apply_cz_depolarize(int wire_a, int wire_b, real p,
@@ -203,26 +167,15 @@ void DynamicStatevector::apply_cz_depolarize(int wire_a, int wire_b, real p,
   }
   const std::uint64_t cz = (std::uint64_t{1} << position(wire_a)) |
                            (std::uint64_t{1} << position(wire_b));
-  if (xmask != 0) fold_valid_ = false;  // swaps reorder the fold
   // Net operator Zmask · Xmask · CZ: new[j] = zs(j) · czs(j^xmask) ·
   // amps[j ^ xmask], where zs/czs are ±1 phases.
   if (xmask == 0) {
-    for (std::uint64_t j = 0; j < amps_.size(); ++j) {
-      const bool flip = ((j & cz) == cz) ^ (parity64(j & zmask) != 0);
-      if (flip) amps_[j] = -amps_[j];
-    }
-    return;
+    kernels().sign_pass(amps_.data(), amps_.size(), cz, zmask, false);
+    return;  // in-place sign pass: fold stays valid
   }
-  const int hb = 63 - std::countl_zero(xmask);
-  for (std::uint64_t j = 0; j < amps_.size(); ++j) {
-    if (get_bit(j, hb)) continue;  // each {j, j^xmask} pair handled once
-    const std::uint64_t j2 = j ^ xmask;
-    const bool flip_j = ((j2 & cz) == cz) ^ (parity64(j & zmask) != 0);
-    const bool flip_j2 = ((j & cz) == cz) ^ (parity64(j2 & zmask) != 0);
-    const cplx t = amps_[j];
-    amps_[j] = flip_j ? -amps_[j2] : amps_[j2];
-    amps_[j2] = flip_j2 ? -t : t;
-  }
+  fold_valid_ = false;  // swaps reorder the fold
+  kernels().pauli_swap_pass(amps_.data(), amps_.size(), xmask, zmask, cz,
+                            false);
 }
 
 void DynamicStatevector::add_wire_plus_cz(int wire,
@@ -231,36 +184,20 @@ void DynamicStatevector::add_wire_plus_cz(int wire,
   MBQ_REQUIRE(order_.size() < 28, "too many live wires");
   const std::size_t old_dim = amps_.size();
   amps_.resize(old_dim * 2);
-  const real s = 1.0 / std::sqrt(2.0);
   // The fresh wire takes the TOP bit, so every fused CZ signs only the
   // upper half being written: sign(i) = parity of partner bits in i.
-  // Two linear sub-loops keep the norm fold in ascending index order.
-  real fold = 0.0;
-  for (std::size_t i = 0; i < old_dim; ++i) {
-    amps_[i] *= s;
-    fold += std::norm(amps_[i]);
-  }
-  for (std::size_t i = 0; i < old_dim; ++i) {
-    cplx v = amps_[i];
-    if (parity64(i & partner_pos_mask)) v = -v;
-    amps_[old_dim + i] = v;
-    fold += std::norm(v);
-  }
-  fold_ = fold;
+  // The kernel folds both halves with one carried accumulator set.
+  fold_ = kernels().add_plus_cz(amps_.data(), old_dim, partner_pos_mask,
+                                1.0 / std::sqrt(2.0));
   fold_valid_ = true;
-  pos_[wire] = static_cast<int>(order_.size());
+  set_position(wire, static_cast<int>(order_.size()));
   order_.push_back(wire);
   peak_live_ = std::max(peak_live_, num_live());
 }
 
 void DynamicStatevector::apply_cz_masks(const std::uint64_t* pair_masks,
                                         int count) {
-  for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-    int flips = 0;
-    for (int m = 0; m < count; ++m)
-      flips ^= static_cast<int>((i & pair_masks[m]) == pair_masks[m]);
-    if (flips) amps_[i] = -amps_[i];
-  }
+  kernels().cz_masks_pass(amps_.data(), amps_.size(), pair_masks, count);
   // Pure sign pass: fold validity carries through untouched.
 }
 
@@ -268,21 +205,12 @@ void DynamicStatevector::apply_pauli_masks(std::uint64_t xmask,
                                            std::uint64_t zmask, bool negate) {
   if (xmask == 0) {
     if (zmask == 0 && !negate) return;
-    for (std::uint64_t j = 0; j < amps_.size(); ++j)
-      if ((parity64(j & zmask) != 0) ^ negate) amps_[j] = -amps_[j];
+    kernels().sign_pass(amps_.data(), amps_.size(), 0, zmask, negate);
     return;  // in-place sign pass: fold stays valid
   }
   fold_valid_ = false;
-  const int hb = 63 - std::countl_zero(xmask);
-  for (std::uint64_t j = 0; j < amps_.size(); ++j) {
-    if (get_bit(j, hb)) continue;  // each {j, j^xmask} pair handled once
-    const std::uint64_t j2 = j ^ xmask;
-    const bool flip_j = (parity64(j & zmask) != 0) ^ negate;
-    const bool flip_j2 = (parity64(j2 & zmask) != 0) ^ negate;
-    const cplx t = amps_[j];
-    amps_[j] = flip_j ? -amps_[j2] : amps_[j2];
-    amps_[j2] = flip_j2 ? -t : t;
-  }
+  kernels().pauli_swap_pass(amps_.data(), amps_.size(), xmask, zmask, 0,
+                            negate);
 }
 
 int DynamicStatevector::prep_cz_measure(int wire,
@@ -298,66 +226,39 @@ int DynamicStatevector::prep_cz_measure(int wire,
   // with upper amplitude half up[i] = ±(amps[i] * s), the sign from the
   // fused CZ partners.  Probabilities, projections and the collapsed
   // state all derive from that relation, so the register never doubles
-  // — the whole N;E...;M gadget block runs at the SMALL dimension.  All
-  // sums run in the reference order over the values the sequential
-  // kernels would have stored, keeping outcomes bit-identical.
+  // — the whole N;E...;M gadget block runs at the SMALL dimension.  The
+  // Born denominator is the doubled register's canonical fold
+  // (prep_total_fold: the scaled lower half folded twice, signs square
+  // away), and the projection folds ride inside the collapse kernels.
   peak_live_ = std::max(peak_live_, num_live() + 1);
   scratch_.resize(dim);
   const real s = 1.0 / std::sqrt(2.0);
-  // The scaled lower half s·amps[i] and its signed upper mirror are
-  // computed on the fly (same products the sequential prep would have
-  // stored), so the register is never even scaled in place.  The Born
-  // denominator folds the lower-half norms inline (ascending) and the
-  // upper-half norms in a second sweep — bitwise the sequential order,
-  // since norm(±v) is the same product either way.
+  const CollapseKernels& kn = kernels();
 
   int outcome;
   real nrm2 = 0.0;
   if (forced == -1) {
-    const cplx e10 = std::conj(basis(0, 1));
-    const cplx e11 = std::conj(basis(1, 1));
-    const EffKind k0 = eff_kind(e10);
-    const EffKind k1 = eff_kind(e11);
-    real fold = 0.0;
-    real p1 = 0.0;
-    for (std::size_t i = 0; i < dim; ++i) {
-      const cplx low = amps_[i] * s;
-      fold += std::norm(low);
-      const cplx up = parity64(i & partner_pos_mask) ? -low : low;
-      scratch_[i] = eff_mul(k0, e10, low) + eff_mul(k1, e11, up);
-      p1 += std::norm(scratch_[i]);
-    }
-    for (std::size_t i = 0; i < dim; ++i) fold += std::norm(amps_[i] * s);
-    const real total = std::norm(std::sqrt(fold));
-    MBQ_REQUIRE(total > 1e-14, "zero state");
+    const real total = std::norm(std::sqrt(kn.prep_total_fold(
+        amps_.data(), dim, s)));
+    MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
+    const real p1 =
+        kn.prep_collapse(amps_.data(), scratch_.data(), dim, partner_pos_mask,
+                         std::conj(basis(0, 1)), std::conj(basis(1, 1)), s);
     outcome = rng.bernoulli(p1 / total) ? 1 : 0;
-    nrm2 = p1;
+    nrm2 = p1;  // outcome 1: the projections are already in scratch_
   } else {
     outcome = forced;
   }
   if (outcome != 1 || forced != -1) {
-    const cplx em0 = std::conj(basis(0, outcome));
-    const cplx em1 = std::conj(basis(1, outcome));
-    const EffKind k0 = eff_kind(em0);
-    const EffKind k1 = eff_kind(em1);
-    nrm2 = 0.0;
-    for (std::size_t i = 0; i < dim; ++i) {
-      const cplx low = amps_[i] * s;
-      const cplx up = parity64(i & partner_pos_mask) ? -low : low;
-      scratch_[i] = eff_mul(k0, em0, low) + eff_mul(k1, em1, up);
-      nrm2 += std::norm(scratch_[i]);
-    }
+    nrm2 = kn.prep_collapse(amps_.data(), scratch_.data(), dim,
+                            partner_pos_mask, std::conj(basis(0, outcome)),
+                            std::conj(basis(1, outcome)), s);
   }
-  MBQ_REQUIRE(nrm2 > 1e-18, "forced outcome " << outcome << " on wire " << wire
-                                              << " has zero probability");
-  const real inv = 1.0 / std::sqrt(nrm2);
-  real post = 0.0;
-  for (auto& x : scratch_) {
-    x *= inv;
-    post += std::norm(x);
-  }
+  MBQ_REQUIRE(nrm2 > kMinProjectionNorm2,
+              "forced outcome " << outcome << " on wire " << wire
+                                << " has zero probability");
+  fold_ = kn.scale_fold(scratch_.data(), dim, 1.0 / std::sqrt(nrm2));
   std::swap(amps_, scratch_);
-  fold_ = post;
   fold_valid_ = true;
   return outcome;
 }
@@ -372,119 +273,54 @@ int DynamicStatevector::prep_cz_teleport_measure(int new_wire,
   MBQ_REQUIRE(!has_wire(new_wire), "wire " << new_wire << " already live");
   MBQ_REQUIRE(order_.size() < 28, "too many live wires");
   const int q = position(meas_wire);
-  const int live = num_live();
   const std::size_t dim = amps_.size();
-  const std::uint64_t stride = std::uint64_t{1} << q;
-  const std::uint64_t rest_count = dim / 2;
   // new_wire sits only VIRTUALLY at the top position: in the doubled
   // register its half-bit b selects between +s·amps[i] (b = 0) and
-  // (-1)^{parity(i & partners)}·s·amps[i] (b = 1).  The sequential
-  // chain's measurement pair index k over that register decomposes as
-  // k = (b << (live-1)) | rest with i0 = insert_zero_bit(rest, q), and
-  // the collapsed state indexed by k IS the final wire layout (meas
-  // gone, new_wire on top), so one pass writes the result in place of
-  // three passes over a doubled arena.  Loops split by b to keep every
-  // fold in the sequential ascending-k order.
-  peak_live_ = std::max(peak_live_, live + 1);
+  // (-1)^{parity(i & partners)}·s·amps[i] (b = 1).  The collapsed state
+  // indexed by the measurement pair rank IS the final wire layout (meas
+  // gone, new_wire on top), so one kernel pass writes the result in
+  // place of three passes over a doubled arena.  The Born denominator is
+  // again prep_total_fold; the projection fold is a fresh canonical pass
+  // over the collapsed scratch.
+  peak_live_ = std::max(peak_live_, num_live() + 1);
   scratch_.resize(dim);
   const real s = 1.0 / std::sqrt(2.0);
+  const CollapseKernels& kn = kernels();
 
-  // One pass computes the b = 0 projection A + B and reuses ±A ± B for
-  // the b = 1 half (the sequential chain multiplies the effects into the
-  // ±-signed stored values, and e·(−u) ≡ −(e·u) holds bitwise in IEEE).
-  // Iteration is blocked on the measured position so all four streams
-  // (two reads, two writes) advance sequentially; CZ-partner signs are
-  // constant per block whenever no partner sits below the measured wire
-  // (always true for the mixer J chains, whose only partner IS the
-  // measured wire).  Every fold below accumulates in the reference
-  // ascending order: the pre-measure norm fold walks each block's two
-  // contiguous read streams back to back (globally ascending), and the
-  // projection fold is DEFERRED to sequential sweeps over scratch.
-  auto collapse = [&](const cplx em0, const cplx em1, real* pre_fold) {
-    const EffKind k0 = eff_kind(em0);
-    const EffKind k1 = eff_kind(em1);
-    const std::uint64_t pm_low = partner_pos_mask & (stride - 1);
-    const int pm_q = static_cast<int>((partner_pos_mask >> q) & 1);
-    real pre = 0.0;
-    for (std::uint64_t hp = 0; hp < rest_count >> q; ++hp) {
-      const std::uint64_t i0b = hp << (q + 1);
-      const std::uint64_t rb = hp << q;
-      const int ph = parity64(i0b & partner_pos_mask);
-      if (pm_low == 0) {
-        const bool s0 = ph != 0;
-        const bool s1 = (ph ^ pm_q) != 0;
-        for (std::uint64_t lo = 0; lo < stride; ++lo) {
-          const cplx u0 = amps_[i0b + lo] * s;
-          if (pre_fold != nullptr) pre += std::norm(u0);
-          const cplx a = eff_mul(k0, em0, u0);
-          const cplx b = eff_mul(k1, em1, amps_[i0b + stride + lo] * s);
-          scratch_[rb + lo] = a + b;
-          scratch_[rest_count + rb + lo] = (s0 ? -a : a) + (s1 ? -b : b);
-        }
-      } else {
-        for (std::uint64_t lo = 0; lo < stride; ++lo) {
-          const cplx u0 = amps_[i0b + lo] * s;
-          if (pre_fold != nullptr) pre += std::norm(u0);
-          const cplx a = eff_mul(k0, em0, u0);
-          const cplx b = eff_mul(k1, em1, amps_[i0b + stride + lo] * s);
-          scratch_[rb + lo] = a + b;
-          const int s0 = ph ^ parity64(lo & pm_low);
-          scratch_[rest_count + rb + lo] =
-              (s0 ? -a : a) + ((s0 ^ pm_q) ? -b : b);
-        }
-      }
-      if (pre_fold != nullptr) {
-        // Continue the block's ascending norm fold over its i1 stream.
-        for (std::uint64_t lo = 0; lo < stride; ++lo)
-          pre += std::norm(amps_[i0b + stride + lo] * s);
-      }
-    }
-    if (pre_fold != nullptr) *pre_fold = pre;
-    real fold = 0.0;
-    for (const cplx& x : scratch_) fold += std::norm(x);
-    return fold;
+  const auto project = [&](int m) {
+    kn.teleport_collapse(amps_.data(), scratch_.data(), dim, q,
+                         partner_pos_mask, std::conj(basis(0, m)),
+                         std::conj(basis(1, m)), s);
+    return kn.fold_norms(scratch_.data(), dim);
   };
 
   int outcome;
   real nrm2 = 0.0;
   if (forced == -1) {
-    // The sequential total folds norm(s·amps[i]) over the lower half
-    // then the (sign-flipped) upper half; negation leaves the squares
-    // bit-identical, so the second half re-folds the same products.
-    real total = 0.0;
-    const real p1 =
-        collapse(std::conj(basis(0, 1)), std::conj(basis(1, 1)), &total);
-    for (std::size_t i = 0; i < dim; ++i) total += std::norm(amps_[i] * s);
-    total = std::norm(std::sqrt(total));
-    MBQ_REQUIRE(total > 1e-14, "zero state");
+    const real total = std::norm(std::sqrt(kn.prep_total_fold(
+        amps_.data(), dim, s)));
+    MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
+    const real p1 = project(1);
     outcome = rng.bernoulli(p1 / total) ? 1 : 0;
     nrm2 = p1;
   } else {
     outcome = forced;
   }
-  if (outcome != 1 || forced != -1)
-    nrm2 = collapse(std::conj(basis(0, outcome)), std::conj(basis(1, outcome)),
-                    nullptr);
-  MBQ_REQUIRE(nrm2 > 1e-18, "forced outcome " << outcome << " on wire "
-                                              << meas_wire
-                                              << " has zero probability");
-  const real inv = 1.0 / std::sqrt(nrm2);
-  real post = 0.0;
-  for (auto& x : scratch_) {
-    x *= inv;
-    post += std::norm(x);
-  }
+  if (outcome != 1 || forced != -1) nrm2 = project(outcome);
+  MBQ_REQUIRE(nrm2 > kMinProjectionNorm2,
+              "forced outcome " << outcome << " on wire " << meas_wire
+                                << " has zero probability");
+  fold_ = kn.scale_fold(scratch_.data(), dim, 1.0 / std::sqrt(nrm2));
   std::swap(amps_, scratch_);
-  fold_ = post;
   fold_valid_ = true;
 
   // Bookkeeping exactly as add-then-measure would leave it: meas_wire's
   // position vanishes, higher wires shift down, new_wire lands on top.
   order_.erase(order_.begin() + q);
-  pos_.erase(meas_wire);
+  pos_[static_cast<std::size_t>(meas_wire)] = -1;
   for (std::size_t i = static_cast<std::size_t>(q); i < order_.size(); ++i)
-    pos_[order_[i]] = static_cast<int>(i);
-  pos_[new_wire] = static_cast<int>(order_.size());
+    pos_[static_cast<std::size_t>(order_[i])] = static_cast<int>(i);
+  set_position(new_wire, static_cast<int>(order_.size()));
   order_.push_back(new_wire);
   return outcome;
 }
@@ -493,7 +329,9 @@ real DynamicStatevector::prob_one(int wire, const Matrix& basis) const {
   MBQ_REQUIRE(basis.rows() == 2 && basis.cols() == 2, "basis must be 2x2");
   const int q = position(wire);
   const std::uint64_t stride = std::uint64_t{1} << q;
-  // Effect for outcome m is <b_m| = conj(column m)^T.
+  // Effect for outcome m is <b_m| = conj(column m)^T.  Diagnostic path:
+  // a plain sequential sweep is fine here, but the denominator must use
+  // the canonical fold so it agrees bitwise with the sampling paths.
   const cplx e10 = std::conj(basis(0, 1));
   const cplx e11 = std::conj(basis(1, 1));
   real p1 = 0.0;
@@ -503,7 +341,7 @@ real DynamicStatevector::prob_one(int wire, const Matrix& basis) const {
     p1 += std::norm(e10 * amps_[i0] + e11 * amps_[i0 | stride]);
   }
   const real total = std::norm(norm());
-  MBQ_REQUIRE(total > 1e-14, "zero state");
+  MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
   return p1 / total;
 }
 
@@ -512,133 +350,127 @@ int DynamicStatevector::measure_remove(int wire, const Matrix& basis, Rng& rng,
   MBQ_REQUIRE(basis.rows() == 2 && basis.cols() == 2, "basis must be 2x2");
   MBQ_REQUIRE(forced >= -1 && forced <= 1, "forced outcome must be -1/0/1");
   const int q = position(wire);
-  const std::uint64_t stride = std::uint64_t{1} << q;
   const std::uint64_t pairs = amps_.size() / 2;
   scratch_.resize(pairs);
+  const CollapseKernels& kn = kernels();
 
   // Collapsed projections land in scratch_, which then SWAPS with amps_:
   // the two buffers ping-pong across calls, so a reused simulator never
-  // reallocates.  The sampled path fuses the outcome-1 probability sweep
-  // with its collapse (the projections are the same expressions), saving
-  // a full pass whenever outcome 1 is drawn; every sum below runs in the
-  // same order as the reference two-pass formulation, keeping outcomes
-  // and amplitudes bit-identical.
+  // reallocates.  The sampled path fuses the outcome-1 probability fold
+  // into its collapse kernel, saving a full pass whenever outcome 1 is
+  // drawn; every fold is canonical, keeping outcomes and amplitudes
+  // bit-identical across ISAs and across the fold-reuse fast path.
   int outcome;
   real nrm2 = 0.0;
   if (forced == -1) {
-    // Denominator, as prob_one computes it.  A valid fold (maintained in
-    // the same ascending order by the fused kernels and the collapse
-    // below) is bitwise the same sum, so the full pass is skipped.
+    // Denominator: a valid fold (maintained in canonical order by the
+    // fused kernels and the collapse below) is bitwise the same sum a
+    // fresh kernel pass computes, so the full pass is skipped.
     real total = fold_;
-    if (!fold_valid_) {
-      total = 0.0;
-      for (const cplx& x : amps_) total += std::norm(x);
-    }
+    if (!fold_valid_) total = kn.fold_norms(amps_.data(), amps_.size());
     total = std::norm(std::sqrt(total));
-    MBQ_REQUIRE(total > 1e-14, "zero state");
-    const cplx e10 = std::conj(basis(0, 1));
-    const cplx e11 = std::conj(basis(1, 1));
-    const EffKind k0 = eff_kind(e10);
-    const EffKind k1 = eff_kind(e11);
-    real p1 = 0.0;
-    for (std::uint64_t k = 0; k < pairs; ++k) {
-      const std::uint64_t i0 = insert_zero_bit(k, q);
-      scratch_[k] =
-          eff_mul(k0, e10, amps_[i0]) + eff_mul(k1, e11, amps_[i0 | stride]);
-      p1 += std::norm(scratch_[k]);
-    }
+    MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
+    const real p1 =
+        kn.collapse_pairs(amps_.data(), scratch_.data(), pairs, q,
+                          std::conj(basis(0, 1)), std::conj(basis(1, 1)));
     outcome = rng.bernoulli(p1 / total) ? 1 : 0;
     nrm2 = p1;  // outcome 1: the projections are already in scratch_
   } else {
     outcome = forced;
   }
   if (outcome != 1 || forced != -1) {
-    const cplx em0 = std::conj(basis(0, outcome));
-    const cplx em1 = std::conj(basis(1, outcome));
-    const EffKind k0 = eff_kind(em0);
-    const EffKind k1 = eff_kind(em1);
-    nrm2 = 0.0;
-    for (std::uint64_t k = 0; k < pairs; ++k) {
-      const std::uint64_t i0 = insert_zero_bit(k, q);
-      scratch_[k] =
-          eff_mul(k0, em0, amps_[i0]) + eff_mul(k1, em1, amps_[i0 | stride]);
-      nrm2 += std::norm(scratch_[k]);
-    }
+    nrm2 = kn.collapse_pairs(amps_.data(), scratch_.data(), pairs, q,
+                             std::conj(basis(0, outcome)),
+                             std::conj(basis(1, outcome)));
   }
-  MBQ_REQUIRE(nrm2 > 1e-18, "forced outcome " << outcome << " on wire " << wire
-                                              << " has zero probability");
-  const real inv = 1.0 / std::sqrt(nrm2);
-  real post = 0.0;
-  for (auto& x : scratch_) {
-    x *= inv;
-    post += std::norm(x);
-  }
+  MBQ_REQUIRE(nrm2 > kMinProjectionNorm2,
+              "forced outcome " << outcome << " on wire " << wire
+                                << " has zero probability");
+  fold_ = kn.scale_fold(scratch_.data(), pairs, 1.0 / std::sqrt(nrm2));
   std::swap(amps_, scratch_);
-  fold_ = post;
   fold_valid_ = true;
 
   // Drop the wire and shift higher positions down.
   order_.erase(order_.begin() + q);
-  pos_.erase(wire);
+  pos_[static_cast<std::size_t>(wire)] = -1;
   for (std::size_t i = static_cast<std::size_t>(q); i < order_.size(); ++i)
-    pos_[order_[i]] = static_cast<int>(i);
+    pos_[static_cast<std::size_t>(order_[i])] = static_cast<int>(i);
   return outcome;
 }
 
-std::vector<cplx> DynamicStatevector::state_in_order(
-    const std::vector<int>& wires) const {
+void DynamicStatevector::fill_gather_table(const std::vector<int>& wires,
+                                           GatherTable& table) const {
   MBQ_REQUIRE(wires.size() == order_.size(),
               "expected all " << order_.size() << " live wires, got "
                               << wires.size());
-  std::vector<int> src(wires.size());
-  for (std::size_t i = 0; i < wires.size(); ++i) src[i] = position(wires[i]);
-  std::vector<cplx> out(amps_.size());
+  table.src.resize(wires.size());
+  for (std::size_t i = 0; i < wires.size(); ++i)
+    table.src[i] = position(wires[i]);
   // Incrementing j flips its trailing bits 0..t; the source index flips
   // the corresponding source-position bits, so the gather advances with
   // one table lookup per element instead of re-composing every bit.
-  std::vector<std::uint64_t> flip(src.size() + 1, 0);
-  for (std::size_t t = 0; t < src.size(); ++t)
-    flip[t + 1] = flip[t] ^ (std::uint64_t{1} << src[t]);
+  table.flip.assign(wires.size() + 1, 0);
+  for (std::size_t t = 0; t < table.src.size(); ++t)
+    table.flip[t + 1] =
+        table.flip[t] ^ (std::uint64_t{1} << table.src[t]);
+}
+
+std::vector<cplx> DynamicStatevector::state_in_order(
+    const GatherTable& table) const {
+  MBQ_REQUIRE(table.src.size() == order_.size(),
+              "gather table covers " << table.src.size() << " wires, "
+                                     << order_.size() << " live");
+  std::vector<cplx> out(amps_.size());
   std::uint64_t from = 0;
   for (std::uint64_t j = 0;;) {
     out[j] = amps_[from];
     if (++j >= out.size()) break;
-    from ^= flip[std::countr_zero(j) + 1];
+    from ^= table.flip[std::countr_zero(j) + 1];
   }
   return out;
 }
 
-std::uint64_t DynamicStatevector::sample_in_order(const std::vector<int>& wires,
+std::vector<cplx> DynamicStatevector::state_in_order(
+    const std::vector<int>& wires) const {
+  GatherTable table;
+  fill_gather_table(wires, table);
+  return state_in_order(table);
+}
+
+std::uint64_t DynamicStatevector::sample_in_order(const GatherTable& table,
                                                   real u) const {
-  MBQ_REQUIRE(wires.size() == order_.size(),
-              "expected all " << order_.size() << " live wires, got "
-                              << wires.size());
-  std::vector<int> src(wires.size());
-  for (std::size_t i = 0; i < wires.size(); ++i) src[i] = position(wires[i]);
-  std::vector<std::uint64_t> flip(src.size() + 1, 0);
-  for (std::size_t t = 0; t < src.size(); ++t)
-    flip[t + 1] = flip[t] ^ (std::uint64_t{1} << src[t]);
+  MBQ_REQUIRE(table.src.size() == order_.size(),
+              "gather table covers " << table.src.size() << " wires, "
+                                     << order_.size() << " live");
   std::uint64_t from = 0;
   for (std::uint64_t j = 0;;) {
     u -= std::norm(amps_[from]);
     if (u <= 0.0 || j + 1 == amps_.size()) return j;
     ++j;
-    from ^= flip[std::countr_zero(j) + 1];
+    from ^= table.flip[std::countr_zero(j) + 1];
   }
 }
 
+std::uint64_t DynamicStatevector::sample_in_order(const std::vector<int>& wires,
+                                                  real u) const {
+  GatherTable table;
+  fill_gather_table(wires, table);
+  return sample_in_order(table, u);
+}
+
 real DynamicStatevector::norm() const {
-  real s = 0.0;
-  for (const auto& x : amps_) s += std::norm(x);
-  return std::sqrt(s);
+  return std::sqrt(kernels().fold_norms(amps_.data(), amps_.size()));
 }
 
 void DynamicStatevector::normalize() {
-  const real nrm = norm();
-  MBQ_REQUIRE(nrm > 1e-14, "cannot normalize a zero state");
-  fold_valid_ = false;
-  const real inv = 1.0 / nrm;
-  for (auto& x : amps_) x *= inv;
+  const real nrm2 = kernels().fold_norms(amps_.data(), amps_.size());
+  // Uniform Born-denominator guard (on |ψ|², like every sampling path;
+  // this used to test |ψ| against the same 1e-14, an inconsistency the
+  // named constants exist to prevent).
+  MBQ_REQUIRE(nrm2 > kMinBornNorm2, "cannot normalize a zero state");
+  fold_ = kernels().scale_fold(amps_.data(), amps_.size(),
+                               1.0 / std::sqrt(nrm2));
+  fold_valid_ = true;  // scale_fold refreshes the canonical fold
 }
 
 }  // namespace mbq

@@ -6,11 +6,16 @@
 // commands.  This simulator exploits that (the "qubit reuse" of DeCross et
 // al. cited in the paper, ref [51]): wires are added lazily and removed on
 // measurement, so the amplitude vector tracks only the LIVE wires.  Wires
-// are addressed by stable integer ids independent of their current bit
-// position.
+// are addressed by stable non-negative integer ids independent of their
+// current bit position.
+//
+// Every hot amplitude sweep — collapses, folds, sign/swap passes — runs
+// through the runtime-dispatched SIMD kernel table (sim/collapse_kernels.h,
+// scalar/AVX2/AVX-512/NEON).  The kernels' canonical reduction order makes
+// results bit-identical across ISAs, so the choice never leaks into
+// outcome streams.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mbq/common/rng.h"
@@ -28,17 +33,43 @@ Matrix measurement_basis(MeasBasis basis, real angle);
 
 class DynamicStatevector {
  public:
+  // --- zero-state thresholds -------------------------------------------
+  // Three DISTINCT guards with distinct units, named so no call site
+  // picks the wrong one again (they used to be scattered magic numbers
+  // with accidentally different scales):
+
+  /// Minimum AMPLITUDE norm |a| = sqrt(|a0|²+|a1|²) accepted when adding
+  /// a wire in an explicit state — below this the direction of the state
+  /// is numerically meaningless.
+  static constexpr real kMinAddWireNorm = 1e-12;
+
+  /// Minimum SQUARED state norm |ψ|² accepted as a Born-rule denominator
+  /// (and by normalize()) — dividing probabilities by anything smaller
+  /// amplifies noise past any usable precision.  Note the unit: this
+  /// guards Σ|amp|² directly, the quantity the fold tracks.
+  static constexpr real kMinBornNorm2 = 1e-14;
+
+  /// Minimum SQUARED norm |Πψ|² of a post-measurement projection —
+  /// deliberately far looser than kMinBornNorm2, because a legitimately
+  /// unlikely (but sampled or forced-with-reason) outcome may leave a
+  /// tiny residual state that renormalization then rescues.
+  static constexpr real kMinProjectionNorm2 = 1e-18;
+
   DynamicStatevector() { amps_ = {cplx{1.0, 0.0}}; }
 
   /// Return to the empty register (scalar state 1) WITHOUT releasing the
-  /// amplitude buffers: a simulator reset in a shot loop reuses the same
-  /// arena, so steady-state execution performs no allocations at all.
+  /// amplitude buffers or the wire-position table: a simulator reset in a
+  /// shot loop reuses the same arena, so steady-state execution performs
+  /// no allocations at all.
   void reset();
 
   int num_live() const noexcept { return static_cast<int>(order_.size()); }
   int peak_live() const noexcept { return peak_live_; }
   std::uint64_t dim() const noexcept { return std::uint64_t{1} << order_.size(); }
-  bool has_wire(int wire) const noexcept { return pos_.count(wire) != 0; }
+  bool has_wire(int wire) const noexcept {
+    return wire >= 0 && static_cast<std::size_t>(wire) < pos_.size() &&
+           pos_[static_cast<std::size_t>(wire)] >= 0;
+  }
   /// Live wire ids in bit-position order (position 0 first).
   const std::vector<int>& wire_order() const noexcept { return order_; }
   /// Current bit position of a live wire (throws if not live).  The
@@ -49,13 +80,19 @@ class DynamicStatevector {
   /// Add wire `wire` in |+> (plus=true) or |0>.
   void add_wire(int wire, bool plus = true);
 
-  /// Add wire `wire` in the state a0|0> + a1|1> (normalized internally).
+  /// Add wire `wire` in the state a0|0> + a1|1> (normalized internally;
+  /// rejects amplitude norms below kMinAddWireNorm).
   void add_wire_state(int wire, cplx a0, cplx a1);
 
   void apply_1q(int wire, const Matrix& u);
   void apply_h(int wire);
   void apply_x(int wire);
   void apply_z(int wire);
+  /// Dedicated diagonal-phase kernel: diag(1, e^{iθ}) touches only the
+  /// bit-set half and preserves every per-element norm, so — like
+  /// apply_z — it keeps the norm fold usable (see fold_ below for the
+  /// documented ulp-level caveat).  Bit-identical amplitudes to routing
+  /// the same matrix through apply_1q.
   void apply_rz(int wire, real theta);
   void apply_cz(int wire_a, int wire_b);
 
@@ -75,9 +112,9 @@ class DynamicStatevector {
   // Each replaces a sequence of the primitive operations above with one
   // amplitude pass, producing bit-identical amplitudes and outcome
   // streams (everything they fuse is a scale, a sign flip, an index swap
-  // or a sum evaluated in the reference order).  They also maintain the
-  // running norm fold (see fold_ below), which lets the next sampled
-  // measurement skip its full normalization pass.
+  // or a sum evaluated in the canonical kernel order).  They also
+  // maintain the running norm fold (see fold_ below), which lets the
+  // next sampled measurement skip its full normalization pass.
 
   /// add_wire(wire, plus=true) immediately followed by a CZ against
   /// every live wire whose POSITION bit is set in partner_pos_mask, as
@@ -111,9 +148,7 @@ class DynamicStatevector {
   /// `meas_wire` (a DIFFERENT, live wire) in `basis`.  Again the doubled
   /// register never exists — the virtual upper half is ±(scaled lower
   /// half), so the collapse reads the untouched register directly and
-  /// writes the final (same-sized) state in one pass.  Every sum runs in
-  /// the order the sequential add_wire/apply_cz/measure_remove chain
-  /// folds it, so outcomes stay bit-identical.  After the call
+  /// writes the final (same-sized) state in one pass.  After the call
   /// `meas_wire` is gone and `new_wire` is live at the top position,
   /// exactly as the sequential chain would leave them.
   int prep_cz_teleport_measure(int new_wire, std::uint64_t partner_pos_mask,
@@ -123,10 +158,27 @@ class DynamicStatevector {
   /// Probability that measuring `wire` in `basis` yields 1.
   real prob_one(int wire, const Matrix& basis) const;
 
+  /// Precomputed readout gather: source bit position per output bit plus
+  /// the Gray-walk flip table that advances the source index with one
+  /// lookup per element.  fill_gather_table into a caller-owned table is
+  /// allocation-free once the table has its steady-state capacity, which
+  /// is what lets PatternExecutor::run_sample keep the documented
+  /// zero-steady-state-allocation contract.
+  struct GatherTable {
+    std::vector<int> src;
+    std::vector<std::uint64_t> flip;
+  };
+
+  /// Resolve `wires` (each live wire exactly once) against the CURRENT
+  /// layout into `table`.  Reuses the table's storage.
+  void fill_gather_table(const std::vector<int>& wires,
+                         GatherTable& table) const;
+
   /// Amplitudes reordered so that wires[i] maps to bit i; every live wire
   /// must appear exactly once.  Use this to compare against a fixed-order
   /// reference state.
   std::vector<cplx> state_in_order(const std::vector<int>& wires) const;
+  std::vector<cplx> state_in_order(const GatherTable& table) const;
 
   /// Cumulative Born walk over the state_in_order(wires) amplitudes
   /// WITHOUT materializing the copy: subtracts |amp|² from u in gathered
@@ -134,25 +186,41 @@ class DynamicStatevector {
   /// index if it never does).  Bit-identical to walking the gathered
   /// vector, minus its allocation — the per-shot readout fast path.
   std::uint64_t sample_in_order(const std::vector<int>& wires, real u) const;
+  std::uint64_t sample_in_order(const GatherTable& table, real u) const;
 
   real norm() const;
   void normalize();
 
+  /// The running norm fold and its validity — introspection for the
+  /// scalar-vs-SIMD differential tests, which assert fold values
+  /// bit-identical across ISAs.
+  real norm_fold() const noexcept { return fold_; }
+  bool norm_fold_valid() const noexcept { return fold_valid_; }
+
  private:
   int position(int wire) const;
+  void set_position(int wire, int p);
 
   std::vector<cplx> amps_;
-  std::vector<cplx> scratch_;            // measure_remove ping-pong buffer
-  std::vector<int> order_;               // wire id per bit position
-  std::unordered_map<int, int> pos_;     // wire id -> bit position
+  std::vector<cplx> scratch_;  // measure_remove ping-pong buffer
+  std::vector<int> order_;     // wire id per bit position
+  // wire id -> bit position, -1 = not live.  A flat vector instead of a
+  // hash map: position() is on every kernel's setup path, and map node
+  // churn was the last steady-state allocation in the shot loop.
+  std::vector<std::int32_t> pos_;
   int peak_live_ = 0;
 
-  // Running Σ|amp|² folded in ascending index order — bitwise equal to
-  // what a fresh normalization pass would compute, which is the ONLY
-  // reason a sampled measurement may reuse it (Born probabilities stay
-  // bit-identical).  Maintained by the fused kernels and by the
-  // measure_remove collapse; norm-preserving sign passes (Z, CZ) keep it
-  // valid untouched; everything else invalidates it.
+  // Running Σ|amp|² in the kernels' canonical fold order — bitwise equal
+  // to what a fresh kernels().fold_norms pass would compute, which is
+  // the ONLY reason a sampled measurement may reuse it (Born
+  // probabilities stay bit-identical).  Maintained by the fused kernels
+  // and the measure collapses; sign passes (Z, CZ, Pauli-Z) keep it
+  // valid untouched.  apply_rz also keeps it usable: the phase preserves
+  // every |amp|² mathematically but re-rounds the squares, so after an
+  // rz the fold is within an ulp of (not bitwise equal to) a fresh pass
+  // — acceptable because no cross-path comparison ever runs through
+  // apply_rz (pattern execution lowers rotations into measurement
+  // angles).  Everything else invalidates it.
   real fold_ = 1.0;
   bool fold_valid_ = true;
 };

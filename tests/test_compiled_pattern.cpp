@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "mbq/api/api.h"
@@ -17,6 +21,26 @@
 #include "mbq/mbqc/compiled.h"
 #include "mbq/mbqc/runner.h"
 #include "mbq/qaoa/qaoa.h"
+
+// --- global allocation counter ----------------------------------------
+// Replaces the global operator new/delete for THIS test binary so the
+// zero-steady-state-allocation contract of the shot loop is a tested
+// invariant, not a comment.  Counting is monotonic; tests snapshot the
+// counter around the region that must not allocate.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace mbq::mbqc {
 namespace {
@@ -325,6 +349,26 @@ TEST(CompiledPattern, LoweringStatistics) {
   bad.add_entangle(0, 1);  // wires never prepared
   bad.set_outputs({});
   EXPECT_THROW(CompiledPattern{bad}, Error);
+}
+
+TEST(CompiledPattern, SteadyStateShotLoopAllocatesNothing) {
+  // The executor's documented contract: once the arena, the outcome
+  // buffer and the cached readout gather table have reached their
+  // steady-state capacity, run_sample performs ZERO heap allocations
+  // per shot.  This regression test is what caught the per-call
+  // state_in_order/sample_in_order table builds.
+  Rng rng(31);
+  const qaoa::Angles angles = qaoa::Angles::random(2, rng);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(8));
+  const auto compiled = std::make_shared<const CompiledPattern>(
+      core::compile_qaoa(cost, angles).pattern);
+  PatternExecutor exec(compiled);
+  for (int shot = 0; shot < 5; ++shot) exec.run_sample(rng);  // warm up
+  const std::uint64_t before = g_alloc_count.load();
+  std::uint64_t sink = 0;
+  for (int shot = 0; shot < 50; ++shot) sink ^= exec.run_sample(rng).x;
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "sink " << sink;
 }
 
 }  // namespace

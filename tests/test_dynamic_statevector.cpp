@@ -194,5 +194,93 @@ TEST(DynamicSv, StateInOrderPermutes) {
   EXPECT_THROW(dsv.state_in_order({7}), Error);
 }
 
+TEST(DynamicSv, RzKernelBitIdenticalToApply1q) {
+  // The dedicated diagonal-phase kernel must produce numerically
+  // identical amplitudes to routing diag(1, e^{i t}) through the generic
+  // 1q path (== comparison: exact values, tolerant of zero signs — the
+  // generic path's 0·a cross terms may flip a zero's sign), while
+  // keeping the norm fold usable where apply_1q must invalidate it.
+  for (real theta : {0.37, -1.9, 3.14159, 0.0}) {
+    DynamicStatevector a, b;
+    for (DynamicStatevector* d : {&a, &b}) {
+      d->add_wire(0);
+      d->add_wire(1, false);
+      d->add_wire(2);
+      d->apply_h(1);
+      d->apply_cz(0, 2);
+      d->apply_rz(0, 0.6);
+      d->normalize();  // establishes a valid running fold
+    }
+    ASSERT_TRUE(a.norm_fold_valid());
+    a.apply_rz(1, theta);
+    b.apply_1q(1, Matrix(2, 2, {1, 0, 0, std::exp(cplx{0.0, theta})}));
+    EXPECT_TRUE(a.norm_fold_valid());
+    EXPECT_FALSE(b.norm_fold_valid());
+    const auto wa = a.state_in_order({0, 1, 2});
+    const auto wb = b.state_in_order({0, 1, 2});
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      ASSERT_EQ(wa[i].real(), wb[i].real()) << "theta " << theta << " i " << i;
+      ASSERT_EQ(wa[i].imag(), wb[i].imag()) << "theta " << theta << " i " << i;
+    }
+  }
+}
+
+TEST(DynamicSv, ZeroStateThresholdConstantsArePinned) {
+  // The three guards have distinct units and deliberately distinct
+  // scales; pin them so a refactor can't silently collapse them back
+  // into one magic number.
+  EXPECT_EQ(DynamicStatevector::kMinAddWireNorm, 1e-12);
+  EXPECT_EQ(DynamicStatevector::kMinBornNorm2, 1e-14);
+  EXPECT_EQ(DynamicStatevector::kMinProjectionNorm2, 1e-18);
+}
+
+TEST(DynamicSv, AddWireStateNormBoundary) {
+  // |a| just above kMinAddWireNorm is accepted (and renormalized to a
+  // clean unit state); just below is rejected.
+  DynamicStatevector ok;
+  ok.add_wire_state(0, cplx{2e-12, 0.0}, cplx{0.0, 0.0});
+  EXPECT_NEAR(std::abs(ok.state_in_order({0})[0] - cplx{1, 0}), 0.0, kTol);
+
+  DynamicStatevector bad;
+  EXPECT_THROW(bad.add_wire_state(0, cplx{0.5e-12, 0.0}, cplx{0.0, 0.0}),
+               Error);
+}
+
+TEST(DynamicSv, NormalizeBornNormBoundary) {
+  // normalize() gates on the SQUARED norm: |psi|^2 = 4e-14 > kMinBornNorm2
+  // passes (and leaves a valid fold), 2.5e-15 < kMinBornNorm2 throws.
+  DynamicStatevector ok;
+  ok.add_wire(0, false);
+  ok.apply_1q(0, Matrix(2, 2, {2e-7, 0, 0, 0}));
+  ok.normalize();
+  EXPECT_TRUE(ok.norm_fold_valid());
+  EXPECT_NEAR(ok.norm(), 1.0, kTol);
+
+  DynamicStatevector bad;
+  bad.add_wire(0, false);
+  bad.apply_1q(0, Matrix(2, 2, {0.5e-7, 0, 0, 0}));
+  EXPECT_THROW(bad.normalize(), Error);
+}
+
+TEST(DynamicSv, ProjectionNormBoundary) {
+  // A forced outcome whose projection lands just above
+  // kMinProjectionNorm2 (4e-18) is rescued by renormalization; just
+  // below (2.5e-19) is rejected as numerically meaningless.
+  Rng rng(1);
+  DynamicStatevector ok;
+  ok.add_wire(0, false);
+  ok.apply_1q(0, Matrix(2, 2, {1, 0, 2e-9, 0}));
+  EXPECT_EQ(
+      ok.measure_remove(0, measurement_basis(MeasBasis::Z, 0.0), rng, 1), 1);
+
+  DynamicStatevector bad;
+  bad.add_wire(0, false);
+  bad.apply_1q(0, Matrix(2, 2, {1, 0, 0.5e-9, 0}));
+  EXPECT_THROW(
+      bad.measure_remove(0, measurement_basis(MeasBasis::Z, 0.0), rng, 1),
+      Error);
+}
+
 }  // namespace
 }  // namespace mbq

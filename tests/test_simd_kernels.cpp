@@ -1,0 +1,335 @@
+// Runtime-dispatched SIMD collapse kernels: randomized scalar-vs-vector
+// bitwise differentials on every table entry, end-to-end bit-identity of
+// amplitudes / outcome streams / norm folds across every ISA this host
+// can run (with a forced-scalar leg that exists on every host), and the
+// MBQ_SIMD parse / reject-at-dispatch behavior.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mbq/common/cpu.h"
+#include "mbq/common/error.h"
+#include "mbq/common/rng.h"
+#include "mbq/core/compiler.h"
+#include "mbq/graph/generators.h"
+#include "mbq/mbqc/compiled.h"
+#include "mbq/qaoa/qaoa.h"
+#include "mbq/sim/collapse_kernels.h"
+#include "mbq/sim/dynamic_statevector.h"
+
+namespace mbq {
+namespace {
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+bool same_fold(double a, double b) { return bits(a) == bits(b); }
+bool same_bits(double a, double b) { return same_fold(a, b); }
+
+bool same_bits(const cplx& a, const cplx& b) {
+  return same_bits(a.real(), b.real()) && same_bits(a.imag(), b.imag());
+}
+
+::testing::AssertionResult buffers_bit_equal(const std::vector<cplx>& want,
+                                             const std::vector<cplx>& got) {
+  if (want.size() != got.size())
+    return ::testing::AssertionFailure()
+           << "size " << got.size() << " != " << want.size();
+  for (std::size_t i = 0; i < want.size(); ++i)
+    if (!same_bits(want[i], got[i]))
+      return ::testing::AssertionFailure()
+             << "amplitude " << i << ": (" << got[i].real() << ", "
+             << got[i].imag() << ") != (" << want[i].real() << ", "
+             << want[i].imag() << ")";
+  return ::testing::AssertionSuccess();
+}
+
+/// Restores the process-global kernel table no matter how a test exits.
+struct IsaGuard {
+  SimdIsa saved;
+  IsaGuard() : saved(active_simd_isa()) {}
+  ~IsaGuard() { force_simd_isa(saved); }
+};
+
+std::vector<cplx> random_amps(Rng& rng, std::size_t n) {
+  std::vector<cplx> v(n);
+  for (auto& a : v)
+    a = cplx{rng.uniform() * 2.0 - 1.0, rng.uniform() * 2.0 - 1.0};
+  return v;
+}
+
+cplx random_eff(Rng& rng, int kind_sel) {
+  const double r = rng.uniform() * 2.0 - 1.0;
+  const double i = rng.uniform() * 2.0 - 1.0;
+  switch (kind_sel) {
+    case 0: return cplx{r, 0.0};   // EffKind::Real
+    case 1: return cplx{0.0, i};   // EffKind::Imag
+    default: return cplx{r, i};    // EffKind::Generic
+  }
+}
+
+TEST(SimdKernels, SupportedListAlwaysIncludesScalar) {
+  const auto isas = supported_simd_isas();
+  ASSERT_FALSE(isas.empty());
+  bool has_scalar = false;
+  for (SimdIsa isa : isas) {
+    has_scalar |= (isa == SimdIsa::Scalar);
+    const CollapseKernels* k = kernels_for_isa(isa);
+    ASSERT_NE(k, nullptr) << isa_name(isa);
+    EXPECT_EQ(k->isa, isa);
+  }
+  EXPECT_TRUE(has_scalar);
+}
+
+TEST(SimdKernels, EveryHostFlavorPassesTheSelfCheckBattery) {
+  for (SimdIsa isa : supported_simd_isas())
+    EXPECT_TRUE(verify_kernels(*kernels_for_isa(isa))) << isa_name(isa);
+}
+
+// Randomized per-entry differential, beyond the fixed-size dispatch
+// battery: random sizes (including remainders the vector flavors must
+// delegate), random masks, random effect kinds — every output amplitude
+// and every returned fold compared bit-for-bit against scalar.
+TEST(SimdKernels, RandomizedKernelsMatchScalarBitwise) {
+  const CollapseKernels& s = scalar_kernels();
+  Rng rng(20240819);
+  for (SimdIsa isa : supported_simd_isas()) {
+    if (isa == SimdIsa::Scalar) continue;
+    const CollapseKernels& k = *kernels_for_isa(isa);
+    for (int rep = 0; rep < 40; ++rep) {
+      const std::size_t n = 1 + rng.uniform_index(400);
+      const auto x = random_amps(rng, n);
+      const double sc = rng.uniform() + 0.25;
+
+      EXPECT_PRED2(same_fold, s.fold_norms(x.data(), n),
+                   k.fold_norms(x.data(), n));
+      EXPECT_PRED2(same_fold, s.fold_norms_scaled(x.data(), n, sc),
+                   k.fold_norms_scaled(x.data(), n, sc));
+      EXPECT_PRED2(same_fold, s.prep_total_fold(x.data(), n, sc),
+                   k.prep_total_fold(x.data(), n, sc));
+
+      auto a = x, b = x;
+      EXPECT_PRED2(same_fold, s.scale_fold(a.data(), n, sc),
+                   k.scale_fold(b.data(), n, sc));
+      EXPECT_TRUE(buffers_bit_equal(a, b));
+    }
+    // Structured kernels want power-of-two registers, like the simulator.
+    for (int rep = 0; rep < 30; ++rep) {
+      const int nq = 1 + rng.uniform_index(8);  // 2..256 amplitudes
+      const std::uint64_t dim = std::uint64_t{1} << nq;
+      const auto x = random_amps(rng, dim);
+      const cplx e0 = random_eff(rng, rng.uniform_index(3));
+      const cplx e1 = random_eff(rng, rng.uniform_index(3));
+      const int q = rng.uniform_index(nq);
+      const std::uint64_t pmask = rng.uniform_index(dim);
+      const double sc = rng.uniform() + 0.25;
+
+      std::vector<cplx> oa(dim / 2), ob(dim / 2);
+      EXPECT_PRED2(same_fold,
+                   s.collapse_pairs(x.data(), oa.data(), dim / 2, q, e0, e1),
+                   k.collapse_pairs(x.data(), ob.data(), dim / 2, q, e0, e1));
+      EXPECT_TRUE(buffers_bit_equal(oa, ob));
+
+      oa.assign(dim, cplx{});
+      ob.assign(dim, cplx{});
+      EXPECT_PRED2(
+          same_fold,
+          s.prep_collapse(x.data(), oa.data(), dim, pmask, e0, e1, sc),
+          k.prep_collapse(x.data(), ob.data(), dim, pmask, e0, e1, sc));
+      EXPECT_TRUE(buffers_bit_equal(oa, ob));
+
+      s.teleport_collapse(x.data(), oa.data(), dim, q, pmask, e0, e1, sc);
+      k.teleport_collapse(x.data(), ob.data(), dim, q, pmask, e0, e1, sc);
+      EXPECT_TRUE(buffers_bit_equal(oa, ob));
+
+      auto ga = x, gb = x;
+      ga.resize(2 * dim);
+      gb.resize(2 * dim);
+      EXPECT_PRED2(same_fold, s.add_plus_cz(ga.data(), dim, pmask, sc),
+                   k.add_plus_cz(gb.data(), dim, pmask, sc));
+      EXPECT_TRUE(buffers_bit_equal(ga, gb));
+
+      const std::uint64_t eq = rng.uniform_index(dim);
+      const std::uint64_t par = rng.uniform_index(dim);
+      const bool neg = rng.uniform_index(2) != 0;
+      auto pa = x, pb = x;
+      s.sign_pass(pa.data(), dim, eq, par, neg);
+      k.sign_pass(pb.data(), dim, eq, par, neg);
+      EXPECT_TRUE(buffers_bit_equal(pa, pb));
+
+      const std::uint64_t xmask = std::uint64_t{1} << rng.uniform_index(nq);
+      pa = x;
+      pb = x;
+      s.pauli_swap_pass(pa.data(), dim, xmask, par, eq, neg);
+      k.pauli_swap_pass(pb.data(), dim, xmask, par, eq, neg);
+      EXPECT_TRUE(buffers_bit_equal(pa, pb));
+
+      std::uint64_t masks[3];
+      const int count = 1 + rng.uniform_index(3);
+      for (int c = 0; c < count; ++c) masks[c] = rng.uniform_index(dim);
+      pa = x;
+      pb = x;
+      s.cz_masks_pass(pa.data(), dim, masks, count);
+      k.cz_masks_pass(pb.data(), dim, masks, count);
+      EXPECT_TRUE(buffers_bit_equal(pa, pb));
+
+      const cplx e = std::exp(cplx{0.0, 1.0} * (rng.uniform() * 6.0 - 3.0));
+      pa = x;
+      pb = x;
+      s.phase_pass(pa.data(), dim, q, e);
+      k.phase_pass(pb.data(), dim, q, e);
+      EXPECT_TRUE(buffers_bit_equal(pa, pb));
+    }
+  }
+}
+
+// A scripted DynamicStatevector run — primitive gates, every fused
+// kernel, sampled and removed measurements — executed once per ISA with
+// identical seeds.  Amplitudes, outcome streams, the running fold value
+// AND its validity flag must match the scalar leg bit-for-bit.
+struct ScriptResult {
+  std::vector<int> outcomes;
+  std::vector<cplx> amps;
+  double fold;
+  bool fold_valid;
+};
+
+ScriptResult run_script(SimdIsa isa, std::uint64_t seed) {
+  force_simd_isa(isa);
+  DynamicStatevector dsv;
+  Rng rng(seed);
+  dsv.add_wire(0);
+  dsv.add_wire(1, /*plus=*/false);
+  dsv.add_wire(2);
+  dsv.apply_h(1);
+  dsv.apply_rz(1, 0.37);
+  dsv.apply_cz(0, 2);
+  dsv.add_wire_plus_cz(3, 0b101);  // CZ against positions 0 and 2
+  const std::uint64_t cz_masks[2] = {0b0011, 0b1100};
+  dsv.apply_cz_masks(cz_masks, 2);
+  dsv.apply_pauli_masks(0b0010, 0b0100, true);
+  ScriptResult r;
+  r.outcomes.push_back(dsv.prep_cz_measure(
+      4, 0b0101, measurement_basis(MeasBasis::XY, 0.3), rng));
+  r.outcomes.push_back(dsv.prep_cz_teleport_measure(
+      5, 0b1000, 1, measurement_basis(MeasBasis::YZ, 0.9), rng));
+  r.outcomes.push_back(
+      dsv.measure_remove(2, measurement_basis(MeasBasis::X, 0.0), rng));
+  dsv.normalize();
+  r.amps = dsv.state_in_order(dsv.wire_order());
+  r.fold = dsv.norm_fold();
+  r.fold_valid = dsv.norm_fold_valid();
+  return r;
+}
+
+TEST(SimdKernels, StatevectorScriptBitIdenticalAcrossIsas) {
+  IsaGuard guard;
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const ScriptResult want = run_script(SimdIsa::Scalar, seed);
+    EXPECT_TRUE(want.fold_valid);
+    for (SimdIsa isa : supported_simd_isas()) {
+      const ScriptResult got = run_script(isa, seed);
+      SCOPED_TRACE(std::string("isa=") + isa_name(isa) +
+                   " seed=" + std::to_string(seed));
+      EXPECT_EQ(want.outcomes, got.outcomes);
+      EXPECT_TRUE(buffers_bit_equal(want.amps, got.amps));
+      EXPECT_PRED2(same_fold, want.fold, got.fold);
+      EXPECT_EQ(want.fold_valid, got.fold_valid);
+    }
+  }
+}
+
+// End-to-end: compiled QAOA pattern sampling.  The sampled readouts and
+// the per-shot measurement outcome streams must be identical under every
+// flavor — the property the shard merge layer relies on when a fleet
+// mixes hosts.  The forced-scalar leg always runs, even on hosts with
+// no vector unit.
+TEST(SimdKernels, SampledStreamsIdenticalAcrossIsas) {
+  IsaGuard guard;
+  Rng setup(5);
+  const qaoa::Angles angles = qaoa::Angles::random(2, setup);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(6));
+  const auto compiled = std::make_shared<const mbqc::CompiledPattern>(
+      core::compile_qaoa(cost, angles).pattern);
+
+  struct Leg {
+    std::vector<std::uint64_t> xs;
+    std::vector<std::vector<int>> outcomes;
+  };
+  auto run_leg = [&](SimdIsa isa, std::uint64_t seed) {
+    force_simd_isa(isa);
+    Leg leg;
+    mbqc::PatternExecutor exec(compiled);
+    Rng rng(seed);
+    for (int shot = 0; shot < 32; ++shot) {
+      leg.xs.push_back(exec.run_sample(rng).x);
+      leg.outcomes.push_back(exec.last_outcomes());
+    }
+    return leg;
+  };
+
+  for (std::uint64_t seed : {101u, 202u, 303u}) {
+    const Leg want = run_leg(SimdIsa::Scalar, seed);
+    for (SimdIsa isa : supported_simd_isas()) {
+      const Leg got = run_leg(isa, seed);
+      SCOPED_TRACE(std::string("isa=") + isa_name(isa) +
+                   " seed=" + std::to_string(seed));
+      EXPECT_EQ(want.xs, got.xs);
+      EXPECT_EQ(want.outcomes, got.outcomes);
+    }
+  }
+}
+
+TEST(SimdKernels, ParseSimdIsaRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(parse_simd_isa("scalar"), SimdIsa::Scalar);
+  EXPECT_EQ(parse_simd_isa("avx2"), SimdIsa::Avx2);
+  EXPECT_EQ(parse_simd_isa("avx512"), SimdIsa::Avx512);
+  EXPECT_EQ(parse_simd_isa("neon"), SimdIsa::Neon);
+  for (SimdIsa isa :
+       {SimdIsa::Scalar, SimdIsa::Avx2, SimdIsa::Avx512, SimdIsa::Neon})
+    EXPECT_EQ(parse_simd_isa(isa_name(isa)), isa);
+  EXPECT_THROW(parse_simd_isa("sse9"), Error);
+  EXPECT_THROW(parse_simd_isa("AVX2"), Error);  // names are lowercase
+  EXPECT_THROW(parse_simd_isa(""), Error);
+}
+
+TEST(SimdKernels, EnvOverrideReadsAndValidatesMbqSimd) {
+  const char* old = std::getenv("MBQ_SIMD");
+  const std::string saved = old ? old : "";
+  ::setenv("MBQ_SIMD", "scalar", 1);
+  EXPECT_EQ(simd_env_override(), SimdIsa::Scalar);
+  ::setenv("MBQ_SIMD", "auto", 1);
+  EXPECT_EQ(simd_env_override(), std::nullopt);
+  ::setenv("MBQ_SIMD", "", 1);
+  EXPECT_EQ(simd_env_override(), std::nullopt);
+  ::setenv("MBQ_SIMD", "altivec", 1);
+  EXPECT_THROW(simd_env_override(), Error);
+  ::unsetenv("MBQ_SIMD");
+  EXPECT_EQ(simd_env_override(), std::nullopt);
+  if (old)
+    ::setenv("MBQ_SIMD", saved.c_str(), 1);
+}
+
+TEST(SimdKernels, ForcingAnUnavailableFlavorIsRejectedAtDispatch) {
+  IsaGuard guard;
+  for (SimdIsa isa :
+       {SimdIsa::Scalar, SimdIsa::Avx2, SimdIsa::Avx512, SimdIsa::Neon}) {
+    if (kernels_for_isa(isa) == nullptr) {
+      EXPECT_THROW(force_simd_isa(isa), Error) << isa_name(isa);
+    } else {
+      force_simd_isa(isa);
+      EXPECT_EQ(active_simd_isa(), isa);
+      EXPECT_EQ(kernels().isa, isa);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbq

@@ -57,6 +57,12 @@ std::vector<std::int64_t> SampleResult::counts(int num_qubits) const {
   return out;
 }
 
+std::map<std::uint64_t, std::int64_t> SampleResult::counts_map() const {
+  std::map<std::uint64_t, std::int64_t> out;
+  for (const Shot& s : shots) ++out[s.x];
+  return out;
+}
+
 Session::Session(Workload workload, const std::string& backend_name,
                  SessionOptions options)
     : Session(std::move(workload),

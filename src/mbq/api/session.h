@@ -67,6 +67,7 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -145,6 +146,11 @@ struct SampleResult {
   /// for num_qubits outside [1, 24]: beyond 24 the dense histogram would
   /// silently allocate gigabytes — aggregate the shots directly instead.
   std::vector<std::int64_t> counts(int num_qubits) const;
+  /// Sparse occurrence counts keyed by observed bitstring.  Memory scales
+  /// with the number of DISTINCT outcomes, not 2^n, so there is no
+  /// register-width cap — this is what the bench::distance toolkit
+  /// aggregates on large-n corpus runs where counts() must refuse.
+  std::map<std::uint64_t, std::int64_t> counts_map() const;
 };
 
 class Session {

@@ -1,0 +1,171 @@
+#include "mbq/bench/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+namespace mbq::bench {
+
+namespace fs = std::filesystem;
+
+std::vector<std::byte> encode_manifest(const Manifest& m) {
+  ByteWriter out;
+  out.u32(kManifestMagic);
+  out.u32(kManifestVersion);
+  out.str(m.name);
+  out.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const ManifestEntry& e : m.entries) {
+    out.str(e.id);
+    out.u8(static_cast<std::uint8_t>(e.family));
+    out.i32(e.num_qubits);
+    out.u64(e.index);
+    out.f64_vec(e.angles.gamma);
+    out.f64_vec(e.angles.beta);
+    out.u64(e.shots);
+    out.u64(e.spec_fingerprint);
+    out.str(e.spec_file);
+  }
+  return out.take();
+}
+
+Manifest decode_manifest(std::span<const std::byte> frame) {
+  ByteReader in(frame);
+  const std::uint32_t magic = in.u32();
+  MBQ_REQUIRE(magic == kManifestMagic,
+              "corpus manifest: bad magic 0x" << std::hex << magic
+                                              << " (not a manifest?)");
+  const std::uint32_t version = in.u32();
+  MBQ_REQUIRE(version == kManifestVersion,
+              "corpus manifest: unsupported version "
+                  << version << " (this build reads version "
+                  << kManifestVersion << ")");
+  Manifest m;
+  m.name = in.str();
+  const std::uint32_t count = in.u32();
+  std::set<std::string> seen;
+  m.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    e.id = in.str();
+    MBQ_REQUIRE(!e.id.empty(), "corpus manifest: entry " << i
+                                                         << " has an empty id");
+    MBQ_REQUIRE(seen.insert(e.id).second,
+                "corpus manifest: duplicate instance id '" << e.id << "'");
+    const std::uint8_t family = in.u8();
+    MBQ_REQUIRE(family <= static_cast<std::uint8_t>(Family::Grid),
+                "corpus manifest: unknown family tag "
+                    << static_cast<int>(family) << " in '" << e.id << "'");
+    e.family = static_cast<Family>(family);
+    e.num_qubits = in.i32();
+    MBQ_REQUIRE(e.num_qubits >= 1, "corpus manifest: bad qubit count "
+                                       << e.num_qubits << " in '" << e.id
+                                       << "'");
+    e.index = in.u64();
+    e.angles.gamma = in.f64_vec();
+    e.angles.beta = in.f64_vec();
+    MBQ_REQUIRE(e.angles.gamma.size() == e.angles.beta.size(),
+                "corpus manifest: '" << e.id << "' has "
+                                     << e.angles.gamma.size() << " gamma but "
+                                     << e.angles.beta.size() << " beta");
+    e.shots = in.u64();
+    MBQ_REQUIRE(e.shots >= 1,
+                "corpus manifest: '" << e.id << "' has a zero shot budget");
+    e.spec_fingerprint = in.u64();
+    e.spec_file = in.str();
+    MBQ_REQUIRE(!e.spec_file.empty(),
+                "corpus manifest: '" << e.id << "' names no spec file");
+    m.entries.push_back(std::move(e));
+  }
+  MBQ_REQUIRE(in.done(), "corpus manifest: " << in.remaining()
+                                             << " trailing bytes");
+  return m;
+}
+
+namespace {
+
+void write_file(const fs::path& path, std::span<const std::byte> bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  MBQ_REQUIRE(os.good(), "cannot open '" << path.string() << "' for writing");
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  MBQ_REQUIRE(os.good(), "short write to '" << path.string() << "'");
+}
+
+std::vector<std::byte> read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  MBQ_REQUIRE(is.good(), "cannot open '" << path.string() << "' for reading");
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  MBQ_REQUIRE(is.good(), "short read from '" << path.string() << "'");
+  return bytes;
+}
+
+}  // namespace
+
+void write_corpus(const std::string& dir, const Corpus& corpus) {
+  const fs::path root(dir);
+  fs::create_directories(root / "instances");
+  Manifest manifest;
+  manifest.name = corpus.name;
+  manifest.entries.reserve(corpus.instances.size());
+  for (const Instance& inst : corpus.instances) {
+    MBQ_REQUIRE(inst.spec.serializable(),
+                "corpus instance '" << inst.id
+                                    << "' is not serializable (CustomCircuit "
+                                       "workloads cannot enter a corpus)");
+    ManifestEntry e;
+    e.id = inst.id;
+    e.family = inst.family;
+    e.num_qubits = inst.num_qubits;
+    e.index = inst.index;
+    e.angles = inst.angles;
+    e.shots = inst.shots;
+    e.spec_fingerprint = api::spec_fingerprint(inst.spec);
+    e.spec_file = "instances/" + inst.id + ".spec";
+    write_file(root / e.spec_file, api::serialize_spec(inst.spec));
+    manifest.entries.push_back(std::move(e));
+  }
+  // The decoder enforces id uniqueness and per-entry sanity; validate at
+  // write time so a bad corpus fails here, not at first read.
+  const std::vector<std::byte> frame = encode_manifest(manifest);
+  decode_manifest(frame);
+  write_file(root / kManifestFile, frame);
+}
+
+Corpus read_corpus(const std::string& dir) {
+  const fs::path root(dir);
+  const Manifest manifest =
+      decode_manifest(read_file(root / kManifestFile));
+  Corpus corpus;
+  corpus.name = manifest.name;
+  corpus.instances.reserve(manifest.entries.size());
+  for (const ManifestEntry& e : manifest.entries) {
+    const std::vector<std::byte> frame = read_file(root / e.spec_file);
+    Instance inst;
+    inst.id = e.id;
+    inst.family = e.family;
+    inst.num_qubits = e.num_qubits;
+    inst.index = e.index;
+    inst.angles = e.angles;
+    inst.shots = e.shots;
+    inst.spec = api::parse_spec(frame);
+    const std::uint64_t fp = api::spec_fingerprint(inst.spec);
+    MBQ_REQUIRE(fp == e.spec_fingerprint,
+                "corpus instance '"
+                    << e.id << "': spec file " << e.spec_file
+                    << " fingerprints to " << fp
+                    << " but the manifest promises " << e.spec_fingerprint
+                    << " — the corpus is corrupt or was hand-edited");
+    MBQ_REQUIRE(inst.spec.cost.num_qubits() == e.num_qubits,
+                "corpus instance '" << e.id << "': spec has "
+                                    << inst.spec.cost.num_qubits()
+                                    << " qubits, manifest says "
+                                    << e.num_qubits);
+    corpus.instances.push_back(std::move(inst));
+  }
+  return corpus;
+}
+
+}  // namespace mbq::bench

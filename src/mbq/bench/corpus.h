@@ -1,0 +1,87 @@
+#pragma once
+// The on-disk benchmark corpus (mbq::bench).
+//
+// A corpus is a directory:
+//
+//   corpus/
+//     manifest.mbqb        binary manifest (common/serialize.h framing)
+//     instances/<id>.spec  one api::WorkloadSpec codec frame per instance
+//
+// The manifest carries everything the replay harness needs WITHOUT
+// decoding specs — id, family, size, replay angles, shot budget — plus
+// each instance's api::spec_fingerprint.  read_corpus() re-fingerprints
+// every spec frame it loads and refuses a mismatch, so a corrupted or
+// hand-edited spec file can never be silently scored as the workload
+// the manifest promised.
+//
+// The format is versioned (magic + version word up front); decode
+// never trusts the frame — truncation, a wrong magic, an unknown
+// version, an unknown family tag, or duplicate ids all throw Error.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mbq/api/workload_spec.h"
+#include "mbq/bench/generators.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::bench {
+
+inline constexpr std::uint32_t kManifestMagic = 0x4251424D;  // "MBQB"
+inline constexpr std::uint32_t kManifestVersion = 1;
+inline constexpr const char* kManifestFile = "manifest.mbqb";
+
+/// One corpus member: a serializable workload plus its replay recipe.
+struct Instance {
+  std::string id;  // unique within the corpus, e.g. "sk-n8-i0"
+  Family family = Family::Sk;
+  int num_qubits = 0;
+  std::uint64_t index = 0;  // generator stream index (provenance)
+  qaoa::Angles angles;      // replay angles (pre-optimized or ramp)
+  std::uint64_t shots = 0;  // default shot budget for scoring runs
+  api::WorkloadSpec spec;
+};
+
+struct Corpus {
+  std::string name;
+  std::vector<Instance> instances;
+};
+
+/// Manifest-only view of an instance (spec still on disk).
+struct ManifestEntry {
+  std::string id;
+  Family family = Family::Sk;
+  int num_qubits = 0;
+  std::uint64_t index = 0;
+  qaoa::Angles angles;
+  std::uint64_t shots = 0;
+  std::uint64_t spec_fingerprint = 0;
+  std::string spec_file;  // relative to the corpus directory
+};
+
+struct Manifest {
+  std::string name;
+  std::vector<ManifestEntry> entries;
+};
+
+/// Exact binary manifest codec.  encode emits magic + version first;
+/// decode validates magic/version/family tags/id uniqueness and rejects
+/// trailing bytes — a malformed frame always throws Error.
+std::vector<std::byte> encode_manifest(const Manifest& m);
+Manifest decode_manifest(std::span<const std::byte> frame);
+
+/// Write `corpus` under `dir` (created if missing, manifest + one spec
+/// frame per instance).  Instance ids must be unique and specs
+/// serializable; angles travel as IEEE-754 bits, so a written corpus
+/// replays bit-identically anywhere.
+void write_corpus(const std::string& dir, const Corpus& corpus);
+
+/// Load a corpus directory: decode the manifest, load + parse every
+/// spec frame, and verify each against its manifest fingerprint (a
+/// mismatch — corruption, tampering, or a stale manifest — is a hard
+/// Error naming the instance).
+Corpus read_corpus(const std::string& dir);
+
+}  // namespace mbq::bench

@@ -1,0 +1,115 @@
+#include "mbq/bench/distance.h"
+
+#include <cmath>
+#include <limits>
+
+#include "mbq/sim/statevector.h"
+
+namespace mbq::bench {
+
+SparseDist normalize(const SparseHist& counts) {
+  MBQ_REQUIRE(!counts.empty(), "cannot normalize an empty histogram");
+  std::int64_t total = 0;
+  for (const auto& [x, c] : counts) {
+    MBQ_REQUIRE(c >= 0, "negative count " << c << " for outcome " << x);
+    total += c;
+  }
+  MBQ_REQUIRE(total > 0, "cannot normalize an all-zero histogram");
+  SparseDist dist;
+  for (const auto& [x, c] : counts)
+    if (c > 0)
+      dist[x] = static_cast<real>(c) / static_cast<real>(total);
+  return dist;
+}
+
+real bhattacharyya(const SparseDist& p, const SparseDist& q) {
+  // Only outcomes in BOTH supports contribute to sum sqrt(p q).
+  real bc = 0.0;
+  for (const auto& [x, px] : p) {
+    const auto it = q.find(x);
+    if (it != q.end()) bc += std::sqrt(px * it->second);
+  }
+  // Guard accumulated rounding: BC is a probability overlap, <= 1.
+  return std::min<real>(bc, 1.0);
+}
+
+real hellinger(const SparseDist& p, const SparseDist& q) {
+  return std::sqrt(std::max<real>(0.0, 1.0 - bhattacharyya(p, q)));
+}
+
+real hellinger_fidelity(const SparseDist& p, const SparseDist& q) {
+  const real bc = bhattacharyya(p, q);
+  return bc * bc;
+}
+
+real tvd(const SparseDist& p, const SparseDist& q) {
+  real sum = 0.0;
+  for (const auto& [x, px] : p) {
+    const auto it = q.find(x);
+    sum += std::abs(px - (it == q.end() ? 0.0 : it->second));
+  }
+  for (const auto& [x, qx] : q)
+    if (p.find(x) == p.end()) sum += qx;
+  return 0.5 * sum;
+}
+
+real chi_squared(const SparseHist& observed, const SparseDist& expected) {
+  std::int64_t total = 0;
+  for (const auto& [x, c] : observed) {
+    MBQ_REQUIRE(c >= 0, "negative count " << c << " for outcome " << x);
+    total += c;
+  }
+  MBQ_REQUIRE(total > 0, "chi_squared needs at least one observation");
+  for (const auto& [x, c] : observed)
+    if (c > 0 && expected.find(x) == expected.end())
+      return std::numeric_limits<real>::infinity();
+  real stat = 0.0;
+  for (const auto& [x, qx] : expected) {
+    if (qx <= 0.0) continue;
+    const auto it = observed.find(x);
+    const real o = it == observed.end() ? 0.0 : static_cast<real>(it->second);
+    const real e = static_cast<real>(total) * qx;
+    const real d = o - e;
+    stat += d * d / e;
+  }
+  return stat;
+}
+
+SparseDist reference_distribution(const api::Workload& w,
+                                  const qaoa::Angles& a, real cutoff) {
+  MBQ_REQUIRE(cutoff >= 0.0, "negative probability cutoff " << cutoff);
+  const api::Workload* ideal = &w;
+  api::Workload stripped = w;
+  if (w.entangler_noise() != 0.0) {
+    // The reference is the ideal device: strip the noise knob before the
+    // statevector execution (reference_state would otherwise still be
+    // noiseless, but an ideal backend is entitled to reject a noisy
+    // workload up front — make the intent explicit).
+    api::WorkloadSpec spec = w.spec();
+    spec.entangler_noise = 0.0;
+    stripped = api::Workload::from_spec(std::move(spec));
+    ideal = &stripped;
+  }
+  const Statevector psi = ideal->reference_state(a);
+  SparseDist dist;
+  const auto& amps = psi.amplitudes();
+  for (std::uint64_t x = 0; x < amps.size(); ++x) {
+    const real p = std::norm(amps[x]);
+    if (p > cutoff) dist[x] = p;
+  }
+  return dist;
+}
+
+real best_cost(const api::Workload& w) {
+  const auto table = w.cost_table();
+  real best = -std::numeric_limits<real>::infinity();
+  for (const real c : *table) best = std::max(best, c);
+  return best;
+}
+
+real approximation_ratio(real mean_cost, real best_cost) {
+  if (std::abs(best_cost) < 1e-12) return 0.0;
+  return mean_cost / best_cost;
+}
+
+}  // namespace mbq::bench

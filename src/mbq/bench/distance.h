@@ -1,0 +1,72 @@
+#pragma once
+// Distribution distances over sparse histograms (mbq::bench).
+//
+// The fidelity score of the benchmark harness, in the SupermarQ style:
+// sample a workload on some backend (possibly noisy, possibly a real
+// fleet), aggregate the outcomes into a sparse histogram, and compare
+// against the exact reference distribution of the ideal statevector
+// execution.  Sparse maps throughout — memory scales with the number of
+// distinct outcomes, never 2^n, so the toolkit keeps working exactly
+// where SampleResult::counts() must refuse (n > 24).
+//
+// Conventions: distributions are probability maps (values sum to ~1;
+// absent keys are exact zeros).  All distances treat the union of the
+// two supports as the outcome space.
+
+#include <cstdint>
+#include <map>
+
+#include "mbq/api/workload.h"
+#include "mbq/common/types.h"
+#include "mbq/qaoa/qaoa.h"
+
+namespace mbq::bench {
+
+using SparseHist = std::map<std::uint64_t, std::int64_t>;  // counts
+using SparseDist = std::map<std::uint64_t, real>;          // probabilities
+
+/// Counts -> empirical probabilities.  Throws on an empty histogram or a
+/// negative count.
+SparseDist normalize(const SparseHist& counts);
+
+/// Bhattacharyya coefficient BC = sum_x sqrt(p_x q_x), in [0, 1].
+real bhattacharyya(const SparseDist& p, const SparseDist& q);
+
+/// Hellinger distance H = sqrt(1 - BC), in [0, 1]; 0 iff p == q, 1 for
+/// disjoint supports.
+real hellinger(const SparseDist& p, const SparseDist& q);
+
+/// Hellinger fidelity BC^2 = (1 - H^2)^2 — the SupermarQ device score:
+/// 1 for identical distributions, 0 for disjoint supports.
+real hellinger_fidelity(const SparseDist& p, const SparseDist& q);
+
+/// Total variation distance (1/2) sum_x |p_x - q_x|, in [0, 1].
+real tvd(const SparseDist& p, const SparseDist& q);
+
+/// Pearson chi-squared statistic of observed counts against an expected
+/// distribution: sum over expected's support of (o_x - N q_x)^2 / (N q_x)
+/// with N the observed total.  Observed outcomes outside expected's
+/// support make the statistic +infinity (an expected-zero cell was hit).
+/// Throws on an empty observation set.
+real chi_squared(const SparseHist& observed, const SparseDist& expected);
+
+/// The exact output distribution of the workload's NOISELESS reference
+/// execution at the given angles: entangler noise is stripped, the
+/// statevector path runs, and amplitudes with |a|^2 > cutoff become
+/// probabilities.  This is the "ideal device" side of every fidelity
+/// score.  Statevector-bounded (n <= 28; practical corpus sizes are far
+/// below).
+SparseDist reference_distribution(const api::Workload& w,
+                                  const qaoa::Angles& a, real cutoff = 0.0);
+
+/// Highest cost value over all bitstrings, via the workload's memoized
+/// cost table — the denominator of the approximation ratio.
+real best_cost(const api::Workload& w);
+
+/// mean_cost / best_cost, the classic QAOA quality score.  Returns 0
+/// when |best| is (near) zero — an edgeless instance has no meaningful
+/// ratio — and clamps nothing: ratios can exceed 1 for negative means
+/// against negative bests, which callers should treat as "inspect me".
+real approximation_ratio(real mean_cost, real best_cost);
+
+}  // namespace mbq::bench

@@ -1,0 +1,95 @@
+#include "mbq/bench/generators.h"
+
+#include <cmath>
+
+#include "mbq/api/workload.h"
+#include "mbq/graph/generators.h"
+
+namespace mbq::bench {
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::Sk: return "sk";
+    case Family::ErdosRenyi: return "er";
+    case Family::Regular: return "regular";
+    case Family::Grid: return "grid";
+  }
+  throw Error("unknown bench family tag " +
+              std::to_string(static_cast<int>(f)));
+}
+
+Family family_from_name(const std::string& name) {
+  if (name == "sk") return Family::Sk;
+  if (name == "er") return Family::ErdosRenyi;
+  if (name == "regular") return Family::Regular;
+  if (name == "grid") return Family::Grid;
+  throw Error("unknown bench family '" + name +
+              "' (known: sk, er, regular, grid)");
+}
+
+api::WorkloadSpec sk_instance(int n, SkCouplings couplings, Rng& rng) {
+  MBQ_REQUIRE(n >= 2, "SK instance needs n >= 2, got " << n);
+  const Graph g = complete_graph(n);
+  std::vector<real> weights;
+  weights.reserve(g.edges().size());
+  for (std::size_t e = 0; e < g.edges().size(); ++e)
+    weights.push_back(couplings == SkCouplings::PlusMinusOne
+                          ? (rng.coin() ? 1.0 : -1.0)
+                          : rng.normal());
+  return api::Workload::maxcut_weighted(g, weights).spec();
+}
+
+api::WorkloadSpec erdos_renyi_instance(int n, int m, Rng& rng) {
+  MBQ_REQUIRE(n >= 2, "ER instance needs n >= 2, got " << n);
+  return api::Workload::maxcut(random_gnm_graph(n, m, rng)).spec();
+}
+
+api::WorkloadSpec regular_instance(int n, int d, Rng& rng) {
+  return api::Workload::maxcut(random_regular_graph(n, d, rng)).spec();
+}
+
+api::WorkloadSpec grid_instance(int rows, int cols, Rng& rng) {
+  MBQ_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2,
+              "grid instance needs >= 2 vertices, got " << rows << "x"
+                                                        << cols);
+  const Graph g = grid_graph(rows, cols);
+  std::vector<real> weights;
+  weights.reserve(g.edges().size());
+  for (std::size_t e = 0; e < g.edges().size(); ++e)
+    weights.push_back(rng.coin() ? 1.0 : -1.0);
+  return api::Workload::maxcut_weighted(g, weights).spec();
+}
+
+api::WorkloadSpec make_instance(Family family, int n, std::uint64_t index,
+                                std::uint64_t seed) {
+  MBQ_REQUIRE(n >= 2, "bench instance needs n >= 2, got " << n);
+  // One decorrelated stream per (family, index) pair; n is baked into
+  // the draws themselves, so every (family, n, index, seed) quadruple is
+  // reproducible in isolation.
+  Rng rng =
+      Rng(seed).stream(static_cast<std::uint64_t>(family)).stream(index);
+  switch (family) {
+    case Family::Sk:
+      return sk_instance(n, SkCouplings::PlusMinusOne, rng);
+    case Family::ErdosRenyi: {
+      const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+      const int m = static_cast<int>(
+          std::min<std::int64_t>(2 * static_cast<std::int64_t>(n), max_m));
+      return erdos_renyi_instance(n, m, rng);
+    }
+    case Family::Regular: {
+      int d = n <= 3 ? n - 1 : 3;
+      if ((static_cast<std::int64_t>(n) * d) % 2 != 0) ++d;
+      return regular_instance(n, d, rng);
+    }
+    case Family::Grid: {
+      int rows = static_cast<int>(std::sqrt(static_cast<double>(n)));
+      while (rows > 1 && n % rows != 0) --rows;
+      return grid_instance(rows, n / rows, rng);
+    }
+  }
+  throw Error("unknown bench family tag " +
+              std::to_string(static_cast<int>(family)));
+}
+
+}  // namespace mbq::bench

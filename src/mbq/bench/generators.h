@@ -1,0 +1,68 @@
+#pragma once
+// Benchmark-instance generators (mbq::bench).
+//
+// Four standard MaxCut families in the style of the SupermarQ QAOA
+// proxy benchmark: Sherrington-Kirkpatrick (complete graph with random
+// +-J or Gaussian couplings), Erdos-Renyi G(n, m), random d-regular,
+// and hardware-grid (the 2D coupling map of planar devices, with +-J
+// couplings).  Each generator consumes an explicit Rng and returns a
+// serializable api::WorkloadSpec, so a corpus on disk is nothing but
+// spec frames plus a manifest (corpus.h).
+//
+// Determinism: make_instance derives its generator as
+// Rng(seed).stream(family).stream(index), so instance (family, n,
+// index) of a corpus is a pure function of the corpus seed — two
+// machines generating the same corpus get bit-identical specs (equal
+// api::spec_fingerprint), which is what lets a scored report name
+// instances by fingerprint and mean the same workload everywhere.
+
+#include <cstdint>
+#include <string>
+
+#include "mbq/api/workload_spec.h"
+#include "mbq/common/rng.h"
+
+namespace mbq::bench {
+
+enum class Family : std::uint8_t {
+  Sk = 0,          // Sherrington-Kirkpatrick: K_n, random couplings
+  ErdosRenyi = 1,  // G(n, m), unweighted
+  Regular = 2,     // random d-regular (d = 3, or n-1 when n <= 3)
+  Grid = 3,        // rows x cols hardware grid, +-1 couplings
+};
+
+/// "sk", "er", "regular", "grid".
+std::string family_name(Family f);
+/// Inverse of family_name; throws Error listing the known names.
+Family family_from_name(const std::string& name);
+
+enum class SkCouplings : std::uint8_t {
+  PlusMinusOne = 0,  // J_uv in {-1, +1}, fair coin (the SupermarQ model)
+  Gaussian = 1,      // J_uv ~ N(0, 1)
+};
+
+/// SK MaxCut on K_n with couplings drawn from rng (n draws in row-major
+/// u < v edge order, matching Graph::edges()).
+api::WorkloadSpec sk_instance(int n, SkCouplings couplings, Rng& rng);
+
+/// Unweighted MaxCut on Erdos-Renyi G(n, m).
+api::WorkloadSpec erdos_renyi_instance(int n, int m, Rng& rng);
+
+/// Unweighted MaxCut on a random d-regular graph (n * d must be even).
+api::WorkloadSpec regular_instance(int n, int d, Rng& rng);
+
+/// Weighted MaxCut on the rows x cols grid with +-1 couplings — the
+/// hardware-shaped family (planar coupling map, bounded degree 4).
+api::WorkloadSpec grid_instance(int rows, int cols, Rng& rng);
+
+/// Canonical corpus member: instance `index` of `family` at size n,
+/// under the corpus seed.  Applies the family's default shape policy —
+/// SK uses +-1 couplings, ER uses m = min(2n, n(n-1)/2) (dense at small
+/// n, deliberately exercising random_gnm_graph's Fisher-Yates regime),
+/// regular uses d = 3 (n-1 when n <= 3; n*d odd bumps d by one), grid
+/// factors n into the most-square rows x cols with rows*cols == n.
+/// Requires n >= 2.
+api::WorkloadSpec make_instance(Family family, int n, std::uint64_t index,
+                                std::uint64_t seed);
+
+}  // namespace mbq::bench

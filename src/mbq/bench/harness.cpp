@@ -1,0 +1,99 @@
+#include "mbq/bench/harness.h"
+
+#include <limits>
+
+#include "mbq/api/api.h"
+#include "mbq/bench/distance.h"
+#include "mbq/common/serialize.h"
+#include "mbq/common/timer.h"
+
+namespace mbq::bench {
+
+namespace {
+
+/// Order-sensitive digest of the raw outcome stream: FNV-1a 64 over the
+/// little-endian u64 outcomes in shot order.  Two replays produce equal
+/// digests iff their outcome streams are bit-identical — the witness
+/// the CI bit-identity gate compares.
+std::uint64_t outcomes_digest(const api::SampleResult& result) {
+  ByteWriter w;
+  for (const api::Shot& s : result.shots) w.u64(s.x);
+  return api::fnv1a64(w.data());
+}
+
+}  // namespace
+
+Report run_corpus(const Corpus& corpus, const RunOptions& options) {
+  MBQ_REQUIRE(options.noise >= 0.0 && options.noise <= 1.0,
+              "noise level " << options.noise << " out of [0, 1]");
+  Report report;
+  report.corpus = corpus.name;
+  report.backend = options.backend;
+  report.seed = options.seed;
+  report.noise = options.noise;
+  report.timing = options.timing;
+  if (options.timing) {
+    report.processes = options.processes;
+    report.endpoint = options.endpoint;
+  }
+  report.instances.reserve(corpus.instances.size());
+
+  for (const Instance& inst : corpus.instances) {
+    api::Workload workload = api::Workload::from_spec(inst.spec);
+    if (options.noise != 0.0) workload.with_entangler_noise(options.noise);
+
+    api::SessionOptions sopts;
+    sopts.seed = options.seed;
+    sopts.num_processes = options.processes;
+    sopts.daemon_endpoint = options.endpoint;
+    sopts.worker_path = options.worker_path;
+    api::Session session(std::move(workload), options.backend, sopts);
+
+    const std::uint64_t budget =
+        options.shots_override != 0 ? options.shots_override : inst.shots;
+    MBQ_REQUIRE(budget >= 1 &&
+                    budget <= static_cast<std::uint64_t>(
+                                  std::numeric_limits<int>::max()),
+                "shot budget " << budget << " for '" << inst.id
+                               << "' out of range");
+    const int shots = static_cast<int>(budget);
+
+    Timer timer;
+    const api::SampleResult result = session.sample(inst.angles, shots);
+    const real elapsed_ms = timer.milliseconds();
+
+    const SparseHist counts = result.counts_map();
+    const SparseDist sampled = normalize(counts);
+    // The reference is always the ideal noiseless device — the session's
+    // workload may carry the sweep noise, the reference never does.
+    const SparseDist ideal =
+        reference_distribution(session.workload(), inst.angles);
+
+    InstanceResult row;
+    row.id = inst.id;
+    row.family = inst.family;
+    row.num_qubits = inst.num_qubits;
+    row.shots = budget;
+    row.spec_fingerprint = api::spec_fingerprint(inst.spec);
+    row.outcomes_fnv = outcomes_digest(result);
+    row.distinct_outcomes = static_cast<std::int64_t>(counts.size());
+    row.hellinger_distance = hellinger(sampled, ideal);
+    row.hellinger_fidelity = hellinger_fidelity(sampled, ideal);
+    row.tvd = tvd(sampled, ideal);
+    row.chi_squared = chi_squared(counts, ideal);
+    row.mean_cost = result.mean_cost();
+    row.best_cost = best_cost(session.workload());
+    row.approximation_ratio = approximation_ratio(row.mean_cost, row.best_cost);
+    if (options.timing) {
+      row.elapsed_ms = elapsed_ms;
+      row.shots_per_sec =
+          elapsed_ms > 0.0 ? static_cast<real>(shots) / (elapsed_ms * 1e-3)
+                           : -1.0;
+    }
+    if (options.progress) options.progress(row);
+    report.instances.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace mbq::bench

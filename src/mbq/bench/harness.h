@@ -1,0 +1,56 @@
+#pragma once
+// The corpus replay harness (mbq::bench).
+//
+// run_corpus() replays every instance of a corpus through one execution
+// configuration — any registered backend, optionally sharded across N
+// worker processes or dispatched to a running mbqd daemon — and scores
+// each sampled distribution against its exact noiseless reference
+// (distance.h).  The whole replay rides the Session determinism
+// contract: outcome streams (and therefore every score and digest in
+// the report) are bit-identical at every process count and across
+// local-vs-daemon execution; only the wall-clock fields differ.
+//
+// This is the layer that finally exercises the serving daemon, the
+// shard fleet, the entangler-noise knob, and the SIMD kernels under one
+// reproducible workload — point a load generator at a corpus directory
+// and compare reports.
+
+#include <functional>
+#include <string>
+
+#include "mbq/bench/corpus.h"
+#include "mbq/bench/report.h"
+
+namespace mbq::bench {
+
+struct RunOptions {
+  std::string backend = "router";
+  /// Worker processes per instance replay (Session semantics: 0 reads
+  /// MBQ_NUM_PROCESSES, 1 never shards, >= 2 shards).
+  int processes = 1;
+  /// Non-empty: execute on a running mbqd at this endpoint instead of
+  /// session-owned processes (never a silent fallback).
+  std::string endpoint;
+  /// Explicit mbq_worker path for sharded runs (empty = auto-resolve).
+  std::string worker_path;
+  /// Session seed; one corpus replay = one seed.
+  std::uint64_t seed = 0xBE7C45EEDULL;
+  /// Extra entangler noise applied to EVERY instance (fidelity-vs-noise
+  /// sweeps re-run the same corpus at increasing levels).  0 = replay
+  /// the specs as stored.
+  real noise = 0.0;
+  /// Overrides every instance's manifest shot budget when non-zero.
+  std::uint64_t shots_override = 0;
+  /// Record wall-clock + execution-context fields in the report.  OFF
+  /// yields a fully deterministic document (see report.h).
+  bool timing = true;
+  /// Per-instance completion hook (CLI progress lines); may be empty.
+  std::function<void(const InstanceResult&)> progress;
+};
+
+/// Replay + score the whole corpus; throws Error on the first instance
+/// whose execution or scoring fails (an unreachable daemon, a backend
+/// that cannot run an instance, ...).
+Report run_corpus(const Corpus& corpus, const RunOptions& options);
+
+}  // namespace mbq::bench

@@ -1,0 +1,86 @@
+#pragma once
+// Scored benchmark reports (mbq::bench).
+//
+// A Report is the JSON artifact a corpus replay leaves behind: one row
+// per instance with the fidelity scores (Hellinger / TVD / chi-squared
+// against the exact reference distribution), the cost quality
+// (mean cost, best cost, approximation ratio), and an order-sensitive
+// FNV-1a digest of the raw outcome stream.  The digest is the
+// bit-identity witness: two runs of the same corpus with the same seed
+// — at any process count, local or through a daemon — must produce
+// byte-identical digests, so `cmp report_a.json report_b.json` is a
+// meaningful CI gate.
+//
+// Wall-clock fields (elapsed_ms, shots_per_sec) and execution-context
+// fields (processes, endpoint) are recorded only when
+// RunOptions::timing is on; a `--deterministic` run omits them, so the
+// remaining document contains exclusively fields that are contractually
+// identical across equivalent runs.
+//
+// Numbers: doubles are printed with 17 significant digits (bit-exact
+// text round trip); u64 fingerprints/digests travel as hex strings
+// (JSON numbers lose integer precision past 2^53); non-finite doubles
+// (a chi-squared of an expected-zero cell) travel as the quoted strings
+// "inf"/"-inf"/"nan".  read/from_json parse exactly what to_json emits
+// and throw Error on anything malformed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mbq/bench/generators.h"
+#include "mbq/common/types.h"
+
+namespace mbq::bench {
+
+struct InstanceResult {
+  std::string id;
+  Family family = Family::Sk;
+  int num_qubits = 0;
+  std::uint64_t shots = 0;
+  std::uint64_t spec_fingerprint = 0;
+  /// FNV-1a 64 over the little-endian u64 outcome stream, in shot order.
+  std::uint64_t outcomes_fnv = 0;
+  std::int64_t distinct_outcomes = 0;
+  real hellinger_distance = 0.0;
+  real hellinger_fidelity = 0.0;
+  real tvd = 0.0;
+  real chi_squared = 0.0;
+  real mean_cost = 0.0;
+  real best_cost = 0.0;
+  real approximation_ratio = 0.0;
+  // --- wall-clock (timing runs only; < 0 = not recorded) --------------
+  real elapsed_ms = -1.0;
+  real shots_per_sec = -1.0;
+};
+
+struct Report {
+  std::string corpus;
+  std::string backend;
+  std::uint64_t seed = 0;
+  real noise = 0.0;
+  bool timing = false;
+  // --- execution context (timing runs only) ---------------------------
+  int processes = 0;
+  std::string endpoint;
+
+  std::vector<InstanceResult> instances;
+};
+
+std::string to_json(const Report& r);
+Report report_from_json(const std::string& json);
+
+void write_report(const std::string& path, const Report& r);
+Report read_report(const std::string& path);
+
+/// Per-family aggregate rows for the `score` subcommand.
+struct FamilySummary {
+  Family family = Family::Sk;
+  int instances = 0;
+  real mean_fidelity = 0.0;
+  real min_fidelity = 0.0;
+  real mean_ratio = 0.0;
+};
+std::vector<FamilySummary> summarize(const Report& r);
+
+}  // namespace mbq::bench

@@ -73,6 +73,25 @@ Graph random_gnm_graph(int n, int m, Rng& rng) {
   MBQ_REQUIRE(m >= 0 && m <= max_m,
               "edge count " << m << " out of range [0, " << max_m << "]");
   Graph g(n);
+  if (m > max_m / 2) {
+    // Dense regime: rejection sampling degrades coupon-collector-style as
+    // m -> max_m (the last edge alone needs ~max_m draws at m == max_m).
+    // Enumerate every candidate edge once and take a partial Fisher-Yates
+    // prefix instead: exactly m uniform draws, still a pure function of
+    // the rng stream.
+    std::vector<std::pair<int, int>> candidates;
+    candidates.reserve(static_cast<std::size_t>(max_m));
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v) candidates.emplace_back(u, v);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const std::int64_t j =
+          i + static_cast<std::int64_t>(
+                  rng.uniform_index(static_cast<std::uint64_t>(max_m - i)));
+      std::swap(candidates[i], candidates[j]);
+      g.add_edge(candidates[i].first, candidates[i].second);
+    }
+    return g;
+  }
   std::set<std::pair<int, int>> chosen;
   while (static_cast<int>(chosen.size()) < m) {
     int u = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));

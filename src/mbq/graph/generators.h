@@ -22,6 +22,12 @@ Graph complete_bipartite_graph(int a, int b);
 Graph petersen_graph();
 
 /// Erdos-Renyi G(n, m): exactly m distinct edges, uniformly at random.
+/// Sparse instances (m <= max_m/2) use rejection sampling; dense ones
+/// take a partial Fisher-Yates prefix of the full candidate-edge list,
+/// so the cost stays O(n^2 + m) instead of coupon-collecting.  Both
+/// regimes are pure functions of the rng stream (but draw different
+/// sequences, so the same seed yields different — equally uniform —
+/// edge sets on either side of the threshold).
 Graph random_gnm_graph(int n, int m, Rng& rng);
 /// Erdos-Renyi G(n, p): each edge independently with probability p.
 Graph random_gnp_graph(int n, real p, Rng& rng);

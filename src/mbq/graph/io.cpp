@@ -1,5 +1,7 @@
 #include "mbq/graph/io.h"
 
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace mbq {
@@ -9,30 +11,82 @@ void write_edge_list(std::ostream& os, const Graph& g) {
   for (const Edge& e : g.edges()) os << e.u << " " << e.v << "\n";
 }
 
+void write_edge_list(std::ostream& os, const Graph& g,
+                     const std::vector<real>& weights) {
+  MBQ_REQUIRE(static_cast<int>(weights.size()) == g.num_vertices(),
+              "edge list: " << weights.size() << " vertex weights for "
+                            << g.num_vertices()
+                            << " vertices — refusing to drop or invent "
+                               "weights");
+  write_edge_list(os, g);
+  os << "weights " << weights.size() << "\n";
+  // max_digits10 significant digits round-trip every finite double
+  // bit-exactly through decimal text.
+  os << std::setprecision(std::numeric_limits<real>::max_digits10);
+  for (const real w : weights) os << w << "\n";
+}
+
 std::string to_edge_list(const Graph& g) {
   std::ostringstream oss;
   write_edge_list(oss, g);
   return oss.str();
 }
 
-Graph read_edge_list(std::istream& is) {
+std::string to_edge_list(const Graph& g, const std::vector<real>& weights) {
+  std::ostringstream oss;
+  write_edge_list(oss, g, weights);
+  return oss.str();
+}
+
+WeightedGraph read_edge_list_weighted(std::istream& is) {
   int n = -1, m = -1;
   MBQ_REQUIRE(static_cast<bool>(is >> n >> m),
               "edge list: missing header '<n> <m>'");
   MBQ_REQUIRE(n >= 0 && m >= 0, "edge list: bad header n=" << n << " m=" << m);
-  Graph g(n);
+  WeightedGraph wg;
+  wg.graph = Graph(n);
   for (int i = 0; i < m; ++i) {
     int u = -1, v = -1;
     MBQ_REQUIRE(static_cast<bool>(is >> u >> v),
                 "edge list: expected " << m << " edges, got " << i);
-    g.add_edge(u, v);
+    wg.graph.add_edge(u, v);
   }
-  return g;
+  std::string section;
+  if (!(is >> section)) return wg;  // plain file: no weights section
+  MBQ_REQUIRE(section == "weights",
+              "edge list: expected 'weights' section, got '" << section << "'");
+  int count = -1;
+  MBQ_REQUIRE(static_cast<bool>(is >> count),
+              "edge list: 'weights' needs a count");
+  MBQ_REQUIRE(count == n, "edge list: weights section has "
+                              << count << " entries for " << n
+                              << " vertices — a round trip would lose data");
+  wg.vertex_weights.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    MBQ_REQUIRE(static_cast<bool>(is >> wg.vertex_weights[i]),
+                "edge list: expected " << n << " weights, got " << i);
+  return wg;
+}
+
+Graph read_edge_list(std::istream& is) {
+  WeightedGraph wg = read_edge_list_weighted(is);
+  // Decoding a weighted file into a bare Graph would silently drop the
+  // weights — round-trip loss is a hard error here.
+  MBQ_REQUIRE(wg.vertex_weights.empty(),
+              "edge list carries a vertex-weight section; reading it as an "
+              "unweighted Graph would drop the weights — use "
+              "read_edge_list_weighted/from_edge_list_weighted");
+  return std::move(wg.graph);
 }
 
 Graph from_edge_list(const std::string& text) {
   std::istringstream iss(text);
   return read_edge_list(iss);
+}
+
+WeightedGraph from_edge_list_weighted(const std::string& text) {
+  std::istringstream iss(text);
+  return read_edge_list_weighted(iss);
 }
 
 }  // namespace mbq

@@ -1,19 +1,52 @@
 #pragma once
 // Plain-text edge-list serialization:
 //   line 1: "<num_vertices> <num_edges>"
-//   then one "u v" pair per line.
+//   then one "u v" pair per line;
+//   optionally followed by a vertex-weight section:
+//     "weights <num_vertices>"
+//     then one weight per line (printed with 17 significant digits, so
+//     the text round-trips every double bit-exactly).
+//
+// Round-trip loss is a hard error, never silent: writing weights whose
+// count does not match the vertex count throws, and the unweighted
+// readers throw when the text carries a weights section (use the
+// *_weighted readers, which also accept unweighted files and return
+// empty weights for them).
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "mbq/common/types.h"
 #include "mbq/graph/graph.h"
 
 namespace mbq {
 
+/// A graph plus optional per-vertex weights (empty = the file had none),
+/// as produced by the *_weighted edge-list readers and consumed by e.g.
+/// the weighted-MIS workload frontends.
+struct WeightedGraph {
+  Graph graph;
+  std::vector<real> vertex_weights;
+};
+
 std::string to_edge_list(const Graph& g);
+/// With a vertex-weight section; weights.size() must equal
+/// g.num_vertices() (anything else would drop or invent weights — hard
+/// error).
+std::string to_edge_list(const Graph& g, const std::vector<real>& weights);
+
+/// Throws Error when the text carries a weights section: decoding it to
+/// a bare Graph would silently drop the weights.
 Graph from_edge_list(const std::string& text);
+/// Accepts both plain and weighted edge lists; vertex_weights is empty
+/// for plain files and has exactly num_vertices entries otherwise.
+WeightedGraph from_edge_list_weighted(const std::string& text);
 
 void write_edge_list(std::ostream& os, const Graph& g);
+void write_edge_list(std::ostream& os, const Graph& g,
+                     const std::vector<real>& weights);
 Graph read_edge_list(std::istream& is);
+WeightedGraph read_edge_list_weighted(std::istream& is);
 
 }  // namespace mbq

@@ -1,0 +1,469 @@
+// Unit tests for mbq/bench: distance toolkit closed forms, corpus
+// manifest codec, instance generators, report JSON codec, and the
+// replay harness's determinism contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "mbq/api/api.h"
+#include "mbq/bench/corpus.h"
+#include "mbq/bench/distance.h"
+#include "mbq/bench/generators.h"
+#include "mbq/bench/harness.h"
+#include "mbq/bench/report.h"
+#include "mbq/graph/generators.h"
+
+namespace mbq::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr real kTol = 1e-12;
+
+// --- distance toolkit: hand-computed closed forms ---------------------------
+
+TEST(Distance, TwoOutcomeClosedForm) {
+  // p = (3/4, 1/4), q = (1/4, 3/4):
+  //   BC  = 2 sqrt(3/16) = sqrt(3)/2, fidelity = BC^2 = 3/4
+  //   H   = sqrt(1 - sqrt(3)/2), TVD = 1/2
+  const SparseDist p{{0, 0.75}, {1, 0.25}};
+  const SparseDist q{{0, 0.25}, {1, 0.75}};
+  EXPECT_NEAR(bhattacharyya(p, q), std::sqrt(3.0) / 2.0, kTol);
+  EXPECT_NEAR(hellinger_fidelity(p, q), 0.75, kTol);
+  EXPECT_NEAR(hellinger(p, q), std::sqrt(1.0 - std::sqrt(3.0) / 2.0), kTol);
+  EXPECT_NEAR(tvd(p, q), 0.5, kTol);
+}
+
+TEST(Distance, ThreeOutcomeClosedForm) {
+  // p = (1/2, 1/4, 1/4), q = (1/4, 1/2, 1/4):
+  //   BC  = 2 sqrt(1/8) + 1/4,  TVD = 1/4
+  const SparseDist p{{0, 0.5}, {1, 0.25}, {2, 0.25}};
+  const SparseDist q{{0, 0.25}, {1, 0.5}, {2, 0.25}};
+  const real bc = 2.0 * std::sqrt(0.125) + 0.25;
+  EXPECT_NEAR(bhattacharyya(p, q), bc, kTol);
+  EXPECT_NEAR(hellinger_fidelity(p, q), bc * bc, kTol);
+  EXPECT_NEAR(tvd(p, q), 0.25, kTol);
+}
+
+TEST(Distance, ChiSquaredClosedForm) {
+  // Observed {30, 70} against uniform over 2 outcomes at N = 100:
+  // expected 50 each, chi^2 = 20^2/50 + 20^2/50 = 16.
+  const SparseHist obs{{0, 30}, {1, 70}};
+  const SparseDist uniform{{0, 0.5}, {1, 0.5}};
+  EXPECT_NEAR(chi_squared(obs, uniform), 16.0, kTol);
+}
+
+TEST(Distance, IdentityIsZero) {
+  const SparseDist p{{3, 0.6}, {9, 0.4}};
+  EXPECT_NEAR(hellinger(p, p), 0.0, kTol);
+  EXPECT_NEAR(hellinger_fidelity(p, p), 1.0, kTol);
+  EXPECT_NEAR(tvd(p, p), 0.0, kTol);
+  // Perfectly proportional counts score a chi-squared of exactly 0.
+  const SparseHist obs{{3, 60}, {9, 40}};
+  EXPECT_NEAR(chi_squared(obs, p), 0.0, kTol);
+}
+
+TEST(Distance, DisjointSupportIsMaximal) {
+  const SparseDist p{{0, 0.5}, {1, 0.5}};
+  const SparseDist q{{2, 0.5}, {3, 0.5}};
+  EXPECT_NEAR(hellinger(p, q), 1.0, kTol);
+  EXPECT_NEAR(hellinger_fidelity(p, q), 0.0, kTol);
+  EXPECT_NEAR(tvd(p, q), 1.0, kTol);
+  // An observation outside the expected support is an infinite statistic.
+  const SparseHist obs{{0, 10}};
+  EXPECT_TRUE(std::isinf(chi_squared(obs, q)));
+}
+
+TEST(Distance, NormalizeValidatesInput) {
+  EXPECT_THROW(normalize(SparseHist{}), Error);
+  EXPECT_THROW(normalize(SparseHist{{0, -1}}), Error);
+  EXPECT_THROW(normalize(SparseHist{{0, 0}, {1, 0}}), Error);
+  const SparseDist d = normalize(SparseHist{{0, 1}, {1, 3}, {2, 0}});
+  ASSERT_EQ(d.size(), 2u);  // zero-count outcomes dropped
+  EXPECT_NEAR(d.at(0), 0.25, kTol);
+  EXPECT_NEAR(d.at(1), 0.75, kTol);
+}
+
+TEST(Distance, ReferenceUniformAtZeroAngles) {
+  // gamma = beta = 0 leaves |+>^n untouched: exactly uniform over 2^n.
+  const api::Workload w = api::Workload::maxcut(complete_graph(3));
+  const SparseDist ref = reference_distribution(w, qaoa::Angles{{0.0}, {0.0}});
+  ASSERT_EQ(ref.size(), 8u);
+  for (const auto& [x, p] : ref) EXPECT_NEAR(p, 0.125, 1e-9);
+}
+
+TEST(Distance, BestCostAndRatio) {
+  // MaxCut on a triangle: best cut value is 2.
+  const api::Workload w = api::Workload::maxcut(complete_graph(3));
+  EXPECT_NEAR(best_cost(w), 2.0, kTol);
+  EXPECT_NEAR(approximation_ratio(1.5, 2.0), 0.75, kTol);
+  EXPECT_EQ(approximation_ratio(1.0, 0.0), 0.0);  // degenerate best
+}
+
+// --- counts_map: the sparse histogram behind the toolkit --------------------
+
+TEST(CountsMap, SparseAndCapFree) {
+  api::SampleResult r;
+  const std::uint64_t big = std::uint64_t{1} << 60;  // 61-qubit outcome
+  r.shots = {{big, 0.0}, {3, 0.0}, {big, 0.0}, {3, 0.0}, {big, 0.0}};
+  const auto m = r.counts_map();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(3), 2);
+  EXPECT_EQ(m.at(big), 3);
+}
+
+TEST(CountsMap, DenseCountsBoundaryIntact) {
+  api::SampleResult r;
+  r.shots = {{0, 0.0}, {1, 0.0}, {1, 0.0}};
+  // 24 qubits is the documented dense cap: still allowed...
+  const auto dense = r.counts(24);
+  EXPECT_EQ(dense.size(), std::size_t{1} << 24);
+  EXPECT_EQ(dense[1], 2);
+  // ...25 must refuse (and counts_map has no such cap).
+  EXPECT_THROW(r.counts(25), Error);
+  EXPECT_EQ(r.counts_map().at(1), 2);
+}
+
+// --- instance generators ----------------------------------------------------
+
+TEST(BenchGenerators, FamilyNamesRoundTrip) {
+  for (const Family f :
+       {Family::Sk, Family::ErdosRenyi, Family::Regular, Family::Grid})
+    EXPECT_EQ(family_from_name(family_name(f)), f);
+  EXPECT_THROW(family_from_name("petersen"), Error);
+}
+
+TEST(BenchGenerators, DeterministicAcrossCalls) {
+  for (const Family f :
+       {Family::Sk, Family::ErdosRenyi, Family::Regular, Family::Grid}) {
+    const api::WorkloadSpec a = make_instance(f, 6, 1, 77);
+    const api::WorkloadSpec b = make_instance(f, 6, 1, 77);
+    EXPECT_EQ(api::spec_fingerprint(a), api::spec_fingerprint(b))
+        << family_name(f);
+  }
+}
+
+TEST(BenchGenerators, IndexAndSeedChangeInstances) {
+  const std::uint64_t base = api::spec_fingerprint(make_instance(Family::Sk, 6, 0, 77));
+  EXPECT_NE(api::spec_fingerprint(make_instance(Family::Sk, 6, 1, 77)), base);
+  EXPECT_NE(api::spec_fingerprint(make_instance(Family::Sk, 6, 0, 78)), base);
+}
+
+TEST(BenchGenerators, ShapePolicies) {
+  Rng rng(5);
+  // SK is complete with +-1 couplings: C(5,2) pairwise terms.
+  const api::Workload sk =
+      api::Workload::from_spec(sk_instance(5, SkCouplings::PlusMinusOne, rng));
+  EXPECT_EQ(sk.num_qubits(), 5);
+  EXPECT_EQ(sk.cost().interaction_graph().num_edges(), 10);
+  // Grid on 6 = 2 x 3.
+  const api::Workload grid = api::Workload::from_spec(grid_instance(2, 3, rng));
+  EXPECT_EQ(grid.num_qubits(), 6);
+  EXPECT_EQ(grid.cost().interaction_graph().num_edges(), 7);  // 2*2 + 1*3
+}
+
+// --- corpus manifest codec --------------------------------------------------
+
+Manifest sample_manifest() {
+  Manifest m;
+  m.name = "unit";
+  ManifestEntry e;
+  e.id = "sk-n4-i0";
+  e.family = Family::Sk;
+  e.num_qubits = 4;
+  e.index = 0;
+  e.angles = qaoa::Angles{{0.4}, {0.3}};
+  e.shots = 512;
+  e.spec_fingerprint = 0xDEADBEEFCAFEF00DULL;
+  e.spec_file = "instances/sk-n4-i0.spec";
+  m.entries.push_back(e);
+  e.id = "grid-n6-i1";
+  e.family = Family::Grid;
+  e.num_qubits = 6;
+  e.index = 1;
+  e.spec_file = "instances/grid-n6-i1.spec";
+  m.entries.push_back(e);
+  return m;
+}
+
+TEST(Corpus, ManifestRoundTrip) {
+  const Manifest m = sample_manifest();
+  const Manifest back = decode_manifest(encode_manifest(m));
+  EXPECT_EQ(back.name, m.name);
+  ASSERT_EQ(back.entries.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.entries[i].id, m.entries[i].id);
+    EXPECT_EQ(back.entries[i].family, m.entries[i].family);
+    EXPECT_EQ(back.entries[i].num_qubits, m.entries[i].num_qubits);
+    EXPECT_EQ(back.entries[i].index, m.entries[i].index);
+    EXPECT_EQ(back.entries[i].angles.gamma, m.entries[i].angles.gamma);
+    EXPECT_EQ(back.entries[i].angles.beta, m.entries[i].angles.beta);
+    EXPECT_EQ(back.entries[i].shots, m.entries[i].shots);
+    EXPECT_EQ(back.entries[i].spec_fingerprint,
+              m.entries[i].spec_fingerprint);
+    EXPECT_EQ(back.entries[i].spec_file, m.entries[i].spec_file);
+  }
+}
+
+TEST(Corpus, ManifestRejectsMalformedFrames) {
+  std::vector<std::byte> frame = encode_manifest(sample_manifest());
+
+  // Truncation anywhere is a hard error.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                frame.size() / 2, frame.size() - 1}) {
+    std::vector<std::byte> t(frame.begin(),
+                             frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_manifest(t), Error) << "cut=" << cut;
+  }
+  // Wrong magic (byte 0 of the little-endian u32).
+  {
+    auto bad = frame;
+    bad[0] = static_cast<std::byte>(0x00);
+    EXPECT_THROW(decode_manifest(bad), Error);
+  }
+  // Unknown version (byte 4).
+  {
+    auto bad = frame;
+    bad[4] = static_cast<std::byte>(0x7F);
+    EXPECT_THROW(decode_manifest(bad), Error);
+  }
+  // Trailing bytes after a well-formed manifest.
+  {
+    auto bad = frame;
+    bad.push_back(static_cast<std::byte>(0));
+    EXPECT_THROW(decode_manifest(bad), Error);
+  }
+  // Duplicate ids.
+  {
+    Manifest m = sample_manifest();
+    m.entries[1].id = m.entries[0].id;
+    EXPECT_THROW(decode_manifest(encode_manifest(m)), Error);
+  }
+}
+
+TEST(Corpus, WriteReadRoundTripAndTamperDetection) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "mbq_bench_corpus_test";
+  fs::remove_all(dir);
+
+  Corpus corpus;
+  corpus.name = "unit";
+  for (const std::uint64_t i : {0, 1}) {
+    Instance inst;
+    inst.id = "sk-n4-i" + std::to_string(i);
+    inst.family = Family::Sk;
+    inst.num_qubits = 4;
+    inst.index = i;
+    inst.angles = qaoa::Angles::linear_ramp(1);
+    inst.shots = 128;
+    inst.spec = make_instance(Family::Sk, 4, i, 7);
+    corpus.instances.push_back(std::move(inst));
+  }
+  write_corpus(dir.string(), corpus);
+
+  const Corpus back = read_corpus(dir.string());
+  EXPECT_EQ(back.name, corpus.name);
+  ASSERT_EQ(back.instances.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.instances[i].id, corpus.instances[i].id);
+    EXPECT_EQ(api::spec_fingerprint(back.instances[i].spec),
+              api::spec_fingerprint(corpus.instances[i].spec));
+  }
+
+  // Tamper with one spec frame on disk: the manifest fingerprint check
+  // must refuse to score the corrupted workload.
+  const fs::path spec0 = dir / "instances" / "sk-n4-i0.spec";
+  ASSERT_TRUE(fs::exists(spec0));
+  {
+    std::fstream f(spec0, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\x5a');
+  }
+  EXPECT_THROW(read_corpus(dir.string()), Error);
+  fs::remove_all(dir);
+}
+
+// --- report JSON codec ------------------------------------------------------
+
+Report sample_report(bool timing) {
+  Report r;
+  r.corpus = "unit";
+  r.backend = "router";
+  r.seed = 0xFFFFFFFFFFFFFFFFULL;  // would lose precision as a JSON number
+  r.noise = 0.25;
+  r.timing = timing;
+  if (timing) {
+    r.processes = 2;
+    r.endpoint = "unix:/tmp/mbqd.sock";
+  }
+  InstanceResult row;
+  row.id = "sk-n4-i0";
+  row.family = Family::Sk;
+  row.num_qubits = 4;
+  row.shots = 512;
+  row.spec_fingerprint = 0x0123456789ABCDEFULL;
+  row.outcomes_fnv = 0xFEDCBA9876543210ULL;
+  row.distinct_outcomes = 11;
+  row.hellinger_distance = 0.1;
+  row.hellinger_fidelity = 1.0 / 3.0;  // full-mantissa double
+  row.tvd = 0.05;
+  row.chi_squared = std::numeric_limits<real>::infinity();
+  row.mean_cost = 1.625;
+  row.best_cost = 3.0;
+  row.approximation_ratio = 1.625 / 3.0;
+  if (timing) {
+    row.elapsed_ms = 12.5;
+    row.shots_per_sec = 40960.0;
+  }
+  r.instances.push_back(row);
+  return r;
+}
+
+TEST(ReportJson, RoundTripBitExact) {
+  for (const bool timing : {false, true}) {
+    const Report r = sample_report(timing);
+    const std::string json = to_json(r);
+    const Report back = report_from_json(json);
+    // Re-serialization is the strongest equality: every field (including
+    // the 17-digit doubles, hex u64s, and the "inf" chi-squared) must
+    // survive the text round trip bit-exactly.
+    EXPECT_EQ(to_json(back), json) << "timing=" << timing;
+    EXPECT_EQ(back.seed, r.seed);
+    ASSERT_EQ(back.instances.size(), 1u);
+    EXPECT_EQ(back.instances[0].outcomes_fnv, r.instances[0].outcomes_fnv);
+    EXPECT_TRUE(std::isinf(back.instances[0].chi_squared));
+    EXPECT_EQ(back.instances[0].hellinger_fidelity,
+              r.instances[0].hellinger_fidelity);
+  }
+}
+
+TEST(ReportJson, DeterministicModeOmitsContextFields) {
+  const std::string json = to_json(sample_report(false));
+  EXPECT_EQ(json.find("elapsed_ms"), std::string::npos);
+  EXPECT_EQ(json.find("shots_per_sec"), std::string::npos);
+  EXPECT_EQ(json.find("processes"), std::string::npos);
+  EXPECT_EQ(json.find("endpoint"), std::string::npos);
+}
+
+TEST(ReportJson, RejectsMalformed) {
+  const std::string json = to_json(sample_report(true));
+  EXPECT_THROW(report_from_json(""), Error);
+  EXPECT_THROW(report_from_json("{"), Error);
+  EXPECT_THROW(report_from_json(json + "x"), Error);  // trailing garbage
+  EXPECT_THROW(report_from_json("{\"mbq_bench_report\": 2}"), Error);
+  EXPECT_THROW(report_from_json(json.substr(0, json.size() / 2)), Error);
+}
+
+TEST(ReportJson, Summarize) {
+  Report r = sample_report(false);
+  InstanceResult second = r.instances[0];
+  second.id = "sk-n4-i1";
+  second.hellinger_fidelity = 0.9;
+  second.approximation_ratio = 0.8;
+  r.instances.push_back(second);
+  const auto rows = summarize(r);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].family, Family::Sk);
+  EXPECT_EQ(rows[0].instances, 2);
+  EXPECT_NEAR(rows[0].mean_fidelity, (1.0 / 3.0 + 0.9) / 2.0, kTol);
+  EXPECT_NEAR(rows[0].min_fidelity, 1.0 / 3.0, kTol);
+}
+
+// --- replay harness: determinism + noise acceptance -------------------------
+
+Corpus tiny_corpus() {
+  Corpus corpus;
+  corpus.name = "tiny";
+  int k = 0;
+  for (const Family f : {Family::Sk, Family::ErdosRenyi}) {
+    Instance inst;
+    inst.id = family_name(f) + "-n4-i0";
+    inst.family = f;
+    inst.num_qubits = 4;
+    inst.index = 0;
+    inst.angles = qaoa::Angles::linear_ramp(1);
+    inst.shots = 256;
+    inst.spec = make_instance(f, 4, 0, 7);
+    corpus.instances.push_back(std::move(inst));
+    ++k;
+  }
+  return corpus;
+}
+
+TEST(Harness, ProcessCountInvariance) {
+  const Corpus corpus = tiny_corpus();
+  RunOptions opts;
+  opts.backend = "router";
+  opts.timing = false;  // deterministic document
+  opts.processes = 1;
+  const std::string one = to_json(run_corpus(corpus, opts));
+  opts.processes = 2;  // mbq_worker resolves beside the test binary
+  const std::string two = to_json(run_corpus(corpus, opts));
+  EXPECT_EQ(one, two);
+}
+
+TEST(Harness, ScoresAreSane) {
+  const Corpus corpus = tiny_corpus();
+  RunOptions opts;
+  opts.backend = "statevector";
+  opts.timing = false;
+  const Report r = run_corpus(corpus, opts);
+  ASSERT_EQ(r.instances.size(), 2u);
+  for (const InstanceResult& row : r.instances) {
+    // Noiseless sampling from the exact distribution: high fidelity,
+    // scores within their ranges, digest and fingerprint populated.
+    EXPECT_GT(row.hellinger_fidelity, 0.9) << row.id;
+    EXPECT_GE(row.tvd, 0.0);
+    EXPECT_LE(row.tvd, 1.0);
+    EXPECT_GE(row.hellinger_distance, 0.0);
+    EXPECT_LE(row.hellinger_distance, 1.0);
+    EXPECT_NE(row.outcomes_fnv, 0u);
+    EXPECT_NE(row.spec_fingerprint, 0u);
+    EXPECT_GT(row.distinct_outcomes, 0);
+    // Deterministic mode leaves wall-clock fields unrecorded.
+    EXPECT_LT(row.elapsed_ms, 0.0);
+  }
+}
+
+TEST(Harness, NoiseDegradesFidelityMonotonically) {
+  // The acceptance sweep: one SK instance on the mbqc backend at
+  // increasing entangler noise.  Fidelity must fall from near-ideal and
+  // stay non-increasing within shot-noise slack.
+  Corpus corpus;
+  corpus.name = "sweep";
+  Instance inst;
+  inst.id = "sk-n4-i0";
+  inst.family = Family::Sk;
+  inst.num_qubits = 4;
+  inst.index = 0;
+  inst.angles = qaoa::Angles::linear_ramp(1);
+  inst.shots = 3000;
+  inst.spec = make_instance(Family::Sk, 4, 0, 7);
+  corpus.instances.push_back(std::move(inst));
+
+  RunOptions opts;
+  opts.backend = "mbqc";
+  opts.timing = false;
+
+  std::vector<real> fidelity;
+  for (const real noise : {0.0, 0.15, 0.4, 0.7}) {
+    opts.noise = noise;
+    const Report r = run_corpus(corpus, opts);
+    ASSERT_EQ(r.instances.size(), 1u);
+    fidelity.push_back(r.instances[0].hellinger_fidelity);
+  }
+  EXPECT_GT(fidelity.front(), 0.95);
+  EXPECT_LT(fidelity.back(), fidelity.front() - 0.05);
+  constexpr real kSlack = 0.03;  // shot noise at 3000 shots
+  for (std::size_t i = 1; i < fidelity.size(); ++i)
+    EXPECT_LE(fidelity[i], fidelity[i - 1] + kSlack)
+        << "noise step " << i << ": " << fidelity[i - 1] << " -> "
+        << fidelity[i];
+}
+
+}  // namespace
+}  // namespace mbq::bench

@@ -116,6 +116,54 @@ TEST(Generators, Gnm) {
   EXPECT_THROW(random_gnm_graph(4, 7, rng), Error);  // > C(4,2)
 }
 
+// Pinned draws for fixed seeds, one per sampling regime (rejection for
+// m <= C(n,2)/2, partial Fisher-Yates above).  These freeze the exact
+// edge sets: a change to either code path that alters the sampled graphs
+// — in particular a regression to rejection sampling in the dense
+// regime, which stalls near m = C(n,2) — fails here, not in a timeout.
+TEST(Generators, GnmPinnedSparseRegime) {
+  {
+    Rng rng(42);
+    const Graph g = random_gnm_graph(6, 4, rng);  // C(6,2)=15, m <= 7
+    EXPECT_EQ(g.edges(),
+              (std::vector<Edge>{{0, 2}, {1, 4}, {3, 4}, {4, 5}}));
+  }
+  {
+    Rng rng(123);
+    const Graph g = random_gnm_graph(8, 6, rng);  // C(8,2)=28, m <= 14
+    EXPECT_EQ(g.edges(), (std::vector<Edge>{
+                             {1, 3}, {1, 7}, {2, 7}, {3, 5}, {3, 6}, {5, 6}}));
+  }
+}
+
+TEST(Generators, GnmPinnedDenseRegime) {
+  {
+    Rng rng(42);
+    const Graph g = random_gnm_graph(6, 11, rng);  // m > 15/2
+    EXPECT_EQ(g.edges(),
+              (std::vector<Edge>{{0, 1}, {0, 2}, {0, 4}, {1, 2}, {1, 3},
+                                 {1, 4}, {1, 5}, {2, 4}, {3, 4}, {3, 5},
+                                 {4, 5}}));
+  }
+  {
+    Rng rng(123);
+    const Graph g = random_gnm_graph(8, 20, rng);  // m > 28/2
+    EXPECT_EQ(g.edges(),
+              (std::vector<Edge>{{0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6},
+                                 {0, 7}, {1, 2}, {1, 3}, {1, 4}, {1, 7},
+                                 {2, 3}, {2, 4}, {2, 7}, {3, 5}, {3, 6},
+                                 {3, 7}, {4, 6}, {4, 7}, {5, 6}, {6, 7}}));
+  }
+}
+
+TEST(Generators, GnmCompleteGraphInstant) {
+  // m == C(n,2): the worst case for rejection sampling (the last draw
+  // hits with probability 1/C(n,2)); Fisher-Yates does it in m draws.
+  Rng rng(99);
+  const Graph g = random_gnm_graph(5, 10, rng);
+  EXPECT_EQ(g, complete_graph(5));
+}
+
 TEST(Generators, GnpExtremes) {
   Rng rng(2);
   EXPECT_EQ(random_gnp_graph(6, 0.0, rng).num_edges(), 0);
@@ -138,6 +186,45 @@ TEST(Io, RoundTrip) {
 
 TEST(Io, RejectsTruncated) {
   EXPECT_THROW(from_edge_list("3 2\n0 1\n"), Error);
+}
+
+TEST(Io, WeightedRoundTripBitExact) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  // Deliberately awkward doubles: 0.1 is not representable, 1/3 fills
+  // the mantissa — a formatting round trip must still be bit-exact.
+  const std::vector<real> w{0.1, -1.0 / 3.0, 2.5e-17};
+  const WeightedGraph back = from_edge_list_weighted(to_edge_list(g, w));
+  EXPECT_EQ(back.graph, g);
+  ASSERT_EQ(back.vertex_weights.size(), 3u);
+  for (int v = 0; v < 3; ++v) EXPECT_EQ(back.vertex_weights[v], w[v]);
+}
+
+TEST(Io, WeightedReaderAcceptsPlainFiles) {
+  const Graph g = path_graph(4);
+  const WeightedGraph back = from_edge_list_weighted(to_edge_list(g));
+  EXPECT_EQ(back.graph, g);
+  EXPECT_TRUE(back.vertex_weights.empty());
+}
+
+TEST(Io, PlainReaderRejectsWeightedFiles) {
+  // Silently dropping the weights section would be round-trip loss.
+  const Graph g = path_graph(3);
+  const std::string text = to_edge_list(g, {1.0, 2.0, 3.0});
+  EXPECT_THROW(from_edge_list(text), Error);
+}
+
+TEST(Io, WeightedHardErrors) {
+  const Graph g = path_graph(3);
+  // Writer: weight count must match the vertex count.
+  EXPECT_THROW(to_edge_list(g, {1.0, 2.0}), Error);
+  // Reader: declared weight count must match the vertex count...
+  EXPECT_THROW(from_edge_list_weighted("3 1\n0 1\nweights 2\n1.0\n2.0\n"),
+               Error);
+  // ...and a truncated weights section is a hard error, not empty fill.
+  EXPECT_THROW(from_edge_list_weighted("3 1\n0 1\nweights 3\n1.0\n2.0\n"),
+               Error);
 }
 
 }  // namespace

@@ -51,6 +51,20 @@ int main() {
             << " bytes; shardable: "
             << (shard::shardable(workload) ? "yes" : "no") << "\n";
 
+  // The spec compiler's view of this workload (the default bit-neutral
+  // pass set, plus the opt-in passes for the stats only).
+  const speccomp::CompiledSpec all = speccomp::compile_spec(
+      workload.spec(), speccomp::SpecCompileOptions{true, true, true, true});
+  std::cout << "spec compiler: " << all.total(&speccomp::PassStats::terms_merged)
+            << " terms merged, "
+            << all.total(&speccomp::PassStats::terms_dropped)
+            << " zero terms dropped, "
+            << all.total(&speccomp::PassStats::gates_fused) << " gates fused, ";
+  for (const speccomp::PassStats& s : all.stats)
+    if (s.pass == "schedule")
+      std::cout << s.wires_deferrable << "/" << s.wires_total
+                << " preps deferrable\n";
+
   // Route report at generic angles: 6 qubits is beyond the zx policy and
   // the pattern is non-Clifford, so the dense reference runs it.
   const qaoa::Angles probe({0.4}, {0.6});
@@ -103,5 +117,19 @@ int main() {
     identical = replay.shots[s].x == result.shots[s].x;
   std::cout << "in-process replay bit-identical: "
             << (identical ? "yes" : "NO") << "\n";
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+
+  // The spec compiler's own contract: the default pass set is
+  // bit-neutral, so a session over the UNOPTIMIZED workload reproduces
+  // the same outcome stream exactly.
+  api::Workload unoptimized = workload;
+  unoptimized.with_spec_compile(speccomp::SpecCompileOptions::off());
+  api::Session raw(unoptimized, "router", serial_opt);
+  const api::SampleResult raw_replay = raw.sample(angles, 512);
+  bool neutral = raw_replay.shots.size() == result.shots.size();
+  for (std::size_t s = 0; neutral && s < raw_replay.shots.size(); ++s)
+    neutral = raw_replay.shots[s].x == result.shots[s].x;
+  std::cout << "spec-compiler off replay bit-identical: "
+            << (neutral ? "yes" : "NO") << "\n";
+  return neutral ? 0 : 1;
 }

@@ -1,0 +1,105 @@
+#include "mbq/api/ansatz_registry.h"
+
+#include <sstream>
+
+#include "mbq/api/workload_spec.h"
+#include "mbq/common/error.h"
+#include "mbq/graph/graph.h"
+#include "mbq/qaoa/hea.h"
+
+namespace mbq::api {
+
+namespace {
+
+/// Built-in registered kind "hea-line": the hardware-efficient brickwork
+/// of qaoa/hea.h over a line coupling graph on the cost's qubits.
+/// Payload: registered_ints = {layers}; no reals.  Angle layout is
+/// hea_param_circuit's (gamma[L*n+q] = Rz, beta[L*n+q] = Rx).  Exists
+/// both as a useful ansatz and as the in-tree proof that a registered
+/// kind round-trips the codecs and shards to workers.
+void hea_line_validate(const WorkloadSpec& spec) {
+  MBQ_REQUIRE(spec.registered_ints.size() == 1,
+              "hea-line payload must be exactly {layers}, got "
+                  << spec.registered_ints.size() << " ints");
+  MBQ_REQUIRE(spec.registered_ints[0] >= 1,
+              "hea-line needs layers >= 1, got " << spec.registered_ints[0]);
+  MBQ_REQUIRE(spec.registered_reals.empty(),
+              "hea-line takes no real payload, got "
+                  << spec.registered_reals.size() << " reals");
+}
+
+qaoa::ParamCircuit hea_line_build(const WorkloadSpec& spec) {
+  const int n = spec.cost.num_qubits();
+  Graph line(n);
+  for (int q = 0; q + 1 < n; ++q) line.add_edge(q, q + 1);
+  return qaoa::hea_param_circuit(line, spec.registered_ints[0]);
+}
+
+}  // namespace
+
+AnsatzKindRegistry::AnsatzKindRegistry() {
+  hooks_["hea-line"] = {hea_line_validate, hea_line_build};
+  for (const auto& [name, hooks] : hooks_) builtin_names_.push_back(name);
+}
+
+AnsatzKindRegistry& AnsatzKindRegistry::instance() {
+  static AnsatzKindRegistry registry;
+  return registry;
+}
+
+void AnsatzKindRegistry::add(const std::string& name, AnsatzKindHooks hooks) {
+  MBQ_REQUIRE(!name.empty(), "ansatz kind name must be non-empty");
+  MBQ_REQUIRE(hooks.build != nullptr,
+              "ansatz kind '" << name << "' needs a build hook");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MBQ_REQUIRE(!hooks_.contains(name),
+              "ansatz kind '" << name << "' is already registered");
+  hooks_[name] = std::move(hooks);
+}
+
+bool AnsatzKindRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hooks_.contains(name);
+}
+
+bool AnsatzKindRegistry::is_builtin(const std::string& name) const {
+  for (const std::string& b : builtin_names_)
+    if (b == name) return true;
+  return false;
+}
+
+AnsatzKindHooks AnsatzKindRegistry::hooks(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hooks_.find(name);
+  if (it == hooks_.end()) {
+    std::ostringstream os;
+    os << "unknown registered ansatz kind '" << name << "' (registered:";
+    bool first = true;
+    for (const auto& [known, hooks] : hooks_) {
+      os << (first ? " " : ", ") << known;
+      first = false;
+    }
+    if (first) os << " none";
+    os << ")";
+    throw Error(os.str());
+  }
+  return it->second;
+}
+
+std::vector<std::string> AnsatzKindRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(hooks_.size());
+  for (const auto& [name, hooks] : hooks_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::string ansatz_kind_listing() {
+  std::ostringstream os;
+  os << "qaoa, mis, custom, param-circuit";
+  for (const std::string& name : AnsatzKindRegistry::instance().names())
+    os << ", registered:" << name;
+  return os.str();
+}
+
+}  // namespace mbq::api

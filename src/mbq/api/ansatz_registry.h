@@ -1,0 +1,77 @@
+#pragma once
+// String-keyed ansatz-kind registry — the extension point that turns the
+// CustomCircuit std::function escape hatch into opt-in shardable data.
+//
+// A registered ansatz kind is pure data on the wire: a WorkloadSpec with
+// kind == AnsatzKind::Registered carries the kind's name plus a generic
+// integer/real payload, and the registry maps the name to hooks that
+// validate the payload and build the declarative qaoa::ParamCircuit the
+// backends lower.  Because the spec is data, it serializes through both
+// codecs (binary and JSON), fingerprints, and ships to worker processes
+// — PROVIDED the worker can resolve the name.  Mirroring
+// BackendRegistry, kinds the library registers itself (is_builtin) are
+// guaranteed present in every freshly exec'd mbq_worker; kinds added at
+// runtime exist in the registering process only, so such workloads
+// execute in-process (shard::unshardable_reason explains why) instead of
+// failing remotely.
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mbq/qaoa/param_circuit.h"
+
+namespace mbq::api {
+
+struct WorkloadSpec;
+
+/// Behavior of one registered ansatz kind.  `build` is required; it maps
+/// the spec (cost width + registered_ints/registered_reals payload) to
+/// the declarative circuit that prepares the trial state from |+...+>.
+/// `validate` (optional) checks the payload beyond what build would
+/// reject, and runs inside WorkloadSpec::validate() so malformed specs
+/// fail at construction/decode time, not at first execution.
+struct AnsatzKindHooks {
+  std::function<void(const WorkloadSpec&)> validate;
+  std::function<qaoa::ParamCircuit(const WorkloadSpec&)> build;
+};
+
+class AnsatzKindRegistry {
+ public:
+  /// The process-wide registry, with built-in kinds pre-registered.
+  static AnsatzKindRegistry& instance();
+
+  /// Register hooks under `name`; throws on duplicates or a missing
+  /// build hook.
+  void add(const std::string& name, AnsatzKindHooks hooks);
+
+  bool contains(const std::string& name) const;
+
+  /// True for kinds the library registers itself — the set every freshly
+  /// exec'd process (in particular mbq_worker) is guaranteed to have.
+  /// Only workloads passing this test shard across processes.
+  bool is_builtin(const std::string& name) const;
+
+  /// Look up by name; throws Error naming the unknown kind and listing
+  /// every registered name.
+  AnsatzKindHooks hooks(const std::string& name) const;
+
+  /// Sorted registered names.
+  std::vector<std::string> names() const;
+
+ private:
+  AnsatzKindRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, AnsatzKindHooks> hooks_;
+  std::vector<std::string> builtin_names_;  // fixed after construction
+};
+
+/// Every name a workload's ansatz may carry, for error messages: the
+/// built-in AnsatzKind enum names plus the registered kind names, comma
+/// separated ("qaoa, mis, custom, param-circuit, registered:hea-line").
+std::string ansatz_kind_listing();
+
+}  // namespace mbq::api

@@ -16,7 +16,8 @@ std::string Backend::unsupported_reason(const Workload& w,
   if (w.ansatz() == AnsatzKind::MisConstrained && !caps.supports_mis_ansatz)
     return name() + " does not support the MIS ansatz";
   if ((w.ansatz() == AnsatzKind::CustomCircuit ||
-       w.ansatz() == AnsatzKind::ParamCircuit) &&
+       w.ansatz() == AnsatzKind::ParamCircuit ||
+       w.ansatz() == AnsatzKind::Registered) &&
       !caps.supports_custom_ansatz)
     return name() + " does not support custom ansatz circuits";
   if (caps.max_term_order > 0 && w.cost().max_order() > caps.max_term_order)

@@ -1,5 +1,6 @@
 #include "mbq/api/workload.h"
 
+#include "mbq/api/ansatz_registry.h"
 #include "mbq/common/error.h"
 #include "mbq/core/mis.h"
 #include "mbq/qaoa/mixers.h"
@@ -70,6 +71,18 @@ Workload Workload::custom(qaoa::CostHamiltonian cost, CircuitBuilder builder) {
   return w;
 }
 
+Workload Workload::registered(std::string name, qaoa::CostHamiltonian cost,
+                              std::vector<int> ints, std::vector<real> reals) {
+  WorkloadSpec spec;
+  spec.kind = AnsatzKind::Registered;
+  spec.cost = std::move(cost);
+  spec.registered_name = std::move(name);
+  spec.registered_ints = std::move(ints);
+  spec.registered_reals = std::move(reals);
+  spec.validate();  // resolves the name and runs the kind's own checks
+  return Workload(std::move(spec));
+}
+
 Workload Workload::from_spec(WorkloadSpec spec) {
   MBQ_REQUIRE(spec.kind != AnsatzKind::CustomCircuit,
               "a custom-circuit workload cannot be rebuilt from a spec: the "
@@ -84,27 +97,30 @@ const Graph& Workload::mis_graph() const {
               "workload has no MIS graph (ansatz is "
                   << ansatz_kind_name(spec_.kind)
                   << "; only the constraint-preserving MIS ansatz carries "
-                     "one)");
+                     "one; known kinds: " << ansatz_kind_listing() << ")");
   return *spec_.graph;
 }
 
 const std::vector<real>& Workload::mis_weights() const {
   MBQ_REQUIRE(spec_.kind == AnsatzKind::MisConstrained,
               "workload has no MIS vertex weights (ansatz is "
-                  << ansatz_kind_name(spec_.kind) << ")");
+                  << ansatz_kind_name(spec_.kind)
+                  << "; known kinds: " << ansatz_kind_listing() << ")");
   return spec_.vertex_weights;
 }
 
 const qaoa::ParamCircuit& Workload::param_circuit() const {
   MBQ_REQUIRE(spec_.kind == AnsatzKind::ParamCircuit,
               "workload has no declarative circuit (ansatz is "
-                  << ansatz_kind_name(spec_.kind) << ")");
+                  << ansatz_kind_name(spec_.kind)
+                  << "; known kinds: " << ansatz_kind_listing() << ")");
   return *spec_.circuit;
 }
 
 Workload& Workload::with_linear_style(core::LinearTermStyle style) {
   spec_.linear_style = style;
   table_.reset();  // options do not affect the table, but stay conservative
+  lowered_.reset();
   return *this;
 }
 
@@ -112,6 +128,7 @@ Workload& Workload::with_max_wire_degree(int degree) {
   MBQ_REQUIRE(degree == 0 || degree >= 3,
               "max_wire_degree must be 0 (unlimited) or >= 3, got " << degree);
   spec_.max_wire_degree = degree;
+  lowered_.reset();
   return *this;
 }
 
@@ -119,7 +136,41 @@ Workload& Workload::with_entangler_noise(real probability) {
   MBQ_REQUIRE(probability >= 0.0 && probability <= 1.0,
               "entangler noise probability out of range: " << probability);
   spec_.entangler_noise = probability;
+  lowered_.reset();
   return *this;
+}
+
+Workload& Workload::with_spec_compile(
+    const speccomp::SpecCompileOptions& options) {
+  spec_opt_ = options;
+  lowered_.reset();
+  return *this;
+}
+
+const speccomp::CompiledSpec& Workload::lowered() const {
+  if (!lowered_)
+    lowered_ = std::make_shared<const speccomp::CompiledSpec>(
+        speccomp::compile_spec(spec_, spec_opt_));
+  return *lowered_;
+}
+
+const qaoa::ParamCircuit& Workload::registered_circuit() const {
+  if (!registered_circuit_) {
+    // Built from the RAW spec (the passes never touch the registered
+    // payload), through the registry's build hook.
+    const AnsatzKindHooks hooks =
+        AnsatzKindRegistry::instance().hooks(spec_.registered_name);
+    qaoa::ParamCircuit built = hooks.build(spec_);
+    MBQ_REQUIRE(built.num_qubits() == num_qubits(),
+                "registered ansatz '" << spec_.registered_name
+                                      << "' built a circuit on "
+                                      << built.num_qubits()
+                                      << " qubits, cost acts on "
+                                      << num_qubits());
+    registered_circuit_ =
+        std::make_shared<const qaoa::ParamCircuit>(std::move(built));
+  }
+  return *registered_circuit_;
 }
 
 core::CompileOptions Workload::compile_options(bool final_corrections) const {
@@ -127,6 +178,7 @@ core::CompileOptions Workload::compile_options(bool final_corrections) const {
   o.linear_style = spec_.linear_style;
   o.final_corrections = final_corrections;
   o.max_wire_degree = spec_.max_wire_degree;
+  o.hints = lowered().hints;
   return o;
 }
 
@@ -137,24 +189,32 @@ std::shared_ptr<const std::vector<real>> Workload::cost_table() const {
 }
 
 Statevector Workload::reference_state(const qaoa::Angles& a) const {
-  switch (spec_.kind) {
+  // Lower from the optimized spec; the default pass set guarantees the
+  // result is bit-identical to lowering the raw one.
+  const WorkloadSpec& low = lowered().spec;
+  switch (low.kind) {
     case AnsatzKind::QaoaDiagonal: {
       const auto table = cost_table();
-      return qaoa::qaoa_state(spec_.cost, a, table.get());
+      return qaoa::qaoa_state(low.cost, a, table.get());
     }
     case AnsatzKind::MisConstrained: {
       Statevector sv(num_qubits());  // feasible start |0...0>
       const Circuit c =
-          spec_.vertex_weights.empty()
-              ? qaoa::mis_qaoa_circuit(*spec_.graph, a)
-              : qaoa::mis_qaoa_circuit_weighted(*spec_.graph,
-                                                spec_.vertex_weights, a);
+          low.vertex_weights.empty()
+              ? qaoa::mis_qaoa_circuit(*low.graph, a)
+              : qaoa::mis_qaoa_circuit_weighted(*low.graph,
+                                                low.vertex_weights, a);
       c.apply_to(sv);
       return sv;
     }
     case AnsatzKind::ParamCircuit: {
       Statevector sv = Statevector::all_plus(num_qubits());
-      spec_.circuit->instantiate(a).apply_to(sv);
+      low.circuit->instantiate(a).apply_to(sv);
+      return sv;
+    }
+    case AnsatzKind::Registered: {
+      Statevector sv = Statevector::all_plus(num_qubits());
+      registered_circuit().instantiate(a).apply_to(sv);
       return sv;
     }
     case AnsatzKind::CustomCircuit: {
@@ -169,17 +229,21 @@ Statevector Workload::reference_state(const qaoa::Angles& a) const {
 core::CompiledPattern Workload::compile_pattern(const qaoa::Angles& a,
                                                 bool final_corrections) const {
   const core::CompileOptions options = compile_options(final_corrections);
-  switch (spec_.kind) {
+  const WorkloadSpec& low = lowered().spec;
+  switch (low.kind) {
     case AnsatzKind::QaoaDiagonal:
-      return core::compile_qaoa(spec_.cost, a, options);
+      return core::compile_qaoa(low.cost, a, options);
     case AnsatzKind::MisConstrained:
-      return spec_.vertex_weights.empty()
-                 ? core::compile_mis_qaoa(*spec_.graph, a, options)
+      return low.vertex_weights.empty()
+                 ? core::compile_mis_qaoa(*low.graph, a, options)
                  : core::compile_mis_qaoa_weighted(
-                       *spec_.graph, spec_.vertex_weights, a, options);
+                       *low.graph, low.vertex_weights, a, options);
     case AnsatzKind::ParamCircuit:
-      return core::compile_circuit_tailored(spec_.circuit->instantiate(a),
+      return core::compile_circuit_tailored(low.circuit->instantiate(a),
                                             options);
+    case AnsatzKind::Registered:
+      return core::compile_circuit_tailored(
+          registered_circuit().instantiate(a), options);
     case AnsatzKind::CustomCircuit:
       return core::compile_circuit_tailored(circuit_(a), options);
   }

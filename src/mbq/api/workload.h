@@ -25,10 +25,22 @@
 //                    |+...+> (XY-mixer colorings of Sec. V, HEA, ...),
 //                    held as a qaoa::ParamCircuit gate list: value
 //                    semantics, serializable, shardable;
+//   Registered     — an ansatz kind resolved by name through
+//                    api::AnsatzKindRegistry (ansatz_registry.h): the
+//                    spec carries the name and a generic int/real
+//                    payload; the registry's hooks build the declarative
+//                    circuit.  Pure data — serializes, fingerprints, and
+//                    (for library-registered names) shards;
 //   CustomCircuit  — the std::function escape hatch: an arbitrary
 //                    angle-parameterized builder acting on |+...+>.  The
 //                    closure cannot cross a process boundary, so custom
 //                    workloads are the ONLY kind that cannot shard.
+//
+// Lowering runs through the spec compiler (speccomp/speccomp.h):
+// lowered() memoizes the optimized spec + scheduling hints the backends
+// consume, while spec() stays the raw description — fingerprints, the
+// prepare caches, and every wire format key on the PRE-optimization
+// bytes, so optimization is a per-host lowering detail.
 
 #include <functional>
 #include <memory>
@@ -37,6 +49,7 @@
 
 #include "mbq/api/workload_spec.h"
 #include "mbq/circuit/circuit.h"
+#include "mbq/speccomp/speccomp.h"
 #include "mbq/core/compiler.h"
 #include "mbq/graph/graph.h"
 #include "mbq/qaoa/hamiltonian.h"
@@ -77,6 +90,13 @@ class Workload {
   /// serialized or sharded — prefer parameterized() when the ansatz can
   /// be written as a gate list.
   static Workload custom(qaoa::CostHamiltonian cost, CircuitBuilder builder);
+  /// Ansatz kind registered by name in api::AnsatzKindRegistry; the
+  /// int/real payload's meaning is defined by the kind's hooks (e.g.
+  /// "hea-line" reads ints = {layers}).  Validates eagerly, including
+  /// the kind's own payload validation.
+  static Workload registered(std::string name, qaoa::CostHamiltonian cost,
+                             std::vector<int> ints = {},
+                             std::vector<real> reals = {});
   /// Rebuild from a declarative spec (validated; throws on inconsistent
   /// specs, and on CustomCircuit kinds — the closure cannot travel).
   static Workload from_spec(WorkloadSpec spec);
@@ -116,6 +136,18 @@ class Workload {
 
   core::CompileOptions compile_options(bool final_corrections) const;
 
+  /// The spec-compiler output this workload lowers from (memoized,
+  /// shared across copies).  reference_state/compile_pattern consume
+  /// lowered().spec and lowered().hints; spec(), the fingerprints, and
+  /// the shard/serve wire formats always use the raw spec, so equal raw
+  /// specs stay equal on the wire however each host optimizes.
+  const speccomp::CompiledSpec& lowered() const;
+
+  /// Override the spec-compiler pass set for this workload (default:
+  /// SpecCompileOptions::from_env(), i.e. MBQ_SPEC_OPT or the standard
+  /// bit-neutral set).  Chainable; resets the memoized lowering.
+  Workload& with_spec_compile(const speccomp::SpecCompileOptions& options);
+
   /// Memoized full cost table c(x), x in [0, 2^n).  Shared across copies
   /// of this workload; compute it once before handing the workload to
   /// parallel workers.
@@ -135,10 +167,18 @@ class Workload {
  private:
   explicit Workload(WorkloadSpec spec) : spec_(std::move(spec)) {}
 
+  /// Built circuit of a Registered ansatz (memoized via the registry's
+  /// build hook).
+  const qaoa::ParamCircuit& registered_circuit() const;
+
   WorkloadSpec spec_;
   CircuitBuilder circuit_;  // CustomCircuit escape hatch only
+  speccomp::SpecCompileOptions spec_opt_ =
+      speccomp::SpecCompileOptions::from_env();
   // Memo for cost_table(); shared so copies reuse the computed table.
   mutable std::shared_ptr<const std::vector<real>> table_;
+  mutable std::shared_ptr<const speccomp::CompiledSpec> lowered_;
+  mutable std::shared_ptr<const qaoa::ParamCircuit> registered_circuit_;
 };
 
 }  // namespace mbq::api

@@ -1,290 +1,29 @@
 #include "mbq/bench/report.h"
 
-#include <cctype>
-#include <cinttypes>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <limits>
 #include <map>
-#include <memory>
 #include <sstream>
-#include <variant>
 
 #include "mbq/common/error.h"
+#include "mbq/common/json.h"
 
 namespace mbq::bench {
 
 namespace {
 
-// --- writer ----------------------------------------------------------------
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// 17 significant digits: every finite double round-trips bit-exactly
-/// through this text.  Non-finite values become quoted strings (JSON has
-/// no inf/nan literals).
-std::string json_double(real v) {
-  if (std::isnan(v)) return "\"nan\"";
-  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
-  return buf;
-}
-
-std::string json_hex64(std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", v);
-  return buf;
-}
-
-// --- minimal JSON reader ---------------------------------------------------
-//
-// Parses exactly the subset to_json emits (objects, arrays, strings,
-// numbers, booleans) — enough to read our own reports back without a
-// dependency.  Malformed input throws Error with a byte offset.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, real, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v = nullptr;
-
-  bool is_string() const { return std::holds_alternative<std::string>(v); }
-  const std::string& str() const {
-    MBQ_REQUIRE(is_string(), "JSON: expected a string");
-    return std::get<std::string>(v);
-  }
-  real num() const {
-    MBQ_REQUIRE(std::holds_alternative<real>(v), "JSON: expected a number");
-    return std::get<real>(v);
-  }
-  bool boolean() const {
-    MBQ_REQUIRE(std::holds_alternative<bool>(v), "JSON: expected a boolean");
-    return std::get<bool>(v);
-  }
-  const JsonArray& array() const {
-    MBQ_REQUIRE(std::holds_alternative<std::shared_ptr<JsonArray>>(v),
-                "JSON: expected an array");
-    return *std::get<std::shared_ptr<JsonArray>>(v);
-  }
-  const JsonObject& object() const {
-    MBQ_REQUIRE(std::holds_alternative<std::shared_ptr<JsonObject>>(v),
-                "JSON: expected an object");
-    return *std::get<std::shared_ptr<JsonObject>>(v);
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    const JsonValue v = value();
-    skip_ws();
-    MBQ_REQUIRE(pos_ == text_.size(),
-                "JSON: trailing garbage at byte " << pos_);
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    MBQ_REQUIRE(pos_ < text_.size(), "JSON: unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    MBQ_REQUIRE(peek() == c, "JSON: expected '" << c << "' at byte " << pos_
-                                                << ", got '" << peek()
-                                                << "'");
-    ++pos_;
-  }
-
-  bool try_consume(const char* lit) {
-    const std::size_t len = std::strlen(lit);
-    if (text_.compare(pos_, len, lit) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return JsonValue{string()};
-    if (try_consume("true")) return JsonValue{true};
-    if (try_consume("false")) return JsonValue{false};
-    if (try_consume("null")) return JsonValue{nullptr};
-    return number();
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      MBQ_REQUIRE(pos_ < text_.size(), "JSON: unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      MBQ_REQUIRE(pos_ < text_.size(), "JSON: unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          MBQ_REQUIRE(pos_ + 4 <= text_.size(), "JSON: truncated \\u escape");
-          const std::string hex = text_.substr(pos_, 4);
-          pos_ += 4;
-          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-          break;
-        }
-        default:
-          throw Error("JSON: unsupported escape '\\" + std::string(1, e) +
-                      "'");
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    MBQ_REQUIRE(pos_ > start, "JSON: expected a value at byte " << start);
-    const std::string tok = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double v = std::strtod(tok.c_str(), &end);
-    MBQ_REQUIRE(end == tok.c_str() + tok.size(),
-                "JSON: bad number '" << tok << "' at byte " << start);
-    return JsonValue{static_cast<real>(v)};
-  }
-
-  JsonValue array() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{arr};
-    }
-    while (true) {
-      arr->push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue{arr};
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{obj};
-    }
-    while (true) {
-      skip_ws();
-      const std::string key = string();
-      skip_ws();
-      expect(':');
-      (*obj)[key] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue{obj};
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue& field(const JsonObject& obj, const std::string& key) {
-  const auto it = obj.find(key);
-  MBQ_REQUIRE(it != obj.end(), "JSON report: missing field '" << key << "'");
-  return it->second;
-}
-
-/// Accepts the writer's double encoding: a number, or one of the quoted
-/// non-finite markers.
-real read_double(const JsonValue& v) {
-  if (v.is_string()) {
-    const std::string& s = v.str();
-    if (s == "inf") return std::numeric_limits<real>::infinity();
-    if (s == "-inf") return -std::numeric_limits<real>::infinity();
-    if (s == "nan") return std::numeric_limits<real>::quiet_NaN();
-    throw Error("JSON report: '" + s + "' is not a number");
-  }
-  return v.num();
-}
-
-std::uint64_t read_hex64(const JsonValue& v) {
-  const std::string& s = v.str();
-  MBQ_REQUIRE(s.size() > 2 && s[0] == '0' && s[1] == 'x',
-              "JSON report: '" << s << "' is not a 0x hex string");
-  char* end = nullptr;
-  const std::uint64_t out = std::strtoull(s.c_str() + 2, &end, 16);
-  MBQ_REQUIRE(end == s.c_str() + s.size(),
-              "JSON report: bad hex string '" << s << "'");
-  return out;
-}
-
-std::uint64_t read_u64(const JsonValue& v) {
-  const real n = v.num();
-  MBQ_REQUIRE(n >= 0 && n == std::floor(n) && n <= 9007199254740992.0,
-              "JSON report: " << n << " is not an exact unsigned integer");
-  return static_cast<std::uint64_t>(n);
-}
+// All reading/writing machinery lives in common/json.h, shared with the
+// speccomp JSON spec codec.
+using json::field;
+using json::json_double;
+using json::json_escape;
+using json::json_hex64;
+using json::JsonObject;
+using json::JsonValue;
+using json::parse_json;
+using json::read_double;
+using json::read_hex64;
+using json::read_u64;
 
 }  // namespace
 
@@ -341,7 +80,7 @@ std::string to_json(const Report& r) {
 }
 
 Report report_from_json(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
+  const JsonValue root = parse_json(json);
   const JsonObject& obj = root.object();
   MBQ_REQUIRE(read_u64(field(obj, "mbq_bench_report")) == 1,
               "JSON report: unsupported report version");

@@ -8,12 +8,15 @@ namespace {
 
 class Translator {
  public:
-  Translator(Pattern& p, int n, bool plus_inputs) : p_(p) {
+  Translator(Pattern& p, int n, bool plus_inputs, const ScheduleHints& hints)
+      : p_(p), defer_(plus_inputs && hints.defer_initial_preps) {
     cur_.resize(n);
+    prepped_.assign(n, !defer_);
     fx_.resize(n);
     fz_.resize(n);
     for (int q = 0; q < n; ++q) {
       cur_[q] = next_wire_++;
+      if (defer_) continue;  // prep at first use instead
       if (plus_inputs) {
         p_.add_prep(cur_[q]);
       } else {
@@ -24,6 +27,7 @@ class Translator {
 
   /// J(alpha) = H Rz(alpha) on logical qubit q, consuming one ancilla.
   void j(int q, real alpha) {
+    ensure_prepped(q);
     const int a = next_wire_++;
     p_.add_prep(a);
     p_.add_entangle(cur_[q], a);
@@ -35,6 +39,8 @@ class Translator {
   }
 
   void cz(int u, int v) {
+    ensure_prepped(u);
+    ensure_prepped(v);
     p_.add_entangle(cur_[u], cur_[v]);
     // CZ X_u^s = X_u^s Z_v^s CZ (and symmetrically).
     const SignalExpr fxu = fx_[u];
@@ -97,6 +103,9 @@ class Translator {
   }
 
   void finish() {
+    // Untouched wires still exist as |+> outputs.
+    for (std::size_t q = 0; q < cur_.size(); ++q)
+      ensure_prepped(static_cast<int>(q));
     std::vector<int> outs;
     for (std::size_t q = 0; q < cur_.size(); ++q) {
       if (!fx_[q].empty()) p_.add_correct_x(cur_[q], fx_[q]);
@@ -107,18 +116,27 @@ class Translator {
   }
 
  private:
+  void ensure_prepped(int q) {
+    if (prepped_[q]) return;
+    p_.add_prep(cur_[q]);
+    prepped_[q] = true;
+  }
+
   Pattern& p_;
+  bool defer_ = false;
   int next_wire_ = 0;
   std::vector<int> cur_;
+  std::vector<char> prepped_;
   std::vector<SignalExpr> fx_, fz_;
 };
 
 }  // namespace
 
-Pattern pattern_from_circuit(const Circuit& circuit, bool plus_inputs) {
+Pattern pattern_from_circuit(const Circuit& circuit, bool plus_inputs,
+                             const ScheduleHints& hints) {
   const Circuit c = circuit.expand_controlled_gates();
   Pattern p;
-  Translator tr(p, c.num_qubits(), plus_inputs);
+  Translator tr(p, c.num_qubits(), plus_inputs, hints);
   for (const Gate& g : c.gates()) tr.gate(g);
   tr.finish();
   p.validate();

@@ -1,0 +1,33 @@
+#pragma once
+// Measurement-order scheduling hints.
+//
+// Produced by the spec-level compiler (speccomp's "schedule" pass) and
+// consumed by the pattern emitters — core::compile_* through
+// core::CompileOptions, and the generic mbqc::pattern_from_circuit
+// translator directly.  Hints never change WHAT a pattern computes, only
+// when wires come alive, which bounds the executor's peak live width
+// (and with it the 2^live statevector arena).
+//
+// Determinism note: deferring a prep changes the live dimension at
+// earlier measurements, which perturbs Born probabilities at the ulp
+// level — so hint-driven emission is bit-equal in DISTRIBUTION, not in
+// stream.  That is why hints sit behind the opt-in "schedule" pass
+// instead of the default pass set (see speccomp/speccomp.h): the default
+// MBQ_SPEC_OPT=on contract is exact outcome-stream identity with =off.
+
+namespace mbq::mbqc {
+
+struct ScheduleHints {
+  /// Defer each logical wire's initial |+> prep until just before its
+  /// first entangling use instead of prepping all n upfront.  Wires a
+  /// circuit touches late (or never, e.g. isolated MaxCut vertices
+  /// during the phase layer) then stay out of the simulated register,
+  /// keeping peak live wires below n+1 for the pattern prefix.
+  bool defer_initial_preps = false;
+
+  bool trivial() const noexcept { return !defer_initial_preps; }
+
+  friend bool operator==(const ScheduleHints&, const ScheduleHints&) = default;
+};
+
+}  // namespace mbq::mbqc

@@ -34,14 +34,25 @@ void CostHamiltonian::add_term(std::vector<int> support, real coeff) {
     constant_ += coeff;
     return;
   }
-  for (auto& t : terms_) {
-    if (t.support == reduced) {
-      t.coeff += coeff;
-      return;
-    }
+  // Terms are kept in canonical support order (size, then lexicographic):
+  // merging is a binary search instead of a linear scan, and every
+  // CostHamiltonian — whichever frontend built it, in whatever order —
+  // stores, evaluates, and ENCODES its terms identically.  The spec
+  // compiler (speccomp) relies on this invariant: canonical ordering is
+  // established at construction, so no pass ever has to reorder terms
+  // (which would perturb float-summation order between optimized and
+  // unoptimized lowerings).
+  const auto less = [](const IsingTerm& t, const std::vector<int>& s) {
+    return t.support.size() != s.size() ? t.support.size() < s.size()
+                                        : t.support < s;
+  };
+  const auto it = std::lower_bound(terms_.begin(), terms_.end(), reduced, less);
+  if (it != terms_.end() && it->support == reduced) {
+    it->coeff += coeff;
+    return;
   }
   max_order_ = std::max(max_order_, static_cast<int>(reduced.size()));
-  terms_.push_back({coeff, std::move(reduced)});
+  terms_.insert(it, {coeff, std::move(reduced)});
 }
 
 real CostHamiltonian::evaluate(std::uint64_t x) const {
@@ -170,8 +181,15 @@ CostHamiltonian CostHamiltonian::pubo(int n,
   // Accumulate the expansion in a support-keyed map rather than through
   // add_term's linear scan: a single order-16 monomial already expands
   // into 2^16 distinct supports, which would make repeated scans
-  // quadratic.  The map also fixes a deterministic (sorted) term order.
-  std::map<std::vector<int>, real> expanded;
+  // quadratic.  The map is keyed by the SAME canonical (|S|, lex) order
+  // add_term maintains, so the direct terms_ writes below preserve the
+  // construction invariant the codec and spec compiler rely on.
+  const auto canonical_less = [](const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  };
+  std::map<std::vector<int>, real, decltype(canonical_less)> expanded(
+      canonical_less);
   for (const PuboTerm& t : terms) {
     // x_i^2 = x_i: repeated indices collapse (unlike Z, where they
     // cancel), so deduplicate rather than reduce mod 2.

@@ -36,10 +36,16 @@ class CostHamiltonian {
 
   int num_qubits() const noexcept { return n_; }
   real constant() const noexcept { return constant_; }
+  /// Terms in canonical order: ascending (|S|, S lexicographic).  The
+  /// order is a construction invariant (add_term inserts sorted), so two
+  /// hamiltonians describing the same function compare, encode, and
+  /// float-sum identically regardless of the order their frontends added
+  /// terms in.
   const std::vector<IsingTerm>& terms() const noexcept { return terms_; }
 
   /// Add w * Z_S; support is sorted and deduplicated (repeats cancel
-  /// pairwise since Z^2 = I).  Terms with identical support are merged.
+  /// pairwise since Z^2 = I).  Terms with identical support are merged
+  /// (binary search into the canonical order above).
   void add_term(std::vector<int> support, real coeff);
 
   /// c(x) for a bit assignment.

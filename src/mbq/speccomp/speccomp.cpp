@@ -1,0 +1,283 @@
+#include "mbq/speccomp/speccomp.h"
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "mbq/common/error.h"
+
+namespace mbq::speccomp {
+
+namespace {
+
+// --- options -----------------------------------------------------------
+
+SpecCompileOptions named_pass(std::string_view name) {
+  SpecCompileOptions o = SpecCompileOptions::off();
+  if (name == "canonicalize") {
+    o.canonicalize = true;
+  } else if (name == "peephole") {
+    o.peephole = true;
+  } else if (name == "fuse") {
+    o.fuse = true;
+  } else if (name == "schedule") {
+    o.schedule = true;
+  } else {
+    throw Error("unknown spec-compiler pass '" + std::string(name) +
+                "' (known passes: canonicalize, peephole, fuse, schedule; "
+                "or use on/off/all)");
+  }
+  return o;
+}
+
+// --- param algebra -----------------------------------------------------
+
+/// The expression is 0 for every angle assignment.
+bool param_is_zero(const qaoa::Param& p) {
+  if (p.source == qaoa::Param::Source::Constant)
+    return p.offset + p.scale == 0.0;  // evaluate() returns offset + scale
+  return p.scale == 0.0 && p.offset == 0.0;
+}
+
+/// a + b when the sum is still one affine expression over at most one
+/// angle source; nullopt otherwise (e.g. gamma[0] + beta[0]).
+std::optional<qaoa::Param> add_params(const qaoa::Param& a,
+                                      const qaoa::Param& b) {
+  using Source = qaoa::Param::Source;
+  if (a.source == Source::Constant && b.source == Source::Constant)
+    return qaoa::Param::constant((a.offset + a.scale) + (b.offset + b.scale));
+  if (a.source == Source::Constant)
+    return qaoa::Param{b.source, b.index, b.scale,
+                       b.offset + (a.offset + a.scale)};
+  if (b.source == Source::Constant)
+    return qaoa::Param{a.source, a.index, a.scale,
+                       a.offset + (b.offset + b.scale)};
+  if (a.source == b.source && a.index == b.index)
+    return qaoa::Param{a.source, a.index, a.scale + b.scale,
+                       a.offset + b.offset};
+  return std::nullopt;
+}
+
+// --- canonicalize ------------------------------------------------------
+
+// Cost-term canonicalization.  CostHamiltonian::add_term already merges
+// duplicate supports and keeps canonical (|S|, lex) order as a
+// construction invariant, so the merge/order counters are defensive
+// documentation — the real work is dropping exact-zero coefficients,
+// which survive a `w` then `-w` add.  Dropping them is outcome-exact:
+// they contribute +/-0.0 to every cost sum, and their measurement
+// gadgets (angle 2*gamma*0 = 0) are skipped unconditionally by the
+// pattern compilers.
+PassStats pass_canonicalize(api::WorkloadSpec& spec) {
+  PassStats st;
+  st.pass = "canonicalize";
+  st.enabled = true;
+  const auto& terms = spec.cost.terms();
+  std::int64_t zeros = 0;
+  for (const auto& t : terms) zeros += t.coeff == 0.0;
+  if (zeros == 0) return st;
+  qaoa::CostHamiltonian cleaned(spec.cost.num_qubits(), spec.cost.constant());
+  for (const auto& t : terms)
+    if (t.coeff != 0.0) cleaned.add_term(t.support, t.coeff);
+  st.terms_dropped = zeros;
+  st.changed = true;
+  spec.cost = std::move(cleaned);
+  return st;
+}
+
+// --- peephole / fuse ---------------------------------------------------
+
+/// Gates the DEFAULT pass may remove: diagonal rotations that are
+/// identically I for every angle value AND whose pattern lowering is
+/// already a no-op (the gadget compiler skips zero-angle YZ gadgets), so
+/// removal cannot perturb the measurement tape.  Restricted to
+/// Constant-source params: removing a zero gamma[k]/beta[k] reference
+/// would relax the circuit's min_gamma/min_beta validation floors, which
+/// IS observable (an optimized workload would accept angle vectors the
+/// unoptimized one rejects).
+bool default_removable(const qaoa::ParamGate& g) {
+  if (g.kind != GateKind::Rz && g.kind != GateKind::PhaseGadget) return false;
+  return g.angle.source == qaoa::Param::Source::Constant &&
+         param_is_zero(g.angle);
+}
+
+/// Additionally removable under the opt-in fuse pass: any identically-
+/// zero rotation, including Rx (whose J(0)∘J(0) lowering is a real
+/// teleport, so removal changes the measurement tape — distribution-
+/// preserving, not stream-preserving).
+bool fuse_removable(const qaoa::ParamGate& g) {
+  if (g.kind != GateKind::Rz && g.kind != GateKind::Rx &&
+      g.kind != GateKind::PhaseGadget)
+    return false;
+  return param_is_zero(g.angle);
+}
+
+bool fusable_pair(const qaoa::ParamGate& a, const qaoa::ParamGate& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind != GateKind::Rz && a.kind != GateKind::Rx &&
+      a.kind != GateKind::PhaseGadget)
+    return false;
+  return a.qubits == b.qubits;  // same wire / identical gadget support
+}
+
+PassStats peephole_circuit(api::WorkloadSpec& spec, bool fuse) {
+  PassStats st;
+  st.pass = fuse ? "fuse" : "peephole";
+  st.enabled = true;
+  if (spec.kind != api::AnsatzKind::ParamCircuit) return st;
+
+  std::vector<qaoa::ParamGate> gates(spec.circuit->gates());
+  std::vector<qaoa::ParamGate> out;
+  out.reserve(gates.size());
+  for (qaoa::ParamGate& g : gates) {
+    if (fuse && !out.empty() && fusable_pair(out.back(), g)) {
+      if (const auto sum = add_params(out.back().angle, g.angle)) {
+        out.back().angle = *sum;
+        ++st.gates_fused;
+        if (fuse_removable(out.back())) {
+          out.pop_back();
+          ++st.gates_eliminated;
+        }
+        continue;
+      }
+    }
+    if (fuse ? fuse_removable(g) : default_removable(g)) {
+      ++st.gates_eliminated;
+      continue;
+    }
+    out.push_back(std::move(g));
+  }
+  if (out.size() == spec.circuit->gates().size() && st.gates_fused == 0)
+    return st;
+
+  qaoa::ParamCircuit rebuilt(spec.circuit->num_qubits());
+  for (qaoa::ParamGate& g : out) rebuilt.append(std::move(g));
+  spec.circuit = std::make_shared<const qaoa::ParamCircuit>(std::move(rebuilt));
+  st.changed = true;
+  return st;
+}
+
+// --- schedule ----------------------------------------------------------
+
+// Emit the prep-deferral hint and estimate its coverage: how many of the
+// n initial |+> preps move past at least one emitted command.  The
+// estimate walks the spec the way the compilers emit it (QAOA: phase
+// gadgets in term order, then mixers; MIS: the H prefix touches wire q
+// at position q; ParamCircuit: gate list order).
+PassStats pass_schedule(const api::WorkloadSpec& spec,
+                        mbqc::ScheduleHints& hints) {
+  PassStats st;
+  st.pass = "schedule";
+  st.enabled = true;
+  const int n = spec.cost.num_qubits();
+  st.wires_total = n;
+  switch (spec.kind) {
+    case api::AnsatzKind::QaoaDiagonal: {
+      const auto& terms = spec.cost.terms();
+      // Wire q's first touch: the first phase gadget containing it, else
+      // its own mixer (after every gadget and the mixers of lower wires).
+      std::vector<std::int64_t> first(static_cast<std::size_t>(n), -1);
+      for (std::size_t t = 0; t < terms.size(); ++t)
+        for (int q : terms[t].support)
+          if (first[static_cast<std::size_t>(q)] < 0)
+            first[static_cast<std::size_t>(q)] =
+                static_cast<std::int64_t>(t);
+      for (int q = 0; q < n; ++q)
+        if (first[static_cast<std::size_t>(q)] < 0)
+          first[static_cast<std::size_t>(q)] =
+              static_cast<std::int64_t>(terms.size()) + q;
+      for (int q = 0; q < n; ++q)
+        st.wires_deferrable += first[static_cast<std::size_t>(q)] > 0;
+      break;
+    }
+    case api::AnsatzKind::MisConstrained:
+      // compile_mis_qaoa prefixes H on every wire in index order: wire
+      // q's first touch is command q.
+      st.wires_deferrable = n > 0 ? n - 1 : 0;
+      break;
+    case api::AnsatzKind::ParamCircuit: {
+      const auto& gates = spec.circuit->gates();
+      std::vector<std::int64_t> first(static_cast<std::size_t>(n), -1);
+      for (std::size_t i = 0; i < gates.size(); ++i)
+        for (int q : gates[i].qubits)
+          if (first[static_cast<std::size_t>(q)] < 0)
+            first[static_cast<std::size_t>(q)] = static_cast<std::int64_t>(i);
+      for (int q = 0; q < n; ++q) {
+        const std::int64_t f = first[static_cast<std::size_t>(q)];
+        // Untouched wires defer past the whole circuit (when it has any
+        // gates at all).
+        st.wires_deferrable += f > 0 || (f < 0 && !gates.empty());
+      }
+      break;
+    }
+    default:
+      break;  // registered/custom kinds lower through their own builder
+  }
+  hints.defer_initial_preps = true;
+  st.changed = true;
+  return st;
+}
+
+}  // namespace
+
+SpecCompileOptions SpecCompileOptions::parse(std::string_view text) {
+  if (text.empty() || text == "on") return {};
+  if (text == "off") return off();
+  if (text == "all") return {true, true, true, true};
+  SpecCompileOptions o = off();
+  std::stringstream ss{std::string(text)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const SpecCompileOptions p = named_pass(item);
+    o.canonicalize |= p.canonicalize;
+    o.peephole |= p.peephole;
+    o.fuse |= p.fuse;
+    o.schedule |= p.schedule;
+  }
+  return o;
+}
+
+SpecCompileOptions SpecCompileOptions::from_env() {
+  const char* env = std::getenv("MBQ_SPEC_OPT");
+  return env ? parse(env) : SpecCompileOptions{};
+}
+
+CompiledSpec compile_spec(const api::WorkloadSpec& spec,
+                          const SpecCompileOptions& options) {
+  spec.validate();
+  CompiledSpec out;
+  out.spec = spec;
+
+  if (options.canonicalize) {
+    out.stats.push_back(pass_canonicalize(out.spec));
+  } else {
+    out.stats.push_back({.pass = "canonicalize"});
+  }
+  if (options.peephole) {
+    out.stats.push_back(peephole_circuit(out.spec, /*fuse=*/false));
+  } else {
+    out.stats.push_back({.pass = "peephole"});
+  }
+  if (options.fuse) {
+    out.stats.push_back(peephole_circuit(out.spec, /*fuse=*/true));
+  } else {
+    out.stats.push_back({.pass = "fuse"});
+  }
+  if (options.schedule) {
+    out.stats.push_back(pass_schedule(out.spec, out.hints));
+  } else {
+    out.stats.push_back({.pass = "schedule"});
+  }
+
+  for (const PassStats& s : out.stats) out.changed |= s.changed;
+  out.spec.validate();
+  return out;
+}
+
+CompiledSpec compile_spec(const api::WorkloadSpec& spec) {
+  return compile_spec(spec, SpecCompileOptions::from_env());
+}
+
+}  // namespace mbq::speccomp

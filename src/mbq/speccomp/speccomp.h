@@ -1,0 +1,126 @@
+#pragma once
+// The spec-level optimizing compiler: passes over the WorkloadSpec IR,
+// run once per spec between validation and backend lowering.
+//
+// Passes (in pipeline order):
+//
+//   canonicalize — cost-monomial canonicalization: verifies the
+//       construction invariants (canonical support order, merged
+//       duplicates — see qaoa::CostHamiltonian::add_term) and drops
+//       terms whose coefficient is exactly zero (a w then -w add leaves
+//       one behind).  Zero terms cost a YZ-gadget ancilla per layer in
+//       the measurement pattern and a term visit per cost evaluation.
+//   peephole — ParamCircuit dead-gate elimination: removes diagonal
+//       rotations (Rz, PhaseGadget) whose affine Param is identically
+//       zero for every angle value.  Their gate-model action is exactly
+//       I and their measurement-pattern lowering is already skipped by
+//       the gadget compiler, so elimination is outcome-exact.
+//   fuse (OPT-IN) — adjacent same-axis rotation fusion via the affine
+//       Param algebra, plus elimination of the identity gates fusion
+//       exposes (including Rx ≡ 0, whose J∘J lowering is not a pattern
+//       no-op).  Fused angles evaluate to the same value only up to
+//       floating-point re-association, so this pass preserves the
+//       sampled DISTRIBUTION but not the exact outcome stream — which is
+//       why it is excluded from the default set.
+//   schedule (OPT-IN) — measurement-order scheduling hints: tells the
+//       pattern emitters (core::compile_*, mbqc::pattern_from_circuit)
+//       to defer each wire's initial |+> prep to its first entangling
+//       use, bounding the executor's peak live width.  Deferral shifts
+//       Born probabilities at the ulp level, so like fuse it is
+//       distribution-preserving, not stream-preserving.
+//
+// The default pass set (canonicalize + peephole) is BIT-NEUTRAL by
+// construction: every default transformation is mirrored by an
+// unconditional rule in the lowering (zero-angle gadget skip,
+// norm-based sampling), so MBQ_SPEC_OPT=on and =off produce exactly
+// equal outcome streams and expectation values on every backend, at any
+// thread/process count, and through a daemon.  tests/test_speccomp.cpp
+// and the differential property sweeps enforce this.
+//
+// Wire-format stability: optimization is a per-host lowering detail.
+// Workload/Session/shard/serve always encode, fingerprint, and cache
+// the PRE-optimization spec bytes; a worker re-runs the (deterministic)
+// passes on its own copy.  See api/workload.h (lowered()).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mbq/api/workload_spec.h"
+#include "mbq/mbqc/schedule_hints.h"
+
+namespace mbq::speccomp {
+
+/// Which passes to run.  Defaults match MBQ_SPEC_OPT=on: the bit-neutral
+/// set only.
+struct SpecCompileOptions {
+  bool canonicalize = true;
+  bool peephole = true;
+  bool fuse = false;      // opt-in: re-associates angle arithmetic
+  bool schedule = false;  // opt-in: reorders preps / live-width bound
+
+  static SpecCompileOptions off() { return {false, false, false, false}; }
+
+  /// Parse an MBQ_SPEC_OPT value: "on" (default set), "off" (no passes),
+  /// "all" (every pass including the opt-ins), or an explicit
+  /// comma-separated pass list drawn from
+  /// {canonicalize, peephole, fuse, schedule}.  Throws Error on unknown
+  /// pass names.
+  static SpecCompileOptions parse(std::string_view text);
+
+  /// parse(getenv("MBQ_SPEC_OPT")), or the defaults when unset/empty.
+  static SpecCompileOptions from_env();
+
+  friend bool operator==(const SpecCompileOptions&,
+                         const SpecCompileOptions&) = default;
+};
+
+/// Per-pass effect counters.  A disabled pass still appears (with
+/// enabled = false and zero counters) so reports always show the whole
+/// pipeline.
+struct PassStats {
+  std::string pass;
+  bool enabled = false;
+  bool changed = false;
+  // canonicalize
+  std::int64_t terms_dropped = 0;  // exact-zero coefficients removed
+  std::int64_t terms_merged = 0;   // duplicate supports merged (invariant: 0)
+  // peephole / fuse
+  std::int64_t gates_eliminated = 0;
+  std::int64_t gates_fused = 0;
+  // schedule
+  std::int64_t wires_deferrable = 0;  // preps that move past >= 1 command
+  std::int64_t wires_total = 0;
+};
+
+/// The result of running the pipeline over one spec.
+struct CompiledSpec {
+  /// The optimized spec the backends lower from.  NOT the spec that goes
+  /// on the wire — encode/fingerprint always use the original.
+  api::WorkloadSpec spec;
+  /// Scheduling hints for the pattern emitters (trivial unless the
+  /// schedule pass ran).
+  mbqc::ScheduleHints hints;
+  std::vector<PassStats> stats;
+  /// True when any pass changed the spec or emitted a non-trivial hint.
+  bool changed = false;
+
+  /// Sum of a counter across passes, for quick reporting.
+  std::int64_t total(std::int64_t PassStats::* counter) const {
+    std::int64_t sum = 0;
+    for (const PassStats& s : stats) sum += s.*counter;
+    return sum;
+  }
+};
+
+/// Run the pipeline.  Deterministic: equal (spec, options) give equal
+/// results in every process — the property that lets workers re-derive
+/// the parent's lowering from the raw wire spec.  The input spec must be
+/// validate()d; the output spec is, too.
+CompiledSpec compile_spec(const api::WorkloadSpec& spec,
+                          const SpecCompileOptions& options);
+
+/// compile_spec with SpecCompileOptions::from_env().
+CompiledSpec compile_spec(const api::WorkloadSpec& spec);
+
+}  // namespace mbq::speccomp

@@ -29,16 +29,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "mbq/api/registry.h"
 #include "mbq/bench/corpus.h"
 #include "mbq/bench/generators.h"
 #include "mbq/bench/harness.h"
 #include "mbq/bench/report.h"
 #include "mbq/qaoa/qaoa.h"
+#include "mbq/speccomp/json.h"
 
 namespace {
 
@@ -46,7 +50,7 @@ int usage(int code) {
   std::cerr <<
       "usage: mbq_bench generate --out DIR [--families LIST] [--sizes LIST]\n"
       "                 [--instances N] [--seed S] [--shots N] [--depth P]\n"
-      "                 [--name NAME]\n"
+      "                 [--name NAME] [--json]\n"
       "       mbq_bench run --corpus DIR --report FILE [--backend NAME]\n"
       "                 [--processes N] [--endpoint ENDPOINT] [--worker PATH]\n"
       "                 [--seed S] [--noise X] [--shots N] [--deterministic]\n"
@@ -57,7 +61,9 @@ int usage(int code) {
       "families are comma-separated lists.  ENDPOINT is unix:/path or\n"
       "tcp:host:port (a running mbqd).  --deterministic omits wall-clock\n"
       "and execution-context fields so equivalent runs produce\n"
-      "byte-identical reports.\n";
+      "byte-identical reports.  generate --json also writes each spec as\n"
+      "instances/<id>.spec.json text (speccomp JSON codec) next to the\n"
+      "binary frame.\n";
   return code;
 }
 
@@ -105,6 +111,7 @@ int cmd_generate(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint64_t shots = 4096;
   int depth = 1;
+  bool json = false;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -131,6 +138,8 @@ int cmd_generate(int argc, char** argv) {
       if (!parse_u64(value(), shots)) return usage(2);
     } else if (arg == "--depth") {
       if (!parse_int(value(), depth)) return usage(2);
+    } else if (arg == "--json") {
+      json = true;
     } else {
       std::cerr << "mbq_bench: unknown argument '" << arg << "'\n";
       return usage(2);
@@ -183,8 +192,24 @@ int cmd_generate(int argc, char** argv) {
     }
   }
   bench::write_corpus(out_dir, corpus);
+  if (json) {
+    // Text twins of the binary frames, for non-C++ consumers; read back
+    // with speccomp::spec_from_json or `mbq_spec encode`.
+    for (const bench::Instance& inst : corpus.instances) {
+      const std::filesystem::path path = std::filesystem::path(out_dir) /
+                                         "instances" /
+                                         (inst.id + ".spec.json");
+      std::ofstream os(path, std::ios::trunc);
+      if (!os.good()) {
+        std::cerr << "mbq_bench: cannot open '" << path.string() << "'\n";
+        return 1;
+      }
+      os << speccomp::spec_to_json(inst.spec);
+    }
+  }
   std::cout << "mbq_bench: wrote " << corpus.instances.size()
-            << " instances to " << out_dir << " (seed " << seed << ")\n";
+            << " instances to " << out_dir << " (seed " << seed << ")"
+            << (json ? " with JSON spec twins" : "") << "\n";
   return 0;
 }
 
@@ -236,6 +261,16 @@ int cmd_run(int argc, char** argv) {
   }
   if (corpus_dir.empty() || report_path.empty()) {
     std::cerr << "mbq_bench: run needs --corpus DIR and --report FILE\n";
+    return usage(2);
+  }
+  // Reject unknown backends before touching the corpus: failing on argv
+  // beats failing mid-replay after minutes of scored instances.
+  if (!api::BackendRegistry::instance().contains(opts.backend)) {
+    std::cerr << "mbq_bench: unknown backend '" << opts.backend
+              << "' (known:";
+    for (const std::string& name : api::BackendRegistry::instance().names())
+      std::cerr << " " << name;
+    std::cerr << ")\n";
     return usage(2);
   }
 

@@ -1,0 +1,178 @@
+// mbq_spec — WorkloadSpec codec and spec-compiler inspection CLI.
+//
+//   mbq_spec encode  [--in F] [--out F]            JSON text -> binary frame
+//   mbq_spec decode  [--in F] [--out F]            binary frame -> JSON text
+//   mbq_spec compile [--opt MODE] [--in F] [--out F]
+//                                                  run the pass pipeline and
+//                                                  emit the optimized spec
+//                                                  as JSON
+//   mbq_spec stats   [--opt MODE] [--in F]         run the pipeline and print
+//                                                  the per-pass effect table
+//
+// --in/--out default to "-" (stdin/stdout).  compile/stats accept either
+// codec on input (a frame starting with '{' is JSON, anything else is
+// binary).  MODE is an MBQ_SPEC_OPT value: on, off, all, or a comma list
+// of {canonicalize, peephole, fuse, schedule}; default is the
+// environment's MBQ_SPEC_OPT (or "on").
+//
+// Round-trip smoke (CI):  mbq_spec encode < spec.json | mbq_spec decode
+// reproduces the canonical JSON byte-for-byte.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mbq/api/workload_spec.h"
+#include "mbq/common/error.h"
+#include "mbq/speccomp/json.h"
+#include "mbq/speccomp/speccomp.h"
+
+namespace {
+
+using namespace mbq;
+
+int usage() {
+  std::cerr
+      << "usage: mbq_spec <encode|decode|compile|stats> [options]\n"
+         "  encode  [--in F] [--out F]          JSON spec -> binary frame\n"
+         "  decode  [--in F] [--out F]          binary frame -> JSON spec\n"
+         "  compile [--opt MODE] [--in F] [--out F]\n"
+         "                                      optimize, emit JSON spec\n"
+         "  stats   [--opt MODE] [--in F]       optimize, print pass table\n"
+         "--in/--out default to - (stdin/stdout); compile/stats autodetect\n"
+         "the input codec.  MODE: on | off | all | comma list of\n"
+         "{canonicalize, peephole, fuse, schedule}.\n";
+  return 2;
+}
+
+std::string read_all(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    return buf.str();
+  }
+  std::ifstream is(path, std::ios::binary);
+  MBQ_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+void write_all(const std::string& path, const std::string& data) {
+  if (path == "-") {
+    std::cout.write(data.data(), static_cast<std::streamsize>(data.size()));
+    std::cout.flush();
+    MBQ_REQUIRE(std::cout.good(), "short write to stdout");
+    return;
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  MBQ_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  MBQ_REQUIRE(os.good(), "short write to '" << path << "'");
+}
+
+std::string frame_to_string(const std::vector<std::byte>& frame) {
+  return std::string(reinterpret_cast<const char*>(frame.data()),
+                     frame.size());
+}
+
+api::WorkloadSpec parse_binary(const std::string& data) {
+  return api::parse_spec(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(data.data()), data.size()));
+}
+
+/// compile/stats input: '{' (after optional whitespace) means JSON.
+api::WorkloadSpec parse_either(const std::string& data) {
+  for (const char c : data) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return c == '{' ? speccomp::spec_from_json(data) : parse_binary(data);
+  }
+  throw Error("empty spec input");
+}
+
+struct Args {
+  std::string in = "-";
+  std::string out = "-";
+  speccomp::SpecCompileOptions opt = speccomp::SpecCompileOptions::from_env();
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return false;  // every flag takes a value
+    const std::string value = argv[++i];
+    if (flag == "--in") {
+      a.in = value;
+    } else if (flag == "--out") {
+      a.out = value;
+    } else if (flag == "--opt") {
+      a.opt = speccomp::SpecCompileOptions::parse(value);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_stats(const speccomp::CompiledSpec& compiled) {
+  std::printf("%-14s %-8s %-8s %s\n", "pass", "enabled", "changed", "effect");
+  for (const speccomp::PassStats& s : compiled.stats) {
+    std::string effect;
+    const auto add = [&effect](const char* label, std::int64_t v) {
+      if (v == 0) return;
+      effect += effect.empty() ? "" : ", ";
+      effect += label;
+      effect += "=" + std::to_string(v);
+    };
+    add("terms_dropped", s.terms_dropped);
+    add("terms_merged", s.terms_merged);
+    add("gates_eliminated", s.gates_eliminated);
+    add("gates_fused", s.gates_fused);
+    add("wires_deferrable", s.wires_deferrable);
+    add("wires_total", s.wires_total);
+    if (effect.empty()) effect = "-";
+    std::printf("%-14s %-8s %-8s %s\n", s.pass.c_str(),
+                s.enabled ? "yes" : "no", s.changed ? "yes" : "no",
+                effect.c_str());
+  }
+  std::printf("fingerprint (raw spec bytes): 0x%016llx\n",
+              static_cast<unsigned long long>(
+                  api::spec_fingerprint(compiled.spec)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+
+  try {
+    if (cmd == "encode") {
+      const api::WorkloadSpec spec = speccomp::spec_from_json(read_all(args.in));
+      write_all(args.out, frame_to_string(api::serialize_spec(spec)));
+    } else if (cmd == "decode") {
+      const api::WorkloadSpec spec = parse_binary(read_all(args.in));
+      write_all(args.out, speccomp::spec_to_json(spec));
+    } else if (cmd == "compile") {
+      const api::WorkloadSpec spec = parse_either(read_all(args.in));
+      const speccomp::CompiledSpec compiled =
+          speccomp::compile_spec(spec, args.opt);
+      write_all(args.out, speccomp::spec_to_json(compiled.spec));
+    } else if (cmd == "stats") {
+      const api::WorkloadSpec spec = parse_either(read_all(args.in));
+      print_stats(speccomp::compile_spec(spec, args.opt));
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "mbq_spec: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

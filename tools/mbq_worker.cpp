@@ -18,19 +18,57 @@
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "mbq/api/workload_spec.h"
 #include "mbq/common/parallel.h"
 #include "mbq/shard/protocol.h"
 #include "mbq/shard/task.h"
+#include "mbq/speccomp/json.h"
+
+namespace {
+
+/// --decode-spec: read a JSON workload spec on stdin, rebuild it with
+/// the same decode path a shard request would use, and answer with the
+/// canonical JSON plus the wire fingerprint on stdout.  Exists so
+/// non-C++ clients (and the CI smoke) can verify that the exact bytes a
+/// worker process would execute match what they authored — the
+/// worker-side half of the text codec.
+int decode_spec_stdin() {
+  try {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    const mbq::api::WorkloadSpec spec =
+        mbq::speccomp::spec_from_json(buf.str());
+    // Through the binary wire codec, exactly like a shard frame.
+    const mbq::api::WorkloadSpec rebuilt =
+        mbq::api::parse_spec(mbq::api::serialize_spec(spec));
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "0x%016llx",
+                  static_cast<unsigned long long>(
+                      mbq::api::spec_fingerprint(rebuilt)));
+    std::cout << "spec_fingerprint " << fp << "\n"
+              << mbq::speccomp::spec_to_json(rebuilt);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mbq_worker: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mbq;
 
+  if (argc == 2 && std::string(argv[1]) == "--decode-spec")
+    return decode_spec_stdin();
+
   if (argc != 2) {
-    std::cerr << "usage: mbq_worker <channel-fd>\n"
-              << "(spawned by mbq::shard::WorkerPool; not meant to be run "
-                 "by hand)\n";
+    std::cerr << "usage: mbq_worker <channel-fd> | mbq_worker --decode-spec\n"
+              << "(spawned by mbq::shard::WorkerPool; --decode-spec reads a "
+                 "JSON spec on stdin and echoes the canonical form)\n";
     return 2;
   }
   const int fd = std::atoi(argv[1]);

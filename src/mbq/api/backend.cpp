@@ -27,6 +27,9 @@ std::string Backend::unsupported_reason(const Workload& w,
   if (w.entangler_noise() > 0.0 && !caps.supports_noise)
     return name() +
            " is a noiseless path and cannot execute entangler noise";
+  if (w.precision() == Precision::F32 && !caps.supports_f32_storage)
+    return name() +
+           " computes in f64 and cannot honor f32 statevector storage";
   return {};
 }
 

@@ -53,6 +53,13 @@ struct Capabilities {
   /// reject noisy workloads, so the router sends them to a
   /// measurement-based adapter.
   bool supports_noise = false;
+  /// Whether the backend honors WorkloadSpec::precision == F32 (the
+  /// simulator's float32 statevector storage).  Backends that compute in
+  /// f64 regardless — exact contraction, tableau, the dense reference
+  /// statevector — must reject f32 workloads rather than silently run
+  /// them at the wrong precision, so the router sends those to an
+  /// f32-capable measurement-based adapter.
+  bool supports_f32_storage = false;
 };
 
 /// Opaque reusable per-(workload, angles) compilation artifact.

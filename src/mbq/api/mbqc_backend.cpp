@@ -32,10 +32,15 @@ Capabilities MbqcBackend::capabilities() const {
       mode_ == core::CorrectionMode::Quantum
           ? "full adaptive measurement protocol with quantum corrections"
           : "adaptive protocol, byproducts fixed by classical post-processing";
-  caps.max_qubits = 20;  // live-width ~ problem register + gadget ancillas
+  // Live-width ~ problem register + gadget ancillas; the threaded
+  // chunked kernels and the optional f32 storage push the practical
+  // ceiling past the old n = 20.
+  caps.max_qubits = 24;
   // The dynamic-statevector runner models the entangler depolarizing
   // channel, so noisy workloads execute here (and only here).
   caps.supports_noise = true;
+  // The same runner owns the f32 statevector storage path.
+  caps.supports_f32_storage = true;
   return caps;
 }
 
@@ -44,6 +49,7 @@ namespace {
 mbqc::ExecOptions exec_options_for(const Workload& w) {
   mbqc::ExecOptions opt;
   opt.entangler_noise = w.entangler_noise();
+  opt.precision = w.precision();
   return opt;
 }
 

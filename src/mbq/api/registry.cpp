@@ -1,7 +1,10 @@
 #include "mbq/api/registry.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "mbq/api/clifford_backend.h"
 #include "mbq/api/mbqc_backend.h"
@@ -11,6 +14,30 @@
 #include "mbq/common/error.h"
 
 namespace mbq::api {
+
+namespace {
+
+// Candidate list of the registry's default "router"/"router-checked"
+// factories, overridable via MBQ_ROUTER_CANDIDATES (a comma-separated
+// list of registry names).  The CI battery uses this to re-run the whole
+// tier-1 suite with routing pinned to f32-capable adapters; explicitly
+// constructed RouterBackend/RouterOptions instances are never affected.
+std::vector<std::string> default_router_candidates() {
+  RouterOptions defaults;
+  const char* env = std::getenv("MBQ_ROUTER_CANDIDATES");
+  if (env == nullptr || *env == '\0') return defaults.candidates;
+  std::vector<std::string> names;
+  std::string token;
+  std::istringstream in(env);
+  while (std::getline(in, token, ','))
+    if (!token.empty()) names.push_back(token);
+  MBQ_REQUIRE(!names.empty(),
+              "MBQ_ROUTER_CANDIDATES='" << env
+                                        << "' names no candidate backends");
+  return names;
+}
+
+}  // namespace
 
 BackendRegistry::BackendRegistry() {
   factories_["statevector"] = [] {
@@ -27,9 +54,17 @@ BackendRegistry::BackendRegistry() {
   factories_["zx"] = [] { return std::make_shared<ZxTensorBackend>(); };
   // Meta-backends: cost routing over the adapters above (the factories
   // run at create() time, when the built-ins are all registered).
-  factories_["router"] = [] { return std::make_shared<RouterBackend>(); };
+  // The env override resolves at create() time, so a test (or a child
+  // worker process inheriting the variable) always sees the current
+  // value, not whatever held when the singleton was first built.
+  factories_["router"] = [] {
+    RouterOptions options;
+    options.candidates = default_router_candidates();
+    return std::make_shared<RouterBackend>(options);
+  };
   factories_["router-checked"] = [] {
     RouterOptions options;
+    options.candidates = default_router_candidates();
     options.cross_check = true;
     return std::make_shared<RouterBackend>(options);
   };

@@ -86,6 +86,7 @@ Capabilities RouterBackend::capabilities() const {
     else if (caps.max_term_order != 0)
       caps.max_term_order = std::max(caps.max_term_order, c.max_term_order);
     caps.supports_noise |= c.supports_noise;
+    caps.supports_f32_storage |= c.supports_f32_storage;
   }
   if (caps.max_term_order < 0) caps.max_term_order = 0;
   return caps;

@@ -12,6 +12,7 @@
 #include "mbq/shard/plan.h"
 #include "mbq/shard/protocol.h"
 #include "mbq/shard/worker_pool.h"
+#include "mbq/sim/collapse_threaded.h"
 
 namespace mbq::api {
 
@@ -94,6 +95,17 @@ Session::Session(Workload workload, std::shared_ptr<Backend> backend,
                     << workload_.entangler_noise());
     workload_.with_entangler_noise(options_.entangler_noise);
   }
+  if (options_.precision != Precision::F64) {
+    MBQ_REQUIRE(workload_.precision() == Precision::F64 ||
+                    workload_.precision() == options_.precision,
+                "SessionOptions::precision = "
+                    << precision_name(options_.precision)
+                    << " conflicts with the workload's own precision "
+                    << precision_name(workload_.precision()));
+    workload_.with_precision(options_.precision);
+  }
+  if (options_.kernel_threads > 0)
+    thr::set_kernel_threads(options_.kernel_threads);
   num_processes_ = resolve_num_processes(options_.num_processes);
   daemon_endpoint_ = options_.daemon_endpoint;
   if (daemon_endpoint_.empty())

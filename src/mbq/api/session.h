@@ -130,6 +130,23 @@ struct SessionOptions {
   /// noisy results keep the full determinism contract below — including
   /// bit-identical process-sharded execution.
   real entangler_noise = 0.0;
+  /// Statevector storage precision for the workload's measurement-based
+  /// execution.  F64 (the default) leaves the workload untouched; F32
+  /// applies Workload::with_precision at construction.  Throws if the
+  /// workload already carries a different non-default precision
+  /// (ambiguous intent).  f32 runs are deterministic within the
+  /// precision — the full contract below holds, including bit-identical
+  /// sharded and remote execution — but are NOT bit-comparable to f64
+  /// runs of the same workload.
+  Precision precision = Precision::F64;
+  /// Kernel threads for the simulator's chunked amplitude sweeps
+  /// (sim/collapse_threaded.h).  0 (the default) resolves the
+  /// MBQ_KERNEL_THREADS environment variable ("auto"/unset = the OpenMP
+  /// default); >= 1 pins the count process-wide.  Purely a wall-clock
+  /// knob: results are bit-identical at every value.  NOTE: the setting
+  /// is process-global (the kernels are shared), so the last constructed
+  /// Session wins.
+  int kernel_threads = 0;
 };
 
 struct Shot {

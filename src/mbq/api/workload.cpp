@@ -140,6 +140,15 @@ Workload& Workload::with_entangler_noise(real probability) {
   return *this;
 }
 
+Workload& Workload::with_precision(Precision p) {
+  const auto v = static_cast<std::uint8_t>(p);
+  MBQ_REQUIRE(v <= static_cast<std::uint8_t>(Precision::F32),
+              "invalid precision " << int{v});
+  spec_.precision = p;
+  lowered_.reset();
+  return *this;
+}
+
 Workload& Workload::with_spec_compile(
     const speccomp::SpecCompileOptions& options) {
   spec_opt_ = options;

@@ -128,11 +128,21 @@ class Workload {
   /// process count; only noise-capable backends (mbqc, mbqc-classical)
   /// accept the workload.
   Workload& with_entangler_noise(real probability);
+  /// Statevector storage precision of the measurement-based execution
+  /// (default Precision::F64).  F32 halves the amplitude footprint —
+  /// roughly one extra qubit of reach at a fixed memory budget — and is
+  /// deterministic within the precision (same seed -> same stream at
+  /// every ISA, thread and process count), but f32 streams are NOT
+  /// bit-comparable to f64's.  Routes to f32-capable backends only
+  /// (Capabilities::supports_f32_storage) and travels with the spec, so
+  /// sharded/served execution uses the same storage as local.
+  Workload& with_precision(Precision p);
   core::LinearTermStyle linear_style() const noexcept {
     return spec_.linear_style;
   }
   int max_wire_degree() const noexcept { return spec_.max_wire_degree; }
   real entangler_noise() const noexcept { return spec_.entangler_noise; }
+  Precision precision() const noexcept { return spec_.precision; }
 
   core::CompileOptions compile_options(bool final_corrections) const;
 

@@ -30,6 +30,9 @@ void WorkloadSpec::validate() const {
                   << max_wire_degree);
   MBQ_REQUIRE(entangler_noise >= 0.0 && entangler_noise <= 1.0,
               "entangler noise probability out of range: " << entangler_noise);
+  const auto prec = static_cast<std::uint8_t>(precision);
+  MBQ_REQUIRE(prec <= static_cast<std::uint8_t>(Precision::F32),
+              "invalid precision " << int{prec});
 
   // Kind-specific members are canonical: present exactly when the kind
   // uses them, so equal workloads have equal (and equal-encoding) specs.
@@ -175,6 +178,7 @@ void encode_spec(ByteWriter& out, const WorkloadSpec& spec) {
   out.u8(static_cast<std::uint8_t>(spec.linear_style));
   out.i32(spec.max_wire_degree);
   out.f64(spec.entangler_noise);
+  out.u8(static_cast<std::uint8_t>(spec.precision));
   encode_cost(out, spec.cost);
   switch (spec.kind) {
     case AnsatzKind::QaoaDiagonal:
@@ -213,6 +217,10 @@ WorkloadSpec decode_spec(ByteReader& in) {
   spec.linear_style = static_cast<core::LinearTermStyle>(style);
   spec.max_wire_degree = in.i32();
   spec.entangler_noise = in.f64();
+  const std::uint8_t prec = in.u8();
+  MBQ_REQUIRE(prec <= static_cast<std::uint8_t>(Precision::F32),
+              "malformed spec frame: precision " << int{prec});
+  spec.precision = static_cast<Precision>(prec);
   spec.cost = decode_cost(in);
   switch (spec.kind) {
     case AnsatzKind::QaoaDiagonal:

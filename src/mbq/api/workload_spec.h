@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mbq/common/serialize.h"
+#include "mbq/common/types.h"
 #include "mbq/core/compiler.h"
 #include "mbq/graph/graph.h"
 #include "mbq/qaoa/hamiltonian.h"
@@ -76,6 +77,15 @@ struct WorkloadSpec {
   /// backends (statevector, clifford, zx) reject noisy workloads — see
   /// Capabilities::supports_noise.
   real entangler_noise = 0.0;
+  /// Statevector storage precision of the measurement-based execution
+  /// (common/types.h).  F32 halves the amplitude footprint — roughly one
+  /// extra qubit of reach — and is deterministic within the precision,
+  /// but NOT bit-comparable to F64 runs.  Part of the codec, so a
+  /// sharded or served f32 workload executes f32 remotely too, and the
+  /// fingerprint (= every prepare-cache key) distinguishes precisions.
+  /// Only f32-capable backends accept F32 — see
+  /// Capabilities::supports_f32_storage.
+  Precision precision = Precision::F64;
 
   /// CustomCircuit specs describe everything EXCEPT the closure, so they
   /// are the one kind that cannot round-trip through encode().

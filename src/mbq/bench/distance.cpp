@@ -78,6 +78,12 @@ real chi_squared(const SparseHist& observed, const SparseDist& expected) {
 SparseDist reference_distribution(const api::Workload& w,
                                   const qaoa::Angles& a, real cutoff) {
   MBQ_REQUIRE(cutoff >= 0.0, "negative probability cutoff " << cutoff);
+  MBQ_REQUIRE(w.num_qubits() <= kExactReferenceMaxQubits,
+              "exact-reference scoring is statevector-bounded: "
+                  << w.num_qubits() << " qubits exceeds the "
+                  << kExactReferenceMaxQubits
+                  << "-qubit cap (score such instances against sampled "
+                     "baselines instead)");
   const api::Workload* ideal = &w;
   api::Workload stripped = w;
   if (w.entangler_noise() != 0.0) {

@@ -50,12 +50,19 @@ real tvd(const SparseDist& p, const SparseDist& q);
 /// Throws on an empty observation set.
 real chi_squared(const SparseHist& observed, const SparseDist& expected);
 
+/// Exact-reference ceiling: the dense statevector the reference runs on
+/// caps at 28 qubits (4 GiB of f64 amplitudes).  Corpus sizes up to the
+/// large-n wall (n = 24) score exactly; beyond the cap the scorer
+/// degrades with a loud Error naming this bound rather than attempting
+/// a silent approximation.
+inline constexpr int kExactReferenceMaxQubits = 28;
+
 /// The exact output distribution of the workload's NOISELESS reference
 /// execution at the given angles: entangler noise is stripped, the
 /// statevector path runs, and amplitudes with |a|^2 > cutoff become
 /// probabilities.  This is the "ideal device" side of every fidelity
-/// score.  Statevector-bounded (n <= 28; practical corpus sizes are far
-/// below).
+/// score.  Throws Error (naming kExactReferenceMaxQubits) for workloads
+/// too large to score exactly.
 SparseDist reference_distribution(const api::Workload& w,
                                   const qaoa::Angles& a, real cutoff = 0.0);
 

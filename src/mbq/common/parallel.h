@@ -75,6 +75,28 @@ void parallel_for_grain(std::int64_t n, std::int64_t grain, F&& f) {
   for (std::int64_t i = 0; i < n; ++i) f(i);
 }
 
+/// parallel_for with an EXPLICIT thread count and static schedule, for
+/// loops whose every iteration is a fixed-size chunk of work (the
+/// kernel chunk drivers in sim/collapse_threaded.h).  The trip count is
+/// the number of chunks — typically far below kParallelGrain — so the
+/// decision to parallelize is the caller's, not a grain heuristic's.
+/// threads <= 1 (or no OpenMP) runs serially; the WORK each f(i)
+/// performs is identical either way, which is what keeps the chunked
+/// folds thread-count-invariant.
+template <typename F>
+void parallel_for_threads(std::int64_t n, int threads, F&& f) {
+#ifdef MBQ_HAS_OPENMP
+  if (threads > 1 && n > 1) {
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (std::int64_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+#else
+  (void)threads;
+#endif
+  for (std::int64_t i = 0; i < n; ++i) f(i);
+}
+
 /// Sum-reduction over [0, n) of a real-valued f(i).
 template <typename F>
 real parallel_sum(std::int64_t n, F&& f) {

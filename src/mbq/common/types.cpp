@@ -1,8 +1,23 @@
 #include "mbq/common/types.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "mbq/common/error.h"
 
 namespace mbq {
+
+const char* precision_name(Precision p) noexcept {
+  return p == Precision::F32 ? "f32" : "f64";
+}
+
+Precision parse_precision(const char* name) {
+  MBQ_REQUIRE(name != nullptr, "precision name is null");
+  if (std::strcmp(name, "f64") == 0) return Precision::F64;
+  if (std::strcmp(name, "f32") == 0) return Precision::F32;
+  throw Error(std::string("unknown precision '") + name +
+              "' (expected f64 or f32)");
+}
 
 real wrap_angle(real theta) noexcept {
   theta = std::fmod(theta, kTwoPi);

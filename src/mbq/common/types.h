@@ -8,6 +8,19 @@ namespace mbq {
 
 using real = double;
 using cplx = std::complex<double>;
+using cplxf = std::complex<float>;
+
+/// Amplitude storage width of a statevector execution.  F64 is the
+/// default and the reference everything else is compared against.  F32
+/// halves memory bandwidth and doubles effective SIMD width for large-n
+/// workloads that tolerate reduced precision; f32 runs are deterministic
+/// WITHIN the precision (bit-identical across ISAs, thread counts and
+/// process counts at f32) but are NOT bit-comparable to f64 runs.
+enum class Precision : std::uint8_t { F64 = 0, F32 = 1 };
+
+const char* precision_name(Precision p) noexcept;
+/// Parse "f64"/"f32" (case-sensitive); throws Error on anything else.
+Precision parse_precision(const char* name);
 
 inline constexpr real kPi = 3.14159265358979323846264338327950288;
 inline constexpr real kTwoPi = 2.0 * kPi;

@@ -145,7 +145,9 @@ CompiledPattern::CompiledPattern(const Pattern& p) {
 
 PatternExecutor::PatternExecutor(std::shared_ptr<const CompiledPattern> compiled,
                                  ExecOptions options)
-    : compiled_(std::move(compiled)), options_(std::move(options)) {
+    : compiled_(std::move(compiled)),
+      options_(std::move(options)),
+      dsv_(options_.precision) {
   MBQ_REQUIRE(compiled_ != nullptr, "PatternExecutor needs a compiled pattern");
   MBQ_REQUIRE(options_.entangler_noise >= 0.0 &&
                   options_.entangler_noise <= 1.0,

@@ -133,6 +133,10 @@ struct ExecOptions {
   /// (unfused) execution path so the rng stream matches the interpreter
   /// draw for draw.
   real entangler_noise = 0.0;
+  /// Statevector storage precision of the executor arena (see
+  /// sim/dynamic_statevector.h).  F32 runs are deterministic within the
+  /// precision but NOT bit-comparable to F64 runs.
+  Precision precision = Precision::F64;
 
   /// Whole-struct comparison keeps thread_local_executor's staleness
   /// check honest when fields are added here.

@@ -12,7 +12,7 @@ namespace {
 
 ExecOptions exec_options(const RunOptions& options) {
   return {options.apply_corrections, options.input_states,
-          options.entangler_noise};
+          options.entangler_noise, options.precision};
 }
 
 }  // namespace
@@ -43,7 +43,7 @@ RunResult run_interpreted(const Pattern& p, Rng& rng,
   MBQ_REQUIRE(options.entangler_noise == 0.0 || options.forced.empty(),
               "entangler noise is incompatible with forced outcomes");
 
-  DynamicStatevector dsv;
+  DynamicStatevector dsv(options.precision);
   RunResult result;
   std::vector<int> outcomes;  // recorded outcomes by signal id
   outcomes.reserve(num_meas);

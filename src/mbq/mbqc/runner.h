@@ -34,6 +34,9 @@ struct RunOptions {
   /// dominant (entangler) error channel; 0 = noiseless.  Incompatible
   /// with forced outcomes (noise changes branch statistics).
   real entangler_noise = 0.0;
+  /// Statevector storage precision (sim/dynamic_statevector.h): F32 runs
+  /// are deterministic within the precision, NOT bit-comparable to F64.
+  Precision precision = Precision::F64;
 };
 
 struct RunResult {

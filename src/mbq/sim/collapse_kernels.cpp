@@ -1,11 +1,14 @@
-// Kernel dispatch: resolve the active flavor once per process, guarded
-// by a bit-identity self-check battery against the scalar reference.
+// Kernel dispatch: resolve the active flavor once per process (and per
+// element type), guarded by a bit-identity self-check battery against
+// the scalar reference.
 //
 // Resolution order: an MBQ_SIMD override is honored strictly (missing
 // flavor or failed self-check THROWS — a forced flavor must never
 // silently degrade); auto mode walks best-first (avx512 > avx2 > neon)
 // and falls back past anything that is not compiled in, not executable
-// here, or fails its self-check, bottoming out at scalar.
+// here, or fails its self-check, bottoming out at scalar.  The f64 and
+// f32 tables dispatch independently (each runs its own battery) but
+// share the override and the ladder.
 
 #include "mbq/sim/collapse_kernels.h"
 
@@ -14,6 +17,7 @@
 #include <cstring>
 
 #include "mbq/common/error.h"
+#include "mbq/sim/collapse_threaded.h"
 
 namespace mbq {
 
@@ -29,34 +33,46 @@ std::uint64_t mix64(std::uint64_t& s) noexcept {
   return z ^ (z >> 31);
 }
 
-double rand_unit(std::uint64_t& s) noexcept {
+template <class R>
+R rand_unit(std::uint64_t& s) noexcept {
   // [-1, 1) with full mantissa churn; exact-zero components appear via
-  // the effect products, not the inputs.
-  return static_cast<double>(mix64(s) >> 11) * 0x1.0p-52 - 1.0;
+  // the effect products, not the inputs.  The f32 values are the f64
+  // draws rounded once — still deterministic.
+  return static_cast<R>(static_cast<double>(mix64(s) >> 11) * 0x1.0p-52 - 1.0);
 }
 
-void fill(std::vector<cplx>& buf, std::size_t n, std::uint64_t seed) {
+template <class R>
+void fill(std::vector<std::complex<R>>& buf, std::size_t n,
+          std::uint64_t seed) {
   buf.resize(n);
-  for (auto& v : buf) v = {rand_unit(seed), rand_unit(seed)};
+  for (auto& v : buf) v = {rand_unit<R>(seed), rand_unit<R>(seed)};
 }
 
-bool same(double a, double b) noexcept {
-  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+template <class R>
+bool same(R a, R b) noexcept {
+  using U = std::conditional_t<sizeof(R) == 8, std::uint64_t, std::uint32_t>;
+  return std::bit_cast<U>(a) == std::bit_cast<U>(b);
 }
 
-bool same(const std::vector<cplx>& a, const std::vector<cplx>& b) noexcept {
+template <class R>
+bool same(const std::vector<std::complex<R>>& a,
+          const std::vector<std::complex<R>>& b) noexcept {
   return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)) == 0;
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(std::complex<R>)) ==
+             0;
 }
 
 /// Every kernel entry, against scalar, bit-for-bit, across sizes that
 /// exercise both the vector main loops and the delegation shapes.
-bool run_battery(const CollapseKernels& k) {
-  const CollapseKernels& ref = scalar_kernels();
-  const cplx effs[] = {{0.7071067811865476, 0.0},   // Real
-                       {0.0, 0.3141592653589793},   // Imag
-                       {0.6, -0.8}};                // Generic
-  std::vector<cplx> x, y, ox, oy;
+template <class R>
+bool run_battery(const CollapseKernelsT<R>& k) {
+  using C = std::complex<R>;
+  const CollapseKernelsT<R>& ref = scalar_kernels_t<R>();
+  const C effs[] = {{R(0.7071067811865476), R(0.0)},  // Real
+                    {R(0.0), R(0.3141592653589793)},  // Imag
+                    {R(0.6), R(-0.8)}};               // Generic
+  const R kInvSqrt2 = R(0.7071067811865476);
+  std::vector<C> x, y, ox, oy;
 
   const std::size_t sizes[] = {1, 2, 3, 4, 8, 12, 32, 64, 256};
   for (std::size_t n : sizes) {
@@ -64,47 +80,64 @@ bool run_battery(const CollapseKernels& k) {
     y = x;
     if (!same(ref.fold_norms(x.data(), n), k.fold_norms(x.data(), n)))
       return false;
-    if (!same(ref.fold_norms_scaled(x.data(), n, 0.25),
-              k.fold_norms_scaled(x.data(), n, 0.25)))
+    if (!same(ref.fold_norms_scaled(x.data(), n, R(0.25)),
+              k.fold_norms_scaled(x.data(), n, R(0.25))))
       return false;
-    if (!same(ref.prep_total_fold(x.data(), n, 0.7071067811865476),
-              k.prep_total_fold(x.data(), n, 0.7071067811865476)))
+    if (!same(ref.prep_total_fold(x.data(), n, kInvSqrt2),
+              k.prep_total_fold(x.data(), n, kInvSqrt2)))
       return false;
-    const double fa = ref.scale_fold(x.data(), n, 1.3);
-    const double fb = k.scale_fold(y.data(), n, 1.3);
+    const R fa = ref.scale_fold(x.data(), n, R(1.3));
+    const R fb = k.scale_fold(y.data(), n, R(1.3));
     if (!same(fa, fb) || !same(x, y)) return false;
   }
 
   const std::size_t dim = 256;
-  for (const cplx& e0 : effs) {
-    for (const cplx& e1 : effs) {
+  for (const C& e0 : effs) {
+    for (const C& e1 : effs) {
       for (int q : {0, 1, 2, 3, 5}) {
         fill(x, dim, 0xABCD ^ static_cast<std::uint64_t>(q));
-        ox.assign(dim / 2, cplx{});
-        oy.assign(dim / 2, cplx{});
-        const double fa =
+        ox.assign(dim / 2, C{});
+        oy.assign(dim / 2, C{});
+        const R fa =
             ref.collapse_pairs(x.data(), ox.data(), dim / 2, q, e0, e1);
-        const double fb =
-            k.collapse_pairs(x.data(), oy.data(), dim / 2, q, e0, e1);
+        const R fb = k.collapse_pairs(x.data(), oy.data(), dim / 2, q, e0, e1);
         if (!same(fa, fb) || !same(ox, oy)) return false;
       }
       for (std::uint64_t pmask : {0x0ULL, 0x1ULL, 0xAULL, 0x2BULL, 0xF0ULL}) {
         fill(x, dim, 0x5EED ^ pmask);
-        ox.assign(dim, cplx{});
-        oy.assign(dim, cplx{});
-        const double fa = ref.prep_collapse(x.data(), ox.data(), dim, pmask,
-                                            e0, e1, 0.7071067811865476);
-        const double fb = k.prep_collapse(x.data(), oy.data(), dim, pmask,
-                                          e0, e1, 0.7071067811865476);
+        ox.assign(dim, C{});
+        oy.assign(dim, C{});
+        const R fa = ref.prep_collapse(x.data(), ox.data(), dim, pmask, e0, e1,
+                                       kInvSqrt2);
+        const R fb =
+            k.prep_collapse(x.data(), oy.data(), dim, pmask, e0, e1, kInvSqrt2);
         if (!same(fa, fb) || !same(ox, oy)) return false;
         for (int q : {0, 2, 4}) {
-          ox.assign(dim, cplx{});
-          oy.assign(dim, cplx{});
+          ox.assign(dim, C{});
+          oy.assign(dim, C{});
           ref.teleport_collapse(x.data(), ox.data(), dim, q, pmask, e0, e1,
-                                0.7071067811865476);
+                                kInvSqrt2);
           k.teleport_collapse(x.data(), oy.data(), dim, q, pmask, e0, e1,
-                              0.7071067811865476);
+                              kInvSqrt2);
           if (!same(ox, oy)) return false;
+          // Ranged teleport: slices must agree with scalar's slices
+          // bit-for-bit, including the per-slice fold pairs.
+          for (const auto& rr :
+               {std::pair<std::uint64_t, std::uint64_t>{0, 32},
+                std::pair<std::uint64_t, std::uint64_t>{32, 128},
+                std::pair<std::uint64_t, std::uint64_t>{0, 128}}) {
+            ox.assign(dim, C{});
+            oy.assign(dim, C{});
+            R fla = R(0), fha = R(0), flb = R(0), fhb = R(0);
+            ref.teleport_collapse_range(x.data(), ox.data(), dim, q, pmask, e0,
+                                        e1, kInvSqrt2, rr.first, rr.second,
+                                        &fla, &fha);
+            k.teleport_collapse_range(x.data(), oy.data(), dim, q, pmask, e0,
+                                      e1, kInvSqrt2, rr.first, rr.second, &flb,
+                                      &fhb);
+            if (!same(fla, flb) || !same(fha, fhb) || !same(ox, oy))
+              return false;
+          }
         }
       }
     }
@@ -113,9 +146,18 @@ bool run_battery(const CollapseKernels& k) {
   for (std::uint64_t pmask : {0x0ULL, 0x3ULL, 0x15ULL, 0x81ULL}) {
     fill(x, 2 * dim, 0xADD ^ pmask);
     y = x;
-    const double fa = ref.add_plus_cz(x.data(), dim, pmask, 0.5);
-    const double fb = k.add_plus_cz(y.data(), dim, pmask, 0.5);
+    const R fa = ref.add_plus_cz(x.data(), dim, pmask, R(0.5));
+    const R fb = k.add_plus_cz(y.data(), dim, pmask, R(0.5));
     if (!same(fa, fb) || !same(x, y)) return false;
+    // Ranged mirror over the already-scaled lower half.
+    for (const auto& rr : {std::pair<std::uint64_t, std::uint64_t>{0, 64},
+                           std::pair<std::uint64_t, std::uint64_t>{64, 256}}) {
+      const R ma = ref.mirror_cz_range(x.data(), dim, rr.first, rr.second,
+                                       pmask);
+      const R mb = k.mirror_cz_range(y.data(), dim, rr.first, rr.second,
+                                     pmask);
+      if (!same(ma, mb) || !same(x, y)) return false;
+    }
   }
 
   for (std::uint64_t eq : {0x0ULL, 0x6ULL, 0x90ULL}) {
@@ -131,6 +173,12 @@ bool run_battery(const CollapseKernels& k) {
           y = x;
           ref.pauli_swap_pass(x.data(), dim, xm, par, eq, neg);
           k.pauli_swap_pass(y.data(), dim, xm, par, eq, neg);
+          if (!same(x, y)) return false;
+          // Ranged pauli swap over a rank sub-interval.
+          fill(x, dim, eq * 17 + par * 29 + xm);
+          y = x;
+          ref.pauli_swap_range(x.data(), xm, par, eq, neg, 16, 96);
+          k.pauli_swap_range(y.data(), xm, par, eq, neg, 16, 96);
           if (!same(x, y)) return false;
         }
       }
@@ -149,7 +197,7 @@ bool run_battery(const CollapseKernels& k) {
   for (int q : {0, 1, 3, 6}) {
     fill(x, dim, 0x9FA5E ^ static_cast<std::uint64_t>(q));
     y = x;
-    const cplx e{0.984807753012208, 0.17364817766693033};
+    const C e{R(0.984807753012208), R(0.17364817766693033)};
     ref.phase_pass(x.data(), dim, q, e);
     k.phase_pass(y.data(), dim, q, e);
     if (!same(x, y)) return false;
@@ -158,9 +206,145 @@ bool run_battery(const CollapseKernels& k) {
   return true;
 }
 
+/// The chunk drivers at and above the cutoff, across thread counts:
+/// driver(k, t) must equal driver(scalar, 1) bit-for-bit for every
+/// t — this is where a divergent flavor×thread combination is
+/// rejected.  Representative shapes: both stride regimes, mixed
+/// high/low masks, the fused *_with_total pairs against their unfused
+/// definitions.
+template <class R>
+bool run_driver_battery(const CollapseKernelsT<R>& k) {
+  using C = std::complex<R>;
+  const CollapseKernelsT<R>& ref = scalar_kernels_t<R>();
+  const std::uint64_t dim = thr::kChunkCutoffDim;  // 2^14: two chunks
+  const R s = R(0.7071067811865476);
+  const C e0{R(0.6), R(-0.8)};
+  const C e1{R(0.0), R(0.3141592653589793)};
+  std::vector<C> x, y, ox, oy;
+  const int threads[] = {1, 2, 8};
+
+  fill(x, 2 * dim, 0xD1CE5);
+  for (int t : threads) {
+    if (!same(thr::fold_norms(ref, x.data(), dim, 1),
+              thr::fold_norms(k, x.data(), dim, t)))
+      return false;
+    if (!same(thr::prep_total_fold(ref, x.data(), dim, s, 1),
+              thr::prep_total_fold(k, x.data(), dim, s, t)))
+      return false;
+  }
+
+  for (int q : {0, 13, 14}) {  // stride < C, == C, > C
+    fill(x, 2 * dim, 0xFACE ^ static_cast<std::uint64_t>(q));
+    ox.assign(dim, C{});
+    const auto fa =
+        thr::collapse_pairs_with_total(ref, x.data(), ox.data(), dim, q, e0,
+                                       e1, 1);
+    const R ua = thr::fold_norms(ref, x.data(), 2 * dim, 1);
+    const R pa = thr::collapse_pairs(ref, x.data(), ox.data(), dim, q, e0, e1,
+                                     1);
+    if (!same(fa.total, ua) || !same(fa.proj, pa)) return false;  // fusion
+    for (int t : threads) {
+      oy.assign(dim, C{});
+      const auto fb = thr::collapse_pairs_with_total(k, x.data(), oy.data(),
+                                                     dim, q, e0, e1, t);
+      if (!same(fa.total, fb.total) || !same(fa.proj, fb.proj) ||
+          !same(ox, oy))
+        return false;
+    }
+  }
+
+  const std::uint64_t pmask = 0x2BULL | (0x5ULL << 12);  // low and high bits
+  fill(x, dim, 0xBEEF);
+  ox.assign(dim, C{});
+  const auto pa = thr::prep_collapse_with_total(ref, x.data(), ox.data(), dim,
+                                                pmask, e0, e1, s, 1);
+  const R ta = thr::prep_total_fold(ref, x.data(), dim, s, 1);
+  const R ja =
+      thr::prep_collapse(ref, x.data(), ox.data(), dim, pmask, e0, e1, s, 1);
+  if (!same(pa.total, ta) || !same(pa.proj, ja)) return false;  // fusion
+  for (int t : threads) {
+    oy.assign(dim, C{});
+    const auto pb = thr::prep_collapse_with_total(k, x.data(), oy.data(), dim,
+                                                  pmask, e0, e1, s, t);
+    if (!same(pa.total, pb.total) || !same(pa.proj, pb.proj) || !same(ox, oy))
+      return false;
+  }
+
+  for (int q : {2, 13}) {
+    fill(x, dim, 0x7E1E ^ static_cast<std::uint64_t>(q));
+    ox.assign(dim, C{});
+    const R fa = thr::teleport_collapse_fold(ref, x.data(), ox.data(), dim, q,
+                                             pmask & ~((1ULL << (q + 1)) - 1),
+                                             e0, e1, s, 1);
+    for (int t : threads) {
+      oy.assign(dim, C{});
+      const R fb = thr::teleport_collapse_fold(k, x.data(), oy.data(), dim, q,
+                                               pmask & ~((1ULL << (q + 1)) - 1),
+                                               e0, e1, s, t);
+      if (!same(fa, fb) || !same(ox, oy)) return false;
+    }
+  }
+
+  for (std::uint64_t half : {dim / 2, dim}) {
+    fill(x, 2 * half, 0xADD2);
+    y = x;
+    const R fa = thr::add_plus_cz(ref, x.data(), half, pmask, s, 1);
+    for (int t : threads) {
+      y.assign(x.size(), C{});
+      fill(y, 2 * half, 0xADD2);
+      const R fb = thr::add_plus_cz(k, y.data(), half, pmask, s, t);
+      if (!same(fa, fb) || !same(x, y)) return false;
+    }
+  }
+
+  const std::uint64_t eqm = (1ULL << 13) | 0x6;
+  const std::uint64_t parm = (1ULL << 12) | 0x5;
+  fill(x, dim, 0x51C);
+  y = x;
+  thr::sign_pass(ref, x.data(), dim, eqm, parm, false, 1);
+  for (int t : threads) {
+    fill(y, dim, 0x51C);
+    thr::sign_pass(k, y.data(), dim, eqm, parm, false, t);
+    if (!same(x, y)) return false;
+  }
+
+  const std::uint64_t czm[] = {0x3, (1ULL << 13) | 0x18, 1ULL << 12, 0x41};
+  fill(x, dim, 0xC20);
+  thr::cz_masks_pass(ref, x.data(), dim, czm, 4, 1);
+  for (int t : threads) {
+    fill(y, dim, 0xC20);
+    thr::cz_masks_pass(k, y.data(), dim, czm, 4, t);
+    if (!same(x, y)) return false;
+  }
+
+  for (std::uint64_t xm : {0x22ULL, 1ULL << 13}) {
+    fill(x, dim, 0x9A11 ^ xm);
+    thr::pauli_swap_pass(ref, x.data(), dim, xm, parm, eqm, true, 1);
+    for (int t : threads) {
+      fill(y, dim, 0x9A11 ^ xm);
+      thr::pauli_swap_pass(k, y.data(), dim, xm, parm, eqm, true, t);
+      if (!same(x, y)) return false;
+    }
+  }
+
+  for (int q : {2, 13}) {
+    const C e{R(0.984807753012208), R(0.17364817766693033)};
+    fill(x, dim, 0xFA5E ^ static_cast<std::uint64_t>(q));
+    thr::phase_pass(ref, x.data(), dim, q, e, 1);
+    for (int t : threads) {
+      fill(y, dim, 0xFA5E ^ static_cast<std::uint64_t>(q));
+      thr::phase_pass(k, y.data(), dim, q, e, t);
+      if (!same(x, y)) return false;
+    }
+  }
+
+  return true;
+}
+
 // ---- dispatch --------------------------------------------------------
 
 std::atomic<const CollapseKernels*> g_active{nullptr};
+std::atomic<const CollapseKernelsF32*> g_active_f32{nullptr};
 
 /// Strict resolution for a NAMED flavor: must exist here and must pass
 /// the battery, else throw — "rejected at dispatch time".
@@ -178,6 +362,21 @@ const CollapseKernels* resolve_forced(SimdIsa isa) {
   return k;
 }
 
+const CollapseKernelsF32* resolve_forced_f32(SimdIsa isa) {
+  const CollapseKernelsF32* k = kernels_for_isa_f32(isa);
+  MBQ_REQUIRE(k != nullptr,
+              "SIMD flavor '" << isa_name(isa)
+                              << "' is not available for f32 (not compiled "
+                                 "into this build or not supported by this "
+                                 "CPU)");
+  MBQ_REQUIRE(isa == SimdIsa::Scalar || verify_kernels_f32(*k),
+              "SIMD flavor '" << isa_name(isa)
+                              << "' failed the f32 bit-identity self-check "
+                                 "against the scalar reference; rejected at "
+                                 "dispatch time");
+  return k;
+}
+
 const CollapseKernels* resolve() {
   if (const auto forced = simd_env_override()) return resolve_forced(*forced);
   for (const SimdIsa isa : {SimdIsa::Avx512, SimdIsa::Avx2, SimdIsa::Neon}) {
@@ -187,9 +386,25 @@ const CollapseKernels* resolve() {
   return &scalar_kernels();
 }
 
+const CollapseKernelsF32* resolve_f32() {
+  if (const auto forced = simd_env_override())
+    return resolve_forced_f32(*forced);
+  for (const SimdIsa isa : {SimdIsa::Avx512, SimdIsa::Avx2, SimdIsa::Neon}) {
+    const CollapseKernelsF32* k = kernels_for_isa_f32(isa);
+    if (k != nullptr && verify_kernels_f32(*k)) return k;
+  }
+  return &scalar_kernels_f32();
+}
+
 }  // namespace
 
-bool verify_kernels(const CollapseKernels& k) { return run_battery(k); }
+bool verify_kernels(const CollapseKernels& k) {
+  return run_battery(k) && run_driver_battery(k);
+}
+
+bool verify_kernels_f32(const CollapseKernelsF32& k) {
+  return run_battery(k) && run_driver_battery(k);
+}
 
 const CollapseKernels* kernels_for_isa(SimdIsa isa) noexcept {
   if (!host_supports_isa(isa)) return nullptr;
@@ -198,6 +413,17 @@ const CollapseKernels* kernels_for_isa(SimdIsa isa) noexcept {
     case SimdIsa::Avx2: return detail::avx2_kernels_impl();
     case SimdIsa::Avx512: return detail::avx512_kernels_impl();
     case SimdIsa::Neon: return detail::neon_kernels_impl();
+  }
+  return nullptr;
+}
+
+const CollapseKernelsF32* kernels_for_isa_f32(SimdIsa isa) noexcept {
+  if (!host_supports_isa(isa)) return nullptr;
+  switch (isa) {
+    case SimdIsa::Scalar: return &scalar_kernels_f32();
+    case SimdIsa::Avx2: return detail::avx2_kernels_f32_impl();
+    case SimdIsa::Avx512: return detail::avx512_kernels_f32_impl();
+    case SimdIsa::Neon: return detail::neon_kernels_f32_impl();
   }
   return nullptr;
 }
@@ -221,10 +447,32 @@ const CollapseKernels& kernels() {
   return *k;
 }
 
+const CollapseKernelsF32& kernels_f32() {
+  const CollapseKernelsF32* k = g_active_f32.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = resolve_f32();
+    g_active_f32.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+template <>
+const CollapseKernelsT<double>& kernels_t<double>() {
+  return kernels();
+}
+
+template <>
+const CollapseKernelsT<float>& kernels_t<float>() {
+  return kernels_f32();
+}
+
 SimdIsa active_simd_isa() { return kernels().isa; }
+
+SimdIsa active_simd_isa_f32() { return kernels_f32().isa; }
 
 void force_simd_isa(SimdIsa isa) {
   g_active.store(resolve_forced(isa), std::memory_order_release);
+  g_active_f32.store(resolve_forced_f32(isa), std::memory_order_release);
 }
 
 }  // namespace mbq

@@ -17,6 +17,7 @@ namespace mbq::detail {
 namespace {
 
 struct Avx2Traits {
+  using R = double;
   static constexpr int kW = 4;
   using V = __m256d;
 
@@ -43,10 +44,44 @@ struct Avx2Traits {
   }
 };
 
+/// f32 flavor: 8 floats / register, half the canonical 16-lane fold in
+/// one accumulator register.  Same op-for-op structure as the f64
+/// traits — only the element width changes.
+struct Avx2TraitsF32 {
+  using R = float;
+  static constexpr int kW = 8;
+  using V = __m256;
+
+  static V load(const float* p) noexcept { return _mm256_loadu_ps(p); }
+  static void store(float* p, V v) noexcept { _mm256_storeu_ps(p, v); }
+  static V set1(float x) noexcept { return _mm256_set1_ps(x); }
+  static V zero() noexcept { return _mm256_setzero_ps(); }
+  static V add(V a, V b) noexcept { return _mm256_add_ps(a, b); }
+  static V mul(V a, V b) noexcept { return _mm256_mul_ps(a, b); }
+  /// Swap within each 64-bit (re,im) pair: imm 0b10110001 = 2,3,0,1.
+  static V swap_pairs(V v) noexcept { return _mm256_permute_ps(v, 0b10110001); }
+  static V xor_signs(V v, V m) noexcept { return _mm256_xor_ps(v, m); }
+  static V neg(V v) noexcept {
+    return _mm256_xor_ps(
+        v, _mm256_castsi256_ps(_mm256_set1_epi32(
+               static_cast<int>(kSignBitU<float>))));
+  }
+  /// Negate the re lanes (stream-even positions) only.
+  static V neg_even(V v) noexcept {
+    const int s = static_cast<int>(kSignBitU<float>);
+    return _mm256_xor_ps(
+        v, _mm256_castsi256_ps(_mm256_set_epi32(0, s, 0, s, 0, s, 0, s)));
+  }
+};
+
 }  // namespace
 
 const CollapseKernels* avx2_kernels_impl() noexcept {
   return make_vec_table<Avx2Traits>(SimdIsa::Avx2);
+}
+
+const CollapseKernelsF32* avx2_kernels_f32_impl() noexcept {
+  return make_vec_table<Avx2TraitsF32>(SimdIsa::Avx2);
 }
 
 }  // namespace mbq::detail
@@ -55,6 +90,7 @@ const CollapseKernels* avx2_kernels_impl() noexcept {
 
 namespace mbq::detail {
 const CollapseKernels* avx2_kernels_impl() noexcept { return nullptr; }
+const CollapseKernelsF32* avx2_kernels_f32_impl() noexcept { return nullptr; }
 }  // namespace mbq::detail
 
 #endif

@@ -18,6 +18,7 @@ namespace mbq::detail {
 namespace {
 
 struct Avx512Traits {
+  using R = double;
   static constexpr int kW = 8;
   using V = __m512d;
 
@@ -45,10 +46,47 @@ struct Avx512Traits {
   }
 };
 
+/// f32 flavor: 16 floats / register — the whole canonical 16-lane f32
+/// fold in ONE accumulator register.  Still AVX512F only: ps sign xors
+/// route through the integer domain (no DQ xor_ps needed).
+struct Avx512TraitsF32 {
+  using R = float;
+  static constexpr int kW = 16;
+  using V = __m512;
+
+  static V load(const float* p) noexcept { return _mm512_loadu_ps(p); }
+  static void store(float* p, V v) noexcept { _mm512_storeu_ps(p, v); }
+  static V set1(float x) noexcept { return _mm512_set1_ps(x); }
+  static V zero() noexcept { return _mm512_setzero_ps(); }
+  static V add(V a, V b) noexcept { return _mm512_add_ps(a, b); }
+  static V mul(V a, V b) noexcept { return _mm512_mul_ps(a, b); }
+  /// Swap within each 64-bit (re,im) pair: imm 0xB1 = 2,3,0,1 per lane
+  /// quad.
+  static V swap_pairs(V v) noexcept { return _mm512_permute_ps(v, 0xB1); }
+  static V xor_signs(V v, V m) noexcept {
+    return _mm512_castsi512_ps(_mm512_xor_si512(_mm512_castps_si512(v),
+                                                _mm512_castps_si512(m)));
+  }
+  static V neg(V v) noexcept {
+    return xor_signs(v, _mm512_castsi512_ps(_mm512_set1_epi32(
+                            static_cast<int>(kSignBitU<float>))));
+  }
+  /// Negate the re lanes (stream-even positions) only.
+  static V neg_even(V v) noexcept {
+    const int s = static_cast<int>(kSignBitU<float>);
+    return xor_signs(v, _mm512_castsi512_ps(_mm512_set_epi32(
+                            0, s, 0, s, 0, s, 0, s, 0, s, 0, s, 0, s, 0, s)));
+  }
+};
+
 }  // namespace
 
 const CollapseKernels* avx512_kernels_impl() noexcept {
   return make_vec_table<Avx512Traits>(SimdIsa::Avx512);
+}
+
+const CollapseKernelsF32* avx512_kernels_f32_impl() noexcept {
+  return make_vec_table<Avx512TraitsF32>(SimdIsa::Avx512);
 }
 
 }  // namespace mbq::detail
@@ -57,6 +95,9 @@ const CollapseKernels* avx512_kernels_impl() noexcept {
 
 namespace mbq::detail {
 const CollapseKernels* avx512_kernels_impl() noexcept { return nullptr; }
+const CollapseKernelsF32* avx512_kernels_f32_impl() noexcept {
+  return nullptr;
+}
 }  // namespace mbq::detail
 
 #endif

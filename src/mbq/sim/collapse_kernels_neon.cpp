@@ -19,6 +19,7 @@ namespace mbq::detail {
 namespace {
 
 struct NeonTraits {
+  using R = double;
   static constexpr int kW = 2;
   using V = float64x2_t;
 
@@ -44,10 +45,44 @@ struct NeonTraits {
   }
 };
 
+/// f32 flavor: 4 floats / register (two complex amplitudes), four
+/// accumulator registers for the canonical 16-lane fold.
+struct NeonTraitsF32 {
+  using R = float;
+  static constexpr int kW = 4;
+  using V = float32x4_t;
+
+  static V load(const float* p) noexcept { return vld1q_f32(p); }
+  static void store(float* p, V v) noexcept { vst1q_f32(p, v); }
+  static V set1(float x) noexcept { return vdupq_n_f32(x); }
+  static V zero() noexcept { return vdupq_n_f32(0.0f); }
+  static V add(V a, V b) noexcept { return vaddq_f32(a, b); }
+  static V mul(V a, V b) noexcept { return vmulq_f32(a, b); }
+  /// Swap within each 64-bit (re,im) pair.
+  static V swap_pairs(V v) noexcept { return vrev64q_f32(v); }
+  static V xor_signs(V v, V m) noexcept {
+    return vreinterpretq_f32_u32(
+        veorq_u32(vreinterpretq_u32_f32(v), vreinterpretq_u32_f32(m)));
+  }
+  static V neg(V v) noexcept {
+    return xor_signs(v,
+                     vreinterpretq_f32_u32(vdupq_n_u32(kSignBitU<float>)));
+  }
+  /// Negate the re lanes (stream-even positions) only.
+  static V neg_even(V v) noexcept {
+    const uint32_t m[4] = {kSignBitU<float>, 0, kSignBitU<float>, 0};
+    return xor_signs(v, vreinterpretq_f32_u32(vld1q_u32(m)));
+  }
+};
+
 }  // namespace
 
 const CollapseKernels* neon_kernels_impl() noexcept {
   return make_vec_table<NeonTraits>(SimdIsa::Neon);
+}
+
+const CollapseKernelsF32* neon_kernels_f32_impl() noexcept {
+  return make_vec_table<NeonTraitsF32>(SimdIsa::Neon);
 }
 
 }  // namespace mbq::detail
@@ -56,6 +91,7 @@ const CollapseKernels* neon_kernels_impl() noexcept {
 
 namespace mbq::detail {
 const CollapseKernels* neon_kernels_impl() noexcept { return nullptr; }
+const CollapseKernelsF32* neon_kernels_f32_impl() noexcept { return nullptr; }
 }  // namespace mbq::detail
 
 #endif

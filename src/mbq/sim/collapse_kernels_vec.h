@@ -2,27 +2,29 @@
 // Shared vector implementation of the collapse kernels.
 //
 // Each ISA TU (collapse_kernels_{avx2,avx512,neon}.cpp) supplies a small
-// Traits type — W doubles per register plus load/store/add/mul and three
-// sign-bit xors — and instantiates make_vec_table<Traits>.  Everything
-// else (lane bookkeeping, effect products, delegation rules) lives here
-// ONCE, so the three flavors cannot drift apart.
+// Traits type — an element type R (double or float), W elements per
+// register plus load/store/add/mul and three sign-bit xors — and
+// instantiates make_vec_table<Traits>.  Everything else (lane
+// bookkeeping, effect products, delegation rules) lives here ONCE, so
+// the flavors cannot drift apart.
 //
 // Bitwise identity with the scalar reference comes from two facts:
 //  * elementwise ops (mul/add/xor per lane) are the same IEEE operations
 //    the scalar kernel performs, in the same per-element order — complex
 //    products use explicit mul+add (never FMA), negation is a sign-bit
 //    xor (exact), and a−b is computed as a+(−b) (IEEE-identical);
-//  * folds keep the canonical 8-lane accumulators in vector registers:
-//    a W-wide chunk at stream position m (m ≡ 0 mod W) adds its squares
-//    to lanes m..m+W−1 mod 8, which is exactly what the scalar
-//    reference's eight running doubles receive.
-// Shapes that would break lane alignment (sizes not a multiple of four
-// amplitudes, strides narrower than the register) delegate to the scalar
-// table — same bits, just slower; real registers are powers of two so
-// the delegation never triggers past dim 2.
+//  * folds keep the canonical kFoldLanes<R> lane accumulators in vector
+//    registers: a W-wide chunk at stream position m (m ≡ 0 mod W) adds
+//    its squares to lanes m..m+W−1 mod L, which is exactly what the
+//    scalar reference's running lanes receive.
+// Shapes that would break lane alignment (sizes not a multiple of L/2
+// amplitudes, strides narrower than the register) delegate to the
+// scalar table — same bits, just slower; real registers are powers of
+// two so the delegation never triggers past small dims.
 
 #include <bit>
 #include <cstdint>
+#include <type_traits>
 
 #include "mbq/common/bits.h"
 #include "mbq/sim/collapse_kernels.h"
@@ -31,23 +33,39 @@ namespace mbq::detail {
 
 inline constexpr std::uint64_t kSignBit = std::uint64_t{1} << 63;
 
+/// The unsigned integer carrying R's sign bit.
+template <class R>
+using UIntOf = std::conditional_t<sizeof(R) == 8, std::uint64_t, std::uint32_t>;
+
+template <class R>
+inline constexpr UIntOf<R> kSignBitU = UIntOf<R>{1} << (sizeof(R) * 8 - 1);
+
 template <class T>
 struct VecKernels {
-  static constexpr int kW = T::kW;   // doubles per register
-  static constexpr int kWc = kW / 2; // complex amplitudes per register
+  using R = typename T::R;            // element type (double or float)
+  using C = std::complex<R>;
+  using U = UIntOf<R>;
+  static constexpr int kW = T::kW;    // elements per register
+  static constexpr int kWc = kW / 2;  // complex amplitudes per register
+  static constexpr int kL = kFoldLanes<R>;  // canonical fold lanes
+  static constexpr int kQ = kL / 2;   // delegation quantum, in amplitudes
   using V = typename T::V;
 
-  // std::complex<double> is array-layout-compatible with double[2].
-  static const double* dp(const cplx* x) noexcept {
-    return reinterpret_cast<const double*>(x);
+  // std::complex<R> is array-layout-compatible with R[2].
+  static const R* dp(const C* x) noexcept {
+    return reinterpret_cast<const R*>(x);
   }
-  static double* dp(cplx* x) noexcept { return reinterpret_cast<double*>(x); }
+  static R* dp(C* x) noexcept { return reinterpret_cast<R*>(x); }
 
-  /// The canonical 8-lane fold held in 8/W vector registers; add()
+  static constexpr R sign_word(bool flip) noexcept {
+    return std::bit_cast<R>(flip ? kSignBitU<R> : U{0});
+  }
+
+  /// The canonical kL-lane fold held in kL/W vector registers; add()
   /// consumes one W-wide chunk (stream position multiple of W, fed in
-  /// ascending order from a position ≡ 0 mod 8).
+  /// ascending order from a position ≡ 0 mod kL).
   struct Acc {
-    static constexpr int kNV = 8 / kW;
+    static constexpr int kNV = kL / kW;
     V v[kNV];
     int slot = 0;
     Acc() noexcept {
@@ -57,10 +75,10 @@ struct VecKernels {
       v[slot] = T::add(v[slot], T::mul(x, x));
       slot = (slot + 1) & (kNV - 1);
     }
-    double combine() const noexcept {
-      alignas(64) double a[8];
+    R combine() const noexcept {
+      alignas(64) R a[kL];
       for (int i = 0; i < kNV; ++i) T::store(a + i * kW, v[i]);
-      return ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]));
+      return fold_combine<R>(a);
     }
   };
 
@@ -70,7 +88,7 @@ struct VecKernels {
   struct Eff {
     EffKind k;
     V er, ei;
-    explicit Eff(cplx e) noexcept
+    explicit Eff(C e) noexcept
         : k(eff_kind(e)), er(T::set1(e.real())), ei(T::set1(e.imag())) {}
     V apply(V u) const noexcept {
       switch (k) {
@@ -94,13 +112,11 @@ struct VecKernels {
     explicit PairSigns(std::uint64_t pmask) noexcept {
       const std::uint64_t pm_lo = pmask & (std::uint64_t(kWc) - 1);
       pm_hi = pmask & ~(std::uint64_t(kWc) - 1);
-      alignas(64) double b0[kW], b1[kW];
+      alignas(64) R b0[kW], b1[kW];
       for (int t = 0; t < kWc; ++t) {
         const bool bit = parity64(std::uint64_t(t) & pm_lo) != 0;
-        const double sgn = std::bit_cast<double>(kSignBit);
-        const double pos = std::bit_cast<double>(std::uint64_t{0});
-        b0[2 * t] = b0[2 * t + 1] = bit ? sgn : pos;
-        b1[2 * t] = b1[2 * t + 1] = bit ? pos : sgn;
+        b0[2 * t] = b0[2 * t + 1] = sign_word(bit);
+        b1[2 * t] = b1[2 * t + 1] = sign_word(!bit);
       }
       m[0] = T::load(b0);
       m[1] = T::load(b1);
@@ -110,17 +126,17 @@ struct VecKernels {
     }
   };
 
-  static double fold_norms(const cplx* x, std::uint64_t n) {
-    if (n % 4 != 0) return scalar_kernels().fold_norms(x, n);
-    const double* p = dp(x);
+  static R fold_norms(const C* x, std::uint64_t n) {
+    if (n % kQ != 0) return scalar_kernels_t<R>().fold_norms(x, n);
+    const R* p = dp(x);
     Acc acc;
     for (std::uint64_t m = 0; m < 2 * n; m += kW) acc.add(T::load(p + m));
     return acc.combine();
   }
 
-  static double fold_norms_scaled(const cplx* x, std::uint64_t n, double s) {
-    if (n % 4 != 0) return scalar_kernels().fold_norms_scaled(x, n, s);
-    const double* p = dp(x);
+  static R fold_norms_scaled(const C* x, std::uint64_t n, R s) {
+    if (n % kQ != 0) return scalar_kernels_t<R>().fold_norms_scaled(x, n, s);
+    const R* p = dp(x);
     const V sv = T::set1(s);
     Acc acc;
     for (std::uint64_t m = 0; m < 2 * n; m += kW)
@@ -128,9 +144,9 @@ struct VecKernels {
     return acc.combine();
   }
 
-  static double prep_total_fold(const cplx* x, std::uint64_t n, double s) {
-    if (n % 4 != 0) return scalar_kernels().prep_total_fold(x, n, s);
-    const double* p = dp(x);
+  static R prep_total_fold(const C* x, std::uint64_t n, R s) {
+    if (n % kQ != 0) return scalar_kernels_t<R>().prep_total_fold(x, n, s);
+    const R* p = dp(x);
     const V sv = T::set1(s);
     Acc acc;  // ONE carried accumulator set across both sweeps
     for (int sweep = 0; sweep < 2; ++sweep)
@@ -139,9 +155,9 @@ struct VecKernels {
     return acc.combine();
   }
 
-  static double scale_fold(cplx* x, std::uint64_t n, double inv) {
-    if (n % 4 != 0) return scalar_kernels().scale_fold(x, n, inv);
-    double* p = dp(x);
+  static R scale_fold(C* x, std::uint64_t n, R inv) {
+    if (n % kQ != 0) return scalar_kernels_t<R>().scale_fold(x, n, inv);
+    R* p = dp(x);
     const V iv = T::set1(inv);
     Acc acc;
     for (std::uint64_t m = 0; m < 2 * n; m += kW) {
@@ -152,13 +168,13 @@ struct VecKernels {
     return acc.combine();
   }
 
-  static double collapse_pairs(const cplx* x, cplx* out, std::uint64_t pairs,
-                               int q, cplx e0, cplx e1) {
+  static R collapse_pairs(const C* x, C* out, std::uint64_t pairs, int q,
+                          C e0, C e1) {
     const std::uint64_t stride = std::uint64_t{1} << q;
-    if (pairs % 4 != 0 || stride < std::uint64_t(kWc))
-      return scalar_kernels().collapse_pairs(x, out, pairs, q, e0, e1);
-    const double* p = dp(x);
-    double* o = dp(out);
+    if (pairs % kQ != 0 || stride < std::uint64_t(kWc))
+      return scalar_kernels_t<R>().collapse_pairs(x, out, pairs, q, e0, e1);
+    const R* p = dp(x);
+    R* o = dp(out);
     const Eff f0(e0), f1(e1);
     Acc acc;
     for (std::uint64_t k = 0; k < pairs; k += kWc) {
@@ -172,13 +188,13 @@ struct VecKernels {
     return acc.combine();
   }
 
-  static double prep_collapse(const cplx* x, cplx* out, std::uint64_t dim,
-                              std::uint64_t pmask, cplx e0, cplx e1,
-                              double s) {
-    if (dim % 4 != 0)
-      return scalar_kernels().prep_collapse(x, out, dim, pmask, e0, e1, s);
-    const double* p = dp(x);
-    double* o = dp(out);
+  static R prep_collapse(const C* x, C* out, std::uint64_t dim,
+                         std::uint64_t pmask, C e0, C e1, R s) {
+    if (dim % kQ != 0)
+      return scalar_kernels_t<R>().prep_collapse(x, out, dim, pmask, e0, e1,
+                                                 s);
+    const R* p = dp(x);
+    R* o = dp(out);
     const V sv = T::set1(s);
     const Eff f0(e0), f1(e1);
     const PairSigns signs(pmask);
@@ -193,21 +209,21 @@ struct VecKernels {
     return acc.combine();
   }
 
-  static void teleport_collapse(const cplx* x, cplx* out, std::uint64_t dim,
-                                int q, std::uint64_t pmask, cplx e0, cplx e1,
-                                double s) {
+  static void teleport_collapse(const C* x, C* out, std::uint64_t dim, int q,
+                                std::uint64_t pmask, C e0, C e1, R s) {
     const std::uint64_t stride = std::uint64_t{1} << q;
     // A partner below the measured wire makes the ± signs vary inside a
     // block — rare (mixer J chains never do it); leave it to scalar.
-    if (dim % 4 != 0 || stride < std::uint64_t(kWc) ||
+    if (dim % kQ != 0 || stride < std::uint64_t(kWc) ||
         (pmask & (stride - 1)) != 0) {
-      scalar_kernels().teleport_collapse(x, out, dim, q, pmask, e0, e1, s);
+      scalar_kernels_t<R>().teleport_collapse(x, out, dim, q, pmask, e0, e1,
+                                              s);
       return;
     }
     const std::uint64_t rest_count = dim / 2;
     const int pm_q = static_cast<int>((pmask >> q) & 1);
-    const double* p = dp(x);
-    double* o = dp(out);
+    const R* p = dp(x);
+    R* o = dp(out);
     const V sv = T::set1(s);
     const Eff f0(e0), f1(e1);
     for (std::uint64_t hp = 0; hp < rest_count >> q; ++hp) {
@@ -228,11 +244,54 @@ struct VecKernels {
     }
   }
 
-  static double add_plus_cz(cplx* x, std::uint64_t old_dim,
-                            std::uint64_t pmask, double s) {
-    if (old_dim % 4 != 0)
-      return scalar_kernels().add_plus_cz(x, old_dim, pmask, s);
-    double* p = dp(x);
+  static void teleport_collapse_range(const C* x, C* out, std::uint64_t dim,
+                                      int q, std::uint64_t pmask, C e0, C e1,
+                                      R s, std::uint64_t r_begin,
+                                      std::uint64_t r_end, R* fold_lo,
+                                      R* fold_hi) {
+    const std::uint64_t stride = std::uint64_t{1} << q;
+    // The slice folds restart their lanes at r_begin, so the slice must
+    // begin and end on the delegation quantum; partner bits below the
+    // measured wire go to scalar as in the full pass.
+    if (stride < std::uint64_t(kWc) || (pmask & (stride - 1)) != 0 ||
+        r_begin % kQ != 0 || (r_end - r_begin) % kQ != 0) {
+      scalar_kernels_t<R>().teleport_collapse_range(
+          x, out, dim, q, pmask, e0, e1, s, r_begin, r_end, fold_lo, fold_hi);
+      return;
+    }
+    const std::uint64_t rest_count = dim / 2;
+    const int pm_q = static_cast<int>((pmask >> q) & 1);
+    const R* p = dp(x);
+    R* o = dp(out);
+    const V sv = T::set1(s);
+    const Eff f0(e0), f1(e1);
+    Acc acc_lo;
+    Acc acc_hi;
+    // r and stride are both multiples of kWc, so each kWc-wide step
+    // stays inside one measured-position block: i0 advances contiguously.
+    for (std::uint64_t r = r_begin; r < r_end; r += kWc) {
+      const std::uint64_t i0 = insert_zero_bit(r, q);
+      const int ph = parity64(i0 & pmask);
+      const V a = f0.apply(T::mul(T::load(p + 2 * i0), sv));
+      const V b = f1.apply(T::mul(T::load(p + 2 * (i0 | stride)), sv));
+      const V r0 = T::add(a, b);
+      T::store(o + 2 * r, r0);
+      acc_lo.add(r0);
+      const V an = ph ? T::neg(a) : a;
+      const V bn = (ph ^ pm_q) ? T::neg(b) : b;
+      const V r1 = T::add(an, bn);
+      T::store(o + 2 * (rest_count + r), r1);
+      acc_hi.add(r1);
+    }
+    *fold_lo = acc_lo.combine();
+    *fold_hi = acc_hi.combine();
+  }
+
+  static R add_plus_cz(C* x, std::uint64_t old_dim, std::uint64_t pmask,
+                       R s) {
+    if (old_dim % kQ != 0)
+      return scalar_kernels_t<R>().add_plus_cz(x, old_dim, pmask, s);
+    R* p = dp(x);
     const V sv = T::set1(s);
     const PairSigns signs(pmask);
     Acc acc;  // carried across both halves, ascending
@@ -249,63 +308,76 @@ struct VecKernels {
     return acc.combine();
   }
 
-  static void sign_pass(cplx* x, std::uint64_t n, std::uint64_t eq_mask,
+  static R mirror_cz_range(C* x, std::uint64_t old_dim, std::uint64_t i_begin,
+                           std::uint64_t i_end, std::uint64_t pmask) {
+    if (i_begin % kQ != 0 || (i_end - i_begin) % kQ != 0)
+      return scalar_kernels_t<R>().mirror_cz_range(x, old_dim, i_begin, i_end,
+                                                   pmask);
+    R* p = dp(x);
+    const PairSigns signs(pmask);
+    Acc acc;  // fresh lanes, restarting at i_begin (the slice contract)
+    for (std::uint64_t i = i_begin; i < i_end; i += kWc) {
+      const V v = T::xor_signs(T::load(p + 2 * i), signs.at(i));
+      T::store(p + 2 * (old_dim + i), v);
+      acc.add(v);
+    }
+    return acc.combine();
+  }
+
+  static void sign_pass(C* x, std::uint64_t n, std::uint64_t eq_mask,
                         std::uint64_t par_mask, bool negate) {
-    if (n % 4 != 0) {
-      scalar_kernels().sign_pass(x, n, eq_mask, par_mask, negate);
+    if (n % kQ != 0) {
+      scalar_kernels_t<R>().sign_pass(x, n, eq_mask, par_mask, negate);
       return;
     }
-    double* p = dp(x);
-    alignas(64) double mb[kW];
+    R* p = dp(x);
+    alignas(64) R mb[kW];
     for (std::uint64_t base = 0; base < n; base += kWc) {
       for (int t = 0; t < kWc; ++t) {
         const std::uint64_t j = base + std::uint64_t(t);
         const bool eq = eq_mask != 0 && (j & eq_mask) == eq_mask;
         const bool flip = eq ^ (parity64(j & par_mask) != 0) ^ negate;
-        const double w =
-            std::bit_cast<double>(flip ? kSignBit : std::uint64_t{0});
-        mb[2 * t] = mb[2 * t + 1] = w;
+        mb[2 * t] = mb[2 * t + 1] = sign_word(flip);
       }
       T::store(p + 2 * base,
                T::xor_signs(T::load(p + 2 * base), T::load(mb)));
     }
   }
 
-  static void cz_masks_pass(cplx* x, std::uint64_t n,
+  static void cz_masks_pass(C* x, std::uint64_t n,
                             const std::uint64_t* pair_masks, int count) {
-    if (n % 4 != 0) {
-      scalar_kernels().cz_masks_pass(x, n, pair_masks, count);
+    if (n % kQ != 0) {
+      scalar_kernels_t<R>().cz_masks_pass(x, n, pair_masks, count);
       return;
     }
-    double* p = dp(x);
-    alignas(64) double mb[kW];
+    R* p = dp(x);
+    alignas(64) R mb[kW];
     for (std::uint64_t base = 0; base < n; base += kWc) {
       for (int t = 0; t < kWc; ++t) {
         const std::uint64_t i = base + std::uint64_t(t);
         int flips = 0;
         for (int m = 0; m < count; ++m)
           flips ^= static_cast<int>((i & pair_masks[m]) == pair_masks[m]);
-        const double w =
-            std::bit_cast<double>(flips ? kSignBit : std::uint64_t{0});
-        mb[2 * t] = mb[2 * t + 1] = w;
+        mb[2 * t] = mb[2 * t + 1] = sign_word(flips != 0);
       }
       T::store(p + 2 * base,
                T::xor_signs(T::load(p + 2 * base), T::load(mb)));
     }
   }
 
-  static void pauli_swap_pass(cplx* x, std::uint64_t n, std::uint64_t xmask,
+  static void pauli_swap_pass(C* x, std::uint64_t n, std::uint64_t xmask,
                               std::uint64_t zmask, std::uint64_t eq_mask,
                               bool negate) {
     // xmask touching the intra-chunk bits would pair lanes within one
     // register; scalar handles that shape.
-    if (n % 4 != 0 || (xmask & (std::uint64_t(kWc) - 1)) != 0) {
-      scalar_kernels().pauli_swap_pass(x, n, xmask, zmask, eq_mask, negate);
+    if (n % kQ != 0 || (xmask & (std::uint64_t(kWc) - 1)) != 0) {
+      scalar_kernels_t<R>().pauli_swap_pass(x, n, xmask, zmask, eq_mask,
+                                            negate);
       return;
     }
     const int hb = 63 - std::countl_zero(xmask);
-    double* p = dp(x);
-    alignas(64) double mj[kW], mj2[kW];
+    R* p = dp(x);
+    alignas(64) R mj[kW], mj2[kW];
     for (std::uint64_t base = 0; base < n; base += kWc) {
       if (get_bit(base, hb)) continue;  // pairs handled once (chunk-uniform)
       const std::uint64_t base2 = base ^ xmask;
@@ -316,10 +388,8 @@ struct VecKernels {
         const bool eq_j = eq_mask != 0 && (j & eq_mask) == eq_mask;
         const bool flip_j = eq_j2 ^ (parity64(j & zmask) != 0) ^ negate;
         const bool flip_j2 = eq_j ^ (parity64(j2 & zmask) != 0) ^ negate;
-        mj[2 * t] = mj[2 * t + 1] =
-            std::bit_cast<double>(flip_j ? kSignBit : std::uint64_t{0});
-        mj2[2 * t] = mj2[2 * t + 1] =
-            std::bit_cast<double>(flip_j2 ? kSignBit : std::uint64_t{0});
+        mj[2 * t] = mj[2 * t + 1] = sign_word(flip_j);
+        mj2[2 * t] = mj2[2 * t + 1] = sign_word(flip_j2);
       }
       const V vj = T::load(p + 2 * base);
       const V vj2 = T::load(p + 2 * base2);
@@ -328,13 +398,48 @@ struct VecKernels {
     }
   }
 
-  static void phase_pass(cplx* x, std::uint64_t n, int q, cplx e) {
-    const std::uint64_t stride = std::uint64_t{1} << q;
-    if (n % 4 != 0 || stride < std::uint64_t(kWc)) {
-      scalar_kernels().phase_pass(x, n, q, e);
+  static void pauli_swap_range(C* x, std::uint64_t xmask, std::uint64_t zmask,
+                               std::uint64_t eq_mask, bool negate,
+                               std::uint64_t p_begin, std::uint64_t p_end) {
+    // Pair rank p maps to j = insert_zero_bit(p, hb); a kWc-wide step
+    // stays contiguous because xmask (hence hb) clears the intra-chunk
+    // bits.  No folds here, but the same alignment rules apply.
+    if ((xmask & (std::uint64_t(kWc) - 1)) != 0 || p_begin % kWc != 0 ||
+        (p_end - p_begin) % kWc != 0) {
+      scalar_kernels_t<R>().pauli_swap_range(x, xmask, zmask, eq_mask, negate,
+                                             p_begin, p_end);
       return;
     }
-    double* p = dp(x);
+    const int hb = 63 - std::countl_zero(xmask);
+    R* p = dp(x);
+    alignas(64) R mj[kW], mj2[kW];
+    for (std::uint64_t pr = p_begin; pr < p_end; pr += kWc) {
+      const std::uint64_t base = insert_zero_bit(pr, hb);
+      const std::uint64_t base2 = base ^ xmask;
+      for (int t = 0; t < kWc; ++t) {
+        const std::uint64_t j = base + std::uint64_t(t);
+        const std::uint64_t j2 = base2 + std::uint64_t(t);
+        const bool eq_j2 = eq_mask != 0 && (j2 & eq_mask) == eq_mask;
+        const bool eq_j = eq_mask != 0 && (j & eq_mask) == eq_mask;
+        const bool flip_j = eq_j2 ^ (parity64(j & zmask) != 0) ^ negate;
+        const bool flip_j2 = eq_j ^ (parity64(j2 & zmask) != 0) ^ negate;
+        mj[2 * t] = mj[2 * t + 1] = sign_word(flip_j);
+        mj2[2 * t] = mj2[2 * t + 1] = sign_word(flip_j2);
+      }
+      const V vj = T::load(p + 2 * base);
+      const V vj2 = T::load(p + 2 * base2);
+      T::store(p + 2 * base, T::xor_signs(vj2, T::load(mj)));
+      T::store(p + 2 * base2, T::xor_signs(vj, T::load(mj2)));
+    }
+  }
+
+  static void phase_pass(C* x, std::uint64_t n, int q, C e) {
+    const std::uint64_t stride = std::uint64_t{1} << q;
+    if (n % kQ != 0 || stride < std::uint64_t(kWc)) {
+      scalar_kernels_t<R>().phase_pass(x, n, q, e);
+      return;
+    }
+    R* p = dp(x);
     // Always the full product: the scalar phase kernel uses cmul
     // unconditionally, and only the Generic form matches it bitwise
     // including zero signs.
@@ -352,9 +457,9 @@ struct VecKernels {
 };
 
 template <class T>
-const CollapseKernels* make_vec_table(SimdIsa isa) noexcept {
+const CollapseKernelsT<typename T::R>* make_vec_table(SimdIsa isa) noexcept {
   using K = VecKernels<T>;
-  static const CollapseKernels table = {
+  static const CollapseKernelsT<typename T::R> table = {
       isa,
       K::fold_norms,
       K::fold_norms_scaled,
@@ -368,6 +473,9 @@ const CollapseKernels* make_vec_table(SimdIsa isa) noexcept {
       K::cz_masks_pass,
       K::pauli_swap_pass,
       K::phase_pass,
+      K::teleport_collapse_range,
+      K::mirror_cz_range,
+      K::pauli_swap_range,
   };
   return &table;
 }

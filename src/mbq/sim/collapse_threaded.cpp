@@ -1,0 +1,48 @@
+// Resolution of the kernel thread-count knob (MBQ_KERNEL_THREADS /
+// SessionOptions::kernel_threads).  Purely a wall-clock knob: the
+// chunked contract in collapse_threaded.h makes results bit-identical
+// at every value.
+
+#include "mbq/sim/collapse_threaded.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "mbq/common/error.h"
+
+namespace mbq::thr {
+namespace {
+
+// 0 = unresolved; >= 1 = resolved count.
+std::atomic<int> g_threads{0};
+
+int resolve_from_env() {
+  const char* env = std::getenv("MBQ_KERNEL_THREADS");
+  if (env == nullptr || *env == '\0' || std::string(env) == "auto")
+    return default_num_threads() > 0 ? default_num_threads() : 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 1 || v > 4096)
+    throw Error(std::string("MBQ_KERNEL_THREADS=") + env +
+                " is not a recognized value (expected auto or a positive "
+                "integer)");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int kernel_threads() {
+  int v = g_threads.load(std::memory_order_acquire);
+  if (v == 0) {
+    v = resolve_from_env();
+    g_threads.store(v, std::memory_order_release);
+  }
+  return v;
+}
+
+void set_kernel_threads(int n) noexcept {
+  g_threads.store(n > 0 ? n : 0, std::memory_order_release);
+}
+
+}  // namespace mbq::thr

@@ -6,8 +6,21 @@
 #include "mbq/common/bits.h"
 #include "mbq/common/error.h"
 #include "mbq/sim/collapse_kernels.h"
+#include "mbq/sim/collapse_threaded.h"
 
 namespace mbq {
+
+namespace {
+
+/// Narrow a basis-matrix entry to the register's element type.  For
+/// R = double this is the identity, keeping the f64 paths bit-identical
+/// to what they always computed.
+template <class R>
+std::complex<R> to_c(cplx v) noexcept {
+  return {static_cast<R>(v.real()), static_cast<R>(v.imag())};
+}
+
+}  // namespace
 
 Matrix measurement_basis(MeasBasis basis, real angle) {
   switch (basis) {
@@ -31,9 +44,18 @@ Matrix measurement_basis(MeasBasis basis, real angle) {
   throw InternalError("unknown measurement basis");
 }
 
+template <class R>
+void DynamicStatevector::reset_impl() {
+  auto& a = amps<R>();
+  a.clear();
+  a.push_back(std::complex<R>{R(1), R(0)});
+}
+
 void DynamicStatevector::reset() {
-  amps_.clear();
-  amps_.push_back(cplx{1.0, 0.0});
+  if (prec_ == Precision::F64)
+    reset_impl<double>();
+  else
+    reset_impl<float>();
   // Clear only the live entries; pos_ keeps its capacity so the next
   // shot re-registers wires without touching the allocator.
   for (const int w : order_) pos_[static_cast<std::size_t>(w)] = -1;
@@ -55,22 +77,31 @@ void DynamicStatevector::set_position(int wire, int p) {
   pos_[static_cast<std::size_t>(wire)] = p;
 }
 
+template <class R>
+void DynamicStatevector::add_wire_impl(bool plus) {
+  auto& a = amps<R>();
+  const std::size_t old_dim = a.size();
+  a.resize(old_dim * 2);
+  if (plus) {
+    const R s = static_cast<R>(1.0 / std::sqrt(2.0));
+    for (std::size_t i = 0; i < old_dim; ++i) {
+      a[i] *= s;
+      a[old_dim + i] = a[i];
+    }
+  } else {
+    std::fill(a.begin() + static_cast<std::ptrdiff_t>(old_dim), a.end(),
+              std::complex<R>{});
+  }
+}
+
 void DynamicStatevector::add_wire(int wire, bool plus) {
   MBQ_REQUIRE(!has_wire(wire), "wire " << wire << " already live");
   MBQ_REQUIRE(order_.size() < 28, "too many live wires");
   fold_valid_ = false;
-  const std::size_t old_dim = amps_.size();
-  amps_.resize(old_dim * 2);
-  if (plus) {
-    const real s = 1.0 / std::sqrt(2.0);
-    for (std::size_t i = 0; i < old_dim; ++i) {
-      amps_[i] *= s;
-      amps_[old_dim + i] = amps_[i];
-    }
-  } else {
-    std::fill(amps_.begin() + static_cast<std::ptrdiff_t>(old_dim),
-              amps_.end(), cplx{0.0, 0.0});
-  }
+  if (prec_ == Precision::F64)
+    add_wire_impl<double>(plus);
+  else
+    add_wire_impl<float>(plus);
   set_position(wire, static_cast<int>(order_.size()));
   order_.push_back(wire);
   peak_live_ = std::max(peak_live_, num_live());
@@ -87,26 +118,44 @@ void DynamicStatevector::add_wire_state(int wire, cplx a0, cplx a1) {
   apply_1q(wire, Matrix(2, 2, {b0, -std::conj(b1), b1, std::conj(b0)}));
 }
 
+template <class R>
+void DynamicStatevector::apply_1q_impl(int q, const Matrix& u) {
+  auto& a = amps<R>();
+  using C = std::complex<R>;
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const C u00 = to_c<R>(u(0, 0)), u01 = to_c<R>(u(0, 1));
+  const C u10 = to_c<R>(u(1, 0)), u11 = to_c<R>(u(1, 1));
+  const std::uint64_t pairs = a.size() / 2;
+  for (std::uint64_t k = 0; k < pairs; ++k) {
+    const std::uint64_t i0 = insert_zero_bit(k, q);
+    const std::uint64_t i1 = i0 | stride;
+    const C a0 = a[i0];
+    const C a1 = a[i1];
+    a[i0] = u00 * a0 + u01 * a1;
+    a[i1] = u10 * a0 + u11 * a1;
+  }
+}
+
 void DynamicStatevector::apply_1q(int wire, const Matrix& u) {
   MBQ_REQUIRE(u.rows() == 2 && u.cols() == 2, "apply_1q needs 2x2");
   fold_valid_ = false;
   const int q = position(wire);
-  const std::uint64_t stride = std::uint64_t{1} << q;
-  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  const std::uint64_t pairs = amps_.size() / 2;
-  for (std::uint64_t k = 0; k < pairs; ++k) {
-    const std::uint64_t i0 = insert_zero_bit(k, q);
-    const std::uint64_t i1 = i0 | stride;
-    const cplx a0 = amps_[i0];
-    const cplx a1 = amps_[i1];
-    amps_[i0] = u00 * a0 + u01 * a1;
-    amps_[i1] = u10 * a0 + u11 * a1;
-  }
+  if (prec_ == Precision::F64)
+    apply_1q_impl<double>(q, u);
+  else
+    apply_1q_impl<float>(q, u);
 }
 
 void DynamicStatevector::apply_h(int wire) {
   const real s = 1.0 / std::sqrt(2.0);
   apply_1q(wire, Matrix(2, 2, {s, s, s, -s}));
+}
+
+template <class R>
+void DynamicStatevector::apply_x_impl(std::uint64_t xmask) {
+  auto& a = amps<R>();
+  thr::pauli_swap_pass(kernels_t<R>(), a.data(), a.size(), xmask, 0, 0, false,
+                       thr::kernel_threads());
 }
 
 void DynamicStatevector::apply_x(int wire) {
@@ -115,14 +164,35 @@ void DynamicStatevector::apply_x(int wire) {
   // (per-element norms survive, their fold order does not).
   fold_valid_ = false;
   const std::uint64_t xmask = std::uint64_t{1} << position(wire);
-  kernels().pauli_swap_pass(amps_.data(), amps_.size(), xmask, 0, 0, false);
+  if (prec_ == Precision::F64)
+    apply_x_impl<double>(xmask);
+  else
+    apply_x_impl<float>(xmask);
+}
+
+template <class R>
+void DynamicStatevector::sign_pass_impl(std::uint64_t eq_mask,
+                                        std::uint64_t par_mask, bool negate) {
+  auto& a = amps<R>();
+  thr::sign_pass(kernels_t<R>(), a.data(), a.size(), eq_mask, par_mask, negate,
+                 thr::kernel_threads());
 }
 
 void DynamicStatevector::apply_z(int wire) {
   // Z only negates the bit-set half.  Per-element norms and their order
   // are untouched, so the fold stays valid.
   const std::uint64_t stride = std::uint64_t{1} << position(wire);
-  kernels().sign_pass(amps_.data(), amps_.size(), stride, 0, false);
+  if (prec_ == Precision::F64)
+    sign_pass_impl<double>(stride, 0, false);
+  else
+    sign_pass_impl<float>(stride, 0, false);
+}
+
+template <class R>
+void DynamicStatevector::apply_rz_impl(int q, cplx e) {
+  auto& a = amps<R>();
+  thr::phase_pass(kernels_t<R>(), a.data(), a.size(), q, to_c<R>(e),
+                  thr::kernel_threads());
 }
 
 void DynamicStatevector::apply_rz(int wire, real theta) {
@@ -130,7 +200,10 @@ void DynamicStatevector::apply_rz(int wire, real theta) {
   // apply_1q(diag(1, e^{iθ})) on the touched half at a third of the
   // work, and the fold stays usable (see the fold_ contract note).
   const int q = position(wire);
-  kernels().phase_pass(amps_.data(), amps_.size(), q, std::exp(kI * theta));
+  if (prec_ == Precision::F64)
+    apply_rz_impl<double>(q, std::exp(kI * theta));
+  else
+    apply_rz_impl<float>(q, std::exp(kI * theta));
 }
 
 void DynamicStatevector::apply_cz(int wire_a, int wire_b) {
@@ -138,7 +211,19 @@ void DynamicStatevector::apply_cz(int wire_a, int wire_b) {
   const std::uint64_t mask = (std::uint64_t{1} << position(wire_a)) |
                              (std::uint64_t{1} << position(wire_b));
   // Sign flips preserve per-element norms in place: fold stays valid.
-  kernels().sign_pass(amps_.data(), amps_.size(), mask, 0, false);
+  if (prec_ == Precision::F64)
+    sign_pass_impl<double>(mask, 0, false);
+  else
+    sign_pass_impl<float>(mask, 0, false);
+}
+
+template <class R>
+void DynamicStatevector::pauli_swap_impl(std::uint64_t xmask,
+                                         std::uint64_t zmask,
+                                         std::uint64_t eq_mask, bool negate) {
+  auto& a = amps<R>();
+  thr::pauli_swap_pass(kernels_t<R>(), a.data(), a.size(), xmask, zmask,
+                       eq_mask, negate, thr::kernel_threads());
 }
 
 void DynamicStatevector::apply_cz_depolarize(int wire_a, int wire_b, real p,
@@ -170,34 +255,60 @@ void DynamicStatevector::apply_cz_depolarize(int wire_a, int wire_b, real p,
   // Net operator Zmask · Xmask · CZ: new[j] = zs(j) · czs(j^xmask) ·
   // amps[j ^ xmask], where zs/czs are ±1 phases.
   if (xmask == 0) {
-    kernels().sign_pass(amps_.data(), amps_.size(), cz, zmask, false);
+    if (prec_ == Precision::F64)
+      sign_pass_impl<double>(cz, zmask, false);
+    else
+      sign_pass_impl<float>(cz, zmask, false);
     return;  // in-place sign pass: fold stays valid
   }
   fold_valid_ = false;  // swaps reorder the fold
-  kernels().pauli_swap_pass(amps_.data(), amps_.size(), xmask, zmask, cz,
-                            false);
+  if (prec_ == Precision::F64)
+    pauli_swap_impl<double>(xmask, zmask, cz, false);
+  else
+    pauli_swap_impl<float>(xmask, zmask, cz, false);
+}
+
+template <class R>
+void DynamicStatevector::add_plus_cz_impl(std::uint64_t partner_pos_mask) {
+  auto& a = amps<R>();
+  const std::uint64_t old_dim = a.size();
+  a.resize(old_dim * 2);
+  // The fresh wire takes the TOP bit, so every fused CZ signs only the
+  // upper half being written: sign(i) = parity of partner bits in i.
+  // The chunked driver folds both halves under the global contract.
+  fold_ = static_cast<real>(thr::add_plus_cz(
+      kernels_t<R>(), a.data(), old_dim, partner_pos_mask,
+      static_cast<R>(1.0 / std::sqrt(2.0)), thr::kernel_threads()));
 }
 
 void DynamicStatevector::add_wire_plus_cz(int wire,
                                           std::uint64_t partner_pos_mask) {
   MBQ_REQUIRE(!has_wire(wire), "wire " << wire << " already live");
   MBQ_REQUIRE(order_.size() < 28, "too many live wires");
-  const std::size_t old_dim = amps_.size();
-  amps_.resize(old_dim * 2);
-  // The fresh wire takes the TOP bit, so every fused CZ signs only the
-  // upper half being written: sign(i) = parity of partner bits in i.
-  // The kernel folds both halves with one carried accumulator set.
-  fold_ = kernels().add_plus_cz(amps_.data(), old_dim, partner_pos_mask,
-                                1.0 / std::sqrt(2.0));
+  if (prec_ == Precision::F64)
+    add_plus_cz_impl<double>(partner_pos_mask);
+  else
+    add_plus_cz_impl<float>(partner_pos_mask);
   fold_valid_ = true;
   set_position(wire, static_cast<int>(order_.size()));
   order_.push_back(wire);
   peak_live_ = std::max(peak_live_, num_live());
 }
 
+template <class R>
+void DynamicStatevector::cz_masks_impl(const std::uint64_t* pair_masks,
+                                       int count) {
+  auto& a = amps<R>();
+  thr::cz_masks_pass(kernels_t<R>(), a.data(), a.size(), pair_masks, count,
+                     thr::kernel_threads());
+}
+
 void DynamicStatevector::apply_cz_masks(const std::uint64_t* pair_masks,
                                         int count) {
-  kernels().cz_masks_pass(amps_.data(), amps_.size(), pair_masks, count);
+  if (prec_ == Precision::F64)
+    cz_masks_impl<double>(pair_masks, count);
+  else
+    cz_masks_impl<float>(pair_masks, count);
   // Pure sign pass: fold validity carries through untouched.
 }
 
@@ -205,12 +316,65 @@ void DynamicStatevector::apply_pauli_masks(std::uint64_t xmask,
                                            std::uint64_t zmask, bool negate) {
   if (xmask == 0) {
     if (zmask == 0 && !negate) return;
-    kernels().sign_pass(amps_.data(), amps_.size(), 0, zmask, negate);
+    if (prec_ == Precision::F64)
+      sign_pass_impl<double>(0, zmask, negate);
+    else
+      sign_pass_impl<float>(0, zmask, negate);
     return;  // in-place sign pass: fold stays valid
   }
   fold_valid_ = false;
-  kernels().pauli_swap_pass(amps_.data(), amps_.size(), xmask, zmask, 0,
-                            negate);
+  if (prec_ == Precision::F64)
+    pauli_swap_impl<double>(xmask, zmask, 0, negate);
+  else
+    pauli_swap_impl<float>(xmask, zmask, 0, negate);
+}
+
+template <class R>
+int DynamicStatevector::prep_cz_measure_impl(std::uint64_t partner_pos_mask,
+                                             const Matrix& basis, Rng& rng,
+                                             int forced, int wire) {
+  auto& a = amps<R>();
+  auto& sc = scratch<R>();
+  const std::uint64_t dim = a.size();
+  sc.resize(dim);
+  const R s = static_cast<R>(1.0 / std::sqrt(2.0));
+  const CollapseKernelsT<R>& kn = kernels_t<R>();
+  const int threads = thr::kernel_threads();
+
+  int outcome;
+  R nrm2 = R(0);
+  if (forced == -1) {
+    // Fused blocked pass: the Born denominator (the doubled register's
+    // canonical fold) and the outcome-1 projection are computed chunk by
+    // chunk from ONE read of the register instead of two streamed
+    // passes — the cache-blocking win at large dim.
+    const auto f = thr::prep_collapse_with_total(
+        kn, a.data(), sc.data(), dim, partner_pos_mask,
+        to_c<R>(std::conj(basis(0, 1))), to_c<R>(std::conj(basis(1, 1))), s,
+        threads);
+    const real total =
+        std::norm(std::sqrt(static_cast<real>(f.total)));
+    MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
+    outcome = rng.bernoulli(static_cast<real>(f.proj) / total) ? 1 : 0;
+    nrm2 = f.proj;  // outcome 1: the projections are already in scratch
+  } else {
+    outcome = forced;
+  }
+  if (outcome != 1 || forced != -1) {
+    nrm2 = thr::prep_collapse(kn, a.data(), sc.data(), dim, partner_pos_mask,
+                              to_c<R>(std::conj(basis(0, outcome))),
+                              to_c<R>(std::conj(basis(1, outcome))), s,
+                              threads);
+  }
+  MBQ_REQUIRE(static_cast<real>(nrm2) > kMinProjectionNorm2,
+              "forced outcome " << outcome << " on wire " << wire
+                                << " has zero probability");
+  fold_ = static_cast<real>(thr::scale_fold(
+      kn, sc.data(), dim,
+      static_cast<R>(1.0 / std::sqrt(static_cast<real>(nrm2))), threads));
+  std::swap(a, sc);
+  fold_valid_ = true;
+  return outcome;
 }
 
 int DynamicStatevector::prep_cz_measure(int wire,
@@ -221,44 +385,63 @@ int DynamicStatevector::prep_cz_measure(int wire,
   MBQ_REQUIRE(forced >= -1 && forced <= 1, "forced outcome must be -1/0/1");
   MBQ_REQUIRE(!has_wire(wire), "wire " << wire << " already live");
   MBQ_REQUIRE(order_.size() < 28, "too many live wires");
-  const std::size_t dim = amps_.size();
   // The wire exists only virtually: it would sit at the top position
   // with upper amplitude half up[i] = ±(amps[i] * s), the sign from the
   // fused CZ partners.  Probabilities, projections and the collapsed
   // state all derive from that relation, so the register never doubles
-  // — the whole N;E...;M gadget block runs at the SMALL dimension.  The
-  // Born denominator is the doubled register's canonical fold
-  // (prep_total_fold: the scaled lower half folded twice, signs square
-  // away), and the projection folds ride inside the collapse kernels.
+  // — the whole N;E...;M gadget block runs at the SMALL dimension.
   peak_live_ = std::max(peak_live_, num_live() + 1);
-  scratch_.resize(dim);
-  const real s = 1.0 / std::sqrt(2.0);
-  const CollapseKernels& kn = kernels();
+  return prec_ == Precision::F64
+             ? prep_cz_measure_impl<double>(partner_pos_mask, basis, rng,
+                                            forced, wire)
+             : prep_cz_measure_impl<float>(partner_pos_mask, basis, rng,
+                                           forced, wire);
+}
+
+template <class R>
+int DynamicStatevector::teleport_measure_impl(std::uint64_t partner_pos_mask,
+                                              int q, const Matrix& basis,
+                                              Rng& rng, int forced,
+                                              int meas_wire) {
+  auto& a = amps<R>();
+  auto& sc = scratch<R>();
+  const std::uint64_t dim = a.size();
+  sc.resize(dim);
+  const R s = static_cast<R>(1.0 / std::sqrt(2.0));
+  const CollapseKernelsT<R>& kn = kernels_t<R>();
+  const int threads = thr::kernel_threads();
+
+  // Projection fold fused into the collapse pass (the chunked driver
+  // folds each out block as it is written instead of re-reading the
+  // whole vector afterwards).
+  const auto project = [&](int m) {
+    return thr::teleport_collapse_fold(kn, a.data(), sc.data(), dim, q,
+                                       partner_pos_mask,
+                                       to_c<R>(std::conj(basis(0, m))),
+                                       to_c<R>(std::conj(basis(1, m))), s,
+                                       threads);
+  };
 
   int outcome;
-  real nrm2 = 0.0;
+  R nrm2 = R(0);
   if (forced == -1) {
-    const real total = std::norm(std::sqrt(kn.prep_total_fold(
-        amps_.data(), dim, s)));
+    const real total = std::norm(std::sqrt(static_cast<real>(
+        thr::prep_total_fold(kn, a.data(), dim, s, threads))));
     MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
-    const real p1 =
-        kn.prep_collapse(amps_.data(), scratch_.data(), dim, partner_pos_mask,
-                         std::conj(basis(0, 1)), std::conj(basis(1, 1)), s);
-    outcome = rng.bernoulli(p1 / total) ? 1 : 0;
-    nrm2 = p1;  // outcome 1: the projections are already in scratch_
+    const R p1 = project(1);
+    outcome = rng.bernoulli(static_cast<real>(p1) / total) ? 1 : 0;
+    nrm2 = p1;
   } else {
     outcome = forced;
   }
-  if (outcome != 1 || forced != -1) {
-    nrm2 = kn.prep_collapse(amps_.data(), scratch_.data(), dim,
-                            partner_pos_mask, std::conj(basis(0, outcome)),
-                            std::conj(basis(1, outcome)), s);
-  }
-  MBQ_REQUIRE(nrm2 > kMinProjectionNorm2,
-              "forced outcome " << outcome << " on wire " << wire
+  if (outcome != 1 || forced != -1) nrm2 = project(outcome);
+  MBQ_REQUIRE(static_cast<real>(nrm2) > kMinProjectionNorm2,
+              "forced outcome " << outcome << " on wire " << meas_wire
                                 << " has zero probability");
-  fold_ = kn.scale_fold(scratch_.data(), dim, 1.0 / std::sqrt(nrm2));
-  std::swap(amps_, scratch_);
+  fold_ = static_cast<real>(thr::scale_fold(
+      kn, sc.data(), dim,
+      static_cast<R>(1.0 / std::sqrt(static_cast<real>(nrm2))), threads));
+  std::swap(a, sc);
   fold_valid_ = true;
   return outcome;
 }
@@ -273,46 +456,19 @@ int DynamicStatevector::prep_cz_teleport_measure(int new_wire,
   MBQ_REQUIRE(!has_wire(new_wire), "wire " << new_wire << " already live");
   MBQ_REQUIRE(order_.size() < 28, "too many live wires");
   const int q = position(meas_wire);
-  const std::size_t dim = amps_.size();
   // new_wire sits only VIRTUALLY at the top position: in the doubled
   // register its half-bit b selects between +s·amps[i] (b = 0) and
   // (-1)^{parity(i & partners)}·s·amps[i] (b = 1).  The collapsed state
   // indexed by the measurement pair rank IS the final wire layout (meas
   // gone, new_wire on top), so one kernel pass writes the result in
-  // place of three passes over a doubled arena.  The Born denominator is
-  // again prep_total_fold; the projection fold is a fresh canonical pass
-  // over the collapsed scratch.
+  // place of three passes over a doubled arena.
   peak_live_ = std::max(peak_live_, num_live() + 1);
-  scratch_.resize(dim);
-  const real s = 1.0 / std::sqrt(2.0);
-  const CollapseKernels& kn = kernels();
-
-  const auto project = [&](int m) {
-    kn.teleport_collapse(amps_.data(), scratch_.data(), dim, q,
-                         partner_pos_mask, std::conj(basis(0, m)),
-                         std::conj(basis(1, m)), s);
-    return kn.fold_norms(scratch_.data(), dim);
-  };
-
-  int outcome;
-  real nrm2 = 0.0;
-  if (forced == -1) {
-    const real total = std::norm(std::sqrt(kn.prep_total_fold(
-        amps_.data(), dim, s)));
-    MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
-    const real p1 = project(1);
-    outcome = rng.bernoulli(p1 / total) ? 1 : 0;
-    nrm2 = p1;
-  } else {
-    outcome = forced;
-  }
-  if (outcome != 1 || forced != -1) nrm2 = project(outcome);
-  MBQ_REQUIRE(nrm2 > kMinProjectionNorm2,
-              "forced outcome " << outcome << " on wire " << meas_wire
-                                << " has zero probability");
-  fold_ = kn.scale_fold(scratch_.data(), dim, 1.0 / std::sqrt(nrm2));
-  std::swap(amps_, scratch_);
-  fold_valid_ = true;
+  const int outcome =
+      prec_ == Precision::F64
+          ? teleport_measure_impl<double>(partner_pos_mask, q, basis, rng,
+                                          forced, meas_wire)
+          : teleport_measure_impl<float>(partner_pos_mask, q, basis, rng,
+                                         forced, meas_wire);
 
   // Bookkeeping exactly as add-then-measure would leave it: meas_wire's
   // position vanishes, higher wires shift down, new_wire lands on top.
@@ -325,24 +481,92 @@ int DynamicStatevector::prep_cz_teleport_measure(int new_wire,
   return outcome;
 }
 
-real DynamicStatevector::prob_one(int wire, const Matrix& basis) const {
-  MBQ_REQUIRE(basis.rows() == 2 && basis.cols() == 2, "basis must be 2x2");
-  const int q = position(wire);
+template <class R>
+real DynamicStatevector::prob_one_impl(int q, const Matrix& basis) const {
+  const auto& a = amps<R>();
+  using C = std::complex<R>;
   const std::uint64_t stride = std::uint64_t{1} << q;
   // Effect for outcome m is <b_m| = conj(column m)^T.  Diagnostic path:
   // a plain sequential sweep is fine here, but the denominator must use
   // the canonical fold so it agrees bitwise with the sampling paths.
-  const cplx e10 = std::conj(basis(0, 1));
-  const cplx e11 = std::conj(basis(1, 1));
+  const C e10 = to_c<R>(std::conj(basis(0, 1)));
+  const C e11 = to_c<R>(std::conj(basis(1, 1)));
   real p1 = 0.0;
-  const std::uint64_t pairs = amps_.size() / 2;
+  const std::uint64_t pairs = a.size() / 2;
   for (std::uint64_t k = 0; k < pairs; ++k) {
     const std::uint64_t i0 = insert_zero_bit(k, q);
-    p1 += std::norm(e10 * amps_[i0] + e11 * amps_[i0 | stride]);
+    p1 += static_cast<real>(std::norm(e10 * a[i0] + e11 * a[i0 | stride]));
   }
   const real total = std::norm(norm());
   MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
   return p1 / total;
+}
+
+real DynamicStatevector::prob_one(int wire, const Matrix& basis) const {
+  MBQ_REQUIRE(basis.rows() == 2 && basis.cols() == 2, "basis must be 2x2");
+  const int q = position(wire);
+  return prec_ == Precision::F64 ? prob_one_impl<double>(q, basis)
+                                 : prob_one_impl<float>(q, basis);
+}
+
+template <class R>
+int DynamicStatevector::measure_remove_impl(int q, const Matrix& basis,
+                                            Rng& rng, int forced, int wire) {
+  auto& a = amps<R>();
+  auto& sc = scratch<R>();
+  const std::uint64_t pairs = a.size() / 2;
+  sc.resize(pairs);
+  const CollapseKernelsT<R>& kn = kernels_t<R>();
+  const int threads = thr::kernel_threads();
+
+  // Collapsed projections land in scratch, which then SWAPS with amps:
+  // the two buffers ping-pong across calls, so a reused simulator never
+  // reallocates.  The sampled path fuses the outcome-1 probability fold
+  // into its collapse pass; when the running fold is stale it fuses the
+  // denominator fold in as well (collapse_pairs_with_total), reading
+  // each source block once.  Every fold is canonical, keeping outcomes
+  // and amplitudes bit-identical across ISAs, thread counts and the
+  // fold-reuse fast path.
+  int outcome;
+  R nrm2 = R(0);
+  if (forced == -1) {
+    real total;
+    R p1;
+    if (fold_valid_) {
+      // A valid fold (maintained under the global chunk contract) is
+      // bitwise the same sum a fresh driver pass computes.
+      total = fold_;
+      p1 = thr::collapse_pairs(kn, a.data(), sc.data(), pairs, q,
+                               to_c<R>(std::conj(basis(0, 1))),
+                               to_c<R>(std::conj(basis(1, 1))), threads);
+    } else {
+      const auto f = thr::collapse_pairs_with_total(
+          kn, a.data(), sc.data(), pairs, q, to_c<R>(std::conj(basis(0, 1))),
+          to_c<R>(std::conj(basis(1, 1))), threads);
+      total = static_cast<real>(f.total);
+      p1 = f.proj;
+    }
+    total = std::norm(std::sqrt(total));
+    MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
+    outcome = rng.bernoulli(static_cast<real>(p1) / total) ? 1 : 0;
+    nrm2 = p1;  // outcome 1: the projections are already in scratch
+  } else {
+    outcome = forced;
+  }
+  if (outcome != 1 || forced != -1) {
+    nrm2 = thr::collapse_pairs(kn, a.data(), sc.data(), pairs, q,
+                               to_c<R>(std::conj(basis(0, outcome))),
+                               to_c<R>(std::conj(basis(1, outcome))), threads);
+  }
+  MBQ_REQUIRE(static_cast<real>(nrm2) > kMinProjectionNorm2,
+              "forced outcome " << outcome << " on wire " << wire
+                                << " has zero probability");
+  fold_ = static_cast<real>(thr::scale_fold(
+      kn, sc.data(), pairs,
+      static_cast<R>(1.0 / std::sqrt(static_cast<real>(nrm2))), threads));
+  std::swap(a, sc);
+  fold_valid_ = true;
+  return outcome;
 }
 
 int DynamicStatevector::measure_remove(int wire, const Matrix& basis, Rng& rng,
@@ -350,45 +574,10 @@ int DynamicStatevector::measure_remove(int wire, const Matrix& basis, Rng& rng,
   MBQ_REQUIRE(basis.rows() == 2 && basis.cols() == 2, "basis must be 2x2");
   MBQ_REQUIRE(forced >= -1 && forced <= 1, "forced outcome must be -1/0/1");
   const int q = position(wire);
-  const std::uint64_t pairs = amps_.size() / 2;
-  scratch_.resize(pairs);
-  const CollapseKernels& kn = kernels();
-
-  // Collapsed projections land in scratch_, which then SWAPS with amps_:
-  // the two buffers ping-pong across calls, so a reused simulator never
-  // reallocates.  The sampled path fuses the outcome-1 probability fold
-  // into its collapse kernel, saving a full pass whenever outcome 1 is
-  // drawn; every fold is canonical, keeping outcomes and amplitudes
-  // bit-identical across ISAs and across the fold-reuse fast path.
-  int outcome;
-  real nrm2 = 0.0;
-  if (forced == -1) {
-    // Denominator: a valid fold (maintained in canonical order by the
-    // fused kernels and the collapse below) is bitwise the same sum a
-    // fresh kernel pass computes, so the full pass is skipped.
-    real total = fold_;
-    if (!fold_valid_) total = kn.fold_norms(amps_.data(), amps_.size());
-    total = std::norm(std::sqrt(total));
-    MBQ_REQUIRE(total > kMinBornNorm2, "zero state");
-    const real p1 =
-        kn.collapse_pairs(amps_.data(), scratch_.data(), pairs, q,
-                          std::conj(basis(0, 1)), std::conj(basis(1, 1)));
-    outcome = rng.bernoulli(p1 / total) ? 1 : 0;
-    nrm2 = p1;  // outcome 1: the projections are already in scratch_
-  } else {
-    outcome = forced;
-  }
-  if (outcome != 1 || forced != -1) {
-    nrm2 = kn.collapse_pairs(amps_.data(), scratch_.data(), pairs, q,
-                             std::conj(basis(0, outcome)),
-                             std::conj(basis(1, outcome)));
-  }
-  MBQ_REQUIRE(nrm2 > kMinProjectionNorm2,
-              "forced outcome " << outcome << " on wire " << wire
-                                << " has zero probability");
-  fold_ = kn.scale_fold(scratch_.data(), pairs, 1.0 / std::sqrt(nrm2));
-  std::swap(amps_, scratch_);
-  fold_valid_ = true;
+  const int outcome =
+      prec_ == Precision::F64
+          ? measure_remove_impl<double>(q, basis, rng, forced, wire)
+          : measure_remove_impl<float>(q, basis, rng, forced, wire);
 
   // Drop the wire and shift higher positions down.
   order_.erase(order_.begin() + q);
@@ -415,19 +604,29 @@ void DynamicStatevector::fill_gather_table(const std::vector<int>& wires,
         table.flip[t] ^ (std::uint64_t{1} << table.src[t]);
 }
 
+template <class R>
+std::vector<cplx> DynamicStatevector::state_in_order_impl(
+    const GatherTable& table) const {
+  const auto& a = amps<R>();
+  // Widened to cplx on read: the reference-comparison helpers stay
+  // precision-agnostic (float -> double widening is exact).
+  std::vector<cplx> out(a.size());
+  std::uint64_t from = 0;
+  for (std::uint64_t j = 0;;) {
+    out[j] = cplx(a[from]);
+    if (++j >= out.size()) break;
+    from ^= table.flip[std::countr_zero(j) + 1];
+  }
+  return out;
+}
+
 std::vector<cplx> DynamicStatevector::state_in_order(
     const GatherTable& table) const {
   MBQ_REQUIRE(table.src.size() == order_.size(),
               "gather table covers " << table.src.size() << " wires, "
                                      << order_.size() << " live");
-  std::vector<cplx> out(amps_.size());
-  std::uint64_t from = 0;
-  for (std::uint64_t j = 0;;) {
-    out[j] = amps_[from];
-    if (++j >= out.size()) break;
-    from ^= table.flip[std::countr_zero(j) + 1];
-  }
-  return out;
+  return prec_ == Precision::F64 ? state_in_order_impl<double>(table)
+                                 : state_in_order_impl<float>(table);
 }
 
 std::vector<cplx> DynamicStatevector::state_in_order(
@@ -437,18 +636,26 @@ std::vector<cplx> DynamicStatevector::state_in_order(
   return state_in_order(table);
 }
 
+template <class R>
+std::uint64_t DynamicStatevector::sample_in_order_impl(const GatherTable& table,
+                                                       real u) const {
+  const auto& a = amps<R>();
+  std::uint64_t from = 0;
+  for (std::uint64_t j = 0;;) {
+    u -= static_cast<real>(std::norm(a[from]));
+    if (u <= 0.0 || j + 1 == a.size()) return j;
+    ++j;
+    from ^= table.flip[std::countr_zero(j) + 1];
+  }
+}
+
 std::uint64_t DynamicStatevector::sample_in_order(const GatherTable& table,
                                                   real u) const {
   MBQ_REQUIRE(table.src.size() == order_.size(),
               "gather table covers " << table.src.size() << " wires, "
                                      << order_.size() << " live");
-  std::uint64_t from = 0;
-  for (std::uint64_t j = 0;;) {
-    u -= std::norm(amps_[from]);
-    if (u <= 0.0 || j + 1 == amps_.size()) return j;
-    ++j;
-    from ^= table.flip[std::countr_zero(j) + 1];
-  }
+  return prec_ == Precision::F64 ? sample_in_order_impl<double>(table, u)
+                                 : sample_in_order_impl<float>(table, u);
 }
 
 std::uint64_t DynamicStatevector::sample_in_order(const std::vector<int>& wires,
@@ -458,19 +665,39 @@ std::uint64_t DynamicStatevector::sample_in_order(const std::vector<int>& wires,
   return sample_in_order(table, u);
 }
 
-real DynamicStatevector::norm() const {
-  return std::sqrt(kernels().fold_norms(amps_.data(), amps_.size()));
+template <class R>
+real DynamicStatevector::norm_impl() const {
+  const auto& a = amps<R>();
+  return std::sqrt(static_cast<real>(thr::fold_norms(
+      kernels_t<R>(), a.data(), a.size(), thr::kernel_threads())));
 }
 
-void DynamicStatevector::normalize() {
-  const real nrm2 = kernels().fold_norms(amps_.data(), amps_.size());
+real DynamicStatevector::norm() const {
+  return prec_ == Precision::F64 ? norm_impl<double>() : norm_impl<float>();
+}
+
+template <class R>
+void DynamicStatevector::normalize_impl() {
+  auto& a = amps<R>();
+  const CollapseKernelsT<R>& kn = kernels_t<R>();
+  const int threads = thr::kernel_threads();
+  const R nrm2 = thr::fold_norms(kn, a.data(), a.size(), threads);
   // Uniform Born-denominator guard (on |ψ|², like every sampling path;
   // this used to test |ψ| against the same 1e-14, an inconsistency the
   // named constants exist to prevent).
-  MBQ_REQUIRE(nrm2 > kMinBornNorm2, "cannot normalize a zero state");
-  fold_ = kernels().scale_fold(amps_.data(), amps_.size(),
-                               1.0 / std::sqrt(nrm2));
+  MBQ_REQUIRE(static_cast<real>(nrm2) > kMinBornNorm2,
+              "cannot normalize a zero state");
+  fold_ = static_cast<real>(thr::scale_fold(
+      kn, a.data(), a.size(),
+      static_cast<R>(1.0 / std::sqrt(static_cast<real>(nrm2))), threads));
   fold_valid_ = true;  // scale_fold refreshes the canonical fold
+}
+
+void DynamicStatevector::normalize() {
+  if (prec_ == Precision::F64)
+    normalize_impl<double>();
+  else
+    normalize_impl<float>();
 }
 
 }  // namespace mbq

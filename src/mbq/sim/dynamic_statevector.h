@@ -11,11 +11,22 @@
 //
 // Every hot amplitude sweep — collapses, folds, sign/swap passes — runs
 // through the runtime-dispatched SIMD kernel table (sim/collapse_kernels.h,
-// scalar/AVX2/AVX-512/NEON).  The kernels' canonical reduction order makes
-// results bit-identical across ISAs, so the choice never leaks into
-// outcome streams.
+// scalar/AVX2/AVX-512/NEON), wrapped in the chunked drivers of
+// sim/collapse_threaded.h: above the chunk cutoff a sweep is tiled into
+// L2-sized blocks (and optionally executed by multiple threads — see
+// MBQ_KERNEL_THREADS).  The kernels' canonical reduction order and the
+// drivers' fixed chunk decomposition make results bit-identical across
+// ISAs AND across thread counts, so neither choice leaks into outcome
+// streams.
+//
+// The element type is chosen at construction (Precision::F64 default,
+// Precision::F32 optional): f32 halves the memory traffic per amplitude
+// — roughly one extra qubit of reach at a given footprint — and is
+// deterministic under the same contract WITHIN the precision, but its
+// streams are NOT bit-comparable to f64's (see common/types.h).
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "mbq/common/rng.h"
@@ -55,7 +66,15 @@ class DynamicStatevector {
   /// tiny residual state that renormalization then rescues.
   static constexpr real kMinProjectionNorm2 = 1e-18;
 
-  DynamicStatevector() { amps_ = {cplx{1.0, 0.0}}; }
+  explicit DynamicStatevector(Precision p = Precision::F64) : prec_(p) {
+    if (prec_ == Precision::F64)
+      amps_ = {cplx{1.0, 0.0}};
+    else
+      amps32_ = {cplxf{1.0f, 0.0f}};
+  }
+
+  /// Element type of the amplitude storage, fixed at construction.
+  Precision precision() const noexcept { return prec_; }
 
   /// Return to the empty register (scalar state 1) WITHOUT releasing the
   /// amplitude buffers or the wire-position table: a simulator reset in a
@@ -201,8 +220,78 @@ class DynamicStatevector {
   int position(int wire) const;
   void set_position(int wire, int p);
 
+  /// Active amplitude / scratch storage for element type R.  The class
+  /// is runtime-polymorphic over precision (one enum member, two buffer
+  /// pairs — only the pair matching prec_ is ever non-empty); the hot
+  /// paths are member templates in the .cpp dispatched through these.
+  template <class R>
+  std::vector<std::complex<R>>& amps() noexcept {
+    if constexpr (std::is_same_v<R, double>)
+      return amps_;
+    else
+      return amps32_;
+  }
+  template <class R>
+  const std::vector<std::complex<R>>& amps() const noexcept {
+    if constexpr (std::is_same_v<R, double>)
+      return amps_;
+    else
+      return amps32_;
+  }
+  template <class R>
+  std::vector<std::complex<R>>& scratch() noexcept {
+    if constexpr (std::is_same_v<R, double>)
+      return scratch_;
+    else
+      return scratch32_;
+  }
+
+  template <class R>
+  void reset_impl();
+  template <class R>
+  void add_wire_impl(bool plus);
+  template <class R>
+  void apply_1q_impl(int q, const Matrix& u);
+  template <class R>
+  void apply_x_impl(std::uint64_t xmask);
+  template <class R>
+  void sign_pass_impl(std::uint64_t eq_mask, std::uint64_t par_mask,
+                      bool negate);
+  template <class R>
+  void apply_rz_impl(int q, cplx e);
+  template <class R>
+  void pauli_swap_impl(std::uint64_t xmask, std::uint64_t zmask,
+                       std::uint64_t eq_mask, bool negate);
+  template <class R>
+  void add_plus_cz_impl(std::uint64_t partner_pos_mask);
+  template <class R>
+  void cz_masks_impl(const std::uint64_t* pair_masks, int count);
+  template <class R>
+  int prep_cz_measure_impl(std::uint64_t partner_pos_mask, const Matrix& basis,
+                           Rng& rng, int forced, int wire);
+  template <class R>
+  int teleport_measure_impl(std::uint64_t partner_pos_mask, int q,
+                            const Matrix& basis, Rng& rng, int forced,
+                            int meas_wire);
+  template <class R>
+  real prob_one_impl(int q, const Matrix& basis) const;
+  template <class R>
+  int measure_remove_impl(int q, const Matrix& basis, Rng& rng, int forced,
+                          int wire);
+  template <class R>
+  std::vector<cplx> state_in_order_impl(const GatherTable& table) const;
+  template <class R>
+  std::uint64_t sample_in_order_impl(const GatherTable& table, real u) const;
+  template <class R>
+  real norm_impl() const;
+  template <class R>
+  void normalize_impl();
+
+  Precision prec_ = Precision::F64;
   std::vector<cplx> amps_;
   std::vector<cplx> scratch_;  // measure_remove ping-pong buffer
+  std::vector<cplxf> amps32_;    // f32 storage (prec_ == F32 only)
+  std::vector<cplxf> scratch32_;
   std::vector<int> order_;     // wire id per bit position
   // wire id -> bit position, -1 = not live.  A flat vector instead of a
   // hash map: position() is on every kernel's setup path, and map node

@@ -149,6 +149,7 @@ std::string spec_to_json(const api::WorkloadSpec& spec) {
      << "\",\n";
   os << "  \"max_wire_degree\": " << spec.max_wire_degree << ",\n";
   os << "  \"entangler_noise\": " << json_real(spec.entangler_noise) << ",\n";
+  os << "  \"precision\": \"" << precision_name(spec.precision) << "\",\n";
   os << "  \"cost\": {\n";
   os << "    \"num_qubits\": " << spec.cost.num_qubits() << ",\n";
   os << "    \"constant\": " << json_real(spec.cost.constant()) << ",\n";
@@ -244,6 +245,8 @@ api::WorkloadSpec spec_from_json(const std::string& text) {
     spec.max_wire_degree = read_int(it->second);
   if (const auto it = obj.find("entangler_noise"); it != obj.end())
     spec.entangler_noise = read_real(it->second);
+  if (const auto it = obj.find("precision"); it != obj.end())
+    spec.precision = parse_precision(it->second.str().c_str());
 
   const JsonObject& cost = field(obj, "cost").object();
   qaoa::CostHamiltonian c(read_int(field(cost, "num_qubits")),

@@ -111,6 +111,49 @@ TEST(Router, RejectsUnknownCandidatesAndSelfRouting) {
   EXPECT_THROW(RouterBackend{self}, Error);
 }
 
+TEST(Router, EnvOverridesDefaultRouterCandidates) {
+  // MBQ_ROUTER_CANDIDATES re-orders/restricts the registry's DEFAULT
+  // router — the knob CI uses to re-run tier-1 with routing pinned to
+  // the f32-capable adapter.  Explicitly constructed routers never read
+  // the variable.
+  struct EnvGuard {
+    std::string saved;
+    bool had;
+    EnvGuard() {
+      const char* v = std::getenv("MBQ_ROUTER_CANDIDATES");
+      had = v != nullptr;
+      if (had) saved = v;
+    }
+    ~EnvGuard() {
+      if (had)
+        ::setenv("MBQ_ROUTER_CANDIDATES", saved.c_str(), 1);
+      else
+        ::unsetenv("MBQ_ROUTER_CANDIDATES");
+    }
+  } guard;
+
+  ::setenv("MBQ_ROUTER_CANDIDATES", "mbqc,statevector", 1);
+  auto backend = BackendRegistry::instance().create("router");
+  auto* router = dynamic_cast<RouterBackend*>(backend.get());
+  ASSERT_NE(router, nullptr);
+  const std::vector<std::string> forced{"mbqc", "statevector"};
+  EXPECT_EQ(router->options().candidates, forced);
+  const Workload w = Workload::maxcut(cycle_graph(4));
+  EXPECT_EQ(router->route(w, kGenericPoint).backend_name, "mbqc");
+
+  // The override resolves at create() time, so bad values fail loudly
+  // there: unknown names and all-empty lists are both hard errors.
+  ::setenv("MBQ_ROUTER_CANDIDATES", "no-such-backend", 1);
+  EXPECT_THROW(BackendRegistry::instance().create("router"), Error);
+  ::setenv("MBQ_ROUTER_CANDIDATES", ",,", 1);
+  EXPECT_THROW(BackendRegistry::instance().create("router-checked"), Error);
+
+  // Explicit construction keeps the documented cost-ordered defaults.
+  const RouterBackend untouched;
+  ASSERT_FALSE(untouched.options().candidates.empty());
+  EXPECT_EQ(untouched.options().candidates.front(), "clifford");
+}
+
 TEST(Router, CrossCheckPassesWhenAdaptersAgree) {
   const Workload w = Workload::maxcut(cycle_graph(4));
   Session reference(w, "statevector");

@@ -166,6 +166,59 @@ TEST(BenchGenerators, ShapePolicies) {
   EXPECT_EQ(grid.cost().interaction_graph().num_edges(), 7);  // 2*2 + 1*3
 }
 
+TEST(BenchGenerators, LargeNInstancesAreWellFormed) {
+  // The large-n wall (bench_scaling) and the corpus generator both reach
+  // n = 24 now: every family must produce a valid, serializable,
+  // fingerprint-stable spec there without touching any dense 2^n path.
+  for (const Family f :
+       {Family::Sk, Family::ErdosRenyi, Family::Regular, Family::Grid}) {
+    for (const int n : {20, 24}) {
+      const api::WorkloadSpec spec = make_instance(f, n, 0, 77);
+      const api::Workload w = api::Workload::from_spec(spec);
+      EXPECT_EQ(w.num_qubits(), n) << family_name(f);
+      // Binary codec round trip preserves identity — the property the
+      // shard layer and on-disk corpora rely on.
+      const api::WorkloadSpec back =
+          api::parse_spec(api::serialize_spec(spec));
+      EXPECT_EQ(api::spec_fingerprint(back), api::spec_fingerprint(spec))
+          << family_name(f) << " n=" << n;
+      EXPECT_EQ(api::spec_fingerprint(spec),
+                api::spec_fingerprint(make_instance(f, n, 0, 77)))
+          << family_name(f) << " n=" << n;
+    }
+  }
+}
+
+TEST(Distance, ReferenceScoresExactlyAtLargeN) {
+  // n = 20 sits under kExactReferenceMaxQubits: the dense reference runs.
+  // Zero angles leave |+>^20 untouched, so every outcome has probability
+  // exactly 2^-20 ~ 9.54e-7; a cutoff just above that must yield an
+  // empty distribution (proving the full 2^20 sweep actually executed
+  // and the amplitudes are exact), and one just below keeps full support.
+  const api::WorkloadSpec spec = make_instance(Family::Grid, 20, 0, 77);
+  const api::Workload w = api::Workload::from_spec(spec);
+  const qaoa::Angles zero{{0.0}, {0.0}};
+  EXPECT_TRUE(reference_distribution(w, zero, 1e-6).empty());
+  const SparseDist full = reference_distribution(w, zero, 9e-7);
+  EXPECT_EQ(full.size(), std::size_t{1} << 20);
+}
+
+TEST(Distance, ReferenceRefusesAboveExactCap) {
+  // Above the 28-qubit dense cap the scorer degrades loudly: a clear
+  // Error naming the bound, thrown before any allocation is attempted.
+  const api::WorkloadSpec spec = make_instance(Family::Sk, 30, 0, 77);
+  const api::Workload w = api::Workload::from_spec(spec);
+  try {
+    reference_distribution(w, qaoa::Angles::linear_ramp(1));
+    FAIL() << "expected Error for n = 30";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(std::to_string(kExactReferenceMaxQubits)),
+              std::string::npos)
+        << msg;
+  }
+}
+
 // --- corpus manifest codec --------------------------------------------------
 
 Manifest sample_manifest() {

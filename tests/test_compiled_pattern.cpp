@@ -21,6 +21,7 @@
 #include "mbq/mbqc/compiled.h"
 #include "mbq/mbqc/runner.h"
 #include "mbq/qaoa/qaoa.h"
+#include "mbq/sim/collapse_threaded.h"
 
 // --- global allocation counter ----------------------------------------
 // Replaces the global operator new/delete for THIS test binary so the
@@ -369,6 +370,58 @@ TEST(CompiledPattern, SteadyStateShotLoopAllocatesNothing) {
   for (int shot = 0; shot < 50; ++shot) sink ^= exec.run_sample(rng).x;
   const std::uint64_t after = g_alloc_count.load();
   EXPECT_EQ(after - before, 0u) << "sink " << sink;
+}
+
+TEST(CompiledPattern, SteadyStateShotLoopAllocatesNothingWithThreads) {
+  // Same contract with the kernel thread knob engaged: the knob must
+  // not cost the shot loop its zero-allocation property.
+  struct ThreadGuard {
+    int saved = thr::kernel_threads();
+    ~ThreadGuard() { thr::set_kernel_threads(saved); }
+  } guard;
+  thr::set_kernel_threads(2);
+  Rng rng(31);
+  const qaoa::Angles angles = qaoa::Angles::random(2, rng);
+  const auto cost = qaoa::CostHamiltonian::maxcut(cycle_graph(6));
+  const auto compiled = std::make_shared<const CompiledPattern>(
+      core::compile_qaoa(cost, angles).pattern);
+  PatternExecutor exec(compiled);
+  for (int shot = 0; shot < 5; ++shot) exec.run_sample(rng);  // warm up
+  const std::uint64_t before = g_alloc_count.load();
+  std::uint64_t sink = 0;
+  for (int shot = 0; shot < 50; ++shot) sink ^= exec.run_sample(rng).x;
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "sink " << sink;
+}
+
+TEST(CompiledPattern, ChunkedThreadedSweepsAllocateNothingInSteadyState) {
+  // The chunked drivers themselves: a 15-wire register (2^15 amps, above
+  // the chunk cutoff) driven through in-place sweeps and re-folds with
+  // two kernel threads.  The chunk-partial slots grow on first use —
+  // warmed up before the counted region — after which a steady-state
+  // pass performs ZERO heap allocations.  (OpenMP-runtime internals use
+  // malloc, not operator new, and are deliberately outside this
+  // counter; the contract here is about OUR per-sweep buffers.)
+  struct ThreadGuard {
+    int saved = thr::kernel_threads();
+    ~ThreadGuard() { thr::set_kernel_threads(saved); }
+  } guard;
+  thr::set_kernel_threads(2);
+  DynamicStatevector dsv;
+  for (int w = 0; w < 15; ++w) dsv.add_wire(w);
+  const std::uint64_t masks[2] = {0b11, (std::uint64_t{1} << 14) | 0b100};
+  auto sweep = [&] {
+    dsv.apply_cz_masks(masks, 2);
+    dsv.apply_rz(4, 0.37);
+    dsv.apply_pauli_masks(std::uint64_t{1} << 3, std::uint64_t{1} << 9,
+                          false);
+    dsv.normalize();  // full chunked fold + scale
+  };
+  sweep();
+  sweep();  // warm up the chunk-partial slots
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 8; ++i) sweep();
+  EXPECT_EQ(g_alloc_count.load() - before, 0u);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "mbq/mbqc/compiled.h"
 #include "mbq/qaoa/qaoa.h"
 #include "mbq/sim/collapse_kernels.h"
+#include "mbq/sim/collapse_threaded.h"
 #include "mbq/sim/dynamic_statevector.h"
 
 namespace mbq {
@@ -315,6 +316,260 @@ TEST(SimdKernels, EnvOverrideReadsAndValidatesMbqSimd) {
   EXPECT_EQ(simd_env_override(), std::nullopt);
   if (old)
     ::setenv("MBQ_SIMD", saved.c_str(), 1);
+}
+
+// --- ranged chunk-driver entries ---------------------------------------
+// The three *_range entries exist solely for the chunked drivers; they
+// get the same treatment as every other table slot: randomized
+// ISA-vs-scalar bitwise differentials, plus a scalar consistency check
+// that concatenated slices reproduce the full pass.
+TEST(SimdKernels, RandomizedRangedKernelsMatchScalarBitwise) {
+  const CollapseKernels& s = scalar_kernels();
+  Rng rng(20250809);
+  for (SimdIsa isa : supported_simd_isas()) {
+    const CollapseKernels& k = *kernels_for_isa(isa);
+    for (int rep = 0; rep < 25; ++rep) {
+      const int nq = 3 + rng.uniform_index(6);  // 8..256 amplitudes
+      const std::uint64_t dim = std::uint64_t{1} << nq;
+      const std::uint64_t ranks = dim / 2;
+      const auto x = random_amps(rng, dim);
+      const cplx e0 = random_eff(rng, rng.uniform_index(3));
+      const cplx e1 = random_eff(rng, rng.uniform_index(3));
+      const double sc = rng.uniform() + 0.25;
+      const int q = rng.uniform_index(nq);
+      // teleport pmask may not involve the measured wire or above.
+      const std::uint64_t pmask =
+          rng.uniform_index(dim) & ~((std::uint64_t{2} << q) - 1);
+
+      // teleport_collapse_range: identical slice writes and STORED folds.
+      const std::uint64_t r0 = rng.uniform_index(ranks);
+      const std::uint64_t r1 = r0 + 1 + rng.uniform_index(ranks - r0);
+      auto oa = random_amps(rng, dim);
+      auto ob = oa;
+      double la = 0, ha = 0, lb = 1, hb = 1;  // differing seeds: must be stored
+      s.teleport_collapse_range(x.data(), oa.data(), dim, q, pmask, e0, e1,
+                                sc, r0, r1, &la, &ha);
+      k.teleport_collapse_range(x.data(), ob.data(), dim, q, pmask, e0, e1,
+                                sc, r0, r1, &lb, &hb);
+      EXPECT_TRUE(buffers_bit_equal(oa, ob));
+      EXPECT_PRED2(same_fold, la, lb);
+      EXPECT_PRED2(same_fold, ha, hb);
+
+      // Scalar consistency: two covering slices == the full pass.
+      std::vector<cplx> full(dim), sliced(dim);
+      s.teleport_collapse(x.data(), full.data(), dim, q, pmask, e0, e1, sc);
+      const std::uint64_t mid = ranks / 2;
+      double f0, f1, f2, f3;
+      s.teleport_collapse_range(x.data(), sliced.data(), dim, q, pmask, e0,
+                                e1, sc, 0, mid, &f0, &f1);
+      s.teleport_collapse_range(x.data(), sliced.data(), dim, q, pmask, e0,
+                                e1, sc, mid, ranks, &f2, &f3);
+      EXPECT_TRUE(buffers_bit_equal(full, sliced));
+
+      // mirror_cz_range (upper half of add_plus_cz, lower half already
+      // scaled by the caller).
+      auto ga = random_amps(rng, 2 * dim);
+      auto gb = ga;
+      const std::uint64_t i0 = rng.uniform_index(dim);
+      const std::uint64_t i1 = i0 + 1 + rng.uniform_index(dim - i0);
+      const std::uint64_t gmask = rng.uniform_index(dim);
+      EXPECT_PRED2(same_fold,
+                   s.mirror_cz_range(ga.data(), dim, i0, i1, gmask),
+                   k.mirror_cz_range(gb.data(), dim, i0, i1, gmask));
+      EXPECT_TRUE(buffers_bit_equal(ga, gb));
+
+      // pauli_swap_range over pair ranks of the top xmask bit.
+      const std::uint64_t xmask = std::uint64_t{1} << rng.uniform_index(nq);
+      const std::uint64_t zmask = rng.uniform_index(dim);
+      const std::uint64_t eq = rng.uniform_index(dim);
+      const bool neg = rng.uniform_index(2) != 0;
+      const std::uint64_t p0 = rng.uniform_index(ranks);
+      const std::uint64_t p1 = p0 + 1 + rng.uniform_index(ranks - p0);
+      auto pa = x, pb = x;
+      s.pauli_swap_range(pa.data(), xmask, zmask, eq, neg, p0, p1);
+      k.pauli_swap_range(pb.data(), xmask, zmask, eq, neg, p0, p1);
+      EXPECT_TRUE(buffers_bit_equal(pa, pb));
+
+      // Scalar consistency: covering rank slices == the full pass.
+      auto pf = x, ps = x;
+      s.pauli_swap_pass(pf.data(), dim, xmask, zmask, eq, neg);
+      s.pauli_swap_range(ps.data(), xmask, zmask, eq, neg, 0, mid);
+      s.pauli_swap_range(ps.data(), xmask, zmask, eq, neg, mid, ranks);
+      EXPECT_TRUE(buffers_bit_equal(pf, ps));
+    }
+  }
+}
+
+// --- chunked / threaded drivers ----------------------------------------
+
+/// Restores the process-global kernel thread count no matter how a test
+/// exits (0 = re-resolve from the environment on next use).
+struct ThreadGuard {
+  int saved;
+  ThreadGuard() : saved(thr::kernel_threads()) {}
+  ~ThreadGuard() { thr::set_kernel_threads(saved); }
+};
+
+TEST(SimdKernels, KernelThreadsKnobResolvesOverrideAndEnv) {
+  ThreadGuard guard;
+  const char* old = std::getenv("MBQ_KERNEL_THREADS");
+  const std::string saved = old ? old : "";
+
+  thr::set_kernel_threads(3);
+  EXPECT_EQ(thr::kernel_threads(), 3);
+
+  ::setenv("MBQ_KERNEL_THREADS", "5", 1);
+  thr::set_kernel_threads(0);  // back to env resolution
+  EXPECT_EQ(thr::kernel_threads(), 5);
+
+  ::setenv("MBQ_KERNEL_THREADS", "auto", 1);
+  thr::set_kernel_threads(0);
+  EXPECT_GE(thr::kernel_threads(), 1);
+
+  for (const char* bad : {"0", "-2", "4097", "two", "2x"}) {
+    ::setenv("MBQ_KERNEL_THREADS", bad, 1);
+    thr::set_kernel_threads(0);
+    EXPECT_THROW(thr::kernel_threads(), Error) << bad;
+  }
+
+  // An explicit override wins without consulting the (invalid) env.
+  thr::set_kernel_threads(2);
+  EXPECT_EQ(thr::kernel_threads(), 2);
+
+  if (old)
+    ::setenv("MBQ_KERNEL_THREADS", saved.c_str(), 1);
+  else
+    ::unsetenv("MBQ_KERNEL_THREADS");
+}
+
+// Every thr:: driver at the chunk cutoff, for every host flavor, at
+// thread counts {1, 2, 8}: bit-identical to the scalar single-threaded
+// leg.  This is the public-API face of the dispatch-time driver battery.
+TEST(SimdKernels, ChunkedDriversBitIdenticalAcrossThreadCounts) {
+  constexpr std::uint64_t dim = thr::kChunkCutoffDim;
+  Rng rng(77);
+  const auto x = random_amps(rng, 2 * dim);
+  const cplx e0{0.6, -0.8}, e1{0.0, 0.7071067811865476};
+  const double sc = 0.8125;
+  const std::uint64_t pmask = 0x2BULL | (0x5ULL << 12);
+  const std::uint64_t cz_masks[3] = {0x3, (1ULL << 13) | 0x18, 1ULL << 12};
+
+  struct Results {
+    std::vector<double> folds;
+    std::vector<cplx> amps;
+  };
+  auto run = [&](const CollapseKernels& k, int t) {
+    Results r;
+    r.folds.push_back(thr::fold_norms(k, x.data(), 2 * dim, t));
+    r.folds.push_back(thr::prep_total_fold(k, x.data(), dim, sc, t));
+
+    auto sca = x;
+    r.folds.push_back(thr::scale_fold(k, sca.data(), 2 * dim, sc, t));
+    r.amps.insert(r.amps.end(), sca.begin(), sca.end());
+
+    std::vector<cplx> out(dim);
+    for (int q : {0, 13, 14}) {
+      const auto f = thr::collapse_pairs_with_total(k, x.data(), out.data(),
+                                                    dim, q, e0, e1, t);
+      r.folds.push_back(f.total);
+      r.folds.push_back(f.proj);
+      r.amps.insert(r.amps.end(), out.begin(), out.end());
+    }
+
+    const auto fp = thr::prep_collapse_with_total(k, x.data(), out.data(),
+                                                  dim, pmask, e0, e1, sc, t);
+    r.folds.push_back(fp.total);
+    r.folds.push_back(fp.proj);
+    r.amps.insert(r.amps.end(), out.begin(), out.end());
+
+    for (int q : {2, 13}) {
+      const std::uint64_t tp = pmask & ~((std::uint64_t{2} << q) - 1);
+      r.folds.push_back(thr::teleport_collapse_fold(
+          k, x.data(), out.data(), dim, q, tp, e0, e1, sc, t));
+      r.amps.insert(r.amps.end(), out.begin(), out.end());
+    }
+
+    auto gad = x;
+    gad.resize(2 * dim);
+    r.folds.push_back(
+        thr::add_plus_cz(k, gad.data(), dim, pmask, sc, t));
+    r.amps.insert(r.amps.end(), gad.begin(), gad.end());
+
+    auto p = x;
+    thr::sign_pass(k, p.data(), 2 * dim, (1ULL << 13) | 0x6,
+                   (1ULL << 12) | 0x5, true, t);
+    thr::cz_masks_pass(k, p.data(), 2 * dim, cz_masks, 3, t);
+    thr::pauli_swap_pass(k, p.data(), 2 * dim, 1ULL << 13, pmask,
+                         (1ULL << 14) | 0x3, false, t);
+    thr::phase_pass(k, p.data(), 2 * dim, 13, e0, t);
+    r.amps.insert(r.amps.end(), p.begin(), p.end());
+    return r;
+  };
+
+  const Results want = run(scalar_kernels(), 1);
+  for (SimdIsa isa : supported_simd_isas()) {
+    const CollapseKernels& k = *kernels_for_isa(isa);
+    for (int t : {1, 2, 8}) {
+      SCOPED_TRACE(std::string("isa=") + isa_name(isa) +
+                   " threads=" + std::to_string(t));
+      const Results got = run(k, t);
+      ASSERT_EQ(want.folds.size(), got.folds.size());
+      for (std::size_t i = 0; i < want.folds.size(); ++i)
+        EXPECT_PRED2(same_fold, want.folds[i], got.folds[i]) << "fold " << i;
+      EXPECT_TRUE(buffers_bit_equal(want.amps, got.amps));
+    }
+  }
+}
+
+// A DynamicStatevector register ABOVE the chunk cutoff (15 wires =
+// 2^15 amplitudes), driven through every fused measure path, swept over
+// ISA flavors AND kernel thread counts: outcome streams, amplitudes and
+// the running fold must all match the scalar single-threaded leg
+// bit-for-bit — the large-n face of the determinism contract.
+ScriptResult run_big_script(SimdIsa isa, int threads, std::uint64_t seed) {
+  force_simd_isa(isa);
+  thr::set_kernel_threads(threads);
+  DynamicStatevector dsv;
+  Rng rng(seed);
+  for (int w = 0; w < 15; ++w) dsv.add_wire(w);
+  const std::uint64_t cz_masks[2] = {(1ULL << 14) | 0x3, 0b110000};
+  dsv.apply_cz_masks(cz_masks, 2);
+  dsv.apply_rz(5, 0.37);
+  dsv.apply_rz(13, -1.1);
+  dsv.apply_pauli_masks(1ULL << 3, 1ULL << 9, false);
+  ScriptResult r;
+  r.outcomes.push_back(dsv.prep_cz_measure(
+      15, 0b101000000000101, measurement_basis(MeasBasis::XY, 0.3), rng));
+  r.outcomes.push_back(dsv.prep_cz_teleport_measure(
+      16, 0b1000000000010, 4, measurement_basis(MeasBasis::YZ, 0.9), rng));
+  dsv.apply_h(2);  // invalidates the fold: next measure re-folds fused
+  r.outcomes.push_back(
+      dsv.measure_remove(2, measurement_basis(MeasBasis::X, 0.0), rng));
+  r.outcomes.push_back(
+      dsv.measure_remove(7, measurement_basis(MeasBasis::XY, -0.4), rng));
+  dsv.normalize();
+  r.amps = dsv.state_in_order(dsv.wire_order());
+  r.fold = dsv.norm_fold();
+  r.fold_valid = dsv.norm_fold_valid();
+  return r;
+}
+
+TEST(SimdKernels, LargeRegisterBitIdenticalAcrossThreadsAndIsas) {
+  IsaGuard isa_guard;
+  ThreadGuard thread_guard;
+  const ScriptResult want = run_big_script(SimdIsa::Scalar, 1, 99);
+  EXPECT_TRUE(want.fold_valid);
+  for (SimdIsa isa : supported_simd_isas()) {
+    for (int t : {1, 2, 8}) {
+      const ScriptResult got = run_big_script(isa, t, 99);
+      SCOPED_TRACE(std::string("isa=") + isa_name(isa) +
+                   " threads=" + std::to_string(t));
+      EXPECT_EQ(want.outcomes, got.outcomes);
+      EXPECT_TRUE(buffers_bit_equal(want.amps, got.amps));
+      EXPECT_PRED2(same_fold, want.fold, got.fold);
+      EXPECT_EQ(want.fold_valid, got.fold_valid);
+    }
+  }
 }
 
 TEST(SimdKernels, ForcingAnUnavailableFlavorIsRejectedAtDispatch) {

@@ -58,12 +58,14 @@ int usage(int code) {
       "       mbq_bench score --report FILE\n"
       "\n"
       "Families: sk, er, regular, grid (default: all four).  Sizes and\n"
-      "families are comma-separated lists.  ENDPOINT is unix:/path or\n"
-      "tcp:host:port (a running mbqd).  --deterministic omits wall-clock\n"
-      "and execution-context fields so equivalent runs produce\n"
-      "byte-identical reports.  generate --json also writes each spec as\n"
-      "instances/<id>.spec.json text (speccomp JSON codec) next to the\n"
-      "binary frame.\n";
+      "families are comma-separated lists; sizes up to 28 qubits score\n"
+      "against the exact dense reference (larger corpora generate fine,\n"
+      "but `run` refuses to score them with a clear error).  ENDPOINT is\n"
+      "unix:/path or tcp:host:port (a running mbqd).  --deterministic\n"
+      "omits wall-clock and execution-context fields so equivalent runs\n"
+      "produce byte-identical reports.  generate --json also writes each\n"
+      "spec as instances/<id>.spec.json text (speccomp JSON codec) next\n"
+      "to the binary frame.\n";
   return code;
 }
 
